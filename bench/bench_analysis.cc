@@ -1,0 +1,97 @@
+// Experiment S2/S4 (static checks): throughput of the parser and of every
+// static analysis (range restriction, cost-respecting FD inference,
+// conflict-freedom with containment mappings, admissibility) on the paper's
+// programs. These are compile-time costs a deployment pays once per program.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "analysis/checker.h"
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace mad;
+using bench::CachedProgram;
+
+struct NamedProgram {
+  const char* name;
+  const char* text;
+};
+
+const NamedProgram kPrograms[] = {
+    {"shortest_path", workloads::kShortestPathProgram},
+    {"company_control", workloads::kCompanyControlProgram},
+    {"party", workloads::kPartyProgram},
+    {"circuit", workloads::kCircuitProgram},
+    {"halfsum", workloads::kHalfsumProgram},
+};
+
+void PrintVerdictTable() {
+  std::cout << "=== S2/S4: static analysis verdicts for the paper's "
+               "programs ===\n";
+  TablePrinter table({"program", "range-restricted", "cost-respecting",
+                      "conflict-free", "admissible", "components"});
+  for (const NamedProgram& np : kPrograms) {
+    const datalog::Program& program = CachedProgram(np.text);
+    analysis::DependencyGraph graph(program);
+    auto result = analysis::CheckProgram(program, graph);
+    table.AddRow({np.name, result.range_restricted.ok() ? "yes" : "NO",
+                  result.cost_respecting.ok() ? "yes" : "NO",
+                  result.conflict_free.ok() ? "yes" : "NO",
+                  result.admissible.ok() ? "yes" : "NO",
+                  std::to_string(result.components.size())});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void BM_Parse(benchmark::State& state) {
+  const NamedProgram& np = kPrograms[state.range(0)];
+  for (auto _ : state) {
+    auto p = datalog::ParseProgram(np.text);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetLabel(np.name);
+}
+BENCHMARK(BM_Parse)->DenseRange(0, 4);
+
+void BM_FullCheck(benchmark::State& state) {
+  const NamedProgram& np = kPrograms[state.range(0)];
+  const datalog::Program& program = CachedProgram(np.text);
+  for (auto _ : state) {
+    analysis::DependencyGraph graph(program);
+    auto result = analysis::CheckProgram(program, graph);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(np.name);
+}
+BENCHMARK(BM_FullCheck)->DenseRange(0, 4);
+
+void BM_ParseManyFacts(benchmark::State& state) {
+  // Parser throughput on bulk EDB text (facts/second).
+  int n = static_cast<int>(state.range(0));
+  std::string text = ".decl arc(x, y, c: min_real)\n";
+  for (int i = 0; i < n; ++i) {
+    text += "arc(n" + std::to_string(i) + ", n" + std::to_string(i + 1) +
+            ", 1.5).\n";
+  }
+  for (auto _ : state) {
+    auto p = datalog::ParseProgram(text);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParseManyFacts)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintVerdictTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

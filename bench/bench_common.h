@@ -1,0 +1,58 @@
+#ifndef MAD_BENCH_BENCH_COMMON_H_
+#define MAD_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the experiment benchmarks: build an EDB for a workload
+// and run the engine with a given strategy, returning the stats.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/engine.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+#include "workloads/to_datalog.h"
+
+namespace mad {
+namespace bench {
+
+/// A parsed canonical program reused across benchmark iterations.
+inline const datalog::Program& CachedProgram(const char* text) {
+  static std::map<const char*, std::unique_ptr<datalog::Program>>* cache =
+      new std::map<const char*, std::unique_ptr<datalog::Program>>();
+  auto it = cache->find(text);
+  if (it == cache->end()) {
+    auto parsed = datalog::ParseProgram(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bench: parse failed: %s\n",
+                   parsed.status().ToString().c_str());
+      std::abort();
+    }
+    it = cache
+             ->emplace(text, std::make_unique<datalog::Program>(
+                                 std::move(parsed).value()))
+             .first;
+  }
+  return *it->second;
+}
+
+/// Runs `program` on a clone of `edb`; asserts success; returns the result.
+inline core::EvalResult RunProgram(const datalog::Program& program,
+                                   const datalog::Database& edb,
+                                   core::Strategy strategy) {
+  core::EvalOptions options;
+  options.strategy = strategy;
+  core::Engine engine(program, options);
+  auto result = engine.Run(edb.Clone());
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench: evaluation failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+}  // namespace bench
+}  // namespace mad
+
+#endif  // MAD_BENCH_BENCH_COMMON_H_

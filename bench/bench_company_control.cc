@@ -1,0 +1,119 @@
+// Experiment E2.7: company control (recursion through sum). The engine's
+// declarative evaluation against the hand-written direct fixpoint, plus the
+// Section 5.2 r-monotonic rewrite. Expected shape: the direct solver wins by
+// a constant factor; both scale together; the rewrite (which skips
+// materializing m) is slightly cheaper than the original program.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+
+#include "baselines/company_control.h"
+#include "bench_common.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace mad;
+using baselines::OwnershipNetwork;
+using bench::CachedProgram;
+using bench::RunProgram;
+
+OwnershipNetwork MakeNetwork(int n, uint64_t seed) {
+  Random rng(seed);
+  return workloads::RandomOwnership(n, 4, 0.4, &rng);
+}
+
+void PrintComparisonTable() {
+  std::cout << "=== E2.7: company control — engine vs direct solver ===\n";
+  TablePrinter table({"companies", "engine (ms)", "rewrite (ms)",
+                      "direct (ms)", "control pairs", "iterations"});
+  for (int n : {20, 50, 100}) {
+    OwnershipNetwork net = MakeNetwork(n, 23);
+    const datalog::Program& program =
+        CachedProgram(workloads::kCompanyControlProgram);
+    const datalog::Program& rewrite =
+        CachedProgram(workloads::kCompanyControlRMonotonic);
+
+    datalog::Database edb1;
+    (void)workloads::AddOwnershipFacts(program, net, &edb1);
+    auto engine_result =
+        RunProgram(program, edb1, core::Strategy::kSemiNaive);
+
+    datalog::Database edb2;
+    (void)workloads::AddOwnershipFacts(rewrite, net, &edb2);
+    auto rewrite_result =
+        RunProgram(rewrite, edb2, core::Strategy::kSemiNaive);
+
+    auto t0 = std::chrono::steady_clock::now();
+    auto direct = baselines::SolveCompanyControl(net);
+    double direct_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+
+    int pairs = 0;
+    for (const auto& row : direct.controls) {
+      for (bool b : row) pairs += b ? 1 : 0;
+    }
+    table.AddRow(
+        {std::to_string(n),
+         StrPrintf("%.2f", engine_result.stats.wall_seconds * 1e3),
+         StrPrintf("%.2f", rewrite_result.stats.wall_seconds * 1e3),
+         StrPrintf("%.3f", direct_ms), std::to_string(pairs),
+         std::to_string(engine_result.stats.iterations)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void BM_Engine(benchmark::State& state, const char* program_text) {
+  int n = static_cast<int>(state.range(0));
+  OwnershipNetwork net = MakeNetwork(n, 23);
+  const datalog::Program& program = CachedProgram(program_text);
+  datalog::Database edb;
+  (void)workloads::AddOwnershipFacts(program, net, &edb);
+  for (auto _ : state) {
+    auto result = RunProgram(program, edb, core::Strategy::kSemiNaive);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_Direct(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  OwnershipNetwork net = MakeNetwork(n, 23);
+  for (auto _ : state) {
+    auto result = baselines::SolveCompanyControl(net);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void RegisterAll() {
+  for (int n : {20, 50, 100}) {
+    benchmark::RegisterBenchmark(
+        StrPrintf("BM_CompanyControl/engine/n%d", n).c_str(), BM_Engine,
+        workloads::kCompanyControlProgram)
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        StrPrintf("BM_CompanyControl/rmonotonic_rewrite/n%d", n).c_str(),
+        BM_Engine, workloads::kCompanyControlRMonotonic)
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        StrPrintf("BM_CompanyControl/direct/n%d", n).c_str(), BM_Direct)
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintComparisonTable();
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Experiment F1: reproduces Figure 1 — the paper's table of monotonic
+// aggregate functions — as a live inventory (each row instantiated, its
+// lattice endpoints and monotonicity class printed) plus a throughput
+// benchmark of every aggregate across multiset sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "lattice/aggregate.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using mad::Random;
+using mad::lattice::AggregateFunction;
+using mad::lattice::CostDomain;
+using mad::lattice::Figure1;
+using mad::lattice::Figure1Row;
+using mad::lattice::MonotonicityName;
+using mad::lattice::NumericDomain;
+using mad::lattice::SetDomain;
+using mad::datalog::Value;
+using mad::datalog::ValueSet;
+
+std::vector<Value> SampleMultiset(const CostDomain* domain, int size,
+                                  Random* rng) {
+  std::vector<Value> out;
+  out.reserve(size);
+  for (int i = 0; i < size; ++i) {
+    if (const auto* num = dynamic_cast<const NumericDomain*>(domain)) {
+      double lo = std::isfinite(num->lo()) ? num->lo() : 0.0;
+      double hi = std::isfinite(num->hi()) ? num->hi() : 100.0;
+      double v = rng->UniformReal(lo, hi);
+      if (num->integral()) v = std::floor(v);
+      out.push_back(Value::Real(v));
+    } else {
+      const auto* set = dynamic_cast<const SetDomain*>(domain);
+      ValueSet universe;
+      if (set != nullptr && set->universe() != nullptr) {
+        universe = *set->universe();
+      } else {
+        for (int k = 0; k < 12; ++k) {
+          universe.push_back(Value::Symbol("u" + std::to_string(k)));
+        }
+      }
+      ValueSet elems;
+      for (const Value& u : universe) {
+        if (rng->Bernoulli(0.25)) elems.push_back(u);
+      }
+      out.push_back(Value::Set(std::move(elems)));
+    }
+  }
+  return out;
+}
+
+void PrintFigure1Table() {
+  std::cout << "=== Figure 1 (Ross & Sagiv 1992): monotonic aggregate "
+               "functions ===\n";
+  mad::TablePrinter table(
+      {"row", "F", "input lattice", "bottom", "output lattice",
+       "monotonicity"});
+  for (const Figure1Row& row : Figure1()) {
+    table.AddRow({std::to_string(row.row_number),
+                  std::string(row.fn->name()),
+                  std::string(row.fn->input_domain()->name()),
+                  row.fn->input_domain()->Bottom().ToString(),
+                  std::string(row.fn->output_domain()->name()),
+                  MonotonicityName(row.fn->monotonicity())});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void BM_Figure1Apply(benchmark::State& state) {
+  const Figure1Row& row = Figure1()[state.range(0)];
+  int size = static_cast<int>(state.range(1));
+  Random rng(42);
+  std::vector<Value> multiset =
+      SampleMultiset(row.fn->input_domain(), size, &rng);
+  for (auto _ : state) {
+    auto result = row.fn->Apply(multiset);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * size);
+  state.SetLabel(std::string(row.fn->name()) + "/" +
+                 std::string(row.fn->input_domain()->name()));
+}
+
+void RegisterAll() {
+  for (int row = 0; row < 11; ++row) {
+    // has_path4 (row 11) is super-linear in the graph size; keep it small.
+    int max_size = row == 10 ? 64 : 4096;
+    for (int size = 16; size <= max_size; size *= 16) {
+      benchmark::RegisterBenchmark(
+          ("BM_Figure1Apply/row" + std::to_string(row + 1) + "/size" +
+           std::to_string(size))
+              .c_str(),
+          BM_Figure1Apply)
+          ->Args({row, size});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure1Table();
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

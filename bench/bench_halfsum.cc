@@ -1,0 +1,77 @@
+// Experiment E5.1: the halfsum program — T_P monotonic but NOT continuous.
+// The table shows the approximation 1 - 2^-k marching toward the least
+// fixpoint p(a, 1) that no finite iteration reaches, and the iteration
+// counts needed for each ε tolerance. Expected shape: gap halves per round;
+// iterations-to-ε grows as log2(1/ε).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace mad;
+
+double PofA(const core::ParsedRun& run) {
+  auto v = core::LookupCost(*run.program, run.result.db, "p",
+                            {datalog::Value::Symbol("a")});
+  return v.has_value() ? v->AsDouble() : -1;
+}
+
+void PrintApproximationTable() {
+  std::cout << "=== E5.1: halfsum — approximations to a fixpoint that is "
+               "only reached in the limit ===\n";
+  TablePrinter table({"iteration budget", "p(a)", "gap to fixpoint",
+                      "fixpoint reached"});
+  for (int64_t budget : {2, 4, 8, 16, 32, 52}) {
+    core::EvalOptions options;
+    options.max_iterations = budget;
+    auto run = core::ParseAndRun(workloads::kHalfsumProgram, options);
+    double v = PofA(*run);
+    table.AddRow({std::to_string(budget), StrPrintf("%.10f", v),
+                  StrPrintf("%.2e", 1.0 - v),
+                  run->result.stats.reached_fixpoint ? "yes" : "no"});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\n=== E5.1: iterations to ε-convergence ===\n";
+  TablePrinter eps_table({"epsilon", "iterations", "p(a)"});
+  for (double eps : {1e-3, 1e-6, 1e-9, 1e-12}) {
+    core::EvalOptions options;
+    options.epsilon = eps;
+    options.max_iterations = 10000;
+    auto run = core::ParseAndRun(workloads::kHalfsumProgram, options);
+    eps_table.AddRow({StrPrintf("%.0e", eps),
+                      std::to_string(run->result.stats.iterations),
+                      StrPrintf("%.12f", PofA(*run))});
+  }
+  eps_table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void BM_HalfsumToEpsilon(benchmark::State& state) {
+  double eps = std::pow(10.0, -static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    core::EvalOptions options;
+    options.epsilon = eps;
+    options.max_iterations = 10000;
+    auto run = core::ParseAndRun(workloads::kHalfsumProgram, options);
+    benchmark::DoNotOptimize(run);
+  }
+}
+
+BENCHMARK(BM_HalfsumToEpsilon)->Arg(3)->Arg(6)->Arg(9)->Arg(12);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintApproximationTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Experiment E4.3: party invitations — the "=" count aggregate through
+// recursion on cyclic acquaintance graphs. Expected shape: the direct
+// solver wins by a constant factor; attendance and iteration counts agree;
+// denser graphs converge in fewer rounds (more guests tip immediately).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+
+#include "baselines/party_solver.h"
+#include "bench_common.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace mad;
+using baselines::PartyInstance;
+using bench::CachedProgram;
+using bench::RunProgram;
+
+PartyInstance MakeParty(int n, double degree, uint64_t seed) {
+  Random rng(seed);
+  return workloads::RandomParty(n, degree, 3, 0.6, &rng);
+}
+
+void PrintComparisonTable() {
+  std::cout << "=== E4.3: party invitations — engine vs direct solver ===\n";
+  TablePrinter table({"people", "avg degree", "engine (ms)", "direct (ms)",
+                      "coming", "engine iters"});
+  const datalog::Program& program = CachedProgram(workloads::kPartyProgram);
+  for (int n : {50, 200, 800}) {
+    for (double degree : {2.0, 6.0}) {
+      PartyInstance p = MakeParty(n, degree, 31);
+      datalog::Database edb;
+      (void)workloads::AddPartyFacts(program, p, &edb);
+      auto engine_result =
+          RunProgram(program, edb, core::Strategy::kSemiNaive);
+
+      auto t0 = std::chrono::steady_clock::now();
+      auto direct = baselines::SolveParty(p);
+      double direct_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+      int coming = 0;
+      for (bool b : direct.coming) coming += b ? 1 : 0;
+
+      table.AddRow(
+          {std::to_string(n), StrPrintf("%.0f", degree),
+           StrPrintf("%.2f", engine_result.stats.wall_seconds * 1e3),
+           StrPrintf("%.3f", direct_ms), std::to_string(coming),
+           std::to_string(engine_result.stats.iterations)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void BM_Engine(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  PartyInstance p = MakeParty(n, 4.0, 31);
+  const datalog::Program& program = CachedProgram(workloads::kPartyProgram);
+  datalog::Database edb;
+  (void)workloads::AddPartyFacts(program, p, &edb);
+  for (auto _ : state) {
+    auto result = RunProgram(program, edb, core::Strategy::kSemiNaive);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_Direct(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  PartyInstance p = MakeParty(n, 4.0, 31);
+  for (auto _ : state) {
+    auto result = baselines::SolveParty(p);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void RegisterAll() {
+  for (int n : {50, 200, 800}) {
+    benchmark::RegisterBenchmark(
+        StrPrintf("BM_Party/engine/n%d", n).c_str(), BM_Engine)
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        StrPrintf("BM_Party/direct/n%d", n).c_str(), BM_Direct)
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintComparisonTable();
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Experiment S6.2: bottom-up evaluation of T_P — naive vs semi-naive vs
+// greedy across the paper's three recursive-aggregation workloads.
+// Expected shape: identical least models; semi-naive's derivation count
+// grows like the output size while naive's grows like output × rounds, so
+// the gap widens with instance size (dramatically on long chains).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace mad;
+using bench::CachedProgram;
+using bench::RunProgram;
+
+void PrintDerivationTable() {
+  std::cout << "=== S6.2: naive vs semi-naive work counts ===\n";
+  TablePrinter table({"workload", "size", "rounds", "naive derivs",
+                      "semi derivs", "ratio", "naive (ms)", "semi (ms)"});
+
+  auto add_row = [&](const char* name, int size,
+                     const datalog::Program& program,
+                     const datalog::Database& edb) {
+    auto naive = RunProgram(program, edb, core::Strategy::kNaive);
+    auto semi = RunProgram(program, edb, core::Strategy::kSemiNaive);
+    table.AddRow(
+        {name, std::to_string(size), std::to_string(naive.stats.iterations),
+         std::to_string(naive.stats.derivations),
+         std::to_string(semi.stats.derivations),
+         StrPrintf("%.1fx", static_cast<double>(naive.stats.derivations) /
+                                std::max<int64_t>(1, semi.stats.derivations)),
+         StrPrintf("%.2f", naive.stats.wall_seconds * 1e3),
+         StrPrintf("%.2f", semi.stats.wall_seconds * 1e3)});
+  };
+
+  // Long chains: the adversarial case for naive evaluation.
+  for (int len : {20, 40, 80}) {
+    Random rng(1);
+    auto g = workloads::LayeredDag(len, 1, 1, {1.0, 1.0}, &rng);
+    const datalog::Program& program =
+        CachedProgram(workloads::kShortestPathProgram);
+    datalog::Database edb;
+    (void)workloads::AddGraphFacts(program, g, &edb);
+    add_row("sp-chain", len, program, edb);
+  }
+  // Random graphs.
+  for (int n : {20, 40}) {
+    Random rng(2);
+    auto g = workloads::RandomGraph(n, 4 * n, {1.0, 9.0}, &rng);
+    const datalog::Program& program =
+        CachedProgram(workloads::kShortestPathProgram);
+    datalog::Database edb;
+    (void)workloads::AddGraphFacts(program, g, &edb);
+    add_row("sp-er", n, program, edb);
+  }
+  // Company control.
+  for (int n : {30, 60}) {
+    Random rng(3);
+    auto net = workloads::RandomOwnership(n, 4, 0.5, &rng);
+    const datalog::Program& program =
+        CachedProgram(workloads::kCompanyControlProgram);
+    datalog::Database edb;
+    (void)workloads::AddOwnershipFacts(program, net, &edb);
+    add_row("company-control", n, program, edb);
+  }
+  // Circuits.
+  for (int gates : {200, 800}) {
+    Random rng(4);
+    auto c = workloads::RandomCircuit(16, gates, 4, 0.25, &rng);
+    const datalog::Program& program =
+        CachedProgram(workloads::kCircuitProgram);
+    datalog::Database edb;
+    (void)workloads::AddCircuitFacts(program, c, &edb);
+    add_row("circuit", gates, program, edb);
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void BM_Strategy(benchmark::State& state, core::Strategy strategy) {
+  int len = static_cast<int>(state.range(0));
+  Random rng(1);
+  auto g = workloads::LayeredDag(len, 1, 1, {1.0, 1.0}, &rng);
+  const datalog::Program& program =
+      CachedProgram(workloads::kShortestPathProgram);
+  datalog::Database edb;
+  (void)workloads::AddGraphFacts(program, g, &edb);
+  for (auto _ : state) {
+    auto result = RunProgram(program, edb, strategy);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void RegisterAll() {
+  for (int len : {20, 40, 80}) {
+    benchmark::RegisterBenchmark(
+        StrPrintf("BM_Chain/naive/len%d", len).c_str(), BM_Strategy,
+        core::Strategy::kNaive)
+        ->Arg(len)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        StrPrintf("BM_Chain/seminaive/len%d", len).c_str(), BM_Strategy,
+        core::Strategy::kSemiNaive)
+        ->Arg(len)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintDerivationTable();
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Example 2.7 end-to-end: company control (recursion through sum), on the
+// Section 5.6 four-company network and on a random ownership network,
+// cross-checked against the direct solver.
+//
+// Build & run:   ./build/examples/company_control [companies] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/company_control.h"
+#include "core/engine.h"
+#include "util/table_printer.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+#include "workloads/to_datalog.h"
+
+using namespace mad;
+
+int main(int argc, char** argv) {
+  int companies = argc > 1 ? std::atoi(argv[1]) : 30;
+  uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 11;
+
+  // --- Part 1: Van Gelder's network (Section 5.6) --------------------------
+  std::cout << "== Section 5.6 network ==\n";
+  auto vg = core::ParseAndRun(std::string(workloads::kCompanyControlProgram) +
+                              R"(
+s(a, b, 0.3).
+s(a, c, 0.3).
+s(b, c, 0.6).
+s(c, b, 0.6).
+)");
+  if (!vg.ok()) {
+    std::cerr << vg.status() << "\n";
+    return 1;
+  }
+  std::cout << vg->result.db.ToString()
+            << "(note: c(a,b) and c(a,c) are FALSE in the least model — a "
+               "well-founded treatment would leave them undefined)\n\n";
+
+  // --- Part 2: random network vs direct solver -----------------------------
+  Random rng(seed);
+  baselines::OwnershipNetwork net =
+      workloads::RandomOwnership(companies, 4, 0.4, &rng);
+  auto program = datalog::ParseProgram(workloads::kCompanyControlProgram);
+  if (!program.ok()) {
+    std::cerr << program.status() << "\n";
+    return 1;
+  }
+  datalog::Database edb;
+  if (auto st = workloads::AddOwnershipFacts(*program, net, &edb); !st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  core::Engine engine(*program);
+  auto result = engine.Run(std::move(edb));
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    return 1;
+  }
+  baselines::ControlResult direct = baselines::SolveCompanyControl(net);
+
+  int engine_controls = 0;
+  if (const auto* c = result->db.Find(program->FindPredicate("c"))) {
+    engine_controls = static_cast<int>(c->size());
+  }
+  int direct_controls = 0;
+  for (const auto& row : direct.controls) {
+    for (bool b : row) direct_controls += b ? 1 : 0;
+  }
+
+  TablePrinter table({"solver", "controls-pairs", "iterations"});
+  table.AddRow({"mad engine (semi-naive)", std::to_string(engine_controls),
+                std::to_string(result->stats.iterations)});
+  table.AddRow({"direct fixpoint", std::to_string(direct_controls),
+                std::to_string(direct.iterations)});
+  table.Print(std::cout);
+
+  if (engine_controls != direct_controls) {
+    std::cerr << "BUG: engine and direct solver disagree\n";
+    return 1;
+  }
+  std::cout << "engine agrees with the direct solver on all "
+            << engine_controls << " control pairs\n";
+  return 0;
+}

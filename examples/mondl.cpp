@@ -1,0 +1,149 @@
+// mondl — a command-line runner for `.mdl` monotonic-aggregation Datalog
+// programs.
+//
+// Usage:
+//   mondl [options] program.mdl
+//
+// Options:
+//   --strategy=naive|seminaive|greedy   evaluation strategy (default seminaive)
+//   --max-iterations=N                  fixpoint round budget
+//   --epsilon=E                         numeric convergence tolerance
+//   --no-validate                       skip the static checks
+//   --check                             print the static report and exit
+//   --stats                             print evaluation statistics
+//   --dump=PRED[,PRED...]               print only these relations
+//
+// Example:
+//   ./build/examples/mondl --stats examples/shortest_path.mdl
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+using namespace mad;
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: mondl [--strategy=naive|seminaive|greedy] "
+         "[--max-iterations=N]\n"
+         "             [--epsilon=E] [--no-validate] [--check] [--stats]\n"
+         "             [--dump=PRED[,PRED...]] program.mdl\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::EvalOptions options;
+  bool check_only = false;
+  bool print_stats = false;
+  std::vector<std::string> dump;
+  std::string path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--strategy=", 0) == 0) {
+      std::string s = value_of("--strategy=");
+      if (s == "naive") {
+        options.strategy = core::Strategy::kNaive;
+      } else if (s == "seminaive") {
+        options.strategy = core::Strategy::kSemiNaive;
+      } else if (s == "greedy") {
+        options.strategy = core::Strategy::kGreedy;
+      } else {
+        return Usage();
+      }
+    } else if (arg.rfind("--max-iterations=", 0) == 0) {
+      options.max_iterations = std::stoll(value_of("--max-iterations="));
+    } else if (arg.rfind("--epsilon=", 0) == 0) {
+      options.epsilon = std::stod(value_of("--epsilon="));
+    } else if (arg == "--no-validate") {
+      options.validate = false;
+    } else if (arg == "--check") {
+      check_only = true;
+    } else if (arg == "--stats") {
+      print_stats = true;
+    } else if (arg.rfind("--dump=", 0) == 0) {
+      std::stringstream ss(value_of("--dump="));
+      std::string item;
+      while (std::getline(ss, item, ',')) dump.push_back(item);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (path.empty()) return Usage();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "mondl: cannot open " << path << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  auto program = datalog::ParseProgram(buffer.str());
+  if (!program.ok()) {
+    std::cerr << "mondl: " << program.status() << "\n";
+    return 1;
+  }
+
+  if (check_only) {
+    analysis::DependencyGraph graph(*program);
+    std::cout << analysis::CheckProgram(*program, graph).ToString();
+    return 0;
+  }
+
+  core::Engine engine(*program, options);
+  auto result = engine.Run(datalog::Database());
+  if (!result.ok()) {
+    std::cerr << "mondl: " << result.status() << "\n";
+    return 1;
+  }
+
+  if (dump.empty()) {
+    std::cout << result->db.ToString();
+  } else {
+    for (const std::string& name : dump) {
+      const datalog::PredicateInfo* pred = program->FindPredicate(name);
+      const datalog::Relation* rel =
+          pred != nullptr ? result->db.Find(pred) : nullptr;
+      if (rel == nullptr) {
+        std::cerr << "mondl: no relation '" << name << "'\n";
+        continue;
+      }
+      rel->ForEach([&](const datalog::Tuple& key, const datalog::Value& c) {
+        std::cout << name << "(";
+        for (size_t i = 0; i < key.size(); ++i) {
+          if (i > 0) std::cout << ", ";
+          std::cout << key[i].ToString();
+        }
+        if (pred->has_cost) {
+          if (!key.empty()) std::cout << ", ";
+          std::cout << c.ToString();
+        }
+        std::cout << ").\n";
+      });
+    }
+  }
+  if (print_stats) {
+    std::cerr << result->stats.ToString() << "\n";
+    if (!result->stats.reached_fixpoint) {
+      std::cerr << "mondl: warning: iteration budget exhausted before the "
+                   "fixpoint (see --max-iterations / --epsilon)\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Example 4.3 end-to-end: party invitations — a count aggregate through
+// recursion with per-guest thresholds, on a cyclic acquaintance graph.
+//
+// Build & run:   ./build/examples/party [people] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/party_solver.h"
+#include "core/engine.h"
+#include "util/table_printer.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+#include "workloads/to_datalog.h"
+
+using namespace mad;
+
+int main(int argc, char** argv) {
+  int people = argc > 1 ? std::atoi(argv[1]) : 60;
+  uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5;
+
+  // --- Part 1: the hand-written scenario -----------------------------------
+  std::cout << "== Scenario: ann needs nobody, bob & cyd need one friend, "
+               "dan needs two ==\n";
+  auto tiny = core::ParseAndRun(std::string(workloads::kPartyProgram) + R"(
+requires(ann, 0).
+requires(bob, 1).
+requires(cyd, 1).
+requires(dan, 2).
+knows(bob, cyd). knows(cyd, bob).
+knows(bob, ann). knows(cyd, ann).
+knows(dan, bob). knows(dan, cyd).
+)");
+  if (!tiny.ok()) {
+    std::cerr << tiny.status() << "\n";
+    return 1;
+  }
+  const auto* coming =
+      tiny->result.db.Find(tiny->program->FindPredicate("coming"));
+  std::cout << "coming:";
+  if (coming != nullptr) {
+    coming->ForEach([](const datalog::Tuple& key, const datalog::Value&) {
+      std::cout << " " << key[0].ToString();
+    });
+  }
+  std::cout << "\n(note the knows-relation is cyclic: bob and cyd know each "
+               "other; modular stratification would reject this)\n\n";
+
+  // --- Part 2: a random crowd vs the direct solver -------------------------
+  Random rng(seed);
+  baselines::PartyInstance instance =
+      workloads::RandomParty(people, 4.0, 3, 0.6, &rng);
+  auto program = datalog::ParseProgram(workloads::kPartyProgram);
+  if (!program.ok()) {
+    std::cerr << program.status() << "\n";
+    return 1;
+  }
+  datalog::Database edb;
+  if (auto st = workloads::AddPartyFacts(*program, instance, &edb);
+      !st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  core::Engine engine(*program);
+  auto result = engine.Run(std::move(edb));
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    return 1;
+  }
+  baselines::PartyResult direct = baselines::SolveParty(instance);
+
+  int direct_coming = 0;
+  for (bool b : direct.coming) direct_coming += b ? 1 : 0;
+  const auto* rel = result->db.Find(program->FindPredicate("coming"));
+  int engine_coming = rel != nullptr ? static_cast<int>(rel->size()) : 0;
+
+  TablePrinter table({"solver", "guests coming", "iterations"});
+  table.AddRow({"mad engine", std::to_string(engine_coming),
+                std::to_string(result->stats.iterations)});
+  table.AddRow({"direct fixpoint", std::to_string(direct_coming),
+                std::to_string(direct.iterations)});
+  table.Print(std::cout);
+  if (engine_coming != direct_coming) {
+    std::cerr << "BUG: engine and direct solver disagree\n";
+    return 1;
+  }
+  std::cout << "engine agrees with the direct solver (" << engine_coming
+            << "/" << people << " guests attend)\n";
+  return 0;
+}

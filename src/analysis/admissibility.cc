@@ -1,0 +1,667 @@
+#include "analysis/admissibility.h"
+
+#include <algorithm>
+
+#include "lattice/cost_domain.h"
+#include "util/string_util.h"
+
+namespace mad {
+namespace analysis {
+
+using datalog::Atom;
+using datalog::CmpOp;
+using datalog::Expr;
+using datalog::Rule;
+using datalog::Subgoal;
+using datalog::Term;
+using lattice::CostDomain;
+using lattice::Monotonicity;
+using lattice::NumericDomain;
+
+const char* SignName(Sign s) {
+  switch (s) {
+    case Sign::kFixed:
+      return "fixed";
+    case Sign::kUp:
+      return "non-decreasing";
+    case Sign::kDown:
+      return "non-increasing";
+    case Sign::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+Sign Negate(Sign s) {
+  switch (s) {
+    case Sign::kUp:
+      return Sign::kDown;
+    case Sign::kDown:
+      return Sign::kUp;
+    default:
+      return s;
+  }
+}
+
+/// Sign of a sum of two signed quantities.
+Sign AddSigns(Sign a, Sign b) {
+  if (a == Sign::kFixed) return b;
+  if (b == Sign::kFixed) return a;
+  if (a == b) return a;
+  return Sign::kUnknown;
+}
+
+/// Variables occurring in non-built-in body subgoals (these are pinned by
+/// Definition 4.3's partial assignment and may not be redefined).
+std::set<std::string> NonBuiltinVars(const Rule& rule) {
+  std::set<std::string> out;
+  for (const Subgoal& sg : rule.body) {
+    if (sg.kind == Subgoal::Kind::kBuiltin) continue;
+    for (const std::string& v : sg.Vars()) out.insert(v);
+  }
+  return out;
+}
+
+/// True iff the numeric domain exists and is ascending; set-valued or
+/// missing domains yield nullopt (no numeric sign applies).
+std::optional<bool> NumericAscending(const CostDomain* domain) {
+  const auto* num = dynamic_cast<const NumericDomain*>(domain);
+  if (num == nullptr) return std::nullopt;
+  return num->ascending();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PolarityAnalysis
+// ---------------------------------------------------------------------------
+
+PolarityAnalysis::PolarityAnalysis(const Rule& rule,
+                                   std::map<std::string, Sign> seeds)
+    : rule_(&rule), signs_(std::move(seeds)) {
+  std::set<std::string> pinned = NonBuiltinVars(rule);
+  for (const std::string& v : rule.AllVars()) {
+    if (!signs_.count(v)) signs_[v] = Sign::kFixed;
+    if (!pinned.count(v)) definable_.insert(v);
+  }
+  Propagate();
+}
+
+Sign PolarityAnalysis::SignOf(const std::string& var) const {
+  auto it = signs_.find(var);
+  return it == signs_.end() ? Sign::kFixed : it->second;
+}
+
+Sign PolarityAnalysis::ExprSign(const Expr& e) const {
+  switch (e.kind) {
+    case Expr::Kind::kConst:
+      return Sign::kFixed;
+    case Expr::Kind::kVar:
+      return SignOf(e.var);
+    case Expr::Kind::kAdd:
+    case Expr::Kind::kMin2:
+    case Expr::Kind::kMax2:
+      // All monotone-nondecreasing in both arguments.
+      return AddSigns(ExprSign(*e.lhs), ExprSign(*e.rhs));
+    case Expr::Kind::kSub:
+      return AddSigns(ExprSign(*e.lhs), Negate(ExprSign(*e.rhs)));
+    case Expr::Kind::kMul: {
+      // Sound only when one side is a constant of known sign.
+      auto signed_const = [](const Expr& c) -> std::optional<double> {
+        if (c.kind != Expr::Kind::kConst) return std::nullopt;
+        if (!(c.constant.is_numeric() || c.constant.is_bool())) {
+          return std::nullopt;
+        }
+        return c.constant.AsDouble();
+      };
+      Sign ls = ExprSign(*e.lhs);
+      Sign rs = ExprSign(*e.rhs);
+      if (ls == Sign::kFixed && rs == Sign::kFixed) return Sign::kFixed;
+      if (auto c = signed_const(*e.lhs)) {
+        return *c >= 0 ? rs : Negate(rs);
+      }
+      if (auto c = signed_const(*e.rhs)) {
+        return *c >= 0 ? ls : Negate(ls);
+      }
+      return Sign::kUnknown;
+    }
+    case Expr::Kind::kDiv: {
+      Sign ls = ExprSign(*e.lhs);
+      Sign rs = ExprSign(*e.rhs);
+      if (ls == Sign::kFixed && rs == Sign::kFixed) return Sign::kFixed;
+      if (e.rhs->kind == Expr::Kind::kConst &&
+          (e.rhs->constant.is_numeric() || e.rhs->constant.is_bool())) {
+        double c = e.rhs->constant.AsDouble();
+        if (c > 0) return ls;
+        if (c < 0) return Negate(ls);
+      }
+      return Sign::kUnknown;
+    }
+  }
+  return Sign::kUnknown;
+}
+
+void PolarityAnalysis::Propagate() {
+  // Repeatedly fold defining equalities V = expr (V definable) until signs
+  // stabilize. A chain like C2 = C1 + 1, C3 = 2 * C2 needs the loop.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < static_cast<int>(rule_->body.size()); ++i) {
+      const Subgoal& sg = rule_->body[i];
+      if (sg.kind != Subgoal::Kind::kBuiltin) continue;
+      if (sg.builtin.op != CmpOp::kEq) continue;
+      auto try_define = [&](const Expr& lhs, const Expr& rhs) {
+        if (lhs.kind != Expr::Kind::kVar) return;
+        if (!definable_.count(lhs.var)) return;
+        Sign s = ExprSign(rhs);
+        if (signs_[lhs.var] != s && signs_[lhs.var] == Sign::kFixed) {
+          signs_[lhs.var] = s;
+          defining_builtins_.insert(i);
+          changed = true;
+        }
+      };
+      try_define(*sg.builtin.lhs, *sg.builtin.rhs);
+      try_define(*sg.builtin.rhs, *sg.builtin.lhs);
+    }
+  }
+}
+
+Status PolarityAnalysis::CheckComparisons() const {
+  for (int i = 0; i < static_cast<int>(rule_->body.size()); ++i) {
+    const Subgoal& sg = rule_->body[i];
+    if (sg.kind != Subgoal::Kind::kBuiltin) continue;
+    if (defining_builtins_.count(i)) continue;
+
+    Sign ls = ExprSign(*sg.builtin.lhs);
+    Sign rs = ExprSign(*sg.builtin.rhs);
+    if (ls == Sign::kFixed && rs == Sign::kFixed) continue;
+
+    Sign diff = AddSigns(ls, Negate(rs));  // sign of (lhs - rhs)
+    bool ok = false;
+    switch (sg.builtin.op) {
+      case CmpOp::kGt:
+      case CmpOp::kGe:
+        // lhs - rhs only grows: once satisfied, stays satisfied.
+        ok = diff == Sign::kUp || diff == Sign::kFixed;
+        break;
+      case CmpOp::kLt:
+      case CmpOp::kLe:
+        ok = diff == Sign::kDown || diff == Sign::kFixed;
+        break;
+      case CmpOp::kEq:
+      case CmpOp::kNe:
+        ok = diff == Sign::kFixed;
+        break;
+    }
+    if (!ok) {
+      return Status::AnalysisError(StrPrintf(
+          "built-in subgoal '%s' is not monotonic: the comparison can flip "
+          "as CDB cost values grow (lhs %s, rhs %s)",
+          sg.builtin.ToString().c_str(), SignName(ls), SignName(rs)));
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Admissibility (Definition 4.5)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// CDB cost variables of a rule (Section 4.2): variables in cost arguments
+/// of CDB atoms plus aggregate variables of CDB aggregates. Returns for each
+/// variable the domain that drives its growth direction.
+std::map<std::string, const CostDomain*> CdbCostVars(
+    const Rule& rule, const DependencyGraph& graph) {
+  std::map<std::string, const CostDomain*> out;
+  for (const Subgoal& sg : rule.body) {
+    switch (sg.kind) {
+      case Subgoal::Kind::kAtom:
+      case Subgoal::Kind::kNegatedAtom: {
+        if (!graph.IsCdbFor(rule, sg.atom.pred)) break;
+        const Term* cost = sg.atom.CostTerm();
+        if (cost != nullptr && cost->is_var()) {
+          out.emplace(cost->var, sg.atom.pred->domain);
+        }
+        break;
+      }
+      case Subgoal::Kind::kAggregate: {
+        bool cdb = false;
+        for (const Atom& a : sg.aggregate.atoms) {
+          cdb = cdb || graph.IsCdbFor(rule, a.pred);
+        }
+        if (cdb && sg.aggregate.result.is_var()) {
+          out.emplace(sg.aggregate.result.var,
+                      sg.aggregate.function->output_domain());
+        }
+        break;
+      }
+      case Subgoal::Kind::kBuiltin:
+        break;
+    }
+  }
+  return out;
+}
+
+void Fail(RuleAdmissibility* out, bool RuleAdmissibility::*field,
+          std::string diagnostic) {
+  out->*field = false;
+  if (out->diagnostic.empty()) out->diagnostic = std::move(diagnostic);
+}
+
+}  // namespace
+
+RuleAdmissibility CheckRuleAdmissible(const Rule& rule,
+                                      const DependencyGraph& graph) {
+  RuleAdmissibility out;
+
+  // --- Well typed: cost constants must live in the declared domains, and
+  // aggregate result domains must agree with the head domain when the result
+  // flows directly into the head cost argument.
+  auto check_atom_types = [&](const Atom& a) {
+    const Term* cost = a.CostTerm();
+    if (cost != nullptr && cost->is_const() &&
+        !a.pred->domain->Contains(cost->constant)) {
+      Fail(&out, &RuleAdmissibility::well_typed,
+           StrPrintf("cost constant %s outside domain %s in atom %s",
+                     cost->constant.ToString().c_str(),
+                     std::string(a.pred->domain->name()).c_str(),
+                     a.ToString().c_str()));
+    }
+  };
+  check_atom_types(rule.head);
+  for (const Subgoal& sg : rule.body) {
+    if (sg.kind == Subgoal::Kind::kAtom ||
+        sg.kind == Subgoal::Kind::kNegatedAtom) {
+      check_atom_types(sg.atom);
+    } else if (sg.kind == Subgoal::Kind::kAggregate) {
+      for (const Atom& a : sg.aggregate.atoms) check_atom_types(a);
+    }
+  }
+
+  // --- Well formed (Definition 4.2). Item 1 (no built-ins inside aggregate
+  // subgoals) holds by construction of the grammar.
+  std::map<std::string, const CostDomain*> cdb_vars =
+      CdbCostVars(rule, graph);
+
+  // Item 2: only variables in cost arguments of CDB predicates and in
+  // aggregate results.
+  auto check_cost_is_var = [&](const Atom& a, const char* where) {
+    if (!graph.IsCdbFor(rule, a.pred)) return;
+    const Term* cost = a.CostTerm();
+    if (cost != nullptr && !cost->is_var()) {
+      Fail(&out, &RuleAdmissibility::well_formed,
+           StrPrintf("constant in cost argument of CDB atom %s (%s); "
+                     "Definition 4.2(2) requires a variable",
+                     a.ToString().c_str(), where));
+    }
+  };
+  check_cost_is_var(rule.head, "head");
+  for (const Subgoal& sg : rule.body) {
+    if (sg.kind == Subgoal::Kind::kAtom ||
+        sg.kind == Subgoal::Kind::kNegatedAtom) {
+      check_cost_is_var(sg.atom, "body");
+    } else if (sg.kind == Subgoal::Kind::kAggregate) {
+      for (const Atom& a : sg.aggregate.atoms) check_cost_is_var(a, "aggregate");
+      if (!sg.aggregate.result.is_var()) {
+        bool cdb = false;
+        for (const Atom& a : sg.aggregate.atoms) {
+          cdb = cdb || graph.IsCdbFor(rule, a.pred);
+        }
+        if (cdb) {
+          Fail(&out, &RuleAdmissibility::well_formed,
+               StrPrintf("constant aggregate result in '%s'; Definition "
+                         "4.2(2) requires a variable",
+                         sg.aggregate.ToString().c_str()));
+        }
+      }
+    }
+  }
+
+  // Item 3: each CDB cost variable occurs at most once among the non-built-in
+  // subgoals.
+  for (const auto& [var, _] : cdb_vars) {
+    int occurrences = 0;
+    for (const Subgoal& sg : rule.body) {
+      if (sg.kind == Subgoal::Kind::kBuiltin) continue;
+      std::vector<std::string> vars = sg.Vars();
+      occurrences += static_cast<int>(
+          std::count(vars.begin(), vars.end(), var));
+    }
+    if (occurrences > 1) {
+      Fail(&out, &RuleAdmissibility::well_formed,
+           StrPrintf("CDB cost variable %s occurs %d times among non-built-in "
+                     "subgoals; Definition 4.2(3) allows one",
+                     var.c_str(), occurrences));
+    }
+  }
+
+  // --- Negation: monotone components may negate LDB predicates only
+  // (Proposition 6.1).
+  for (const Subgoal& sg : rule.body) {
+    if (sg.kind != Subgoal::Kind::kNegatedAtom) continue;
+    if (graph.IsCdbFor(rule, sg.atom.pred)) {
+      Fail(&out, &RuleAdmissibility::negation_ok,
+           StrPrintf("negated CDB subgoal !%s: negation through recursion is "
+                     "outside the monotone semantics",
+                     sg.atom.ToString().c_str()));
+    }
+  }
+
+  // --- Aggregate condition of Definition 4.5.
+  for (const Subgoal& sg : rule.body) {
+    if (sg.kind != Subgoal::Kind::kAggregate) continue;
+    bool cdb = false;
+    for (const Atom& a : sg.aggregate.atoms) {
+      cdb = cdb || graph.IsCdbFor(rule, a.pred);
+    }
+    if (!cdb) continue;  // LDB aggregates are unrestricted
+    switch (sg.aggregate.function->monotonicity()) {
+      case Monotonicity::kMonotonic:
+        break;
+      case Monotonicity::kPseudoMonotonic: {
+        for (const Atom& a : sg.aggregate.atoms) {
+          if (graph.IsCdbFor(rule, a.pred) && !a.pred->has_default) {
+            Fail(&out, &RuleAdmissibility::aggregates_ok,
+                 StrPrintf("pseudo-monotonic aggregate '%s' over CDB "
+                           "predicate %s, which is not a default-value cost "
+                           "predicate (Definition 4.5)",
+                           sg.aggregate.function_name.c_str(),
+                           a.pred->name.c_str()));
+          }
+        }
+        break;
+      }
+      case Monotonicity::kNone:
+        Fail(&out, &RuleAdmissibility::aggregates_ok,
+             StrPrintf("aggregate '%s' is not monotonic on its domain and "
+                       "appears in a CDB aggregate subgoal",
+                       sg.aggregate.function_name.c_str()));
+        break;
+    }
+  }
+
+  // --- Built-in monotonicity (Definition 4.4 sufficient conditions).
+  std::map<std::string, Sign> seeds;
+  bool sign_analysis_possible = true;
+  for (const auto& [var, domain] : cdb_vars) {
+    std::optional<bool> asc = NumericAscending(domain);
+    if (!asc.has_value()) {
+      // Set-valued CDB cost variable: fine as long as it never enters a
+      // built-in subgoal and flows into a same-domain head position.
+      seeds[var] = Sign::kUnknown;
+      sign_analysis_possible = false;
+      continue;
+    }
+    seeds[var] = *asc ? Sign::kUp : Sign::kDown;
+  }
+  PolarityAnalysis polarity(rule, std::move(seeds));
+  Status cmp = polarity.CheckComparisons();
+  if (!cmp.ok()) {
+    Fail(&out, &RuleAdmissibility::builtins_monotonic,
+         std::string(cmp.message()));
+  }
+
+  // Head cost growth must align with the head's lattice direction.
+  if (rule.head.pred->has_cost && rule.head.args.back().is_var()) {
+    const std::string& hv = rule.head.args.back().var;
+    auto cdb_it = cdb_vars.find(hv);
+    if (cdb_it != cdb_vars.end() &&
+        cdb_it->second == rule.head.pred->domain) {
+      // Direct pass-through of a same-lattice CDB value (covers set-valued
+      // domains too): grows with J by construction.
+    } else {
+      std::optional<bool> head_asc =
+          NumericAscending(rule.head.pred->domain);
+      Sign hs = polarity.SignOf(hv);
+      bool ok = head_asc.has_value()
+                    ? (hs == Sign::kFixed ||
+                       hs == (*head_asc ? Sign::kUp : Sign::kDown))
+                    : hs == Sign::kFixed;
+      if (!ok || (!sign_analysis_possible && hs == Sign::kUnknown)) {
+        Fail(&out, &RuleAdmissibility::builtins_monotonic,
+             StrPrintf("head cost variable %s grows %s, which does not align "
+                       "with the head lattice %s",
+                       hv.c_str(), SignName(hs),
+                       std::string(rule.head.pred->domain->name()).c_str()));
+      }
+    }
+  }
+
+  return out;
+}
+
+Status CheckAdmissible(const datalog::Program& program,
+                       const DependencyGraph& graph) {
+  for (const Rule& rule : program.rules()) {
+    RuleAdmissibility a = CheckRuleAdmissible(rule, graph);
+    if (!a.admissible()) {
+      return Status::AnalysisError(
+          StrPrintf("rule '%s' (line %d) is not admissible: %s",
+                    rule.ToString().c_str(), rule.source_line,
+                    a.diagnostic.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Update-time monotonicity (Engine::Update's precondition)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One growing value source inside a rule: a cost variable together with
+/// its growth direction and the predicates to blame if a rule consumes it
+/// antitonically.
+struct ValueSource {
+  std::string var;
+  Sign direction = Sign::kUnknown;
+  std::vector<const datalog::PredicateInfo*> blamed;
+  /// True for aggregate results: even *new* rows in the blamed predicates
+  /// move the value, so a violation is fatal rather than merely making the
+  /// blamed predicates increase-unsafe.
+  bool from_aggregate = false;
+  /// True when the value flows unchanged into a same-lattice head position
+  /// and is otherwise unused — aligned by construction (covers set
+  /// lattices, where no numeric sign exists).
+  bool aligned_pass_through = false;
+};
+
+/// Checks the rule with only `source.var` treated as growing. Returns OK
+/// if every comparison stays satisfied and the head stays aligned.
+Status CheckSource(const Rule& rule, const ValueSource& source) {
+  if (source.aligned_pass_through) return Status::OK();
+  PolarityAnalysis polarity(rule, {{source.var, source.direction}});
+  MAD_RETURN_IF_ERROR(polarity.CheckComparisons());
+  if (rule.head.pred->has_cost && rule.head.args.back().is_var()) {
+    Sign hs = polarity.SignOf(rule.head.args.back().var);
+    std::optional<bool> head_asc = NumericAscending(rule.head.pred->domain);
+    bool ok = head_asc.has_value()
+                  ? (hs == Sign::kFixed ||
+                     hs == (*head_asc ? Sign::kUp : Sign::kDown))
+                  : hs == Sign::kFixed;
+    if (!ok) {
+      return Status::InvalidArgument(StrPrintf(
+          "value %s grows %s but the head lattice '%s' disagrees",
+          source.var.c_str(), SignName(hs),
+          std::string(rule.head.pred->domain->name()).c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+UpdateSafety AnalyzeUpdateSafety(const datalog::Program& program) {
+  UpdateSafety out;
+  for (const Rule& rule : program.rules()) {
+    // Which variables appear in built-ins (disqualifies pass-through).
+    std::set<std::string> builtin_vars;
+    // Non-built-in occurrence counts (a cost value joined in two places is
+    // increase-sensitive at both sources).
+    std::map<std::string, int> occurrences;
+    for (const Subgoal& sg : rule.body) {
+      if (sg.kind == Subgoal::Kind::kBuiltin) {
+        for (const std::string& v : sg.builtin.Vars()) builtin_vars.insert(v);
+      } else {
+        for (const std::string& v : sg.Vars()) ++occurrences[v];
+      }
+    }
+    const Term* head_cost =
+        rule.head.pred->has_cost ? &rule.head.args.back() : nullptr;
+
+    std::vector<ValueSource> sources;
+    for (const Subgoal& sg : rule.body) {
+      switch (sg.kind) {
+        case Subgoal::Kind::kNegatedAtom:
+          out.basic = Status::InvalidArgument(StrPrintf(
+              "rule '%s' (line %d): negation makes insert-only maintenance "
+              "unsound",
+              rule.ToString().c_str(), rule.source_line));
+          return out;
+        case Subgoal::Kind::kAtom: {
+          const Term* cost = sg.atom.CostTerm();
+          if (cost == nullptr || !cost->is_var()) break;
+          ValueSource src;
+          src.var = cost->var;
+          src.blamed = {sg.atom.pred};
+          std::optional<bool> asc = NumericAscending(sg.atom.pred->domain);
+          src.direction = asc.has_value()
+                              ? (*asc ? Sign::kUp : Sign::kDown)
+                              : Sign::kUnknown;
+          src.aligned_pass_through =
+              head_cost != nullptr && head_cost->is_var() &&
+              head_cost->var == src.var &&
+              sg.atom.pred->domain == rule.head.pred->domain &&
+              !builtin_vars.count(src.var) && occurrences[src.var] == 1;
+          sources.push_back(std::move(src));
+          break;
+        }
+        case Subgoal::Kind::kAggregate: {
+          const auto& agg = sg.aggregate;
+          // A new inner row may shrink a non-monotonic aggregate (AND
+          // gaining a 0 input): fatal regardless of how the result is used.
+          if (agg.function->monotonicity() != Monotonicity::kMonotonic) {
+            out.basic = Status::InvalidArgument(StrPrintf(
+                "rule '%s' (line %d): aggregate '%s' is not fully monotonic;"
+                " an inserted inner row could lower its value",
+                rule.ToString().c_str(), rule.source_line,
+                agg.function_name.c_str()));
+            return out;
+          }
+          if (!agg.result.is_var()) break;
+          ValueSource src;
+          src.var = agg.result.var;
+          src.from_aggregate = true;
+          for (const Atom& a : agg.atoms) src.blamed.push_back(a.pred);
+          std::optional<bool> asc =
+              NumericAscending(agg.function->output_domain());
+          src.direction = asc.has_value()
+                              ? (*asc ? Sign::kUp : Sign::kDown)
+                              : Sign::kUnknown;
+          src.aligned_pass_through =
+              head_cost != nullptr && head_cost->is_var() &&
+              head_cost->var == src.var &&
+              agg.function->output_domain() == rule.head.pred->domain &&
+              !builtin_vars.count(src.var) && occurrences[src.var] == 1;
+          sources.push_back(std::move(src));
+          break;
+        }
+        case Subgoal::Kind::kBuiltin:
+          break;
+      }
+    }
+
+    for (const ValueSource& src : sources) {
+      // A cost value joined across several non-built-in subgoals is
+      // increase-sensitive: raising it breaks the old join bindings.
+      bool joined = occurrences[src.var] > 1;
+      Status check = joined ? Status::InvalidArgument(StrPrintf(
+                                  "value %s joins multiple subgoals",
+                                  src.var.c_str()))
+                            : CheckSource(rule, src);
+      if (check.ok()) continue;
+      if (src.from_aggregate) {
+        // New rows in the inner predicates already move the aggregate;
+        // no insert is safe.
+        out.basic = Status::InvalidArgument(StrPrintf(
+            "rule '%s' (line %d): aggregate value %s is used antitonically "
+            "(%s); inserts into its inner predicates are unsound",
+            rule.ToString().c_str(), rule.source_line, src.var.c_str(),
+            check.message().c_str()));
+        return out;
+      }
+      for (const datalog::PredicateInfo* p : src.blamed) {
+        out.increase_unsafe.insert(p);
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// r-monotonicity (Definition 5.1, Mumick et al.)
+// ---------------------------------------------------------------------------
+
+bool IsRuleRMonotonic(const Rule& rule) {
+  std::map<std::string, Sign> seeds;
+  std::set<std::string> aggregate_vars;
+  for (const Subgoal& sg : rule.body) {
+    if (sg.kind == Subgoal::Kind::kNegatedAtom) return false;
+    if (sg.kind != Subgoal::Kind::kAggregate) continue;
+    const auto& agg = sg.aggregate;
+    if (!agg.result.is_var()) return false;
+    aggregate_vars.insert(agg.result.var);
+    // Aggregate values may not flow into the head: Mumick et al. treat an
+    // earlier head tuple with the old value as invalidated, which is
+    // exactly what r-monotonicity forbids.
+    for (const Term& t : rule.head.args) {
+      if (t.is_var() && t.var == agg.result.var) return false;
+    }
+    std::optional<bool> asc =
+        NumericAscending(agg.function->output_domain());
+    if (!asc.has_value()) return false;
+    // As tuples are *added* to the aggregated relations, the aggregate moves
+    // up its output lattice; numerically that is up for ascending lattices
+    // and down for descending ones.
+    seeds[agg.result.var] = *asc ? Sign::kUp : Sign::kDown;
+  }
+  // Mumick et al.'s syntactic test additionally requires that an aggregate
+  // value be compared only against *ground* (variable-free) expressions —
+  // this is exactly why the paper classifies Example 4.3 (N >= K with K a
+  // requires-variable) as not r-monotonic, despite our Definition 4.4
+  // admitting it.
+  for (const Subgoal& sg : rule.body) {
+    if (sg.kind != Subgoal::Kind::kBuiltin) continue;
+    std::vector<std::string> vars = sg.builtin.Vars();
+    bool mentions_aggregate = false;
+    for (const std::string& v : vars) {
+      mentions_aggregate = mentions_aggregate || aggregate_vars.count(v) > 0;
+    }
+    if (!mentions_aggregate) continue;
+    for (const std::string& v : vars) {
+      if (!aggregate_vars.count(v)) return false;
+    }
+  }
+
+  // Cost values of ordinary subgoals are ordinary columns for Mumick et al.;
+  // adding tuples does not change existing bindings, so everything else is
+  // fixed and only the aggregate-fed comparisons matter.
+  PolarityAnalysis polarity(rule, std::move(seeds));
+  return polarity.CheckComparisons().ok();
+}
+
+bool IsProgramRMonotonic(const datalog::Program& program) {
+  for (const Rule& rule : program.rules()) {
+    if (!IsRuleRMonotonic(rule)) return false;
+  }
+  return true;
+}
+
+}  // namespace analysis
+}  // namespace mad

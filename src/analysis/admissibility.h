@@ -1,0 +1,126 @@
+#ifndef MAD_ANALYSIS_ADMISSIBILITY_H_
+#define MAD_ANALYSIS_ADMISSIBILITY_H_
+
+#include <map>
+#include <string>
+
+#include "analysis/dependency_graph.h"
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace mad {
+namespace analysis {
+
+/// Numeric growth direction of a variable's value as the CDB interpretation
+/// J grows in ⊑ (used by the Definition 4.4 sufficient conditions).
+enum class Sign {
+  kFixed,    ///< value identical under σ1 and σ2 (LDB / key variables)
+  kUp,       ///< numerically non-decreasing
+  kDown,     ///< numerically non-increasing
+  kUnknown,  ///< cannot be bounded — conservative failure
+};
+
+const char* SignName(Sign s);
+
+/// Derives growth signs for all rule variables from seed signs (typically:
+/// CDB cost variables get kUp/kDown from their lattice direction, everything
+/// else kFixed) by propagating through built-in equalities that *define*
+/// variables, then validates that every remaining built-in comparison stays
+/// satisfiable as the CDB values grow. This is the checkable sufficient
+/// condition for "E_r is monotonic" (Definition 4.4).
+class PolarityAnalysis {
+ public:
+  /// `seeds` assigns signs to some variables; all other variables start
+  /// kFixed. `defined_exempt` names variables that may be (re)defined by
+  /// built-ins (everything not occurring in a non-built-in subgoal).
+  PolarityAnalysis(const datalog::Rule& rule,
+                   std::map<std::string, Sign> seeds);
+
+  /// Growth sign of `var` after propagation.
+  Sign SignOf(const std::string& var) const;
+
+  /// Checks all non-defining comparisons; returns OK or a diagnosis of the
+  /// first comparison that could flip from satisfied to unsatisfied.
+  Status CheckComparisons() const;
+
+  /// Sign of an arbitrary expression under the derived variable signs.
+  Sign ExprSign(const datalog::Expr& e) const;
+
+ private:
+  void Propagate();
+
+  const datalog::Rule* rule_;
+  std::map<std::string, Sign> signs_;
+  /// Variables eligible for definition by built-in equalities.
+  std::set<std::string> definable_;
+  /// Builtin indices consumed as definitions (not checks).
+  std::set<int> defining_builtins_;
+};
+
+/// Detailed admissibility verdict for a single rule (Definition 4.5),
+/// relative to the component structure in `graph`.
+struct RuleAdmissibility {
+  bool well_typed = true;
+  bool well_formed = true;
+  bool aggregates_ok = true;
+  bool builtins_monotonic = true;
+  bool negation_ok = true;
+  std::string diagnostic;  ///< first failure, empty when admissible
+
+  bool admissible() const {
+    return well_typed && well_formed && aggregates_ok && builtins_monotonic &&
+           negation_ok;
+  }
+};
+
+/// Checks one rule against Definition 4.5 (well typed + well formed +
+/// aggregate monotonicity/pseudo-monotonicity + monotone built-ins) and the
+/// Proposition 6.1 restriction (no negated CDB subgoals).
+RuleAdmissibility CheckRuleAdmissible(const datalog::Rule& rule,
+                                      const DependencyGraph& graph);
+
+/// Checks every rule; per Lemma 4.1 an all-admissible program is monotonic.
+Status CheckAdmissible(const datalog::Program& program,
+                       const DependencyGraph& graph);
+
+/// Safety analysis behind incremental insert-only maintenance
+/// (Engine::Update). Batch evaluation fixes the LDB, so admissibility
+/// (Definition 4.5) only constrains CDB cost variables; during incremental
+/// updates *every* relation can move up its lattice, which needs more:
+///
+///  * `basic` is an error when no sequence of updates is maintainable —
+///    negation (inserts can invalidate negative support), non-monotonic or
+///    pseudo-monotonic aggregates (a new inner row can lower the aggregate:
+///    think AND gaining a 0 input), or an aggregate value used antitonically
+///    (a new inner row raises a count used under `<`).
+///  * `increase_unsafe` lists predicates whose *existing keys'* values may
+///    not increase during an update: some rule consumes their cost
+///    variables antitonically (e.g. an ascending count feeding a min_real
+///    head via C = N + 1, or a threshold compared with `>=`), or joins on
+///    the raw cost value. Inserting fresh keys for these predicates is
+///    still fine — new keys only add ground instances.
+struct UpdateSafety {
+  Status basic;
+  std::set<const datalog::PredicateInfo*> increase_unsafe;
+
+  bool IncreaseUnsafe(const datalog::PredicateInfo* p) const {
+    return increase_unsafe.count(p) > 0;
+  }
+};
+
+UpdateSafety AnalyzeUpdateSafety(const datalog::Program& program);
+
+/// Syntactic r-monotonicity in the sense of Mumick et al. (Definition 5.1):
+/// adding tuples to body relations can only add head tuples. True iff the
+/// rule has no negation, no aggregate value flowing into the head, and
+/// aggregate values appear only in comparisons that stay satisfied as the
+/// aggregate grows in its output order.
+bool IsRuleRMonotonic(const datalog::Rule& rule);
+
+/// True iff every rule is r-monotonic.
+bool IsProgramRMonotonic(const datalog::Program& program);
+
+}  // namespace analysis
+}  // namespace mad
+
+#endif  // MAD_ANALYSIS_ADMISSIBILITY_H_

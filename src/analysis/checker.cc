@@ -1,0 +1,97 @@
+#include "analysis/checker.h"
+
+#include "analysis/admissibility.h"
+#include "analysis/conflict_free.h"
+#include "analysis/cost_respecting.h"
+#include "analysis/range_restriction.h"
+#include "util/string_util.h"
+
+namespace mad {
+namespace analysis {
+
+Status ProgramCheckResult::overall() const {
+  MAD_RETURN_IF_ERROR(range_restricted);
+  MAD_RETURN_IF_ERROR(conflict_free);
+  for (const ComponentVerdict& c : components) {
+    // Non-recursive components and plain positive recursion are always fine;
+    // recursion through aggregation/negation needs the monotone guarantee.
+    if ((c.recursive_aggregation || c.recursive_negation) && !c.monotonic) {
+      return Status::AnalysisError(StrPrintf(
+          "component %d (%s) recurses through %s but is not monotonic: %s",
+          c.index, Join(c.predicate_names, ", ").c_str(),
+          c.recursive_negation ? "negation" : "aggregation",
+          c.diagnostic.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+std::string ProgramCheckResult::ToString() const {
+  std::string out;
+  out += "range-restricted: " + range_restricted.ToString() + "\n";
+  out += "cost-respecting:  " + cost_respecting.ToString() + "\n";
+  out += "conflict-free:    " + conflict_free.ToString() + "\n";
+  out += "admissible:       " + admissible.ToString() + "\n";
+  out += StrPrintf("r-monotonic (Mumick et al.): %s\n",
+                   r_monotonic ? "yes" : "no");
+  for (const ComponentVerdict& c : components) {
+    out += StrPrintf("component %d [%s]:%s%s%s monotonic=%s", c.index,
+                     Join(c.predicate_names, ", ").c_str(),
+                     c.recursive ? " recursive" : "",
+                     c.recursive_aggregation ? " thru-aggregation" : "",
+                     c.recursive_negation ? " thru-negation" : "",
+                     c.monotonic ? "yes" : "no");
+    if (!c.diagnostic.empty()) out += " (" + c.diagnostic + ")";
+    out += "\n";
+  }
+  out += StrPrintf("termination: %s\n",
+                   termination.AllGuaranteed()
+                       ? "guaranteed for every component"
+                       : "not guaranteed (see max_iterations/epsilon)");
+  return out;
+}
+
+ProgramCheckResult CheckProgram(const datalog::Program& program,
+                                const DependencyGraph& graph) {
+  ProgramCheckResult result;
+  result.range_restricted = CheckRangeRestricted(program);
+  result.cost_respecting = CheckCostRespecting(program);
+  result.conflict_free = CheckConflictFree(program);
+  result.admissible = CheckAdmissible(program, graph);
+  result.r_monotonic = IsProgramRMonotonic(program);
+  result.termination = AnalyzeTermination(program, graph);
+
+  for (const Component& comp : graph.components()) {
+    ComponentVerdict v;
+    v.index = comp.index;
+    for (const PredicateInfo* p : comp.predicates) {
+      v.predicate_names.push_back(p->name);
+    }
+    v.recursive = comp.recursive;
+    v.recursive_aggregation = comp.recursive_aggregation;
+    v.recursive_negation = comp.recursive_negation;
+    v.monotonic = !comp.recursive_negation;
+    for (int ri : comp.rule_indices) {
+      RuleAdmissibility a =
+          CheckRuleAdmissible(program.rules()[ri], graph);
+      if (!a.admissible()) {
+        v.monotonic = false;
+        if (v.diagnostic.empty()) v.diagnostic = a.diagnostic;
+      }
+    }
+    if (comp.recursive_negation && v.diagnostic.empty()) {
+      v.diagnostic = "recursion through negation";
+    }
+    result.components.push_back(std::move(v));
+  }
+  return result;
+}
+
+Status ValidateForEvaluation(const datalog::Program& program) {
+  DependencyGraph graph(program);
+  ProgramCheckResult result = CheckProgram(program, graph);
+  return result.overall();
+}
+
+}  // namespace analysis
+}  // namespace mad

@@ -1,0 +1,62 @@
+#ifndef MAD_ANALYSIS_CHECKER_H_
+#define MAD_ANALYSIS_CHECKER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/dependency_graph.h"
+#include "analysis/termination.h"
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace mad {
+namespace analysis {
+
+/// Verdict for one program component (SCC).
+struct ComponentVerdict {
+  int index = -1;
+  std::vector<std::string> predicate_names;
+  bool recursive = false;
+  bool recursive_aggregation = false;
+  bool recursive_negation = false;
+  /// All rules of the component are admissible (Definition 4.5) and no CDB
+  /// negation occurs — by Lemma 4.1 T_P is then monotonic and the least
+  /// fixpoint exists (Proposition 3.3).
+  bool monotonic = false;
+  /// First admissibility diagnostic if !monotonic.
+  std::string diagnostic;
+};
+
+/// Complete static report for a program.
+struct ProgramCheckResult {
+  Status range_restricted;
+  Status cost_respecting;
+  Status conflict_free;
+  Status admissible;
+  /// Mumick et al. classification (Section 5.2), for comparison only.
+  bool r_monotonic = false;
+  std::vector<ComponentVerdict> components;
+  /// Section 6.2 termination analysis (informational; never rejects).
+  TerminationReport termination;
+
+  /// OK iff the program can be evaluated under the paper's semantics:
+  /// range-restricted, conflict-free, and every recursive-through-aggregation
+  /// or recursive-through-negation component monotonic.
+  Status overall() const;
+
+  std::string ToString() const;
+};
+
+/// Runs all static checks. `graph` must be built from `program`.
+ProgramCheckResult CheckProgram(const datalog::Program& program,
+                                const DependencyGraph& graph);
+
+/// Convenience: builds the graph and checks; returns an error Status if the
+/// program is rejected.
+Status ValidateForEvaluation(const datalog::Program& program);
+
+}  // namespace analysis
+}  // namespace mad
+
+#endif  // MAD_ANALYSIS_CHECKER_H_

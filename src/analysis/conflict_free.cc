@@ -1,0 +1,65 @@
+#include "analysis/conflict_free.h"
+
+#include "analysis/cost_respecting.h"
+#include "analysis/unification.h"
+#include "util/string_util.h"
+
+namespace mad {
+namespace analysis {
+
+using datalog::Program;
+using datalog::Rule;
+using datalog::Subgoal;
+
+Status CheckConflictFree(const Program& program) {
+  MAD_RETURN_IF_ERROR(CheckCostRespecting(program));
+
+  const auto& rules = program.rules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    // Only heads with cost arguments can conflict on cost values.
+    if (!rules[i].head.pred->has_cost) continue;
+    for (size_t j = i + 1; j < rules.size(); ++j) {
+      if (rules[i].head.pred != rules[j].head.pred) continue;
+
+      // Rename apart, then unify the heads on the non-cost arguments.
+      Rule r1 = RenameVariables(rules[i], "#1");
+      Rule r2 = RenameVariables(rules[j], "#2");
+      std::optional<Substitution> theta =
+          UnifyHeadsOnKeys(r1.head, r2.head);
+      if (!theta.has_value()) continue;  // heads cannot clash
+      Rule r1t = ApplySubst(r1, *theta);
+      Rule r2t = ApplySubst(r2, *theta);
+
+      if (HasContainmentMapping(r1t, r2t) ||
+          HasContainmentMapping(r2t, r1t)) {
+        continue;
+      }
+
+      // Case 2: the conjunction of both bodies fires an integrity
+      // constraint, so the two rules can never both apply.
+      std::vector<Subgoal> conjunction;
+      for (const Subgoal& sg : r1t.body) conjunction.push_back(sg.Clone());
+      for (const Subgoal& sg : r2t.body) conjunction.push_back(sg.Clone());
+      bool excluded = false;
+      for (const auto& constraint : program.constraints()) {
+        if (ContainsConstraintInstance(conjunction, constraint)) {
+          excluded = true;
+          break;
+        }
+      }
+      if (excluded) continue;
+
+      return Status::AnalysisError(StrPrintf(
+          "rules at lines %d and %d both define cost predicate '%s', their "
+          "heads unify on the non-cost arguments, and neither a containment "
+          "mapping nor an integrity constraint rules out a conflict "
+          "(Definition 2.10)",
+          rules[i].source_line, rules[j].source_line,
+          rules[i].head.pred->name.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace analysis
+}  // namespace mad

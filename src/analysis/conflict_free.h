@@ -1,0 +1,22 @@
+#ifndef MAD_ANALYSIS_CONFLICT_FREE_H_
+#define MAD_ANALYSIS_CONFLICT_FREE_H_
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace mad {
+namespace analysis {
+
+/// Checks the conflict-freedom condition of Definition 2.10, the syntactic
+/// sufficient condition for cost-consistency (Lemma 2.3):
+///  * every rule is cost-respecting (Definition 2.7), and
+///  * for every pair of rules whose heads unify on the non-cost arguments
+///    with mgu θ, either a containment mapping exists between r1θ and r2θ
+///    (in one direction or the other), or the conjunction of the two bodies
+///    contains an instance of a declared integrity constraint.
+Status CheckConflictFree(const datalog::Program& program);
+
+}  // namespace analysis
+}  // namespace mad
+
+#endif  // MAD_ANALYSIS_CONFLICT_FREE_H_

@@ -1,0 +1,140 @@
+#include "analysis/cost_respecting.h"
+
+#include "util/string_util.h"
+
+namespace mad {
+namespace analysis {
+
+using datalog::Atom;
+using datalog::CmpOp;
+using datalog::Expr;
+using datalog::Rule;
+using datalog::Subgoal;
+using datalog::Term;
+
+std::string FunctionalDependency::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const std::string& v : lhs) {
+    if (!first) out += ", ";
+    first = false;
+    out += v;
+  }
+  out += "} -> " + rhs;
+  return out;
+}
+
+std::vector<FunctionalDependency> CollectBodyFds(const Rule& rule) {
+  std::vector<FunctionalDependency> fds;
+
+  auto add_atom_fd = [&](const Atom& a) {
+    const Term* cost = a.CostTerm();
+    if (cost == nullptr || !cost->is_var()) return;
+    FunctionalDependency fd;
+    for (int i = 0; i < a.pred->key_arity(); ++i) {
+      if (a.args[i].is_var()) fd.lhs.insert(a.args[i].var);
+    }
+    fd.rhs = cost->var;
+    fds.push_back(std::move(fd));
+  };
+
+  for (const Subgoal& sg : rule.body) {
+    switch (sg.kind) {
+      case Subgoal::Kind::kAtom:
+        add_atom_fd(sg.atom);
+        break;
+      case Subgoal::Kind::kNegatedAtom:
+        break;
+      case Subgoal::Kind::kAggregate: {
+        // The aggregate's value is functionally dependent on the grouping
+        // variables (Definition 2.7 item 2).
+        if (sg.aggregate.result.is_var()) {
+          FunctionalDependency fd;
+          for (const std::string& v : sg.aggregate.grouping_vars) {
+            fd.lhs.insert(v);
+          }
+          fd.rhs = sg.aggregate.result.var;
+          fds.push_back(std::move(fd));
+        }
+        break;
+      }
+      case Subgoal::Kind::kBuiltin: {
+        if (sg.builtin.op != CmpOp::kEq) break;
+        auto add_eq_fd = [&](const Expr& def, const Expr& src) {
+          if (def.kind != Expr::Kind::kVar) return;
+          FunctionalDependency fd;
+          std::vector<std::string> vars;
+          src.CollectVars(&vars);
+          fd.lhs.insert(vars.begin(), vars.end());
+          fd.rhs = def.var;
+          fds.push_back(std::move(fd));
+        };
+        add_eq_fd(*sg.builtin.lhs, *sg.builtin.rhs);
+        add_eq_fd(*sg.builtin.rhs, *sg.builtin.lhs);
+        break;
+      }
+    }
+  }
+  return fds;
+}
+
+std::set<std::string> FdClosure(const std::set<std::string>& seed,
+                                const std::vector<FunctionalDependency>& fds) {
+  std::set<std::string> closure = seed;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& fd : fds) {
+      if (closure.count(fd.rhs)) continue;
+      bool applies = true;
+      for (const std::string& v : fd.lhs) {
+        if (!closure.count(v)) {
+          applies = false;
+          break;
+        }
+      }
+      if (applies) {
+        closure.insert(fd.rhs);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+Status CheckRuleCostRespecting(const Rule& rule) {
+  const Atom& head = rule.head;
+  if (!head.pred->has_cost) return Status::OK();
+  const Term& cost = head.args.back();
+  if (cost.is_const()) return Status::OK();
+
+  std::set<std::string> head_keys;
+  for (int i = 0; i < head.pred->key_arity(); ++i) {
+    if (head.args[i].is_var()) head_keys.insert(head.args[i].var);
+  }
+  std::vector<FunctionalDependency> fds = CollectBodyFds(rule);
+  std::set<std::string> closure = FdClosure(head_keys, fds);
+  if (!closure.count(cost.var)) {
+    std::string fd_list;
+    for (const FunctionalDependency& fd : fds) {
+      if (!fd_list.empty()) fd_list += "; ";
+      fd_list += fd.ToString();
+    }
+    return Status::AnalysisError(StrPrintf(
+        "rule '%s' (line %d) is not cost-respecting: head cost variable %s "
+        "is not determined by the head keys via body FDs [%s]",
+        rule.ToString().c_str(), rule.source_line, cost.var.c_str(),
+        fd_list.c_str()));
+  }
+  return Status::OK();
+}
+
+Status CheckCostRespecting(const datalog::Program& program) {
+  for (const Rule& rule : program.rules()) {
+    MAD_RETURN_IF_ERROR(CheckRuleCostRespecting(rule));
+  }
+  return Status::OK();
+}
+
+}  // namespace analysis
+}  // namespace mad

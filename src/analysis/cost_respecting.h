@@ -1,0 +1,45 @@
+#ifndef MAD_ANALYSIS_COST_RESPECTING_H_
+#define MAD_ANALYSIS_COST_RESPECTING_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace mad {
+namespace analysis {
+
+/// A functional dependency over a rule's variables: lhs -> rhs.
+struct FunctionalDependency {
+  std::set<std::string> lhs;
+  std::string rhs;
+  std::string ToString() const;
+};
+
+/// Collects the functional dependencies available in `rule`'s body
+/// (Definition 2.7 items 1 and 2):
+///  * each positive cost atom contributes {key vars} -> cost var;
+///  * each aggregate subgoal contributes {grouping vars} -> aggregate var;
+///  * each built-in equality `V = E` contributes vars(E) -> V (and the
+///    reverse for bare-variable equalities).
+std::vector<FunctionalDependency> CollectBodyFds(const datalog::Rule& rule);
+
+/// Armstrong-closure of `seed` under `fds` (the textbook attribute-set
+/// closure algorithm realizes reflexivity/augmentation/transitivity [3]).
+std::set<std::string> FdClosure(const std::set<std::string>& seed,
+                                const std::vector<FunctionalDependency>& fds);
+
+/// Checks that `rule` is cost-respecting (Definition 2.7): the head's cost
+/// argument is functionally determined by the head's non-cost arguments.
+/// Rules whose head predicate has no cost argument vacuously pass.
+Status CheckRuleCostRespecting(const datalog::Rule& rule);
+
+/// Checks every rule in the program.
+Status CheckCostRespecting(const datalog::Program& program);
+
+}  // namespace analysis
+}  // namespace mad
+
+#endif  // MAD_ANALYSIS_COST_RESPECTING_H_

@@ -1,0 +1,245 @@
+#include "analysis/range_restriction.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace mad {
+namespace analysis {
+
+using datalog::AggregateSubgoal;
+using datalog::Atom;
+using datalog::CmpOp;
+using datalog::Expr;
+using datalog::Rule;
+using datalog::Subgoal;
+using datalog::Term;
+
+namespace {
+
+/// True iff `arg_index` is a "limited argument" of `atom` — a non-cost
+/// argument of a predicate with no default declaration (Definition 2.5).
+bool IsLimitedArgument(const Atom& atom, int arg_index) {
+  if (atom.pred->has_default) return false;
+  return arg_index < atom.pred->key_arity();
+}
+
+/// Adds every variable in a limited argument of `atom` to `out`.
+void AddLimitedArgVars(const Atom& atom, std::set<std::string>* out) {
+  for (int i = 0; i < static_cast<int>(atom.args.size()); ++i) {
+    if (IsLimitedArgument(atom, i) && atom.args[i].is_var()) {
+      out->insert(atom.args[i].var);
+    }
+  }
+}
+
+/// If `e` is a bare variable, returns its name; otherwise nullptr.
+const std::string* AsBareVar(const Expr& e) {
+  return e.kind == Expr::Kind::kVar ? &e.var : nullptr;
+}
+
+bool IsConst(const Expr& e) { return e.kind == Expr::Kind::kConst; }
+
+}  // namespace
+
+VariableClassification ClassifyVariables(const Rule& rule) {
+  VariableClassification out;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    auto add_limited = [&](const std::string& v) {
+      if (out.limited.insert(v).second) changed = true;
+    };
+    auto add_quasi = [&](const std::string& v) {
+      if (out.quasi_limited.insert(v).second) changed = true;
+    };
+
+    for (const Subgoal& sg : rule.body) {
+      switch (sg.kind) {
+        case Subgoal::Kind::kAtom: {
+          std::set<std::string> vars;
+          AddLimitedArgVars(sg.atom, &vars);
+          for (const std::string& v : vars) add_limited(v);
+          // Cost arguments of positive LDB/CDB atoms are quasi-limited.
+          const Term* cost = sg.atom.CostTerm();
+          if (cost != nullptr && cost->is_var()) add_quasi(cost->var);
+          break;
+        }
+        case Subgoal::Kind::kNegatedAtom:
+          break;  // negation limits nothing
+        case Subgoal::Kind::kAggregate: {
+          const AggregateSubgoal& agg = sg.aggregate;
+          // Aggregate variables are quasi-limited.
+          if (agg.result.is_var()) add_quasi(agg.result.var);
+          std::set<std::string> inside_limited;
+          for (const Atom& a : agg.atoms) {
+            AddLimitedArgVars(a, &inside_limited);
+            const Term* cost = a.CostTerm();
+            if (cost != nullptr && cost->is_var()) add_quasi(cost->var);
+          }
+          // Local variables limited inside are limited; grouping variables
+          // only become limited from the inside under the "=r" form.
+          for (const std::string& v : agg.local_vars) {
+            if (inside_limited.count(v)) add_limited(v);
+          }
+          if (agg.restricted) {
+            for (const std::string& v : agg.grouping_vars) {
+              if (inside_limited.count(v)) add_limited(v);
+            }
+          }
+          break;
+        }
+        case Subgoal::Kind::kBuiltin: {
+          if (sg.builtin.op != CmpOp::kEq) break;
+          const std::string* lv = AsBareVar(*sg.builtin.lhs);
+          const std::string* rv = AsBareVar(*sg.builtin.rhs);
+          // V = Y / Y = V with Y limited; V = a / a = V with a constant.
+          if (lv != nullptr && rv != nullptr) {
+            if (out.limited.count(*rv)) add_limited(*lv);
+            if (out.limited.count(*lv)) add_limited(*rv);
+          } else if (lv != nullptr && IsConst(*sg.builtin.rhs)) {
+            add_limited(*lv);
+          } else if (rv != nullptr && IsConst(*sg.builtin.lhs)) {
+            add_limited(*rv);
+          }
+          // V = E / E = V where E's variables are all (quasi-)limited.
+          auto expr_determined = [&](const Expr& e) {
+            std::vector<std::string> vars;
+            e.CollectVars(&vars);
+            return std::all_of(vars.begin(), vars.end(),
+                               [&](const std::string& v) {
+                                 return out.limited.count(v) > 0 ||
+                                        out.quasi_limited.count(v) > 0;
+                               });
+          };
+          if (lv != nullptr && expr_determined(*sg.builtin.rhs)) {
+            add_quasi(*lv);
+          }
+          if (rv != nullptr && expr_determined(*sg.builtin.lhs)) {
+            add_quasi(*rv);
+          }
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Status Violation(const Rule& rule, const std::string& what) {
+  return Status::AnalysisError(
+      StrPrintf("rule '%s' (line %d) is not range-restricted: %s",
+                rule.ToString().c_str(), rule.source_line, what.c_str()));
+}
+
+}  // namespace
+
+Status CheckRuleRangeRestricted(const Rule& rule) {
+  VariableClassification cls = ClassifyVariables(rule);
+  auto limited = [&](const std::string& v) { return cls.limited.count(v) > 0; };
+  auto quasi = [&](const std::string& v) {
+    return cls.quasi_limited.count(v) > 0 || limited(v);
+  };
+
+  for (const Subgoal& sg : rule.body) {
+    switch (sg.kind) {
+      case Subgoal::Kind::kAtom:
+        // Positive default-value subgoals must have limited key arguments.
+        if (sg.atom.pred->has_default) {
+          for (int i = 0; i < sg.atom.pred->key_arity(); ++i) {
+            const Term& t = sg.atom.args[i];
+            if (t.is_var() && !limited(t.var)) {
+              return Violation(
+                  rule, StrPrintf("variable %s in a non-cost argument of "
+                                  "default-value predicate %s is not limited",
+                                  t.var.c_str(), sg.atom.pred->name.c_str()));
+            }
+          }
+        }
+        break;
+      case Subgoal::Kind::kNegatedAtom: {
+        for (int i = 0; i < static_cast<int>(sg.atom.args.size()); ++i) {
+          const Term& t = sg.atom.args[i];
+          if (!t.is_var()) continue;
+          bool is_cost = sg.atom.pred->has_cost &&
+                         i == sg.atom.pred->cost_position();
+          if (is_cost ? !quasi(t.var) : !limited(t.var)) {
+            return Violation(
+                rule, StrPrintf("variable %s in negated subgoal !%s is not %s",
+                                t.var.c_str(), sg.atom.pred->name.c_str(),
+                                is_cost ? "quasi-limited" : "limited"));
+          }
+        }
+        break;
+      }
+      case Subgoal::Kind::kAggregate: {
+        const AggregateSubgoal& agg = sg.aggregate;
+        for (const std::string& v : agg.grouping_vars) {
+          if (!limited(v)) {
+            return Violation(
+                rule, StrPrintf("grouping variable %s of aggregate subgoal "
+                                "'%s' is not limited",
+                                v.c_str(), agg.ToString().c_str()));
+          }
+        }
+        // Local variables in non-cost arguments must be limited, and key
+        // arguments of default-value predicates inside the aggregate must be
+        // limited too.
+        for (const Atom& a : agg.atoms) {
+          for (int i = 0; i < a.pred->key_arity(); ++i) {
+            const Term& t = a.args[i];
+            if (!t.is_var()) continue;
+            bool is_local =
+                std::find(agg.local_vars.begin(), agg.local_vars.end(),
+                          t.var) != agg.local_vars.end();
+            if ((is_local || a.pred->has_default) && !limited(t.var)) {
+              return Violation(
+                  rule,
+                  StrPrintf("variable %s inside aggregate subgoal is not "
+                            "limited (atom %s)",
+                            t.var.c_str(), a.ToString().c_str()));
+            }
+          }
+        }
+        break;
+      }
+      case Subgoal::Kind::kBuiltin: {
+        for (const std::string& v : sg.builtin.Vars()) {
+          if (!quasi(v)) {
+            return Violation(
+                rule, StrPrintf("variable %s in built-in subgoal '%s' is "
+                                "neither limited nor quasi-limited",
+                                v.c_str(), sg.builtin.ToString().c_str()));
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // Head: non-cost variables limited, cost variable quasi-limited.
+  const Atom& head = rule.head;
+  for (int i = 0; i < static_cast<int>(head.args.size()); ++i) {
+    const Term& t = head.args[i];
+    if (!t.is_var()) continue;
+    bool is_cost = head.pred->has_cost && i == head.pred->cost_position();
+    if (is_cost ? !quasi(t.var) : !limited(t.var)) {
+      return Violation(
+          rule, StrPrintf("head variable %s is not %s", t.var.c_str(),
+                          is_cost ? "quasi-limited" : "limited"));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckRangeRestricted(const datalog::Program& program) {
+  for (const Rule& rule : program.rules()) {
+    MAD_RETURN_IF_ERROR(CheckRuleRangeRestricted(rule));
+  }
+  return Status::OK();
+}
+
+}  // namespace analysis
+}  // namespace mad

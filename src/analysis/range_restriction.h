@@ -1,0 +1,36 @@
+#ifndef MAD_ANALYSIS_RANGE_RESTRICTION_H_
+#define MAD_ANALYSIS_RANGE_RESTRICTION_H_
+
+#include <set>
+#include <string>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace mad {
+namespace analysis {
+
+/// Result of classifying one rule's variables per Definition 2.5.
+struct VariableClassification {
+  /// Variables bound to active-domain constants by positive occurrences.
+  std::set<std::string> limited;
+  /// Variables whose value is functionally determined by limited ones
+  /// (cost arguments, aggregate results, arithmetic over such).
+  std::set<std::string> quasi_limited;
+};
+
+/// Computes the limited / quasi-limited fixpoint of Definition 2.5 for one
+/// rule.
+VariableClassification ClassifyVariables(const datalog::Rule& rule);
+
+/// Checks one rule for range restriction (Definition 2.5). Returns OK or an
+/// AnalysisError naming the offending variable and position.
+Status CheckRuleRangeRestricted(const datalog::Rule& rule);
+
+/// Checks every rule of the program; reports the first violation.
+Status CheckRangeRestricted(const datalog::Program& program);
+
+}  // namespace analysis
+}  // namespace mad
+
+#endif  // MAD_ANALYSIS_RANGE_RESTRICTION_H_

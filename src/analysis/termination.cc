@@ -1,0 +1,69 @@
+#include "analysis/termination.h"
+
+#include "util/string_util.h"
+
+namespace mad {
+namespace analysis {
+
+const char* TerminationVerdictName(TerminationVerdict v) {
+  switch (v) {
+    case TerminationVerdict::kGuaranteed:
+      return "guaranteed";
+    case TerminationVerdict::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+bool TerminationReport::AllGuaranteed() const {
+  for (const ComponentTermination& c : components) {
+    if (c.verdict != TerminationVerdict::kGuaranteed) return false;
+  }
+  return true;
+}
+
+std::string TerminationReport::ToString() const {
+  std::string out;
+  for (const ComponentTermination& c : components) {
+    out += StrPrintf("component %d: %s (%s)\n", c.component_index,
+                     TerminationVerdictName(c.verdict), c.reason.c_str());
+  }
+  return out;
+}
+
+TerminationReport AnalyzeTermination(const datalog::Program& program,
+                                     const DependencyGraph& graph) {
+  TerminationReport report;
+  for (const Component& component : graph.components()) {
+    ComponentTermination ct;
+    ct.component_index = component.index;
+    if (component.rule_indices.empty()) {
+      ct.verdict = TerminationVerdict::kGuaranteed;
+      ct.reason = "no rules";
+    } else if (!component.recursive) {
+      ct.verdict = TerminationVerdict::kGuaranteed;
+      ct.reason = "non-recursive: a single pass suffices";
+    } else {
+      // Recursive: keys are from the finite active domain (Lemma 2.2), so
+      // termination hinges on the cost lattices' chain lengths.
+      ct.verdict = TerminationVerdict::kGuaranteed;
+      ct.reason = "finite key space and finite ascending chains";
+      for (const datalog::PredicateInfo* pred : component.predicates) {
+        if (!pred->has_cost) continue;
+        if (!pred->domain->HasFiniteAscendingChains()) {
+          ct.verdict = TerminationVerdict::kUnknown;
+          ct.reason = StrPrintf(
+              "cost lattice '%s' of predicate '%s' admits infinite "
+              "ascending chains; rely on max_iterations/epsilon",
+              std::string(pred->domain->name()).c_str(), pred->name.c_str());
+          break;
+        }
+      }
+    }
+    report.components.push_back(std::move(ct));
+  }
+  return report;
+}
+
+}  // namespace analysis
+}  // namespace mad

@@ -1,0 +1,55 @@
+#ifndef MAD_ANALYSIS_TERMINATION_H_
+#define MAD_ANALYSIS_TERMINATION_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/dependency_graph.h"
+#include "datalog/ast.h"
+
+namespace mad {
+namespace analysis {
+
+/// Whether bottom-up evaluation of a component is guaranteed to reach its
+/// fixpoint in finitely many rounds (Section 6.2).
+enum class TerminationVerdict {
+  /// Guaranteed: the language is function-free, so the active domain — and
+  /// hence the key space — is finite, and every cost lattice in the
+  /// component has finite ascending chains (or the component carries no
+  /// cost values at all). Values can then only step finitely often.
+  kGuaranteed,
+  /// No guarantee from this analysis: some cost lattice admits infinite
+  /// ascending chains (e.g. min over the reals with negative cycles, or
+  /// Example 5.1's halfsum), so the iteration may need the engine's
+  /// max_iterations / epsilon guards.
+  kUnknown,
+};
+
+const char* TerminationVerdictName(TerminationVerdict v);
+
+struct ComponentTermination {
+  int component_index = -1;
+  TerminationVerdict verdict = TerminationVerdict::kUnknown;
+  std::string reason;
+};
+
+struct TerminationReport {
+  std::vector<ComponentTermination> components;
+
+  /// True iff every component is kGuaranteed.
+  bool AllGuaranteed() const;
+  std::string ToString() const;
+};
+
+/// Conservative, sound termination analysis per Section 6.2: non-recursive
+/// components always terminate (one pass); recursive components terminate
+/// when the key space is finite (always true: the language is function-free
+/// and range-restricted, Lemma 2.2) and every CDB cost value lives in a
+/// lattice with finite ascending chains.
+TerminationReport AnalyzeTermination(const datalog::Program& program,
+                                     const DependencyGraph& graph);
+
+}  // namespace analysis
+}  // namespace mad
+
+#endif  // MAD_ANALYSIS_TERMINATION_H_

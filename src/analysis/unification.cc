@@ -1,0 +1,250 @@
+#include "analysis/unification.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace mad {
+namespace analysis {
+
+using datalog::AggregateSubgoal;
+using datalog::Atom;
+using datalog::Expr;
+using datalog::IntegrityConstraint;
+using datalog::Rule;
+using datalog::Subgoal;
+using datalog::Term;
+
+Term Resolve(const Term& t, const Substitution& s) {
+  Term cur = t;
+  while (cur.is_var()) {
+    auto it = s.find(cur.var);
+    if (it == s.end()) break;
+    cur = it->second;
+  }
+  return cur;
+}
+
+bool UnifyTerms(const Term& a, const Term& b, Substitution* s) {
+  Term ra = Resolve(a, *s);
+  Term rb = Resolve(b, *s);
+  if (ra.is_var()) {
+    if (rb.is_var() && rb.var == ra.var) return true;
+    (*s)[ra.var] = rb;
+    return true;
+  }
+  if (rb.is_var()) {
+    (*s)[rb.var] = ra;
+    return true;
+  }
+  return ra.constant == rb.constant;
+}
+
+std::optional<Substitution> UnifyHeadsOnKeys(const Atom& a, const Atom& b) {
+  if (a.pred != b.pred) return std::nullopt;
+  Substitution s;
+  for (int i = 0; i < a.pred->key_arity(); ++i) {
+    if (!UnifyTerms(a.args[i], b.args[i], &s)) return std::nullopt;
+  }
+  return s;
+}
+
+Term ApplySubst(const Term& t, const Substitution& s) { return Resolve(t, s); }
+
+Atom ApplySubst(const Atom& a, const Substitution& s) {
+  Atom out = a;
+  for (Term& t : out.args) t = Resolve(t, s);
+  return out;
+}
+
+namespace {
+
+std::unique_ptr<Expr> ApplySubstExpr(const Expr& e, const Substitution& s) {
+  if (e.kind == Expr::Kind::kVar) {
+    Term t = Resolve(Term::Var(e.var), s);
+    return t.is_var() ? Expr::Var(t.var) : Expr::Const(t.constant);
+  }
+  auto out = e.Clone();
+  if (out->lhs) out->lhs = ApplySubstExpr(*out->lhs, s);
+  if (out->rhs) out->rhs = ApplySubstExpr(*out->rhs, s);
+  return out;
+}
+
+}  // namespace
+
+Subgoal ApplySubst(const Subgoal& sg, const Substitution& s) {
+  Subgoal out = sg.Clone();
+  switch (out.kind) {
+    case Subgoal::Kind::kAtom:
+    case Subgoal::Kind::kNegatedAtom:
+      out.atom = ApplySubst(out.atom, s);
+      break;
+    case Subgoal::Kind::kAggregate: {
+      out.aggregate.result = Resolve(out.aggregate.result, s);
+      for (Atom& a : out.aggregate.atoms) a = ApplySubst(a, s);
+      // Local and multiset variables are bound variables of the subgoal and
+      // are never renamed by an outer substitution in our callers (callers
+      // rename whole rules first, which keeps namespaces disjoint).
+      Term mv = Resolve(Term::Var(out.aggregate.multiset_var), s);
+      if (mv.is_var()) out.aggregate.multiset_var = mv.var;
+      break;
+    }
+    case Subgoal::Kind::kBuiltin:
+      out.builtin.lhs = ApplySubstExpr(*out.builtin.lhs, s);
+      out.builtin.rhs = ApplySubstExpr(*out.builtin.rhs, s);
+      break;
+  }
+  return out;
+}
+
+Rule ApplySubst(const Rule& r, const Substitution& s) {
+  Rule out;
+  out.source_line = r.source_line;
+  out.head = ApplySubst(r.head, s);
+  for (const Subgoal& sg : r.body) out.body.push_back(ApplySubst(sg, s));
+  out.Finalize();
+  return out;
+}
+
+Rule RenameVariables(const Rule& r, const std::string& suffix) {
+  Substitution s;
+  for (const std::string& v : r.AllVars()) s[v] = Term::Var(v + suffix);
+  return ApplySubst(r, s);
+}
+
+// ---------------------------------------------------------------------------
+// Containment mappings (Definition 2.8)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Mapping search state: h maps variables of the source rule to terms of the
+/// target rule. Mapping a term means: constants map to equal constants,
+/// variables map consistently to one target term.
+struct MappingState {
+  std::map<std::string, Term> h;
+
+  bool MapTerm(const Term& src, const Term& dst) {
+    if (src.is_const()) {
+      return dst.is_const() && src.constant == dst.constant;
+    }
+    auto it = h.find(src.var);
+    if (it != h.end()) return it->second == dst;
+    h.emplace(src.var, dst);
+    return true;
+  }
+};
+
+bool MapAtom(const Atom& src, const Atom& dst, MappingState* state) {
+  if (src.pred != dst.pred) return false;
+  MappingState saved = *state;
+  for (size_t i = 0; i < src.args.size(); ++i) {
+    if (!state->MapTerm(src.args[i], dst.args[i])) {
+      *state = saved;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MapExpr(const Expr& src, const Expr& dst, MappingState* state) {
+  if (src.kind == Expr::Kind::kVar) {
+    Term dst_term = dst.kind == Expr::Kind::kVar
+                        ? Term::Var(dst.var)
+                        : (dst.kind == Expr::Kind::kConst
+                               ? Term::Const(dst.constant)
+                               : Term());
+    if (dst.kind != Expr::Kind::kVar && dst.kind != Expr::Kind::kConst) {
+      return false;
+    }
+    return state->MapTerm(Term::Var(src.var), dst_term);
+  }
+  if (src.kind != dst.kind) return false;
+  if (src.kind == Expr::Kind::kConst) return src.constant == dst.constant;
+  return MapExpr(*src.lhs, *dst.lhs, state) &&
+         MapExpr(*src.rhs, *dst.rhs, state);
+}
+
+/// Matches the inner atom multiset of an aggregate subgoal (order
+/// insensitive, backtracking).
+bool MapAggregateAtoms(const std::vector<Atom>& src,
+                       const std::vector<Atom>& dst, size_t i,
+                       std::vector<bool>* used, MappingState* state) {
+  if (i == src.size()) return true;
+  for (size_t j = 0; j < dst.size(); ++j) {
+    if ((*used)[j]) continue;
+    MappingState saved = *state;
+    if (MapAtom(src[i], dst[j], state)) {
+      (*used)[j] = true;
+      if (MapAggregateAtoms(src, dst, i + 1, used, state)) return true;
+      (*used)[j] = false;
+    }
+    *state = saved;
+  }
+  return false;
+}
+
+bool MapSubgoal(const Subgoal& src, const Subgoal& dst, MappingState* state) {
+  if (src.kind != dst.kind) return false;
+  MappingState saved = *state;
+  bool ok = false;
+  switch (src.kind) {
+    case Subgoal::Kind::kAtom:
+    case Subgoal::Kind::kNegatedAtom:
+      ok = MapAtom(src.atom, dst.atom, state);
+      break;
+    case Subgoal::Kind::kAggregate: {
+      const AggregateSubgoal& a = src.aggregate;
+      const AggregateSubgoal& b = dst.aggregate;
+      if (a.function_name != b.function_name || a.restricted != b.restricted ||
+          a.atoms.size() != b.atoms.size()) {
+        break;
+      }
+      if (!state->MapTerm(a.result, b.result)) break;
+      if (!a.multiset_var.empty() &&
+          !state->MapTerm(Term::Var(a.multiset_var),
+                          Term::Var(b.multiset_var))) {
+        break;
+      }
+      std::vector<bool> used(b.atoms.size(), false);
+      ok = MapAggregateAtoms(a.atoms, b.atoms, 0, &used, state);
+      break;
+    }
+    case Subgoal::Kind::kBuiltin:
+      ok = src.builtin.op == dst.builtin.op &&
+           MapExpr(*src.builtin.lhs, *dst.builtin.lhs, state) &&
+           MapExpr(*src.builtin.rhs, *dst.builtin.rhs, state);
+      break;
+  }
+  if (!ok) *state = saved;
+  return ok;
+}
+
+bool MapBody(const std::vector<Subgoal>& src, const std::vector<Subgoal>& dst,
+             size_t i, MappingState* state) {
+  if (i == src.size()) return true;
+  for (const Subgoal& candidate : dst) {
+    MappingState saved = *state;
+    if (MapSubgoal(src[i], candidate, state)) {
+      if (MapBody(src, dst, i + 1, state)) return true;
+    }
+    *state = saved;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool HasContainmentMapping(const Rule& r1, const Rule& r2) {
+  MappingState state;
+  if (!MapAtom(r1.head, r2.head, &state)) return false;
+  return MapBody(r1.body, r2.body, 0, &state);
+}
+
+bool ContainsConstraintInstance(const std::vector<Subgoal>& body,
+                                const IntegrityConstraint& constraint) {
+  MappingState state;
+  return MapBody(constraint.body, body, 0, &state);
+}
+
+}  // namespace analysis
+}  // namespace mad

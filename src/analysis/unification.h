@@ -1,0 +1,58 @@
+#ifndef MAD_ANALYSIS_UNIFICATION_H_
+#define MAD_ANALYSIS_UNIFICATION_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "datalog/ast.h"
+
+namespace mad {
+namespace analysis {
+
+/// A substitution over rule variables. Terms are flat (no function symbols),
+/// so unification is the simple variable/constant case.
+using Substitution = std::map<std::string, datalog::Term>;
+
+/// Resolves `t` through `s` until it is a constant or an unbound variable.
+datalog::Term Resolve(const datalog::Term& t, const Substitution& s);
+
+/// Extends `s` to make `a` and `b` equal; returns false on clash.
+bool UnifyTerms(const datalog::Term& a, const datalog::Term& b,
+                Substitution* s);
+
+/// Most general unifier of the two atoms' *non-cost* arguments (the heads
+/// comparison of Definition 2.10 ignores cost arguments). Returns
+/// std::nullopt if the predicates differ or the keys clash.
+std::optional<Substitution> UnifyHeadsOnKeys(const datalog::Atom& a,
+                                             const datalog::Atom& b);
+
+/// Applies `s` (fully resolved) to terms / atoms / subgoals / rules.
+datalog::Term ApplySubst(const datalog::Term& t, const Substitution& s);
+datalog::Atom ApplySubst(const datalog::Atom& a, const Substitution& s);
+datalog::Subgoal ApplySubst(const datalog::Subgoal& sg, const Substitution& s);
+datalog::Rule ApplySubst(const datalog::Rule& r, const Substitution& s);
+
+/// Renames every variable of `r` by appending `suffix`, so two rules can be
+/// unified without accidental capture.
+datalog::Rule RenameVariables(const datalog::Rule& r,
+                              const std::string& suffix);
+
+/// Searches for a containment mapping (Definition 2.8) from `r1` to `r2`:
+/// a variable mapping h with h(head(r1)) = head(r2) and every subgoal of r1
+/// mapped onto some subgoal of r2. Aggregate subgoals must match in function,
+/// form and (up to reordering) inner atoms; built-ins must match structurally.
+bool HasContainmentMapping(const datalog::Rule& r1, const datalog::Rule& r2);
+
+/// True iff the conjunction `body` contains an instance of `constraint`
+/// (Definition 2.10 case 2): there is a substitution of the constraint's
+/// variables by terms of `body` making every constraint subgoal literally
+/// present.
+bool ContainsConstraintInstance(
+    const std::vector<datalog::Subgoal>& body,
+    const datalog::IntegrityConstraint& constraint);
+
+}  // namespace analysis
+}  // namespace mad
+
+#endif  // MAD_ANALYSIS_UNIFICATION_H_

@@ -1,0 +1,37 @@
+#include "baselines/circuit_sim.h"
+
+namespace mad {
+namespace baselines {
+
+CircuitResult SimulateCircuit(const Circuit& c) {
+  CircuitResult out;
+  out.wire_values.assign(c.num_wires, false);
+  for (int i = 0; i < c.num_inputs; ++i) {
+    out.wire_values[i] = c.input_values[i];
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++out.iterations;
+    for (const Circuit::Gate& g : c.gates) {
+      bool v = g.type == Circuit::GateType::kAnd;
+      for (int w : g.input_wires) {
+        if (g.type == Circuit::GateType::kAnd) {
+          v = v && out.wire_values[w];
+        } else {
+          v = v || out.wire_values[w];
+        }
+      }
+      // Monotone update only (0 -> 1); the default-value semantics never
+      // lowers a wire.
+      if (v && !out.wire_values[g.output_wire]) {
+        out.wire_values[g.output_wire] = true;
+        changed = true;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace mad

@@ -1,0 +1,44 @@
+#ifndef MAD_BASELINES_CIRCUIT_SIM_H_
+#define MAD_BASELINES_CIRCUIT_SIM_H_
+
+#include <string>
+#include <vector>
+
+namespace mad {
+namespace baselines {
+
+/// A boolean circuit of AND/OR gates with arbitrary fan-in/fan-out and
+/// possibly cyclic wiring (Example 4.4). Wires 0..num_inputs-1 are primary
+/// inputs; wires num_inputs..num_wires-1 are gate outputs.
+struct Circuit {
+  enum class GateType { kAnd, kOr };
+  struct Gate {
+    GateType type = GateType::kAnd;
+    int output_wire = 0;
+    std::vector<int> input_wires;
+  };
+
+  int num_wires = 0;
+  int num_inputs = 0;
+  std::vector<bool> input_values;  ///< size num_inputs
+  std::vector<Gate> gates;
+
+  static std::string WireName(int w) { return "w" + std::to_string(w); }
+};
+
+/// Result of the direct least-fixpoint simulation.
+struct CircuitResult {
+  std::vector<bool> wire_values;  ///< size num_wires
+  int iterations = 0;
+};
+
+/// Direct minimal-fixpoint simulation: every wire starts at the default
+/// value 0 (false) and gates are re-evaluated until stable. Because values
+/// only flip 0 -> 1, this computes the paper's minimal behaviour — a cyclic
+/// AND gate feeding itself stays false.
+CircuitResult SimulateCircuit(const Circuit& c);
+
+}  // namespace baselines
+}  // namespace mad
+
+#endif  // MAD_BASELINES_CIRCUIT_SIM_H_

@@ -1,0 +1,39 @@
+#include "baselines/company_control.h"
+
+namespace mad {
+namespace baselines {
+
+ControlResult SolveCompanyControl(const OwnershipNetwork& net) {
+  int n = net.num_companies;
+  ControlResult out;
+  out.controls.assign(n, std::vector<bool>(n, false));
+  out.controlled_fraction.assign(n, std::vector<double>(n, 0.0));
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++out.iterations;
+    for (int x = 0; x < n; ++x) {
+      for (int y = 0; y < n; ++y) {
+        double m = net.shares[x][y];
+        for (int z = 0; z < n; ++z) {
+          // z == x contributes through the first cv rule already; the
+          // Datalog program keys cv by (x, z, y), so it is not re-counted.
+          if (z != x && out.controls[x][z]) m += net.shares[z][y];
+        }
+        if (m > out.controlled_fraction[x][y]) {
+          out.controlled_fraction[x][y] = m;
+          changed = true;
+        }
+        if (m > 0.5 && !out.controls[x][y]) {
+          out.controls[x][y] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace mad

@@ -1,0 +1,44 @@
+#ifndef MAD_BASELINES_COMPANY_CONTROL_H_
+#define MAD_BASELINES_COMPANY_CONTROL_H_
+
+#include <vector>
+
+#include "baselines/graph.h"
+
+namespace mad {
+namespace baselines {
+
+/// An ownership network: shares[x][y] is the fraction of company y's shares
+/// owned directly by company x (Example 2.7's s relation).
+struct OwnershipNetwork {
+  int num_companies = 0;
+  /// Dense matrix; entries in [0, 1], column sums <= 1.
+  std::vector<std::vector<double>> shares;
+
+  void Resize(int n) {
+    num_companies = n;
+    shares.assign(n, std::vector<double>(n, 0.0));
+  }
+  static std::string CompanyName(int i) { return "c" + std::to_string(i); }
+};
+
+/// Result of the direct company-control fixpoint.
+struct ControlResult {
+  /// controls[x][y]: x controls y (Example 2.7's c relation).
+  std::vector<std::vector<bool>> controls;
+  /// controlled_fraction[x][y]: fraction of y controlled by x directly or
+  /// through controlled intermediaries (the m relation).
+  std::vector<std::vector<double>> controlled_fraction;
+  int iterations = 0;
+};
+
+/// Direct iterative solver for Example 2.7, independent of the Datalog
+/// engine: repeatedly recomputes m(x, y) = Σ_{z ∈ {x} ∪ controls(x)} s(z, y)
+/// and c(x, y) = [m(x, y) > 0.5] until stable. Monotone, so the fixpoint is
+/// the paper's least model.
+ControlResult SolveCompanyControl(const OwnershipNetwork& net);
+
+}  // namespace baselines
+}  // namespace mad
+
+#endif  // MAD_BASELINES_COMPANY_CONTROL_H_

@@ -1,0 +1,112 @@
+#ifndef MAD_BASELINES_FULLY_DEFINED_H_
+#define MAD_BASELINES_FULLY_DEFINED_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/kemp_stuckey.h"  // Definedness
+#include "datalog/ast.h"
+#include "datalog/database.h"
+#include "util/status.h"
+
+namespace mad {
+namespace baselines {
+
+/// The generic "fully defined before aggregation" evaluator — the semantics
+/// family of Kemp & Stuckey [8] that the paper's Section 5.3 contrasts
+/// against, implemented for arbitrary negation-free, conflict-free programs
+/// rather than the shape-specific simulators in kemp_stuckey.h.
+///
+/// Discipline: a derived atom *settles* (becomes two-valued with a final
+/// value) only when some rule instance derives it from premises that are
+/// all settled, and — crucially — every aggregate subgoal in that instance
+/// ranges over a group whose *potential contributors are all settled*, so
+/// the multiset can no longer change. Atoms that never settle are
+/// `kUndefined`; ground atoms absent from the monotone least model are
+/// `kFalse` (they are false in every approximation-consistent semantics).
+///
+/// On modularly stratified inputs (acyclic ground dependencies) everything
+/// settles and the result coincides with the least model; on cyclic inputs
+/// the atoms whose support runs through a cycle stay undefined — exactly
+/// the Section 5.3 behaviour, now measurable for any program.
+///
+/// Known approximation: atoms *absent* from the least model are reported
+/// kFalse using the least model as an oracle. A true Kemp-Stuckey evaluator
+/// can only conclude falsity through the unfounded-set construction and
+/// would leave cycle-dependent false atoms (like Section 5.6's c(a,b))
+/// undefined; the shape-specific simulators in kemp_stuckey.h model that
+/// false side exactly for the shortest-path and company-control programs.
+/// This class therefore measures definedness of the *true* fragment.
+class FullyDefinedEvaluator {
+ public:
+  /// `program` must be negation-free; `least_model` must be the engine's
+  /// least fixpoint for it (used as the universe of candidate atoms and the
+  /// source of final values).
+  FullyDefinedEvaluator(const datalog::Program& program,
+                        const datalog::Database& least_model);
+
+  /// Runs the settledness fixpoint. Fails (InvalidArgument) on negation.
+  Status Evaluate();
+
+  /// Status of a ground atom: kTrue if it settled, kFalse if absent from
+  /// the least model, kUndefined otherwise.
+  Definedness StatusOf(const datalog::PredicateInfo* pred,
+                       const datalog::Tuple& key) const;
+
+  /// Number of settled / undefined atoms among the least model's derived
+  /// (non-EDB) rows.
+  int CountSettled() const;
+  int CountUndefined() const;
+  /// settled / (settled + undefined) over derived rows.
+  double DefinedFraction() const;
+
+ private:
+  struct PredState {
+    /// settled[row] for the least-model relation of this predicate.
+    std::vector<bool> settled;
+  };
+
+  bool IsEdb(const datalog::PredicateInfo* pred) const;
+  bool RowSettled(const datalog::PredicateInfo* pred,
+                  const datalog::Tuple& key) const;
+
+  /// One settling pass over all rules; returns true if anything settled.
+  bool Pass();
+
+  /// Tries to settle the head of `rule` from fully settled instances.
+  /// Backtracking enumeration over the least model with settledness checks.
+  void SettleFromRule(const datalog::Rule& rule);
+  void EnumerateSettled(const datalog::Rule& rule, size_t subgoal_index,
+                        std::map<std::string, datalog::Value>* binding);
+
+  /// True iff every potential contributor to the aggregate's group (under
+  /// the current grouping binding) is settled. Also appends the multiset.
+  bool AggregateGroupSettled(const datalog::AggregateSubgoal& agg,
+                             std::map<std::string, datalog::Value>* binding,
+                             std::vector<datalog::Value>* multiset);
+  bool EnumerateInner(const std::vector<datalog::Atom>& atoms, size_t index,
+                      std::map<std::string, datalog::Value>* binding,
+                      bool* all_settled,
+                      std::vector<datalog::Value>* multiset,
+                      const std::string& multiset_var);
+
+  /// Enumerates least-model rows matching `atom` under `binding`;
+  /// `require_settled` skips unsettled rows (for rule premises) while the
+  /// aggregate path visits all rows and reports their settledness.
+  template <typename Fn>
+  void MatchAtom(const datalog::Atom& atom,
+                 std::map<std::string, datalog::Value>* binding, Fn&& fn);
+
+  const datalog::Program* program_;
+  const datalog::Database* db_;
+  std::map<int, PredState> state_;
+  /// The (pred id, row) currently being settled by SettleFromRule.
+  std::pair<int, uint32_t> settle_target_{-1, 0};
+  bool changed_ = false;
+};
+
+}  // namespace baselines
+}  // namespace mad
+
+#endif  // MAD_BASELINES_FULLY_DEFINED_H_

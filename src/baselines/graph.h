@@ -1,0 +1,42 @@
+#ifndef MAD_BASELINES_GRAPH_H_
+#define MAD_BASELINES_GRAPH_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mad {
+namespace baselines {
+
+/// A weighted directed graph with dense integer vertex ids, shared between
+/// the classical shortest-path baselines and the workload generators.
+struct Graph {
+  struct Edge {
+    int to = 0;
+    double weight = 0;
+  };
+
+  int num_nodes = 0;
+  std::vector<std::vector<Edge>> adj;
+
+  void Resize(int n) {
+    num_nodes = n;
+    adj.assign(n, {});
+  }
+  void AddEdge(int from, int to, double weight) {
+    adj[from].push_back({to, weight});
+    ++num_edges;
+  }
+  int num_edges = 0;
+
+  /// Node name used when emitting the graph as Datalog facts ("n<i>").
+  static std::string NodeName(int i) { return "n" + std::to_string(i); }
+};
+
+/// Distance value used by the baselines; +inf = unreachable.
+constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+}  // namespace baselines
+}  // namespace mad
+
+#endif  // MAD_BASELINES_GRAPH_H_

@@ -1,0 +1,188 @@
+#include "baselines/kemp_stuckey.h"
+
+#include <queue>
+
+namespace mad {
+namespace baselines {
+
+double WellFoundedShortestPaths::DefinedFraction() const {
+  int relevant = 0;
+  int defined = 0;
+  for (const auto& row : status) {
+    for (Definedness d : row) {
+      if (d == Definedness::kFalse) continue;  // vacuously determined
+      ++relevant;
+      if (d == Definedness::kTrue) ++defined;
+    }
+  }
+  return relevant == 0 ? 1.0 : static_cast<double>(defined) / relevant;
+}
+
+int WellFoundedShortestPaths::CountUndefined() const {
+  int n = 0;
+  for (const auto& row : status) {
+    for (Definedness d : row) n += d == Definedness::kUndefined ? 1 : 0;
+  }
+  return n;
+}
+
+WellFoundedShortestPaths KempStuckeyShortestPaths(const Graph& g) {
+  int n = g.num_nodes;
+  WellFoundedShortestPaths out;
+  out.status.assign(n, std::vector<Definedness>(n, Definedness::kFalse));
+  out.dist.assign(n, std::vector<double>(n, kUnreachable));
+
+  // Reachability via >= 1 edge (pure Horn consequence; two-valued even for
+  // the well-founded semantics).
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (int s = 0; s < n; ++s) {
+    std::queue<int> q;
+    for (const Graph::Edge& e : g.adj[s]) {
+      if (!reach[s][e.to]) {
+        reach[s][e.to] = true;
+        q.push(e.to);
+      }
+    }
+    while (!q.empty()) {
+      int u = q.front();
+      q.pop();
+      for (const Graph::Edge& e : g.adj[u]) {
+        if (!reach[s][e.to]) {
+          reach[s][e.to] = true;
+          q.push(e.to);
+        }
+      }
+    }
+  }
+
+  // Ground dependency: s(x, y) needs s(x, z) determined for every in-edge
+  // (z, y) with z reachable from x. Kahn-style propagation: a pair becomes
+  // defined when its last dependency resolves; pairs on or behind dependency
+  // cycles never do, and stay kUndefined.
+  std::vector<std::vector<Graph::Edge>> in_edges(n);
+  for (int u = 0; u < n; ++u) {
+    for (const Graph::Edge& e : g.adj[u]) in_edges[e.to].push_back({u, e.weight});
+  }
+
+  auto id = [n](int x, int y) { return x * n + y; };
+  std::vector<int> pending(static_cast<size_t>(n) * n, 0);
+  std::queue<int> ready;
+  for (int x = 0; x < n; ++x) {
+    for (int y = 0; y < n; ++y) {
+      if (!reach[x][y]) continue;  // s(x, y) is false, already determined
+      out.status[x][y] = Definedness::kUndefined;
+      int deps = 0;
+      for (const Graph::Edge& in : in_edges[y]) {
+        if (reach[x][in.to]) ++deps;  // in.to here is the source z
+      }
+      pending[id(x, y)] = deps;
+      if (deps == 0) ready.push(id(x, y));
+    }
+  }
+
+  // Dependents of s(x, z): all s(x, y) with an edge z -> y.
+  while (!ready.empty()) {
+    int pair = ready.front();
+    ready.pop();
+    int x = pair / n;
+    int z = pair % n;
+    // Determine dist(x, z): direct arcs plus defined sub-paths.
+    double best = kUnreachable;
+    for (const Graph::Edge& in : in_edges[z]) {
+      int mid = in.to;  // arc (mid, z)
+      if (x == mid || (reach[x][mid] &&
+                       out.status[x][mid] == Definedness::kTrue)) {
+        double base = x == mid ? 0.0 : out.dist[x][mid];
+        if (base + in.weight < best) best = base + in.weight;
+      }
+    }
+    out.status[x][z] = Definedness::kTrue;
+    out.dist[x][z] = best;
+    for (const Graph::Edge& e : g.adj[z]) {
+      int y = e.to;
+      if (!reach[x][y] || out.status[x][y] != Definedness::kUndefined) {
+        continue;
+      }
+      if (--pending[id(x, y)] == 0) ready.push(id(x, y));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Company control under the fully-defined discipline
+// ---------------------------------------------------------------------------
+
+double WellFoundedCompanyControl::DefinedFraction() const {
+  int total = 0;
+  int defined = 0;
+  for (const auto& row : status) {
+    for (Definedness d : row) {
+      ++total;
+      defined += d != Definedness::kUndefined ? 1 : 0;
+    }
+  }
+  return total == 0 ? 1.0 : static_cast<double>(defined) / total;
+}
+
+int WellFoundedCompanyControl::CountUndefined() const {
+  int n = 0;
+  for (const auto& row : status) {
+    for (Definedness d : row) n += d == Definedness::kUndefined ? 1 : 0;
+  }
+  return n;
+}
+
+WellFoundedCompanyControl KempStuckeyCompanyControl(
+    const OwnershipNetwork& net) {
+  int n = net.num_companies;
+  WellFoundedCompanyControl out;
+  out.status.assign(n, std::vector<Definedness>(n, Definedness::kUndefined));
+  out.controls.assign(n, std::vector<bool>(n, false));
+
+  // c(x, y) aggregates cv(x, z, y) over every z with s(z, y) > 0, and each
+  // such instance needs c(x, z) determined. Kahn-style resolution: a pair
+  // becomes decidable once all its dependencies are; ownership cycles never
+  // resolve and stay undefined.
+  auto id = [n](int x, int y) { return x * n + y; };
+  std::vector<int> pending(static_cast<size_t>(n) * n, 0);
+  std::queue<int> ready;
+  for (int x = 0; x < n; ++x) {
+    for (int y = 0; y < n; ++y) {
+      int deps = 0;
+      for (int z = 0; z < n; ++z) {
+        if (z != x && net.shares[z][y] > 0) ++deps;
+      }
+      pending[id(x, y)] = deps;
+      if (deps == 0) ready.push(id(x, y));
+    }
+  }
+  while (!ready.empty()) {
+    int pair = ready.front();
+    ready.pop();
+    int x = pair / n;
+    int z = pair % n;
+    double m = net.shares[x][z];
+    for (int w = 0; w < n; ++w) {
+      if (w != x && out.status[x][w] == Definedness::kTrue &&
+          out.controls[x][w]) {
+        m += net.shares[w][z];
+      }
+    }
+    out.status[x][z] = Definedness::kTrue;  // the *status* is decided...
+    out.controls[x][z] = m > 0.5;
+    if (!out.controls[x][z]) out.status[x][z] = Definedness::kFalse;
+    // Dependents: every c(x, y) with s(z, y) > 0. The z == x instances flow
+    // through the first cv rule and were never counted as dependencies.
+    if (z == x) continue;
+    for (int y = 0; y < n; ++y) {
+      if (net.shares[z][y] <= 0) continue;
+      if (out.status[x][y] != Definedness::kUndefined) continue;
+      if (--pending[id(x, y)] == 0) ready.push(id(x, y));
+    }
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace mad

@@ -1,0 +1,29 @@
+#include "baselines/party_solver.h"
+
+namespace mad {
+namespace baselines {
+
+PartyResult SolveParty(const PartyInstance& instance) {
+  PartyResult out;
+  out.coming.assign(instance.num_people, false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++out.iterations;
+    for (int p = 0; p < instance.num_people; ++p) {
+      if (out.coming[p]) continue;
+      int committed = 0;
+      for (int q : instance.knows[p]) {
+        if (out.coming[q]) ++committed;
+      }
+      if (committed >= instance.threshold[p]) {
+        out.coming[p] = true;
+        changed = true;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace mad

@@ -1,0 +1,34 @@
+#ifndef MAD_BASELINES_PARTY_SOLVER_H_
+#define MAD_BASELINES_PARTY_SOLVER_H_
+
+#include <string>
+#include <vector>
+
+namespace mad {
+namespace baselines {
+
+/// An instance of the party-invitation problem (Example 4.3).
+struct PartyInstance {
+  int num_people = 0;
+  /// threshold[p]: how many committed acquaintances p needs before coming.
+  std::vector<int> threshold;
+  /// knows[p]: the people p knows.
+  std::vector<std::vector<int>> knows;
+
+  static std::string PersonName(int p) { return "p" + std::to_string(p); }
+};
+
+struct PartyResult {
+  std::vector<bool> coming;
+  int iterations = 0;
+};
+
+/// Direct monotone fixpoint: start with nobody coming; a person comes once
+/// enough of their acquaintances are committed; repeat until stable. This
+/// works on cyclic `knows` relations (where modular stratification fails).
+PartyResult SolveParty(const PartyInstance& instance);
+
+}  // namespace baselines
+}  // namespace mad
+
+#endif  // MAD_BASELINES_PARTY_SOLVER_H_

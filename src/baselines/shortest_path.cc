@@ -1,0 +1,81 @@
+#include "baselines/shortest_path.h"
+
+#include <queue>
+
+namespace mad {
+namespace baselines {
+
+std::vector<double> Dijkstra(const Graph& g, int source) {
+  std::vector<double> dist(g.num_nodes, kUnreachable);
+  dist[source] = 0;
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  pq.push({0, source});
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (const Graph::Edge& e : g.adj[u]) {
+      double nd = d + e.weight;
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        pq.push({nd, e.to});
+      }
+    }
+  }
+  return dist;
+}
+
+std::optional<std::vector<double>> BellmanFord(const Graph& g, int source) {
+  std::vector<double> dist(g.num_nodes, kUnreachable);
+  dist[source] = 0;
+  for (int round = 0; round < g.num_nodes - 1; ++round) {
+    bool changed = false;
+    for (int u = 0; u < g.num_nodes; ++u) {
+      if (dist[u] == kUnreachable) continue;
+      for (const Graph::Edge& e : g.adj[u]) {
+        double nd = dist[u] + e.weight;
+        if (nd < dist[e.to]) {
+          dist[e.to] = nd;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  // One more relaxation detects reachable negative cycles.
+  for (int u = 0; u < g.num_nodes; ++u) {
+    if (dist[u] == kUnreachable) continue;
+    for (const Graph::Edge& e : g.adj[u]) {
+      if (dist[u] + e.weight < dist[e.to]) return std::nullopt;
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<double>> AllPairsDijkstra(const Graph& g) {
+  std::vector<std::vector<double>> out;
+  out.reserve(g.num_nodes);
+  for (int s = 0; s < g.num_nodes; ++s) out.push_back(Dijkstra(g, s));
+  return out;
+}
+
+std::vector<std::vector<double>> AllPairsNonEmptyDijkstra(const Graph& g) {
+  std::vector<std::vector<double>> dist = AllPairsDijkstra(g);
+  std::vector<std::vector<double>> out(
+      g.num_nodes, std::vector<double>(g.num_nodes, kUnreachable));
+  // A non-empty x→y path decomposes as first edge (x, u) plus a (possibly
+  // empty) u→y path.
+  for (int x = 0; x < g.num_nodes; ++x) {
+    for (const Graph::Edge& e : g.adj[x]) {
+      for (int y = 0; y < g.num_nodes; ++y) {
+        double d = e.weight + dist[e.to][y];
+        if (d < out[x][y]) out[x][y] = d;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace mad

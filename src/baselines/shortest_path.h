@@ -1,0 +1,33 @@
+#ifndef MAD_BASELINES_SHORTEST_PATH_H_
+#define MAD_BASELINES_SHORTEST_PATH_H_
+
+#include <optional>
+#include <vector>
+
+#include "baselines/graph.h"
+
+namespace mad {
+namespace baselines {
+
+/// Dijkstra's algorithm from `source`. Requires non-negative weights (the
+/// same applicability envelope as greedy/GGZ evaluation, Section 5.4).
+std::vector<double> Dijkstra(const Graph& g, int source);
+
+/// Bellman–Ford from `source`; handles negative weights. Returns
+/// std::nullopt if a negative cycle is reachable from `source` (the case
+/// where the paper's least model assigns -inf, Section 6.1).
+std::optional<std::vector<double>> BellmanFord(const Graph& g, int source);
+
+/// All-pairs shortest distances via repeated Dijkstra (non-negative
+/// weights). result[u][v] = distance or kUnreachable.
+std::vector<std::vector<double>> AllPairsDijkstra(const Graph& g);
+
+/// All-pairs shortest *non-empty* path distances (>= 1 edge) — this is what
+/// the paper's s relation computes: s(x, x) is the shortest cycle through x,
+/// not 0. Non-negative weights.
+std::vector<std::vector<double>> AllPairsNonEmptyDijkstra(const Graph& g);
+
+}  // namespace baselines
+}  // namespace mad
+
+#endif  // MAD_BASELINES_SHORTEST_PATH_H_

@@ -1,0 +1,561 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "lattice/cost_domain.h"
+#include "util/string_util.h"
+
+namespace mad {
+namespace core {
+
+using datalog::Relation;
+using datalog::Tuple;
+using datalog::TupleHash;
+using lattice::NumericDomain;
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kNaive:
+      return "naive";
+    case Strategy::kSemiNaive:
+      return "semi-naive";
+    case Strategy::kGreedy:
+      return "greedy";
+  }
+  return "?";
+}
+
+void EvalStats::Accumulate(const EvalStats& other) {
+  iterations += other.iterations;
+  rule_evaluations += other.rule_evaluations;
+  derivations += other.derivations;
+  merges_new += other.merges_new;
+  merges_increased += other.merges_increased;
+  subgoal_evals += other.subgoal_evals;
+  greedy_violations += other.greedy_violations;
+  reached_fixpoint = reached_fixpoint && other.reached_fixpoint;
+  wall_seconds += other.wall_seconds;
+}
+
+std::string EvalStats::ToString() const {
+  return StrPrintf(
+      "iterations=%lld rule_evals=%lld derivations=%lld new=%lld "
+      "increased=%lld subgoals=%lld greedy_violations=%lld fixpoint=%s "
+      "wall=%.4fs",
+      static_cast<long long>(iterations),
+      static_cast<long long>(rule_evaluations),
+      static_cast<long long>(derivations),
+      static_cast<long long>(merges_new),
+      static_cast<long long>(merges_increased),
+      static_cast<long long>(subgoal_evals),
+      static_cast<long long>(greedy_violations),
+      reached_fixpoint ? "yes" : "NO", wall_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine(const Program& program, EvalOptions options)
+    : program_(&program), options_(options), graph_(program) {}
+
+StatusOr<EvalResult> Engine::Run(Database edb) const {
+  EvalResult result;
+  result.check = analysis::CheckProgram(*program_, graph_);
+  if (options_.validate) {
+    MAD_RETURN_IF_ERROR(result.check.overall());
+  }
+
+  result.db = std::move(edb);
+  for (const datalog::Fact& f : program_->facts()) {
+    MAD_RETURN_IF_ERROR(result.db.AddFact(f));
+  }
+  Provenance* prov = options_.track_provenance ? &result.provenance : nullptr;
+  if (prov != nullptr) {
+    // Everything present before evaluation is an EDB fact.
+    for (const auto& [_, rel] : result.db.relations()) {
+      for (size_t row = 0; row < rel->size(); ++row) {
+        prov->Record(rel->pred(), static_cast<uint32_t>(row),
+                     Provenance::kEdbFact);
+      }
+    }
+  }
+
+  result.component_stats.resize(graph_.components().size());
+  auto t0 = std::chrono::steady_clock::now();
+  for (const analysis::Component& component : graph_.components()) {
+    if (component.rule_indices.empty()) continue;
+    EvalStats& cstats = result.component_stats[component.index];
+    auto c0 = std::chrono::steady_clock::now();
+    MAD_RETURN_IF_ERROR(RunComponent(component, &result.db, &cstats, prov));
+    cstats.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - c0)
+            .count();
+    // Accumulate without double-counting wall time (it is re-measured).
+    double saved = result.stats.wall_seconds;
+    result.stats.Accumulate(cstats);
+    result.stats.wall_seconds = saved;
+  }
+  result.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+Status Engine::RunComponent(const analysis::Component& component,
+                            Database* db, EvalStats* stats,
+                            Provenance* prov) const {
+  std::vector<CompiledRule> rules;
+  rules.reserve(component.rule_indices.size());
+  for (int ri : component.rule_indices) {
+    MAD_ASSIGN_OR_RETURN(CompiledRule cr,
+                         CompileRule(program_->rules()[ri], graph_));
+    cr.rule_index = ri;
+    rules.push_back(std::move(cr));
+  }
+  switch (options_.strategy) {
+    case Strategy::kNaive:
+      return RunNaive(rules, db, stats, prov);
+    case Strategy::kSemiNaive:
+      return RunSemiNaive(rules, db, stats, prov);
+    case Strategy::kGreedy:
+      return RunGreedy(component, rules, db, stats, prov);
+  }
+  return Status::Internal("unknown strategy");
+}
+
+// ---------------------------------------------------------------------------
+// Merging
+// ---------------------------------------------------------------------------
+
+Status Engine::MergeDerivations(
+    const std::vector<Derivation>& derivations, Database* db,
+    EvalStats* stats, std::map<int, std::vector<uint32_t>>* delta,
+    Provenance* prov) const {
+  for (const Derivation& d : derivations) {
+    Relation* rel = db->GetOrCreate(d.pred);
+    if (options_.epsilon > 0 && d.pred->has_cost) {
+      const Value* cur = rel->Find(d.key);
+      if (cur != nullptr) {
+        Value joined = d.pred->domain->Join(*cur, d.cost);
+        if ((joined.is_numeric() || joined.is_bool()) &&
+            (cur->is_numeric() || cur->is_bool()) &&
+            std::fabs(joined.AsDouble() - cur->AsDouble()) <
+                options_.epsilon) {
+          continue;  // converged within tolerance
+        }
+      }
+    }
+    uint32_t row = 0;
+    Relation::MergeResult mr = rel->Merge(d.key, d.cost, &row);
+    switch (mr) {
+      case Relation::MergeResult::kNew:
+        ++stats->merges_new;
+        if (delta != nullptr) (*delta)[d.pred->id].push_back(row);
+        if (prov != nullptr) prov->Record(d.pred, row, d.rule_index);
+        break;
+      case Relation::MergeResult::kIncreased:
+        ++stats->merges_increased;
+        if (delta != nullptr) (*delta)[d.pred->id].push_back(row);
+        if (prov != nullptr) prov->Record(d.pred, row, d.rule_index);
+        break;
+      case Relation::MergeResult::kUnchanged:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+void DedupeDelta(std::map<int, std::vector<uint32_t>>* delta) {
+  for (auto& [_, rows] : *delta) {
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  }
+}
+
+size_t DeltaSize(const std::map<int, std::vector<uint32_t>>& delta) {
+  size_t n = 0;
+  for (const auto& [_, rows] : delta) n += rows.size();
+  return n;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Naive: J <- T_P(J, I) until fixpoint
+// ---------------------------------------------------------------------------
+
+Status Engine::RunNaive(const std::vector<CompiledRule>& rules, Database* db,
+                        EvalStats* stats, Provenance* prov) const {
+  RuleExecutor exec(db);
+  std::vector<Derivation> buffer;
+  while (true) {
+    if (stats->iterations >= options_.max_iterations) {
+      stats->reached_fixpoint = false;
+      return Status::OK();
+    }
+    ++stats->iterations;
+    buffer.clear();
+    for (const CompiledRule& rule : rules) {
+      ++stats->rule_evaluations;
+      exec.RunBase(rule, &buffer);
+    }
+    stats->derivations += static_cast<int64_t>(buffer.size());
+
+    if (options_.check_cost_consistency) {
+      // A single application of T_P may not derive two different costs for
+      // one key (Definition 3.7).
+      std::map<int, std::unordered_map<Tuple, Value, TupleHash>> seen;
+      for (const Derivation& d : buffer) {
+        if (!d.pred->has_cost) continue;
+        auto [it, inserted] = seen[d.pred->id].emplace(d.key, d.cost);
+        if (!inserted && !d.pred->domain->Equal(it->second, d.cost)) {
+          return Status::CostConsistencyViolation(StrPrintf(
+              "T_P derived both %s and %s for %s%s in one application",
+              it->second.ToString().c_str(), d.cost.ToString().c_str(),
+              d.pred->name.c_str(), datalog::TupleToString(d.key).c_str()));
+        }
+      }
+    }
+
+    std::map<int, std::vector<uint32_t>> delta;
+    MAD_RETURN_IF_ERROR(MergeDerivations(buffer, db, stats, &delta, prov));
+    if (DeltaSize(delta) == 0) break;
+  }
+  stats->subgoal_evals = exec.subgoal_evals();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Semi-naive: delta-driven rounds
+// ---------------------------------------------------------------------------
+
+Status Engine::RunSemiNaive(const std::vector<CompiledRule>& rules,
+                            Database* db, EvalStats* stats,
+                            Provenance* prov) const {
+  RuleExecutor exec(db);
+  std::vector<Derivation> buffer;
+  std::map<int, std::vector<uint32_t>> delta;
+
+  // Round 0: full evaluation against the (empty-CDB) initial interpretation;
+  // the default extensions J_∅ are synthesized by the executor.
+  ++stats->iterations;
+  for (const CompiledRule& rule : rules) {
+    ++stats->rule_evaluations;
+    buffer.clear();
+    exec.RunBase(rule, &buffer);
+    stats->derivations += static_cast<int64_t>(buffer.size());
+    MAD_RETURN_IF_ERROR(MergeDerivations(buffer, db, stats, &delta, prov));
+  }
+
+  while (DeltaSize(delta) > 0) {
+    if (stats->iterations >= options_.max_iterations) {
+      stats->reached_fixpoint = false;
+      return Status::OK();
+    }
+    ++stats->iterations;
+    DedupeDelta(&delta);
+    std::map<int, std::vector<uint32_t>> next_delta;
+    for (const CompiledRule& rule : rules) {
+      for (const DriverVariant& driver : rule.drivers) {
+        auto it = delta.find(driver.delta_pred->id);
+        if (it == delta.end()) continue;
+        const Relation* rel = db->Find(driver.delta_pred);
+        for (uint32_t row : it->second) {
+          ++stats->rule_evaluations;
+          buffer.clear();
+          // Current cost (possibly fresher than at delta-recording time —
+          // monotonicity makes that harmless).
+          exec.RunDriver(rule, driver, rel->key_at(row), rel->cost_at(row),
+                         &buffer);
+          stats->derivations += static_cast<int64_t>(buffer.size());
+          MAD_RETURN_IF_ERROR(
+              MergeDerivations(buffer, db, stats, &next_delta, prov));
+        }
+      }
+    }
+    delta = std::move(next_delta);
+  }
+  stats->subgoal_evals = exec.subgoal_evals();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Greedy (generalized Dijkstra, Section 5.4 / Ganguly-Greco-Zaniolo style)
+// ---------------------------------------------------------------------------
+
+Status Engine::RunGreedy(const analysis::Component& component,
+                         const std::vector<CompiledRule>& rules, Database* db,
+                         EvalStats* stats, Provenance* prov) const {
+  // Applicability: every CDB predicate carries a cost from one *totally
+  // ordered numeric* lattice family (all ascending or all descending).
+  std::optional<bool> ascending;
+  for (const PredicateInfo* p : component.predicates) {
+    if (!p->has_cost) {
+      return Status::InvalidArgument(StrPrintf(
+          "greedy evaluation needs cost predicates; '%s' has no cost "
+          "argument",
+          p->name.c_str()));
+    }
+    const auto* num = dynamic_cast<const NumericDomain*>(p->domain);
+    if (num == nullptr) {
+      return Status::InvalidArgument(StrPrintf(
+          "greedy evaluation needs numeric cost domains; '%s' uses %s",
+          p->name.c_str(), std::string(p->domain->name()).c_str()));
+    }
+    if (ascending.has_value() && *ascending != num->ascending()) {
+      return Status::InvalidArgument(
+          "greedy evaluation needs one lattice direction per component");
+    }
+    ascending = num->ascending();
+  }
+
+  RuleExecutor exec(db);
+  std::vector<Derivation> buffer;
+
+  // Entries ordered final-value-first: numeric ascending for min-style
+  // (descending ⊑) domains, numeric descending for max-style domains.
+  struct Entry {
+    double sort_key;
+    int pred_id;
+    uint32_t row;
+    double pushed_value;
+    bool operator>(const Entry& o) const { return sort_key > o.sort_key; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  std::map<int, std::vector<bool>> settled;
+  std::map<int, const PredicateInfo*> pred_by_id;
+  for (const PredicateInfo* p : component.predicates) pred_by_id[p->id] = p;
+
+  auto push_row = [&](const PredicateInfo* pred, uint32_t row) {
+    const Relation* rel = db->Find(pred);
+    double v = rel->cost_at(row).AsDouble();
+    queue.push({*ascending ? -v : v, pred->id, row, v});
+  };
+
+  auto merge_greedy = [&]() -> Status {
+    for (const Derivation& d : buffer) {
+      Relation* rel = db->GetOrCreate(d.pred);
+      uint32_t row = 0;
+      // Peek: would this merge change a settled key?
+      const Value* cur = rel->Find(d.key);
+      if (cur != nullptr) {
+        auto sit = settled.find(d.pred->id);
+        std::optional<uint32_t> existing_row = rel->FindRow(d.key);
+        if (sit != settled.end() && existing_row.has_value() &&
+            *existing_row < sit->second.size() &&
+            sit->second[*existing_row]) {
+          if (!d.pred->domain->Equal(d.pred->domain->Join(*cur, d.cost),
+                                     *cur)) {
+            ++stats->greedy_violations;  // late improvement: greedy is lossy
+          }
+          continue;
+        }
+      }
+      Relation::MergeResult mr = rel->Merge(d.key, d.cost, &row);
+      if (mr == Relation::MergeResult::kNew) {
+        ++stats->merges_new;
+        if (prov != nullptr) prov->Record(d.pred, row, d.rule_index);
+        push_row(d.pred, row);
+      } else if (mr == Relation::MergeResult::kIncreased) {
+        ++stats->merges_increased;
+        if (prov != nullptr) prov->Record(d.pred, row, d.rule_index);
+        push_row(d.pred, row);
+      }
+    }
+    return Status::OK();
+  };
+
+  // Seed: full evaluation once.
+  for (const CompiledRule& rule : rules) {
+    ++stats->rule_evaluations;
+    buffer.clear();
+    exec.RunBase(rule, &buffer);
+    stats->derivations += static_cast<int64_t>(buffer.size());
+    MAD_RETURN_IF_ERROR(merge_greedy());
+  }
+
+  while (!queue.empty()) {
+    Entry e = queue.top();
+    queue.pop();
+    const PredicateInfo* pred = pred_by_id[e.pred_id];
+    const Relation* rel = db->Find(pred);
+    double current = rel->cost_at(e.row).AsDouble();
+    if (current != e.pushed_value) continue;  // stale entry
+    std::vector<bool>& s = settled[e.pred_id];
+    if (e.row >= s.size()) s.resize(rel->size(), false);
+    if (s[e.row]) continue;
+    s[e.row] = true;
+    ++stats->iterations;
+
+    for (const CompiledRule& rule : rules) {
+      for (const DriverVariant& driver : rule.drivers) {
+        if (driver.delta_pred != pred) continue;
+        ++stats->rule_evaluations;
+        buffer.clear();
+        exec.RunDriver(rule, driver, rel->key_at(e.row), rel->cost_at(e.row),
+                       &buffer);
+        stats->derivations += static_cast<int64_t>(buffer.size());
+        MAD_RETURN_IF_ERROR(merge_greedy());
+      }
+    }
+  }
+  stats->subgoal_evals = exec.subgoal_evals();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Incremental maintenance (monotone inserts)
+// ---------------------------------------------------------------------------
+
+StatusOr<EvalStats> Engine::Update(
+    EvalResult* result, const std::vector<datalog::Fact>& facts) const {
+  // Insert-only maintenance is exact only under the update-safety
+  // discipline: no negation, fully monotonic aggregates, and no value
+  // *increase* on a predicate some rule consumes antitonically (new keys
+  // for such predicates are still fine — they only add ground instances).
+  analysis::UpdateSafety safety = analysis::AnalyzeUpdateSafety(*program_);
+  MAD_RETURN_IF_ERROR(safety.basic);
+
+  EvalStats stats;
+  Provenance* prov =
+      options_.track_provenance ? &result->provenance : nullptr;
+
+  auto guard_increase = [&](const PredicateInfo* pred,
+                            Relation::MergeResult mr) -> Status {
+    if (mr == Relation::MergeResult::kIncreased &&
+        safety.IncreaseUnsafe(pred)) {
+      return Status::InvalidArgument(StrPrintf(
+          "incremental update raised the value of an existing '%s' key, but "
+          "a rule uses that value antitonically; recompute from scratch",
+          pred->name.c_str()));
+    }
+    return Status::OK();
+  };
+
+  // Merge the new facts, recording the changed rows per predicate.
+  std::map<int, std::vector<uint32_t>> global_delta;
+  for (const datalog::Fact& f : facts) {
+    Relation* rel = result->db.GetOrCreate(f.pred);
+    Value cost;
+    if (f.pred->has_cost) {
+      if (!f.cost.has_value() || !f.pred->domain->Contains(*f.cost)) {
+        return Status::InvalidArgument(StrPrintf(
+            "bad incremental fact for '%s'", f.pred->name.c_str()));
+      }
+      cost = f.pred->domain->Normalize(*f.cost);
+    }
+    uint32_t row = 0;
+    Relation::MergeResult mr = rel->Merge(f.key, cost, &row);
+    MAD_RETURN_IF_ERROR(guard_increase(f.pred, mr));
+    if (mr != Relation::MergeResult::kUnchanged) {
+      global_delta[f.pred->id].push_back(row);
+      if (prov != nullptr) prov->Record(f.pred, row, Provenance::kEdbFact);
+      ++stats.merges_new;
+    }
+  }
+
+  RuleExecutor exec(&result->db);
+  std::vector<Derivation> buffer;
+  for (const analysis::Component& component : graph_.components()) {
+    if (component.rule_indices.empty()) continue;
+    std::vector<CompiledRule> rules;
+    for (int ri : component.rule_indices) {
+      MAD_ASSIGN_OR_RETURN(CompiledRule cr,
+                           CompileRule(program_->rules()[ri], graph_));
+      cr.rule_index = ri;
+      rules.push_back(std::move(cr));
+    }
+    // Seed with everything changed so far (EDB inserts + lower components),
+    // then run delta rounds; changes feed both the next round and the
+    // global delta consumed by higher components.
+    std::map<int, std::vector<uint32_t>> delta = global_delta;
+    while (DeltaSize(delta) > 0) {
+      if (stats.iterations >= options_.max_iterations) {
+        stats.reached_fixpoint = false;
+        result->stats.Accumulate(stats);
+        return stats;
+      }
+      ++stats.iterations;
+      DedupeDelta(&delta);
+      std::map<int, std::vector<uint32_t>> next_delta;
+      for (const CompiledRule& rule : rules) {
+        for (const DriverVariant& driver : rule.drivers) {
+          auto it = delta.find(driver.delta_pred->id);
+          if (it == delta.end()) continue;
+          const Relation* rel = result->db.Find(driver.delta_pred);
+          for (uint32_t row : it->second) {
+            ++stats.rule_evaluations;
+            buffer.clear();
+            exec.RunDriver(rule, driver, rel->key_at(row),
+                           rel->cost_at(row), &buffer);
+            stats.derivations += static_cast<int64_t>(buffer.size());
+            // Merge with the increase guard (derived increases on unsafe
+            // predicates are just as unsound as inserted ones).
+            for (const Derivation& d : buffer) {
+              Relation* target = result->db.GetOrCreate(d.pred);
+              uint32_t drow = 0;
+              Relation::MergeResult mr = target->Merge(d.key, d.cost, &drow);
+              MAD_RETURN_IF_ERROR(guard_increase(d.pred, mr));
+              if (mr == Relation::MergeResult::kUnchanged) continue;
+              if (mr == Relation::MergeResult::kNew) {
+                ++stats.merges_new;
+              } else {
+                ++stats.merges_increased;
+              }
+              next_delta[d.pred->id].push_back(drow);
+              if (prov != nullptr) prov->Record(d.pred, drow, d.rule_index);
+            }
+          }
+        }
+      }
+      for (const auto& [pred_id, rows] : next_delta) {
+        auto& acc = global_delta[pred_id];
+        acc.insert(acc.end(), rows.begin(), rows.end());
+      }
+      delta = std::move(next_delta);
+    }
+  }
+  stats.subgoal_evals = exec.subgoal_evals();
+  result->stats.Accumulate(stats);
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+StatusOr<ParsedRun> ParseAndRun(std::string_view program_text,
+                                EvalOptions options) {
+  MAD_ASSIGN_OR_RETURN(Program parsed, datalog::ParseProgram(program_text));
+  ParsedRun run;
+  run.program = std::make_unique<Program>(std::move(parsed));
+  Engine engine(*run.program, options);
+  MAD_ASSIGN_OR_RETURN(run.result, engine.Run(Database()));
+  return run;
+}
+
+std::optional<datalog::Value> LookupCost(const Program& program,
+                                         const Database& db,
+                                         std::string_view pred_name,
+                                         const datalog::Tuple& key) {
+  const PredicateInfo* pred = program.FindPredicate(pred_name);
+  if (pred == nullptr) return std::nullopt;
+  const Relation* rel = db.Find(pred);
+  const Value* stored = rel != nullptr ? rel->Find(key) : nullptr;
+  if (stored != nullptr) {
+    return pred->has_cost ? *stored : Value::Bool(true);
+  }
+  if (pred->has_default) return pred->domain->Bottom();
+  return std::nullopt;
+}
+
+}  // namespace core
+}  // namespace mad

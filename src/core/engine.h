@@ -1,0 +1,172 @@
+#ifndef MAD_CORE_ENGINE_H_
+#define MAD_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/admissibility.h"
+#include "analysis/checker.h"
+#include "analysis/dependency_graph.h"
+#include "core/compiled_rule.h"
+#include "core/executor.h"
+#include "core/provenance.h"
+#include "datalog/database.h"
+#include "datalog/parser.h"
+#include "util/status.h"
+
+namespace mad {
+namespace core {
+
+using datalog::Database;
+using datalog::Program;
+
+/// How a component's least fixpoint is computed (Section 6.2).
+enum class Strategy {
+  /// Literal iteration J <- T_P(J, I): every rule fully re-evaluated each
+  /// round. Reference semantics; also the mode that can dynamically detect
+  /// cost-consistency violations within a single T_P application.
+  kNaive,
+  /// Delta-driven: each round only re-derives what changed rows can newly
+  /// contribute, including re-aggregating only affected groups.
+  kSemiNaive,
+  /// Ganguly-Greco-Zaniolo-style greedy (generalized Dijkstra): settle keys
+  /// in final-value-first order. Sound only for extremal programs whose
+  /// cost composition never moves a settled key (e.g. shortest paths with
+  /// non-negative weights); violations are counted in EvalStats.
+  kGreedy,
+};
+
+const char* StrategyName(Strategy s);
+
+/// Knobs for one evaluation.
+struct EvalOptions {
+  Strategy strategy = Strategy::kSemiNaive;
+  /// Run the full static checker and refuse non-monotonic programs. Turn
+  /// off to reproduce the behaviour of *rejected* programs in experiments.
+  bool validate = true;
+  /// Upper bound on fixpoint rounds per component (naive/semi-naive) — the
+  /// guard for monotone-but-not-continuous operators (Example 5.1).
+  int64_t max_iterations = 1'000'000;
+  /// Treat numeric cost increases smaller than this as converged. 0 = exact.
+  double epsilon = 0.0;
+  /// Naive only: verify that each single T_P application derives at most one
+  /// cost per key (dynamic cost-consistency check, Definition 3.7).
+  bool check_cost_consistency = false;
+  /// Record rule-level provenance (which rule set each row's value); see
+  /// Provenance::Explain.
+  bool track_provenance = false;
+};
+
+/// Counters for one evaluation (or one component).
+struct EvalStats {
+  int64_t iterations = 0;       ///< fixpoint rounds (greedy: queue pops)
+  int64_t rule_evaluations = 0; ///< base/driver executions
+  int64_t derivations = 0;      ///< head tuples emitted (pre-merge)
+  int64_t merges_new = 0;       ///< keys first derived
+  int64_t merges_increased = 0; ///< cost strictly raised in ⊑
+  int64_t subgoal_evals = 0;
+  /// Greedy only: merges that would have raised an already-settled key —
+  /// each one is a place where greedy evaluation lost the least model.
+  int64_t greedy_violations = 0;
+  bool reached_fixpoint = true;
+  double wall_seconds = 0;
+
+  void Accumulate(const EvalStats& other);
+  std::string ToString() const;
+};
+
+/// The outcome of Engine::Run.
+struct EvalResult {
+  /// EDB plus every derived relation (the minimal model M_I^P of each
+  /// component, computed bottom-up per Section 6.3).
+  Database db;
+  EvalStats stats;
+  std::vector<EvalStats> component_stats;  ///< indexed like graph components
+  analysis::ProgramCheckResult check;
+  /// Populated when EvalOptions::track_provenance is set.
+  Provenance provenance;
+};
+
+/// Evaluates a program under the paper's minimal-model semantics: components
+/// in bottom-up order, each component to its least fixpoint via the selected
+/// strategy.
+class Engine {
+ public:
+  explicit Engine(const Program& program, EvalOptions options = {});
+
+  const analysis::DependencyGraph& graph() const { return graph_; }
+  const EvalOptions& options() const { return options_; }
+
+  /// Runs to fixpoint. `edb` supplies the extensional relations (the
+  /// program's inline facts are added automatically). On success the result
+  /// owns the full database.
+  StatusOr<EvalResult> Run(Database edb) const;
+
+  /// Convenience: run with only the program's inline facts as EDB.
+  StatusOr<EvalResult> Run() const { return Run(Database()); }
+
+  /// Incremental view maintenance for *monotone inserts*: merges `facts`
+  /// into `result` (which must come from a prior Run/Update of this engine)
+  /// and continues the fixpoint from the changed rows only, component by
+  /// component, instead of recomputing. When every rule is monotone in the
+  /// *inputs* too, inserting facts can only move the least model up in ⊑,
+  /// so the old model plus the delta-closure is exactly the new least model.
+  ///
+  /// Rejected (InvalidArgument) when analysis::AnalyzeUpdateSafety finds the
+  /// program unsound for inserts (negation, pseudo-monotonic aggregates,
+  /// antitonically-used aggregate values), or at merge time when an update
+  /// would raise an existing key of an increase-unsafe predicate.
+  StatusOr<EvalStats> Update(EvalResult* result,
+                             const std::vector<datalog::Fact>& facts) const;
+
+ private:
+  Status RunComponent(const analysis::Component& component, Database* db,
+                      EvalStats* stats, Provenance* prov) const;
+  Status RunNaive(const std::vector<CompiledRule>& rules, Database* db,
+                  EvalStats* stats, Provenance* prov) const;
+  Status RunSemiNaive(const std::vector<CompiledRule>& rules, Database* db,
+                      EvalStats* stats, Provenance* prov) const;
+  Status RunGreedy(const analysis::Component& component,
+                   const std::vector<CompiledRule>& rules, Database* db,
+                   EvalStats* stats, Provenance* prov) const;
+
+  /// Merges buffered derivations; returns changed row ids per predicate.
+  /// `delta` maps predicate id -> row ids changed by this merge batch.
+  /// `prov` (nullable) records the producing rule per changed row.
+  Status MergeDerivations(const std::vector<Derivation>& derivations,
+                          Database* db, EvalStats* stats,
+                          std::map<int, std::vector<uint32_t>>* delta,
+                          Provenance* prov) const;
+
+  const Program* program_;
+  EvalOptions options_;
+  analysis::DependencyGraph graph_;
+};
+
+/// A parsed program together with its evaluation result. The database's
+/// rows reference PredicateInfo objects owned by the program, so the two
+/// must travel together.
+struct ParsedRun {
+  std::unique_ptr<Program> program;
+  EvalResult result;
+};
+
+/// One-call helper used by examples and tests: parse, run, return both the
+/// program and the result.
+StatusOr<ParsedRun> ParseAndRun(std::string_view program_text,
+                                EvalOptions options = {});
+
+/// Looks up the cost stored for `key` in predicate `pred_name`, or
+/// std::nullopt if the key is absent (for default-value predicates the
+/// lattice bottom is substituted). For cost-free predicates, returns
+/// Value::Bool(true) when the key is present.
+std::optional<datalog::Value> LookupCost(const Program& program,
+                                         const Database& db,
+                                         std::string_view pred_name,
+                                         const datalog::Tuple& key);
+
+}  // namespace core
+}  // namespace mad
+
+#endif  // MAD_CORE_ENGINE_H_

@@ -1,0 +1,120 @@
+#ifndef MAD_CORE_EXECUTOR_H_
+#define MAD_CORE_EXECUTOR_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/compiled_rule.h"
+#include "datalog/database.h"
+
+namespace mad {
+namespace core {
+
+using datalog::Database;
+using datalog::Relation;
+using datalog::Tuple;
+
+/// A variable assignment over a compiled rule's slots.
+class Binding {
+ public:
+  void Reset(int num_slots) {
+    values_.assign(num_slots, Value());
+    bound_.assign(num_slots, false);
+  }
+  bool IsBound(int slot) const { return bound_[slot]; }
+  const Value& Get(int slot) const { return values_[slot]; }
+  void Set(int slot, Value v) {
+    values_[slot] = std::move(v);
+    bound_[slot] = true;
+  }
+  void Clear(int slot) {
+    bound_[slot] = false;
+    values_[slot] = Value();
+  }
+
+ private:
+  std::vector<Value> values_;
+  std::vector<bool> bound_;
+};
+
+/// One head derivation produced by a rule evaluation.
+struct Derivation {
+  const PredicateInfo* pred = nullptr;
+  Tuple key;
+  Value cost;  ///< normalized; unset for cost-free predicates
+  int rule_index = -1;
+};
+
+/// Evaluates compiled rules against a database, emitting derivations into a
+/// caller-supplied buffer. The executor never mutates the database — callers
+/// merge the buffered derivations afterwards, which keeps relation scans and
+/// inserts strictly phased (T_P reads J, then J is advanced).
+///
+/// Default-value cost predicates are synthesized on the fly: a lookup of an
+/// absent key yields the domain's Bottom(), so only the core is ever stored
+/// (Section 2.3.3) while aggregates see the full default extension
+/// (Example 4.4 depends on this).
+class RuleExecutor {
+ public:
+  explicit RuleExecutor(const Database* db) : db_(db) {}
+
+  /// Full evaluation of the rule (naive rounds, semi-naive round 0).
+  void RunBase(const CompiledRule& rule, std::vector<Derivation>* out);
+
+  /// Semi-naive: derive everything the changed row (delta_key, delta_cost)
+  /// of `driver.delta_pred` can newly contribute through this occurrence.
+  void RunDriver(const CompiledRule& rule, const DriverVariant& driver,
+                 const Tuple& delta_key, const Value& delta_cost,
+                 std::vector<Derivation>* out);
+
+  /// Number of subgoal evaluations performed (for EvalStats).
+  int64_t subgoal_evals() const { return subgoal_evals_; }
+
+ private:
+  void RunSchedule(const CompiledRule& rule, const Schedule& schedule,
+                   size_t idx, Binding* binding,
+                   std::vector<Derivation>* out);
+  /// Evaluates an aggregate step whose grouping slots are all bound, then
+  /// continues the schedule.
+  void EvalBoundAggregate(const CompiledRule& rule, const Schedule& schedule,
+                          size_t idx, const CompiledAggregate& agg,
+                          Binding* binding, std::vector<Derivation>* out);
+  void EmitHead(const CompiledRule& rule, const Binding& binding,
+                std::vector<Derivation>* out);
+
+  /// Enumerates rows of `atom` compatible with `binding`, invoking `cont`
+  /// with the newly bound slots set; restores the binding afterwards.
+  void EnumAtom(const CompiledAtom& atom, Binding* binding,
+                const std::function<void()>& cont);
+  /// Enumerates solutions of a scheduled atom list starting at `idx`.
+  void EnumAtomList(const std::vector<CompiledAtom>& atoms, size_t idx,
+                    Binding* binding, const std::function<void()>& cont);
+
+  bool NegationHolds(const CompiledAtom& atom, const Binding& binding);
+  bool EvalAggregateInto(const CompiledAggregate& agg, Binding* binding,
+                         std::optional<Value>* result);
+
+  /// Binds the delta row against the seed occurrence; false on mismatch.
+  bool MatchSeed(const CompiledAtom& seed, const Tuple& delta_key,
+                 const Value& delta_cost, Binding* binding);
+
+  std::optional<Value> EvalExpr(const datalog::Expr& e,
+                                const CompiledRule& rule,
+                                const Binding& binding);
+  bool EvalCompare(datalog::CmpOp op, const Value& a, const Value& b);
+
+  /// Resolves a SlotTerm to its current value; the slot must be bound.
+  const Value& Resolve(const SlotTerm& t, const Binding& binding) const {
+    return t.is_slot ? binding.Get(t.slot) : t.constant;
+  }
+
+  const Database* db_;
+  const CompiledRule* current_rule_ = nullptr;
+  int64_t subgoal_evals_ = 0;
+};
+
+}  // namespace core
+}  // namespace mad
+
+#endif  // MAD_CORE_EXECUTOR_H_

@@ -1,0 +1,59 @@
+#include "core/provenance.h"
+
+#include "util/string_util.h"
+
+namespace mad {
+namespace core {
+
+void Provenance::Record(const datalog::PredicateInfo* pred, uint32_t row,
+                        int rule_index) {
+  std::vector<int>& rows = rule_by_row_[pred->id];
+  if (rows.size() <= row) rows.resize(row + 1, kEdbFact);
+  rows[row] = rule_index;
+}
+
+std::optional<int> Provenance::RuleFor(const datalog::PredicateInfo* pred,
+                                       uint32_t row) const {
+  auto it = rule_by_row_.find(pred->id);
+  if (it == rule_by_row_.end() || row >= it->second.size()) {
+    return std::nullopt;
+  }
+  return it->second[row];
+}
+
+std::string Provenance::Explain(const datalog::Program& program,
+                                const datalog::Database& db,
+                                std::string_view pred_name,
+                                const datalog::Tuple& key) const {
+  const datalog::PredicateInfo* pred = program.FindPredicate(pred_name);
+  if (pred == nullptr) return "unknown predicate";
+  const datalog::Relation* rel = db.Find(pred);
+  std::optional<uint32_t> row =
+      rel != nullptr ? rel->FindRow(key) : std::nullopt;
+  if (!row.has_value()) {
+    if (pred->has_default) {
+      return StrPrintf("%s%s carries the default value %s (Section 2.3.2)",
+                       pred->name.c_str(),
+                       datalog::TupleToString(key).c_str(),
+                       pred->domain->Bottom().ToString().c_str());
+    }
+    return "unknown fact";
+  }
+  std::string fact = pred->name + datalog::TupleToString(key);
+  if (pred->has_cost) {
+    fact += " = " + rel->cost_at(*row).ToString();
+  }
+  std::optional<int> rule = RuleFor(pred, *row);
+  if (!rule.has_value()) {
+    return fact + " — provenance not recorded";
+  }
+  if (*rule == kEdbFact) {
+    return fact + " — EDB fact";
+  }
+  const datalog::Rule& r = program.rules()[*rule];
+  return StrPrintf("%s — derived by rule %d (line %d): %s", fact.c_str(),
+                   *rule, r.source_line, r.ToString().c_str());
+}
+
+}  // namespace core
+}  // namespace mad

@@ -1,0 +1,51 @@
+#ifndef MAD_CORE_PROVENANCE_H_
+#define MAD_CORE_PROVENANCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/database.h"
+
+namespace mad {
+namespace core {
+
+/// Rule-level "why" provenance: for every stored row, which rule produced
+/// its current cost value (the *last* merge that changed the row — earlier
+/// contributions were superseded in ⊑).
+///
+/// This is deliberately lightweight (one int per row) so it can stay on
+/// during production runs; full derivation-tree provenance would have to
+/// record body bindings per merge.
+class Provenance {
+ public:
+  static constexpr int kEdbFact = -1;
+
+  /// Records that `rule_index` set the current value of (pred, row).
+  void Record(const datalog::PredicateInfo* pred, uint32_t row,
+              int rule_index);
+
+  /// Rule index that last changed the row, kEdbFact for EDB inserts, or
+  /// std::nullopt if the row was never recorded (provenance was off).
+  std::optional<int> RuleFor(const datalog::PredicateInfo* pred,
+                             uint32_t row) const;
+
+  /// Human-readable one-line explanation for a fact, e.g.
+  ///   "s(a, b, 1) — derived by rule 3 (line 9): s(X, Y, C) :- ..."
+  /// Returns "unknown fact" if the key is absent.
+  std::string Explain(const datalog::Program& program,
+                      const datalog::Database& db, std::string_view pred_name,
+                      const datalog::Tuple& key) const;
+
+  bool empty() const { return rule_by_row_.empty(); }
+
+ private:
+  /// pred id -> per-row rule index (kEdbFact for EDB).
+  std::map<int, std::vector<int>> rule_by_row_;
+};
+
+}  // namespace core
+}  // namespace mad
+
+#endif  // MAD_CORE_PROVENANCE_H_

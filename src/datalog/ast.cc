@@ -1,0 +1,459 @@
+#include "datalog/ast.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace mad {
+namespace datalog {
+
+namespace {
+
+/// Appends `name` to `out` if not already present (stable first-occurrence
+/// order matters for readable diagnostics).
+void AddVar(std::vector<std::string>* out, const std::string& name) {
+  if (std::find(out->begin(), out->end(), name) == out->end()) {
+    out->push_back(name);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PredicateInfo / Term / Expr
+// ---------------------------------------------------------------------------
+
+std::string PredicateInfo::ToString() const {
+  std::string out = ".decl " + name + "(";
+  for (int i = 0; i < key_arity(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrPrintf("a%d", i);
+  }
+  if (has_cost) {
+    if (key_arity() > 0) out += ", ";
+    out += "c: ";
+    out += domain->name();
+  }
+  out += ")";
+  if (has_default) out += " default";
+  return out;
+}
+
+std::string Term::ToString() const {
+  if (is_var()) return var;
+  if (constant.is_symbol()) {
+    // Quote symbols that would not re-lex as a lowercase identifier.
+    std::string_view n = constant.symbol_name();
+    bool plain = !n.empty() && (std::islower(static_cast<unsigned char>(n[0])));
+    for (char c : n) {
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+        plain = false;
+      }
+    }
+    return plain ? std::string(n) : "\"" + std::string(n) + "\"";
+  }
+  return constant.ToString();
+}
+
+std::unique_ptr<Expr> Expr::Const(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kConst;
+  e->constant = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Var(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kVar;
+  e->var = std::move(name);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Binary(Kind k, std::unique_ptr<Expr> l,
+                                   std::unique_ptr<Expr> r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = k;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->constant = constant;
+  e->var = var;
+  if (lhs) e->lhs = lhs->Clone();
+  if (rhs) e->rhs = rhs->Clone();
+  return e;
+}
+
+void Expr::CollectVars(std::vector<std::string>* out) const {
+  switch (kind) {
+    case Kind::kConst:
+      return;
+    case Kind::kVar:
+      AddVar(out, var);
+      return;
+    default:
+      lhs->CollectVars(out);
+      rhs->CollectVars(out);
+  }
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kConst:
+      return constant.ToString();
+    case Kind::kVar:
+      return var;
+    case Kind::kAdd:
+      return "(" + lhs->ToString() + " + " + rhs->ToString() + ")";
+    case Kind::kSub:
+      return "(" + lhs->ToString() + " - " + rhs->ToString() + ")";
+    case Kind::kMul:
+      return "(" + lhs->ToString() + " * " + rhs->ToString() + ")";
+    case Kind::kDiv:
+      return "(" + lhs->ToString() + " / " + rhs->ToString() + ")";
+    case Kind::kMin2:
+      return "min2(" + lhs->ToString() + ", " + rhs->ToString() + ")";
+    case Kind::kMax2:
+      return "max2(" + lhs->ToString() + ", " + rhs->ToString() + ")";
+  }
+  return "?";
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Atom
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> Atom::KeyVars() const {
+  std::vector<std::string> out;
+  int n = pred->key_arity();
+  for (int i = 0; i < n; ++i) {
+    if (args[i].is_var()) AddVar(&out, args[i].var);
+  }
+  return out;
+}
+
+const Term* Atom::CostTerm() const {
+  if (!pred->has_cost) return nullptr;
+  return &args.back();
+}
+
+std::string Atom::ToString() const {
+  std::string out = pred->name + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  return out + ")";
+}
+
+// ---------------------------------------------------------------------------
+// AggregateSubgoal / BuiltinSubgoal / Subgoal
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> AggregateSubgoal::AtomVars() const {
+  std::vector<std::string> out;
+  for (const Atom& a : atoms) {
+    for (const Term& t : a.args) {
+      if (t.is_var()) AddVar(&out, t.var);
+    }
+  }
+  return out;
+}
+
+std::string AggregateSubgoal::ToString() const {
+  std::string out = result.ToString();
+  out += restricted ? " =r " : " = ";
+  out += function_name;
+  if (!multiset_var.empty()) out += " " + multiset_var;
+  out += " : ";
+  if (atoms.size() == 1) {
+    out += atoms[0].ToString();
+  } else {
+    out += "(";
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += atoms[i].ToString();
+    }
+    out += ")";
+  }
+  return out;
+}
+
+BuiltinSubgoal BuiltinSubgoal::Clone() const {
+  BuiltinSubgoal b;
+  b.op = op;
+  b.lhs = lhs->Clone();
+  b.rhs = rhs->Clone();
+  return b;
+}
+
+std::vector<std::string> BuiltinSubgoal::Vars() const {
+  std::vector<std::string> out;
+  lhs->CollectVars(&out);
+  rhs->CollectVars(&out);
+  return out;
+}
+
+std::string BuiltinSubgoal::ToString() const {
+  return lhs->ToString() + " " + CmpOpName(op) + " " + rhs->ToString();
+}
+
+Subgoal Subgoal::Positive(Atom a) {
+  Subgoal s;
+  s.kind = Kind::kAtom;
+  s.atom = std::move(a);
+  return s;
+}
+
+Subgoal Subgoal::Negative(Atom a) {
+  Subgoal s;
+  s.kind = Kind::kNegatedAtom;
+  s.atom = std::move(a);
+  return s;
+}
+
+Subgoal Subgoal::Aggregate(AggregateSubgoal agg) {
+  Subgoal s;
+  s.kind = Kind::kAggregate;
+  s.aggregate = std::move(agg);
+  return s;
+}
+
+Subgoal Subgoal::Builtin(BuiltinSubgoal b) {
+  Subgoal s;
+  s.kind = Kind::kBuiltin;
+  s.builtin = std::move(b);
+  return s;
+}
+
+Subgoal Subgoal::Clone() const {
+  Subgoal s;
+  s.kind = kind;
+  s.atom = atom;
+  s.aggregate = aggregate;
+  if (kind == Kind::kBuiltin) s.builtin = builtin.Clone();
+  return s;
+}
+
+std::vector<std::string> Subgoal::Vars() const {
+  std::vector<std::string> out;
+  switch (kind) {
+    case Kind::kAtom:
+    case Kind::kNegatedAtom:
+      for (const Term& t : atom.args) {
+        if (t.is_var()) AddVar(&out, t.var);
+      }
+      break;
+    case Kind::kAggregate: {
+      if (aggregate.result.is_var()) AddVar(&out, aggregate.result.var);
+      for (const std::string& v : aggregate.AtomVars()) AddVar(&out, v);
+      break;
+    }
+    case Kind::kBuiltin:
+      for (const std::string& v : builtin.Vars()) AddVar(&out, v);
+      break;
+  }
+  return out;
+}
+
+std::string Subgoal::ToString() const {
+  switch (kind) {
+    case Kind::kAtom:
+      return atom.ToString();
+    case Kind::kNegatedAtom:
+      return "!" + atom.ToString();
+    case Kind::kAggregate:
+      return aggregate.ToString();
+    case Kind::kBuiltin:
+      return builtin.ToString();
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Rule / IntegrityConstraint / Fact
+// ---------------------------------------------------------------------------
+
+void Rule::Finalize() {
+  for (Subgoal& sg : body) {
+    if (sg.kind != Subgoal::Kind::kAggregate) continue;
+    AggregateSubgoal& agg = sg.aggregate;
+    agg.grouping_vars.clear();
+    agg.local_vars.clear();
+
+    // Variables occurring anywhere in the rule outside this aggregate
+    // subgoal's atom conjunction.
+    std::vector<std::string> outside;
+    for (const Term& t : head.args) {
+      if (t.is_var()) AddVar(&outside, t.var);
+    }
+    for (const Subgoal& other : body) {
+      if (&other == &sg) continue;
+      for (const std::string& v : other.Vars()) AddVar(&outside, v);
+    }
+    // The result variable C also counts as an "outside" occurrence for the
+    // inner atoms — but C must differ from the local variables anyway.
+    if (agg.result.is_var()) AddVar(&outside, agg.result.var);
+
+    for (const std::string& v : agg.AtomVars()) {
+      if (v == agg.multiset_var) continue;  // E is neither grouping nor local
+      bool is_outside =
+          std::find(outside.begin(), outside.end(), v) != outside.end();
+      if (is_outside) {
+        AddVar(&agg.grouping_vars, v);
+      } else {
+        AddVar(&agg.local_vars, v);
+      }
+    }
+  }
+}
+
+Rule Rule::Clone() const {
+  Rule r;
+  r.head = head;
+  r.source_line = source_line;
+  r.body.reserve(body.size());
+  for (const Subgoal& sg : body) r.body.push_back(sg.Clone());
+  return r;
+}
+
+std::vector<std::string> Rule::AllVars() const {
+  std::vector<std::string> out;
+  for (const Term& t : head.args) {
+    if (t.is_var()) AddVar(&out, t.var);
+  }
+  for (const Subgoal& sg : body) {
+    for (const std::string& v : sg.Vars()) AddVar(&out, v);
+    if (sg.kind == Subgoal::Kind::kAggregate &&
+        !sg.aggregate.multiset_var.empty()) {
+      AddVar(&out, sg.aggregate.multiset_var);
+    }
+  }
+  return out;
+}
+
+std::string Rule::ToString() const {
+  std::string out = head.ToString();
+  if (!body.empty()) {
+    out += " :- ";
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += body[i].ToString();
+    }
+  }
+  out += ".";
+  return out;
+}
+
+std::string IntegrityConstraint::ToString() const {
+  std::string out = ".constraint ";
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += body[i].ToString();
+  }
+  out += ".";
+  return out;
+}
+
+std::string Fact::ToString() const {
+  std::string out = pred->name + "(";
+  for (size_t i = 0; i < key.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += key[i].ToString();
+  }
+  if (cost.has_value()) {
+    if (!key.empty()) out += ", ";
+    out += cost->ToString();
+  }
+  return out + ").";
+}
+
+// ---------------------------------------------------------------------------
+// Program
+// ---------------------------------------------------------------------------
+
+StatusOr<const PredicateInfo*> Program::DeclarePredicate(PredicateInfo info) {
+  auto it = by_name_.find(info.name);
+  if (it != by_name_.end()) {
+    const PredicateInfo* old = it->second;
+    if (old->arity != info.arity || old->has_cost != info.has_cost ||
+        old->domain != info.domain || old->has_default != info.has_default) {
+      return Status::InvalidArgument(
+          StrPrintf("predicate '%s' redeclared with a different signature",
+                    info.name.c_str()));
+    }
+    return old;
+  }
+  info.id = static_cast<int>(predicates_.size());
+  predicates_.push_back(std::make_unique<PredicateInfo>(std::move(info)));
+  PredicateInfo* p = predicates_.back().get();
+  by_name_.emplace(p->name, p);
+  return const_cast<const PredicateInfo*>(p);
+}
+
+const PredicateInfo* Program::FindPredicate(std::string_view name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+StatusOr<const PredicateInfo*> Program::FindOrDeclare(std::string_view name,
+                                                      int arity) {
+  const PredicateInfo* existing = FindPredicate(name);
+  if (existing != nullptr) {
+    if (existing->arity != arity) {
+      return Status::InvalidArgument(
+          StrPrintf("predicate '%s' used with arity %d but declared/used "
+                    "with arity %d",
+                    std::string(name).c_str(), arity, existing->arity));
+    }
+    return existing;
+  }
+  PredicateInfo info;
+  info.name = std::string(name);
+  info.arity = arity;
+  return DeclarePredicate(std::move(info));
+}
+
+std::set<const PredicateInfo*> Program::HeadPredicates() const {
+  std::set<const PredicateInfo*> out;
+  for (const Rule& r : rules_) out.insert(r.head.pred);
+  return out;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const auto& p : predicates_) {
+    out += p->ToString() + "\n";
+  }
+  for (const auto& c : constraints_) out += c.ToString() + "\n";
+  for (const auto& f : facts_) out += f.ToString() + "\n";
+  for (const auto& r : rules_) out += r.ToString() + "\n";
+  return out;
+}
+
+}  // namespace datalog
+}  // namespace mad

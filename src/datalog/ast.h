@@ -1,0 +1,279 @@
+#ifndef MAD_DATALOG_AST_H_
+#define MAD_DATALOG_AST_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datalog/value.h"
+#include "lattice/aggregate.h"
+#include "lattice/cost_domain.h"
+#include "util/status.h"
+
+namespace mad {
+namespace datalog {
+
+// ---------------------------------------------------------------------------
+// Predicates
+// ---------------------------------------------------------------------------
+
+/// Everything declared about one predicate (Section 2.3): arity, whether the
+/// final argument is a cost argument, which complete lattice it ranges over,
+/// and whether the predicate carries a default cost value (Section 2.3.2 —
+/// the default is always the lattice's Bottom()).
+struct PredicateInfo {
+  int id = -1;
+  std::string name;
+  /// Total number of arguments, including the cost argument if present.
+  int arity = 0;
+  bool has_cost = false;
+  /// Lattice of the cost argument; null iff !has_cost.
+  const lattice::CostDomain* domain = nullptr;
+  /// Default-value cost predicate: semantically every key tuple carries
+  /// domain->Bottom() until a rule derives something larger.
+  bool has_default = false;
+
+  /// Number of non-cost ("key") arguments.
+  int key_arity() const { return has_cost ? arity - 1 : arity; }
+  /// Index of the cost argument (always last); -1 if none.
+  int cost_position() const { return has_cost ? arity - 1 : -1; }
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// Terms and expressions
+// ---------------------------------------------------------------------------
+
+/// A term in an atom: either a rule-local variable (identified by name) or a
+/// ground constant.
+struct Term {
+  enum class Kind { kVariable, kConstant };
+  Kind kind = Kind::kConstant;
+  std::string var;  ///< variable name, valid iff kind == kVariable
+  Value constant;   ///< valid iff kind == kConstant
+
+  static Term Var(std::string name) {
+    Term t;
+    t.kind = Kind::kVariable;
+    t.var = std::move(name);
+    return t;
+  }
+  static Term Const(Value v) {
+    Term t;
+    t.kind = Kind::kConstant;
+    t.constant = std::move(v);
+    return t;
+  }
+
+  bool is_var() const { return kind == Kind::kVariable; }
+  bool is_const() const { return kind == Kind::kConstant; }
+  bool operator==(const Term& o) const {
+    if (kind != o.kind) return false;
+    return is_var() ? var == o.var : constant == o.constant;
+  }
+  std::string ToString() const;
+};
+
+/// Arithmetic expression appearing in built-in subgoals (Section 2.2 permits
+/// built-in functions only as arguments of built-in predicates).
+struct Expr {
+  enum class Kind { kConst, kVar, kAdd, kSub, kMul, kDiv, kMin2, kMax2 };
+  Kind kind = Kind::kConst;
+  Value constant;                    ///< kConst
+  std::string var;                   ///< kVar
+  std::unique_ptr<Expr> lhs, rhs;    ///< binary nodes
+
+  static std::unique_ptr<Expr> Const(Value v);
+  static std::unique_ptr<Expr> Var(std::string name);
+  static std::unique_ptr<Expr> Binary(Kind k, std::unique_ptr<Expr> l,
+                                      std::unique_ptr<Expr> r);
+  std::unique_ptr<Expr> Clone() const;
+
+  /// Collects variable names (in order of first occurrence) into `out`.
+  void CollectVars(std::vector<std::string>* out) const;
+  std::string ToString() const;
+};
+
+/// Comparison operator of a built-in subgoal.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+const char* CmpOpName(CmpOp op);
+
+// ---------------------------------------------------------------------------
+// Subgoals
+// ---------------------------------------------------------------------------
+
+/// An atom p(t1, ..., tn); the cost argument, if p has one, is args.back().
+struct Atom {
+  const PredicateInfo* pred = nullptr;
+  std::vector<Term> args;
+
+  /// Variables in key (non-cost) positions.
+  std::vector<std::string> KeyVars() const;
+  /// The cost-argument term, or nullptr if the predicate has no cost arg.
+  const Term* CostTerm() const;
+  std::string ToString() const;
+};
+
+/// Aggregate subgoal (Definition 2.4):
+///   C  =  F E : (p1(...), ..., pk(...))     — the "=" form, or
+///   C  =r F E : ...                          — the "=r" form (false on empty
+///                                              multisets, like SQL).
+struct AggregateSubgoal {
+  /// Aggregate result: the aggregate variable C (well-formed rules require a
+  /// variable here, Definition 4.2(2)).
+  Term result;
+  /// True for the "=r" (restricted) form.
+  bool restricted = false;
+  std::string function_name;
+  /// Resolved against the multiset's cost domain; set by the parser/builder.
+  const lattice::AggregateFunction* function = nullptr;
+  /// The multiset variable E; empty when aggregating a predicate with an
+  /// implicit boolean cost argument (e.g. `N = count : q(X)`).
+  std::string multiset_var;
+  /// Conjunction of positive atoms inside the subgoal (no negation allowed,
+  /// Definition 2.4).
+  std::vector<Atom> atoms;
+
+  /// Variables of `atoms` that also occur elsewhere in the rule — the
+  /// grouping variables X1..Xn. Computed by Rule::Finalize().
+  std::vector<std::string> grouping_vars;
+  /// Variables of `atoms` occurring nowhere else in the rule (and not E) —
+  /// the local variables Y1..Ym. Computed by Rule::Finalize().
+  std::vector<std::string> local_vars;
+
+  /// All variable names occurring in `atoms`.
+  std::vector<std::string> AtomVars() const;
+  std::string ToString() const;
+};
+
+/// Built-in subgoal: lhs ⟨op⟩ rhs over arithmetic expressions.
+struct BuiltinSubgoal {
+  CmpOp op = CmpOp::kEq;
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+
+  BuiltinSubgoal Clone() const;
+  std::vector<std::string> Vars() const;
+  std::string ToString() const;
+};
+
+/// A body subgoal: exactly one of the four alternatives is active.
+struct Subgoal {
+  enum class Kind { kAtom, kNegatedAtom, kAggregate, kBuiltin };
+  Kind kind = Kind::kAtom;
+  Atom atom;                  ///< kAtom / kNegatedAtom
+  AggregateSubgoal aggregate; ///< kAggregate
+  BuiltinSubgoal builtin;     ///< kBuiltin
+
+  static Subgoal Positive(Atom a);
+  static Subgoal Negative(Atom a);
+  static Subgoal Aggregate(AggregateSubgoal agg);
+  static Subgoal Builtin(BuiltinSubgoal b);
+
+  Subgoal Clone() const;
+
+  /// All variable names occurring anywhere in the subgoal.
+  std::vector<std::string> Vars() const;
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// Rules, constraints, programs
+// ---------------------------------------------------------------------------
+
+/// A rule  head :- body  (Definition 2.2). Facts are rules with empty bodies
+/// and ground heads, though the parser routes ground facts directly into the
+/// Database.
+struct Rule {
+  Atom head;
+  std::vector<Subgoal> body;
+  /// 1-based line in the source text (0 for programmatically built rules).
+  int source_line = 0;
+
+  /// Recomputes grouping/local variable classifications of every aggregate
+  /// subgoal (Definition 2.4's X/Y split depends on the whole rule).
+  void Finalize();
+
+  Rule Clone() const;
+
+  /// All variables in the rule body + head, in first-occurrence order.
+  std::vector<std::string> AllVars() const;
+  std::string ToString() const;
+};
+
+/// Integrity constraint ":- S1, ..., Sn" (Definition 2.9): the conjunction is
+/// guaranteed unsatisfiable by the application. Used by the conflict-freedom
+/// check (Definition 2.10).
+struct IntegrityConstraint {
+  std::vector<Subgoal> body;
+  std::string ToString() const;
+};
+
+/// A ground fact destined for the extensional database.
+struct Fact {
+  const PredicateInfo* pred = nullptr;
+  Tuple key;                    ///< non-cost arguments
+  std::optional<Value> cost;    ///< set iff pred->has_cost
+  std::string ToString() const;
+};
+
+/// A parsed program (one or more components' worth of rules) plus its
+/// declarations, constraints and inline facts.
+class Program {
+ public:
+  Program() = default;
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+
+  /// Declares a predicate; rejects redeclaration with a different signature.
+  StatusOr<const PredicateInfo*> DeclarePredicate(PredicateInfo info);
+  /// Looks a predicate up by name; nullptr if unknown.
+  const PredicateInfo* FindPredicate(std::string_view name) const;
+  /// Finds an existing declaration or creates an implicit cost-free one of
+  /// the given arity (convenience for EDB predicates in terse programs).
+  StatusOr<const PredicateInfo*> FindOrDeclare(std::string_view name,
+                                               int arity);
+
+  void AddRule(Rule rule) {
+    rule.Finalize();
+    rules_.push_back(std::move(rule));
+  }
+  void AddConstraint(IntegrityConstraint c) {
+    constraints_.push_back(std::move(c));
+  }
+  void AddFact(Fact f) { facts_.push_back(std::move(f)); }
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::vector<Rule>& mutable_rules() { return rules_; }
+  const std::vector<IntegrityConstraint>& constraints() const {
+    return constraints_;
+  }
+  const std::vector<Fact>& facts() const { return facts_; }
+  const std::vector<std::unique_ptr<PredicateInfo>>& predicates() const {
+    return predicates_;
+  }
+
+  /// Predicates appearing in some rule head.
+  std::set<const PredicateInfo*> HeadPredicates() const;
+
+  /// Pretty-prints declarations, constraints and rules (round-trips through
+  /// the parser).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::unique_ptr<PredicateInfo>> predicates_;
+  std::map<std::string, PredicateInfo*, std::less<>> by_name_;
+  std::vector<Rule> rules_;
+  std::vector<IntegrityConstraint> constraints_;
+  std::vector<Fact> facts_;
+};
+
+}  // namespace datalog
+}  // namespace mad
+
+#endif  // MAD_DATALOG_AST_H_

@@ -1,0 +1,170 @@
+#include "datalog/database.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "lattice/cost_domain.h"
+#include "util/string_util.h"
+
+namespace mad {
+namespace datalog {
+
+// ---------------------------------------------------------------------------
+// Relation
+// ---------------------------------------------------------------------------
+
+Relation::MergeResult Relation::Merge(const Tuple& key, const Value& cost,
+                                      uint32_t* row_out) {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) {
+    uint32_t row = static_cast<uint32_t>(keys_.size());
+    keys_.push_back(key);
+    costs_.push_back(pred_->has_cost ? cost : Value());
+    rows_.emplace(key, row);
+    if (row_out != nullptr) *row_out = row;
+    // Newly appended rows are picked up lazily by GetIndex; nothing to do.
+    return MergeResult::kNew;
+  }
+  if (row_out != nullptr) *row_out = it->second;
+  if (!pred_->has_cost) return MergeResult::kUnchanged;
+  Value& current = costs_[it->second];
+  Value joined = pred_->domain->Join(current, cost);
+  if (pred_->domain->Equal(joined, current)) return MergeResult::kUnchanged;
+  current = std::move(joined);
+  return MergeResult::kIncreased;
+}
+
+const Value* Relation::Find(const Tuple& key) const {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) return nullptr;
+  return &costs_[it->second];
+}
+
+void Relation::ForEach(
+    const std::function<void(const Tuple&, const Value&)>& cb) const {
+  for (size_t i = 0; i < keys_.size(); ++i) cb(keys_[i], costs_[i]);
+}
+
+Relation::Index& Relation::GetIndex(const std::vector<int>& bound_pos) const {
+  Index& index = indexes_[bound_pos];
+  for (size_t row = index.built_rows; row < keys_.size(); ++row) {
+    Tuple proj;
+    proj.reserve(bound_pos.size());
+    for (int p : bound_pos) proj.push_back(keys_[row][p]);
+    index.buckets[std::move(proj)].push_back(static_cast<uint32_t>(row));
+  }
+  index.built_rows = keys_.size();
+  return index;
+}
+
+void Relation::Scan(
+    const std::vector<int>& bound_pos, const Tuple& bound_vals,
+    const std::function<void(const Tuple&, const Value&)>& cb) const {
+  ScanRows(bound_pos, bound_vals,
+           [&](size_t row) { cb(keys_[row], costs_[row]); });
+}
+
+void Relation::ScanRows(const std::vector<int>& bound_pos,
+                        const Tuple& bound_vals,
+                        const std::function<void(size_t row)>& cb) const {
+  assert(bound_pos.size() == bound_vals.size());
+  if (bound_pos.empty()) {
+    for (size_t row = 0; row < keys_.size(); ++row) cb(row);
+    return;
+  }
+  if (static_cast<int>(bound_pos.size()) == pred_->key_arity()) {
+    // Fully bound: point lookup on the primary map.
+    auto it = rows_.find(bound_vals);
+    if (it != rows_.end()) cb(it->second);
+    return;
+  }
+  const Index& index = GetIndex(bound_pos);
+  auto it = index.buckets.find(bound_vals);
+  if (it == index.buckets.end()) return;
+  for (uint32_t row : it->second) cb(row);
+}
+
+// ---------------------------------------------------------------------------
+// Database
+// ---------------------------------------------------------------------------
+
+Relation* Database::GetOrCreate(const PredicateInfo* pred) {
+  auto& slot = relations_[pred->id];
+  if (!slot) slot = std::make_unique<Relation>(pred);
+  return slot.get();
+}
+
+const Relation* Database::Find(const PredicateInfo* pred) const {
+  auto it = relations_.find(pred->id);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+Status Database::AddFact(const Fact& fact) {
+  Relation* rel = GetOrCreate(fact.pred);
+  Value cost;
+  if (fact.pred->has_cost) {
+    if (!fact.cost.has_value()) {
+      return Status::InvalidArgument(StrPrintf(
+          "fact for cost predicate '%s' lacks a cost", fact.pred->name.c_str()));
+    }
+    if (!fact.pred->domain->Contains(*fact.cost)) {
+      return Status::InvalidArgument(StrPrintf(
+          "fact for '%s': cost %s outside domain %s", fact.pred->name.c_str(),
+          fact.cost->ToString().c_str(),
+          std::string(fact.pred->domain->name()).c_str()));
+    }
+    cost = fact.pred->domain->Normalize(*fact.cost);
+  }
+  rel->Merge(fact.key, cost);
+  return Status::OK();
+}
+
+Status Database::AddFacts(const Program& program) {
+  for (const Fact& f : program.facts()) {
+    MAD_RETURN_IF_ERROR(AddFact(f));
+  }
+  return Status::OK();
+}
+
+Database Database::Clone() const {
+  Database out;
+  for (const auto& [id, rel] : relations_) {
+    out.relations_[id] = rel->Clone();
+  }
+  return out;
+}
+
+size_t Database::TotalRows() const {
+  size_t n = 0;
+  for (const auto& [_, rel] : relations_) n += rel->size();
+  return n;
+}
+
+std::string Database::ToString() const {
+  std::vector<std::string> lines;
+  for (const auto& [_, rel] : relations_) {
+    rel->ForEach([&](const Tuple& key, const Value& cost) {
+      std::string line = rel->pred()->name + "(";
+      for (size_t i = 0; i < key.size(); ++i) {
+        if (i > 0) line += ", ";
+        line += key[i].ToString();
+      }
+      if (rel->pred()->has_cost) {
+        if (!key.empty()) line += ", ";
+        line += cost.ToString();
+      }
+      line += ").";
+      lines.push_back(std::move(line));
+    });
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace datalog
+}  // namespace mad

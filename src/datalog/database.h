@@ -1,0 +1,149 @@
+#ifndef MAD_DATALOG_DATABASE_H_
+#define MAD_DATALOG_DATABASE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/value.h"
+#include "util/status.h"
+
+namespace mad {
+namespace datalog {
+
+/// The stored extension of one predicate.
+///
+/// A relation for a cost predicate maps key tuples (the non-cost arguments)
+/// to a single cost value — the functional dependency of Section 2.3.1 is
+/// enforced *structurally*. Inserting a second cost for an existing key joins
+/// the two values in the predicate's lattice (the core never shrinks under
+/// monotone evaluation, and lattice programs only ever move up ⊑).
+///
+/// Storage is append-only: rows keep stable dense ids, which lets secondary
+/// indexes extend lazily instead of rebuilding. Only the *core* (Section 2.3.3)
+/// is stored: default-value predicates' implicit ⊥ rows are synthesized by
+/// the evaluator, never materialized here.
+class Relation {
+ public:
+  explicit Relation(const PredicateInfo* pred) : pred_(pred) {}
+
+  const PredicateInfo* pred() const { return pred_; }
+
+  /// Effect of a Merge call on the stored extension.
+  enum class MergeResult {
+    kNew,        ///< key was absent and is now present
+    kIncreased,  ///< key present; cost strictly increased in ⊑
+    kUnchanged,  ///< no change (duplicate fact / cost not above current)
+  };
+
+  /// Inserts or lattice-merges. `cost` must already be normalized for cost
+  /// predicates and is ignored for cost-free predicates. If `row` is
+  /// non-null it receives the stable row id of the (new or existing) key.
+  MergeResult Merge(const Tuple& key, const Value& cost,
+                    uint32_t* row = nullptr);
+
+  /// Deep copy (benchmarks reuse one EDB across evaluation strategies).
+  std::unique_ptr<Relation> Clone() const {
+    return std::make_unique<Relation>(*this);
+  }
+
+  /// True iff `key` is explicitly present (ignores default values).
+  bool Contains(const Tuple& key) const { return rows_.count(key) > 0; }
+
+  /// Stored cost for `key`, or nullptr if the key is absent. For cost-free
+  /// predicates the returned value is unspecified (presence is the answer).
+  const Value* Find(const Tuple& key) const;
+
+  /// Stable row id for `key`, or std::nullopt if absent.
+  std::optional<uint32_t> FindRow(const Tuple& key) const {
+    auto it = rows_.find(key);
+    if (it == rows_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+
+  /// Stable row access (row ids are dense, 0-based, insertion-ordered).
+  const Tuple& key_at(size_t row) const { return keys_[row]; }
+  const Value& cost_at(size_t row) const { return costs_[row]; }
+
+  /// Calls `cb(key, cost)` for every stored row.
+  void ForEach(
+      const std::function<void(const Tuple&, const Value&)>& cb) const;
+
+  /// Enumerates rows whose key matches `bound_vals` at positions
+  /// `bound_pos` (strictly increasing position list over key columns).
+  /// Uses a lazily maintained hash index per position-set; an empty
+  /// position list degenerates to a full scan and a full position list to a
+  /// point lookup.
+  void Scan(const std::vector<int>& bound_pos, const Tuple& bound_vals,
+            const std::function<void(const Tuple&, const Value&)>& cb) const;
+
+  /// Row ids matching the pattern, for callers that need stable handles
+  /// (the semi-naive evaluator's delta scans).
+  void ScanRows(const std::vector<int>& bound_pos, const Tuple& bound_vals,
+                const std::function<void(size_t row)>& cb) const;
+
+ private:
+  struct Index {
+    std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> buckets;
+    size_t built_rows = 0;  ///< rows [0, built_rows) are indexed
+  };
+
+  /// Extends the index for `bound_pos` to cover all current rows.
+  Index& GetIndex(const std::vector<int>& bound_pos) const;
+
+  const PredicateInfo* pred_;
+  std::vector<Tuple> keys_;
+  std::vector<Value> costs_;
+  std::unordered_map<Tuple, uint32_t, TupleHash> rows_;
+  mutable std::map<std::vector<int>, Index> indexes_;
+};
+
+/// A set of relations — the extension of an LDB, a CDB, or both. This is the
+/// "aggregate Herbrand interpretation" (Definition 3.3) restricted to its
+/// finite core.
+class Database {
+ public:
+  Database() = default;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// The relation for `pred`, creating an empty one on first touch.
+  Relation* GetOrCreate(const PredicateInfo* pred);
+  /// Read access; returns nullptr if the predicate has no relation yet.
+  const Relation* Find(const PredicateInfo* pred) const;
+
+  /// Inserts a fact (normalizing the cost into the predicate's domain).
+  /// Rejects facts whose cost lies outside the declared domain.
+  Status AddFact(const Fact& fact);
+  /// Convenience: adds all of `program`'s inline facts.
+  Status AddFacts(const Program& program);
+
+  /// Total number of stored rows across all relations.
+  size_t TotalRows() const;
+
+  /// Deep copy of every relation.
+  Database Clone() const;
+
+  /// All relations (iteration order: predicate id).
+  const std::map<int, std::unique_ptr<Relation>>& relations() const {
+    return relations_;
+  }
+
+  /// Renders the database as sorted fact lines (tests compare these).
+  std::string ToString() const;
+
+ private:
+  std::map<int, std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace datalog
+}  // namespace mad
+
+#endif  // MAD_DATALOG_DATABASE_H_

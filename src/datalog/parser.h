@@ -1,0 +1,51 @@
+#ifndef MAD_DATALOG_PARSER_H_
+#define MAD_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace mad {
+namespace datalog {
+
+/// Parses the textual rule language into a Program.
+///
+/// Syntax (Prolog-flavoured; see README for the full grammar):
+///
+///   // shortest paths (Example 2.6 of the paper)
+///   .decl arc(from, to, c: min_real)
+///   .decl path(from, mid, to, c: min_real)
+///   .decl s(from, to, c: min_real)
+///   .constraint arc(direct, Z, C).
+///   path(X, direct, Y, C) :- arc(X, Y, C).
+///   path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+///   s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+///
+/// Conventions:
+///  * identifiers starting with an upper-case letter (or `_`) are variables;
+///    lower-case identifiers and quoted strings are symbol constants;
+///  * `.decl p(a, b, c: DOMAIN) [default]` declares a cost predicate whose
+///    final argument ranges over the named lattice (see DomainRegistry);
+///    `default` makes it a default-value cost predicate (Section 2.3.2);
+///  * an aggregate subgoal is `C = fn E : body` or `C =r fn E : body` where
+///    body is an atom or a parenthesized conjunction of atoms; `E` may be
+///    omitted when aggregating predicates without cost arguments
+///    (`N = count : q(X)`);
+///  * built-in subgoals compare arithmetic expressions: `C = C1 + C2`,
+///    `N > 0.5`, `N >= K`; expressions may use + - * / and min2/max2;
+///  * ground bodyless clauses are facts and land in Program::facts();
+///  * `//` and `%` start line comments.
+StatusOr<Program> ParseProgram(std::string_view source);
+
+/// Parses a single rule in the context of an existing program's
+/// declarations. Used by tests to build programs incrementally.
+Status ParseRuleInto(Program* program, std::string_view rule_text);
+
+/// Parses facts only (e.g. a generated EDB listing) into `program`.
+Status ParseFactsInto(Program* program, std::string_view facts_text);
+
+}  // namespace datalog
+}  // namespace mad
+
+#endif  // MAD_DATALOG_PARSER_H_

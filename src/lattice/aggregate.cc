@@ -1,0 +1,429 @@
+#include "lattice/aggregate.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace mad {
+namespace lattice {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+const char* MonotonicityName(Monotonicity m) {
+  switch (m) {
+    case Monotonicity::kMonotonic:
+      return "monotonic";
+    case Monotonicity::kPseudoMonotonic:
+      return "pseudo-monotonic";
+    case Monotonicity::kNone:
+      return "non-monotonic";
+  }
+  return "?";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Concrete aggregate implementations
+// ---------------------------------------------------------------------------
+
+/// Base carrying the (name, D, R, monotonicity) quadruple.
+class AggregateBase : public AggregateFunction {
+ public:
+  AggregateBase(std::string name, const CostDomain* in, const CostDomain* out,
+                Monotonicity mono)
+      : name_(std::move(name)), in_(in), out_(out), mono_(mono) {}
+
+  std::string_view name() const override { return name_; }
+  const CostDomain* input_domain() const override { return in_; }
+  const CostDomain* output_domain() const override { return out_; }
+  Monotonicity monotonicity() const override { return mono_; }
+
+ private:
+  std::string name_;
+  const CostDomain* in_;
+  const CostDomain* out_;
+  Monotonicity mono_;
+};
+
+/// min/max/and/or/union/intersection: F = ⊔ of the *output* lattice when the
+/// aggregate agrees with the lattice join (min over ⊑=≥ folds Join = numeric
+/// min, and so on). F(∅) = ⊥, which is exactly what monotonicity forces.
+class LatticeJoinAggregate : public AggregateBase {
+ public:
+  using AggregateBase::AggregateBase;
+  StatusOr<Value> Apply(const std::vector<Value>& multiset) const override {
+    return output_domain()->JoinAll(multiset);
+  }
+};
+
+/// The dual: folds Meet. This realizes the *pseudo-monotonic* pairings (min
+/// under ≤, max under ≥, AND under ≤): the fold computes the same numeric
+/// min/max/conjunction but the declared lattice points the other way.
+class LatticeMeetAggregate : public AggregateBase {
+ public:
+  using AggregateBase::AggregateBase;
+  StatusOr<Value> Apply(const std::vector<Value>& multiset) const override {
+    if (multiset.empty()) {
+      // Meet over nothing would be ⊤; an empty group has no defined extremum
+      // under the pseudo-monotonic pairing, which is precisely why Def. 4.5
+      // confines these to fixed-size (default-value) multisets.
+      return Status::InvalidArgument(
+          StrPrintf("%s of an empty multiset", std::string(name()).c_str()));
+    }
+    return output_domain()->MeetAll(multiset);
+  }
+};
+
+/// sum over non-negative reals (Figure 1 row 4), with ∞ as the limit value.
+class SumAggregate : public AggregateBase {
+ public:
+  using AggregateBase::AggregateBase;
+  StatusOr<Value> Apply(const std::vector<Value>& multiset) const override {
+    double acc = 0.0;
+    for (const Value& v : multiset) {
+      if (!v.is_numeric() && !v.is_bool()) {
+        return Status::InvalidArgument("sum over non-numeric value");
+      }
+      acc += v.AsDouble();
+    }
+    return Value::Real(acc);
+  }
+};
+
+/// halfsum (Example 5.1): half the sum. Monotonic on non-negative reals but
+/// its T_P is not continuous — the engine's iteration-budget machinery exists
+/// for exactly this function.
+class HalfSumAggregate : public AggregateBase {
+ public:
+  using AggregateBase::AggregateBase;
+  StatusOr<Value> Apply(const std::vector<Value>& multiset) const override {
+    double acc = 0.0;
+    for (const Value& v : multiset) acc += v.AsDouble();
+    return Value::Real(acc / 2.0);
+  }
+};
+
+/// count (Figure 1 row 8): multiset cardinality, any element domain.
+class CountAggregate : public AggregateBase {
+ public:
+  using AggregateBase::AggregateBase;
+  StatusOr<Value> Apply(const std::vector<Value>& multiset) const override {
+    return Value::Real(static_cast<double>(multiset.size()));
+  }
+};
+
+/// product over positive naturals (Figure 1 row 7); saturates at ∞.
+class ProductAggregate : public AggregateBase {
+ public:
+  using AggregateBase::AggregateBase;
+  StatusOr<Value> Apply(const std::vector<Value>& multiset) const override {
+    double acc = 1.0;
+    for (const Value& v : multiset) {
+      double d = v.AsDouble();
+      if (d < 1.0) {
+        return Status::InvalidArgument("product over value below 1");
+      }
+      acc *= d;
+      if (std::isinf(acc)) break;
+    }
+    return Value::Real(acc);
+  }
+};
+
+/// average — pseudo-monotonic (Section 4.1.1); undefined on empty groups.
+class AverageAggregate : public AggregateBase {
+ public:
+  using AggregateBase::AggregateBase;
+  StatusOr<Value> Apply(const std::vector<Value>& multiset) const override {
+    if (multiset.empty()) {
+      return Status::InvalidArgument("avg of an empty multiset");
+    }
+    double acc = 0.0;
+    for (const Value& v : multiset) acc += v.AsDouble();
+    return Value::Real(acc / static_cast<double>(multiset.size()));
+  }
+};
+
+/// Figure 1 row 11: a monotonically increasing multigraph property P.
+/// Each multiset element is a set of vertices inducing a clique; P holds iff
+/// the union multigraph contains a simple path with >= 4 edges. Adding
+/// elements or enlarging an element (⊆) can only add edges, so P is monotone.
+class HasPath4Aggregate : public AggregateBase {
+ public:
+  using AggregateBase::AggregateBase;
+
+  StatusOr<Value> Apply(const std::vector<Value>& multiset) const override {
+    // Build the simple-graph union of all cliques.
+    std::map<Value, std::set<Value>> adj;
+    for (const Value& elem : multiset) {
+      if (!elem.is_set()) {
+        return Status::InvalidArgument("has_path4 over non-set element");
+      }
+      const ValueSet& verts = elem.set_value();
+      for (size_t i = 0; i < verts.size(); ++i) {
+        for (size_t j = i + 1; j < verts.size(); ++j) {
+          adj[verts[i]].insert(verts[j]);
+          adj[verts[j]].insert(verts[i]);
+        }
+      }
+    }
+    for (const auto& [start, _] : adj) {
+      std::set<Value> visited{start};
+      if (Dfs(adj, start, 0, &visited)) return Value::Real(1.0);
+    }
+    return Value::Real(0.0);
+  }
+
+ private:
+  static constexpr int kTargetLength = 4;
+
+  static bool Dfs(const std::map<Value, std::set<Value>>& adj,
+                  const Value& at, int depth, std::set<Value>* visited) {
+    if (depth == kTargetLength) return true;
+    auto it = adj.find(at);
+    if (it == adj.end()) return false;
+    for (const Value& next : it->second) {
+      if (visited->count(next)) continue;
+      visited->insert(next);
+      if (Dfs(adj, next, depth + 1, visited)) return true;
+      visited->erase(next);
+    }
+    return false;
+  }
+};
+
+const NumericDomain* AsNumeric(const CostDomain* d) {
+  return dynamic_cast<const NumericDomain*>(d);
+}
+const SetDomain* AsSet(const CostDomain* d) {
+  return dynamic_cast<const SetDomain*>(d);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MakeAggregate
+// ---------------------------------------------------------------------------
+
+StatusOr<std::shared_ptr<const AggregateFunction>> MakeAggregate(
+    std::string_view name, const CostDomain* in) {
+  if (in == nullptr) {
+    return Status::InvalidArgument("aggregate requires an input domain");
+  }
+  const NumericDomain* num = AsNumeric(in);
+  const SetDomain* set = AsSet(in);
+  std::string n(name);
+
+  auto need_numeric = [&]() -> Status {
+    if (num == nullptr) {
+      return Status::InvalidArgument(
+          StrPrintf("aggregate '%s' needs a numeric domain, got '%s'",
+                    n.c_str(), std::string(in->name()).c_str()));
+    }
+    return Status::OK();
+  };
+
+  if (name == "min" || name == "and") {
+    MAD_RETURN_IF_ERROR(need_numeric());
+    if (name == "and" && !(num->lo() == 0.0 && num->hi() == 1.0)) {
+      return Status::InvalidArgument("'and' needs a boolean domain");
+    }
+    // Numeric minimum: the lattice join of a descending (⊑ = ≥) domain,
+    // monotonic there; only pseudo-monotonic on an ascending domain.
+    if (!num->ascending()) {
+      return std::shared_ptr<const AggregateFunction>(
+          std::make_shared<LatticeJoinAggregate>(n, in, in,
+                                                 Monotonicity::kMonotonic));
+    }
+    return std::shared_ptr<const AggregateFunction>(
+        std::make_shared<LatticeMeetAggregate>(
+            n, in, in, Monotonicity::kPseudoMonotonic));
+  }
+
+  if (name == "max" || name == "or") {
+    MAD_RETURN_IF_ERROR(need_numeric());
+    if (name == "or" && !(num->lo() == 0.0 && num->hi() == 1.0)) {
+      return Status::InvalidArgument("'or' needs a boolean domain");
+    }
+    if (num->ascending()) {
+      return std::shared_ptr<const AggregateFunction>(
+          std::make_shared<LatticeJoinAggregate>(n, in, in,
+                                                 Monotonicity::kMonotonic));
+    }
+    return std::shared_ptr<const AggregateFunction>(
+        std::make_shared<LatticeMeetAggregate>(
+            n, in, in, Monotonicity::kPseudoMonotonic));
+  }
+
+  if (name == "sum" || name == "halfsum") {
+    MAD_RETURN_IF_ERROR(need_numeric());
+    if (!num->ascending() || num->lo() < 0.0) {
+      return Status::InvalidArgument(StrPrintf(
+          "'%s' is monotonic only over non-negative ascending domains",
+          n.c_str()));
+    }
+    if (name == "sum") {
+      return std::shared_ptr<const AggregateFunction>(
+          std::make_shared<SumAggregate>(n, in, in,
+                                         Monotonicity::kMonotonic));
+    }
+    return std::shared_ptr<const AggregateFunction>(
+        std::make_shared<HalfSumAggregate>(n, in, in,
+                                           Monotonicity::kMonotonic));
+  }
+
+  if (name == "count") {
+    // Any input domain; output is N∪{∞} under ≤.
+    return std::shared_ptr<const AggregateFunction>(
+        std::make_shared<CountAggregate>(n, in, CountNatDomain(),
+                                         Monotonicity::kMonotonic));
+  }
+
+  if (name == "product") {
+    MAD_RETURN_IF_ERROR(need_numeric());
+    if (!num->ascending() || num->lo() < 1.0) {
+      return Status::InvalidArgument(
+          "'product' is monotonic only over domains bounded below by 1");
+    }
+    return std::shared_ptr<const AggregateFunction>(
+        std::make_shared<ProductAggregate>(n, in, in,
+                                           Monotonicity::kMonotonic));
+  }
+
+  if (name == "avg") {
+    MAD_RETURN_IF_ERROR(need_numeric());
+    return std::shared_ptr<const AggregateFunction>(
+        std::make_shared<AverageAggregate>(
+            n, in, in,
+            num->ascending() ? Monotonicity::kPseudoMonotonic
+                             : Monotonicity::kNone));
+  }
+
+  if (name == "union") {
+    if (set == nullptr || !set->ascending()) {
+      return Status::InvalidArgument(
+          "'union' needs an ascending (⊆) set domain");
+    }
+    return std::shared_ptr<const AggregateFunction>(
+        std::make_shared<LatticeJoinAggregate>(n, in, in,
+                                               Monotonicity::kMonotonic));
+  }
+
+  if (name == "intersection") {
+    if (set == nullptr || set->ascending()) {
+      return Status::InvalidArgument(
+          "'intersection' needs a descending (⊇) set domain with a universe");
+    }
+    return std::shared_ptr<const AggregateFunction>(
+        std::make_shared<LatticeJoinAggregate>(n, in, in,
+                                               Monotonicity::kMonotonic));
+  }
+
+  if (name == "has_path4") {
+    if (set == nullptr || !set->ascending()) {
+      return Status::InvalidArgument(
+          "'has_path4' needs an ascending (⊆) set domain of vertex sets");
+    }
+    return std::shared_ptr<const AggregateFunction>(
+        std::make_shared<HasPath4Aggregate>(n, in, BoolOrDomain(),
+                                            Monotonicity::kMonotonic));
+  }
+
+  return Status::InvalidArgument(
+      StrPrintf("unknown aggregate function '%s'", n.c_str()));
+}
+
+// ---------------------------------------------------------------------------
+// AggregateRegistry
+// ---------------------------------------------------------------------------
+
+struct AggregateRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::pair<std::string, std::string>,
+           std::shared_ptr<const AggregateFunction>>
+      cache;
+};
+
+AggregateRegistry::Impl& AggregateRegistry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+AggregateRegistry& AggregateRegistry::Global() {
+  static AggregateRegistry registry;
+  return registry;
+}
+
+StatusOr<const AggregateFunction*> AggregateRegistry::FindOrCreate(
+    std::string_view name, const CostDomain* in) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto key = std::make_pair(std::string(name),
+                            in ? std::string(in->name()) : std::string());
+  auto it = i.cache.find(key);
+  if (it != i.cache.end()) return it->second.get();
+  MAD_ASSIGN_OR_RETURN(auto fn, MakeAggregate(name, in));
+  const AggregateFunction* raw = fn.get();
+  i.cache.emplace(std::move(key), std::move(fn));
+  return raw;
+}
+
+bool AggregateRegistry::IsAggregateName(std::string_view name) const {
+  static const std::set<std::string, std::less<>> kNames = {
+      "min",  "max",     "sum",   "count",        "product",  "avg",
+      "halfsum", "and",  "or",    "union",        "intersection",
+      "has_path4"};
+  return kNames.count(name) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1
+// ---------------------------------------------------------------------------
+
+const std::vector<Figure1Row>& Figure1() {
+  static const std::vector<Figure1Row>* rows = [] {
+    auto get = [](std::string_view name, const CostDomain* in) {
+      auto r = AggregateRegistry::Global().FindOrCreate(name, in);
+      assert(r.ok());
+      return r.value();
+    };
+    // Row 10 needs a concrete finite universe to have a representable ⊥ = S.
+    ValueSet universe;
+    for (int i = 0; i < 16; ++i) {
+      universe.push_back(Value::Symbol(StrPrintf("s%d", i)));
+    }
+    static std::shared_ptr<const CostDomain> intersect_domain =
+        MakeSetIntersectionDomain("set_intersection_sample",
+                                  std::move(universe));
+
+    auto* v = new std::vector<Figure1Row>{
+        {1, "maximum over R∪{±∞} under ≤", get("max", MaxRealDomain())},
+        {2, "maximum over R*∪{∞} under ≤", get("max", MaxNonNegDomain())},
+        {3, "minimum over R∪{±∞} under ≥", get("min", MinRealDomain())},
+        {4, "sum over R*∪{∞} under ≤", get("sum", SumNonNegDomain())},
+        {5, "AND over B under ≥", get("and", BoolAndDomain())},
+        {6, "OR over B under ≤", get("or", BoolOrDomain())},
+        {7, "product over N⁺∪{∞} under ≤", get("product", ProductPosDomain())},
+        {8, "count from (B, ≤) into (N∪{∞}, ≤)", get("count", BoolOrDomain())},
+        {9, "union over 2^S under ⊆", get("union", SetUnionDomain())},
+        {10, "intersection over 2^S under ⊇",
+         get("intersection", intersect_domain.get())},
+        {11, "monotone multigraph property P (simple path of length 4)",
+         get("has_path4", SetUnionDomain())},
+    };
+    return v;
+  }();
+  return *rows;
+}
+
+}  // namespace lattice
+}  // namespace mad

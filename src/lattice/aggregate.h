@@ -1,0 +1,96 @@
+#ifndef MAD_LATTICE_AGGREGATE_H_
+#define MAD_LATTICE_AGGREGATE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lattice/cost_domain.h"
+#include "util/status.h"
+
+namespace mad {
+namespace lattice {
+
+/// Monotonicity class of an aggregate function (Section 4.1).
+enum class Monotonicity {
+  /// I ⊑ I' ⇒ F(I) ⊑ F(I') for all finite multisets (Definition in 4.1).
+  kMonotonic,
+  /// Monotone only between equal-cardinality multisets (Definition 4.1);
+  /// usable in admissible rules only over default-value cost predicates.
+  kPseudoMonotonic,
+  /// Neither; such an aggregate can never appear in a CDB aggregate subgoal
+  /// of an admissible rule.
+  kNone,
+};
+
+const char* MonotonicityName(Monotonicity m);
+
+/// An aggregate function F : M(D) -> R together with its input lattice D and
+/// output lattice R (one conceptual row of Figure 1).
+///
+/// Instances are immutable and shared; obtain them via MakeAggregate() or the
+/// AggregateRegistry.
+class AggregateFunction {
+ public:
+  virtual ~AggregateFunction() = default;
+
+  /// Surface name used in rule text, e.g. "min", "sum", "count".
+  virtual std::string_view name() const = 0;
+  virtual const CostDomain* input_domain() const = 0;
+  virtual const CostDomain* output_domain() const = 0;
+  virtual Monotonicity monotonicity() const = 0;
+
+  /// Applies F to a finite multiset. Values need not be normalized.
+  /// Returns InvalidArgument for inputs outside F's domain (e.g. avg of the
+  /// empty multiset); the evaluator treats that as "subgoal unsatisfied".
+  virtual StatusOr<Value> Apply(const std::vector<Value>& multiset) const = 0;
+};
+
+/// Builds the aggregate named `name` over the given input lattice, checking
+/// compatibility (e.g. `sum` requires a non-negative ascending numeric
+/// domain) and deriving the correct monotonicity class for that pairing —
+/// `min` is monotonic on the ≥-ordered lattice but only pseudo-monotonic on
+/// the ≤-ordered one, exactly as Section 4.1 lays out.
+///
+/// Supported names: min, max, sum, count, product, avg, halfsum, and, or,
+/// union, intersection, has_path4.
+StatusOr<std::shared_ptr<const AggregateFunction>> MakeAggregate(
+    std::string_view name, const CostDomain* input_domain);
+
+/// Cache of MakeAggregate results keyed by (name, input domain name); this is
+/// what the parser consults when it resolves an aggregate subgoal.
+class AggregateRegistry {
+ public:
+  static AggregateRegistry& Global();
+
+  /// Finds or creates the aggregate; forwards MakeAggregate errors.
+  StatusOr<const AggregateFunction*> FindOrCreate(
+      std::string_view name, const CostDomain* input_domain);
+
+  /// True iff `name` is one of the supported aggregate names.
+  bool IsAggregateName(std::string_view name) const;
+
+ private:
+  AggregateRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// One row of the paper's Figure 1, realized with concrete objects so tests
+/// and benchmarks can sweep the whole table.
+struct Figure1Row {
+  int row_number;                  ///< 1-based row index in the paper's table
+  std::string description;        ///< e.g. "maximum over R∪{±∞} under ≤"
+  const AggregateFunction* fn;
+};
+
+/// The full Figure 1 table (11 rows). Row 10 (intersection) is instantiated
+/// with a canonical 16-element universe; row 11 (monotone multigraph property
+/// P) is instantiated as "has a simple path of length 4".
+const std::vector<Figure1Row>& Figure1();
+
+}  // namespace lattice
+}  // namespace mad
+
+#endif  // MAD_LATTICE_AGGREGATE_H_

@@ -1,0 +1,235 @@
+#include "lattice/cost_domain.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <mutex>
+
+namespace mad {
+namespace lattice {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CostDomain
+// ---------------------------------------------------------------------------
+
+Value CostDomain::JoinAll(const std::vector<Value>& values) const {
+  Value acc = Bottom();
+  for (const Value& v : values) acc = Join(acc, Normalize(v));
+  return acc;
+}
+
+Value CostDomain::MeetAll(const std::vector<Value>& values) const {
+  Value acc = Top();
+  for (const Value& v : values) acc = Meet(acc, Normalize(v));
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// NumericDomain
+// ---------------------------------------------------------------------------
+
+bool NumericDomain::Contains(const Value& v) const {
+  if (!(v.is_numeric() || v.is_bool())) return false;
+  double d = v.AsDouble();
+  if (std::isnan(d)) return false;
+  if (d < lo_ || d > hi_) return false;
+  if (integral_ && std::isfinite(d) && d != std::floor(d)) return false;
+  return true;
+}
+
+Value NumericDomain::Normalize(const Value& v) const {
+  assert(v.is_numeric() || v.is_bool());
+  return Value::Real(v.AsDouble());
+}
+
+bool NumericDomain::LessEq(const Value& a, const Value& b) const {
+  double x = a.AsDouble();
+  double y = b.AsDouble();
+  return ascending_ ? x <= y : x >= y;
+}
+
+Value NumericDomain::Join(const Value& a, const Value& b) const {
+  return LessEq(a, b) ? Normalize(b) : Normalize(a);
+}
+
+Value NumericDomain::Meet(const Value& a, const Value& b) const {
+  return LessEq(a, b) ? Normalize(a) : Normalize(b);
+}
+
+// ---------------------------------------------------------------------------
+// SetDomain
+// ---------------------------------------------------------------------------
+
+SetDomain::SetDomain(std::string name, bool ascending,
+                     std::shared_ptr<const ValueSet> universe)
+    : name_(std::move(name)),
+      ascending_(ascending),
+      universe_(std::move(universe)),
+      empty_(std::make_shared<const ValueSet>()) {
+  // The ⊇ ("intersection") variant needs a concrete bottom = universe.
+  assert(ascending_ || universe_ != nullptr);
+}
+
+Value SetDomain::Bottom() const {
+  return ascending_ ? Value::SetShared(empty_) : Value::SetShared(universe_);
+}
+
+Value SetDomain::Top() const {
+  if (ascending_) {
+    assert(universe_ != nullptr &&
+           "Top() of an unbounded union lattice is not representable");
+    return Value::SetShared(universe_);
+  }
+  return Value::SetShared(empty_);
+}
+
+bool SetDomain::Subset(const Value& a, const Value& b) {
+  return std::includes(b.set_value().begin(), b.set_value().end(),
+                       a.set_value().begin(), a.set_value().end());
+}
+
+bool SetDomain::LessEq(const Value& a, const Value& b) const {
+  return ascending_ ? Subset(a, b) : Subset(b, a);
+}
+
+Value SetDomain::Union(const Value& a, const Value& b) {
+  ValueSet out;
+  out.reserve(a.set_value().size() + b.set_value().size());
+  std::set_union(a.set_value().begin(), a.set_value().end(),
+                 b.set_value().begin(), b.set_value().end(),
+                 std::back_inserter(out));
+  return Value::Set(std::move(out));
+}
+
+Value SetDomain::Intersect(const Value& a, const Value& b) {
+  ValueSet out;
+  std::set_intersection(a.set_value().begin(), a.set_value().end(),
+                        b.set_value().begin(), b.set_value().end(),
+                        std::back_inserter(out));
+  return Value::Set(std::move(out));
+}
+
+Value SetDomain::Join(const Value& a, const Value& b) const {
+  return ascending_ ? Union(a, b) : Intersect(a, b);
+}
+
+Value SetDomain::Meet(const Value& a, const Value& b) const {
+  return ascending_ ? Intersect(a, b) : Union(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// DomainRegistry
+// ---------------------------------------------------------------------------
+
+struct DomainRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::shared_ptr<const CostDomain>, std::less<>> domains;
+};
+
+DomainRegistry::Impl& DomainRegistry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+DomainRegistry::DomainRegistry() = default;
+
+DomainRegistry& DomainRegistry::Global() {
+  static DomainRegistry* registry = [] {
+    auto* r = new DomainRegistry();
+    // Pre-register every Figure-1 domain.
+    r->Register(std::make_shared<NumericDomain>("max_real", -kInf, kInf,
+                                                /*ascending=*/true));
+    r->Register(std::make_shared<NumericDomain>("max_nonneg", 0.0, kInf,
+                                                /*ascending=*/true));
+    r->Register(std::make_shared<NumericDomain>("min_real", -kInf, kInf,
+                                                /*ascending=*/false));
+    r->Register(std::make_shared<NumericDomain>("sum_real", 0.0, kInf,
+                                                /*ascending=*/true));
+    r->Register(std::make_shared<NumericDomain>("bool_and", 0.0, 1.0,
+                                                /*ascending=*/false,
+                                                /*integral=*/true));
+    r->Register(std::make_shared<NumericDomain>("bool_or", 0.0, 1.0,
+                                                /*ascending=*/true,
+                                                /*integral=*/true));
+    r->Register(std::make_shared<NumericDomain>("product_pos", 1.0, kInf,
+                                                /*ascending=*/true,
+                                                /*integral=*/true));
+    r->Register(std::make_shared<NumericDomain>("count_nat", 0.0, kInf,
+                                                /*ascending=*/true,
+                                                /*integral=*/true));
+    r->Register(std::make_shared<SetDomain>("set_union", /*ascending=*/true));
+    return r;
+  }();
+  return *registry;
+}
+
+void DomainRegistry::Register(std::shared_ptr<const CostDomain> domain) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  i.domains[std::string(domain->name())] = std::move(domain);
+}
+
+const CostDomain* DomainRegistry::Find(std::string_view name) const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.domains.find(name);
+  return it == i.domains.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> DomainRegistry::Names() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  std::vector<std::string> names;
+  names.reserve(i.domains.size());
+  for (const auto& [name, _] : i.domains) names.push_back(name);
+  return names;
+}
+
+const CostDomain* MaxRealDomain() {
+  return DomainRegistry::Global().Find("max_real");
+}
+const CostDomain* MaxNonNegDomain() {
+  return DomainRegistry::Global().Find("max_nonneg");
+}
+const CostDomain* MinRealDomain() {
+  return DomainRegistry::Global().Find("min_real");
+}
+const CostDomain* SumNonNegDomain() {
+  return DomainRegistry::Global().Find("sum_real");
+}
+const CostDomain* BoolAndDomain() {
+  return DomainRegistry::Global().Find("bool_and");
+}
+const CostDomain* BoolOrDomain() {
+  return DomainRegistry::Global().Find("bool_or");
+}
+const CostDomain* ProductPosDomain() {
+  return DomainRegistry::Global().Find("product_pos");
+}
+const CostDomain* CountNatDomain() {
+  return DomainRegistry::Global().Find("count_nat");
+}
+const CostDomain* SetUnionDomain() {
+  return DomainRegistry::Global().Find("set_union");
+}
+
+std::shared_ptr<const CostDomain> MakeSetIntersectionDomain(
+    std::string name, ValueSet universe) {
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()),
+                 universe.end());
+  auto domain = std::make_shared<SetDomain>(
+      std::move(name), /*ascending=*/false,
+      std::make_shared<const ValueSet>(std::move(universe)));
+  DomainRegistry::Global().Register(domain);
+  return domain;
+}
+
+}  // namespace lattice
+}  // namespace mad

@@ -1,0 +1,191 @@
+#ifndef MAD_LATTICE_COST_DOMAIN_H_
+#define MAD_LATTICE_COST_DOMAIN_H_
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datalog/value.h"
+#include "util/status.h"
+
+namespace mad {
+namespace lattice {
+
+using datalog::Value;
+using datalog::ValueSet;
+
+/// A complete lattice of cost values (Definition 2.1).
+///
+/// Every cost argument of a cost predicate is declared to range over one of
+/// these. The semantic order ⊑ is *not* the numeric order in general: for
+/// `min`-programs ⊑ is ≥ (Example 3.1 stresses this — "minimal models have
+/// larger cost values"). Bottom() is the least element of ⊑ and is also the
+/// default value of default-value cost predicates (Section 2.3.2).
+class CostDomain {
+ public:
+  virtual ~CostDomain() = default;
+
+  /// Registry name, e.g. "min_real" or "bool_or".
+  virtual std::string_view name() const = 0;
+
+  /// Least element of ⊑ (exists: the lattice is complete).
+  virtual Value Bottom() const = 0;
+  /// Greatest element of ⊑.
+  virtual Value Top() const = 0;
+
+  /// True iff `v` is a member of the carrier set.
+  virtual bool Contains(const Value& v) const = 0;
+
+  /// Canonicalizes a raw parsed/computed value into the domain's carrier
+  /// representation (numeric domains normalize int -> double so that equal
+  /// costs compare equal as map values).
+  virtual Value Normalize(const Value& v) const { return v; }
+
+  /// The partial order ⊑: returns true iff a ⊑ b.
+  virtual bool LessEq(const Value& a, const Value& b) const = 0;
+
+  /// Least upper bound (⊔) of two elements.
+  virtual Value Join(const Value& a, const Value& b) const = 0;
+  /// Greatest lower bound (⊓) of two elements.
+  virtual Value Meet(const Value& a, const Value& b) const = 0;
+
+  /// True for totally ordered domains (all numeric/boolean rows of Figure 1);
+  /// false for the powerset lattices.
+  virtual bool IsTotalOrder() const { return true; }
+
+  /// True if every strictly increasing ⊑-chain from Bottom() is finite.
+  /// Used by the evaluator to predict guaranteed termination (Section 6.2).
+  virtual bool HasFiniteAscendingChains() const { return false; }
+
+  bool Equal(const Value& a, const Value& b) const {
+    return LessEq(a, b) && LessEq(b, a);
+  }
+  bool StrictlyLess(const Value& a, const Value& b) const {
+    return LessEq(a, b) && !LessEq(b, a);
+  }
+
+  /// ⊔ of a whole multiset; returns Bottom() for the empty multiset.
+  Value JoinAll(const std::vector<Value>& values) const;
+  /// ⊓ of a whole multiset; returns Top() for the empty multiset.
+  Value MeetAll(const std::vector<Value>& values) const;
+};
+
+/// A totally ordered numeric lattice over an interval of the extended reals.
+///
+/// `ascending` selects the direction of ⊑: ascending means ⊑ is numeric ≤
+/// (bottom = lo), descending means ⊑ is numeric ≥ (bottom = hi). This one
+/// class realizes Figure 1's real, integer and boolean rows.
+class NumericDomain : public CostDomain {
+ public:
+  NumericDomain(std::string name, double lo, double hi, bool ascending,
+                bool integral = false)
+      : name_(std::move(name)),
+        lo_(lo),
+        hi_(hi),
+        ascending_(ascending),
+        integral_(integral) {}
+
+  std::string_view name() const override { return name_; }
+  Value Bottom() const override { return Value::Real(ascending_ ? lo_ : hi_); }
+  Value Top() const override { return Value::Real(ascending_ ? hi_ : lo_); }
+  bool Contains(const Value& v) const override;
+  Value Normalize(const Value& v) const override;
+  bool LessEq(const Value& a, const Value& b) const override;
+  Value Join(const Value& a, const Value& b) const override;
+  Value Meet(const Value& a, const Value& b) const override;
+  bool HasFiniteAscendingChains() const override {
+    // Bounded integral domains (booleans, bounded ints) have finite chains.
+    return integral_ && std::isfinite(ascending_ ? hi_ : lo_);
+  }
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  bool ascending() const { return ascending_; }
+  bool integral() const { return integral_; }
+
+ private:
+  std::string name_;
+  double lo_;
+  double hi_;
+  bool ascending_;
+  bool integral_;
+};
+
+/// Powerset lattice 2^S. `ascending` true means ⊑ is ⊆ (union row of
+/// Figure 1, bottom = ∅); false means ⊑ is ⊇ (intersection row, bottom = S).
+/// The ⊇ variant requires a finite universe so Bottom() is representable.
+class SetDomain : public CostDomain {
+ public:
+  /// `universe` may be null for the ⊆ variant (Top() then unavailable).
+  SetDomain(std::string name, bool ascending,
+            std::shared_ptr<const ValueSet> universe = nullptr);
+
+  std::string_view name() const override { return name_; }
+  Value Bottom() const override;
+  Value Top() const override;
+  bool Contains(const Value& v) const override { return v.is_set(); }
+  bool LessEq(const Value& a, const Value& b) const override;
+  Value Join(const Value& a, const Value& b) const override;
+  Value Meet(const Value& a, const Value& b) const override;
+  bool IsTotalOrder() const override { return false; }
+  bool HasFiniteAscendingChains() const override { return universe_ != nullptr; }
+
+  bool ascending() const { return ascending_; }
+  const std::shared_ptr<const ValueSet>& universe() const { return universe_; }
+
+  /// Set-algebra helpers on normalized (sorted, unique) set values.
+  static Value Union(const Value& a, const Value& b);
+  static Value Intersect(const Value& a, const Value& b);
+  static bool Subset(const Value& a, const Value& b);
+
+ private:
+  std::string name_;
+  bool ascending_;
+  std::shared_ptr<const ValueSet> universe_;
+  std::shared_ptr<const ValueSet> empty_;
+};
+
+/// Name -> domain registry. The built-in Figure-1 domains are pre-registered;
+/// programs may additionally register custom domains (e.g. an intersection
+/// domain with a concrete universe) before parsing declarations.
+class DomainRegistry {
+ public:
+  static DomainRegistry& Global();
+
+  /// Registers `domain` under domain->name(); overwrites any existing entry
+  /// with the same name (used by tests and by universe-specialized domains).
+  void Register(std::shared_ptr<const CostDomain> domain);
+
+  /// Returns nullptr if unknown.
+  const CostDomain* Find(std::string_view name) const;
+
+  std::vector<std::string> Names() const;
+
+ private:
+  DomainRegistry();
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Canonical built-in domains (also reachable through the registry).
+const CostDomain* MaxRealDomain();      ///< R∪{±∞}, ⊑ = ≤, ⊥ = -∞   (row 1)
+const CostDomain* MaxNonNegDomain();    ///< R*∪{∞}, ⊑ = ≤, ⊥ = 0    (row 2)
+const CostDomain* MinRealDomain();      ///< R∪{±∞}, ⊑ = ≥, ⊥ = +∞   (row 3)
+const CostDomain* SumNonNegDomain();    ///< R*∪{∞}, ⊑ = ≤, ⊥ = 0    (row 4)
+const CostDomain* BoolAndDomain();      ///< B, ⊑ = ≥, ⊥ = 1          (row 5)
+const CostDomain* BoolOrDomain();       ///< B, ⊑ = ≤, ⊥ = 0          (row 6)
+const CostDomain* ProductPosDomain();   ///< N⁺∪{∞}, ⊑ = ≤, ⊥ = 1     (row 7)
+const CostDomain* CountNatDomain();     ///< N∪{∞}, ⊑ = ≤, ⊥ = 0      (row 8)
+const CostDomain* SetUnionDomain();     ///< 2^S, ⊑ = ⊆, ⊥ = ∅        (row 9)
+
+/// Creates (and registers under `name`) an intersection lattice 2^S with the
+/// given finite universe: ⊑ = ⊇, ⊥ = S (row 10).
+std::shared_ptr<const CostDomain> MakeSetIntersectionDomain(
+    std::string name, ValueSet universe);
+
+}  // namespace lattice
+}  // namespace mad
+
+#endif  // MAD_LATTICE_COST_DOMAIN_H_

@@ -1,0 +1,35 @@
+#ifndef MAD_UTIL_HASH_H_
+#define MAD_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace mad {
+
+/// 64-bit mix step (splitmix64 finalizer); good avalanche for composing
+/// field hashes without the clustering std::hash<int> exhibits on small keys.
+inline uint64_t HashMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines an existing seed with the hash of one more value.
+inline void HashCombine(size_t* seed, uint64_t v) {
+  *seed = static_cast<size_t>(
+      HashMix64(static_cast<uint64_t>(*seed) ^ HashMix64(v)));
+}
+
+/// Hashes a contiguous range of already-hashed 64-bit words.
+inline size_t HashWords(const uint64_t* data, size_t n) {
+  size_t seed = 0x2545f4914f6cdd1dULL ^ n;
+  for (size_t i = 0; i < n; ++i) HashCombine(&seed, data[i]);
+  return seed;
+}
+
+}  // namespace mad
+
+#endif  // MAD_UTIL_HASH_H_

@@ -1,0 +1,53 @@
+#ifndef MAD_UTIL_RANDOM_H_
+#define MAD_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace mad {
+
+/// Deterministic RNG wrapper used by all workload generators and property
+/// tests so that every experiment is reproducible from a printed seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(gen_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(gen_);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(gen_);
+  }
+
+  /// Random permutation of {0, ..., n-1}.
+  std::vector<int> Permutation(int n) {
+    std::vector<int> p(n);
+    for (int i = 0; i < n; ++i) p[i] = i;
+    for (int i = n - 1; i > 0; --i) {
+      int j = static_cast<int>(Uniform(0, i));
+      std::swap(p[i], p[j]);
+    }
+    return p;
+  }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace mad
+
+#endif  // MAD_UTIL_RANDOM_H_

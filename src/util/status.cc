@@ -1,0 +1,37 @@
+#include "util/status.h"
+
+namespace mad {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kAnalysisError:
+      return "AnalysisError";
+    case StatusCode::kCostConsistencyViolation:
+      return "CostConsistencyViolation";
+    case StatusCode::kFixpointNotReached:
+      return "FixpointNotReached";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace mad

@@ -1,0 +1,142 @@
+#ifndef MAD_UTIL_STATUS_H_
+#define MAD_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace mad {
+
+/// Error categories used across the library. The set is deliberately small:
+/// callers almost always either propagate or print.
+enum class StatusCode {
+  kOk = 0,
+  /// Malformed input to a public API (bad arity, unknown predicate, ...).
+  kInvalidArgument,
+  /// Textual program failed to parse.
+  kParseError,
+  /// A static check (range restriction, admissibility, ...) rejected the
+  /// program.
+  kAnalysisError,
+  /// Evaluation detected a cost-consistency violation (Definition 2.6).
+  kCostConsistencyViolation,
+  /// Evaluation hit its iteration budget before reaching a fixpoint
+  /// (T_P monotone but not continuous, Section 6.2 / Example 5.1).
+  kFixpointNotReached,
+  /// Looked-up entity does not exist.
+  kNotFound,
+  /// Internal invariant violated; indicates a bug in the library.
+  kInternal,
+};
+
+/// Returns a stable human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight Arrow/RocksDB-style status object. The library never throws;
+/// all fallible public entry points return Status or StatusOr<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status AnalysisError(std::string msg) {
+    return Status(StatusCode::kAnalysisError, std::move(msg));
+  }
+  static Status CostConsistencyViolation(std::string msg) {
+    return Status(StatusCode::kCostConsistencyViolation, std::move(msg));
+  }
+  static Status FixpointNotReached(std::string msg) {
+    return Status(StatusCode::kFixpointNotReached, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value or an error Status. Accessing the value of a non-OK
+/// StatusOr is a programming error (checked by assert in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit conversions from both T and Status keep call sites terse.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mad
+
+/// Propagates a non-OK Status from the current function.
+#define MAD_RETURN_IF_ERROR(expr)             \
+  do {                                        \
+    ::mad::Status _mad_status = (expr);       \
+    if (!_mad_status.ok()) return _mad_status; \
+  } while (0)
+
+#define MAD_CONCAT_IMPL(a, b) a##b
+#define MAD_CONCAT(a, b) MAD_CONCAT_IMPL(a, b)
+
+/// Evaluates a StatusOr expression; on error returns the Status, otherwise
+/// moves the value into `lhs` (which may include a declaration).
+#define MAD_ASSIGN_OR_RETURN(lhs, expr)                       \
+  auto MAD_CONCAT(_mad_statusor_, __LINE__) = (expr);         \
+  if (!MAD_CONCAT(_mad_statusor_, __LINE__).ok())             \
+    return MAD_CONCAT(_mad_statusor_, __LINE__).status();     \
+  lhs = std::move(MAD_CONCAT(_mad_statusor_, __LINE__)).value()
+
+#endif  // MAD_UTIL_STATUS_H_

@@ -1,0 +1,24 @@
+#ifndef MAD_UTIL_STRING_UTIL_H_
+#define MAD_UTIL_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mad {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a, b" for sep ", ").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Formats a double compactly: integers print without a trailing ".0",
+/// infinities print as "inf"/"-inf".
+std::string FormatDouble(double v);
+
+/// printf-style formatting into a std::string.
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace mad
+
+#endif  // MAD_UTIL_STRING_UTIL_H_

@@ -1,0 +1,45 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace mad {
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  assert(row.size() == headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  os << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+}  // namespace mad

@@ -1,0 +1,35 @@
+#ifndef MAD_UTIL_TABLE_PRINTER_H_
+#define MAD_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mad {
+
+/// Renders aligned, pipe-separated result tables. All benchmark harnesses
+/// print their experiment rows through this so EXPERIMENTS.md can quote the
+/// output verbatim.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Adds one row; the row must have exactly as many cells as there are
+  /// headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Writes the whole table, with a header rule, to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Renders to a string (used by tests).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mad
+
+#endif  // MAD_UTIL_TABLE_PRINTER_H_

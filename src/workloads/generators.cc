@@ -1,0 +1,165 @@
+#include "workloads/generators.h"
+
+#include <algorithm>
+#include <set>
+
+namespace mad {
+namespace workloads {
+
+Graph RandomGraph(int n, int num_edges, WeightRange weights, Random* rng) {
+  Graph g;
+  g.Resize(n);
+  std::set<std::pair<int, int>> seen;
+  int attempts = 0;
+  while (static_cast<int>(seen.size()) < num_edges &&
+         attempts < num_edges * 20) {
+    ++attempts;
+    int u = static_cast<int>(rng->Uniform(0, n - 1));
+    int v = static_cast<int>(rng->Uniform(0, n - 1));
+    if (!seen.insert({u, v}).second) continue;
+    g.AddEdge(u, v, rng->UniformReal(weights.lo, weights.hi));
+  }
+  return g;
+}
+
+Graph GridGraph(int width, int height, WeightRange weights, Random* rng) {
+  Graph g;
+  g.Resize(width * height);
+  auto id = [&](int x, int y) { return y * width + x; };
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      if (x + 1 < width) {
+        g.AddEdge(id(x, y), id(x + 1, y),
+                  rng->UniformReal(weights.lo, weights.hi));
+      }
+      if (y + 1 < height) {
+        g.AddEdge(id(x, y), id(x, y + 1),
+                  rng->UniformReal(weights.lo, weights.hi));
+      }
+    }
+  }
+  return g;
+}
+
+Graph CycleGraph(int n, int extra_chords, WeightRange weights, Random* rng) {
+  Graph g;
+  g.Resize(n);
+  for (int i = 0; i < n; ++i) {
+    g.AddEdge(i, (i + 1) % n, rng->UniformReal(weights.lo, weights.hi));
+  }
+  for (int i = 0; i < extra_chords; ++i) {
+    int u = static_cast<int>(rng->Uniform(0, n - 1));
+    int v = static_cast<int>(rng->Uniform(0, n - 1));
+    g.AddEdge(u, v, rng->UniformReal(weights.lo, weights.hi));
+  }
+  return g;
+}
+
+Graph LayeredDag(int layers, int width, int edges_per_node,
+                 WeightRange weights, Random* rng) {
+  Graph g;
+  g.Resize(layers * width);
+  for (int layer = 0; layer + 1 < layers; ++layer) {
+    for (int i = 0; i < width; ++i) {
+      int from = layer * width + i;
+      for (int e = 0; e < edges_per_node; ++e) {
+        int to = (layer + 1) * width +
+                 static_cast<int>(rng->Uniform(0, width - 1));
+        g.AddEdge(from, to, rng->UniformReal(weights.lo, weights.hi));
+      }
+    }
+  }
+  return g;
+}
+
+Graph WithNegativeWeights(const Graph& g, double p, Random* rng) {
+  Graph out = g;
+  for (auto& edges : out.adj) {
+    for (Graph::Edge& e : edges) {
+      if (rng->Bernoulli(p)) e.weight = -e.weight;
+    }
+  }
+  return out;
+}
+
+OwnershipNetwork RandomOwnership(int n, int max_owners, double chain_fraction,
+                                 Random* rng) {
+  OwnershipNetwork net;
+  net.Resize(n);
+  int chained = static_cast<int>(n * chain_fraction);
+  for (int y = 0; y < n; ++y) {
+    if (y + 1 < n && y < chained) {
+      // Deliberate control chain: company y owns 60% of company y+1.
+      net.shares[y][y + 1] = 0.6;
+      continue;
+    }
+    // Split up to 100% of y's shares among random owners.
+    double remaining = 1.0;
+    int owners = static_cast<int>(rng->Uniform(1, max_owners));
+    for (int k = 0; k < owners && remaining > 0.01; ++k) {
+      int x = static_cast<int>(rng->Uniform(0, n - 1));
+      if (x == y) continue;
+      double fraction = rng->UniformReal(0.05, remaining * 0.8);
+      net.shares[x][y] += fraction;
+      remaining -= fraction;
+    }
+  }
+  return net;
+}
+
+Circuit RandomCircuit(int num_inputs, int num_gates, int max_fanin,
+                      double feedback_fraction, Random* rng) {
+  Circuit c;
+  c.num_inputs = num_inputs;
+  c.num_wires = num_inputs + num_gates;
+  c.input_values.resize(num_inputs);
+  for (int i = 0; i < num_inputs; ++i) c.input_values[i] = rng->Bernoulli(0.5);
+  for (int gi = 0; gi < num_gates; ++gi) {
+    Circuit::Gate g;
+    g.type = rng->Bernoulli(0.5) ? Circuit::GateType::kAnd
+                                 : Circuit::GateType::kOr;
+    g.output_wire = num_inputs + gi;
+    int fanin = static_cast<int>(rng->Uniform(1, max_fanin));
+    std::set<int> inputs;
+    for (int k = 0; k < fanin; ++k) {
+      // Feed-forward input: any earlier wire (input or earlier gate).
+      inputs.insert(static_cast<int>(rng->Uniform(0, num_inputs + gi - 1)));
+    }
+    if (rng->Bernoulli(feedback_fraction) && gi + 1 < num_gates) {
+      // Feedback input from a later gate: creates a cycle.
+      inputs.insert(num_inputs +
+                    static_cast<int>(rng->Uniform(gi + 1, num_gates - 1)));
+    }
+    g.input_wires.assign(inputs.begin(), inputs.end());
+    c.gates.push_back(std::move(g));
+  }
+  return c;
+}
+
+PartyInstance RandomParty(int n, double avg_degree, int max_requirement,
+                          double symmetry, Random* rng) {
+  PartyInstance p;
+  p.num_people = n;
+  p.threshold.resize(n);
+  p.knows.assign(n, {});
+  std::set<std::pair<int, int>> edges;
+  int target = static_cast<int>(n * avg_degree);
+  int attempts = 0;
+  while (static_cast<int>(edges.size()) < target && attempts < target * 20) {
+    ++attempts;
+    int a = static_cast<int>(rng->Uniform(0, n - 1));
+    int b = static_cast<int>(rng->Uniform(0, n - 1));
+    if (a == b) continue;
+    if (edges.insert({a, b}).second) p.knows[a].push_back(b);
+    if (rng->Bernoulli(symmetry) && edges.insert({b, a}).second) {
+      p.knows[b].push_back(a);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    p.threshold[i] = static_cast<int>(rng->Uniform(0, max_requirement));
+  }
+  return p;
+}
+
+}  // namespace workloads
+}  // namespace mad

@@ -1,0 +1,83 @@
+#ifndef MAD_WORKLOADS_GENERATORS_H_
+#define MAD_WORKLOADS_GENERATORS_H_
+
+#include "baselines/circuit_sim.h"
+#include "baselines/company_control.h"
+#include "baselines/graph.h"
+#include "baselines/party_solver.h"
+#include "util/random.h"
+
+namespace mad {
+namespace workloads {
+
+using baselines::Circuit;
+using baselines::Graph;
+using baselines::OwnershipNetwork;
+using baselines::PartyInstance;
+
+// ---------------------------------------------------------------------------
+// Graphs (shortest-path experiments, E2.6/E3.1/S5/S6.2)
+// ---------------------------------------------------------------------------
+
+/// Weight range for generated edges.
+struct WeightRange {
+  double lo = 1.0;
+  double hi = 10.0;
+};
+
+/// Erdős–Rényi-style digraph: n nodes, `num_edges` distinct random edges
+/// (self loops allowed — the paper's Example 3.1 graph has one).
+Graph RandomGraph(int n, int num_edges, WeightRange weights, Random* rng);
+
+/// Directed grid (edges right and down): acyclic, modularly stratified —
+/// the friendly case for Kemp–Stuckey-style semantics.
+Graph GridGraph(int width, int height, WeightRange weights, Random* rng);
+
+/// A single directed cycle 0 -> 1 -> ... -> n-1 -> 0 plus `extra` chords:
+/// maximally hostile to fully-defined-before-aggregate semantics.
+Graph CycleGraph(int n, int extra_chords, WeightRange weights, Random* rng);
+
+/// Layered DAG: `layers` layers of `width` nodes, edges only forward.
+Graph LayeredDag(int layers, int width, int edges_per_node,
+                 WeightRange weights, Random* rng);
+
+/// Copies `g` and negates (multiplies by -1) each edge weight with
+/// probability `p` — the Section 5.4 case where greedy/GGZ evaluation is
+/// outside its envelope but the monotone semantics still applies.
+Graph WithNegativeWeights(const Graph& g, double p, Random* rng);
+
+// ---------------------------------------------------------------------------
+// Ownership networks (company control, E2.7)
+// ---------------------------------------------------------------------------
+
+/// Random ownership network of `n` companies. Each company's shares are
+/// split among up to `max_owners` random owners; `chain_fraction` of the
+/// companies are wired into deliberate control chains (x owns 60% of x+1)
+/// so that recursive control actually kicks in.
+OwnershipNetwork RandomOwnership(int n, int max_owners, double chain_fraction,
+                                 Random* rng);
+
+// ---------------------------------------------------------------------------
+// Circuits (E4.4)
+// ---------------------------------------------------------------------------
+
+/// Random circuit with `num_inputs` primary inputs and `num_gates` AND/OR
+/// gates of fan-in up to `max_fanin`. `feedback_fraction` of the gates get
+/// one extra input wired to a *later* gate's output, creating cycles.
+Circuit RandomCircuit(int num_inputs, int num_gates, int max_fanin,
+                      double feedback_fraction, Random* rng);
+
+// ---------------------------------------------------------------------------
+// Party instances (E4.3)
+// ---------------------------------------------------------------------------
+
+/// Random knows-graph with `avg_degree`, thresholds uniform in
+/// [0, max_requirement]. Cyclic by construction (knows is symmetrized with
+/// probability `symmetry`).
+PartyInstance RandomParty(int n, double avg_degree, int max_requirement,
+                          double symmetry, Random* rng);
+
+}  // namespace workloads
+}  // namespace mad
+
+#endif  // MAD_WORKLOADS_GENERATORS_H_

@@ -1,0 +1,104 @@
+#ifndef MAD_WORKLOADS_PROGRAMS_H_
+#define MAD_WORKLOADS_PROGRAMS_H_
+
+namespace mad {
+namespace workloads {
+
+/// Canonical rule texts for the paper's example programs. Tests, benchmarks
+/// and examples all share these, so the exact programs being measured are in
+/// one place.
+
+/// Example 2.6 — shortest paths, with the paper's `direct` marker and
+/// integrity constraint.
+inline constexpr const char* kShortestPathProgram = R"mdl(
+// Example 2.6 (Ross & Sagiv 1992): shortest paths via recursion through min.
+.decl arc(from, to, c: min_real)
+.decl path(from, mid, to, c: min_real)
+.decl s(from, to, c: min_real)
+.constraint arc(direct, Z, C).
+path(X, direct, Y, C) :- arc(X, Y, C).
+path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+)mdl";
+
+/// Example 2.7 — company control (recursion through sum).
+inline constexpr const char* kCompanyControlProgram = R"mdl(
+// Example 2.7: X controls Y when X's direct and controlled shares exceed 50%.
+.decl s(owner, co, n: sum_real)
+.decl cv(owner, via, co, n: sum_real)
+.decl m(owner, co, n: sum_real)
+.decl c(owner, co)
+cv(X, X, Y, N) :- s(X, Y, N).
+cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+m(X, Y, N) :- N =r sum M : cv(X, Z, Y, M).
+c(X, Y) :- m(X, Y, N), N > 0.5.
+)mdl";
+
+/// The r-monotonic rewrite of company control from Section 5.2 (Mumick et
+/// al.): the aggregate value never reaches a head, so the program is
+/// r-monotonic, unlike the original formulation.
+inline constexpr const char* kCompanyControlRMonotonic = R"mdl(
+.decl s(owner, co, n: sum_real)
+.decl cv(owner, via, co, n: sum_real)
+.decl c(owner, co)
+cv(X, X, Y, N) :- s(X, Y, N).
+cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+c(X, Y) :- N =r sum M : cv(X, Z, Y, M), N > 0.5.
+)mdl";
+
+/// Example 4.3 — party invitations ("=" count aggregate, non-monotone K
+/// comparison that Definition 4.4 nevertheless admits).
+inline constexpr const char* kPartyProgram = R"mdl(
+// Example 4.3: guests commit once enough acquaintances have committed.
+.decl requires(person, k: count_nat)
+.decl knows(a, b)
+.decl coming(person)
+.decl kc(a, b)
+coming(X) :- requires(X, K), N = count : kc(X, Y), N >= K.
+kc(X, Y) :- knows(X, Y), coming(Y).
+)mdl";
+
+/// Example 4.4 — circuit evaluation with a default-value cost predicate and
+/// the pseudo-monotonic AND aggregate.
+inline constexpr const char* kCircuitProgram = R"mdl(
+// Example 4.4: cyclic circuits of AND/OR gates, minimal behaviour.
+.decl gate(g, type)
+.decl connect(g, w)
+.decl input(w, v: bool_or)
+.decl t(w, v: bool_or) default
+.constraint gate(G, or), gate(G, and).
+.constraint input(W, C), gate(W, T).
+t(W, C) :- input(W, C).
+t(G, C) :- gate(G, or), C = or D : (connect(G, W), t(W, D)).
+t(G, C) :- gate(G, and), C = and D : (connect(G, W), t(W, D)).
+)mdl";
+
+/// Example 5.1 — halfsum: T_P monotonic but not continuous; the least
+/// fixpoint p(a, 1) is only reached in the limit.
+inline constexpr const char* kHalfsumProgram = R"mdl(
+// Example 5.1: requires iteration beyond any finite stage (use epsilon).
+.decl p(x, c: sum_real)
+p(a, C) :- C =r halfsum D : p(X, D).
+p(b, 1).
+)mdl";
+
+/// Figure 1 row 9 (union over 2^S) exercised through recursion: label
+/// propagation over a graph. Structured like the circuit example — one
+/// default-value set lattice predicate, sources excluded from aggregated
+/// nodes by an integrity constraint.
+inline constexpr const char* kLabelFlowProgram = R"mdl(
+// Label-flow: every node accumulates the union of the labels of everything
+// that feeds it, starting from initial label sets at source nodes.
+.decl node(x)
+.decl feeds(x, y)
+.decl init(x, s: set_union)
+.decl label(x, s: set_union) default
+.constraint init(X, S), node(X).
+label(X, S) :- init(X, S).
+label(Y, S) :- node(Y), S = union E : (feeds(X, Y), label(X, E)).
+)mdl";
+
+}  // namespace workloads
+}  // namespace mad
+
+#endif  // MAD_WORKLOADS_PROGRAMS_H_

@@ -1,0 +1,110 @@
+#include "workloads/to_datalog.h"
+
+#include "util/string_util.h"
+
+namespace mad {
+namespace workloads {
+
+using datalog::Fact;
+using datalog::PredicateInfo;
+using datalog::Value;
+
+namespace {
+
+StatusOr<const PredicateInfo*> Pred(const Program& program,
+                                    const char* name) {
+  const PredicateInfo* p = program.FindPredicate(name);
+  if (p == nullptr) {
+    return Status::InvalidArgument(
+        StrPrintf("program does not declare predicate '%s'", name));
+  }
+  return p;
+}
+
+}  // namespace
+
+Status AddGraphFacts(const Program& program, const Graph& g, Database* db) {
+  MAD_ASSIGN_OR_RETURN(const PredicateInfo* arc, Pred(program, "arc"));
+  for (int u = 0; u < g.num_nodes; ++u) {
+    Value from = Value::Symbol(Graph::NodeName(u));
+    for (const Graph::Edge& e : g.adj[u]) {
+      Fact f;
+      f.pred = arc;
+      f.key = {from, Value::Symbol(Graph::NodeName(e.to))};
+      f.cost = Value::Real(e.weight);
+      MAD_RETURN_IF_ERROR(db->AddFact(f));
+    }
+  }
+  return Status::OK();
+}
+
+Status AddOwnershipFacts(const Program& program, const OwnershipNetwork& net,
+                         Database* db) {
+  MAD_ASSIGN_OR_RETURN(const PredicateInfo* s, Pred(program, "s"));
+  for (int x = 0; x < net.num_companies; ++x) {
+    Value owner = Value::Symbol(OwnershipNetwork::CompanyName(x));
+    for (int y = 0; y < net.num_companies; ++y) {
+      if (net.shares[x][y] <= 0) continue;
+      Fact f;
+      f.pred = s;
+      f.key = {owner, Value::Symbol(OwnershipNetwork::CompanyName(y))};
+      f.cost = Value::Real(net.shares[x][y]);
+      MAD_RETURN_IF_ERROR(db->AddFact(f));
+    }
+  }
+  return Status::OK();
+}
+
+Status AddCircuitFacts(const Program& program, const Circuit& c,
+                       Database* db) {
+  MAD_ASSIGN_OR_RETURN(const PredicateInfo* gate, Pred(program, "gate"));
+  MAD_ASSIGN_OR_RETURN(const PredicateInfo* connect, Pred(program, "connect"));
+  MAD_ASSIGN_OR_RETURN(const PredicateInfo* input, Pred(program, "input"));
+  for (int i = 0; i < c.num_inputs; ++i) {
+    Fact f;
+    f.pred = input;
+    f.key = {Value::Symbol(Circuit::WireName(i))};
+    f.cost = Value::Real(c.input_values[i] ? 1.0 : 0.0);
+    MAD_RETURN_IF_ERROR(db->AddFact(f));
+  }
+  for (const Circuit::Gate& g : c.gates) {
+    Value name = Value::Symbol(Circuit::WireName(g.output_wire));
+    Fact fg;
+    fg.pred = gate;
+    fg.key = {name, Value::Symbol(
+                        g.type == Circuit::GateType::kAnd ? "and" : "or")};
+    MAD_RETURN_IF_ERROR(db->AddFact(fg));
+    for (int w : g.input_wires) {
+      Fact fc;
+      fc.pred = connect;
+      fc.key = {name, Value::Symbol(Circuit::WireName(w))};
+      MAD_RETURN_IF_ERROR(db->AddFact(fc));
+    }
+  }
+  return Status::OK();
+}
+
+Status AddPartyFacts(const Program& program, const PartyInstance& p,
+                     Database* db) {
+  MAD_ASSIGN_OR_RETURN(const PredicateInfo* requires_pred,
+                       Pred(program, "requires"));
+  MAD_ASSIGN_OR_RETURN(const PredicateInfo* knows, Pred(program, "knows"));
+  for (int i = 0; i < p.num_people; ++i) {
+    Fact f;
+    f.pred = requires_pred;
+    f.key = {Value::Symbol(PartyInstance::PersonName(i))};
+    f.cost = Value::Real(p.threshold[i]);
+    MAD_RETURN_IF_ERROR(db->AddFact(f));
+    for (int q : p.knows[i]) {
+      Fact k;
+      k.pred = knows;
+      k.key = {Value::Symbol(PartyInstance::PersonName(i)),
+               Value::Symbol(PartyInstance::PersonName(q))};
+      MAD_RETURN_IF_ERROR(db->AddFact(k));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace workloads
+}  // namespace mad

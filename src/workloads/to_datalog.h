@@ -1,0 +1,34 @@
+#ifndef MAD_WORKLOADS_TO_DATALOG_H_
+#define MAD_WORKLOADS_TO_DATALOG_H_
+
+#include "datalog/ast.h"
+#include "datalog/database.h"
+#include "workloads/generators.h"
+
+namespace mad {
+namespace workloads {
+
+using datalog::Database;
+using datalog::Program;
+
+/// Loads a graph as `arc(from, to, w)` facts into `db`. Node i is the
+/// symbol "n<i>". The program must declare `arc` (the canonical programs in
+/// programs.h do).
+Status AddGraphFacts(const Program& program, const Graph& g, Database* db);
+
+/// Loads an ownership network as `s(owner, company, fraction)` facts.
+Status AddOwnershipFacts(const Program& program, const OwnershipNetwork& net,
+                         Database* db);
+
+/// Loads a circuit as gate/connect/input facts. Wire i is the symbol "w<i>";
+/// a gate's output wire doubles as its name, as in Example 4.4.
+Status AddCircuitFacts(const Program& program, const Circuit& c, Database* db);
+
+/// Loads a party instance as requires/knows facts.
+Status AddPartyFacts(const Program& program, const PartyInstance& p,
+                     Database* db);
+
+}  // namespace workloads
+}  // namespace mad
+
+#endif  // MAD_WORKLOADS_TO_DATALOG_H_

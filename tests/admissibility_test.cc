@@ -1,0 +1,278 @@
+// Definitions 4.2-4.5 (well-formed, monotone built-ins, admissibility) and
+// the Section 5.2 r-monotonicity classification.
+
+#include <gtest/gtest.h>
+
+#include "analysis/admissibility.h"
+#include "analysis/checker.h"
+#include "datalog/parser.h"
+#include "workloads/programs.h"
+
+namespace mad {
+namespace analysis {
+namespace {
+
+using datalog::ParseProgram;
+using datalog::Program;
+
+struct Parsed {
+  Program program;
+  std::unique_ptr<DependencyGraph> graph;
+};
+
+Parsed MustParse(std::string_view text) {
+  auto p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status();
+  Parsed out{std::move(p).value(), nullptr};
+  out.graph = std::make_unique<DependencyGraph>(out.program);
+  return out;
+}
+
+RuleAdmissibility CheckFirstRule(std::string_view text) {
+  Parsed p = MustParse(text);
+  EXPECT_FALSE(p.program.rules().empty());
+  return CheckRuleAdmissible(p.program.rules()[0], *p.graph);
+}
+
+TEST(AdmissibilityTest, AllCanonicalProgramsAdmissible) {
+  for (const char* text :
+       {workloads::kShortestPathProgram, workloads::kCompanyControlProgram,
+        workloads::kCompanyControlRMonotonic, workloads::kPartyProgram,
+        workloads::kCircuitProgram, workloads::kHalfsumProgram}) {
+    Parsed p = MustParse(text);
+    EXPECT_TRUE(CheckAdmissible(p.program, *p.graph).ok())
+        << CheckAdmissible(p.program, *p.graph) << "\nin:\n"
+        << text;
+  }
+}
+
+TEST(AdmissibilityTest, NegatedCdbSubgoalRejected) {
+  RuleAdmissibility a = CheckFirstRule(R"(
+.decl e(x)
+.decl p(x)
+.decl q(x)
+p(X) :- e(X), !q(X).
+q(X) :- p(X).
+)");
+  EXPECT_FALSE(a.admissible());
+  EXPECT_FALSE(a.negation_ok);
+  EXPECT_NE(a.diagnostic.find("negated CDB"), std::string::npos);
+}
+
+TEST(AdmissibilityTest, NegatedLdbSubgoalFine) {
+  RuleAdmissibility a = CheckFirstRule(R"(
+.decl e(x)
+.decl f(x)
+.decl p(x)
+p(X) :- e(X), !f(X), p(X).
+)");
+  EXPECT_TRUE(a.admissible()) << a.diagnostic;
+}
+
+TEST(AdmissibilityTest, PseudoMonotonicNeedsDefaultValuePredicate) {
+  // Circuit AND over a *non-default* recursive predicate: Definition 4.5
+  // rejects it (the multiset size could grow).
+  RuleAdmissibility a = CheckFirstRule(R"(
+.decl gate(g, t)
+.decl connect(g, w)
+.decl t(w, v: bool_or)
+t(G, C) :- gate(G, and), C = and D : (connect(G, W), t(W, D)).
+)");
+  EXPECT_FALSE(a.admissible());
+  EXPECT_FALSE(a.aggregates_ok);
+  EXPECT_NE(a.diagnostic.find("default-value"), std::string::npos);
+}
+
+TEST(AdmissibilityTest, PseudoMonotonicOverLdbIsUnrestricted) {
+  // avg over a *lower* predicate is ordinary stratified aggregation.
+  RuleAdmissibility a = CheckFirstRule(R"(
+.decl record(s, c, g: max_real)
+.decl s_avg(s, g: max_real)
+s_avg(S, G) :- G =r avg D : record(S, C, D).
+)");
+  EXPECT_TRUE(a.admissible()) << a.diagnostic;
+}
+
+TEST(AdmissibilityTest, WellFormedRejectsConstantCdbCost) {
+  RuleAdmissibility a = CheckFirstRule(R"(
+.decl e(x)
+.decl p(x, c: min_real)
+p(X, 3) :- e(X), p(X, 3).
+)");
+  EXPECT_FALSE(a.well_formed);
+  EXPECT_NE(a.diagnostic.find("Definition 4.2(2)"), std::string::npos);
+}
+
+TEST(AdmissibilityTest, WellFormedRejectsRepeatedCdbCostVariable) {
+  // The CDB cost variable C occurs in two non-built-in subgoals.
+  RuleAdmissibility a = CheckFirstRule(R"(
+.decl p(x, c: min_real)
+.decl q(x, c: min_real)
+p(X, C) :- p(X, C), q(X, C).
+q(X, C) :- p(X, C).
+)");
+  EXPECT_FALSE(a.well_formed);
+  EXPECT_NE(a.diagnostic.find("Definition 4.2(3)"), std::string::npos);
+}
+
+TEST(AdmissibilityTest, MonotoneBuiltinsAccepted) {
+  // C = C1 + C2 with C1 a CDB min-cost variable: the canonical monotone case.
+  RuleAdmissibility a = CheckFirstRule(R"(
+.decl arc(x, y, c: min_real)
+.decl p(x, y, c: min_real)
+p(X, Y, C) :- p(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+)");
+  EXPECT_TRUE(a.admissible()) << a.diagnostic;
+}
+
+TEST(AdmissibilityTest, AntitoneComparisonRejected) {
+  // N < K with N a growing CDB count: satisfaction can flip off.
+  RuleAdmissibility a = CheckFirstRule(R"(
+.decl e(x, y)
+.decl lim(x, k: count_nat)
+.decl small(x)
+.decl kc(x, y)
+small(X) :- lim(X, K), N = count : kc(X, Y), N < K.
+kc(X, Y) :- e(X, Y), small(Y).
+)");
+  EXPECT_FALSE(a.admissible());
+  EXPECT_FALSE(a.builtins_monotonic);
+}
+
+TEST(AdmissibilityTest, HeadCostDirectionMismatchRejected) {
+  // A descending (min) CDB value flowing into an ascending (max) head.
+  RuleAdmissibility a = CheckFirstRule(R"(
+.decl p(x, c: max_nonneg)
+.decl q2(x, c: min_real)
+p(X, C) :- q2(X, C1), C = C1 + 1.
+q2(X, C) :- p(X, C0), C = C0 + 1.
+)");
+  EXPECT_FALSE(a.admissible());
+  EXPECT_FALSE(a.builtins_monotonic);
+  EXPECT_NE(a.diagnostic.find("does not align"), std::string::npos);
+}
+
+TEST(AdmissibilityTest, SubtractionOfCdbValueRejected) {
+  RuleAdmissibility a = CheckFirstRule(R"(
+.decl arc(x, y, c: min_real)
+.decl p(x, y, c: min_real)
+p(X, Y, C) :- p(X, Z, C1), arc(Z, Y, C2), C = C2 - C1.
+)");
+  EXPECT_FALSE(a.admissible());
+}
+
+TEST(AdmissibilityTest, MultiplicationByNonNegativeConstantAccepted) {
+  RuleAdmissibility a = CheckFirstRule(R"(
+.decl p(x, c: sum_real)
+.decl p2(x, c: sum_real)
+p(X, C) :- p2(X, C1), C = 2 * C1.
+p2(X, C) :- p(X, C1), C = C1 + 1.
+)");
+  EXPECT_TRUE(a.admissible()) << a.diagnostic;
+}
+
+TEST(AdmissibilityTest, MultiplicationByNegativeConstantRejected) {
+  RuleAdmissibility a = CheckFirstRule(R"(
+.decl p(x, c: sum_real)
+.decl p2(x, c: sum_real)
+p(X, C) :- p2(X, C1), C = -1 * C1 + 10.
+p2(X, C) :- p(X, C).
+)");
+  EXPECT_FALSE(a.admissible());
+}
+
+TEST(AdmissibilityTest, Min2OfCdbValuesAccepted) {
+  RuleAdmissibility a = CheckFirstRule(R"(
+.decl arc(x, y, c: min_real)
+.decl p(x, y, c: min_real)
+p(X, Y, C) :- p(X, Z, C1), arc(Z, Y, C2), C = min2(C1 + C2, 100).
+)");
+  EXPECT_TRUE(a.admissible()) << a.diagnostic;
+}
+
+// --- Section 5.2: r-monotonicity (Mumick et al.) ----------------------------
+
+TEST(RMonotonicTest, ShortestPathIsNotRMonotonic) {
+  // "There is little hope of rewriting it as an r-monotonic program since
+  // the length of the shortest path should be part of the s relation."
+  Parsed p = MustParse(workloads::kShortestPathProgram);
+  EXPECT_FALSE(IsProgramRMonotonic(p.program));
+}
+
+TEST(RMonotonicTest, CompanyControlOriginalIsNotRMonotonic) {
+  // The m rule puts the sum into the head.
+  Parsed p = MustParse(workloads::kCompanyControlProgram);
+  EXPECT_FALSE(IsProgramRMonotonic(p.program));
+}
+
+TEST(RMonotonicTest, CompanyControlRewriteIsRMonotonic) {
+  // Merging the m and c rules makes it r-monotonic (Section 5.2).
+  Parsed p = MustParse(workloads::kCompanyControlRMonotonic);
+  EXPECT_TRUE(IsProgramRMonotonic(p.program));
+}
+
+TEST(RMonotonicTest, PartyIsMonotonicButNotRMonotonic) {
+  // "Example 4.3 is monotonic, but not r-monotonic due to the
+  // nonmonotonicity in K."
+  Parsed p = MustParse(workloads::kPartyProgram);
+  EXPECT_TRUE(CheckAdmissible(p.program, *p.graph).ok());
+  EXPECT_FALSE(IsProgramRMonotonic(p.program));
+}
+
+TEST(RMonotonicTest, PlainDatalogIsRMonotonic) {
+  Parsed p = MustParse(R"(
+.decl e(x, y)
+.decl tc(x, y)
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- tc(X, Z), e(Z, Y).
+)");
+  EXPECT_TRUE(IsProgramRMonotonic(p.program));
+}
+
+TEST(RMonotonicTest, NegationBreaksRMonotonicity) {
+  Parsed p = MustParse(R"(
+.decl e(x)
+.decl f(x)
+.decl g(x)
+g(X) :- e(X), !f(X).
+)");
+  EXPECT_FALSE(IsProgramRMonotonic(p.program));
+}
+
+// --- The checker façade ------------------------------------------------------
+
+TEST(CheckerTest, ShortestPathFullReport) {
+  Parsed p = MustParse(workloads::kShortestPathProgram);
+  ProgramCheckResult r = CheckProgram(p.program, *p.graph);
+  EXPECT_TRUE(r.range_restricted.ok());
+  EXPECT_TRUE(r.cost_respecting.ok());
+  EXPECT_TRUE(r.conflict_free.ok());
+  EXPECT_TRUE(r.admissible.ok());
+  EXPECT_FALSE(r.r_monotonic);
+  EXPECT_TRUE(r.overall().ok());
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("thru-aggregation"), std::string::npos);
+}
+
+TEST(CheckerTest, OverallFailsForNonMonotonicRecursion) {
+  Parsed p = MustParse(R"(
+.decl e(x, y)
+.decl lim(x, k: count_nat)
+.decl small(x)
+.decl kc(x, y)
+small(X) :- lim(X, K), N = count : kc(X, Y), N < K.
+kc(X, Y) :- e(X, Y), small(Y).
+)");
+  ProgramCheckResult r = CheckProgram(p.program, *p.graph);
+  EXPECT_FALSE(r.overall().ok());
+}
+
+TEST(CheckerTest, ValidateForEvaluationEndToEnd) {
+  auto ok = ParseProgram(workloads::kCircuitProgram);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ValidateForEvaluation(*ok).ok());
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace mad

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lattice/aggregate.h"
+
+namespace mad {
+namespace lattice {
+namespace {
+
+using datalog::Value;
+using datalog::ValueSet;
+
+const AggregateFunction* Get(const char* name, const CostDomain* domain) {
+  auto fn = AggregateRegistry::Global().FindOrCreate(name, domain);
+  EXPECT_TRUE(fn.ok()) << fn.status();
+  return fn.value();
+}
+
+double Apply(const AggregateFunction* fn, std::vector<double> values) {
+  std::vector<Value> multiset;
+  for (double v : values) multiset.push_back(Value::Real(v));
+  auto r = fn->Apply(multiset);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r->AsDouble();
+}
+
+TEST(AggregateTest, MinOnMinRealIsMonotonicAndComputesMinimum) {
+  const AggregateFunction* fn = Get("min", MinRealDomain());
+  EXPECT_EQ(fn->monotonicity(), Monotonicity::kMonotonic);
+  EXPECT_DOUBLE_EQ(Apply(fn, {3, 1, 2}), 1.0);
+  // F(∅) must be the output bottom (+inf for the min lattice).
+  EXPECT_TRUE(std::isinf(Apply(fn, {})));
+  EXPECT_GT(Apply(fn, {}), 0);
+}
+
+TEST(AggregateTest, MinOnAscendingDomainIsOnlyPseudoMonotonic) {
+  const AggregateFunction* fn = Get("min", MaxRealDomain());
+  EXPECT_EQ(fn->monotonicity(), Monotonicity::kPseudoMonotonic);
+  EXPECT_DOUBLE_EQ(Apply(fn, {3, 1, 2}), 1.0);
+  // Pseudo-monotonic extrema have no empty-multiset value.
+  EXPECT_FALSE(fn->Apply({}).ok());
+}
+
+TEST(AggregateTest, MaxBothDirections) {
+  EXPECT_EQ(Get("max", MaxRealDomain())->monotonicity(),
+            Monotonicity::kMonotonic);
+  EXPECT_EQ(Get("max", MinRealDomain())->monotonicity(),
+            Monotonicity::kPseudoMonotonic);
+  EXPECT_DOUBLE_EQ(Apply(Get("max", MaxRealDomain()), {3, 7, 2}), 7.0);
+}
+
+TEST(AggregateTest, SumSaturatesAndHandlesEmpty) {
+  const AggregateFunction* fn = Get("sum", SumNonNegDomain());
+  EXPECT_EQ(fn->monotonicity(), Monotonicity::kMonotonic);
+  EXPECT_DOUBLE_EQ(Apply(fn, {1, 2, 3.5}), 6.5);
+  EXPECT_DOUBLE_EQ(Apply(fn, {}), 0.0);
+  EXPECT_TRUE(std::isinf(
+      Apply(fn, {std::numeric_limits<double>::infinity(), 1})));
+}
+
+TEST(AggregateTest, SumRejectsDescendingDomains) {
+  EXPECT_FALSE(MakeAggregate("sum", MinRealDomain()).ok());
+}
+
+TEST(AggregateTest, CountIgnoresValuesCountsElements) {
+  const AggregateFunction* fn = Get("count", BoolOrDomain());
+  EXPECT_EQ(fn->output_domain(), CountNatDomain());
+  EXPECT_DOUBLE_EQ(Apply(fn, {1, 1, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(Apply(fn, {}), 0.0);
+}
+
+TEST(AggregateTest, Product) {
+  const AggregateFunction* fn = Get("product", ProductPosDomain());
+  EXPECT_DOUBLE_EQ(Apply(fn, {2, 3, 4}), 24.0);
+  EXPECT_DOUBLE_EQ(Apply(fn, {}), 1.0);  // bottom of the product lattice
+  std::vector<Value> below_one = {Value::Real(0.5)};
+  EXPECT_FALSE(fn->Apply(below_one).ok());
+}
+
+TEST(AggregateTest, AndOrOnBooleans) {
+  const AggregateFunction* and_mono = Get("and", BoolAndDomain());
+  EXPECT_EQ(and_mono->monotonicity(), Monotonicity::kMonotonic);
+  EXPECT_DOUBLE_EQ(Apply(and_mono, {1, 1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(Apply(and_mono, {}), 1.0);  // bottom under ⊑ = ≥
+
+  // The circuit example's pairing: AND over the ≤-ordered booleans.
+  const AggregateFunction* and_pseudo = Get("and", BoolOrDomain());
+  EXPECT_EQ(and_pseudo->monotonicity(), Monotonicity::kPseudoMonotonic);
+  EXPECT_DOUBLE_EQ(Apply(and_pseudo, {1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(Apply(and_pseudo, {1, 0}), 0.0);
+
+  const AggregateFunction* or_mono = Get("or", BoolOrDomain());
+  EXPECT_EQ(or_mono->monotonicity(), Monotonicity::kMonotonic);
+  EXPECT_DOUBLE_EQ(Apply(or_mono, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(Apply(or_mono, {}), 0.0);
+}
+
+TEST(AggregateTest, AndRequiresBooleanDomain) {
+  EXPECT_FALSE(MakeAggregate("and", MaxRealDomain()).ok());
+  EXPECT_FALSE(MakeAggregate("or", MinRealDomain()).ok());
+}
+
+TEST(AggregateTest, AverageIsPseudoMonotonic) {
+  const AggregateFunction* fn = Get("avg", MaxRealDomain());
+  EXPECT_EQ(fn->monotonicity(), Monotonicity::kPseudoMonotonic);
+  EXPECT_DOUBLE_EQ(Apply(fn, {2, 4}), 3.0);
+  EXPECT_FALSE(fn->Apply({}).ok());
+}
+
+TEST(AggregateTest, HalfSum) {
+  const AggregateFunction* fn = Get("halfsum", SumNonNegDomain());
+  EXPECT_EQ(fn->monotonicity(), Monotonicity::kMonotonic);
+  EXPECT_DOUBLE_EQ(Apply(fn, {1, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(Apply(fn, {}), 0.0);
+}
+
+TEST(AggregateTest, UnionAndIntersection) {
+  const AggregateFunction* u = Get("union", SetUnionDomain());
+  std::vector<Value> sets = {Value::Set({Value::Int(1)}),
+                             Value::Set({Value::Int(2), Value::Int(1)})};
+  auto ur = u->Apply(sets);
+  ASSERT_TRUE(ur.ok());
+  EXPECT_EQ(*ur, Value::Set({Value::Int(1), Value::Int(2)}));
+  auto ue = u->Apply({});
+  ASSERT_TRUE(ue.ok());
+  EXPECT_EQ(ue->set_value().size(), 0u);
+
+  auto domain = MakeSetIntersectionDomain(
+      "isect_agg_test", {Value::Int(1), Value::Int(2), Value::Int(3)});
+  const AggregateFunction* i = Get("intersection", domain.get());
+  auto ir = i->Apply(sets);
+  ASSERT_TRUE(ir.ok());
+  EXPECT_EQ(*ir, Value::Set({Value::Int(1)}));
+  // Empty intersection = bottom = the whole universe.
+  auto ie = i->Apply({});
+  ASSERT_TRUE(ie.ok());
+  EXPECT_EQ(ie->set_value().size(), 3u);
+}
+
+TEST(AggregateTest, HasPath4DetectsLongSimplePaths) {
+  const AggregateFunction* fn = Get("has_path4", SetUnionDomain());
+  auto edge = [](const char* a, const char* b) {
+    return Value::Set({Value::Symbol(a), Value::Symbol(b)});
+  };
+  // Chain of 4 edges: v0-v1-v2-v3-v4.
+  std::vector<Value> chain = {edge("v0", "v1"), edge("v1", "v2"),
+                              edge("v2", "v3"), edge("v3", "v4")};
+  auto r = fn->Apply(chain);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->AsDouble(), 1.0);
+
+  // Only 3 edges: no simple path of length 4.
+  chain.pop_back();
+  r = fn->Apply(chain);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->AsDouble(), 0.0);
+
+  // A triangle is too short even with many edges (path must be simple).
+  std::vector<Value> triangle = {edge("a", "b"), edge("b", "c"),
+                                 edge("c", "a")};
+  r = fn->Apply(triangle);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->AsDouble(), 0.0);
+
+  // A 5-clique as one element certainly has one.
+  std::vector<Value> clique = {
+      Value::Set({Value::Symbol("a"), Value::Symbol("b"), Value::Symbol("c"),
+                  Value::Symbol("d"), Value::Symbol("e")})};
+  r = fn->Apply(clique);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->AsDouble(), 1.0);
+}
+
+TEST(AggregateTest, UnknownNameRejected) {
+  EXPECT_FALSE(MakeAggregate("median", MaxRealDomain()).ok());
+  EXPECT_FALSE(AggregateRegistry::Global().IsAggregateName("median"));
+  EXPECT_TRUE(AggregateRegistry::Global().IsAggregateName("min"));
+}
+
+TEST(AggregateTest, RegistryCachesInstances) {
+  const AggregateFunction* a = Get("min", MinRealDomain());
+  const AggregateFunction* b = Get("min", MinRealDomain());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, Get("min", MaxRealDomain()));
+}
+
+TEST(Figure1Test, HasAllElevenRows) {
+  const auto& rows = Figure1();
+  ASSERT_EQ(rows.size(), 11u);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].row_number, static_cast<int>(i) + 1);
+    EXPECT_NE(rows[i].fn, nullptr);
+    // Every Figure-1 row is monotonic (pseudo-monotonic functions are listed
+    // separately in Section 4.1.1).
+    EXPECT_EQ(rows[i].fn->monotonicity(), Monotonicity::kMonotonic)
+        << rows[i].description;
+  }
+}
+
+}  // namespace
+}  // namespace lattice
+}  // namespace mad

@@ -1,0 +1,160 @@
+// Experiment E4.4: circuit evaluation — default values + the
+// pseudo-monotonic AND aggregate, on acyclic and cyclic circuits.
+
+#include <gtest/gtest.h>
+
+#include "baselines/circuit_sim.h"
+#include "core/engine.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+#include "workloads/to_datalog.h"
+
+namespace mad {
+namespace {
+
+using baselines::Circuit;
+using baselines::SimulateCircuit;
+using datalog::Value;
+
+std::vector<bool> RunEngine(const Circuit& c, core::EvalOptions options = {}) {
+  auto program = datalog::ParseProgram(workloads::kCircuitProgram);
+  EXPECT_TRUE(program.ok()) << program.status();
+  datalog::Database edb;
+  EXPECT_TRUE(workloads::AddCircuitFacts(*program, c, &edb).ok());
+  core::Engine engine(*program, options);
+  auto result = engine.Run(std::move(edb));
+  EXPECT_TRUE(result.ok()) << result.status();
+
+  std::vector<bool> values(c.num_wires, false);
+  const auto* t = result->db.Find(program->FindPredicate("t"));
+  if (t != nullptr) {
+    t->ForEach([&](const datalog::Tuple& key, const Value& cost) {
+      int w = std::stoi(std::string(key[0].symbol_name()).substr(1));
+      values[w] = cost.AsDouble() > 0.5;
+    });
+  }
+  return values;
+}
+
+Circuit TinyCyclic() {
+  // g1 = AND(g1)          (self-loop: minimal behaviour -> false)
+  // g2 = OR(w0, g1)
+  // g3 = AND(w0, g2)
+  Circuit c;
+  c.num_inputs = 1;
+  c.num_wires = 4;
+  c.input_values = {true};
+  c.gates = {{Circuit::GateType::kAnd, 1, {1}},
+             {Circuit::GateType::kOr, 2, {0, 1}},
+             {Circuit::GateType::kAnd, 3, {0, 2}}};
+  return c;
+}
+
+TEST(CircuitTest, MinimalBehaviourOfCyclicAndGate) {
+  Circuit c = TinyCyclic();
+  std::vector<bool> got = RunEngine(c);
+  EXPECT_FALSE(got[1]);  // the self-fed AND stays at the default 0
+  EXPECT_TRUE(got[2]);
+  EXPECT_TRUE(got[3]);
+}
+
+TEST(CircuitTest, SelfFedOrLatchCanTurnOn) {
+  // g1 = OR(w0, g1): once the input is 1 the latch holds 1; with input 0 the
+  // minimal behaviour keeps it 0.
+  for (bool input : {false, true}) {
+    Circuit c;
+    c.num_inputs = 1;
+    c.num_wires = 2;
+    c.input_values = {input};
+    c.gates = {{Circuit::GateType::kOr, 1, {0, 1}}};
+    std::vector<bool> got = RunEngine(c);
+    EXPECT_EQ(got[1], input);
+  }
+}
+
+TEST(CircuitTest, CrossCoupledAndGatesStayLow) {
+  // g1 = AND(g2), g2 = AND(g1): the least fixpoint is all-false even though
+  // all-true would also be a (non-minimal) model.
+  Circuit c;
+  c.num_inputs = 0;
+  c.num_wires = 2;
+  c.gates = {{Circuit::GateType::kAnd, 0, {1}},
+             {Circuit::GateType::kAnd, 1, {0}}};
+  std::vector<bool> got = RunEngine(c);
+  EXPECT_FALSE(got[0]);
+  EXPECT_FALSE(got[1]);
+}
+
+class CircuitSeedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CircuitSeedTest, MatchesSimulatorOnAcyclicCircuits) {
+  Random rng(GetParam());
+  Circuit c = workloads::RandomCircuit(6, 40, 4, /*feedback_fraction=*/0.0,
+                                       &rng);
+  EXPECT_EQ(RunEngine(c), SimulateCircuit(c).wire_values);
+}
+
+TEST_P(CircuitSeedTest, MatchesSimulatorOnCyclicCircuits) {
+  Random rng(100 + GetParam());
+  Circuit c = workloads::RandomCircuit(6, 40, 4, /*feedback_fraction=*/0.3,
+                                       &rng);
+  EXPECT_EQ(RunEngine(c), SimulateCircuit(c).wire_values);
+}
+
+TEST_P(CircuitSeedTest, NaiveAndSemiNaiveAgree) {
+  Random rng(200 + GetParam());
+  Circuit c = workloads::RandomCircuit(5, 25, 3, 0.25, &rng);
+  core::EvalOptions naive;
+  naive.strategy = core::Strategy::kNaive;
+  EXPECT_EQ(RunEngine(c, naive), RunEngine(c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CircuitSeedTest, ::testing::Range(1, 7));
+
+TEST(CircuitTest, WithoutDefaultDeclarationProgramIsRejected) {
+  // Example 4.4's point: drop `default` from t and the pseudo-monotonic AND
+  // aggregate no longer guarantees monotonicity — the checker must refuse.
+  std::string no_default = workloads::kCircuitProgram;
+  size_t pos = no_default.find(" default");
+  ASSERT_NE(pos, std::string::npos);
+  no_default.erase(pos, 8);
+  auto run = core::ParseAndRun(no_default);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kAnalysisError);
+}
+
+TEST(CircuitTest, MaximalBehaviourViaDualEncoding) {
+  // The paper: "For the circuit to behave in a maximal fashion, one would
+  // change the default value for t from 0 to 1" — i.e. flip the lattice to
+  // bool_and (bottom = 1) and swap the aggregate pairing.
+  const char* dual = R"(
+.decl gate(g, type)
+.decl connect(g, w)
+.decl input(w, v: bool_and)
+.decl t(w, v: bool_and) default
+.constraint gate(G, or), gate(G, and).
+.constraint input(W, C), gate(W, T).
+t(W, C) :- input(W, C).
+t(G, C) :- gate(G, or), C = or D : (connect(G, W), t(W, D)).
+t(G, C) :- gate(G, and), C = and D : (connect(G, W), t(W, D)).
+gate(g1, and).
+connect(g1, g1).
+)";
+  auto run = core::ParseAndRun(dual);
+  ASSERT_TRUE(run.ok()) << run.status();
+  auto v = core::LookupCost(*run->program, run->result.db, "t",
+                            {Value::Symbol("g1")});
+  ASSERT_TRUE(v.has_value());
+  // Under the maximal reading the self-fed AND holds itself at 1.
+  EXPECT_DOUBLE_EQ(v->AsDouble(), 1.0);
+}
+
+TEST(CircuitTest, LargeCircuitReachesFixpoint) {
+  Random rng(9);
+  Circuit c = workloads::RandomCircuit(20, 400, 5, 0.2, &rng);
+  std::vector<bool> got = RunEngine(c);
+  EXPECT_EQ(got, SimulateCircuit(c).wire_values);
+}
+
+}  // namespace
+}  // namespace mad

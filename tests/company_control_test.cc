@@ -1,0 +1,166 @@
+// Experiment E2.7: company control — the engine's least model matches the
+// direct solver, reproduces the Section 5.6 definedness point, and the
+// r-monotonic rewrite computes the same controls relation.
+
+#include <gtest/gtest.h>
+
+#include "baselines/company_control.h"
+#include "core/engine.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+#include "workloads/to_datalog.h"
+
+namespace mad {
+namespace {
+
+using baselines::OwnershipNetwork;
+using baselines::SolveCompanyControl;
+using core::EvalOptions;
+using datalog::Value;
+
+struct EngineControl {
+  std::vector<std::vector<bool>> controls;
+  std::vector<std::vector<double>> fraction;
+};
+
+EngineControl RunEngine(const OwnershipNetwork& net, const char* program_text,
+                        EvalOptions options = {}) {
+  auto program = datalog::ParseProgram(program_text);
+  EXPECT_TRUE(program.ok()) << program.status();
+  datalog::Database edb;
+  EXPECT_TRUE(workloads::AddOwnershipFacts(*program, net, &edb).ok());
+  core::Engine engine(*program, options);
+  auto result = engine.Run(std::move(edb));
+  EXPECT_TRUE(result.ok()) << result.status();
+
+  int n = net.num_companies;
+  EngineControl out;
+  out.controls.assign(n, std::vector<bool>(n, false));
+  out.fraction.assign(n, std::vector<double>(n, 0.0));
+  auto id = [](const Value& v) {
+    return std::stoi(std::string(v.symbol_name()).substr(1));
+  };
+  if (const auto* c = result->db.Find(program->FindPredicate("c"))) {
+    c->ForEach([&](const datalog::Tuple& key, const Value&) {
+      out.controls[id(key[0])][id(key[1])] = true;
+    });
+  }
+  if (const datalog::PredicateInfo* m = program->FindPredicate("m")) {
+    if (const auto* rel = result->db.Find(m)) {
+      rel->ForEach([&](const datalog::Tuple& key, const Value& cost) {
+        out.fraction[id(key[0])][id(key[1])] = cost.AsDouble();
+      });
+    }
+  }
+  return out;
+}
+
+TEST(CompanyControlTest, VanGelderExampleSection56) {
+  // EDB {s(a,b,.3), s(a,c,.3), s(b,c,.6), s(c,b,.6)}: for us c(a,b) and
+  // c(a,c) are *false* (not undefined); b and c control each other — and,
+  // through the mutual 0.6 + their own 0.6, themselves.
+  OwnershipNetwork net;
+  net.Resize(3);  // 0=a, 1=b, 2=c
+  net.shares[0][1] = 0.3;
+  net.shares[0][2] = 0.3;
+  net.shares[1][2] = 0.6;
+  net.shares[2][1] = 0.6;
+  EngineControl got = RunEngine(net, workloads::kCompanyControlProgram);
+  EXPECT_FALSE(got.controls[0][1]);  // c(a, b) is false in the least model
+  EXPECT_FALSE(got.controls[0][2]);
+  EXPECT_TRUE(got.controls[1][2]);
+  EXPECT_TRUE(got.controls[2][1]);
+  EXPECT_TRUE(got.controls[1][1]);
+  EXPECT_TRUE(got.controls[2][2]);
+  EXPECT_NEAR(got.fraction[0][1], 0.3, 1e-9);
+}
+
+TEST(CompanyControlTest, ControlChainPropagates) {
+  // 0 owns 60% of 1, 1 owns 60% of 2, ...: 0 controls everything downstream.
+  OwnershipNetwork net;
+  net.Resize(5);
+  for (int i = 0; i + 1 < 5; ++i) net.shares[i][i + 1] = 0.6;
+  EngineControl got = RunEngine(net, workloads::kCompanyControlProgram);
+  for (int j = 1; j < 5; ++j) EXPECT_TRUE(got.controls[0][j]) << j;
+  EXPECT_FALSE(got.controls[1][0]);
+}
+
+TEST(CompanyControlTest, SplitOwnershipNeedsTheRecursion) {
+  // 0 owns 40% of 2 directly and controls 1 which owns 20% of 2: only the
+  // recursive sum pushes 0 over 50%.
+  OwnershipNetwork net;
+  net.Resize(3);
+  net.shares[0][1] = 0.9;
+  net.shares[0][2] = 0.4;
+  net.shares[1][2] = 0.2;
+  EngineControl got = RunEngine(net, workloads::kCompanyControlProgram);
+  EXPECT_TRUE(got.controls[0][2]);
+  EXPECT_NEAR(got.fraction[0][2], 0.6, 1e-9);
+}
+
+class CompanyControlSeedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompanyControlSeedTest, MatchesDirectSolverOnRandomNetworks) {
+  Random rng(GetParam());
+  OwnershipNetwork net = workloads::RandomOwnership(20, 4, 0.4, &rng);
+  EngineControl got = RunEngine(net, workloads::kCompanyControlProgram);
+  baselines::ControlResult want = SolveCompanyControl(net);
+  for (int x = 0; x < net.num_companies; ++x) {
+    for (int y = 0; y < net.num_companies; ++y) {
+      EXPECT_EQ(got.controls[x][y], want.controls[x][y])
+          << "c(" << x << "," << y << ")";
+      EXPECT_NEAR(got.fraction[x][y], want.controlled_fraction[x][y], 1e-9);
+    }
+  }
+}
+
+TEST_P(CompanyControlSeedTest, RMonotonicRewriteComputesSameControls) {
+  // Section 5.2: merging the m and c rules gives an r-monotonic program
+  // with the same controls relation (m is no longer materialized).
+  Random rng(100 + GetParam());
+  OwnershipNetwork net = workloads::RandomOwnership(15, 3, 0.5, &rng);
+  EngineControl original =
+      RunEngine(net, workloads::kCompanyControlProgram);
+  EngineControl rewrite =
+      RunEngine(net, workloads::kCompanyControlRMonotonic);
+  EXPECT_EQ(original.controls, rewrite.controls);
+}
+
+TEST_P(CompanyControlSeedTest, NaiveAndSemiNaiveAgree) {
+  Random rng(200 + GetParam());
+  OwnershipNetwork net = workloads::RandomOwnership(12, 3, 0.5, &rng);
+  EvalOptions naive;
+  naive.strategy = core::Strategy::kNaive;
+  EngineControl a = RunEngine(net, workloads::kCompanyControlProgram, naive);
+  EngineControl b = RunEngine(net, workloads::kCompanyControlProgram);
+  EXPECT_EQ(a.controls, b.controls);
+  EXPECT_EQ(a.fraction, b.fraction);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompanyControlSeedTest,
+                         ::testing::Range(1, 7));
+
+TEST(CompanyControlTest, DirectSolverMonotoneInShares) {
+  // Property: raising any share can only add controls (monotonicity at the
+  // problem level — the semantic property the paper's framework formalizes).
+  Random rng(31);
+  OwnershipNetwork net = workloads::RandomOwnership(12, 3, 0.3, &rng);
+  baselines::ControlResult before = SolveCompanyControl(net);
+  OwnershipNetwork raised = net;
+  for (int trial = 0; trial < 10; ++trial) {
+    int x = static_cast<int>(rng.Uniform(0, 11));
+    int y = static_cast<int>(rng.Uniform(0, 11));
+    if (x != y) {
+      raised.shares[x][y] = std::min(1.0, raised.shares[x][y] + 0.2);
+    }
+  }
+  baselines::ControlResult after = SolveCompanyControl(raised);
+  for (int x = 0; x < 12; ++x) {
+    for (int y = 0; y < 12; ++y) {
+      if (before.controls[x][y]) EXPECT_TRUE(after.controls[x][y]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mad

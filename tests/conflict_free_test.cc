@@ -1,0 +1,123 @@
+// Definition 2.10 (conflict-freedom) — the syntactic sufficient condition
+// for cost-consistency (Lemma 2.3).
+
+#include <gtest/gtest.h>
+
+#include "analysis/conflict_free.h"
+#include "datalog/parser.h"
+#include "workloads/programs.h"
+
+namespace mad {
+namespace analysis {
+namespace {
+
+using datalog::ParseProgram;
+
+Status Check(std::string_view text) {
+  auto p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status();
+  return CheckConflictFree(*p);
+}
+
+TEST(ConflictFreeTest, AllCanonicalProgramsAreConflictFree) {
+  EXPECT_TRUE(Check(workloads::kShortestPathProgram).ok());
+  EXPECT_TRUE(Check(workloads::kCompanyControlProgram).ok());
+  EXPECT_TRUE(Check(workloads::kCompanyControlRMonotonic).ok());
+  EXPECT_TRUE(Check(workloads::kPartyProgram).ok());
+  EXPECT_TRUE(Check(workloads::kCircuitProgram).ok());
+  EXPECT_TRUE(Check(workloads::kHalfsumProgram).ok());
+}
+
+TEST(ConflictFreeTest, Section24MinVsSumConflict) {
+  // The two-rule inconsistency example from Section 2.4.
+  Status st = Check(R"(
+.decl q(x, d: min_real)
+.decl r(x, d: min_real)
+.decl p(x, c: min_real)
+p(X, C) :- C =r min D : q(X, D).
+p(X, C) :- C =r min D : r(X, D).
+)");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("Definition 2.10"), std::string::npos);
+}
+
+TEST(ConflictFreeTest, NonCostRespectingRuleRejected) {
+  // Section 2.4's single-rule example: p(X,C) :- q(X,Y,C).
+  Status st = Check(R"(
+.decl q(x, y, c: min_real)
+.decl p(x, c: min_real)
+p(X, C) :- q(X, Y, C).
+)");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("cost-respecting"), std::string::npos);
+}
+
+TEST(ConflictFreeTest, ConstraintRescuesPathRules) {
+  // Without the integrity constraint the two path rules conflict...
+  Status without = Check(R"(
+.decl arc(x, y, c: min_real)
+.decl s(x, z, c: min_real)
+.decl path(x, z, y, c: min_real)
+path(X, direct, Y, C) :- arc(X, Y, C).
+path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+)");
+  EXPECT_FALSE(without.ok());
+  // ...and with it they are fine (Example 2.5).
+  Status with = Check(R"(
+.decl arc(x, y, c: min_real)
+.decl s(x, z, c: min_real)
+.decl path(x, z, y, c: min_real)
+.constraint arc(direct, Z, C).
+path(X, direct, Y, C) :- arc(X, Y, C).
+path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+)");
+  EXPECT_TRUE(with.ok()) << with;
+}
+
+TEST(ConflictFreeTest, ContainmentMappingRescuesCvRules) {
+  // Example 2.5 / 2.7: the two cv rules are fine because of the containment
+  // mapping once heads are unified.
+  EXPECT_TRUE(Check(R"(
+.decl s(a, b, n: sum_real)
+.decl c(a, b)
+.decl cv(a, b, c, n: sum_real)
+cv(X, X, Y, N) :- s(X, Y, N).
+cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+)")
+                  .ok());
+}
+
+TEST(ConflictFreeTest, NonUnifiableHeadsNeverConflict) {
+  EXPECT_TRUE(Check(R"(
+.decl q(x, c: min_real)
+.decl p(x, c: min_real)
+p(a, C) :- C =r min D : q(a, D).
+p(b, C) :- C =r max D : q(b, D).
+)")
+                  .ok());
+}
+
+TEST(ConflictFreeTest, CostFreeHeadsNeverConflict) {
+  EXPECT_TRUE(Check(R"(
+.decl e(x)
+.decl f(x)
+.decl g(x)
+g(X) :- e(X).
+g(X) :- f(X).
+)")
+                  .ok());
+}
+
+TEST(ConflictFreeTest, IdenticalRulesAreContained) {
+  EXPECT_TRUE(Check(R"(
+.decl q(x, c: min_real)
+.decl p(x, c: min_real)
+p(X, C) :- q(X, C).
+p(Y, D) :- q(Y, D).
+)")
+                  .ok());
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace mad

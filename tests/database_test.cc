@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "datalog/database.h"
+#include "datalog/parser.h"
+#include "lattice/cost_domain.h"
+
+namespace mad {
+namespace datalog {
+namespace {
+
+Program DeclOnly() {
+  auto p = ParseProgram(R"(
+.decl s(x, y, c: min_real)
+.decl e(x, y)
+.decl sum_pred(x, c: sum_real)
+)");
+  EXPECT_TRUE(p.ok()) << p.status();
+  return std::move(p).value();
+}
+
+Tuple Key(const char* a, const char* b) {
+  return {Value::Symbol(a), Value::Symbol(b)};
+}
+
+TEST(RelationTest, MergeNewIncreasedUnchangedUnderMinOrder) {
+  Program p = DeclOnly();
+  Relation rel(p.FindPredicate("s"));
+  // min_real: ⊑ is ≥, so numerically *smaller* costs are increases.
+  EXPECT_EQ(rel.Merge(Key("a", "b"), Value::Real(5)),
+            Relation::MergeResult::kNew);
+  EXPECT_EQ(rel.Merge(Key("a", "b"), Value::Real(7)),
+            Relation::MergeResult::kUnchanged);
+  EXPECT_EQ(rel.Merge(Key("a", "b"), Value::Real(3)),
+            Relation::MergeResult::kIncreased);
+  EXPECT_DOUBLE_EQ(rel.Find(Key("a", "b"))->AsDouble(), 3.0);
+  EXPECT_EQ(rel.size(), 1u);
+}
+
+TEST(RelationTest, FunctionalDependencyIsStructural) {
+  Program p = DeclOnly();
+  Relation rel(p.FindPredicate("s"));
+  rel.Merge(Key("a", "b"), Value::Real(5));
+  rel.Merge(Key("a", "b"), Value::Real(2));
+  // Only ever one row per key; no two atoms differ only on cost.
+  EXPECT_EQ(rel.size(), 1u);
+}
+
+TEST(RelationTest, CostFreePredicates) {
+  Program p = DeclOnly();
+  Relation rel(p.FindPredicate("e"));
+  EXPECT_EQ(rel.Merge(Key("a", "b"), Value()),
+            Relation::MergeResult::kNew);
+  EXPECT_EQ(rel.Merge(Key("a", "b"), Value()),
+            Relation::MergeResult::kUnchanged);
+  EXPECT_TRUE(rel.Contains(Key("a", "b")));
+  EXPECT_FALSE(rel.Contains(Key("b", "a")));
+}
+
+TEST(RelationTest, ScanWithBoundPositions) {
+  Program p = DeclOnly();
+  Relation rel(p.FindPredicate("s"));
+  rel.Merge(Key("a", "b"), Value::Real(1));
+  rel.Merge(Key("a", "c"), Value::Real(2));
+  rel.Merge(Key("b", "c"), Value::Real(3));
+
+  int count = 0;
+  double sum = 0;
+  rel.Scan({0}, {Value::Symbol("a")}, [&](const Tuple& key, const Value& c) {
+    ++count;
+    sum += c.AsDouble();
+    EXPECT_EQ(key[0], Value::Symbol("a"));
+  });
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(sum, 3.0);
+
+  // Second position index.
+  count = 0;
+  rel.Scan({1}, {Value::Symbol("c")},
+           [&](const Tuple&, const Value&) { ++count; });
+  EXPECT_EQ(count, 2);
+
+  // Fully bound: point lookup.
+  count = 0;
+  rel.Scan({0, 1}, Key("b", "c"),
+           [&](const Tuple&, const Value&) { ++count; });
+  EXPECT_EQ(count, 1);
+
+  // Empty pattern: full scan.
+  count = 0;
+  rel.Scan({}, {}, [&](const Tuple&, const Value&) { ++count; });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(RelationTest, IndexesExtendLazilyAfterInserts) {
+  Program p = DeclOnly();
+  Relation rel(p.FindPredicate("s"));
+  rel.Merge(Key("a", "b"), Value::Real(1));
+  int count = 0;
+  rel.Scan({0}, {Value::Symbol("a")},
+           [&](const Tuple&, const Value&) { ++count; });
+  EXPECT_EQ(count, 1);
+  // Insert after the index was built; the next scan must see it.
+  rel.Merge(Key("a", "z"), Value::Real(9));
+  count = 0;
+  rel.Scan({0}, {Value::Symbol("a")},
+           [&](const Tuple&, const Value&) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(RelationTest, RowAccessorsStable) {
+  Program p = DeclOnly();
+  Relation rel(p.FindPredicate("s"));
+  rel.Merge(Key("a", "b"), Value::Real(1));
+  rel.Merge(Key("c", "d"), Value::Real(2));
+  EXPECT_EQ(rel.key_at(0), Key("a", "b"));
+  EXPECT_EQ(rel.key_at(1), Key("c", "d"));
+  EXPECT_EQ(*rel.FindRow(Key("c", "d")), 1u);
+  EXPECT_FALSE(rel.FindRow(Key("x", "y")).has_value());
+}
+
+TEST(DatabaseTest, AddFactValidatesDomain) {
+  Program p = DeclOnly();
+  Database db;
+  Fact good;
+  good.pred = p.FindPredicate("sum_pred");
+  good.key = {Value::Symbol("a")};
+  good.cost = Value::Real(0.25);
+  EXPECT_TRUE(db.AddFact(good).ok());
+
+  Fact bad = good;
+  bad.cost = Value::Real(-1);  // outside sum_real
+  EXPECT_FALSE(db.AddFact(bad).ok());
+
+  Fact missing = good;
+  missing.cost.reset();
+  EXPECT_FALSE(db.AddFact(missing).ok());
+}
+
+TEST(DatabaseTest, CloneIsDeep) {
+  Program p = DeclOnly();
+  Database db;
+  Fact f;
+  f.pred = p.FindPredicate("s");
+  f.key = Key("a", "b");
+  f.cost = Value::Real(4);
+  ASSERT_TRUE(db.AddFact(f).ok());
+
+  Database copy = db.Clone();
+  // Mutating the copy must not affect the original.
+  copy.GetOrCreate(p.FindPredicate("s"))->Merge(Key("a", "b"), Value::Real(1));
+  EXPECT_DOUBLE_EQ(
+      copy.Find(p.FindPredicate("s"))->Find(Key("a", "b"))->AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      db.Find(p.FindPredicate("s"))->Find(Key("a", "b"))->AsDouble(), 4.0);
+}
+
+TEST(DatabaseTest, ToStringSortsFacts) {
+  Program p = DeclOnly();
+  Database db;
+  db.GetOrCreate(p.FindPredicate("e"))->Merge(Key("b", "b"), Value());
+  db.GetOrCreate(p.FindPredicate("e"))->Merge(Key("a", "a"), Value());
+  EXPECT_EQ(db.ToString(), "e(a, a).\ne(b, b).\n");
+  EXPECT_EQ(db.TotalRows(), 2u);
+}
+
+}  // namespace
+}  // namespace datalog
+}  // namespace mad

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "analysis/dependency_graph.h"
+#include "datalog/parser.h"
+#include "workloads/programs.h"
+
+namespace mad {
+namespace analysis {
+namespace {
+
+using datalog::ParseProgram;
+using datalog::Program;
+
+Program MustParse(std::string_view text) {
+  auto p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status();
+  return std::move(p).value();
+}
+
+const Component& ComponentFor(const DependencyGraph& g, const Program& p,
+                              const char* pred) {
+  return g.components()[g.ComponentOf(p.FindPredicate(pred))];
+}
+
+TEST(DependencyGraphTest, ShortestPathComponents) {
+  Program p = MustParse(workloads::kShortestPathProgram);
+  DependencyGraph g(p);
+  // path and s are mutually recursive; arc is below them.
+  EXPECT_EQ(g.ComponentOf(p.FindPredicate("path")),
+            g.ComponentOf(p.FindPredicate("s")));
+  EXPECT_NE(g.ComponentOf(p.FindPredicate("arc")),
+            g.ComponentOf(p.FindPredicate("s")));
+  const Component& sp = ComponentFor(g, p, "s");
+  EXPECT_TRUE(sp.recursive);
+  EXPECT_TRUE(sp.recursive_aggregation);
+  EXPECT_FALSE(sp.recursive_negation);
+  EXPECT_EQ(sp.rule_indices.size(), 3u);
+}
+
+TEST(DependencyGraphTest, BottomUpTopologicalOrder) {
+  Program p = MustParse(workloads::kShortestPathProgram);
+  DependencyGraph g(p);
+  // arc's component must come before the {path, s} component.
+  EXPECT_LT(g.ComponentOf(p.FindPredicate("arc")),
+            g.ComponentOf(p.FindPredicate("s")));
+}
+
+TEST(DependencyGraphTest, CompanyControlIsOneBigScc) {
+  Program p = MustParse(workloads::kCompanyControlProgram);
+  DependencyGraph g(p);
+  int cv = g.ComponentOf(p.FindPredicate("cv"));
+  EXPECT_EQ(cv, g.ComponentOf(p.FindPredicate("m")));
+  EXPECT_EQ(cv, g.ComponentOf(p.FindPredicate("c")));
+  EXPECT_NE(cv, g.ComponentOf(p.FindPredicate("s")));
+  EXPECT_TRUE(g.components()[cv].recursive_aggregation);
+}
+
+TEST(DependencyGraphTest, StratifiedProgramHasNoRecursiveAggregation) {
+  Program p = MustParse(R"(
+.decl r(x, c: max_real)
+.decl top(x, c: max_real)
+top(X, C) :- C =r max D : r(X, D).
+)");
+  DependencyGraph g(p);
+  const Component& top = ComponentFor(g, p, "top");
+  EXPECT_FALSE(top.recursive);
+  EXPECT_FALSE(top.recursive_aggregation);
+}
+
+TEST(DependencyGraphTest, NegationEdgeFlagged) {
+  Program p = MustParse(R"(
+.decl e(x)
+.decl a(x)
+.decl b(x)
+a(X) :- e(X), !b(X).
+b(X) :- e(X), a(X).
+)");
+  DependencyGraph g(p);
+  const Component& c = ComponentFor(g, p, "a");
+  EXPECT_TRUE(c.recursive);
+  EXPECT_TRUE(c.recursive_negation);
+}
+
+TEST(DependencyGraphTest, IsCdbForClassifiesOccurrences) {
+  Program p = MustParse(workloads::kShortestPathProgram);
+  DependencyGraph g(p);
+  const auto& rules = p.rules();
+  // Rule 1: path(...) :- s(...), arc(...): s is CDB, arc is LDB.
+  const datalog::Rule& rule = rules[1];
+  EXPECT_TRUE(g.IsCdbFor(rule, p.FindPredicate("s")));
+  EXPECT_FALSE(g.IsCdbFor(rule, p.FindPredicate("arc")));
+}
+
+TEST(DependencyGraphTest, SelfRecursionIsRecursive) {
+  Program p = MustParse(R"(
+.decl e(x, y)
+.decl tc(x, y)
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- tc(X, Z), e(Z, Y).
+)");
+  DependencyGraph g(p);
+  const Component& c = ComponentFor(g, p, "tc");
+  EXPECT_TRUE(c.recursive);
+  EXPECT_FALSE(c.recursive_aggregation);
+  EXPECT_EQ(c.predicates.size(), 1u);
+}
+
+TEST(DependencyGraphTest, DeclaredButUnusedPredicateGetsComponent) {
+  Program p = MustParse(".decl lonely(x)");
+  DependencyGraph g(p);
+  EXPECT_GE(g.ComponentOf(p.FindPredicate("lonely")), 0);
+}
+
+TEST(DependencyGraphTest, ToStringMentionsFlags) {
+  Program p = MustParse(workloads::kShortestPathProgram);
+  DependencyGraph g(p);
+  std::string s = g.ToString();
+  EXPECT_NE(s.find("recursive-aggregation"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace mad

@@ -1,0 +1,248 @@
+// Direct unit tests of the runtime executor: built-in expression
+// evaluation, comparison semantics across value kinds, negation over
+// default and non-default predicates, aggregate edge cases.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace mad {
+namespace core {
+namespace {
+
+using datalog::Value;
+
+ParsedRun MustRun(std::string_view text, EvalOptions options = {}) {
+  auto run = ParseAndRun(text, options);
+  EXPECT_TRUE(run.ok()) << run.status();
+  return std::move(run).value();
+}
+
+bool Holds(const ParsedRun& run, const char* pred,
+           std::vector<Value> key = {}) {
+  return core::LookupCost(*run.program, run.result.db, pred, key)
+      .has_value();
+}
+
+TEST(ExecutorBuiltinTest, IntegerArithmeticStaysIntegral) {
+  ParsedRun run = MustRun(R"(
+.decl v(x, c: max_real)
+.decl out(x, c: max_real)
+out(X, C) :- v(X, A), C = (A + 2) * 3 - 1.
+v(a, 4).
+)");
+  auto c = LookupCost(*run.program, run.result.db, "out",
+                      {Value::Symbol("a")});
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(c->AsDouble(), 17.0);
+}
+
+TEST(ExecutorBuiltinTest, DivisionIsRealAndDivByZeroFailsSubgoal) {
+  ParsedRun run = MustRun(R"(
+.decl v(x, c: max_real)
+.decl half(x, c: max_real)
+.decl bad(x, c: max_real)
+half(X, C) :- v(X, A), C = A / 2.
+bad(X, C) :- v(X, A), C = A / 0.
+v(a, 5).
+)");
+  auto c = LookupCost(*run.program, run.result.db, "half",
+                      {Value::Symbol("a")});
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(c->AsDouble(), 2.5);
+  // Division by zero silently fails the ground instance, deriving nothing.
+  EXPECT_FALSE(Holds(run, "bad", {Value::Symbol("a")}));
+}
+
+TEST(ExecutorBuiltinTest, Min2Max2PickTheExtremum) {
+  ParsedRun run = MustRun(R"(
+.decl v(x, c: max_real)
+.decl clamped(x, c: max_real)
+clamped(X, C) :- v(X, A), C = min2(max2(A, 0), 10).
+v(a, -5).
+v(b, 22).
+v(c, 7).
+)");
+  EXPECT_DOUBLE_EQ(LookupCost(*run.program, run.result.db, "clamped",
+                              {Value::Symbol("a")})
+                       ->AsDouble(),
+                   0.0);
+  EXPECT_DOUBLE_EQ(LookupCost(*run.program, run.result.db, "clamped",
+                              {Value::Symbol("b")})
+                       ->AsDouble(),
+                   10.0);
+  EXPECT_DOUBLE_EQ(LookupCost(*run.program, run.result.db, "clamped",
+                              {Value::Symbol("c")})
+                       ->AsDouble(),
+                   7.0);
+}
+
+TEST(ExecutorBuiltinTest, SymbolComparisonOnlyEquality) {
+  ParsedRun run = MustRun(R"(
+.decl e(x, y)
+.decl same(x)
+.decl diff(x)
+same(X) :- e(X, Y), X = Y.
+diff(X) :- e(X, Y), X != Y.
+e(a, a).
+e(b, c).
+)");
+  EXPECT_TRUE(Holds(run, "same", {Value::Symbol("a")}));
+  EXPECT_FALSE(Holds(run, "same", {Value::Symbol("b")}));
+  EXPECT_TRUE(Holds(run, "diff", {Value::Symbol("b")}));
+  EXPECT_FALSE(Holds(run, "diff", {Value::Symbol("a")}));
+}
+
+TEST(ExecutorBuiltinTest, SymbolOrderingComparisonFails) {
+  // '<' over symbols is not defined: the subgoal simply never holds.
+  ParsedRun run = MustRun(R"(
+.decl e(x, y)
+.decl lt(x)
+lt(X) :- e(X, Y), X < Y.
+e(a, b).
+)");
+  EXPECT_FALSE(Holds(run, "lt", {Value::Symbol("a")}));
+}
+
+TEST(ExecutorBuiltinTest, CrossKindNumericComparison) {
+  ParsedRun run = MustRun(R"(
+.decl v(x, c: max_real)
+.decl big(x)
+big(X) :- v(X, C), C >= 3.
+v(a, 3).
+v(b, 2.5).
+)");
+  EXPECT_TRUE(Holds(run, "big", {Value::Symbol("a")}));
+  EXPECT_FALSE(Holds(run, "big", {Value::Symbol("b")}));
+}
+
+TEST(ExecutorNegationTest, NonDefaultAbsentKeyNegationHolds) {
+  ParsedRun run = MustRun(R"(
+.decl v(x, c: max_real)
+.decl item(x)
+.decl missing(x)
+missing(X) :- item(X), !v(X, 1).
+item(a). item(b).
+v(a, 1).
+)");
+  // v(b, ·) absent entirely: !v(b, 1) holds.
+  EXPECT_TRUE(Holds(run, "missing", {Value::Symbol("b")}));
+  EXPECT_FALSE(Holds(run, "missing", {Value::Symbol("a")}));
+}
+
+TEST(ExecutorNegationTest, DefaultPredicateNegationUsesBottom) {
+  ParsedRun run = MustRun(R"(
+.decl t(w, v: bool_or) default
+.decl item(w)
+.decl off(w)
+off(W) :- item(W), !t(W, 1).
+item(a). item(b).
+t(a, 1).
+)");
+  // t(b) implicitly carries 0: !t(b, 1) holds; !t(a, 1) does not.
+  EXPECT_TRUE(Holds(run, "off", {Value::Symbol("b")}));
+  EXPECT_FALSE(Holds(run, "off", {Value::Symbol("a")}));
+}
+
+TEST(ExecutorAggregateTest, BoundResultActsAsFilter) {
+  // The ground aggregate subgoal "1 =r count : ..." (cf. Section 3's
+  // two-minimal-models example, here stratified): filters groups by their
+  // aggregate value.
+  ParsedRun run = MustRun(R"(
+.decl e(g, x)
+.decl singleton(g)
+singleton(G) :- e(G, X), N =r count : e(G, Y), N = 1.
+e(g1, a).
+e(g2, a). e(g2, b).
+)");
+  EXPECT_TRUE(Holds(run, "singleton", {Value::Symbol("g1")}));
+  EXPECT_FALSE(Holds(run, "singleton", {Value::Symbol("g2")}));
+}
+
+TEST(ExecutorAggregateTest, MultisetKeepsDuplicateValues) {
+  // Two students with the same grade must both count toward the average —
+  // SQL-style projection keeps duplicates (Definition 2.4).
+  ParsedRun run = MustRun(R"(
+.decl record(s, c, g: max_real)
+.decl c_avg(c, g: max_real)
+c_avg(C, G) :- G =r avg D : record(S, C, D).
+record(ann, math, 60).
+record(bob, math, 60).
+record(cyd, math, 90).
+)");
+  auto g = LookupCost(*run.program, run.result.db, "c_avg",
+                      {Value::Symbol("math")});
+  ASSERT_TRUE(g.has_value());
+  EXPECT_DOUBLE_EQ(g->AsDouble(), 70.0);
+}
+
+TEST(ExecutorAggregateTest, MultisetVarSharedAcrossConjunction) {
+  // E occupying two cost arguments joins on equal values.
+  ParsedRun run = MustRun(R"(
+.decl p(x, c: max_real)
+.decl q(x, c: max_real)
+.decl agreed(n: count_nat)
+agreed(N) :- N = count E : (p(X, E), q(X, E)).
+p(a, 1). p(b, 2).
+q(a, 1). q(b, 3).
+)");
+  auto n = LookupCost(*run.program, run.result.db, "agreed", {});
+  ASSERT_TRUE(n.has_value());
+  EXPECT_DOUBLE_EQ(n->AsDouble(), 1.0);  // only (a, 1) agrees
+}
+
+TEST(ExecutorAggregateTest, GroupModeEnumeratesOnlyNonEmptyGroups) {
+  ParsedRun run = MustRun(R"(
+.decl e(g, x)
+.decl size(g, n: count_nat)
+size(G, N) :- N =r count : e(G, X).
+e(g1, a).
+e(g1, b).
+e(g2, c).
+)");
+  const auto* rel = run.result.db.Find(run.program->FindPredicate("size"));
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->size(), 2u);
+  EXPECT_DOUBLE_EQ(LookupCost(*run.program, run.result.db, "size",
+                              {Value::Symbol("g1")})
+                       ->AsDouble(),
+                   2.0);
+}
+
+TEST(ExecutorTest, CartesianProductRule) {
+  ParsedRun run = MustRun(R"(
+.decl a(x)
+.decl b(y)
+.decl pair(x, y)
+pair(X, Y) :- a(X), b(Y).
+a(p). a(q).
+b(u). b(v). b(w).
+)");
+  const auto* rel = run.result.db.Find(run.program->FindPredicate("pair"));
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->size(), 6u);
+}
+
+TEST(ExecutorTest, HeadCostOutsideDomainDropsDerivation) {
+  // sum_real is non-negative; a subtraction pushing the head cost below 0
+  // silently yields no ground instance rather than corrupting the lattice.
+  EvalOptions options;
+  options.validate = false;  // the rule is (deliberately) not admissible
+  ParsedRun run = MustRun(R"(
+.decl v(x, c: sum_real)
+.decl out(x, c: sum_real)
+out(X, C) :- v(X, A), C = A - 10.
+v(a, 3).
+v(b, 15).
+)",
+                          options);
+  EXPECT_FALSE(Holds(run, "out", {Value::Symbol("a")}));
+  auto c = LookupCost(*run.program, run.result.db, "out",
+                      {Value::Symbol("b")});
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(c->AsDouble(), 5.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace mad

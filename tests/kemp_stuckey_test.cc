@@ -1,0 +1,179 @@
+// Experiment S5: the Section 5.3 comparison — a semantics that may only
+// aggregate fully-determined relations is two-valued exactly on acyclic
+// (modularly stratified) inputs and goes undefined on cycles, while the
+// paper's least model is always two-valued.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/kemp_stuckey.h"
+#include "baselines/shortest_path.h"
+#include "core/engine.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+#include "workloads/to_datalog.h"
+
+namespace mad {
+namespace {
+
+using baselines::Definedness;
+using baselines::Graph;
+using baselines::KempStuckeyShortestPaths;
+using baselines::kUnreachable;
+
+TEST(KempStuckeyTest, FullyDefinedOnDags) {
+  Random rng(1);
+  Graph g = workloads::LayeredDag(6, 4, 2, {1.0, 5.0}, &rng);
+  auto wf = KempStuckeyShortestPaths(g);
+  EXPECT_DOUBLE_EQ(wf.DefinedFraction(), 1.0);
+  EXPECT_EQ(wf.CountUndefined(), 0);
+  // And the defined distances agree with Dijkstra's non-empty paths.
+  auto want = baselines::AllPairsNonEmptyDijkstra(g);
+  for (int x = 0; x < g.num_nodes; ++x) {
+    for (int y = 0; y < g.num_nodes; ++y) {
+      if (wf.status[x][y] == Definedness::kTrue) {
+        EXPECT_NEAR(wf.dist[x][y], want[x][y], 1e-9);
+      } else {
+        EXPECT_TRUE(std::isinf(want[x][y]));
+      }
+    }
+  }
+}
+
+TEST(KempStuckeyTest, SelfLoopMakesDependentsUndefined) {
+  // Example 3.1's graph: a -> b (1), b -> b (0). s(a,b) aggregates over
+  // path(a,b,b) which needs s(a,b) itself: undefined under Kemp-Stuckey,
+  // while our least model makes it true with cost 1.
+  Graph g;
+  g.Resize(2);
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(1, 1, 0);
+  auto wf = KempStuckeyShortestPaths(g);
+  EXPECT_EQ(wf.status[0][1], Definedness::kUndefined);
+  EXPECT_EQ(wf.status[1][1], Definedness::kUndefined);
+  EXPECT_GT(wf.CountUndefined(), 0);
+}
+
+TEST(KempStuckeyTest, UnreachablePairsAreFalse) {
+  Graph g;
+  g.Resize(3);
+  g.AddEdge(0, 1, 1);
+  auto wf = KempStuckeyShortestPaths(g);
+  EXPECT_EQ(wf.status[1][0], Definedness::kFalse);
+  EXPECT_EQ(wf.status[2][0], Definedness::kFalse);
+  EXPECT_EQ(wf.status[0][1], Definedness::kTrue);
+  EXPECT_DOUBLE_EQ(wf.dist[0][1], 1.0);
+}
+
+TEST(KempStuckeyTest, DefinednessDegradesWithCycleDensity) {
+  Random rng(12);
+  Graph dag = workloads::LayeredDag(5, 5, 2, {1.0, 5.0}, &rng);
+  Graph cyclic = workloads::CycleGraph(25, 20, {1.0, 5.0}, &rng);
+  auto wf_dag = KempStuckeyShortestPaths(dag);
+  auto wf_cyc = KempStuckeyShortestPaths(cyclic);
+  EXPECT_DOUBLE_EQ(wf_dag.DefinedFraction(), 1.0);
+  // Every pair on the big cycle depends on the cycle: nothing is defined.
+  EXPECT_LT(wf_cyc.DefinedFraction(), 0.1);
+}
+
+class KempStuckeySeedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KempStuckeySeedTest, AgreesWithLeastModelWhereDefined) {
+  // Proposition 6.1: our minimal model extends the (two-valued part of the)
+  // well-founded-style model — wherever that semantics is defined, the
+  // values must coincide with the engine's least model.
+  Random rng(GetParam());
+  Graph g = workloads::RandomGraph(18, 40, {1.0, 6.0}, &rng);
+  auto wf = KempStuckeyShortestPaths(g);
+
+  auto program = datalog::ParseProgram(workloads::kShortestPathProgram);
+  ASSERT_TRUE(program.ok());
+  datalog::Database edb;
+  ASSERT_TRUE(workloads::AddGraphFacts(*program, g, &edb).ok());
+  core::Engine engine(*program);
+  auto result = engine.Run(std::move(edb));
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  for (int x = 0; x < g.num_nodes; ++x) {
+    for (int y = 0; y < g.num_nodes; ++y) {
+      auto v = core::LookupCost(
+          *program, result->db, "s",
+          {datalog::Value::Symbol(Graph::NodeName(x)),
+           datalog::Value::Symbol(Graph::NodeName(y))});
+      switch (wf.status[x][y]) {
+        case Definedness::kTrue:
+          ASSERT_TRUE(v.has_value()) << x << "," << y;
+          EXPECT_NEAR(v->AsDouble(), wf.dist[x][y], 1e-9);
+          break;
+        case Definedness::kFalse:
+          EXPECT_FALSE(v.has_value()) << x << "," << y;
+          break;
+        case Definedness::kUndefined:
+          // Our semantics resolves these; nothing to cross-check beyond the
+          // engine's own Dijkstra test. The *least model is two-valued*.
+          break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KempStuckeySeedTest, ::testing::Range(1, 6));
+
+// ---------------------------------------------------------------------------
+// The same discipline on company control (Section 5.6's point)
+// ---------------------------------------------------------------------------
+
+TEST(KempStuckeyCompanyControlTest, VanGelderNetworkUndefined) {
+  // {s(a,b,.3), s(a,c,.3), s(b,c,.6), s(c,b,.6)}: a's control of b needs
+  // a's control of c determined first and vice versa — exactly the pair the
+  // paper says Van Gelder's treatment leaves undefined ("For us, c(a,b) and
+  // c(a,c) are false, while for Van Gelder they would both be undefined").
+  // b and c, holding majorities outright, resolve to true either way.
+  baselines::OwnershipNetwork net;
+  net.Resize(3);  // 0=a, 1=b, 2=c
+  net.shares[0][1] = 0.3;
+  net.shares[0][2] = 0.3;
+  net.shares[1][2] = 0.6;
+  net.shares[2][1] = 0.6;
+  auto wf = baselines::KempStuckeyCompanyControl(net);
+  EXPECT_EQ(wf.status[0][1], baselines::Definedness::kUndefined);
+  EXPECT_EQ(wf.status[0][2], baselines::Definedness::kUndefined);
+  EXPECT_EQ(wf.status[1][2], baselines::Definedness::kTrue);
+  EXPECT_EQ(wf.status[2][1], baselines::Definedness::kTrue);
+  EXPECT_TRUE(wf.controls[1][2]);
+  EXPECT_TRUE(wf.controls[2][1]);
+  EXPECT_EQ(wf.CountUndefined(), 2);
+}
+
+TEST(KempStuckeyCompanyControlTest, AcyclicOwnershipFullyDefined) {
+  // A pure downstream chain has no ownership cycles: everything resolves
+  // and matches the direct solver.
+  baselines::OwnershipNetwork net;
+  net.Resize(5);
+  for (int i = 0; i + 1 < 5; ++i) net.shares[i][i + 1] = 0.6;
+  auto wf = baselines::KempStuckeyCompanyControl(net);
+  EXPECT_DOUBLE_EQ(wf.DefinedFraction(), 1.0);
+  auto direct = baselines::SolveCompanyControl(net);
+  for (int x = 0; x < 5; ++x) {
+    for (int y = 0; y < 5; ++y) {
+      EXPECT_EQ(wf.controls[x][y], direct.controls[x][y]) << x << "," << y;
+    }
+  }
+}
+
+TEST(KempStuckeyCompanyControlTest, AgreesWithDirectSolverWhereDefined) {
+  Random rng(21);
+  auto net = workloads::RandomOwnership(15, 3, 0.4, &rng);
+  auto wf = baselines::KempStuckeyCompanyControl(net);
+  auto direct = baselines::SolveCompanyControl(net);
+  for (int x = 0; x < 15; ++x) {
+    for (int y = 0; y < 15; ++y) {
+      if (wf.status[x][y] == baselines::Definedness::kUndefined) continue;
+      EXPECT_EQ(wf.controls[x][y], direct.controls[x][y]) << x << "," << y;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mad

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lattice/cost_domain.h"
+#include "util/random.h"
+
+namespace mad {
+namespace lattice {
+namespace {
+
+using datalog::Value;
+
+TEST(NumericDomainTest, MinRealIsTheDualOrder) {
+  const CostDomain* d = MinRealDomain();
+  // ⊑ is ≥: "minimal models have larger cost values" (Example 3.1).
+  EXPECT_TRUE(d->LessEq(Value::Real(5), Value::Real(3)));
+  EXPECT_FALSE(d->LessEq(Value::Real(3), Value::Real(5)));
+  EXPECT_TRUE(std::isinf(d->Bottom().AsDouble()));
+  EXPECT_GT(d->Bottom().AsDouble(), 0);  // bottom is +inf
+  EXPECT_LT(d->Top().AsDouble(), 0);     // top is -inf
+  EXPECT_DOUBLE_EQ(d->Join(Value::Real(5), Value::Real(3)).AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(d->Meet(Value::Real(5), Value::Real(3)).AsDouble(), 5.0);
+}
+
+TEST(NumericDomainTest, MaxRealIsTheUsualOrder) {
+  const CostDomain* d = MaxRealDomain();
+  EXPECT_TRUE(d->LessEq(Value::Real(3), Value::Real(5)));
+  EXPECT_LT(d->Bottom().AsDouble(), 0);  // -inf
+  EXPECT_DOUBLE_EQ(d->Join(Value::Real(5), Value::Real(3)).AsDouble(), 5.0);
+}
+
+TEST(NumericDomainTest, SumDomainBottomIsZero) {
+  const CostDomain* d = SumNonNegDomain();
+  EXPECT_DOUBLE_EQ(d->Bottom().AsDouble(), 0.0);
+  EXPECT_TRUE(std::isinf(d->Top().AsDouble()));
+  EXPECT_FALSE(d->Contains(Value::Real(-1)));
+  EXPECT_TRUE(d->Contains(Value::Real(0.5)));
+}
+
+TEST(NumericDomainTest, BooleanDomains) {
+  const CostDomain* bor = BoolOrDomain();
+  EXPECT_DOUBLE_EQ(bor->Bottom().AsDouble(), 0.0);
+  EXPECT_TRUE(bor->LessEq(Value::Real(0), Value::Real(1)));
+  EXPECT_TRUE(bor->HasFiniteAscendingChains());
+
+  const CostDomain* band = BoolAndDomain();
+  EXPECT_DOUBLE_EQ(band->Bottom().AsDouble(), 1.0);  // ⊑ is ≥, bottom is 1
+  EXPECT_TRUE(band->LessEq(Value::Real(1), Value::Real(0)));
+  EXPECT_FALSE(band->Contains(Value::Real(0.5)));  // integral domain
+}
+
+TEST(NumericDomainTest, CountAndProductBottoms) {
+  EXPECT_DOUBLE_EQ(CountNatDomain()->Bottom().AsDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(ProductPosDomain()->Bottom().AsDouble(), 1.0);
+  EXPECT_FALSE(ProductPosDomain()->Contains(Value::Real(0)));
+  EXPECT_FALSE(CountNatDomain()->Contains(Value::Real(2.5)));
+  EXPECT_TRUE(CountNatDomain()->Contains(Value::Real(
+      std::numeric_limits<double>::infinity())));
+}
+
+TEST(NumericDomainTest, NormalizeMakesIntsAndDoublesEqual) {
+  const CostDomain* d = MaxRealDomain();
+  EXPECT_EQ(d->Normalize(Value::Int(3)), d->Normalize(Value::Real(3.0)));
+  EXPECT_TRUE(d->Equal(Value::Int(3), Value::Real(3.0)));
+}
+
+TEST(SetDomainTest, UnionLattice) {
+  const CostDomain* d = SetUnionDomain();
+  Value a = Value::Set({Value::Int(1)});
+  Value b = Value::Set({Value::Int(2)});
+  Value ab = Value::Set({Value::Int(1), Value::Int(2)});
+  EXPECT_TRUE(d->LessEq(a, ab));
+  EXPECT_FALSE(d->LessEq(ab, a));
+  EXPECT_FALSE(d->LessEq(a, b));  // incomparable: genuinely partial
+  EXPECT_FALSE(d->IsTotalOrder());
+  EXPECT_EQ(d->Join(a, b), ab);
+  EXPECT_EQ(d->Meet(a, ab), a);
+  EXPECT_EQ(d->Bottom().set_value().size(), 0u);
+}
+
+TEST(SetDomainTest, IntersectionLatticeIsDual) {
+  auto d = MakeSetIntersectionDomain(
+      "isect_test", {Value::Int(1), Value::Int(2), Value::Int(3)});
+  Value a = Value::Set({Value::Int(1), Value::Int(2)});
+  Value b = Value::Set({Value::Int(2), Value::Int(3)});
+  // ⊑ is ⊇: smaller sets are higher.
+  EXPECT_TRUE(d->LessEq(a, Value::Set({Value::Int(1)})));
+  EXPECT_EQ(d->Bottom().set_value().size(), 3u);  // bottom = universe
+  EXPECT_EQ(d->Join(a, b), Value::Set({Value::Int(2)}));  // join = ∩
+  EXPECT_EQ(d->Meet(a, b).set_value().size(), 3u);        // meet = ∪
+}
+
+TEST(DomainRegistryTest, AllFigure1DomainsRegistered) {
+  for (const char* name :
+       {"max_real", "max_nonneg", "min_real", "sum_real", "bool_and",
+        "bool_or", "product_pos", "count_nat", "set_union"}) {
+    EXPECT_NE(DomainRegistry::Global().Find(name), nullptr) << name;
+  }
+  EXPECT_EQ(DomainRegistry::Global().Find("no_such_domain"), nullptr);
+}
+
+TEST(CostDomainTest, JoinAllOfEmptyIsBottom) {
+  for (const char* name : {"min_real", "max_real", "sum_real", "bool_or"}) {
+    const CostDomain* d = DomainRegistry::Global().Find(name);
+    EXPECT_TRUE(d->Equal(d->JoinAll({}), d->Bottom())) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lattice laws, property-checked across every registered numeric domain.
+// ---------------------------------------------------------------------------
+
+class LatticeLawTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  const CostDomain* domain() const {
+    return DomainRegistry::Global().Find(GetParam());
+  }
+  /// Random member of the domain (numeric domains only).
+  Value Sample(Random* rng) const {
+    const auto* num = dynamic_cast<const NumericDomain*>(domain());
+    double lo = std::isfinite(num->lo()) ? num->lo() : -100.0;
+    double hi = std::isfinite(num->hi()) ? num->hi() : 100.0;
+    double v = rng->UniformReal(lo, hi);
+    if (num->integral()) v = std::floor(v);
+    return Value::Real(v);
+  }
+};
+
+TEST_P(LatticeLawTest, JoinMeetLaws) {
+  Random rng(42);
+  const CostDomain* d = domain();
+  for (int trial = 0; trial < 200; ++trial) {
+    Value a = Sample(&rng), b = Sample(&rng), c = Sample(&rng);
+    // Idempotence.
+    EXPECT_TRUE(d->Equal(d->Join(a, a), d->Normalize(a)));
+    EXPECT_TRUE(d->Equal(d->Meet(a, a), d->Normalize(a)));
+    // Commutativity.
+    EXPECT_TRUE(d->Equal(d->Join(a, b), d->Join(b, a)));
+    EXPECT_TRUE(d->Equal(d->Meet(a, b), d->Meet(b, a)));
+    // Associativity.
+    EXPECT_TRUE(d->Equal(d->Join(d->Join(a, b), c), d->Join(a, d->Join(b, c))));
+    EXPECT_TRUE(d->Equal(d->Meet(d->Meet(a, b), c), d->Meet(a, d->Meet(b, c))));
+    // Absorption.
+    EXPECT_TRUE(d->Equal(d->Join(a, d->Meet(a, b)), d->Normalize(a)));
+    EXPECT_TRUE(d->Equal(d->Meet(a, d->Join(a, b)), d->Normalize(a)));
+    // Order consistency: a ⊑ b iff join(a, b) = b.
+    EXPECT_EQ(d->LessEq(a, b), d->Equal(d->Join(a, b), d->Normalize(b)));
+    // Bottom and top.
+    EXPECT_TRUE(d->LessEq(d->Bottom(), a));
+    EXPECT_TRUE(d->LessEq(a, d->Top()));
+  }
+}
+
+TEST_P(LatticeLawTest, PartialOrderLaws) {
+  Random rng(77);
+  const CostDomain* d = domain();
+  for (int trial = 0; trial < 200; ++trial) {
+    Value a = Sample(&rng), b = Sample(&rng), c = Sample(&rng);
+    EXPECT_TRUE(d->LessEq(a, a));  // reflexive
+    if (d->LessEq(a, b) && d->LessEq(b, a)) {
+      EXPECT_TRUE(d->Equal(a, b));  // antisymmetric
+    }
+    if (d->LessEq(a, b) && d->LessEq(b, c)) {
+      EXPECT_TRUE(d->LessEq(a, c));  // transitive
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNumericDomains, LatticeLawTest,
+                         ::testing::Values("max_real", "max_nonneg",
+                                           "min_real", "sum_real", "bool_and",
+                                           "bool_or", "product_pos",
+                                           "count_nat"));
+
+TEST(SetLatticeLawTest, RandomSubsetLaws) {
+  Random rng(5);
+  const CostDomain* d = SetUnionDomain();
+  auto sample = [&]() {
+    datalog::ValueSet elems;
+    for (int i = 0; i < 8; ++i) {
+      if (rng.Bernoulli(0.4)) elems.push_back(Value::Int(i));
+    }
+    return Value::Set(std::move(elems));
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    Value a = sample(), b = sample(), c = sample();
+    EXPECT_EQ(d->Join(a, d->Meet(a, b)), a);
+    EXPECT_EQ(d->Meet(a, d->Join(a, b)), a);
+    EXPECT_EQ(d->Join(d->Join(a, b), c), d->Join(a, d->Join(b, c)));
+    EXPECT_EQ(d->LessEq(a, b), d->Equal(d->Join(a, b), b));
+  }
+}
+
+}  // namespace
+}  // namespace lattice
+}  // namespace mad

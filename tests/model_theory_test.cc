@@ -1,0 +1,174 @@
+// Model-theoretic properties from Section 3, checked empirically:
+//  * T_P monotonicity in the LDB too: growing the EDB in ⊑ can only grow
+//    the least model in ⊑ (the engine-level consequence of Lemma 4.1);
+//  * the least fixpoint is a fixpoint: re-running from the least model adds
+//    nothing (Proposition 3.4);
+//  * the least model is ⊑-least among pre-models: raising any cost and
+//    re-closing never goes below the least model (Corollary 3.5).
+
+#include <gtest/gtest.h>
+
+#include "baselines/shortest_path.h"
+#include "core/engine.h"
+#include "util/random.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+#include "workloads/to_datalog.h"
+
+namespace mad {
+namespace {
+
+using baselines::Graph;
+using core::EvalResult;
+using datalog::Database;
+using datalog::Program;
+using datalog::Relation;
+using datalog::Tuple;
+using datalog::Value;
+
+EvalResult RunOn(const Program& program, Database edb) {
+  core::Engine engine(program);
+  auto result = engine.Run(std::move(edb));
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+/// db1 ⊑ db2 on cost predicates: every key of db1 appears in db2 with a
+/// ⊑-greater-or-equal cost (Definition 3.3 lifted to stored relations).
+bool DbLessEq(const Program& program, const Database& db1,
+              const Database& db2) {
+  for (const auto& [id, rel1] : db1.relations()) {
+    const datalog::PredicateInfo* pred = rel1->pred();
+    const Relation* rel2 = db2.Find(pred);
+    bool ok = true;
+    rel1->ForEach([&](const Tuple& key, const Value& cost) {
+      const Value* other = rel2 != nullptr ? rel2->Find(key) : nullptr;
+      if (other == nullptr) {
+        // Default-value predicates implicitly carry bottom everywhere.
+        ok = ok && pred->has_default &&
+             pred->domain->Equal(cost, pred->domain->Bottom());
+        return;
+      }
+      if (pred->has_cost) ok = ok && pred->domain->LessEq(cost, *other);
+    });
+    if (!ok) return false;
+  }
+  return true;
+}
+
+class EdbMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EdbMonotonicityTest, ShortestPathsImproveWithMoreAndCheaperArcs) {
+  Random rng(GetParam());
+  Graph g = workloads::RandomGraph(12, 30, {2.0, 10.0}, &rng);
+  auto program = datalog::ParseProgram(workloads::kShortestPathProgram);
+  ASSERT_TRUE(program.ok());
+
+  Database edb1;
+  ASSERT_TRUE(workloads::AddGraphFacts(*program, g, &edb1).ok());
+  EvalResult before = RunOn(*program, edb1.Clone());
+
+  // Grow the EDB in ⊑: add arcs and lower (⊑-raise, min-order!) some weights.
+  Graph better = g;
+  for (auto& edges : better.adj) {
+    for (auto& e : edges) {
+      if (rng.Bernoulli(0.5)) e.weight *= 0.5;
+    }
+  }
+  for (int i = 0; i < 5; ++i) {
+    better.AddEdge(static_cast<int>(rng.Uniform(0, 11)),
+                   static_cast<int>(rng.Uniform(0, 11)),
+                   rng.UniformReal(1.0, 5.0));
+  }
+  Database edb2;
+  ASSERT_TRUE(workloads::AddGraphFacts(*program, better, &edb2).ok());
+  EvalResult after = RunOn(*program, std::move(edb2));
+
+  EXPECT_TRUE(DbLessEq(*program, before.db, after.db));
+}
+
+TEST_P(EdbMonotonicityTest, ControlGrowsWithShares) {
+  Random rng(100 + GetParam());
+  auto net = workloads::RandomOwnership(10, 3, 0.4, &rng);
+  auto program = datalog::ParseProgram(workloads::kCompanyControlProgram);
+  ASSERT_TRUE(program.ok());
+
+  Database edb1;
+  ASSERT_TRUE(workloads::AddOwnershipFacts(*program, net, &edb1).ok());
+  EvalResult before = RunOn(*program, std::move(edb1));
+
+  auto raised = net;
+  for (int i = 0; i < 8; ++i) {
+    int x = static_cast<int>(rng.Uniform(0, 9));
+    int y = static_cast<int>(rng.Uniform(0, 9));
+    if (x != y) raised.shares[x][y] = std::min(1.0, raised.shares[x][y] + 0.1);
+  }
+  Database edb2;
+  ASSERT_TRUE(workloads::AddOwnershipFacts(*program, raised, &edb2).ok());
+  EvalResult after = RunOn(*program, std::move(edb2));
+
+  EXPECT_TRUE(DbLessEq(*program, before.db, after.db));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdbMonotonicityTest, ::testing::Range(1, 7));
+
+TEST(FixpointTest, LeastModelIsAFixpointOfTp) {
+  // Proposition 3.4: T_P(J_I, I) = J_I — feeding the least model back as the
+  // starting database derives nothing new.
+  Random rng(5);
+  Graph g = workloads::RandomGraph(12, 30, {1.0, 9.0}, &rng);
+  auto program = datalog::ParseProgram(workloads::kShortestPathProgram);
+  ASSERT_TRUE(program.ok());
+  Database edb;
+  ASSERT_TRUE(workloads::AddGraphFacts(*program, g, &edb).ok());
+  EvalResult first = RunOn(*program, std::move(edb));
+  std::string model = first.db.ToString();
+
+  EvalResult second = RunOn(*program, std::move(first.db));
+  EXPECT_EQ(second.db.ToString(), model);
+  EXPECT_EQ(second.stats.merges_new, 0);
+  EXPECT_EQ(second.stats.merges_increased, 0);
+}
+
+TEST(FixpointTest, LeastModelIsLeastAmongClosedSupersets) {
+  // Corollary 3.5 empirically: plant arbitrary extra/raised facts (a
+  // candidate pre-model seed), close under T_P, and the closure must sit
+  // ⊑-above the least model.
+  Random rng(8);
+  Graph g = workloads::RandomGraph(10, 25, {1.0, 9.0}, &rng);
+  auto program = datalog::ParseProgram(workloads::kShortestPathProgram);
+  ASSERT_TRUE(program.ok());
+  Database edb;
+  ASSERT_TRUE(workloads::AddGraphFacts(*program, g, &edb).ok());
+  EvalResult least = RunOn(*program, edb.Clone());
+
+  // Seed with junk s-facts (⊑-higher than anything derivable: cost below
+  // every real path cost in the min order means *numerically lower*).
+  Database seeded = edb.Clone();
+  const datalog::PredicateInfo* s = program->FindPredicate("s");
+  for (int i = 0; i < 5; ++i) {
+    Tuple key = {Value::Symbol(Graph::NodeName(
+                     static_cast<int>(rng.Uniform(0, 9)))),
+                 Value::Symbol(Graph::NodeName(
+                     static_cast<int>(rng.Uniform(0, 9))))};
+    seeded.GetOrCreate(s)->Merge(key, Value::Real(0.01));
+  }
+  EvalResult closed = RunOn(*program, std::move(seeded));
+  EXPECT_TRUE(DbLessEq(*program, least.db, closed.db));
+}
+
+TEST(FixpointTest, CircuitLeastModelIdempotent) {
+  Random rng(3);
+  auto circuit = workloads::RandomCircuit(8, 60, 3, 0.3, &rng);
+  auto program = datalog::ParseProgram(workloads::kCircuitProgram);
+  ASSERT_TRUE(program.ok());
+  Database edb;
+  ASSERT_TRUE(workloads::AddCircuitFacts(*program, circuit, &edb).ok());
+  EvalResult first = RunOn(*program, std::move(edb));
+  std::string model = first.db.ToString();
+  EvalResult second = RunOn(*program, std::move(first.db));
+  EXPECT_EQ(second.db.ToString(), model);
+}
+
+}  // namespace
+}  // namespace mad

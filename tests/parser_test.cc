@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "lattice/cost_domain.h"
+#include "workloads/programs.h"
+
+namespace mad {
+namespace datalog {
+namespace {
+
+Program MustParse(std::string_view text) {
+  auto p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status();
+  return std::move(p).value();
+}
+
+void ExpectParseError(std::string_view text, const char* fragment) {
+  auto p = ParseProgram(text);
+  ASSERT_FALSE(p.ok()) << "expected failure for: " << text;
+  EXPECT_NE(p.status().message().find(fragment), std::string::npos)
+      << p.status();
+}
+
+TEST(ParserTest, Declarations) {
+  Program p = MustParse(R"(
+.decl arc(from, to, c: min_real)
+.decl coming(person)
+.decl t(wire, v: bool_or) default
+)");
+  const PredicateInfo* arc = p.FindPredicate("arc");
+  ASSERT_NE(arc, nullptr);
+  EXPECT_EQ(arc->arity, 3);
+  EXPECT_TRUE(arc->has_cost);
+  EXPECT_EQ(arc->key_arity(), 2);
+  EXPECT_EQ(arc->cost_position(), 2);
+  EXPECT_EQ(arc->domain, lattice::MinRealDomain());
+  EXPECT_FALSE(arc->has_default);
+
+  const PredicateInfo* coming = p.FindPredicate("coming");
+  ASSERT_NE(coming, nullptr);
+  EXPECT_FALSE(coming->has_cost);
+  EXPECT_EQ(coming->key_arity(), 1);
+
+  const PredicateInfo* t = p.FindPredicate("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_TRUE(t->has_default);
+  EXPECT_EQ(t->domain, lattice::BoolOrDomain());
+}
+
+TEST(ParserTest, FactsLandInFactsNotRules) {
+  Program p = MustParse(R"(
+.decl arc(from, to, c: min_real)
+arc(a, b, 1).
+arc(b, c, 2.5).
+)");
+  EXPECT_EQ(p.rules().size(), 0u);
+  ASSERT_EQ(p.facts().size(), 2u);
+  EXPECT_EQ(p.facts()[0].key[0], Value::Symbol("a"));
+  // Cost normalized into the domain representation (double).
+  EXPECT_DOUBLE_EQ(p.facts()[0].cost->AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(p.facts()[1].cost->AsDouble(), 2.5);
+}
+
+TEST(ParserTest, VariableConventionUppercaseAndUnderscore) {
+  Program p = MustParse(R"(
+.decl e(a, b)
+.decl q(a, b)
+q(X, Y) :- e(X, _), e(_, Y).
+)");
+  ASSERT_EQ(p.rules().size(), 1u);
+  const Rule& r = p.rules()[0];
+  EXPECT_TRUE(r.head.args[0].is_var());
+  // The two anonymous variables must be distinct.
+  EXPECT_NE(r.body[0].atom.args[1].var, r.body[1].atom.args[0].var);
+}
+
+TEST(ParserTest, QuotedStringsAreSymbols) {
+  Program p = MustParse(R"(
+.decl e(a, b)
+e("hello world", x).
+)");
+  EXPECT_EQ(p.facts()[0].key[0], Value::Symbol("hello world"));
+}
+
+TEST(ParserTest, BooleansAndNegativeNumbers) {
+  Program p = MustParse(R"(
+.decl w(x, v: max_real)
+w(a, -3).
+w(b, -2.5).
+.decl b(x, v: bool_or)
+b(u, true).
+b(v, false).
+)");
+  EXPECT_DOUBLE_EQ(p.facts()[0].cost->AsDouble(), -3.0);
+  EXPECT_DOUBLE_EQ(p.facts()[1].cost->AsDouble(), -2.5);
+  EXPECT_DOUBLE_EQ(p.facts()[2].cost->AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(p.facts()[3].cost->AsDouble(), 0.0);
+}
+
+TEST(ParserTest, RestrictedAggregateSubgoal) {
+  Program p = MustParse(R"(
+.decl path(x, z, y, c: min_real)
+.decl s(x, y, c: min_real)
+s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+)");
+  ASSERT_EQ(p.rules().size(), 1u);
+  const Subgoal& sg = p.rules()[0].body[0];
+  ASSERT_EQ(sg.kind, Subgoal::Kind::kAggregate);
+  const AggregateSubgoal& agg = sg.aggregate;
+  EXPECT_TRUE(agg.restricted);
+  EXPECT_EQ(agg.function_name, "min");
+  EXPECT_EQ(agg.multiset_var, "D");
+  ASSERT_NE(agg.function, nullptr);
+  EXPECT_EQ(agg.function->input_domain(), lattice::MinRealDomain());
+  // Grouping = {X, Y} (appear in head); local = {Z}.
+  EXPECT_EQ(agg.grouping_vars, (std::vector<std::string>{"X", "Y"}));
+  EXPECT_EQ(agg.local_vars, (std::vector<std::string>{"Z"}));
+}
+
+TEST(ParserTest, ImplicitCountAggregate) {
+  Program p = MustParse(R"(
+.decl q(x)
+.decl n(k, c: count_nat)
+.decl dom(k)
+n(X, N) :- dom(X), N = count : q(Y).
+)");
+  const AggregateSubgoal& agg = p.rules()[0].body[1].aggregate;
+  EXPECT_FALSE(agg.restricted);
+  EXPECT_TRUE(agg.multiset_var.empty());
+  EXPECT_EQ(agg.function->output_domain(), lattice::CountNatDomain());
+  EXPECT_TRUE(agg.grouping_vars.empty());
+  EXPECT_EQ(agg.local_vars, (std::vector<std::string>{"Y"}));
+}
+
+TEST(ParserTest, AggregateOverConjunction) {
+  Program p = MustParse(R"(
+.decl gate(g, t)
+.decl connect(g, w)
+.decl t(w, v: bool_or) default
+t(G, C) :- gate(G, and), C = and D : (connect(G, W), t(W, D)).
+)");
+  const AggregateSubgoal& agg = p.rules()[0].body[1].aggregate;
+  EXPECT_EQ(agg.atoms.size(), 2u);
+  EXPECT_EQ(agg.grouping_vars, (std::vector<std::string>{"G"}));
+  EXPECT_EQ(agg.local_vars, (std::vector<std::string>{"W"}));
+  // "and" over bool_or is the pseudo-monotonic pairing (Example 4.4).
+  EXPECT_EQ(agg.function->monotonicity(),
+            lattice::Monotonicity::kPseudoMonotonic);
+}
+
+TEST(ParserTest, BuiltinArithmeticAndComparisons) {
+  Program p = MustParse(R"(
+.decl e(x, y, c: min_real)
+.decl p(x, y, c: min_real)
+p(X, Y, C) :- e(X, Z, C1), e(Z, Y, C2), C = C1 + C2 * 2, C1 != C2, C >= 0.
+)");
+  const Rule& r = p.rules()[0];
+  ASSERT_EQ(r.body.size(), 5u);
+  EXPECT_EQ(r.body[2].kind, Subgoal::Kind::kBuiltin);
+  EXPECT_EQ(r.body[2].builtin.ToString(), "C = (C1 + (C2 * 2))");
+  EXPECT_EQ(r.body[3].builtin.op, CmpOp::kNe);
+  EXPECT_EQ(r.body[4].builtin.op, CmpOp::kGe);
+}
+
+TEST(ParserTest, Min2Max2Expressions) {
+  Program p = MustParse(R"(
+.decl e(x, c: min_real)
+.decl q(x, c: min_real)
+q(X, C) :- e(X, C1), C = min2(C1, 10).
+)");
+  EXPECT_EQ(p.rules()[0].body[1].builtin.ToString(), "C = min2(C1, 10)");
+}
+
+TEST(ParserTest, NegatedSubgoal) {
+  Program p = MustParse(R"(
+.decl e(x)
+.decl f(x)
+.decl g(x)
+g(X) :- e(X), !f(X).
+)");
+  EXPECT_EQ(p.rules()[0].body[1].kind, Subgoal::Kind::kNegatedAtom);
+}
+
+TEST(ParserTest, IntegrityConstraints) {
+  Program p = MustParse(R"(
+.decl arc(x, y, c: min_real)
+.constraint arc(direct, Z, C).
+)");
+  ASSERT_EQ(p.constraints().size(), 1u);
+  EXPECT_EQ(p.constraints()[0].body[0].atom.args[0].constant,
+            Value::Symbol("direct"));
+}
+
+TEST(ParserTest, CommentsBothStyles) {
+  Program p = MustParse(R"(
+// slash comment
+.decl e(x)  // trailing
+% percent comment
+e(a).
+)");
+  EXPECT_EQ(p.facts().size(), 1u);
+}
+
+TEST(ParserTest, ZeroArityPredicates) {
+  Program p = MustParse(R"(
+.decl flag()
+.decl other(x)
+other(a).
+flag() :- other(X).
+)");
+  EXPECT_EQ(p.rules().size(), 1u);
+  EXPECT_EQ(p.rules()[0].head.pred->arity, 0);
+}
+
+TEST(ParserTest, CanonicalProgramsAllParse) {
+  for (const char* text :
+       {workloads::kShortestPathProgram, workloads::kCompanyControlProgram,
+        workloads::kCompanyControlRMonotonic, workloads::kPartyProgram,
+        workloads::kCircuitProgram, workloads::kHalfsumProgram}) {
+    auto p = ParseProgram(text);
+    EXPECT_TRUE(p.ok()) << p.status() << "\nin:\n" << text;
+  }
+}
+
+TEST(ParserTest, ProgramToStringRoundTrips) {
+  Program p1 = MustParse(workloads::kShortestPathProgram);
+  auto p2_or = ParseProgram(p1.ToString());
+  ASSERT_TRUE(p2_or.ok()) << p2_or.status() << "\nprinted:\n" << p1.ToString();
+  EXPECT_EQ(p1.ToString(), p2_or->ToString());
+  EXPECT_EQ(p1.rules().size(), p2_or->rules().size());
+}
+
+TEST(ParserTest, ParseFactsInto) {
+  Program p = MustParse(".decl arc(x, y, c: min_real)");
+  ASSERT_TRUE(ParseFactsInto(&p, "arc(a, b, 1). arc(b, c, 2).").ok());
+  EXPECT_EQ(p.facts().size(), 2u);
+}
+
+TEST(ParserTest, ParseRuleInto) {
+  Program p = MustParse(R"(
+.decl e(x, y)
+.decl tc(x, y)
+)");
+  ASSERT_TRUE(ParseRuleInto(&p, "tc(X, Y) :- e(X, Y).").ok());
+  ASSERT_TRUE(ParseRuleInto(&p, "tc(X, Y) :- tc(X, Z), e(Z, Y).").ok());
+  EXPECT_EQ(p.rules().size(), 2u);
+}
+
+// --- Error cases -----------------------------------------------------------
+
+TEST(ParserErrorTest, UnknownDomain) {
+  ExpectParseError(".decl p(x, c: bogus_domain)", "unknown cost domain");
+}
+
+TEST(ParserErrorTest, CostArgumentMustBeLast) {
+  ExpectParseError(".decl p(c: min_real, x)", "final argument");
+}
+
+TEST(ParserErrorTest, DefaultNeedsCost) {
+  ExpectParseError(".decl p(x) default", "'default' requires a cost");
+}
+
+TEST(ParserErrorTest, ArityMismatch) {
+  ExpectParseError(R"(
+.decl e(x, y)
+e(a).
+)",
+                   "arity");
+}
+
+TEST(ParserErrorTest, RedeclarationConflict) {
+  ExpectParseError(R"(
+.decl e(x, y)
+.decl e(x, y, c: min_real)
+)",
+                   "redeclared");
+}
+
+TEST(ParserErrorTest, UnterminatedString) {
+  ExpectParseError(".decl e(x)\ne(\"oops).", "unterminated");
+}
+
+TEST(ParserErrorTest, EqRWithoutAggregate) {
+  ExpectParseError(R"(
+.decl e(x, c: min_real)
+.decl q(x, c: min_real)
+q(X, C) :- e(X, C1), C =r C1 + 1.
+)",
+                   "'=r' is only valid in aggregate subgoals");
+}
+
+TEST(ParserErrorTest, MultisetVarInNonCostPosition) {
+  ExpectParseError(R"(
+.decl e(x, y, c: min_real)
+.decl q(x, c: min_real)
+q(X, C) :- C =r min D : e(X, D, D).
+)",
+                   "non-cost argument");
+}
+
+TEST(ParserErrorTest, MultisetVarNotInCostPosition) {
+  ExpectParseError(R"(
+.decl e(x, y)
+.decl q(x, c: min_real)
+q(X, C) :- C =r min D : e(X, Y).
+)",
+                   "does not appear in any cost argument");
+}
+
+TEST(ParserErrorTest, AggregateDomainMismatch) {
+  // sum over a min-ordered domain is rejected at aggregate resolution.
+  ExpectParseError(R"(
+.decl e(x, c: min_real)
+.decl q(x, c: min_real)
+q(X, C) :- C =r sum D : e(X, D).
+)",
+                   "non-negative ascending");
+}
+
+TEST(ParserErrorTest, CostOutsideDomainInFact) {
+  ExpectParseError(R"(
+.decl p(x, c: sum_real)
+p(a, -1).
+)",
+                   "outside domain");
+}
+
+}  // namespace
+}  // namespace datalog
+}  // namespace mad

@@ -1,0 +1,110 @@
+// Experiment E4.3: party invitations — an "=" count aggregate through
+// recursion, defined even on cyclic knows-relations where modular
+// stratification fails.
+
+#include <gtest/gtest.h>
+
+#include "baselines/party_solver.h"
+#include "core/engine.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+#include "workloads/to_datalog.h"
+
+namespace mad {
+namespace {
+
+using baselines::PartyInstance;
+using baselines::SolveParty;
+using datalog::Value;
+
+std::vector<bool> RunEngine(const PartyInstance& p,
+                            core::EvalOptions options = {}) {
+  auto program = datalog::ParseProgram(workloads::kPartyProgram);
+  EXPECT_TRUE(program.ok()) << program.status();
+  datalog::Database edb;
+  EXPECT_TRUE(workloads::AddPartyFacts(*program, p, &edb).ok());
+  core::Engine engine(*program, options);
+  auto result = engine.Run(std::move(edb));
+  EXPECT_TRUE(result.ok()) << result.status();
+
+  std::vector<bool> coming(p.num_people, false);
+  const auto* rel = result->db.Find(program->FindPredicate("coming"));
+  if (rel != nullptr) {
+    rel->ForEach([&](const datalog::Tuple& key, const Value&) {
+      coming[std::stoi(std::string(key[0].symbol_name()).substr(1))] = true;
+    });
+  }
+  return coming;
+}
+
+TEST(PartyTest, ZeroThresholdGuestsSeedTheParty) {
+  PartyInstance p;
+  p.num_people = 3;
+  p.threshold = {0, 1, 2};
+  p.knows = {{}, {0}, {0, 1}};
+  std::vector<bool> got = RunEngine(p);
+  EXPECT_TRUE(got[0]);
+  EXPECT_TRUE(got[1]);  // knows p0 who is coming
+  EXPECT_TRUE(got[2]);  // then both p0 and p1
+}
+
+TEST(PartyTest, MutualDependenceCannotBootstrap) {
+  // p0 and p1 each require the other: no collective decisions (the paper is
+  // explicit about this), so the least model has nobody coming.
+  PartyInstance p;
+  p.num_people = 2;
+  p.threshold = {1, 1};
+  p.knows = {{1}, {0}};
+  std::vector<bool> got = RunEngine(p);
+  EXPECT_FALSE(got[0]);
+  EXPECT_FALSE(got[1]);
+}
+
+TEST(PartyTest, CyclicFriendshipWithASeed) {
+  // Same cycle plus a zero-threshold seed known by both: everyone comes.
+  // Modular stratification would reject this knows-relation (cyclic), our
+  // semantics handles it (the paper's point in Example 4.3).
+  PartyInstance p;
+  p.num_people = 3;
+  p.threshold = {1, 1, 0};
+  p.knows = {{1, 2}, {0, 2}, {}};
+  std::vector<bool> got = RunEngine(p);
+  EXPECT_TRUE(got[0]);
+  EXPECT_TRUE(got[1]);
+  EXPECT_TRUE(got[2]);
+}
+
+class PartySeedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartySeedTest, MatchesDirectSolver) {
+  Random rng(GetParam());
+  PartyInstance p = workloads::RandomParty(40, 4.0, 3, 0.6, &rng);
+  EXPECT_EQ(RunEngine(p), SolveParty(p).coming);
+}
+
+TEST_P(PartySeedTest, NaiveAndSemiNaiveAgree) {
+  Random rng(50 + GetParam());
+  PartyInstance p = workloads::RandomParty(25, 3.0, 2, 0.5, &rng);
+  core::EvalOptions naive;
+  naive.strategy = core::Strategy::kNaive;
+  EXPECT_EQ(RunEngine(p, naive), RunEngine(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartySeedTest, ::testing::Range(1, 9));
+
+TEST(PartyTest, AttendanceMonotoneInLoweringThresholds) {
+  // Lowering requirements can only grow the party (problem-level
+  // monotonicity, mirroring Definition 4.4's treatment of K).
+  Random rng(77);
+  PartyInstance p = workloads::RandomParty(30, 3.0, 3, 0.5, &rng);
+  std::vector<bool> before = SolveParty(p).coming;
+  PartyInstance relaxed = p;
+  for (int& k : relaxed.threshold) k = std::max(0, k - 1);
+  std::vector<bool> after = SolveParty(relaxed).coming;
+  for (int i = 0; i < p.num_people; ++i) {
+    if (before[i]) EXPECT_TRUE(after[i]);
+  }
+}
+
+}  // namespace
+}  // namespace mad

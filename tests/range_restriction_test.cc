@@ -1,0 +1,154 @@
+// Checks Definition 2.5 on (among others) exactly the positive and negative
+// rules of the paper's Example 2.2.
+
+#include <gtest/gtest.h>
+
+#include "analysis/range_restriction.h"
+#include "datalog/parser.h"
+
+namespace mad {
+namespace analysis {
+namespace {
+
+using datalog::ParseProgram;
+using datalog::Program;
+
+// Shared declarations mirroring Example 2.2's predicates.
+constexpr const char* kDecls = R"(
+.decl record(s, c, g)
+.decl alt_class_count(c, n: count_nat)
+.decl gate(g, t)
+.decl connect(g, w)
+.decl t(w, v: bool_or) default
+.decl t2(w, x, v: bool_or) default
+.decl path(x, z, y, d: min_real)
+.decl s(x, y, c: min_real)
+.decl q(x)
+)";
+
+Status CheckRule(const std::string& rule) {
+  auto p = ParseProgram(std::string(kDecls) + rule);
+  EXPECT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->rules().size(), 1u);
+  return CheckRuleRangeRestricted(p->rules()[0]);
+}
+
+// --- The three range-restricted rules of Example 2.2 -----------------------
+
+TEST(RangeRestrictionTest, Example22CountWithOuterGuard) {
+  EXPECT_TRUE(CheckRule("alt_class_count(C, N) :- record(X, C, Y), "
+                        "N = count : record(S, C, G).")
+                  .ok());
+}
+
+TEST(RangeRestrictionTest, Example22CircuitAnd) {
+  EXPECT_TRUE(CheckRule("t(G, C) :- gate(G, and), "
+                        "C = and D : (connect(G, W), t(W, D)).")
+                  .ok());
+}
+
+TEST(RangeRestrictionTest, Example22RestrictedMin) {
+  EXPECT_TRUE(CheckRule("s(X, Y, C) :- C =r min D : path(X, Z, Y, D).").ok());
+}
+
+// --- The three violations of Example 2.2 -----------------------------------
+
+TEST(RangeRestrictionTest, Example22CountWithoutGuardRejected) {
+  Status st = CheckRule(
+      "alt_class_count(C, N) :- N = count : record(S, C, G).");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("grouping variable C"), std::string::npos);
+}
+
+TEST(RangeRestrictionTest, Example22UnboundDefaultKeyRejected) {
+  // t2(W, X, D) has the extra non-cost argument X, never limited.
+  Status st = CheckRule(
+      "t2(G, and, C) :- gate(G, and), "
+      "C = and D : (connect(G, W), t2(W, X, D)).");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("X"), std::string::npos);
+}
+
+TEST(RangeRestrictionTest, Example22UnrestrictedMinRejected) {
+  // "=" (not "=r"): the grouping variables are not limited from inside.
+  Status st = CheckRule("s(X, Y, C) :- C = min D : path(X, Z, Y, D).");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("grouping variable"), std::string::npos);
+}
+
+// --- Other conditions of Definition 2.5 -------------------------------------
+
+TEST(RangeRestrictionTest, HeadVariablesMustBeLimited) {
+  Status st = CheckRule("q(X) :- q(Y).");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("head variable X"), std::string::npos);
+}
+
+TEST(RangeRestrictionTest, HeadCostMayBeQuasiLimited) {
+  EXPECT_TRUE(
+      CheckRule("s(X, Y, C) :- path(X, Z, Y, D), C = D + 1.").ok());
+}
+
+TEST(RangeRestrictionTest, HeadCostFromNowhereRejected) {
+  Status st = CheckRule("s(X, Y, C) :- q(X), q(Y).");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("head variable C"), std::string::npos);
+}
+
+TEST(RangeRestrictionTest, NegatedSubgoalNeedsLimitedVars) {
+  EXPECT_FALSE(CheckRule("q(X) :- q(X), !record(S, X, G).").ok());
+  EXPECT_TRUE(
+      CheckRule("q(X) :- record(S, X, G), !record(X, X, X).").ok());
+}
+
+TEST(RangeRestrictionTest, NegatedCostVarMustBeQuasiLimited) {
+  EXPECT_FALSE(CheckRule("q(X) :- q(X), !s(X, X, C).").ok());
+  EXPECT_TRUE(CheckRule("q(X) :- s(X, X, C), !path(X, X, X, C).").ok());
+}
+
+TEST(RangeRestrictionTest, BuiltinVarsMustBeBoundSomehow) {
+  EXPECT_FALSE(CheckRule("q(X) :- q(X), Y > 3.").ok());
+  EXPECT_TRUE(CheckRule("q(X) :- s(X, X, C), C > 3.").ok());
+}
+
+TEST(RangeRestrictionTest, EqualityChainsPropagateLimitedness) {
+  // Y = X transfers limitedness; Z = a is a constant binding.
+  EXPECT_TRUE(CheckRule("q(Y) :- q(X), Y = X.").ok());
+  EXPECT_TRUE(CheckRule("q(Z) :- q(X), Z = a.").ok());
+}
+
+TEST(RangeRestrictionTest, QuasiLimitedThroughArithmeticChain) {
+  EXPECT_TRUE(CheckRule("s(X, X, C) :- q(X), s(X, X, D), E = D * 2, "
+                        "C = E + 1.")
+                  .ok());
+}
+
+TEST(RangeRestrictionTest, DefaultValuePositiveSubgoalNeedsBoundKeys) {
+  EXPECT_FALSE(CheckRule("q(W) :- t(W, D).").ok());
+  EXPECT_TRUE(CheckRule("q(W) :- connect(G, W), t(W, D).").ok());
+}
+
+TEST(RangeRestrictionTest, WholeProgramCheck) {
+  auto p = ParseProgram(std::string(kDecls) +
+                        "q(X) :- record(X, C, G).\n"
+                        "q(X) :- q(Y).\n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(CheckRangeRestricted(*p).ok());
+}
+
+TEST(RangeRestrictionTest, ClassifyVariablesExposesBothSets) {
+  auto p = ParseProgram(std::string(kDecls) +
+                        "s(X, Y, C) :- path(X, Z, Y, D), C = D + 1.");
+  ASSERT_TRUE(p.ok());
+  VariableClassification cls = ClassifyVariables(p->rules()[0]);
+  EXPECT_TRUE(cls.limited.count("X"));
+  EXPECT_TRUE(cls.limited.count("Y"));
+  EXPECT_TRUE(cls.limited.count("Z"));
+  EXPECT_FALSE(cls.limited.count("D"));
+  EXPECT_TRUE(cls.quasi_limited.count("D"));
+  EXPECT_TRUE(cls.quasi_limited.count("C"));
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace mad

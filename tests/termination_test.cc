@@ -1,0 +1,86 @@
+// Section 6.2: when is the bottom-up iteration guaranteed to terminate?
+
+#include <gtest/gtest.h>
+
+#include "analysis/termination.h"
+#include "datalog/parser.h"
+#include "workloads/programs.h"
+
+namespace mad {
+namespace analysis {
+namespace {
+
+TerminationReport Analyze(std::string_view text) {
+  auto p = datalog::ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status();
+  DependencyGraph graph(*p);
+  return AnalyzeTermination(*p, graph);
+}
+
+TEST(TerminationTest, PlainDatalogGuaranteed) {
+  auto report = Analyze(R"(
+.decl e(x, y)
+.decl tc(x, y)
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- tc(X, Z), e(Z, Y).
+)");
+  EXPECT_TRUE(report.AllGuaranteed()) << report.ToString();
+}
+
+TEST(TerminationTest, CircuitGuaranteedBooleanChainsAreFinite) {
+  // bool_or has chains of length 2: every wire flips at most once.
+  auto report = Analyze(workloads::kCircuitProgram);
+  EXPECT_TRUE(report.AllGuaranteed()) << report.ToString();
+}
+
+TEST(TerminationTest, PartyRecursiveComponentGuaranteed) {
+  // The recursive component {coming, kc} carries no cost arguments; the
+  // count feeding it ranges over count_nat but count_nat appears only on a
+  // *non-recursive* predicate... actually `coming`'s component has no cost
+  // predicates at all, so it is guaranteed.
+  auto report = Analyze(workloads::kPartyProgram);
+  EXPECT_TRUE(report.AllGuaranteed()) << report.ToString();
+}
+
+TEST(TerminationTest, ShortestPathUnknownRealChains) {
+  // min_real admits infinite ascending chains (negative cycles descend
+  // forever) — the analysis must not promise termination.
+  auto report = Analyze(workloads::kShortestPathProgram);
+  EXPECT_FALSE(report.AllGuaranteed());
+  bool found_reason = false;
+  for (const auto& c : report.components) {
+    if (c.verdict == TerminationVerdict::kUnknown) {
+      found_reason = true;
+      EXPECT_NE(c.reason.find("min_real"), std::string::npos) << c.reason;
+    }
+  }
+  EXPECT_TRUE(found_reason);
+}
+
+TEST(TerminationTest, HalfsumUnknown) {
+  // Example 5.1 is exactly the monotone-but-not-continuous case.
+  auto report = Analyze(workloads::kHalfsumProgram);
+  EXPECT_FALSE(report.AllGuaranteed());
+}
+
+TEST(TerminationTest, NonRecursiveAggregationGuaranteedEvenOnReals) {
+  // Stratified aggregation over an infinite-chain lattice still terminates:
+  // one pass.
+  auto report = Analyze(R"(
+.decl r(x, c: max_real)
+.decl top(x, c: max_real)
+top(X, C) :- C =r max D : r(X, D).
+)");
+  EXPECT_TRUE(report.AllGuaranteed()) << report.ToString();
+}
+
+TEST(TerminationTest, ReportToStringNamesVerdicts) {
+  auto report = Analyze(workloads::kShortestPathProgram);
+  std::string s = report.ToString();
+  EXPECT_NE(s.find("unknown"), std::string::npos);
+  EXPECT_NE(s.find("component"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace mad

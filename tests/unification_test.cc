@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "analysis/unification.h"
+#include "datalog/parser.h"
+
+namespace mad {
+namespace analysis {
+namespace {
+
+using datalog::Atom;
+using datalog::ParseProgram;
+using datalog::Program;
+using datalog::Rule;
+using datalog::Term;
+using datalog::Value;
+
+Program MustParse(std::string_view text) {
+  auto p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status();
+  return std::move(p).value();
+}
+
+TEST(UnifyTermsTest, VariableBindsToConstant) {
+  Substitution s;
+  EXPECT_TRUE(UnifyTerms(Term::Var("X"), Term::Const(Value::Int(3)), &s));
+  EXPECT_EQ(Resolve(Term::Var("X"), s).constant, Value::Int(3));
+}
+
+TEST(UnifyTermsTest, ChainsThroughVariables) {
+  Substitution s;
+  EXPECT_TRUE(UnifyTerms(Term::Var("X"), Term::Var("Y"), &s));
+  EXPECT_TRUE(UnifyTerms(Term::Var("Y"), Term::Const(Value::Int(7)), &s));
+  EXPECT_EQ(Resolve(Term::Var("X"), s).constant, Value::Int(7));
+}
+
+TEST(UnifyTermsTest, ConstantClashFails) {
+  Substitution s;
+  EXPECT_TRUE(UnifyTerms(Term::Var("X"), Term::Const(Value::Int(1)), &s));
+  EXPECT_FALSE(UnifyTerms(Term::Var("X"), Term::Const(Value::Int(2)), &s));
+}
+
+TEST(UnifyHeadsTest, IgnoresCostArguments) {
+  Program p = MustParse(R"(
+.decl cv(a, b, c, n: sum_real)
+.decl s(a, b, n: sum_real)
+.decl c(a, b)
+cv(X, X, Y, M) :- s(X, Y, M).
+cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+)");
+  auto theta = UnifyHeadsOnKeys(p.rules()[0].head, p.rules()[1].head);
+  ASSERT_TRUE(theta.has_value());
+  // X and Z are identified; the cost args M and N stay unconstrained.
+  EXPECT_EQ(Resolve(Term::Var("Z"), *theta), Resolve(Term::Var("X"), *theta));
+  EXPECT_EQ(Resolve(Term::Var("M"), *theta).var, "M");
+  EXPECT_EQ(Resolve(Term::Var("N"), *theta).var, "N");
+}
+
+TEST(RenameVariablesTest, MakesNamespacesDisjoint) {
+  Program p = MustParse(R"(
+.decl e(x, y)
+.decl q(x, y)
+q(X, Y) :- e(X, Y).
+)");
+  Rule renamed = RenameVariables(p.rules()[0], "#1");
+  EXPECT_EQ(renamed.head.args[0].var, "X#1");
+  EXPECT_EQ(renamed.body[0].atom.args[1].var, "Y#1");
+}
+
+TEST(ContainmentMappingTest, Example25CvRules) {
+  // Example 2.5: after unifying the non-cost head arguments, there is a
+  // containment mapping (mapping M to N) from the first rule to the second.
+  Program p = MustParse(R"(
+.decl cv(a, b, c, n: sum_real)
+.decl s(a, b, n: sum_real)
+.decl c(a, b)
+cv(X, X, Y, M) :- s(X, Y, M).
+cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+)");
+  Rule r1 = RenameVariables(p.rules()[0], "#1");
+  Rule r2 = RenameVariables(p.rules()[1], "#2");
+  auto theta = UnifyHeadsOnKeys(r1.head, r2.head);
+  ASSERT_TRUE(theta.has_value());
+  Rule r1t = ApplySubst(r1, *theta);
+  Rule r2t = ApplySubst(r2, *theta);
+  EXPECT_TRUE(HasContainmentMapping(r1t, r2t));
+  // The reverse direction has no mapping (r2 has the extra c subgoal whose
+  // predicate does not occur in r1).
+  EXPECT_FALSE(HasContainmentMapping(r2t, r1t));
+}
+
+TEST(ContainmentMappingTest, RespectsConstants) {
+  Program p = MustParse(R"(
+.decl e(x, y)
+.decl q(x)
+q(X) :- e(X, a).
+q(X) :- e(X, b).
+)");
+  EXPECT_FALSE(HasContainmentMapping(p.rules()[0], p.rules()[1]));
+  EXPECT_TRUE(HasContainmentMapping(p.rules()[0], p.rules()[0]));
+}
+
+TEST(ContainmentMappingTest, MapsAggregateSubgoals) {
+  Program p = MustParse(R"(
+.decl e(x, c: min_real)
+.decl q(x, c: min_real)
+q(X, C) :- C =r min D : e(X, D).
+q(Y, N) :- N =r min E : e(Y, E).
+)");
+  EXPECT_TRUE(HasContainmentMapping(p.rules()[0], p.rules()[1]));
+  EXPECT_TRUE(HasContainmentMapping(p.rules()[1], p.rules()[0]));
+}
+
+TEST(ContainmentMappingTest, AggregateFunctionMismatchFails) {
+  Program p = MustParse(R"(
+.decl e(x, c: max_nonneg)
+.decl q(x, c: max_nonneg)
+q(X, C) :- C =r max D : e(X, D).
+q(Y, N) :- N =r sum E : e(Y, E).
+)");
+  EXPECT_FALSE(HasContainmentMapping(p.rules()[0], p.rules()[1]));
+}
+
+TEST(ConstraintInstanceTest, Example25ArcDirect) {
+  // The conjunction of the two path-rule bodies contains an instance of
+  // ":- arc(direct, Z, C)" after head unification.
+  Program p = MustParse(R"(
+.decl arc(x, y, c: min_real)
+.decl s(x, z, c: min_real)
+.decl path(x, z, y, c: min_real)
+.constraint arc(direct, Z, C).
+path(X, direct, Y, D) :- arc(X, Y, D).
+path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+)");
+  Rule r1 = RenameVariables(p.rules()[0], "#1");
+  Rule r2 = RenameVariables(p.rules()[1], "#2");
+  auto theta = UnifyHeadsOnKeys(r1.head, r2.head);
+  ASSERT_TRUE(theta.has_value());  // forces Z#2 = direct
+  Rule r1t = ApplySubst(r1, *theta);
+  Rule r2t = ApplySubst(r2, *theta);
+  std::vector<datalog::Subgoal> conjunction;
+  for (const auto& sg : r1t.body) conjunction.push_back(sg.Clone());
+  for (const auto& sg : r2t.body) conjunction.push_back(sg.Clone());
+  EXPECT_TRUE(ContainsConstraintInstance(conjunction, p.constraints()[0]));
+  // r1's body alone does not contain the instance.
+  std::vector<datalog::Subgoal> only_r1;
+  for (const auto& sg : r1t.body) only_r1.push_back(sg.Clone());
+  EXPECT_FALSE(ContainsConstraintInstance(only_r1, p.constraints()[0]));
+}
+
+TEST(ConstraintInstanceTest, ConstantMustMatchLiterally) {
+  Program p = MustParse(R"(
+.decl e(x, y)
+.constraint e(special, Z).
+.decl q(x)
+q(X) :- e(X, Y).
+)");
+  // Body has e(X, Y) with a *variable* first argument — not an instance
+  // (the constraint requires the constant `special` to be present).
+  std::vector<datalog::Subgoal> body;
+  for (const auto& sg : p.rules()[0].body) body.push_back(sg.Clone());
+  EXPECT_FALSE(ContainsConstraintInstance(body, p.constraints()[0]));
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace mad

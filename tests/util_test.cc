@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "util/hash.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace mad {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::AnalysisError("bad rule");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kAnalysisError);
+  EXPECT_EQ(s.message(), "bad rule");
+  EXPECT_EQ(s.ToString(), "AnalysisError: bad rule");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kParseError,
+        StatusCode::kAnalysisError, StatusCode::kCostConsistencyViolation,
+        StatusCode::kFixpointNotReached, StatusCode::kNotFound,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  MAD_ASSIGN_OR_RETURN(int h, Half(x));
+  *out = h;
+  return Status::OK();
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(UseHalf(7, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HashTest, MixIsNotIdentity) {
+  EXPECT_NE(HashMix64(0), 0u);
+  EXPECT_NE(HashMix64(1), 1u);
+  EXPECT_NE(HashMix64(1), HashMix64(2));
+}
+
+TEST(HashTest, CombineOrderSensitive) {
+  size_t a = 0, b = 0;
+  HashCombine(&a, 1);
+  HashCombine(&a, 2);
+  HashCombine(&b, 2);
+  HashCombine(&b, 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random r1(7), r2(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(r1.Uniform(0, 1000), r2.Uniform(0, 1000));
+  }
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random r(13);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.Uniform(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RandomTest, PermutationIsPermutation) {
+  Random r(99);
+  std::vector<int> p = r.Permutation(50);
+  std::sort(p.begin(), p.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(p[i], i);
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(3.5), "3.5");
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(FormatDouble(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+TEST(StringUtilTest, StrPrintf) {
+  EXPECT_EQ(StrPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrPrintf("empty"), "empty");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "n"});
+  t.AddRow({"shortest", "10"});
+  t.AddRow({"cc", "2000"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| shortest | 10   |"), std::string::npos);
+  EXPECT_NE(s.find("| cc       | 2000 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mad

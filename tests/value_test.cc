@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "datalog/value.h"
+
+namespace mad {
+namespace datalog {
+namespace {
+
+TEST(ValueTest, DefaultIsNone) {
+  Value v;
+  EXPECT_TRUE(v.is_none());
+  EXPECT_FALSE(v.is_symbol());
+}
+
+TEST(ValueTest, SymbolInterning) {
+  Value a = Value::Symbol("alpha");
+  Value b = Value::Symbol("alpha");
+  Value c = Value::Symbol("beta");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.symbol_id(), b.symbol_id());
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.symbol_name(), "alpha");
+}
+
+TEST(ValueTest, SymbolIdRoundTrip) {
+  Value a = Value::Symbol("gamma");
+  Value b = Value::SymbolId(a.symbol_id());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ValueTest, NumericKinds) {
+  EXPECT_TRUE(Value::Int(3).is_int());
+  EXPECT_TRUE(Value::Real(3.5).is_double());
+  EXPECT_TRUE(Value::Int(3).is_numeric());
+  EXPECT_TRUE(Value::Bool(true).is_bool());
+  EXPECT_FALSE(Value::Bool(true).is_numeric());
+}
+
+TEST(ValueTest, IntAndDoubleAreDistinctKeys) {
+  // Representation identity is by kind; domains normalize before storing.
+  EXPECT_NE(Value::Int(3), Value::Real(3.0));
+}
+
+TEST(ValueTest, AsDouble) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(Value::Bool(true).AsDouble(), 1.0);
+}
+
+TEST(ValueTest, NumericCompareAcrossKinds) {
+  EXPECT_EQ(Value::NumericCompare(Value::Int(3), Value::Real(3.0)), 0);
+  EXPECT_EQ(Value::NumericCompare(Value::Int(2), Value::Real(3.0)), -1);
+  EXPECT_EQ(Value::NumericCompare(Value::Real(4.0), Value::Int(3)), 1);
+  EXPECT_EQ(Value::NumericCompare(Value::Bool(true), Value::Int(1)), 0);
+}
+
+TEST(ValueTest, SetNormalization) {
+  Value s1 = Value::Set({Value::Int(2), Value::Int(1), Value::Int(2)});
+  Value s2 = Value::Set({Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1.set_value().size(), 2u);
+}
+
+TEST(ValueTest, SetEqualityIsDeep) {
+  Value a = Value::Set({Value::Symbol("x")});
+  Value b = Value::Set({Value::Symbol("x")});
+  Value c = Value::Set({Value::Symbol("y")});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  Value a = Value::Set({Value::Int(1), Value::Symbol("s")});
+  Value b = Value::Set({Value::Symbol("s"), Value::Int(1)});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_EQ(Value::Real(0.0).Hash(), Value::Real(-0.0).Hash());
+  EXPECT_EQ(Value::Real(0.0), Value::Real(-0.0));
+}
+
+TEST(ValueTest, TotalOrderSortsByKindThenPayload) {
+  std::vector<Value> vs = {Value::Real(1.0), Value::Int(5), Value::Symbol("a"),
+                           Value::Int(2)};
+  std::sort(vs.begin(), vs.end());
+  // Symbols (kind 1) < ints (kind 2) < doubles (kind 3).
+  EXPECT_TRUE(vs[0].is_symbol());
+  EXPECT_EQ(vs[1], Value::Int(2));
+  EXPECT_EQ(vs[2], Value::Int(5));
+  EXPECT_TRUE(vs[3].is_double());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Symbol("abc").ToString(), "abc");
+  EXPECT_EQ(Value::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Real(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::Real(2.0).ToString(), "2");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Set({Value::Int(1), Value::Int(2)}).ToString(), "{1, 2}");
+}
+
+TEST(ValueTest, WorksAsUnorderedKey) {
+  std::unordered_set<Value> set;
+  for (int i = 0; i < 100; ++i) set.insert(Value::Int(i % 10));
+  EXPECT_EQ(set.size(), 10u);
+}
+
+TEST(TupleTest, HashAndToString) {
+  Tuple t1 = {Value::Symbol("a"), Value::Int(1)};
+  Tuple t2 = {Value::Symbol("a"), Value::Int(1)};
+  Tuple t3 = {Value::Int(1), Value::Symbol("a")};
+  TupleHash h;
+  EXPECT_EQ(h(t1), h(t2));
+  EXPECT_NE(h(t1), h(t3));
+  EXPECT_EQ(TupleToString(t1), "(a, 1)");
+}
+
+TEST(SymbolTableTest, GrowsAndIsStable) {
+  SymbolTable& table = SymbolTable::Global();
+  uint32_t id = table.Intern("stable_name_xyz");
+  std::string_view name = table.NameOf(id);
+  for (int i = 0; i < 1000; ++i) {
+    table.Intern("filler_" + std::to_string(i));
+  }
+  // The earlier view must still be valid (deque-backed storage).
+  EXPECT_EQ(name, "stable_name_xyz");
+  EXPECT_EQ(table.Intern("stable_name_xyz"), id);
+}
+
+}  // namespace
+}  // namespace datalog
+}  // namespace mad
