@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_company_control.dir/bench_company_control.cc.o"
+  "CMakeFiles/bench_company_control.dir/bench_company_control.cc.o.d"
+  "bench_company_control"
+  "bench_company_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_company_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_aggregates.dir/bench_fig1_aggregates.cc.o"
+  "CMakeFiles/bench_fig1_aggregates.dir/bench_fig1_aggregates.cc.o.d"
+  "bench_fig1_aggregates"
+  "bench_fig1_aggregates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_halfsum.dir/bench_halfsum.cc.o"
+  "CMakeFiles/bench_halfsum.dir/bench_halfsum.cc.o.d"
+  "bench_halfsum"
+  "bench_halfsum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_halfsum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

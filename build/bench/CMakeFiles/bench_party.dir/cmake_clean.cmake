@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_party.dir/bench_party.cc.o"
+  "CMakeFiles/bench_party.dir/bench_party.cc.o.d"
+  "bench_party"
+  "bench_party.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_party.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

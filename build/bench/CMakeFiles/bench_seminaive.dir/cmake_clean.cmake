@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seminaive.dir/bench_seminaive.cc.o"
+  "CMakeFiles/bench_seminaive.dir/bench_seminaive.cc.o.d"
+  "bench_seminaive"
+  "bench_seminaive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seminaive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

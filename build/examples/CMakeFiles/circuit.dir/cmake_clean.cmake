@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit.dir/circuit.cpp.o"
+  "CMakeFiles/circuit.dir/circuit.cpp.o.d"
+  "circuit"
+  "circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mondl.dir/mondl.cpp.o"
+  "CMakeFiles/mondl.dir/mondl.cpp.o.d"
+  "mondl"
+  "mondl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mondl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/party.dir/party.cpp.o"
+  "CMakeFiles/party.dir/party.cpp.o.d"
+  "party"
+  "party.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/party.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

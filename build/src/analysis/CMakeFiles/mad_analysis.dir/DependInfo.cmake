@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/admissibility.cc" "src/analysis/CMakeFiles/mad_analysis.dir/admissibility.cc.o" "gcc" "src/analysis/CMakeFiles/mad_analysis.dir/admissibility.cc.o.d"
+  "/root/repo/src/analysis/checker.cc" "src/analysis/CMakeFiles/mad_analysis.dir/checker.cc.o" "gcc" "src/analysis/CMakeFiles/mad_analysis.dir/checker.cc.o.d"
+  "/root/repo/src/analysis/conflict_free.cc" "src/analysis/CMakeFiles/mad_analysis.dir/conflict_free.cc.o" "gcc" "src/analysis/CMakeFiles/mad_analysis.dir/conflict_free.cc.o.d"
+  "/root/repo/src/analysis/cost_respecting.cc" "src/analysis/CMakeFiles/mad_analysis.dir/cost_respecting.cc.o" "gcc" "src/analysis/CMakeFiles/mad_analysis.dir/cost_respecting.cc.o.d"
+  "/root/repo/src/analysis/dependency_graph.cc" "src/analysis/CMakeFiles/mad_analysis.dir/dependency_graph.cc.o" "gcc" "src/analysis/CMakeFiles/mad_analysis.dir/dependency_graph.cc.o.d"
+  "/root/repo/src/analysis/range_restriction.cc" "src/analysis/CMakeFiles/mad_analysis.dir/range_restriction.cc.o" "gcc" "src/analysis/CMakeFiles/mad_analysis.dir/range_restriction.cc.o.d"
+  "/root/repo/src/analysis/termination.cc" "src/analysis/CMakeFiles/mad_analysis.dir/termination.cc.o" "gcc" "src/analysis/CMakeFiles/mad_analysis.dir/termination.cc.o.d"
+  "/root/repo/src/analysis/unification.cc" "src/analysis/CMakeFiles/mad_analysis.dir/unification.cc.o" "gcc" "src/analysis/CMakeFiles/mad_analysis.dir/unification.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datalog/CMakeFiles/mad_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/mad_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mad_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/mad_value.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_analysis.dir/admissibility.cc.o"
+  "CMakeFiles/mad_analysis.dir/admissibility.cc.o.d"
+  "CMakeFiles/mad_analysis.dir/checker.cc.o"
+  "CMakeFiles/mad_analysis.dir/checker.cc.o.d"
+  "CMakeFiles/mad_analysis.dir/conflict_free.cc.o"
+  "CMakeFiles/mad_analysis.dir/conflict_free.cc.o.d"
+  "CMakeFiles/mad_analysis.dir/cost_respecting.cc.o"
+  "CMakeFiles/mad_analysis.dir/cost_respecting.cc.o.d"
+  "CMakeFiles/mad_analysis.dir/dependency_graph.cc.o"
+  "CMakeFiles/mad_analysis.dir/dependency_graph.cc.o.d"
+  "CMakeFiles/mad_analysis.dir/range_restriction.cc.o"
+  "CMakeFiles/mad_analysis.dir/range_restriction.cc.o.d"
+  "CMakeFiles/mad_analysis.dir/termination.cc.o"
+  "CMakeFiles/mad_analysis.dir/termination.cc.o.d"
+  "CMakeFiles/mad_analysis.dir/unification.cc.o"
+  "CMakeFiles/mad_analysis.dir/unification.cc.o.d"
+  "libmad_analysis.a"
+  "libmad_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

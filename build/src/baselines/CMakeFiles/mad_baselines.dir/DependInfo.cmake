@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/circuit_sim.cc" "src/baselines/CMakeFiles/mad_baselines.dir/circuit_sim.cc.o" "gcc" "src/baselines/CMakeFiles/mad_baselines.dir/circuit_sim.cc.o.d"
+  "/root/repo/src/baselines/company_control.cc" "src/baselines/CMakeFiles/mad_baselines.dir/company_control.cc.o" "gcc" "src/baselines/CMakeFiles/mad_baselines.dir/company_control.cc.o.d"
+  "/root/repo/src/baselines/fully_defined.cc" "src/baselines/CMakeFiles/mad_baselines.dir/fully_defined.cc.o" "gcc" "src/baselines/CMakeFiles/mad_baselines.dir/fully_defined.cc.o.d"
+  "/root/repo/src/baselines/kemp_stuckey.cc" "src/baselines/CMakeFiles/mad_baselines.dir/kemp_stuckey.cc.o" "gcc" "src/baselines/CMakeFiles/mad_baselines.dir/kemp_stuckey.cc.o.d"
+  "/root/repo/src/baselines/party_solver.cc" "src/baselines/CMakeFiles/mad_baselines.dir/party_solver.cc.o" "gcc" "src/baselines/CMakeFiles/mad_baselines.dir/party_solver.cc.o.d"
+  "/root/repo/src/baselines/shortest_path.cc" "src/baselines/CMakeFiles/mad_baselines.dir/shortest_path.cc.o" "gcc" "src/baselines/CMakeFiles/mad_baselines.dir/shortest_path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datalog/CMakeFiles/mad_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/mad_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mad_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/mad_value.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_baselines.dir/circuit_sim.cc.o"
+  "CMakeFiles/mad_baselines.dir/circuit_sim.cc.o.d"
+  "CMakeFiles/mad_baselines.dir/company_control.cc.o"
+  "CMakeFiles/mad_baselines.dir/company_control.cc.o.d"
+  "CMakeFiles/mad_baselines.dir/fully_defined.cc.o"
+  "CMakeFiles/mad_baselines.dir/fully_defined.cc.o.d"
+  "CMakeFiles/mad_baselines.dir/kemp_stuckey.cc.o"
+  "CMakeFiles/mad_baselines.dir/kemp_stuckey.cc.o.d"
+  "CMakeFiles/mad_baselines.dir/party_solver.cc.o"
+  "CMakeFiles/mad_baselines.dir/party_solver.cc.o.d"
+  "CMakeFiles/mad_baselines.dir/shortest_path.cc.o"
+  "CMakeFiles/mad_baselines.dir/shortest_path.cc.o.d"
+  "libmad_baselines.a"
+  "libmad_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

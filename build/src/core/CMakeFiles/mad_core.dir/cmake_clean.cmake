@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_core.dir/compiled_rule.cc.o"
+  "CMakeFiles/mad_core.dir/compiled_rule.cc.o.d"
+  "CMakeFiles/mad_core.dir/engine.cc.o"
+  "CMakeFiles/mad_core.dir/engine.cc.o.d"
+  "CMakeFiles/mad_core.dir/executor.cc.o"
+  "CMakeFiles/mad_core.dir/executor.cc.o.d"
+  "CMakeFiles/mad_core.dir/provenance.cc.o"
+  "CMakeFiles/mad_core.dir/provenance.cc.o.d"
+  "libmad_core.a"
+  "libmad_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/ast.cc" "src/datalog/CMakeFiles/mad_datalog.dir/ast.cc.o" "gcc" "src/datalog/CMakeFiles/mad_datalog.dir/ast.cc.o.d"
+  "/root/repo/src/datalog/database.cc" "src/datalog/CMakeFiles/mad_datalog.dir/database.cc.o" "gcc" "src/datalog/CMakeFiles/mad_datalog.dir/database.cc.o.d"
+  "/root/repo/src/datalog/parser.cc" "src/datalog/CMakeFiles/mad_datalog.dir/parser.cc.o" "gcc" "src/datalog/CMakeFiles/mad_datalog.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datalog/CMakeFiles/mad_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/mad_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

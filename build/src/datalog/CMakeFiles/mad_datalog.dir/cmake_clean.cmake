@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_datalog.dir/ast.cc.o"
+  "CMakeFiles/mad_datalog.dir/ast.cc.o.d"
+  "CMakeFiles/mad_datalog.dir/database.cc.o"
+  "CMakeFiles/mad_datalog.dir/database.cc.o.d"
+  "CMakeFiles/mad_datalog.dir/parser.cc.o"
+  "CMakeFiles/mad_datalog.dir/parser.cc.o.d"
+  "libmad_datalog.a"
+  "libmad_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_value.dir/value.cc.o"
+  "CMakeFiles/mad_value.dir/value.cc.o.d"
+  "libmad_value.a"
+  "libmad_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lattice/aggregate.cc" "src/lattice/CMakeFiles/mad_lattice.dir/aggregate.cc.o" "gcc" "src/lattice/CMakeFiles/mad_lattice.dir/aggregate.cc.o.d"
+  "/root/repo/src/lattice/cost_domain.cc" "src/lattice/CMakeFiles/mad_lattice.dir/cost_domain.cc.o" "gcc" "src/lattice/CMakeFiles/mad_lattice.dir/cost_domain.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datalog/CMakeFiles/mad_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

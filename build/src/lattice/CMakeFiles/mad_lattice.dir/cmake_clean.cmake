@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_lattice.dir/aggregate.cc.o"
+  "CMakeFiles/mad_lattice.dir/aggregate.cc.o.d"
+  "CMakeFiles/mad_lattice.dir/cost_domain.cc.o"
+  "CMakeFiles/mad_lattice.dir/cost_domain.cc.o.d"
+  "libmad_lattice.a"
+  "libmad_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_util.dir/status.cc.o"
+  "CMakeFiles/mad_util.dir/status.cc.o.d"
+  "CMakeFiles/mad_util.dir/string_util.cc.o"
+  "CMakeFiles/mad_util.dir/string_util.cc.o.d"
+  "CMakeFiles/mad_util.dir/table_printer.cc.o"
+  "CMakeFiles/mad_util.dir/table_printer.cc.o.d"
+  "libmad_util.a"
+  "libmad_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_workloads.dir/generators.cc.o"
+  "CMakeFiles/mad_workloads.dir/generators.cc.o.d"
+  "CMakeFiles/mad_workloads.dir/to_datalog.cc.o"
+  "CMakeFiles/mad_workloads.dir/to_datalog.cc.o.d"
+  "libmad_workloads.a"
+  "libmad_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

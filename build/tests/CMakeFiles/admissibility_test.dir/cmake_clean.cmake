@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admissibility_test.dir/admissibility_test.cc.o"
+  "CMakeFiles/admissibility_test.dir/admissibility_test.cc.o.d"
+  "admissibility_test"
+  "admissibility_test.pdb"
+  "admissibility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admissibility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_property_test.dir/aggregate_property_test.cc.o"
+  "CMakeFiles/aggregate_property_test.dir/aggregate_property_test.cc.o.d"
+  "aggregate_property_test"
+  "aggregate_property_test.pdb"
+  "aggregate_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

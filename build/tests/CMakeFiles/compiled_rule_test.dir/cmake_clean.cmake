@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiled_rule_test.dir/compiled_rule_test.cc.o"
+  "CMakeFiles/compiled_rule_test.dir/compiled_rule_test.cc.o.d"
+  "compiled_rule_test"
+  "compiled_rule_test.pdb"
+  "compiled_rule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiled_rule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

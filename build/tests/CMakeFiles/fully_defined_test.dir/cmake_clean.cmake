@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fully_defined_test.dir/fully_defined_test.cc.o"
+  "CMakeFiles/fully_defined_test.dir/fully_defined_test.cc.o.d"
+  "fully_defined_test"
+  "fully_defined_test.pdb"
+  "fully_defined_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fully_defined_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

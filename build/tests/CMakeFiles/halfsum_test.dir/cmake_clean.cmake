@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halfsum_test.dir/halfsum_test.cc.o"
+  "CMakeFiles/halfsum_test.dir/halfsum_test.cc.o.d"
+  "halfsum_test"
+  "halfsum_test.pdb"
+  "halfsum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halfsum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kemp_stuckey_test.dir/kemp_stuckey_test.cc.o"
+  "CMakeFiles/kemp_stuckey_test.dir/kemp_stuckey_test.cc.o.d"
+  "kemp_stuckey_test"
+  "kemp_stuckey_test.pdb"
+  "kemp_stuckey_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kemp_stuckey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kemp_stuckey_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/set_program_test.cc" "tests/CMakeFiles/set_program_test.dir/set_program_test.cc.o" "gcc" "tests/CMakeFiles/set_program_test.dir/set_program_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mad_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mad_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mad_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/mad_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/mad_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/mad_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

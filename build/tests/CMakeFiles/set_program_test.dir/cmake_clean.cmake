@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_program_test.dir/set_program_test.cc.o"
+  "CMakeFiles/set_program_test.dir/set_program_test.cc.o.d"
+  "set_program_test"
+  "set_program_test.pdb"
+  "set_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
