@@ -1,0 +1,165 @@
+// Resource-governor overhead and anytime behaviour.
+//
+// Two questions, one table each:
+//  1. Overhead: the guard must cost (almost) nothing. With no limits the
+//     hot path is a single predictable branch per merge batch; with generous
+//     limits that never trip it adds one counter update per batch and a
+//     clock read every check_interval tuples. Expected shape: the "generous"
+//     column within a few percent of "none".
+//  2. Anytime value: how much of the shortest-path least model survives ever
+//     tighter tuple budgets — coverage should degrade gracefully, never
+//     abruptly, and every run stays certified (under-approximation).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace mad;
+using bench::CachedProgram;
+
+ResourceLimits GenerousLimits() {
+  ResourceLimits limits;
+  limits.deadline = std::chrono::hours(24);
+  limits.max_derived_tuples = int64_t{1} << 50;
+  limits.max_memory_bytes = int64_t{1} << 50;
+  limits.max_total_rounds = int64_t{1} << 40;
+  limits.cancellation = std::make_shared<CancellationToken>();
+  return limits;
+}
+
+core::EvalResult MustRun(const datalog::Program& program,
+                         const datalog::Database& edb,
+                         const core::EvalOptions& options) {
+  core::Engine engine(program, options);
+  auto result = engine.Run(edb.Clone());
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench_limits: evaluation failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+void PrintOverheadTable() {
+  std::cout << "=== Guard overhead: no limits vs generous (never-tripping) "
+               "limits ===\n";
+  TablePrinter table({"workload", "size", "none (ms)", "generous (ms)",
+                      "overhead", "completeness"});
+  for (int n : {40, 80, 160}) {
+    Random rng(7);
+    auto g = workloads::RandomGraph(n, 6 * n, {1.0, 9.0}, &rng);
+    const datalog::Program& program =
+        CachedProgram(workloads::kShortestPathProgram);
+    datalog::Database edb;
+    (void)workloads::AddGraphFacts(program, g, &edb);
+
+    core::EvalOptions plain;
+    core::EvalOptions governed;
+    governed.limits = GenerousLimits();
+
+    // Best-of-5 to keep the ratio out of allocator noise.
+    double best_plain = 1e99, best_governed = 1e99;
+    const char* completeness = "?";
+    for (int rep = 0; rep < 5; ++rep) {
+      best_plain =
+          std::min(best_plain, MustRun(program, edb, plain).stats.wall_seconds);
+      auto run = MustRun(program, edb, governed);
+      best_governed = std::min(best_governed, run.stats.wall_seconds);
+      completeness = core::CompletenessName(run.completeness);
+    }
+    table.AddRow({"sp-er", std::to_string(n),
+                  StrPrintf("%.2f", best_plain * 1e3),
+                  StrPrintf("%.2f", best_governed * 1e3),
+                  StrPrintf("%+.1f%%",
+                            100.0 * (best_governed - best_plain) /
+                                std::max(best_plain, 1e-9)),
+                  completeness});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void PrintAnytimeTable() {
+  std::cout << "=== Anytime: coverage of the least model vs tuple budget "
+               "===\n";
+  TablePrinter table({"budget", "s rows", "of full", "limit", "completeness"});
+  Random rng(13);
+  auto g = workloads::RandomGraph(120, 900, {1.0, 9.0}, &rng);
+  const datalog::Program& program =
+      CachedProgram(workloads::kShortestPathProgram);
+  datalog::Database edb;
+  (void)workloads::AddGraphFacts(program, g, &edb);
+
+  auto full = MustRun(program, edb, {});
+  const datalog::Relation* full_s =
+      full.db.Find(program.FindPredicate("s"));
+  size_t full_rows = full_s == nullptr ? 0 : full_s->size();
+
+  for (int64_t budget : {1000, 10'000, 100'000, 1'000'000, 0}) {
+    core::EvalOptions options;
+    options.limits.max_derived_tuples = budget;
+    auto run = MustRun(program, edb, options);
+    const datalog::Relation* s = run.db.Find(program.FindPredicate("s"));
+    size_t rows = s == nullptr ? 0 : s->size();
+    table.AddRow({budget == 0 ? "unbounded" : std::to_string(budget),
+                  std::to_string(rows),
+                  StrPrintf("%.1f%%", full_rows == 0
+                                          ? 100.0
+                                          : 100.0 * rows / full_rows),
+                  LimitKindName(run.limit_tripped),
+                  core::CompletenessName(run.completeness)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void BM_Governed(benchmark::State& state, bool with_limits) {
+  int n = static_cast<int>(state.range(0));
+  Random rng(7);
+  auto g = workloads::RandomGraph(n, 6 * n, {1.0, 9.0}, &rng);
+  const datalog::Program& program =
+      CachedProgram(workloads::kShortestPathProgram);
+  datalog::Database edb;
+  (void)workloads::AddGraphFacts(program, g, &edb);
+  core::EvalOptions options;
+  if (with_limits) options.limits = GenerousLimits();
+  for (auto _ : state) {
+    auto result = MustRun(program, edb, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void RegisterAll() {
+  for (int n : {40, 80, 160}) {
+    benchmark::RegisterBenchmark(
+        StrPrintf("BM_SemiNaive/ungoverned/n%d", n).c_str(), BM_Governed,
+        false)
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        StrPrintf("BM_SemiNaive/governed/n%d", n).c_str(), BM_Governed, true)
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintOverheadTable();
+  PrintAnytimeTable();
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

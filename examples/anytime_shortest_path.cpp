@@ -1,0 +1,93 @@
+// Anytime evaluation: shortest paths under a wall-clock deadline.
+//
+// The engine is run on the same large random graph with ever larger time
+// budgets. A run that hits its deadline does not fail — the shortest-path
+// component is prefix-sound (monotone T_P, strictly monotonic min), so the
+// interrupted fixpoint is returned as a *certified under-approximation*:
+// every settled pair is a real pair and no reported distance undercuts the
+// true one (in the min-lattice, partial costs can only sit ⊑-below, i.e.
+// numerically above, their final values). More budget buys more coverage;
+// the unbounded run is the least model itself.
+//
+// Build & run:   ./build/examples/anytime_shortest_path [nodes] [edges] [seed]
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/engine.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+#include "workloads/to_datalog.h"
+
+using namespace mad;
+
+int main(int argc, char** argv) {
+  int nodes = argc > 1 ? std::atoi(argv[1]) : 300;
+  int edges = argc > 2 ? std::atoi(argv[2]) : 2400;
+  uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 17;
+
+  Random rng(seed);
+  baselines::Graph g = workloads::RandomGraph(nodes, edges, {1.0, 10.0}, &rng);
+  std::cout << "== Anytime shortest paths: " << nodes << " nodes, "
+            << g.num_edges << " edges, seed " << seed << " ==\n\n";
+
+  auto program = datalog::ParseProgram(workloads::kShortestPathProgram);
+  if (!program.ok()) {
+    std::cerr << program.status() << "\n";
+    return 1;
+  }
+  datalog::Database edb;
+  if (auto st = workloads::AddGraphFacts(*program, g, &edb); !st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+
+  // The unbounded least model, for the coverage column.
+  core::Engine reference(*program);
+  auto full = reference.Run(edb.Clone());
+  if (!full.ok()) {
+    std::cerr << full.status() << "\n";
+    return 1;
+  }
+  const datalog::Relation* full_s =
+      full->db.Find(program->FindPredicate("s"));
+  size_t full_rows = full_s == nullptr ? 0 : full_s->size();
+
+  TablePrinter table({"deadline", "completeness", "limit", "s-facts",
+                      "coverage", "wall (ms)"});
+  for (int64_t ms : {1, 10, 100, -1}) {
+    core::EvalOptions options;
+    if (ms >= 0) {
+      options.limits =
+          ResourceLimits::Deadline(std::chrono::milliseconds(ms));
+    }
+    core::Engine engine(*program, options);
+    auto run = engine.Run(edb.Clone());
+    if (!run.ok()) {
+      // Unreachable for this program: shortest path is prefix-sound, so a
+      // deadline can only degrade the run, never fail it.
+      std::cerr << run.status() << "\n";
+      return 1;
+    }
+    const datalog::Relation* s = run->db.Find(program->FindPredicate("s"));
+    size_t rows = s == nullptr ? 0 : s->size();
+    table.AddRow(
+        {ms < 0 ? "unbounded" : StrPrintf("%lld ms", (long long)ms),
+         core::CompletenessName(run->completeness),
+         LimitKindName(run->limit_tripped), std::to_string(rows),
+         full_rows == 0 ? "n/a"
+                        : StrPrintf("%.1f%%", 100.0 * rows / full_rows),
+         StrPrintf("%.2f", run->stats.wall_seconds * 1e3)});
+  }
+  table.Print(std::cout);
+
+  std::cout <<
+      "\nEvery bounded row is a sound partial answer: present pairs are real\n"
+      "and their costs never undercut the true shortest distance. Tighten or\n"
+      "loosen the deadline to trade latency for coverage.\n";
+  return 0;
+}

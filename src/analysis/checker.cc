@@ -4,10 +4,34 @@
 #include "analysis/conflict_free.h"
 #include "analysis/cost_respecting.h"
 #include "analysis/range_restriction.h"
+#include "lattice/aggregate.h"
 #include "util/string_util.h"
 
 namespace mad {
 namespace analysis {
+
+namespace {
+
+/// True iff `rule` applies a non-strictly-monotonic aggregate to a predicate
+/// that is recursive with the rule's head. Such components rely on Lemma 4.1's
+/// fixed-cardinality argument, which only holds at the fixpoint — interrupted
+/// iterations cannot be certified (see ComponentVerdict::prefix_sound).
+bool UsesNonMonotonicCdbAggregate(const datalog::Rule& rule,
+                                  const DependencyGraph& graph) {
+  for (const datalog::Subgoal& sg : rule.body) {
+    if (sg.kind != datalog::Subgoal::Kind::kAggregate) continue;
+    for (const datalog::Atom& a : sg.aggregate.atoms) {
+      if (graph.IsCdbFor(rule, a.pred) &&
+          sg.aggregate.function->monotonicity() !=
+              lattice::Monotonicity::kMonotonic) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 Status ProgramCheckResult::overall() const {
   MAD_RETURN_IF_ERROR(range_restricted);
@@ -41,6 +65,7 @@ std::string ProgramCheckResult::ToString() const {
                      c.recursive_aggregation ? " thru-aggregation" : "",
                      c.recursive_negation ? " thru-negation" : "",
                      c.monotonic ? "yes" : "no");
+    if (c.monotonic && !c.prefix_sound) out += " prefix-sound=no";
     if (!c.diagnostic.empty()) out += " (" + c.diagnostic + ")";
     out += "\n";
   }
@@ -71,13 +96,16 @@ ProgramCheckResult CheckProgram(const datalog::Program& program,
     v.recursive_aggregation = comp.recursive_aggregation;
     v.recursive_negation = comp.recursive_negation;
     v.monotonic = !comp.recursive_negation;
+    v.prefix_sound = v.monotonic;
     for (int ri : comp.rule_indices) {
-      RuleAdmissibility a =
-          CheckRuleAdmissible(program.rules()[ri], graph);
+      const datalog::Rule& rule = program.rules()[ri];
+      RuleAdmissibility a = CheckRuleAdmissible(rule, graph);
       if (!a.admissible()) {
         v.monotonic = false;
+        v.prefix_sound = false;
         if (v.diagnostic.empty()) v.diagnostic = a.diagnostic;
       }
+      if (UsesNonMonotonicCdbAggregate(rule, graph)) v.prefix_sound = false;
     }
     if (comp.recursive_negation && v.diagnostic.empty()) {
       v.diagnostic = "recursion through negation";

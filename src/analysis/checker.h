@@ -24,6 +24,14 @@ struct ComponentVerdict {
   /// negation occurs — by Lemma 4.1 T_P is then monotonic and the least
   /// fixpoint exists (Proposition 3.3).
   bool monotonic = false;
+  /// Any ⊑-prefix of this component's fixpoint iteration is itself a sound
+  /// under-approximation of the least model: the component is monotonic AND
+  /// uses only strictly monotonic aggregates over recursive (CDB) predicates.
+  /// Pseudo-monotonic aggregates (Section 4.1) are admissible only because
+  /// default-value predicates keep the inner cardinality fixed; an
+  /// *interrupted* iteration has not yet derived all inner keys, so partial
+  /// states are not certifiable and resource trips become hard errors.
+  bool prefix_sound = false;
   /// First admissibility diagnostic if !monotonic.
   std::string diagnostic;
 };

@@ -353,5 +353,19 @@ StatusOr<CompiledRule> CompileRule(const Rule& rule,
   return out;
 }
 
+StatusOr<std::vector<CompiledRule>> CompileComponent(
+    const datalog::Program& program, const analysis::Component& component,
+    const analysis::DependencyGraph& graph) {
+  std::vector<CompiledRule> rules;
+  rules.reserve(component.rule_indices.size());
+  for (int ri : component.rule_indices) {
+    MAD_ASSIGN_OR_RETURN(CompiledRule cr,
+                         CompileRule(program.rules()[ri], graph));
+    cr.rule_index = ri;
+    rules.push_back(std::move(cr));
+  }
+  return rules;
+}
+
 }  // namespace core
 }  // namespace mad

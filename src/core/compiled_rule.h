@@ -145,6 +145,13 @@ struct CompiledRule {
 StatusOr<CompiledRule> CompileRule(const Rule& rule,
                                    const analysis::DependencyGraph& graph);
 
+/// Compiles every rule of `component` (in rule_indices order), stamping each
+/// CompiledRule::rule_index. One compilation path for batch evaluation and
+/// incremental maintenance alike.
+StatusOr<std::vector<CompiledRule>> CompileComponent(
+    const datalog::Program& program, const analysis::Component& component,
+    const analysis::DependencyGraph& graph);
+
 }  // namespace core
 }  // namespace mad
 

@@ -30,6 +30,16 @@ const char* StrategyName(Strategy s) {
   return "?";
 }
 
+const char* CompletenessName(Completeness c) {
+  switch (c) {
+    case Completeness::kLeastModel:
+      return "least-model";
+    case Completeness::kUnderApproximation:
+      return "under-approximation";
+  }
+  return "?";
+}
+
 void EvalStats::Accumulate(const EvalStats& other) {
   iterations += other.iterations;
   rule_evaluations += other.rule_evaluations;
@@ -39,11 +49,12 @@ void EvalStats::Accumulate(const EvalStats& other) {
   subgoal_evals += other.subgoal_evals;
   greedy_violations += other.greedy_violations;
   reached_fixpoint = reached_fixpoint && other.reached_fixpoint;
+  if (limit_tripped == LimitKind::kNone) limit_tripped = other.limit_tripped;
   wall_seconds += other.wall_seconds;
 }
 
 std::string EvalStats::ToString() const {
-  return StrPrintf(
+  std::string out = StrPrintf(
       "iterations=%lld rule_evals=%lld derivations=%lld new=%lld "
       "increased=%lld subgoals=%lld greedy_violations=%lld fixpoint=%s "
       "wall=%.4fs",
@@ -55,6 +66,10 @@ std::string EvalStats::ToString() const {
       static_cast<long long>(subgoal_evals),
       static_cast<long long>(greedy_violations),
       reached_fixpoint ? "yes" : "NO", wall_seconds);
+  if (limit_tripped != LimitKind::kNone) {
+    out += StrPrintf(" limit=%s", LimitKindName(limit_tripped));
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -87,12 +102,13 @@ StatusOr<EvalResult> Engine::Run(Database edb) const {
   }
 
   result.component_stats.resize(graph_.components().size());
+  ResourceGuard guard(options_.limits);
   auto t0 = std::chrono::steady_clock::now();
   for (const analysis::Component& component : graph_.components()) {
     if (component.rule_indices.empty()) continue;
     EvalStats& cstats = result.component_stats[component.index];
     auto c0 = std::chrono::steady_clock::now();
-    MAD_RETURN_IF_ERROR(RunComponent(component, &result.db, &cstats, prov));
+    Status st = RunComponent(component, &result.db, &cstats, prov, &guard);
     cstats.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - c0)
             .count();
@@ -100,6 +116,26 @@ StatusOr<EvalResult> Engine::Run(Database edb) const {
     double saved = result.stats.wall_seconds;
     result.stats.Accumulate(cstats);
     result.stats.wall_seconds = saved;
+    if (!st.ok()) {
+      if (st.code() != StatusCode::kResourceExhausted) return st;
+      // A resource limit tripped inside this component. The partial database
+      // is certifiable exactly when the interrupted iteration is a prefix of
+      // a monotone fixpoint computation: the component must be prefix-sound
+      // and the strategy must actually iterate T_P from ⊥ (greedy settles
+      // keys speculatively, so its intermediate states carry no guarantee).
+      const analysis::ComponentVerdict& verdict =
+          result.check.components[component.index];
+      if (options_.strategy == Strategy::kGreedy || !verdict.prefix_sound) {
+        return st;
+      }
+      cstats.limit_tripped = guard.tripped();
+      result.completeness = Completeness::kUnderApproximation;
+      result.limit_tripped = guard.tripped();
+      result.tripped_component = component.index;
+      result.stats.limit_tripped = guard.tripped();
+      result.stats.reached_fixpoint = false;
+      break;
+    }
   }
   result.stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -109,22 +145,16 @@ StatusOr<EvalResult> Engine::Run(Database edb) const {
 
 Status Engine::RunComponent(const analysis::Component& component,
                             Database* db, EvalStats* stats,
-                            Provenance* prov) const {
-  std::vector<CompiledRule> rules;
-  rules.reserve(component.rule_indices.size());
-  for (int ri : component.rule_indices) {
-    MAD_ASSIGN_OR_RETURN(CompiledRule cr,
-                         CompileRule(program_->rules()[ri], graph_));
-    cr.rule_index = ri;
-    rules.push_back(std::move(cr));
-  }
+                            Provenance* prov, ResourceGuard* guard) const {
+  MAD_ASSIGN_OR_RETURN(std::vector<CompiledRule> rules,
+                       CompileComponent(*program_, component, graph_));
   switch (options_.strategy) {
     case Strategy::kNaive:
-      return RunNaive(rules, db, stats, prov);
+      return RunNaive(rules, db, stats, prov, guard);
     case Strategy::kSemiNaive:
-      return RunSemiNaive(rules, db, stats, prov);
+      return RunSemiNaive(rules, db, stats, prov, guard);
     case Strategy::kGreedy:
-      return RunGreedy(component, rules, db, stats, prov);
+      return RunGreedy(component, rules, db, stats, prov, guard);
   }
   return Status::Internal("unknown strategy");
 }
@@ -136,7 +166,7 @@ Status Engine::RunComponent(const analysis::Component& component,
 Status Engine::MergeDerivations(
     const std::vector<Derivation>& derivations, Database* db,
     EvalStats* stats, std::map<int, std::vector<uint32_t>>* delta,
-    Provenance* prov) const {
+    Provenance* prov, ResourceGuard* guard) const {
   for (const Derivation& d : derivations) {
     Relation* rel = db->GetOrCreate(d.pred);
     if (options_.epsilon > 0 && d.pred->has_cost) {
@@ -168,6 +198,18 @@ Status Engine::MergeDerivations(
         break;
     }
   }
+  // Charge after merging: the batch is already safely in the database (any
+  // subset of derivations stays ⊑-below the least model under monotone T_P),
+  // so a trip loses no work.
+  if (guard->active()) {
+    LimitKind k = guard->ChargeTuples(static_cast<int64_t>(derivations.size()));
+    if (k == LimitKind::kNone && guard->memory_limited()) {
+      k = guard->ChargeMemory(db->ApproxBytes());
+    }
+    if (k != LimitKind::kNone) {
+      return Status::ResourceExhausted(guard->Describe());
+    }
+  }
   return Status::OK();
 }
 
@@ -193,13 +235,25 @@ size_t DeltaSize(const std::map<int, std::vector<uint32_t>>& delta) {
 // ---------------------------------------------------------------------------
 
 Status Engine::RunNaive(const std::vector<CompiledRule>& rules, Database* db,
-                        EvalStats* stats, Provenance* prov) const {
+                        EvalStats* stats, Provenance* prov,
+                        ResourceGuard* guard) const {
   RuleExecutor exec(db);
+  if (guard->active()) exec.set_guard(guard);
   std::vector<Derivation> buffer;
+  // Unwinds on a tripped limit, keeping the stats coherent for the partial
+  // run (Engine::Run decides whether the result is certifiable).
+  auto stop = [&](Status st) {
+    stats->subgoal_evals = exec.subgoal_evals();
+    stats->reached_fixpoint = false;
+    return st;
+  };
   while (true) {
     if (stats->iterations >= options_.max_iterations) {
       stats->reached_fixpoint = false;
       return Status::OK();
+    }
+    if (guard->ChargeRound(stats->iterations + 1) != LimitKind::kNone) {
+      return stop(Status::ResourceExhausted(guard->Describe()));
     }
     ++stats->iterations;
     buffer.clear();
@@ -226,7 +280,9 @@ Status Engine::RunNaive(const std::vector<CompiledRule>& rules, Database* db,
     }
 
     std::map<int, std::vector<uint32_t>> delta;
-    MAD_RETURN_IF_ERROR(MergeDerivations(buffer, db, stats, &delta, prov));
+    Status st = MergeDerivations(buffer, db, stats, &delta, prov, guard);
+    if (st.code() == StatusCode::kResourceExhausted) return stop(st);
+    MAD_RETURN_IF_ERROR(st);
     if (DeltaSize(delta) == 0) break;
   }
   stats->subgoal_evals = exec.subgoal_evals();
@@ -239,26 +295,40 @@ Status Engine::RunNaive(const std::vector<CompiledRule>& rules, Database* db,
 
 Status Engine::RunSemiNaive(const std::vector<CompiledRule>& rules,
                             Database* db, EvalStats* stats,
-                            Provenance* prov) const {
+                            Provenance* prov, ResourceGuard* guard) const {
   RuleExecutor exec(db);
+  if (guard->active()) exec.set_guard(guard);
   std::vector<Derivation> buffer;
   std::map<int, std::vector<uint32_t>> delta;
+  auto stop = [&](Status st) {
+    stats->subgoal_evals = exec.subgoal_evals();
+    stats->reached_fixpoint = false;
+    return st;
+  };
 
   // Round 0: full evaluation against the (empty-CDB) initial interpretation;
   // the default extensions J_∅ are synthesized by the executor.
+  if (guard->ChargeRound(1) != LimitKind::kNone) {
+    return stop(Status::ResourceExhausted(guard->Describe()));
+  }
   ++stats->iterations;
   for (const CompiledRule& rule : rules) {
     ++stats->rule_evaluations;
     buffer.clear();
     exec.RunBase(rule, &buffer);
     stats->derivations += static_cast<int64_t>(buffer.size());
-    MAD_RETURN_IF_ERROR(MergeDerivations(buffer, db, stats, &delta, prov));
+    Status st = MergeDerivations(buffer, db, stats, &delta, prov, guard);
+    if (st.code() == StatusCode::kResourceExhausted) return stop(st);
+    MAD_RETURN_IF_ERROR(st);
   }
 
   while (DeltaSize(delta) > 0) {
     if (stats->iterations >= options_.max_iterations) {
       stats->reached_fixpoint = false;
       return Status::OK();
+    }
+    if (guard->ChargeRound(stats->iterations + 1) != LimitKind::kNone) {
+      return stop(Status::ResourceExhausted(guard->Describe()));
     }
     ++stats->iterations;
     DedupeDelta(&delta);
@@ -276,8 +346,10 @@ Status Engine::RunSemiNaive(const std::vector<CompiledRule>& rules,
           exec.RunDriver(rule, driver, rel->key_at(row), rel->cost_at(row),
                          &buffer);
           stats->derivations += static_cast<int64_t>(buffer.size());
-          MAD_RETURN_IF_ERROR(
-              MergeDerivations(buffer, db, stats, &next_delta, prov));
+          Status st =
+              MergeDerivations(buffer, db, stats, &next_delta, prov, guard);
+          if (st.code() == StatusCode::kResourceExhausted) return stop(st);
+          MAD_RETURN_IF_ERROR(st);
         }
       }
     }
@@ -293,7 +365,8 @@ Status Engine::RunSemiNaive(const std::vector<CompiledRule>& rules,
 
 Status Engine::RunGreedy(const analysis::Component& component,
                          const std::vector<CompiledRule>& rules, Database* db,
-                         EvalStats* stats, Provenance* prov) const {
+                         EvalStats* stats, Provenance* prov,
+                         ResourceGuard* guard) const {
   // Applicability: every CDB predicate carries a cost from one *totally
   // ordered numeric* lattice family (all ascending or all descending).
   std::optional<bool> ascending;
@@ -318,6 +391,7 @@ Status Engine::RunGreedy(const analysis::Component& component,
   }
 
   RuleExecutor exec(db);
+  if (guard->active()) exec.set_guard(guard);
   std::vector<Derivation> buffer;
 
   // Entries ordered final-value-first: numeric ascending for min-style
@@ -370,6 +444,20 @@ Status Engine::RunGreedy(const analysis::Component& component,
         push_row(d.pred, row);
       }
     }
+    // Greedy intermediate states are never certifiable (settled keys may
+    // already sit above the least model), so this trip becomes a hard
+    // ResourceExhausted at the Run level — but it must still stop the run.
+    if (guard->active()) {
+      LimitKind k =
+          guard->ChargeTuples(static_cast<int64_t>(buffer.size()));
+      if (k == LimitKind::kNone && guard->memory_limited()) {
+        k = guard->ChargeMemory(db->ApproxBytes());
+      }
+      if (k != LimitKind::kNone) {
+        stats->reached_fixpoint = false;
+        return Status::ResourceExhausted(guard->Describe());
+      }
+    }
     return Status::OK();
   };
 
@@ -394,6 +482,13 @@ Status Engine::RunGreedy(const analysis::Component& component,
     if (s[e.row]) continue;
     s[e.row] = true;
     ++stats->iterations;
+    // A pop is this strategy's round; poll occasionally so deadline and
+    // cancellation bite even when few derivations are produced.
+    if (guard->active() && (stats->iterations & 1023) == 0 &&
+        guard->Poll() != LimitKind::kNone) {
+      stats->reached_fixpoint = false;
+      return Status::ResourceExhausted(guard->Describe());
+    }
 
     for (const CompiledRule& rule : rules) {
       for (const DriverVariant& driver : rule.drivers) {
@@ -425,6 +520,7 @@ StatusOr<EvalStats> Engine::Update(
   MAD_RETURN_IF_ERROR(safety.basic);
 
   EvalStats stats;
+  ResourceGuard guard(options_.limits);
   Provenance* prov =
       options_.track_provenance ? &result->provenance : nullptr;
 
@@ -463,25 +559,40 @@ StatusOr<EvalStats> Engine::Update(
   }
 
   RuleExecutor exec(&result->db);
+  if (guard.active()) exec.set_guard(&guard);
   std::vector<Derivation> buffer;
+
+  // Update safety already guarantees full input-monotonicity, so a tripped
+  // limit always degrades gracefully: the database is ⊑-below the
+  // post-insert least model and the result is marked accordingly.
+  auto degrade = [&](int component_index) -> EvalStats {
+    stats.reached_fixpoint = false;
+    stats.limit_tripped = guard.tripped();
+    stats.subgoal_evals = exec.subgoal_evals();
+    result->completeness = Completeness::kUnderApproximation;
+    result->limit_tripped = guard.tripped();
+    result->tripped_component = component_index;
+    result->stats.Accumulate(stats);
+    return stats;
+  };
+
   for (const analysis::Component& component : graph_.components()) {
     if (component.rule_indices.empty()) continue;
-    std::vector<CompiledRule> rules;
-    for (int ri : component.rule_indices) {
-      MAD_ASSIGN_OR_RETURN(CompiledRule cr,
-                           CompileRule(program_->rules()[ri], graph_));
-      cr.rule_index = ri;
-      rules.push_back(std::move(cr));
-    }
+    MAD_ASSIGN_OR_RETURN(std::vector<CompiledRule> rules,
+                         CompileComponent(*program_, component, graph_));
     // Seed with everything changed so far (EDB inserts + lower components),
     // then run delta rounds; changes feed both the next round and the
     // global delta consumed by higher components.
     std::map<int, std::vector<uint32_t>> delta = global_delta;
+    int64_t component_rounds = 0;
     while (DeltaSize(delta) > 0) {
       if (stats.iterations >= options_.max_iterations) {
         stats.reached_fixpoint = false;
         result->stats.Accumulate(stats);
         return stats;
+      }
+      if (guard.ChargeRound(++component_rounds) != LimitKind::kNone) {
+        return degrade(component.index);
       }
       ++stats.iterations;
       DedupeDelta(&delta);
@@ -512,6 +623,14 @@ StatusOr<EvalStats> Engine::Update(
               }
               next_delta[d.pred->id].push_back(drow);
               if (prov != nullptr) prov->Record(d.pred, drow, d.rule_index);
+            }
+            if (guard.active()) {
+              LimitKind k =
+                  guard.ChargeTuples(static_cast<int64_t>(buffer.size()));
+              if (k == LimitKind::kNone && guard.memory_limited()) {
+                k = guard.ChargeMemory(result->db.ApproxBytes());
+              }
+              if (k != LimitKind::kNone) return degrade(component.index);
             }
           }
         }

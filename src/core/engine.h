@@ -13,6 +13,7 @@
 #include "core/provenance.h"
 #include "datalog/database.h"
 #include "datalog/parser.h"
+#include "util/resource_guard.h"
 #include "util/status.h"
 
 namespace mad {
@@ -56,7 +57,27 @@ struct EvalOptions {
   /// Record rule-level provenance (which rule set each row's value); see
   /// Provenance::Explain.
   bool track_provenance = false;
+  /// Resource budgets (deadline, round/tuple/byte caps, cancellation). The
+  /// default imposes nothing. When a limit trips mid-evaluation the engine
+  /// stops at the next check boundary; whether that yields a certified
+  /// partial result or an error depends on the component — see Completeness.
+  ResourceLimits limits = {};
 };
+
+/// How much of the least model an EvalResult is guaranteed to contain.
+enum class Completeness {
+  /// The full least model: no resource limit tripped (or limits were unset).
+  kLeastModel,
+  /// A resource limit stopped the fixpoint early, but every interrupted
+  /// component was *prefix-sound* (monotone T_P, strictly monotonic CDB
+  /// aggregates — ComponentVerdict::prefix_sound), so the returned database
+  /// is certified ⊑-below the least model: every present key is real and no
+  /// cost overshoots its true value. Components ordered before the
+  /// interrupted one are complete; later ones may be missing entirely.
+  kUnderApproximation,
+};
+
+const char* CompletenessName(Completeness c);
 
 /// Counters for one evaluation (or one component).
 struct EvalStats {
@@ -70,6 +91,9 @@ struct EvalStats {
   /// each one is a place where greedy evaluation lost the least model.
   int64_t greedy_violations = 0;
   bool reached_fixpoint = true;
+  /// The resource limit that stopped this (component's) evaluation, or
+  /// kNone. For the aggregate stats of a run, the limit that ended the run.
+  LimitKind limit_tripped = LimitKind::kNone;
   double wall_seconds = 0;
 
   void Accumulate(const EvalStats& other);
@@ -86,6 +110,13 @@ struct EvalResult {
   analysis::ProgramCheckResult check;
   /// Populated when EvalOptions::track_provenance is set.
   Provenance provenance;
+  /// kLeastModel unless a resource limit certified-degraded the run.
+  Completeness completeness = Completeness::kLeastModel;
+  /// Which limit ended the run (kNone when completeness == kLeastModel).
+  LimitKind limit_tripped = LimitKind::kNone;
+  /// Index of the component whose fixpoint was interrupted, or -1. Components
+  /// with a smaller bottom-up index hold their full least model.
+  int tripped_component = -1;
 };
 
 /// Evaluates a program under the paper's minimal-model semantics: components
@@ -101,6 +132,13 @@ class Engine {
   /// Runs to fixpoint. `edb` supplies the extensional relations (the
   /// program's inline facts are added automatically). On success the result
   /// owns the full database.
+  ///
+  /// With EvalOptions::limits set, a tripped limit ends the run early. If
+  /// every component evaluated so far is prefix-sound (and the strategy is
+  /// not greedy, whose settled-key semantics void the prefix argument), the
+  /// partial database is returned as OK with
+  /// Completeness::kUnderApproximation; otherwise the partial state cannot
+  /// be certified and the run fails with Status::ResourceExhausted.
   StatusOr<EvalResult> Run(Database edb) const;
 
   /// Convenience: run with only the program's inline facts as EDB.
@@ -117,27 +155,39 @@ class Engine {
   /// program unsound for inserts (negation, pseudo-monotonic aggregates,
   /// antitonically-used aggregate values), or at merge time when an update
   /// would raise an existing key of an increase-unsafe predicate.
+  ///
+  /// Honors EvalOptions::limits. Update safety already implies every rule is
+  /// monotone in all inputs, so a tripped limit always degrades gracefully:
+  /// `result` is marked Completeness::kUnderApproximation (⊑-below the
+  /// post-insert least model) and the stats are returned as OK.
   StatusOr<EvalStats> Update(EvalResult* result,
                              const std::vector<datalog::Fact>& facts) const;
 
  private:
   Status RunComponent(const analysis::Component& component, Database* db,
-                      EvalStats* stats, Provenance* prov) const;
+                      EvalStats* stats, Provenance* prov,
+                      ResourceGuard* guard) const;
   Status RunNaive(const std::vector<CompiledRule>& rules, Database* db,
-                  EvalStats* stats, Provenance* prov) const;
+                  EvalStats* stats, Provenance* prov,
+                  ResourceGuard* guard) const;
   Status RunSemiNaive(const std::vector<CompiledRule>& rules, Database* db,
-                      EvalStats* stats, Provenance* prov) const;
+                      EvalStats* stats, Provenance* prov,
+                      ResourceGuard* guard) const;
   Status RunGreedy(const analysis::Component& component,
                    const std::vector<CompiledRule>& rules, Database* db,
-                   EvalStats* stats, Provenance* prov) const;
+                   EvalStats* stats, Provenance* prov,
+                   ResourceGuard* guard) const;
 
   /// Merges buffered derivations; returns changed row ids per predicate.
   /// `delta` maps predicate id -> row ids changed by this merge batch.
   /// `prov` (nullable) records the producing rule per changed row.
+  /// The whole batch is merged *before* `guard` is charged — partial work is
+  /// kept (sound under monotonicity) and a trip surfaces as
+  /// Status::ResourceExhausted for the strategy loop to unwind.
   Status MergeDerivations(const std::vector<Derivation>& derivations,
                           Database* db, EvalStats* stats,
                           std::map<int, std::vector<uint32_t>>* delta,
-                          Provenance* prov) const;
+                          Provenance* prov, ResourceGuard* guard) const;
 
   const Program* program_;
   EvalOptions options_;

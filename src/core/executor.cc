@@ -19,6 +19,7 @@ using lattice::CostDomain;
 
 void RuleExecutor::RunBase(const CompiledRule& rule,
                            std::vector<Derivation>* out) {
+  if (stopped_) return;
   current_rule_ = &rule;
   Binding binding;
   binding.Reset(rule.num_slots);
@@ -29,6 +30,7 @@ void RuleExecutor::RunDriver(const CompiledRule& rule,
                              const DriverVariant& driver,
                              const Tuple& delta_key, const Value& delta_cost,
                              std::vector<Derivation>* out) {
+  if (stopped_) return;
   current_rule_ = &rule;
   Binding binding;
   binding.Reset(rule.num_slots);
@@ -78,12 +80,20 @@ void RuleExecutor::RunSchedule(const CompiledRule& rule,
                                const Schedule& schedule, size_t idx,
                                Binding* binding,
                                std::vector<Derivation>* out) {
+  if (stopped_) return;
   if (idx == schedule.size()) {
     EmitHead(rule, *binding, out);
     return;
   }
   const CompiledSubgoal& step = schedule[idx];
   ++subgoal_evals_;
+  // Amortized deadline/cancellation poll: a single rule evaluation can be a
+  // huge join, so round boundaries alone would make deadlines unresponsive.
+  if (guard_ != nullptr && (subgoal_evals_ & 4095) == 0 &&
+      guard_->Poll() != LimitKind::kNone) {
+    stopped_ = true;
+    return;
+  }
   switch (step.kind) {
     case CompiledSubgoal::Kind::kAtom:
       EnumAtom(step.atom, binding,
@@ -280,6 +290,7 @@ void RuleExecutor::EnumAtom(const CompiledAtom& atom, Binding* binding,
 void RuleExecutor::EnumAtomList(const std::vector<CompiledAtom>& atoms,
                                 size_t idx, Binding* binding,
                                 const std::function<void()>& cont) {
+  if (stopped_) return;
   if (idx == atoms.size()) {
     cont();
     return;

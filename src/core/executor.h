@@ -7,6 +7,7 @@
 
 #include "core/compiled_rule.h"
 #include "datalog/database.h"
+#include "util/resource_guard.h"
 
 namespace mad {
 namespace core {
@@ -71,6 +72,18 @@ class RuleExecutor {
   /// Number of subgoal evaluations performed (for EvalStats).
   int64_t subgoal_evals() const { return subgoal_evals_; }
 
+  /// Attaches an *active* resource guard: the executor polls it once per
+  /// ~4096 subgoal evaluations and, on a trip, abandons the remaining
+  /// enumeration mid-rule. Derivations already buffered stay valid — under a
+  /// monotone T_P any subset of one application's derivations is still
+  /// ⊑-below the least model, so the caller merges the partial buffer and
+  /// then observes the trip through its own guard checks.
+  void set_guard(ResourceGuard* guard) { guard_ = guard; }
+
+  /// True once an attached guard tripped during evaluation; subsequent
+  /// RunBase/RunDriver calls return immediately.
+  bool stopped() const { return stopped_; }
+
  private:
   void RunSchedule(const CompiledRule& rule, const Schedule& schedule,
                    size_t idx, Binding* binding,
@@ -112,6 +125,8 @@ class RuleExecutor {
   const Database* db_;
   const CompiledRule* current_rule_ = nullptr;
   int64_t subgoal_evals_ = 0;
+  ResourceGuard* guard_ = nullptr;
+  bool stopped_ = false;
 };
 
 }  // namespace core

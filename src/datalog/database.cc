@@ -13,6 +13,31 @@ namespace datalog {
 // Relation
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Approximate heap footprint of one Value (16-byte tagged union plus any
+/// shared set payload; the payload is attributed to every holder, which
+/// over-counts shared sets — acceptable for budget enforcement).
+int64_t ApproxValueBytes(const Value& v) {
+  int64_t n = static_cast<int64_t>(sizeof(Value));
+  if (v.is_set()) {
+    n += static_cast<int64_t>(v.set_value().size() * sizeof(Value));
+  }
+  return n;
+}
+
+int64_t ApproxTupleBytes(const Tuple& t) {
+  int64_t n = static_cast<int64_t>(sizeof(Tuple));
+  for (const Value& v : t) n += ApproxValueBytes(v);
+  return n;
+}
+
+/// Per-row bookkeeping outside the tuples themselves: the primary-map entry
+/// (key copy is counted separately) plus hash-table node overhead.
+constexpr int64_t kRowOverheadBytes = 64;
+
+}  // namespace
+
 Relation::MergeResult Relation::Merge(const Tuple& key, const Value& cost,
                                       uint32_t* row_out) {
   auto it = rows_.find(key);
@@ -22,6 +47,9 @@ Relation::MergeResult Relation::Merge(const Tuple& key, const Value& cost,
     costs_.push_back(pred_->has_cost ? cost : Value());
     rows_.emplace(key, row);
     if (row_out != nullptr) *row_out = row;
+    // Two key copies live here (dense vector + primary map) plus the cost.
+    approx_bytes_ += 2 * ApproxTupleBytes(key) + ApproxValueBytes(costs_.back()) +
+                     kRowOverheadBytes;
     // Newly appended rows are picked up lazily by GetIndex; nothing to do.
     return MergeResult::kNew;
   }
@@ -30,6 +58,7 @@ Relation::MergeResult Relation::Merge(const Tuple& key, const Value& cost,
   Value& current = costs_[it->second];
   Value joined = pred_->domain->Join(current, cost);
   if (pred_->domain->Equal(joined, current)) return MergeResult::kUnchanged;
+  approx_bytes_ += ApproxValueBytes(joined) - ApproxValueBytes(current);
   current = std::move(joined);
   return MergeResult::kIncreased;
 }
@@ -51,6 +80,7 @@ Relation::Index& Relation::GetIndex(const std::vector<int>& bound_pos) const {
     Tuple proj;
     proj.reserve(bound_pos.size());
     for (int p : bound_pos) proj.push_back(keys_[row][p]);
+    approx_bytes_ += ApproxTupleBytes(proj) + sizeof(uint32_t);
     index.buckets[std::move(proj)].push_back(static_cast<uint32_t>(row));
   }
   index.built_rows = keys_.size();
@@ -137,6 +167,12 @@ Database Database::Clone() const {
 size_t Database::TotalRows() const {
   size_t n = 0;
   for (const auto& [_, rel] : relations_) n += rel->size();
+  return n;
+}
+
+int64_t Database::ApproxBytes() const {
+  int64_t n = 0;
+  for (const auto& [_, rel] : relations_) n += rel->ApproxBytes();
   return n;
 }
 

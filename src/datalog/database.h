@@ -68,6 +68,13 @@ class Relation {
   size_t size() const { return keys_.size(); }
   bool empty() const { return keys_.empty(); }
 
+  /// Approximate bytes held by this relation: rows (keys, costs, primary
+  /// map) plus lazily built secondary indexes. Maintained incrementally so
+  /// the resource governor can poll it at merge granularity; set payloads
+  /// count their element vectors, interned symbols count as their 16-byte
+  /// handles (the symbol table is process-global and shared).
+  int64_t ApproxBytes() const { return approx_bytes_; }
+
   /// Stable row access (row ids are dense, 0-based, insertion-ordered).
   const Tuple& key_at(size_t row) const { return keys_[row]; }
   const Value& cost_at(size_t row) const { return costs_[row]; }
@@ -103,6 +110,7 @@ class Relation {
   std::vector<Value> costs_;
   std::unordered_map<Tuple, uint32_t, TupleHash> rows_;
   mutable std::map<std::vector<int>, Index> indexes_;
+  mutable int64_t approx_bytes_ = 0;
 };
 
 /// A set of relations — the extension of an LDB, a CDB, or both. This is the
@@ -127,6 +135,11 @@ class Database {
 
   /// Total number of stored rows across all relations.
   size_t TotalRows() const;
+
+  /// Approximate bytes across all relations (sum of Relation::ApproxBytes;
+  /// each relation maintains its figure incrementally, so this is cheap
+  /// enough to poll at merge granularity).
+  int64_t ApproxBytes() const;
 
   /// Deep copy of every relation.
   Database Clone() const;

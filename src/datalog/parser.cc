@@ -1,6 +1,5 @@
 #include "datalog/parser.h"
 
-#include <cassert>
 #include <cctype>
 #include <cmath>
 #include <string>
@@ -54,6 +53,7 @@ struct Token {
   double number = 0;  // kNumber payload
   bool is_integer = false;
   int line = 0;
+  int col = 0;  // 1-based column of the token's first character
 };
 
 class Lexer {
@@ -71,17 +71,22 @@ class Lexer {
     Token end;
     end.kind = Tok::kEnd;
     end.line = line_;
+    end.col = Col();
     out.push_back(end);
     return out;
   }
 
  private:
+  /// 1-based column of the character at pos_.
+  int Col() const { return static_cast<int>(pos_ - line_start_) + 1; }
+
   void SkipSpaceAndComments() {
     while (pos_ < src_.size()) {
       char c = src_[pos_];
       if (c == '\n') {
         ++line_;
         ++pos_;
+        line_start_ = pos_;
       } else if (std::isspace(static_cast<unsigned char>(c))) {
         ++pos_;
       } else if (c == '%' ||
@@ -96,6 +101,7 @@ class Lexer {
   StatusOr<Token> Next() {
     Token t;
     t.line = line_;
+    t.col = Col();
     char c = src_[pos_];
 
     if (c == '.') {
@@ -133,11 +139,15 @@ class Lexer {
       ++pos_;
       std::string s;
       while (pos_ < src_.size() && src_[pos_] != '"') {
+        if (src_[pos_] == '\n') {
+          ++line_;
+          line_start_ = pos_ + 1;
+        }
         s += src_[pos_++];
       }
       if (pos_ >= src_.size()) {
-        return Status::ParseError(
-            StrPrintf("line %d: unterminated string literal", line_));
+        return Status::ParseError(StrPrintf(
+            "line %d col %d: unterminated string literal", t.line, t.col));
       }
       ++pos_;  // closing quote
       t.kind = Tok::kString;
@@ -226,8 +236,8 @@ class Lexer {
         t.kind = Tok::kSlash;
         return t;
       default:
-        return Status::ParseError(
-            StrPrintf("line %d: unexpected character '%c'", line_, c));
+        return Status::ParseError(StrPrintf(
+            "line %d col %d: unexpected character '%c'", t.line, t.col, c));
     }
   }
 
@@ -261,6 +271,7 @@ class Lexer {
   StatusOr<Token> LexNumber() {
     Token t;
     t.line = line_;
+    t.col = Col();
     t.kind = Tok::kNumber;
     size_t start = pos_;
     if (src_[pos_] == '-') ++pos_;
@@ -287,6 +298,7 @@ class Lexer {
 
   std::string_view src_;
   size_t pos_ = 0;
+  size_t line_start_ = 0;
   int line_ = 1;
 };
 
@@ -336,8 +348,8 @@ class Parser {
     return Status::OK();
   }
   Status Error(const std::string& msg) const {
-    return Status::ParseError(
-        StrPrintf("line %d: %s", Peek().line, msg.c_str()));
+    return Status::ParseError(StrPrintf("line %d col %d: %s", Peek().line,
+                                        Peek().col, msg.c_str()));
   }
 
   Status ParseItem() {
@@ -501,7 +513,7 @@ class Parser {
       return Error("'=r' is only valid in aggregate subgoals");
     }
     BuiltinSubgoal b;
-    b.op = ToCmpOp(op_tok);
+    MAD_ASSIGN_OR_RETURN(b.op, ToCmpOp(op_tok));
     b.lhs = std::move(lhs);
     MAD_ASSIGN_OR_RETURN(b.rhs, ParseExpr());
     return Subgoal::Builtin(std::move(b));
@@ -678,7 +690,11 @@ class Parser {
     }
   }
 
-  static CmpOp ToCmpOp(Tok k) {
+  /// Maps a comparison token to its CmpOp. A non-comparison token (including
+  /// '=r', which only callers that already handled aggregates may pass) is a
+  /// parse error, never an abort: this runs on untrusted program text, and
+  /// under NDEBUG a silent fallback would misparse the subgoal as '='.
+  StatusOr<CmpOp> ToCmpOp(Tok k) const {
     switch (k) {
       case Tok::kEq:
         return CmpOp::kEq;
@@ -693,8 +709,7 @@ class Parser {
       case Tok::kGe:
         return CmpOp::kGe;
       default:
-        assert(false);
-        return CmpOp::kEq;
+        return Error("expected comparison operator in subgoal");
     }
   }
 

@@ -1,0 +1,33 @@
+#include "util/resource_guard.h"
+
+#include "util/string_util.h"
+
+namespace mad {
+
+const char* LimitKindName(LimitKind k) {
+  switch (k) {
+    case LimitKind::kNone:
+      return "none";
+    case LimitKind::kDeadline:
+      return "deadline";
+    case LimitKind::kTupleBudget:
+      return "tuple-budget";
+    case LimitKind::kMemoryBudget:
+      return "memory-budget";
+    case LimitKind::kRoundCap:
+      return "round-cap";
+    case LimitKind::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+std::string ResourceGuard::Describe() const {
+  if (tripped_ == LimitKind::kNone) return "no limit tripped";
+  return StrPrintf(
+      "%s limit tripped after %.4fs, %lld derived tuples, %lld rounds",
+      LimitKindName(tripped_), elapsed_seconds(),
+      static_cast<long long>(tuples_), static_cast<long long>(total_rounds_));
+}
+
+}  // namespace mad

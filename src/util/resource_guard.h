@@ -1,0 +1,203 @@
+#ifndef MAD_UTIL_RESOURCE_GUARD_H_
+#define MAD_UTIL_RESOURCE_GUARD_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace mad {
+
+/// Cooperative cancellation flag. A caller holds the token (typically via the
+/// shared_ptr in ResourceLimits) and may trip it from any thread; the
+/// evaluator polls it at bounded granularity and winds down at the next
+/// merge/round boundary. Cancellation is level-triggered and sticky until
+/// Reset().
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Which resource limit stopped an evaluation early.
+enum class LimitKind {
+  kNone = 0,
+  kDeadline,      ///< wall-clock deadline passed
+  kTupleBudget,   ///< derived-tuple budget exhausted
+  kMemoryBudget,  ///< approximate database size exceeded the byte budget
+  kRoundCap,      ///< per-component or total fixpoint-round cap hit
+  kCancelled,     ///< CancellationToken tripped by the caller
+};
+
+/// Stable human-readable name, e.g. "deadline".
+const char* LimitKindName(LimitKind k);
+
+/// Resource budgets for one evaluation (Engine::Run or Engine::Update).
+/// Zero / unset fields mean "unlimited"; a default-constructed
+/// ResourceLimits imposes nothing and costs nothing on the hot path.
+///
+/// For a monotone program any interrupted prefix of the fixpoint iteration
+/// is ⊑-below the least model (T_P monotone on a complete lattice — the
+/// paper's Proposition 3.3), so running out of a budget degrades the run to
+/// a *certified under-approximation* instead of an error; see
+/// core::Completeness.
+struct ResourceLimits {
+  /// Wall-clock budget, measured on the monotonic clock from the moment the
+  /// evaluation starts.
+  std::optional<std::chrono::steady_clock::duration> deadline;
+  /// Cap on fixpoint rounds within any single component (0 = unlimited).
+  /// Unlike EvalOptions::max_iterations this produces a Completeness
+  /// verdict, not just a reached_fixpoint flag.
+  int64_t max_rounds_per_component = 0;
+  /// Cap on fixpoint rounds summed over all components (0 = unlimited).
+  int64_t max_total_rounds = 0;
+  /// Cap on head tuples derived (pre-merge, summed over rules and rounds).
+  int64_t max_derived_tuples = 0;
+  /// Approximate cap on bytes held by the result database (0 = unlimited).
+  int64_t max_memory_bytes = 0;
+  /// Cooperative cancellation; may be tripped from another thread.
+  std::shared_ptr<CancellationToken> cancellation;
+  /// Deadline/cancellation are polled once per this many charged tuples
+  /// (and at every round boundary), bounding both staleness and clock-read
+  /// overhead.
+  int64_t check_interval = 1024;
+
+  bool HasAnyLimit() const {
+    return deadline.has_value() || max_rounds_per_component > 0 ||
+           max_total_rounds > 0 || max_derived_tuples > 0 ||
+           max_memory_bytes > 0 || cancellation != nullptr;
+  }
+
+  /// Convenience: limits with only a wall-clock deadline.
+  static ResourceLimits Deadline(std::chrono::steady_clock::duration d) {
+    ResourceLimits l;
+    l.deadline = d;
+    return l;
+  }
+};
+
+/// Budget accounting for one evaluation. Constructed at evaluation start
+/// (fixing the monotonic-clock deadline), consulted by the evaluator at
+/// bounded granularity. All Charge*/Poll calls are cheap when no limits are
+/// set (one predictable branch) and sticky once a limit trips: every
+/// subsequent call reports the same LimitKind so control can unwind at the
+/// next boundary without re-deriving the verdict.
+///
+/// Not thread-safe except for the CancellationToken, which is the one
+/// intentional cross-thread channel.
+class ResourceGuard {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A guard with no limits; every check is a no-op.
+  ResourceGuard() = default;
+
+  explicit ResourceGuard(const ResourceLimits& limits)
+      : limits_(limits), active_(limits.HasAnyLimit()), start_(Clock::now()) {
+    if (limits_.deadline.has_value()) {
+      deadline_ = start_ + *limits_.deadline;
+    }
+    if (limits_.check_interval <= 0) limits_.check_interval = 1;
+  }
+
+  bool active() const { return active_; }
+  bool memory_limited() const { return active_ && limits_.max_memory_bytes > 0; }
+
+  /// Accounts `n` derived tuples. Polls deadline/cancellation once per
+  /// `check_interval` charged tuples.
+  LimitKind ChargeTuples(int64_t n) {
+    if (!active_) return LimitKind::kNone;
+    if (tripped_ != LimitKind::kNone) return tripped_;
+    tuples_ += n;
+    if (limits_.max_derived_tuples > 0 &&
+        tuples_ > limits_.max_derived_tuples) {
+      return Trip(LimitKind::kTupleBudget);
+    }
+    since_poll_ += n;
+    if (since_poll_ < limits_.check_interval) return LimitKind::kNone;
+    since_poll_ = 0;
+    return Poll();
+  }
+
+  /// Accounts one fixpoint round of a component currently at
+  /// `component_rounds` rounds. Rounds are coarse, so this always polls.
+  LimitKind ChargeRound(int64_t component_rounds) {
+    if (!active_) return LimitKind::kNone;
+    if (tripped_ != LimitKind::kNone) return tripped_;
+    ++total_rounds_;
+    if (limits_.max_rounds_per_component > 0 &&
+        component_rounds > limits_.max_rounds_per_component) {
+      return Trip(LimitKind::kRoundCap);
+    }
+    if (limits_.max_total_rounds > 0 &&
+        total_rounds_ > limits_.max_total_rounds) {
+      return Trip(LimitKind::kRoundCap);
+    }
+    return Poll();
+  }
+
+  /// Reports the caller-measured approximate database size. Call only at
+  /// merge granularity and only when memory_limited().
+  LimitKind ChargeMemory(int64_t approx_bytes) {
+    if (!active_) return LimitKind::kNone;
+    if (tripped_ != LimitKind::kNone) return tripped_;
+    peak_bytes_ = approx_bytes > peak_bytes_ ? approx_bytes : peak_bytes_;
+    if (limits_.max_memory_bytes > 0 &&
+        approx_bytes > limits_.max_memory_bytes) {
+      return Trip(LimitKind::kMemoryBudget);
+    }
+    return LimitKind::kNone;
+  }
+
+  /// Unconditional deadline + cancellation check.
+  LimitKind Poll() {
+    if (!active_) return LimitKind::kNone;
+    if (tripped_ != LimitKind::kNone) return tripped_;
+    if (limits_.cancellation != nullptr && limits_.cancellation->cancelled()) {
+      return Trip(LimitKind::kCancelled);
+    }
+    if (deadline_.has_value() && Clock::now() >= *deadline_) {
+      return Trip(LimitKind::kDeadline);
+    }
+    return LimitKind::kNone;
+  }
+
+  /// The limit that stopped this evaluation, or kNone. Sticky.
+  LimitKind tripped() const { return tripped_; }
+
+  int64_t tuples_charged() const { return tuples_; }
+  int64_t rounds_charged() const { return total_rounds_; }
+  int64_t peak_bytes() const { return peak_bytes_; }
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// One-line diagnosis of the tripped limit (for Status messages).
+  std::string Describe() const;
+
+ private:
+  LimitKind Trip(LimitKind k) {
+    tripped_ = k;
+    return k;
+  }
+
+  ResourceLimits limits_;
+  bool active_ = false;
+  Clock::time_point start_{};
+  std::optional<Clock::time_point> deadline_;
+  LimitKind tripped_ = LimitKind::kNone;
+  int64_t tuples_ = 0;
+  int64_t total_rounds_ = 0;
+  int64_t since_poll_ = 0;
+  int64_t peak_bytes_ = 0;
+};
+
+}  // namespace mad
+
+#endif  // MAD_UTIL_RESOURCE_GUARD_H_

@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "FixpointNotReached";
     case StatusCode::kNotFound:
       return "NotFound";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
   }

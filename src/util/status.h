@@ -27,6 +27,12 @@ enum class StatusCode {
   kFixpointNotReached,
   /// Looked-up entity does not exist.
   kNotFound,
+  /// A resource limit (deadline, budget, cancellation — see
+  /// ResourceLimits) stopped the evaluation before completion *and* the
+  /// interrupted state could not be certified as a sound
+  /// under-approximation. Certified partial runs return OK with
+  /// Completeness::kUnderApproximation instead.
+  kResourceExhausted,
   /// Internal invariant violated; indicates a bug in the library.
   kInternal,
 };
@@ -61,6 +67,9 @@ class Status {
   }
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
@@ -121,11 +130,13 @@ class StatusOr {
 
 }  // namespace mad
 
-/// Propagates a non-OK Status from the current function.
-#define MAD_RETURN_IF_ERROR(expr)             \
-  do {                                        \
-    ::mad::Status _mad_status = (expr);       \
-    if (!_mad_status.ok()) return _mad_status; \
+/// Propagates a non-OK Status from the current function. Expands to a single
+/// statement (do/while(0)), so it is safe directly under an unbraced if/else
+/// and never steals a caller's dangling `else`.
+#define MAD_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::mad::Status _mad_status_tmp = (expr);       \
+    if (!_mad_status_tmp.ok()) return _mad_status_tmp; \
   } while (0)
 
 #define MAD_CONCAT_IMPL(a, b) a##b
@@ -133,10 +144,24 @@ class StatusOr {
 
 /// Evaluates a StatusOr expression; on error returns the Status, otherwise
 /// moves the value into `lhs` (which may include a declaration).
-#define MAD_ASSIGN_OR_RETURN(lhs, expr)                       \
-  auto MAD_CONCAT(_mad_statusor_, __LINE__) = (expr);         \
-  if (!MAD_CONCAT(_mad_statusor_, __LINE__).ok())             \
-    return MAD_CONCAT(_mad_statusor_, __LINE__).status();     \
-  lhs = std::move(MAD_CONCAT(_mad_statusor_, __LINE__)).value()
+///
+/// Because `lhs` may declare a variable that must outlive the macro, the
+/// expansion is necessarily multiple statements and therefore REQUIRES a
+/// braced scope. The expansion is hardened so that misuse as the direct
+/// substatement of an unbraced `if`/`else`/loop fails to compile (the
+/// temporary's uses land outside the implicit block that holds its
+/// declaration) instead of silently executing the tail unconditionally, and
+/// the internal error check is wrapped in do/while(0) so it can never
+/// capture a caller's `else`. Distinct temporaries come from __COUNTER__,
+/// so two invocations may share a source line (e.g. inside another macro).
+#define MAD_ASSIGN_OR_RETURN(lhs, expr) \
+  MAD_ASSIGN_OR_RETURN_IMPL(MAD_CONCAT(_mad_statusor_, __COUNTER__), lhs, expr)
+
+#define MAD_ASSIGN_OR_RETURN_IMPL(statusor, lhs, expr) \
+  auto statusor = (expr);                              \
+  do {                                                 \
+    if (!statusor.ok()) return statusor.status();      \
+  } while (0);                                         \
+  lhs = std::move(statusor).value()
 
 #endif  // MAD_UTIL_STATUS_H_

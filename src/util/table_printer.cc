@@ -1,13 +1,24 @@
 #include "util/table_printer.h"
 
 #include <algorithm>
-#include <cassert>
 #include <sstream>
 
 namespace mad {
 
 void TablePrinter::AddRow(std::vector<std::string> row) {
-  assert(row.size() == headers_.size());
+  // Diagnostics code often builds rows while reporting some other failure;
+  // a malformed row must render degraded, never abort. Short rows are padded
+  // with empty cells; long rows fold the overflow into the last column so
+  // no data is silently dropped.
+  if (row.size() > headers_.size() && !headers_.empty()) {
+    std::string overflow;
+    for (size_t c = headers_.size(); c < row.size(); ++c) {
+      overflow += " | " + row[c];
+    }
+    row.resize(headers_.size());
+    row.back() += overflow;
+  }
+  row.resize(headers_.size());
   rows_.push_back(std::move(row));
 }
 

@@ -15,8 +15,10 @@ class TablePrinter {
   explicit TablePrinter(std::vector<std::string> headers)
       : headers_(std::move(headers)) {}
 
-  /// Adds one row; the row must have exactly as many cells as there are
-  /// headers.
+  /// Adds one row. Rows shorter than the header are padded with empty
+  /// cells; longer rows fold the extra cells into the last column. The
+  /// printer is used on error-reporting paths, so it degrades instead of
+  /// asserting.
   void AddRow(std::vector<std::string> row);
 
   /// Writes the whole table, with a header rule, to `os`.

@@ -317,6 +317,50 @@ q(X, C) :- C =r sum D : e(X, D).
                    "non-negative ascending");
 }
 
+TEST(ParserErrorTest, ErrorsCarryLineAndColumn) {
+  // The unterminated string opens at line 2, column 3.
+  auto p = ParseProgram(".decl e(x)\ne(\"oops).");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("line 2 col 3"), std::string::npos)
+      << p.status();
+}
+
+TEST(ParserErrorTest, UnexpectedCharacterCarriesPosition) {
+  auto p = ParseProgram(".decl e(x)\n\ne(a) @ e(b).");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("line 3"), std::string::npos)
+      << p.status();
+  EXPECT_NE(p.status().message().find("col"), std::string::npos) << p.status();
+  EXPECT_NE(p.status().message().find("unexpected character"),
+            std::string::npos)
+      << p.status();
+}
+
+TEST(ParserErrorTest, GrammarErrorsCarryPosition) {
+  // Missing '.' after the first fact: the parser trips on the second 'e'.
+  auto p = ParseProgram(".decl e(x)\ne(a)\ne(b).");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("line 3 col 1"), std::string::npos)
+      << p.status();
+}
+
+TEST(ParserErrorTest, EqRMisuseIsAnErrorNotAnAbort) {
+  // Regression: '=r' outside an aggregate used to flow into comparison-token
+  // mapping guarded only by assert(false); it must surface as ParseError with
+  // a position under both debug and NDEBUG builds.
+  auto p = ParseProgram(R"(
+.decl e(x, c: min_real)
+.decl q(x, c: min_real)
+q(X, C) :- e(X, C1), C =r C1 + 1.
+)");
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kParseError);
+  EXPECT_NE(p.status().message().find("line 4"), std::string::npos)
+      << p.status();
+  EXPECT_NE(p.status().message().find("'=r' is only valid"), std::string::npos)
+      << p.status();
+}
+
 TEST(ParserErrorTest, CostOutsideDomainInFact) {
   ExpectParseError(R"(
 .decl p(x, c: sum_real)

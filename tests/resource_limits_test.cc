@@ -1,0 +1,422 @@
+// Resource-governed evaluation: deadlines, budgets, cancellation, and the
+// certified-partial-model contract. The key property under test is the one
+// Proposition 3.3 buys us: for a prefix-sound component, stopping a monotone
+// fixpoint iteration early yields a database ⊑-below the least model — every
+// present key is real and no cost overshoots its true value — so a tripped
+// limit degrades to Completeness::kUnderApproximation instead of an error.
+// Greedy evaluation and pseudo-monotonic components void that argument and
+// must fail hard with StatusCode::kResourceExhausted.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "core/engine.h"
+#include "util/resource_guard.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+#include "workloads/to_datalog.h"
+
+namespace mad {
+namespace core {
+namespace {
+
+using baselines::Graph;
+using datalog::Database;
+using datalog::Fact;
+using datalog::PredicateInfo;
+using datalog::Program;
+using datalog::Relation;
+using datalog::Tuple;
+using datalog::Value;
+
+Program MustParse(std::string_view text) {
+  auto p = datalog::ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status();
+  return std::move(p).value();
+}
+
+Database GraphEdb(const Program& program, const Graph& g) {
+  Database edb;
+  EXPECT_TRUE(workloads::AddGraphFacts(program, g, &edb).ok());
+  return edb;
+}
+
+/// Asserts `partial` ⊑ `full` for `pred_name`: every stored key of the
+/// partial relation exists in the full one, and (for cost predicates) the
+/// partial cost is ⊑-below the full cost — x ⊑ y iff Join(x, y) == y, which
+/// for min-lattices means the partial figure may only *overestimate*.
+void ExpectBelowLeastModel(const Program& program, const Database& partial,
+                           const Database& full, const char* pred_name) {
+  const PredicateInfo* pred = program.FindPredicate(pred_name);
+  ASSERT_NE(pred, nullptr);
+  const Relation* prel = partial.Find(pred);
+  if (prel == nullptr) return;  // vacuously below
+  const Relation* frel = full.Find(pred);
+  ASSERT_NE(frel, nullptr) << pred_name << " present only in the partial db";
+  prel->ForEach([&](const Tuple& key, const Value& cost) {
+    const Value* full_cost = frel->Find(key);
+    ASSERT_NE(full_cost, nullptr)
+        << pred_name << " has a key absent from the least model";
+    if (pred->has_cost) {
+      EXPECT_EQ(pred->domain->Join(cost, *full_cost), *full_cost)
+          << pred_name << " cost is not ⊑-below its least-model value";
+    }
+  });
+}
+
+EvalOptions WithLimits(ResourceLimits limits,
+                       Strategy strategy = Strategy::kSemiNaive) {
+  EvalOptions options;
+  options.strategy = strategy;
+  options.limits = std::move(limits);
+  return options;
+}
+
+TEST(ResourceLimitsTest, GenerousLimitsLeaveResultBitIdentical) {
+  Random rng(11);
+  Graph g = workloads::RandomGraph(30, 120, {1.0, 9.0}, &rng);
+  Program program = MustParse(workloads::kShortestPathProgram);
+
+  Engine unbounded(program);
+  auto reference = unbounded.Run(GraphEdb(program, g));
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  ResourceLimits generous;
+  generous.deadline = std::chrono::hours(1);
+  generous.max_rounds_per_component = 1'000'000'000;
+  generous.max_total_rounds = 1'000'000'000;
+  generous.max_derived_tuples = 1'000'000'000'000;
+  generous.max_memory_bytes = int64_t{1} << 40;
+  generous.cancellation = std::make_shared<CancellationToken>();
+  Engine governed(program, WithLimits(generous));
+  auto run = governed.Run(GraphEdb(program, g));
+  ASSERT_TRUE(run.ok()) << run.status();
+
+  EXPECT_EQ(run->completeness, Completeness::kLeastModel);
+  EXPECT_EQ(run->limit_tripped, LimitKind::kNone);
+  EXPECT_EQ(run->tripped_component, -1);
+  EXPECT_TRUE(run->stats.reached_fixpoint);
+  EXPECT_EQ(run->db.ToString(), reference->db.ToString());
+}
+
+TEST(ResourceLimitsTest, ZeroDeadlineDegradesToCertifiedPartial) {
+  Random rng(3);
+  Graph g = workloads::RandomGraph(20, 60, {1.0, 9.0}, &rng);
+  Program program = MustParse(workloads::kShortestPathProgram);
+
+  Engine engine(
+      program,
+      WithLimits(ResourceLimits::Deadline(std::chrono::seconds(0))));
+  auto run = engine.Run(GraphEdb(program, g));
+  ASSERT_TRUE(run.ok()) << run.status();
+
+  EXPECT_EQ(run->completeness, Completeness::kUnderApproximation);
+  EXPECT_EQ(run->limit_tripped, LimitKind::kDeadline);
+  EXPECT_GE(run->tripped_component, 0);
+  EXPECT_FALSE(run->stats.reached_fixpoint);
+  EXPECT_NE(run->stats.ToString().find("limit=deadline"), std::string::npos);
+  // The EDB survives untouched even when no fixpoint round completed.
+  const Relation* arcs = run->db.Find(program.FindPredicate("arc"));
+  ASSERT_NE(arcs, nullptr);
+  EXPECT_EQ(arcs->size(), static_cast<size_t>(g.num_edges));
+}
+
+TEST(ResourceLimitsTest, TupleBudgetYieldsUnderApproximationBelowLeastModel) {
+  Random rng(17);
+  Graph g = workloads::RandomGraph(40, 200, {1.0, 9.0}, &rng);
+  Program program = MustParse(workloads::kShortestPathProgram);
+
+  Engine unbounded(program);
+  auto full = unbounded.Run(GraphEdb(program, g));
+  ASSERT_TRUE(full.ok()) << full.status();
+
+  ResourceLimits limits;
+  limits.max_derived_tuples = 300;
+  Engine governed(program, WithLimits(limits));
+  auto partial = governed.Run(GraphEdb(program, g));
+  ASSERT_TRUE(partial.ok()) << partial.status();
+
+  EXPECT_EQ(partial->completeness, Completeness::kUnderApproximation);
+  EXPECT_EQ(partial->limit_tripped, LimitKind::kTupleBudget);
+  // Merge-before-charge: the batch that blew the budget is kept, so the
+  // partial model is non-trivial (round 0 alone derives one path per arc).
+  const Relation* paths = partial->db.Find(program.FindPredicate("path"));
+  ASSERT_NE(paths, nullptr);
+  EXPECT_GT(paths->size(), 0u);
+  // The certification: partial ⊑ least model, per derived predicate.
+  ExpectBelowLeastModel(program, partial->db, full->db, "path");
+  ExpectBelowLeastModel(program, partial->db, full->db, "s");
+}
+
+TEST(ResourceLimitsTest, RoundCapDegradesMidComponent) {
+  Random rng(5);
+  // A long cycle needs ~n rounds to converge, so a 2-round cap interrupts
+  // the recursive component deep inside its fixpoint.
+  Graph g = workloads::CycleGraph(30, 3, {1.0, 9.0}, &rng);
+  Program program = MustParse(workloads::kShortestPathProgram);
+
+  Engine unbounded(program);
+  auto full = unbounded.Run(GraphEdb(program, g));
+  ASSERT_TRUE(full.ok()) << full.status();
+
+  ResourceLimits limits;
+  limits.max_rounds_per_component = 2;
+  Engine governed(program, WithLimits(limits));
+  auto partial = governed.Run(GraphEdb(program, g));
+  ASSERT_TRUE(partial.ok()) << partial.status();
+
+  EXPECT_EQ(partial->completeness, Completeness::kUnderApproximation);
+  EXPECT_EQ(partial->limit_tripped, LimitKind::kRoundCap);
+  ExpectBelowLeastModel(program, partial->db, full->db, "path");
+  ExpectBelowLeastModel(program, partial->db, full->db, "s");
+  // The cap genuinely cut work: the partial s relation is a strict subset.
+  const Relation* ps = partial->db.Find(program.FindPredicate("s"));
+  const Relation* fs = full->db.Find(program.FindPredicate("s"));
+  ASSERT_NE(fs, nullptr);
+  EXPECT_LT(ps == nullptr ? 0u : ps->size(), fs->size());
+}
+
+TEST(ResourceLimitsTest, MemoryBudgetTripsAtMergeGranularity) {
+  Random rng(23);
+  Graph g = workloads::RandomGraph(25, 80, {1.0, 9.0}, &rng);
+  Program program = MustParse(workloads::kShortestPathProgram);
+
+  ResourceLimits limits;
+  limits.max_memory_bytes = 1;  // any merged row exceeds this
+  Engine governed(program, WithLimits(limits));
+  auto run = governed.Run(GraphEdb(program, g));
+  ASSERT_TRUE(run.ok()) << run.status();
+
+  EXPECT_EQ(run->completeness, Completeness::kUnderApproximation);
+  EXPECT_EQ(run->limit_tripped, LimitKind::kMemoryBudget);
+  // The EDB is owned by the caller-side accounting, never evicted.
+  const Relation* arcs = run->db.Find(program.FindPredicate("arc"));
+  ASSERT_NE(arcs, nullptr);
+  EXPECT_EQ(arcs->size(), static_cast<size_t>(g.num_edges));
+}
+
+TEST(ResourceLimitsTest, CancellationFromAnotherThreadStopsDivergentRun) {
+  // arc(b, b, -1) is a negative self-loop: s(b, b) descends forever, so
+  // without cancellation this run would only stop at max_iterations. The
+  // iteration is still monotone in the min-lattice (costs only move up in
+  // ⊑), so cancelling certifies the prefix rather than erroring.
+  std::string text = std::string(workloads::kShortestPathProgram) +
+                     "arc(a, b, 1).\narc(b, b, -1).\n";
+  Program program = MustParse(text);
+
+  ResourceLimits limits;
+  limits.cancellation = std::make_shared<CancellationToken>();
+  EvalOptions options = WithLimits(limits);
+  options.max_iterations = int64_t{1} << 60;  // never the stopping reason
+  Engine engine(program, options);
+
+  std::thread canceller([token = limits.cancellation] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    token->Cancel();
+  });
+  auto run = engine.Run(Database());
+  canceller.join();
+
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->completeness, Completeness::kUnderApproximation);
+  EXPECT_EQ(run->limit_tripped, LimitKind::kCancelled);
+  // The run made real progress before the token tripped...
+  EXPECT_GT(run->stats.iterations, 0);
+  // ...and the surviving costs are all ⊑-below their (transfinite) limits:
+  // s(a, b) descends toward -inf, so any finite value is a sound prefix.
+  auto s_ab = LookupCost(program, run->db, "s",
+                         {Value::Symbol("a"), Value::Symbol("b")});
+  ASSERT_TRUE(s_ab.has_value());
+  EXPECT_LE(s_ab->AsDouble(), 1.0);
+}
+
+TEST(ResourceLimitsTest, LegacyMaxIterationsStaysSoftAndUncertified) {
+  // The pre-existing max_iterations knob keeps its exact semantics: OK,
+  // reached_fixpoint=false, but no Completeness downgrade and no limit —
+  // it is a convergence bound (Example 5.1), not a resource verdict.
+  std::string text = std::string(workloads::kShortestPathProgram) +
+                     "arc(a, b, 1).\narc(b, b, -1).\n";
+  EvalOptions options;
+  options.max_iterations = 5;
+  auto run = ParseAndRun(text, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->result.completeness, Completeness::kLeastModel);
+  EXPECT_EQ(run->result.limit_tripped, LimitKind::kNone);
+  EXPECT_FALSE(run->result.stats.reached_fixpoint);
+}
+
+TEST(ResourceLimitsTest, GreedyTripIsAHardError) {
+  Random rng(29);
+  Graph g = workloads::RandomGraph(30, 120, {1.0, 9.0}, &rng);
+  Program program = MustParse(workloads::kShortestPathProgram);
+
+  ResourceLimits limits;
+  limits.max_derived_tuples = 1;
+  Engine governed(program, WithLimits(limits, Strategy::kGreedy));
+  auto run = governed.Run(GraphEdb(program, g));
+  ASSERT_FALSE(run.ok());
+  // Greedy settles keys speculatively; its intermediate states are not a
+  // prefix of a monotone iteration, so no certification is possible.
+  EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(run.status().message().find("tuple-budget"), std::string::npos)
+      << run.status();
+}
+
+TEST(ResourceLimitsTest, PseudoMonotonicComponentTripsHard) {
+  // Example 4.4's AND aggregate over the default-value CDB predicate `t` is
+  // pseudo-monotonic: sound at the fixpoint (fixed inner cardinality) but
+  // not at interrupted prefixes, so its component is monotonic yet NOT
+  // prefix-sound and a mid-component trip must not certify anything.
+  std::string text = std::string(workloads::kCircuitProgram) + R"(
+input(w1, true).
+gate(g1, and). connect(g1, w1).
+gate(g2, and). connect(g2, g1).
+gate(g3, and). connect(g3, g2).
+)";
+  Program program = MustParse(text);
+
+  // Sanity: unbounded evaluation reaches the chain's fixpoint.
+  Engine unbounded(program);
+  auto full = unbounded.Run(Database());
+  ASSERT_TRUE(full.ok()) << full.status();
+  auto t_g3 = LookupCost(program, full->db, "t", {Value::Symbol("g3")});
+  ASSERT_TRUE(t_g3.has_value());
+  EXPECT_EQ(t_g3->AsDouble(), 1.0);
+  // The checker records the gap between the two verdicts.
+  bool saw_unsound_prefix = false;
+  for (const auto& c : full->check.components) {
+    if (c.monotonic && !c.prefix_sound) saw_unsound_prefix = true;
+  }
+  EXPECT_TRUE(saw_unsound_prefix);
+
+  ResourceLimits limits;
+  limits.max_rounds_per_component = 1;  // the t-chain needs several rounds
+  Engine governed(program, WithLimits(limits));
+  auto run = governed.Run(Database());
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ResourceLimitsTest, DeadlineInterruptsASingleHugeRule) {
+  // One rule whose single bottom-up round enumerates tens of millions of
+  // bindings: only the executor's mid-rule poll can stop it anywhere near
+  // the deadline. The partial buffer it abandons is still merged — any
+  // subset of one T_P application's derivations is ⊑-sound.
+  Program program = MustParse(R"(
+.decl e(x, y)
+.decl q(x)
+q(X) :- e(X, Y), e(Y, Z), e(Z, W).
+)");
+  const PredicateInfo* e = program.FindPredicate("e");
+  ASSERT_NE(e, nullptr);
+  Database edb;
+  Random rng(41);
+  for (int i = 0; i < 20000; ++i) {
+    Fact f;
+    f.pred = e;
+    f.key = {Value::Symbol(Graph::NodeName(
+                 static_cast<int>(rng.Uniform(0, 399)))),
+             Value::Symbol(Graph::NodeName(
+                 static_cast<int>(rng.Uniform(0, 399))))};
+    ASSERT_TRUE(edb.AddFact(f).ok());
+  }
+
+  Engine engine(
+      program,
+      WithLimits(ResourceLimits::Deadline(std::chrono::milliseconds(25))));
+  auto run = engine.Run(std::move(edb));
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->completeness, Completeness::kUnderApproximation);
+  EXPECT_EQ(run->limit_tripped, LimitKind::kDeadline);
+  // ~50M three-hop bindings exist; stopping at the deadline means only a
+  // fraction were enumerated. Without the mid-rule poll the whole round
+  // would have run to completion and derived them all.
+  EXPECT_LT(run->stats.derivations, 20'000'000);
+  EXPECT_GT(run->stats.subgoal_evals, 0);
+}
+
+TEST(ResourceLimitsTest, UpdateHonorsLimitsAndDegradesGracefully) {
+  Random rng(2);
+  Graph g = workloads::RandomGraph(20, 50, {1.0, 9.0}, &rng);
+  Program program = MustParse(workloads::kShortestPathProgram);
+
+  Engine unbounded(program);
+  auto governed_result = unbounded.Run(GraphEdb(program, g));
+  ASSERT_TRUE(governed_result.ok());
+
+  // Post-insert reference model, computed from scratch without limits.
+  Graph g2 = g;
+  g2.AddEdge(0, 19, 0.5);
+  auto full = unbounded.Run(GraphEdb(program, g2));
+  ASSERT_TRUE(full.ok());
+
+  Fact shortcut;
+  shortcut.pred = program.FindPredicate("arc");
+  shortcut.key = {Value::Symbol(Graph::NodeName(0)),
+                  Value::Symbol(Graph::NodeName(19))};
+  shortcut.cost = Value::Real(0.5);
+
+  Engine governed(
+      program,
+      WithLimits(ResourceLimits::Deadline(std::chrono::seconds(0))));
+  auto ustats = governed.Update(&governed_result.value(), {shortcut});
+  ASSERT_TRUE(ustats.ok()) << ustats.status();
+
+  // Update safety implies full input-monotonicity, so the trip always
+  // degrades: the old model plus the partially propagated delta is ⊑-below
+  // the post-insert least model.
+  EXPECT_EQ(ustats->limit_tripped, LimitKind::kDeadline);
+  EXPECT_FALSE(ustats->reached_fixpoint);
+  EXPECT_EQ(governed_result->completeness,
+            Completeness::kUnderApproximation);
+  EXPECT_EQ(governed_result->limit_tripped, LimitKind::kDeadline);
+  ExpectBelowLeastModel(program, governed_result->db, full->db, "path");
+  ExpectBelowLeastModel(program, governed_result->db, full->db, "s");
+  // The inserted fact itself must be present (EDB inserts precede rounds).
+  auto arc = LookupCost(program, governed_result->db, "arc", shortcut.key);
+  ASSERT_TRUE(arc.has_value());
+  EXPECT_EQ(arc->AsDouble(), 0.5);
+}
+
+TEST(ResourceLimitsTest, UpdateWithGenerousLimitsStaysExact) {
+  Random rng(2);
+  Graph g = workloads::RandomGraph(20, 50, {1.0, 9.0}, &rng);
+  Program program = MustParse(workloads::kShortestPathProgram);
+
+  ResourceLimits generous;
+  generous.deadline = std::chrono::hours(1);
+  generous.max_derived_tuples = 1'000'000'000;
+  Engine governed(program, WithLimits(generous));
+  auto result = governed.Run(GraphEdb(program, g));
+  ASSERT_TRUE(result.ok());
+
+  Fact shortcut;
+  shortcut.pred = program.FindPredicate("arc");
+  shortcut.key = {Value::Symbol(Graph::NodeName(0)),
+                  Value::Symbol(Graph::NodeName(19))};
+  shortcut.cost = Value::Real(0.5);
+  auto ustats = governed.Update(&result.value(), {shortcut});
+  ASSERT_TRUE(ustats.ok()) << ustats.status();
+  EXPECT_EQ(result->completeness, Completeness::kLeastModel);
+  EXPECT_EQ(ustats->limit_tripped, LimitKind::kNone);
+
+  Graph g2 = g;
+  g2.AddEdge(0, 19, 0.5);
+  Engine unbounded(program);
+  auto full = unbounded.Run(GraphEdb(program, g2));
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(result->db.ToString(), full->db.ToString());
+}
+
+TEST(ResourceLimitsTest, CompletenessNamesAreStable) {
+  EXPECT_STREQ(CompletenessName(Completeness::kLeastModel), "least-model");
+  EXPECT_STREQ(CompletenessName(Completeness::kUnderApproximation),
+               "under-approximation");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace mad

@@ -1,0 +1,30 @@
+// Compile-FAIL fixture: MAD_ASSIGN_OR_RETURN as the direct substatement of an
+// unbraced `if` must be rejected at compile time. The macro necessarily
+// expands to multiple statements (it may declare `lhs`), so under an unbraced
+// `if` only the hidden StatusOr temporary's declaration becomes the branch
+// body and the subsequent uses refer to an out-of-scope name. A softer macro
+// would instead compile and execute the assignment unconditionally — the
+// silent-misuse bug this fixture guards against.
+//
+// Built by the `status_macros_compile_fail_builds` ctest entry, which is
+// marked WILL_FAIL: the test passes exactly when this file does NOT compile.
+#include "util/status.h"
+
+namespace mad {
+namespace {
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status Misuse(bool cond, int* out) {
+  if (cond)
+    MAD_ASSIGN_OR_RETURN(*out, Half(8));  // must not compile: unbraced if
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace mad
+
+int main() { return 0; }

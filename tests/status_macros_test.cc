@@ -1,0 +1,134 @@
+// Runtime behaviour of MAD_RETURN_IF_ERROR / MAD_ASSIGN_OR_RETURN in the
+// control-flow shapes that historically break naive status macros: unbraced
+// if/else (dangling-else capture), multiple expansions in one scope (and on
+// one source line, via a wrapper macro), and loops. The matching *misuse* —
+// MAD_ASSIGN_OR_RETURN as the direct substatement of an unbraced `if` — must
+// fail to compile; that is covered by status_macros_compile_fail.cc through
+// the `status_macros_compile_fail_builds` ctest entry (WILL_FAIL).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace mad {
+namespace {
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status Check(bool ok) {
+  if (!ok) return Status::Internal("check failed");
+  return Status::OK();
+}
+
+// MAD_RETURN_IF_ERROR directly under an unbraced `if` that owns an `else`:
+// a macro expanding to a bare `if` would steal the `else` and silently invert
+// the branch. The do/while(0) expansion keeps the pairing intact.
+Status DanglingElseSafe(bool take_branch, bool inner_ok, int* trace) {
+  if (take_branch)
+    MAD_RETURN_IF_ERROR(Check(inner_ok));
+  else
+    *trace = -1;
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorDoesNotCaptureElse) {
+  int trace = 0;
+  EXPECT_TRUE(DanglingElseSafe(true, true, &trace).ok());
+  EXPECT_EQ(trace, 0);  // else must NOT have run
+  EXPECT_EQ(DanglingElseSafe(true, false, &trace).code(),
+            StatusCode::kInternal);
+  EXPECT_TRUE(DanglingElseSafe(false, false, &trace).ok());
+  EXPECT_EQ(trace, -1);  // else runs only when the condition is false
+}
+
+Status TwoAssignsSameScope(int a, int b, int* out) {
+  MAD_ASSIGN_OR_RETURN(int ha, Half(a));
+  MAD_ASSIGN_OR_RETURN(int hb, Half(b));
+  *out = ha + hb;
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, TwoAssignOrReturnsInOneScope) {
+  int out = 0;
+  EXPECT_TRUE(TwoAssignsSameScope(8, 4, &out).ok());
+  EXPECT_EQ(out, 6);
+  EXPECT_EQ(TwoAssignsSameScope(3, 4, &out).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(TwoAssignsSameScope(8, 3, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Two expansions sharing one source line: __LINE__-based temporaries would
+// collide; __COUNTER__-based ones must not.
+#define HALVE_BOTH(x, y, outx, outy)      \
+  MAD_ASSIGN_OR_RETURN(*(outx), Half(x)); \
+  MAD_ASSIGN_OR_RETURN(*(outy), Half(y))
+
+Status HalveBoth(int x, int y, int* ox, int* oy) {
+  HALVE_BOTH(x, y, ox, oy);
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, TwoAssignOrReturnsOnOneLine) {
+  int ox = 0, oy = 0;
+  EXPECT_TRUE(HalveBoth(10, 6, &ox, &oy).ok());
+  EXPECT_EQ(ox, 5);
+  EXPECT_EQ(oy, 3);
+  EXPECT_FALSE(HalveBoth(10, 7, &ox, &oy).ok());
+}
+
+Status SumHalves(const std::vector<int>& xs, int* out) {
+  *out = 0;
+  for (int x : xs) {
+    MAD_ASSIGN_OR_RETURN(int h, Half(x));
+    *out += h;
+  }
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, AssignOrReturnInsideLoop) {
+  int out = 0;
+  EXPECT_TRUE(SumHalves({2, 4, 6}, &out).ok());
+  EXPECT_EQ(out, 6);
+  EXPECT_EQ(SumHalves({2, 5, 6}, &out).code(), StatusCode::kInvalidArgument);
+}
+
+Status BracedBranches(bool which, int* out) {
+  if (which) {
+    MAD_ASSIGN_OR_RETURN(int h, Half(8));
+    *out = h;
+  } else {
+    MAD_ASSIGN_OR_RETURN(int h, Half(20));
+    *out = h;
+  }
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, AssignOrReturnInBracedIfElse) {
+  int out = 0;
+  EXPECT_TRUE(BracedBranches(true, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_TRUE(BracedBranches(false, &out).ok());
+  EXPECT_EQ(out, 10);
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorEvaluatesExpressionOnce) {
+  int calls = 0;
+  auto counted = [&]() {
+    ++calls;
+    return Status::OK();
+  };
+  auto run = [&]() -> Status {
+    MAD_RETURN_IF_ERROR(counted());
+    return Status::OK();
+  };
+  EXPECT_TRUE(run().ok());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace mad

@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
 #include "util/hash.h"
 #include "util/random.h"
+#include "util/resource_guard.h"
 #include "util/status.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -28,9 +33,16 @@ TEST(StatusTest, EveryCodeHasAName) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kParseError,
         StatusCode::kAnalysisError, StatusCode::kCostConsistencyViolation,
         StatusCode::kFixpointNotReached, StatusCode::kNotFound,
-        StatusCode::kInternal}) {
+        StatusCode::kResourceExhausted, StatusCode::kInternal}) {
     EXPECT_STRNE(StatusCodeName(code), "Unknown");
   }
+}
+
+TEST(StatusTest, ResourceExhaustedRoundTrips) {
+  Status s = Status::ResourceExhausted("deadline exceeded");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.ToString(), "ResourceExhausted: deadline exceeded");
 }
 
 TEST(StatusOrTest, HoldsValue) {
@@ -126,6 +138,124 @@ TEST(TablePrinterTest, AlignsColumns) {
   std::string s = t.ToString();
   EXPECT_NE(s.find("| shortest | 10   |"), std::string::npos);
   EXPECT_NE(s.find("| cc       | 2000 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::string s = t.ToString();
+  // Renders without crashing, with empty cells for the missing columns.
+  EXPECT_NE(s.find("| only |"), std::string::npos);
+  // Header row and the padded row carry the same number of separators.
+  size_t header_end = s.find('\n');
+  std::string header = s.substr(0, header_end);
+  size_t row_start = s.rfind("| only");
+  std::string row = s.substr(row_start, s.find('\n', row_start) - row_start);
+  EXPECT_EQ(std::count(header.begin(), header.end(), '|'),
+            std::count(row.begin(), row.end(), '|'));
+}
+
+TEST(TablePrinterTest, LongRowsFoldOverflowIntoLastColumn) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"x", "y", "extra1", "extra2"});
+  std::string s = t.ToString();
+  // Overflow cells are kept (folded into the last column), not dropped.
+  EXPECT_NE(s.find("extra1"), std::string::npos);
+  EXPECT_NE(s.find("extra2"), std::string::npos);
+  EXPECT_NE(s.find("y | extra1 | extra2"), std::string::npos);
+}
+
+TEST(TablePrinterTest, EmptyRowAgainstEmptyHeaders) {
+  TablePrinter t({});
+  t.AddRow({"stray"});
+  // Degenerate table: must not crash; the row is trimmed to zero columns.
+  std::string s = t.ToString();
+  EXPECT_EQ(s.find("stray"), std::string::npos);
+}
+
+TEST(ResourceGuardTest, InactiveGuardChargesNothing) {
+  ResourceGuard g;
+  EXPECT_FALSE(g.active());
+  EXPECT_EQ(g.ChargeTuples(1'000'000), LimitKind::kNone);
+  EXPECT_EQ(g.ChargeRound(1'000'000), LimitKind::kNone);
+  EXPECT_EQ(g.Poll(), LimitKind::kNone);
+  EXPECT_EQ(g.tripped(), LimitKind::kNone);
+}
+
+TEST(ResourceGuardTest, TupleBudgetTripsAndSticks) {
+  ResourceLimits limits;
+  limits.max_derived_tuples = 10;
+  ResourceGuard g(limits);
+  EXPECT_TRUE(g.active());
+  EXPECT_EQ(g.ChargeTuples(10), LimitKind::kNone);
+  EXPECT_EQ(g.ChargeTuples(1), LimitKind::kTupleBudget);
+  // Sticky: every later check reports the same verdict.
+  EXPECT_EQ(g.ChargeRound(1), LimitKind::kTupleBudget);
+  EXPECT_EQ(g.Poll(), LimitKind::kTupleBudget);
+  EXPECT_EQ(g.tripped(), LimitKind::kTupleBudget);
+  EXPECT_NE(g.Describe().find("tuple"), std::string::npos);
+}
+
+TEST(ResourceGuardTest, ZeroDeadlineTripsOnFirstPoll) {
+  ResourceGuard g(ResourceLimits::Deadline(std::chrono::seconds(0)));
+  EXPECT_EQ(g.Poll(), LimitKind::kDeadline);
+  EXPECT_EQ(g.tripped(), LimitKind::kDeadline);
+}
+
+TEST(ResourceGuardTest, DeadlinePolledAtCheckInterval) {
+  ResourceLimits limits = ResourceLimits::Deadline(std::chrono::seconds(0));
+  limits.check_interval = 4;
+  ResourceGuard g(limits);
+  // Below the interval no clock is read, so nothing trips yet.
+  EXPECT_EQ(g.ChargeTuples(3), LimitKind::kNone);
+  // Crossing the interval polls and sees the expired deadline.
+  EXPECT_EQ(g.ChargeTuples(1), LimitKind::kDeadline);
+}
+
+TEST(ResourceGuardTest, RoundCapsPerComponentAndTotal) {
+  ResourceLimits limits;
+  limits.max_rounds_per_component = 2;
+  ResourceGuard g(limits);
+  EXPECT_EQ(g.ChargeRound(1), LimitKind::kNone);
+  EXPECT_EQ(g.ChargeRound(2), LimitKind::kNone);
+  EXPECT_EQ(g.ChargeRound(3), LimitKind::kRoundCap);
+
+  ResourceLimits total;
+  total.max_total_rounds = 3;
+  ResourceGuard g2(total);
+  EXPECT_EQ(g2.ChargeRound(1), LimitKind::kNone);
+  EXPECT_EQ(g2.ChargeRound(1), LimitKind::kNone);  // new component, round 1
+  EXPECT_EQ(g2.ChargeRound(2), LimitKind::kNone);
+  EXPECT_EQ(g2.ChargeRound(3), LimitKind::kRoundCap);
+}
+
+TEST(ResourceGuardTest, MemoryBudget) {
+  ResourceLimits limits;
+  limits.max_memory_bytes = 1024;
+  ResourceGuard g(limits);
+  EXPECT_TRUE(g.memory_limited());
+  EXPECT_EQ(g.ChargeMemory(512), LimitKind::kNone);
+  EXPECT_EQ(g.peak_bytes(), 512);
+  EXPECT_EQ(g.ChargeMemory(2048), LimitKind::kMemoryBudget);
+}
+
+TEST(ResourceGuardTest, CancellationFromToken) {
+  ResourceLimits limits;
+  limits.cancellation = std::make_shared<CancellationToken>();
+  ResourceGuard g(limits);
+  EXPECT_EQ(g.Poll(), LimitKind::kNone);
+  limits.cancellation->Cancel();
+  EXPECT_EQ(g.Poll(), LimitKind::kCancelled);
+  EXPECT_NE(g.Describe().find("cancel"), std::string::npos);
+}
+
+TEST(ResourceGuardTest, EveryLimitKindHasAName) {
+  for (LimitKind k :
+       {LimitKind::kNone, LimitKind::kDeadline, LimitKind::kTupleBudget,
+        LimitKind::kMemoryBudget, LimitKind::kRoundCap, LimitKind::kCancelled}) {
+    EXPECT_STRNE(LimitKindName(k), "Unknown");
+    EXPECT_STRNE(LimitKindName(k), "");
+  }
 }
 
 }  // namespace
