@@ -1,0 +1,143 @@
+// Lint throughput: how the madlint pass manager scales with program size.
+// Programs are generated synthetically — a chain of join rules seeded with a
+// fixed ratio of lint smells (singleton variables, duplicate rules, a
+// recursive cost predicate) so every pass has real work to do — and linted
+// with the full and paper-only pipelines. Rendering benchmarks cover the
+// cost of the SARIF emitter on the resulting finding lists.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "analysis/checker.h"
+#include "analysis/lint/passes.h"
+#include "datalog/parser.h"
+
+namespace {
+
+using namespace mad;
+
+// A program with `rules` chain rules over `rules + 1` predicates. Every
+// fourth rule carries a singleton variable, every eighth is duplicated, and
+// one recursive min-cost predicate sits at the end to engage the
+// admissibility and termination passes.
+std::string GenerateProgram(int rules) {
+  std::ostringstream out;
+  out << ".decl p0(x, y)\n";
+  for (int i = 1; i <= rules; ++i) {
+    out << ".decl p" << i << "(x, y)\n";
+  }
+  out << ".decl sp(x, c: min_real)\n";
+  out << ".decl base(x, y, c: min_real)\n";
+  out << "p0(a, b).\n";
+  out << "base(a, b, 1).\n";
+  for (int i = 1; i <= rules; ++i) {
+    if (i % 4 == 0) {
+      // Singleton variable W.
+      out << "p" << i << "(X, Y) :- p" << (i - 1) << "(X, Y), p0(X, W).\n";
+    } else {
+      out << "p" << i << "(X, Y) :- p" << (i - 1) << "(X, Z), p" << (i - 1)
+          << "(Z, Y).\n";
+    }
+    if (i % 8 == 0) {
+      // Alpha-equivalent duplicate of the rule above.
+      out << "p" << i << "(A, B) :- p" << (i - 1) << "(A, C), p" << (i - 1)
+          << "(C, B).\n";
+    }
+  }
+  out << "sp(X, C) :- base(X, _Y, C).\n";
+  out << "sp(X, C) :- sp(Z, C1), base(Z, X, C2), C = C1 + C2.\n";
+  return out.str();
+}
+
+struct LintInput {
+  datalog::Program program;
+  std::unique_ptr<analysis::DependencyGraph> graph;
+};
+
+LintInput MakeInput(int rules) {
+  auto parsed = datalog::ParseProgram(GenerateProgram(rules));
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bench_lint: parse failed: %s\n",
+                 parsed.status().ToString().c_str());
+    std::abort();
+  }
+  LintInput in{std::move(parsed).value(), nullptr};
+  in.graph = std::make_unique<analysis::DependencyGraph>(in.program);
+  return in;
+}
+
+void BM_LintDefaultPasses(benchmark::State& state) {
+  LintInput in = MakeInput(static_cast<int>(state.range(0)));
+  analysis::lint::LintContext ctx;
+  ctx.program = &in.program;
+  ctx.graph = in.graph.get();
+  ctx.file = "bench.mdl";
+  auto pm = analysis::lint::MakeDefaultPassManager();
+  size_t findings = 0;
+  for (auto _ : state) {
+    analysis::lint::DiagnosticList diags = pm.Run(ctx);
+    findings = diags.size();
+    benchmark::DoNotOptimize(diags);
+  }
+  state.SetItemsProcessed(state.iterations() * in.program.rules().size());
+  state.counters["rules"] = static_cast<double>(in.program.rules().size());
+  state.counters["findings"] = static_cast<double>(findings);
+}
+BENCHMARK(BM_LintDefaultPasses)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_LintPaperPasses(benchmark::State& state) {
+  LintInput in = MakeInput(static_cast<int>(state.range(0)));
+  analysis::lint::LintContext ctx;
+  ctx.program = &in.program;
+  ctx.graph = in.graph.get();
+  ctx.file = "bench.mdl";
+  auto pm = analysis::lint::MakePaperPassManager();
+  for (auto _ : state) {
+    analysis::lint::DiagnosticList diags = pm.Run(ctx);
+    benchmark::DoNotOptimize(diags);
+  }
+  state.SetItemsProcessed(state.iterations() * in.program.rules().size());
+}
+BENCHMARK(BM_LintPaperPasses)->RangeMultiplier(4)->Range(8, 512);
+
+// End-to-end `madlint` cost for a cold file: parse + dependency graph +
+// full pass pipeline.
+void BM_LintEndToEnd(benchmark::State& state) {
+  std::string text = GenerateProgram(static_cast<int>(state.range(0)));
+  auto pm = analysis::lint::MakeDefaultPassManager();
+  for (auto _ : state) {
+    auto parsed = datalog::ParseProgram(text);
+    analysis::DependencyGraph graph(*parsed);
+    analysis::lint::LintContext ctx;
+    ctx.program = &*parsed;
+    ctx.graph = &graph;
+    ctx.file = "bench.mdl";
+    analysis::lint::DiagnosticList diags = pm.Run(ctx);
+    benchmark::DoNotOptimize(diags);
+  }
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_LintEndToEnd)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_RenderSarif(benchmark::State& state) {
+  LintInput in = MakeInput(static_cast<int>(state.range(0)));
+  analysis::lint::LintContext ctx;
+  ctx.program = &in.program;
+  ctx.graph = in.graph.get();
+  ctx.file = "bench.mdl";
+  analysis::lint::DiagnosticList diags =
+      analysis::lint::MakeDefaultPassManager().Run(ctx);
+  for (auto _ : state) {
+    std::string sarif = diags.RenderSarif();
+    benchmark::DoNotOptimize(sarif);
+  }
+  state.counters["findings"] = static_cast<double>(diags.size());
+}
+BENCHMARK(BM_RenderSarif)->RangeMultiplier(4)->Range(8, 512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// madlint — a structured lint driver for `.mdl` monotonic-aggregation
+// Datalog programs.
+//
+// Unlike `mondl --check`, which mirrors the evaluator's accept/reject
+// decision, madlint runs the full pass set (the paper's five checks plus the
+// hygiene and performance passes) and reports *every* finding in one run,
+// with stable rule IDs and source spans.
+//
+// Usage:
+//   madlint [options] program.mdl [more.mdl ...]
+//
+// Options:
+//   --format=text|json|sarif   output renderer (default text)
+//   --paper-only               run only the paper checks (MAD001-MAD008)
+//   --rules                    print the rule registry and exit
+//
+// Exit status: 0 when no error-severity finding was reported, 1 otherwise,
+// 2 on usage or I/O problems.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/dependency_graph.h"
+#include "analysis/lint/passes.h"
+#include "datalog/parser.h"
+
+using namespace mad;
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: madlint [--format=text|json|sarif] [--paper-only] "
+               "[--rules] program.mdl [more.mdl ...]\n";
+  return 2;
+}
+
+int PrintRules() {
+  for (const analysis::lint::LintRuleDesc& r :
+       analysis::lint::AllLintRules()) {
+    std::cout << r.FullId() << " (" << SeverityName(r.default_severity)
+              << ") [" << r.paper_ref << "]\n    " << r.summary << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string format = "text";
+  bool paper_only = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(std::string("--format=").size());
+      if (format != "text" && format != "json" && format != "sarif") {
+        return Usage();
+      }
+    } else if (arg == "--paper-only") {
+      paper_only = true;
+    } else if (arg == "--rules") {
+      return PrintRules();
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return Usage();
+
+  analysis::lint::PassManager pm =
+      paper_only ? analysis::lint::MakePaperPassManager()
+                 : analysis::lint::MakeDefaultPassManager();
+
+  analysis::lint::DiagnosticList all;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "madlint: cannot open " << path << "\n";
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto program = datalog::ParseProgram(buffer.str());
+    if (!program.ok()) {
+      std::cerr << "madlint: " << path << ": " << program.status() << "\n";
+      return 2;
+    }
+    analysis::DependencyGraph graph(*program);
+    analysis::lint::LintContext ctx;
+    ctx.program = &*program;
+    ctx.graph = &graph;
+    ctx.file = path;
+    all.Extend(pm.Run(ctx));
+  }
+  all.Sort();
+
+  if (format == "json") {
+    std::cout << all.RenderJson();
+  } else if (format == "sarif") {
+    std::cout << all.RenderSarif();
+  } else {
+    std::string text = all.RenderText();
+    if (text.empty()) {
+      std::cout << "no findings in " << paths.size() << " file(s)\n";
+    } else {
+      std::cout << text;
+    }
+  }
+  return all.HasErrors() ? 1 : 0;
+}

@@ -102,8 +102,11 @@ int main(int argc, char** argv) {
 
   if (check_only) {
     analysis::DependencyGraph graph(*program);
-    std::cout << analysis::CheckProgram(*program, graph).ToString();
-    return 0;
+    analysis::ProgramCheckResult check =
+        analysis::CheckProgram(*program, graph, path);
+    std::cout << check.ToString();
+    // Mirror the evaluator's decision: errors reject, warnings don't.
+    return check.overall().ok() ? 0 : 1;
   }
 
   core::Engine engine(*program, options);

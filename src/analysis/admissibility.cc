@@ -32,6 +32,24 @@ const char* SignName(Sign s) {
   return "?";
 }
 
+const char* AdmissibilityAspectName(AdmissibilityAspect aspect) {
+  switch (aspect) {
+    case AdmissibilityAspect::kWellTyped:
+      return "well-typed";
+    case AdmissibilityAspect::kWellFormed:
+      return "well-formed";
+    case AdmissibilityAspect::kAggregate:
+      return "aggregate-monotonicity";
+    case AdmissibilityAspect::kPseudoMonotonicNoDefault:
+      return "pseudo-monotonic-no-default";
+    case AdmissibilityAspect::kBuiltin:
+      return "builtin-monotonicity";
+    case AdmissibilityAspect::kNegation:
+      return "negation";
+  }
+  return "?";
+}
+
 namespace {
 
 Sign Negate(Sign s) {
@@ -248,9 +266,20 @@ std::map<std::string, const CostDomain*> CdbCostVars(
 }
 
 void Fail(RuleAdmissibility* out, bool RuleAdmissibility::*field,
+          AdmissibilityAspect aspect, datalog::SourceSpan span,
           std::string diagnostic) {
   out->*field = false;
-  if (out->diagnostic.empty()) out->diagnostic = std::move(diagnostic);
+  if (out->diagnostic.empty()) out->diagnostic = diagnostic;
+  out->violations.push_back({aspect, std::move(diagnostic), span});
+}
+
+/// Most specific valid span among the candidates, else the rule span.
+datalog::SourceSpan BestSpan(const Rule& rule,
+                             std::initializer_list<datalog::SourceSpan> prefs) {
+  for (const datalog::SourceSpan& s : prefs) {
+    if (s.valid()) return s;
+  }
+  return rule.span;
 }
 
 }  // namespace
@@ -267,6 +296,8 @@ RuleAdmissibility CheckRuleAdmissible(const Rule& rule,
     if (cost != nullptr && cost->is_const() &&
         !a.pred->domain->Contains(cost->constant)) {
       Fail(&out, &RuleAdmissibility::well_typed,
+           AdmissibilityAspect::kWellTyped,
+           BestSpan(rule, {cost->span, a.span}),
            StrPrintf("cost constant %s outside domain %s in atom %s",
                      cost->constant.ToString().c_str(),
                      std::string(a.pred->domain->name()).c_str(),
@@ -295,6 +326,8 @@ RuleAdmissibility CheckRuleAdmissible(const Rule& rule,
     const Term* cost = a.CostTerm();
     if (cost != nullptr && !cost->is_var()) {
       Fail(&out, &RuleAdmissibility::well_formed,
+           AdmissibilityAspect::kWellFormed,
+           BestSpan(rule, {cost->span, a.span}),
            StrPrintf("constant in cost argument of CDB atom %s (%s); "
                      "Definition 4.2(2) requires a variable",
                      a.ToString().c_str(), where));
@@ -314,6 +347,8 @@ RuleAdmissibility CheckRuleAdmissible(const Rule& rule,
         }
         if (cdb) {
           Fail(&out, &RuleAdmissibility::well_formed,
+               AdmissibilityAspect::kWellFormed,
+               BestSpan(rule, {sg.aggregate.result.span, sg.aggregate.span}),
                StrPrintf("constant aggregate result in '%s'; Definition "
                          "4.2(2) requires a variable",
                          sg.aggregate.ToString().c_str()));
@@ -334,6 +369,7 @@ RuleAdmissibility CheckRuleAdmissible(const Rule& rule,
     }
     if (occurrences > 1) {
       Fail(&out, &RuleAdmissibility::well_formed,
+           AdmissibilityAspect::kWellFormed, rule.span,
            StrPrintf("CDB cost variable %s occurs %d times among non-built-in "
                      "subgoals; Definition 4.2(3) allows one",
                      var.c_str(), occurrences));
@@ -346,6 +382,7 @@ RuleAdmissibility CheckRuleAdmissible(const Rule& rule,
     if (sg.kind != Subgoal::Kind::kNegatedAtom) continue;
     if (graph.IsCdbFor(rule, sg.atom.pred)) {
       Fail(&out, &RuleAdmissibility::negation_ok,
+           AdmissibilityAspect::kNegation, BestSpan(rule, {sg.atom.span}),
            StrPrintf("negated CDB subgoal !%s: negation through recursion is "
                      "outside the monotone semantics",
                      sg.atom.ToString().c_str()));
@@ -367,6 +404,8 @@ RuleAdmissibility CheckRuleAdmissible(const Rule& rule,
         for (const Atom& a : sg.aggregate.atoms) {
           if (graph.IsCdbFor(rule, a.pred) && !a.pred->has_default) {
             Fail(&out, &RuleAdmissibility::aggregates_ok,
+                 AdmissibilityAspect::kPseudoMonotonicNoDefault,
+                 BestSpan(rule, {a.span, sg.aggregate.span}),
                  StrPrintf("pseudo-monotonic aggregate '%s' over CDB "
                            "predicate %s, which is not a default-value cost "
                            "predicate (Definition 4.5)",
@@ -378,6 +417,8 @@ RuleAdmissibility CheckRuleAdmissible(const Rule& rule,
       }
       case Monotonicity::kNone:
         Fail(&out, &RuleAdmissibility::aggregates_ok,
+             AdmissibilityAspect::kAggregate,
+             BestSpan(rule, {sg.aggregate.span}),
              StrPrintf("aggregate '%s' is not monotonic on its domain and "
                        "appears in a CDB aggregate subgoal",
                        sg.aggregate.function_name.c_str()));
@@ -403,6 +444,7 @@ RuleAdmissibility CheckRuleAdmissible(const Rule& rule,
   Status cmp = polarity.CheckComparisons();
   if (!cmp.ok()) {
     Fail(&out, &RuleAdmissibility::builtins_monotonic,
+         AdmissibilityAspect::kBuiltin, rule.span,
          std::string(cmp.message()));
   }
 
@@ -424,6 +466,8 @@ RuleAdmissibility CheckRuleAdmissible(const Rule& rule,
                     : hs == Sign::kFixed;
       if (!ok || (!sign_analysis_possible && hs == Sign::kUnknown)) {
         Fail(&out, &RuleAdmissibility::builtins_monotonic,
+             AdmissibilityAspect::kBuiltin,
+             BestSpan(rule, {rule.head.args.back().span, rule.head.span}),
              StrPrintf("head cost variable %s grows %s, which does not align "
                        "with the head lattice %s",
                        hv.c_str(), SignName(hs),

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "analysis/dependency_graph.h"
 #include "datalog/ast.h"
@@ -57,6 +58,27 @@ class PolarityAnalysis {
   std::set<int> defining_builtins_;
 };
 
+/// Which clause of the admissibility definition a violation falls under.
+/// Distinguished so lint diagnostics can carry per-aspect rule IDs.
+enum class AdmissibilityAspect {
+  kWellTyped,     ///< Definition 4.5: cost constants outside their domain
+  kWellFormed,    ///< Definition 4.2 items 2/3
+  kAggregate,     ///< non-monotonic aggregate over a CDB predicate
+  kPseudoMonotonicNoDefault,  ///< Section 4.1: pseudo-monotonic aggregate
+                              ///< over a CDB predicate lacking `default`
+  kBuiltin,       ///< Definition 4.4: a comparison can flip as J grows
+  kNegation,      ///< Proposition 6.1: negated CDB subgoal
+};
+
+const char* AdmissibilityAspectName(AdmissibilityAspect aspect);
+
+/// One admissibility violation, with the most specific span available.
+struct AdmissibilityViolation {
+  AdmissibilityAspect aspect = AdmissibilityAspect::kWellFormed;
+  std::string message;
+  datalog::SourceSpan span;
+};
+
 /// Detailed admissibility verdict for a single rule (Definition 4.5),
 /// relative to the component structure in `graph`.
 struct RuleAdmissibility {
@@ -66,6 +88,8 @@ struct RuleAdmissibility {
   bool builtins_monotonic = true;
   bool negation_ok = true;
   std::string diagnostic;  ///< first failure, empty when admissible
+  /// Every violation found, in source order of the offending construct.
+  std::vector<AdmissibilityViolation> violations;
 
   bool admissible() const {
     return well_typed && well_formed && aggregates_ok && builtins_monotonic &&

@@ -3,6 +3,7 @@
 #include "analysis/admissibility.h"
 #include "analysis/conflict_free.h"
 #include "analysis/cost_respecting.h"
+#include "analysis/lint/passes.h"
 #include "analysis/range_restriction.h"
 #include "lattice/aggregate.h"
 #include "util/string_util.h"
@@ -40,11 +41,17 @@ Status ProgramCheckResult::overall() const {
     // Non-recursive components and plain positive recursion are always fine;
     // recursion through aggregation/negation needs the monotone guarantee.
     if ((c.recursive_aggregation || c.recursive_negation) && !c.monotonic) {
+      std::string why = "recursion through negation";
+      for (const lint::Diagnostic& d : c.diagnostics) {
+        if (d.severity == lint::Severity::kError) {
+          why = d.message;
+          break;
+        }
+      }
       return Status::AnalysisError(StrPrintf(
           "component %d (%s) recurses through %s but is not monotonic: %s",
           c.index, Join(c.predicate_names, ", ").c_str(),
-          c.recursive_negation ? "negation" : "aggregation",
-          c.diagnostic.c_str()));
+          c.recursive_negation ? "negation" : "aggregation", why.c_str()));
     }
   }
   return Status::OK();
@@ -66,18 +73,26 @@ std::string ProgramCheckResult::ToString() const {
                      c.recursive_negation ? " thru-negation" : "",
                      c.monotonic ? "yes" : "no");
     if (c.monotonic && !c.prefix_sound) out += " prefix-sound=no";
-    if (!c.diagnostic.empty()) out += " (" + c.diagnostic + ")";
+    if (!c.diagnostics.empty()) {
+      out += " (" + c.diagnostics.front().message + ")";
+    }
     out += "\n";
   }
   out += StrPrintf("termination: %s\n",
                    termination.AllGuaranteed()
                        ? "guaranteed for every component"
                        : "not guaranteed (see max_iterations/epsilon)");
+  // The shared lint formatter renders the same lines `madlint` would, so
+  // `mondl --check` and the lint tool agree finding-for-finding.
+  if (!diagnostics.empty()) {
+    out += "diagnostics:\n" + diagnostics.RenderText();
+  }
   return out;
 }
 
 ProgramCheckResult CheckProgram(const datalog::Program& program,
-                                const DependencyGraph& graph) {
+                                const DependencyGraph& graph,
+                                const std::string& file) {
   ProgramCheckResult result;
   result.range_restricted = CheckRangeRestricted(program);
   result.cost_respecting = CheckCostRespecting(program);
@@ -85,6 +100,12 @@ ProgramCheckResult CheckProgram(const datalog::Program& program,
   result.admissible = CheckAdmissible(program, graph);
   result.r_monotonic = IsProgramRMonotonic(program);
   result.termination = AnalyzeTermination(program, graph);
+
+  lint::LintContext ctx;
+  ctx.program = &program;
+  ctx.graph = &graph;
+  ctx.file = file;
+  result.diagnostics = lint::MakePaperPassManager().Run(ctx);
 
   for (const Component& comp : graph.components()) {
     ComponentVerdict v;
@@ -103,12 +124,12 @@ ProgramCheckResult CheckProgram(const datalog::Program& program,
       if (!a.admissible()) {
         v.monotonic = false;
         v.prefix_sound = false;
-        if (v.diagnostic.empty()) v.diagnostic = a.diagnostic;
+      }
+      for (const AdmissibilityViolation& violation : a.violations) {
+        v.diagnostics.push_back(
+            lint::AdmissibilityDiagnostic(violation, rule, graph, file));
       }
       if (UsesNonMonotonicCdbAggregate(rule, graph)) v.prefix_sound = false;
-    }
-    if (comp.recursive_negation && v.diagnostic.empty()) {
-      v.diagnostic = "recursion through negation";
     }
     result.components.push_back(std::move(v));
   }

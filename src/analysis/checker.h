@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/dependency_graph.h"
+#include "analysis/lint/diagnostic.h"
 #include "analysis/termination.h"
 #include "datalog/ast.h"
 #include "util/status.h"
@@ -32,8 +33,10 @@ struct ComponentVerdict {
   /// *interrupted* iteration has not yet derived all inner keys, so partial
   /// states are not certifiable and resource trips become hard errors.
   bool prefix_sound = false;
-  /// First admissibility diagnostic if !monotonic.
-  std::string diagnostic;
+  /// Every admissibility finding against this component's rules, in rule
+  /// order (empty iff all rules are admissible). Error severity marks the
+  /// findings that make overall() reject.
+  std::vector<lint::Diagnostic> diagnostics;
 };
 
 /// Complete static report for a program.
@@ -47,18 +50,25 @@ struct ProgramCheckResult {
   std::vector<ComponentVerdict> components;
   /// Section 6.2 termination analysis (informational; never rejects).
   TerminationReport termination;
+  /// Every finding of the paper checks (MAD001–MAD008), collected in one
+  /// run — never just the first violation. Error-severity entries exist
+  /// iff overall() fails; warnings and notes are advisory.
+  lint::DiagnosticList diagnostics;
 
   /// OK iff the program can be evaluated under the paper's semantics:
   /// range-restricted, conflict-free, and every recursive-through-aggregation
-  /// or recursive-through-negation component monotonic.
+  /// or recursive-through-negation component monotonic. Equivalently: no
+  /// error-severity entry in `diagnostics`.
   Status overall() const;
 
   std::string ToString() const;
 };
 
-/// Runs all static checks. `graph` must be built from `program`.
+/// Runs all static checks. `graph` must be built from `program`. `file`
+/// is stamped into the collected diagnostics (empty for programmatic input).
 ProgramCheckResult CheckProgram(const datalog::Program& program,
-                                const DependencyGraph& graph);
+                                const DependencyGraph& graph,
+                                const std::string& file = "");
 
 /// Convenience: builds the graph and checks; returns an error Status if the
 /// program is rejected.

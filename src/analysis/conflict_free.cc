@@ -11,9 +11,8 @@ using datalog::Program;
 using datalog::Rule;
 using datalog::Subgoal;
 
-Status CheckConflictFree(const Program& program) {
-  MAD_RETURN_IF_ERROR(CheckCostRespecting(program));
-
+std::vector<RuleConflict> CollectRuleConflicts(const Program& program) {
+  std::vector<RuleConflict> out;
   const auto& rules = program.rules();
   for (size_t i = 0; i < rules.size(); ++i) {
     // Only heads with cost arguments can conflict on cost values.
@@ -49,16 +48,30 @@ Status CheckConflictFree(const Program& program) {
       }
       if (excluded) continue;
 
-      return Status::AnalysisError(StrPrintf(
+      RuleConflict c;
+      c.rule_index_1 = static_cast<int>(i);
+      c.rule_index_2 = static_cast<int>(j);
+      c.head = rules[i].head.pred;
+      c.message = StrPrintf(
           "rules at lines %d and %d both define cost predicate '%s', their "
           "heads unify on the non-cost arguments, and neither a containment "
           "mapping nor an integrity constraint rules out a conflict "
           "(Definition 2.10)",
           rules[i].source_line, rules[j].source_line,
-          rules[i].head.pred->name.c_str()));
+          rules[i].head.pred->name.c_str());
+      c.span_1 = rules[i].span;
+      c.span_2 = rules[j].span;
+      out.push_back(std::move(c));
     }
   }
-  return Status::OK();
+  return out;
+}
+
+Status CheckConflictFree(const Program& program) {
+  MAD_RETURN_IF_ERROR(CheckCostRespecting(program));
+  std::vector<RuleConflict> conflicts = CollectRuleConflicts(program);
+  if (conflicts.empty()) return Status::OK();
+  return Status::AnalysisError(conflicts.front().message);
 }
 
 }  // namespace analysis

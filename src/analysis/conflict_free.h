@@ -1,11 +1,30 @@
 #ifndef MAD_ANALYSIS_CONFLICT_FREE_H_
 #define MAD_ANALYSIS_CONFLICT_FREE_H_
 
+#include <string>
+#include <vector>
+
 #include "datalog/ast.h"
 #include "util/status.h"
 
 namespace mad {
 namespace analysis {
+
+/// A pair of rules that may derive distinct costs for the same key tuple —
+/// one violation of Definition 2.10.
+struct RuleConflict {
+  int rule_index_1 = -1;  ///< index into Program::rules()
+  int rule_index_2 = -1;
+  const datalog::PredicateInfo* head = nullptr;
+  std::string message;
+  datalog::SourceSpan span_1;  ///< span of the first rule
+  datalog::SourceSpan span_2;  ///< span of the second rule
+};
+
+/// Collects *every* conflicting rule pair (Definition 2.10). Does NOT fold
+/// in the cost-respecting precondition — run CheckCostRespecting (or the
+/// MAD002 lint pass) separately.
+std::vector<RuleConflict> CollectRuleConflicts(const datalog::Program& program);
 
 /// Checks the conflict-freedom condition of Definition 2.10, the syntactic
 /// sufficient condition for cost-consistency (Lemma 2.3):
@@ -14,6 +33,7 @@ namespace analysis {
 ///    with mgu θ, either a containment mapping exists between r1θ and r2θ
 ///    (in one direction or the other), or the conjunction of the two bodies
 ///    contains an instance of a declared integrity constraint.
+/// Reports the first violation only; CollectRuleConflicts returns them all.
 Status CheckConflictFree(const datalog::Program& program);
 
 }  // namespace analysis

@@ -102,11 +102,11 @@ std::set<std::string> FdClosure(const std::set<std::string>& seed,
   return closure;
 }
 
-Status CheckRuleCostRespecting(const Rule& rule) {
+std::vector<CheckViolation> CollectCostRespectingViolations(const Rule& rule) {
   const Atom& head = rule.head;
-  if (!head.pred->has_cost) return Status::OK();
+  if (!head.pred->has_cost) return {};
   const Term& cost = head.args.back();
-  if (cost.is_const()) return Status::OK();
+  if (cost.is_const()) return {};
 
   std::set<std::string> head_keys;
   for (int i = 0; i < head.pred->key_arity(); ++i) {
@@ -114,19 +114,30 @@ Status CheckRuleCostRespecting(const Rule& rule) {
   }
   std::vector<FunctionalDependency> fds = CollectBodyFds(rule);
   std::set<std::string> closure = FdClosure(head_keys, fds);
-  if (!closure.count(cost.var)) {
-    std::string fd_list;
-    for (const FunctionalDependency& fd : fds) {
-      if (!fd_list.empty()) fd_list += "; ";
-      fd_list += fd.ToString();
-    }
-    return Status::AnalysisError(StrPrintf(
-        "rule '%s' (line %d) is not cost-respecting: head cost variable %s "
-        "is not determined by the head keys via body FDs [%s]",
-        rule.ToString().c_str(), rule.source_line, cost.var.c_str(),
-        fd_list.c_str()));
+  if (closure.count(cost.var)) return {};
+
+  std::string fd_list;
+  for (const FunctionalDependency& fd : fds) {
+    if (!fd_list.empty()) fd_list += "; ";
+    fd_list += fd.ToString();
   }
-  return Status::OK();
+  CheckViolation v;
+  v.message = StrPrintf(
+      "head cost variable %s is not determined by the head keys via body "
+      "FDs [%s]",
+      cost.var.c_str(), fd_list.c_str());
+  v.span = cost.span.valid() ? cost.span : rule.span;
+  return {std::move(v)};
+}
+
+Status CheckRuleCostRespecting(const Rule& rule) {
+  std::vector<CheckViolation> violations =
+      CollectCostRespectingViolations(rule);
+  if (violations.empty()) return Status::OK();
+  return Status::AnalysisError(StrPrintf(
+      "rule '%s' (line %d) is not cost-respecting: %s",
+      rule.ToString().c_str(), rule.source_line,
+      violations.front().message.c_str()));
 }
 
 Status CheckCostRespecting(const datalog::Program& program) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/violation.h"
 #include "datalog/ast.h"
 #include "util/status.h"
 
@@ -30,6 +31,12 @@ std::vector<FunctionalDependency> CollectBodyFds(const datalog::Rule& rule);
 /// closure algorithm realizes reflexivity/augmentation/transitivity [3]).
 std::set<std::string> FdClosure(const std::set<std::string>& seed,
                                 const std::vector<FunctionalDependency>& fds);
+
+/// Collects the cost-respecting violation of `rule` if any (Definition 2.7
+/// admits at most one per rule: the head cost is either determined or not),
+/// with a span pointing at the head cost argument.
+std::vector<CheckViolation> CollectCostRespectingViolations(
+    const datalog::Rule& rule);
 
 /// Checks that `rule` is cost-respecting (Definition 2.7): the head's cost
 /// argument is functionally determined by the head's non-cost arguments.

@@ -1,0 +1,321 @@
+#include "analysis/lint/diagnostic.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/string_util.h"
+
+namespace mad {
+namespace analysis {
+namespace lint {
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "?";
+}
+
+const std::vector<LintRuleDesc>& AllLintRules() {
+  static const std::vector<LintRuleDesc>* rules = new std::vector<LintRuleDesc>{
+      {"MAD001", "range-restriction",
+       "every variable must be limited (bound by a positive subgoal, a "
+       "default-key position, or an equality with limited variables)",
+       "Ross & Sagiv Definition 2.5", Severity::kError},
+      {"MAD002", "cost-respecting",
+       "the head cost variable must be functionally determined by the head "
+       "key variables via the body's functional dependencies",
+       "Ross & Sagiv Definition 2.7", Severity::kError},
+      {"MAD003", "conflict-free",
+       "two rules for the same cost predicate may derive different costs for "
+       "one key tuple: no containment mapping or integrity constraint rules "
+       "the overlap out",
+       "Ross & Sagiv Definition 2.10", Severity::kError},
+      {"MAD004", "admissibility",
+       "the rule violates admissibility (well-typed + well-formed + monotone "
+       "built-ins); an error when its component recurses through aggregation "
+       "or negation, otherwise a warning",
+       "Ross & Sagiv Definition 4.5", Severity::kError},
+      {"MAD005", "pseudo-monotonic-no-default",
+       "a pseudo-monotonic aggregate ranges over a recursive (CDB) predicate "
+       "that is not declared with a default value, so its inner cardinality "
+       "can grow during iteration",
+       "Ross & Sagiv Section 4.1", Severity::kError},
+      {"MAD006", "recursive-negation",
+       "a negated subgoal refers to a predicate mutually recursive with the "
+       "head; negation must be confined to lower (LDB) predicates",
+       "Ross & Sagiv Proposition 6.1", Severity::kError},
+      {"MAD007", "termination-unknown",
+       "a recursive component carries cost values in a lattice with infinite "
+       "ascending chains, so fixpoint iteration may not terminate without "
+       "max_iterations/epsilon guards",
+       "Ross & Sagiv Section 6.2", Severity::kWarning},
+      {"MAD008", "non-prefix-sound",
+       "the component is monotonic but uses a non-strictly-monotonic "
+       "aggregate over a recursive predicate, so interrupted iterations are "
+       "not certifiable partial models",
+       "Ross & Sagiv Lemma 4.1", Severity::kNote},
+      {"MAD009", "singleton-variable",
+       "a named variable occurs exactly once in the rule — likely a typo; "
+       "prefix it with '_' if intentional",
+       "hygiene", Severity::kWarning},
+      {"MAD010", "dead-predicate",
+       "a declared predicate never occurs in any rule, fact, or constraint",
+       "hygiene", Severity::kNote},
+      {"MAD011", "unreachable-rule",
+       "a body subgoal refers to a predicate with no facts and no rules, so "
+       "the rule can never fire",
+       "hygiene", Severity::kWarning},
+      {"MAD012", "duplicate-rule",
+       "two rules are identical up to variable renaming; the second never "
+       "adds derivations",
+       "hygiene", Severity::kWarning},
+      {"MAD013", "cartesian-product",
+       "the body joins relational subgoals that share no variables, forming "
+       "an unconstrained cross product",
+       "performance", Severity::kWarning},
+      {"MAD014", "cost-domain-mismatch",
+       "one variable is used as the cost argument of predicates with "
+       "different cost lattices, so values mix unrelated orders",
+       "Ross & Sagiv Section 2 (cost domains)", Severity::kWarning},
+  };
+  return *rules;
+}
+
+const LintRuleDesc* FindLintRule(const std::string& code_or_id) {
+  for (const LintRuleDesc& r : AllLintRules()) {
+    if (code_or_id == r.code || code_or_id == r.FullId()) return &r;
+  }
+  return nullptr;
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = file.empty() ? "<input>" : file;
+  if (span.valid()) out += ":" + span.ToString();
+  out += ": ";
+  out += SeverityName(severity);
+  out += ": " + message + " [" + rule_id + "]";
+  for (const FixIt& f : fixits) {
+    out += "\n    fix";
+    if (f.span.valid()) out += " at " + f.span.ToString();
+    out += ": " + f.description;
+    if (!f.replacement.empty()) out += " -> `" + f.replacement + "`";
+  }
+  return out;
+}
+
+void DiagnosticList::Extend(DiagnosticList other) {
+  for (Diagnostic& d : other.diagnostics_) {
+    diagnostics_.push_back(std::move(d));
+  }
+}
+
+int DiagnosticList::CountSeverity(Severity s) const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+void DiagnosticList::Sort() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     // Unlocated diagnostics (line 0 is "unknown") keep their
+                     // emission order after located ones in the same file.
+                     int al = a.span.valid() ? a.span.line : 1 << 30;
+                     int bl = b.span.valid() ? b.span.line : 1 << 30;
+                     return std::tie(a.file, al, a.span.col, a.rule_id) <
+                            std::tie(b.file, bl, b.span.col, b.rule_id);
+                   });
+}
+
+std::string DiagnosticList::RenderText() const {
+  if (diagnostics_.empty()) return "";
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += d.ToString() + "\n";
+  }
+  out += StrPrintf("%d error(s), %d warning(s), %d note(s)\n",
+                   CountSeverity(Severity::kError),
+                   CountSeverity(Severity::kWarning),
+                   CountSeverity(Severity::kNote));
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string SpanJson(const datalog::SourceSpan& s) {
+  return StrPrintf("{\"line\": %d, \"col\": %d, \"endLine\": %d, \"endCol\": %d}",
+                   s.line, s.col, s.end_line, s.end_col);
+}
+
+std::string SarifRegion(const datalog::SourceSpan& s) {
+  // SARIF requires columns >= 1; fall back to the start of the line.
+  int start_col = s.col > 0 ? s.col : 1;
+  int end_line = s.end_line > 0 ? s.end_line : s.line;
+  int end_col = s.end_col > 0 ? s.end_col : start_col;
+  return StrPrintf(
+      "{\"startLine\": %d, \"startColumn\": %d, \"endLine\": %d, "
+      "\"endColumn\": %d}",
+      s.line, start_col, end_line, end_col);
+}
+
+std::string ArtifactUri(const std::string& file) {
+  return JsonEscape(file.empty() ? "<input>" : file);
+}
+
+}  // namespace
+
+std::string DiagnosticList::RenderJson() const {
+  std::string out = "{\n  \"version\": 1,\n  \"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics_) {
+    if (!first) out += ",";
+    first = false;
+    out += StrPrintf(
+        "\n    {\"ruleId\": \"%s\", \"severity\": \"%s\", \"message\": "
+        "\"%s\", \"file\": \"%s\", \"span\": %s",
+        JsonEscape(d.rule_id).c_str(), SeverityName(d.severity),
+        JsonEscape(d.message).c_str(), JsonEscape(d.file).c_str(),
+        SpanJson(d.span).c_str());
+    if (!d.fixits.empty()) {
+      out += ", \"fixits\": [";
+      bool ffirst = true;
+      for (const FixIt& f : d.fixits) {
+        if (!ffirst) out += ", ";
+        ffirst = false;
+        out += StrPrintf(
+            "{\"span\": %s, \"replacement\": \"%s\", \"description\": "
+            "\"%s\"}",
+            SpanJson(f.span).c_str(), JsonEscape(f.replacement).c_str(),
+            JsonEscape(f.description).c_str());
+      }
+      out += "]";
+    }
+    out += "}";
+  }
+  out += StrPrintf(
+      "\n  ],\n  \"summary\": {\"errors\": %d, \"warnings\": %d, "
+      "\"notes\": %d}\n}\n",
+      CountSeverity(Severity::kError), CountSeverity(Severity::kWarning),
+      CountSeverity(Severity::kNote));
+  return out;
+}
+
+std::string DiagnosticList::RenderSarif() const {
+  const std::vector<LintRuleDesc>& rules = AllLintRules();
+  std::string out =
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"madlint\",\n"
+      "          \"rules\": [";
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StrPrintf(
+        "\n            {\"id\": \"%s\", \"name\": \"%s\", "
+        "\"shortDescription\": {\"text\": \"%s\"}, "
+        "\"help\": {\"text\": \"%s\"}, "
+        "\"defaultConfiguration\": {\"level\": \"%s\"}}",
+        JsonEscape(rules[i].FullId()).c_str(), JsonEscape(rules[i].slug).c_str(),
+        JsonEscape(rules[i].summary).c_str(),
+        JsonEscape(rules[i].paper_ref).c_str(),
+        SeverityName(rules[i].default_severity));
+  }
+  out +=
+      "\n          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics_) {
+    if (!first) out += ",";
+    first = false;
+    int rule_index = -1;
+    for (size_t i = 0; i < rules.size(); ++i) {
+      if (d.rule_id == rules[i].FullId() || d.rule_id == rules[i].code) {
+        rule_index = static_cast<int>(i);
+        break;
+      }
+    }
+    out += StrPrintf(
+        "\n        {\"ruleId\": \"%s\", \"ruleIndex\": %d, \"level\": "
+        "\"%s\", \"message\": {\"text\": \"%s\"}, \"locations\": "
+        "[{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"%s\"}",
+        JsonEscape(d.rule_id).c_str(), rule_index, SeverityName(d.severity),
+        JsonEscape(d.message).c_str(), ArtifactUri(d.file).c_str());
+    if (d.span.valid()) {
+      out += ", \"region\": " + SarifRegion(d.span);
+    }
+    out += "}}]";
+    if (!d.fixits.empty()) {
+      out += ", \"fixes\": [";
+      bool ffirst = true;
+      for (const FixIt& f : d.fixits) {
+        if (!ffirst) out += ", ";
+        ffirst = false;
+        out += StrPrintf(
+            "{\"description\": {\"text\": \"%s\"}, \"artifactChanges\": "
+            "[{\"artifactLocation\": {\"uri\": \"%s\"}, \"replacements\": "
+            "[{\"deletedRegion\": %s, \"insertedContent\": {\"text\": "
+            "\"%s\"}}]}]}",
+            JsonEscape(f.description).c_str(), ArtifactUri(d.file).c_str(),
+            SarifRegion(f.span).c_str(), JsonEscape(f.replacement).c_str());
+      }
+      out += "]";
+    }
+    out += "}";
+  }
+  out +=
+      "\n      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace lint
+}  // namespace analysis
+}  // namespace mad

@@ -1,0 +1,105 @@
+#ifndef MAD_ANALYSIS_LINT_DIAGNOSTIC_H_
+#define MAD_ANALYSIS_LINT_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/source_span.h"
+
+namespace mad {
+namespace analysis {
+namespace lint {
+
+/// How serious a finding is. Errors reject the program under the paper's
+/// semantics (ProgramCheckResult::overall() fails iff an error-severity
+/// diagnostic exists); warnings and notes never block evaluation.
+enum class Severity {
+  kError,
+  kWarning,
+  kNote,
+};
+
+/// "error" / "warning" / "note" — also the SARIF 2.1.0 `level` values.
+const char* SeverityName(Severity s);
+
+/// A suggested textual edit attached to a diagnostic. `replacement` may be
+/// empty when the fix is a deletion; `description` explains the intent.
+struct FixIt {
+  datalog::SourceSpan span;
+  std::string replacement;
+  std::string description;
+};
+
+/// One structured finding: a stable rule ID, a severity, a message, and the
+/// most specific source region the analysis could attribute it to.
+struct Diagnostic {
+  std::string rule_id;  ///< full stable ID, e.g. "MAD001-range-restriction"
+  Severity severity = Severity::kWarning;
+  std::string message;
+  std::string file;  ///< source path; empty for programmatic input
+  datalog::SourceSpan span;
+  std::vector<FixIt> fixits;
+
+  /// `file:12:5: error: message [MAD001-range-restriction]`.
+  std::string ToString() const;
+};
+
+/// Static description of one lint rule, for --explain output and the SARIF
+/// tool.driver.rules table.
+struct LintRuleDesc {
+  const char* code;       ///< "MAD001"
+  const char* slug;       ///< "range-restriction"
+  const char* summary;    ///< one-line description
+  const char* paper_ref;  ///< e.g. "Ross & Sagiv Definition 2.5"
+  Severity default_severity = Severity::kWarning;
+
+  /// "MAD001-range-restriction" — what Diagnostic::rule_id carries.
+  std::string FullId() const { return std::string(code) + "-" + slug; }
+};
+
+/// The complete rule registry, ordered by code. Indices into this vector are
+/// the SARIF `ruleIndex` values.
+const std::vector<LintRuleDesc>& AllLintRules();
+
+/// Looks a rule up by code ("MAD001") or full ID ("MAD001-range-restriction");
+/// nullptr if unknown.
+const LintRuleDesc* FindLintRule(const std::string& code_or_id);
+
+/// An ordered collection of diagnostics with the three renderers every
+/// surface (madlint, mondl --check, Engine::Run) shares.
+class DiagnosticList {
+ public:
+  void Add(Diagnostic d) { diagnostics_.push_back(std::move(d)); }
+  void Extend(DiagnosticList other);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+  size_t size() const { return diagnostics_.size(); }
+
+  int CountSeverity(Severity s) const;
+  bool HasErrors() const { return CountSeverity(Severity::kError) > 0; }
+
+  /// Stable-sorts by (file, line, col, rule ID); programmatic diagnostics
+  /// (no span) sort after located ones in the same file.
+  void Sort();
+
+  /// One line per diagnostic plus a trailing summary line
+  /// (`N error(s), M warning(s), K note(s)`); empty string when empty.
+  std::string RenderText() const;
+  /// Machine-readable report: {"version", "diagnostics": [...], "summary"}.
+  std::string RenderJson() const;
+  /// SARIF 2.1.0 log with the full rule registry in tool.driver.rules.
+  std::string RenderSarif() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes added).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace lint
+}  // namespace analysis
+}  // namespace mad
+
+#endif  // MAD_ANALYSIS_LINT_DIAGNOSTIC_H_

@@ -1,0 +1,33 @@
+#include "analysis/lint/pass.h"
+
+namespace mad {
+namespace analysis {
+namespace lint {
+
+Diagnostic LintPass::Make(const LintContext& ctx, datalog::SourceSpan span,
+                          std::string message) const {
+  Diagnostic d;
+  d.rule_id = rule().FullId();
+  d.severity = rule().default_severity;
+  d.message = std::move(message);
+  d.file = ctx.file;
+  d.span = span;
+  return d;
+}
+
+void PassManager::AddPass(std::unique_ptr<LintPass> pass) {
+  passes_.push_back(std::move(pass));
+}
+
+DiagnosticList PassManager::Run(const LintContext& ctx) const {
+  DiagnosticList out;
+  for (const std::unique_ptr<LintPass>& pass : passes_) {
+    pass->Run(ctx, &out);
+  }
+  out.Sort();
+  return out;
+}
+
+}  // namespace lint
+}  // namespace analysis
+}  // namespace mad

@@ -1,0 +1,67 @@
+#ifndef MAD_ANALYSIS_LINT_PASS_H_
+#define MAD_ANALYSIS_LINT_PASS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/dependency_graph.h"
+#include "analysis/lint/diagnostic.h"
+#include "datalog/ast.h"
+
+namespace mad {
+namespace analysis {
+namespace lint {
+
+/// Everything a lint pass may look at. The program and graph outlive the
+/// pass run; `file` is stamped into every emitted diagnostic.
+struct LintContext {
+  const datalog::Program* program = nullptr;
+  const DependencyGraph* graph = nullptr;
+  std::string file;  ///< source path for diagnostics; empty for programmatic
+};
+
+/// One analysis rule. Passes are stateless between runs: Run() inspects the
+/// context and appends zero or more diagnostics.
+class LintPass {
+ public:
+  virtual ~LintPass() = default;
+  /// The registry entry this pass implements (supplies the rule ID).
+  virtual const LintRuleDesc& rule() const = 0;
+  virtual void Run(const LintContext& ctx, DiagnosticList* out) const = 0;
+
+ protected:
+  /// Builds a diagnostic pre-filled with this pass's rule ID, its default
+  /// severity, and the context's file name.
+  Diagnostic Make(const LintContext& ctx, datalog::SourceSpan span,
+                  std::string message) const;
+};
+
+/// Runs a sequence of passes and collects their diagnostics, sorted by
+/// source position. Construct via MakePaperPassManager() /
+/// MakeDefaultPassManager() in passes.h, or assemble a custom set.
+class PassManager {
+ public:
+  PassManager() = default;
+  PassManager(PassManager&&) = default;
+  PassManager& operator=(PassManager&&) = default;
+
+  void AddPass(std::unique_ptr<LintPass> pass);
+  const std::vector<std::unique_ptr<LintPass>>& passes() const {
+    return passes_;
+  }
+
+  /// Runs every pass over `ctx` and returns all findings in source order.
+  /// Unlike the legacy Check* entry points this never stops at the first
+  /// violation.
+  DiagnosticList Run(const LintContext& ctx) const;
+
+ private:
+  std::vector<std::unique_ptr<LintPass>> passes_;
+};
+
+}  // namespace lint
+}  // namespace analysis
+}  // namespace mad
+
+#endif  // MAD_ANALYSIS_LINT_PASS_H_

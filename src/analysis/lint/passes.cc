@@ -1,0 +1,602 @@
+#include "analysis/lint/passes.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "analysis/conflict_free.h"
+#include "analysis/cost_respecting.h"
+#include "analysis/range_restriction.h"
+#include "analysis/termination.h"
+#include "lattice/aggregate.h"
+#include "util/string_util.h"
+
+namespace mad {
+namespace analysis {
+namespace lint {
+
+namespace {
+
+using datalog::Atom;
+using datalog::Expr;
+using datalog::Program;
+using datalog::Rule;
+using datalog::SourceSpan;
+using datalog::Subgoal;
+using datalog::Term;
+
+const LintRuleDesc& Desc(const char* code) {
+  const LintRuleDesc* d = FindLintRule(code);
+  // The registry is static; a miss is a programming error caught in tests.
+  return *d;
+}
+
+// ---------------------------------------------------------------------------
+// MAD001 / MAD002: per-rule collectors
+// ---------------------------------------------------------------------------
+
+class RangeRestrictionPass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return Desc("MAD001"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    for (const Rule& r : ctx.program->rules()) {
+      for (const CheckViolation& v : CollectRangeRestrictionViolations(r)) {
+        out->Add(Make(ctx, v.span, v.message));
+      }
+    }
+  }
+};
+
+class CostRespectingPass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return Desc("MAD002"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    for (const Rule& r : ctx.program->rules()) {
+      for (const CheckViolation& v : CollectCostRespectingViolations(r)) {
+        out->Add(Make(ctx, v.span, v.message));
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MAD003: conflicting rule pairs
+// ---------------------------------------------------------------------------
+
+class ConflictFreePass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return Desc("MAD003"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    for (const RuleConflict& c : CollectRuleConflicts(*ctx.program)) {
+      out->Add(Make(ctx, c.span_1, c.message));
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MAD004 / MAD005 / MAD006: admissibility by aspect
+// ---------------------------------------------------------------------------
+
+bool ComponentRecursesThroughAggregationOrNegation(const Rule& rule,
+                                                   const DependencyGraph& g) {
+  int idx = g.ComponentOf(rule.head.pred);
+  if (idx < 0 || idx >= static_cast<int>(g.components().size())) return false;
+  const Component& c = g.components()[idx];
+  return c.recursive_aggregation || c.recursive_negation;
+}
+
+class AdmissibilityPass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return Desc("MAD004"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    for (const Rule& r : ctx.program->rules()) {
+      RuleAdmissibility a = CheckRuleAdmissible(r, *ctx.graph);
+      for (const AdmissibilityViolation& v : a.violations) {
+        out->Add(AdmissibilityDiagnostic(v, r, *ctx.graph, ctx.file));
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MAD007: termination analysis
+// ---------------------------------------------------------------------------
+
+class TerminationPass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return Desc("MAD007"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    TerminationReport report = AnalyzeTermination(*ctx.program, *ctx.graph);
+    for (const ComponentTermination& ct : report.components) {
+      if (ct.verdict != TerminationVerdict::kUnknown) continue;
+      if (ct.component_index < 0 ||
+          ct.component_index >= static_cast<int>(ctx.graph->components().size()))
+        continue;
+      const Component& comp = ctx.graph->components()[ct.component_index];
+      SourceSpan span;
+      if (!comp.rule_indices.empty()) {
+        span = ctx.program->rules()[comp.rule_indices.front()].span;
+      }
+      std::vector<std::string> names;
+      for (const datalog::PredicateInfo* p : comp.predicates) {
+        names.push_back(p->name);
+      }
+      out->Add(Make(ctx, span,
+                    StrPrintf("component %d (%s) may not terminate: %s",
+                              comp.index, Join(names, ", ").c_str(),
+                              ct.reason.c_str())));
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MAD008: monotonic but not prefix-sound
+// ---------------------------------------------------------------------------
+
+/// The aggregate subgoal (if any) that makes `rule` rely on Lemma 4.1's
+/// fixed-cardinality argument: a non-strictly-monotonic aggregate ranging
+/// over a predicate recursive with the rule's head.
+const datalog::AggregateSubgoal* NonMonotonicCdbAggregate(
+    const Rule& rule, const DependencyGraph& graph) {
+  for (const Subgoal& sg : rule.body) {
+    if (sg.kind != Subgoal::Kind::kAggregate) continue;
+    if (sg.aggregate.function == nullptr) continue;
+    for (const Atom& a : sg.aggregate.atoms) {
+      if (graph.IsCdbFor(rule, a.pred) &&
+          sg.aggregate.function->monotonicity() !=
+              lattice::Monotonicity::kMonotonic) {
+        return &sg.aggregate;
+      }
+    }
+  }
+  return nullptr;
+}
+
+class PrefixSoundnessPass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return Desc("MAD008"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    for (const Component& comp : ctx.graph->components()) {
+      if (comp.recursive_negation) continue;  // not even monotonic
+      bool monotonic = true;
+      for (int ri : comp.rule_indices) {
+        if (!CheckRuleAdmissible(ctx.program->rules()[ri], *ctx.graph)
+                 .admissible()) {
+          monotonic = false;
+          break;
+        }
+      }
+      if (!monotonic) continue;
+      for (int ri : comp.rule_indices) {
+        const Rule& r = ctx.program->rules()[ri];
+        const datalog::AggregateSubgoal* agg =
+            NonMonotonicCdbAggregate(r, *ctx.graph);
+        if (agg == nullptr) continue;
+        out->Add(Make(
+            ctx, agg->span.valid() ? agg->span : r.span,
+            StrPrintf("aggregate '%s' over a recursive predicate is not "
+                      "strictly monotonic: interrupted iterations of this "
+                      "component are not certifiable partial models",
+                      agg->function_name.c_str())));
+        break;  // one note per component
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MAD009: singleton variables
+// ---------------------------------------------------------------------------
+
+struct VarUse {
+  int count = 0;
+  SourceSpan first_span;
+};
+
+void CountExprVars(const Expr& e, std::map<std::string, VarUse>* uses) {
+  switch (e.kind) {
+    case Expr::Kind::kVar:
+      (*uses)[e.var].count++;
+      break;
+    case Expr::Kind::kConst:
+      break;
+    default:
+      if (e.lhs) CountExprVars(*e.lhs, uses);
+      if (e.rhs) CountExprVars(*e.rhs, uses);
+  }
+}
+
+void CountTermVar(const Term& t, std::map<std::string, VarUse>* uses) {
+  if (!t.is_var()) return;
+  VarUse& u = (*uses)[t.var];
+  u.count++;
+  if (!u.first_span.valid()) u.first_span = t.span;
+}
+
+class SingletonVariablePass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return Desc("MAD009"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    for (const Rule& r : ctx.program->rules()) {
+      std::map<std::string, VarUse> uses;
+      std::set<std::string> aggregate_local;
+      for (const Term& t : r.head.args) CountTermVar(t, &uses);
+      for (const Subgoal& sg : r.body) {
+        switch (sg.kind) {
+          case Subgoal::Kind::kAtom:
+          case Subgoal::Kind::kNegatedAtom:
+            for (const Term& t : sg.atom.args) CountTermVar(t, &uses);
+            break;
+          case Subgoal::Kind::kBuiltin:
+            if (sg.builtin.lhs) CountExprVars(*sg.builtin.lhs, &uses);
+            if (sg.builtin.rhs) CountExprVars(*sg.builtin.rhs, &uses);
+            break;
+          case Subgoal::Kind::kAggregate:
+            CountTermVar(sg.aggregate.result, &uses);
+            if (!sg.aggregate.multiset_var.empty()) {
+              uses[sg.aggregate.multiset_var].count++;
+            }
+            for (const Atom& a : sg.aggregate.atoms) {
+              for (const Term& t : a.args) CountTermVar(t, &uses);
+            }
+            aggregate_local.insert(sg.aggregate.local_vars.begin(),
+                                   sg.aggregate.local_vars.end());
+            break;
+        }
+      }
+      for (const auto& [name, use] : uses) {
+        if (use.count != 1) continue;
+        if (!name.empty() && name[0] == '_') continue;  // marked intentional
+        if (aggregate_local.count(name)) continue;  // scoped to the aggregate
+        Diagnostic d =
+            Make(ctx, use.first_span.valid() ? use.first_span : r.span,
+                 StrPrintf("variable %s occurs only once in this rule",
+                           name.c_str()));
+        if (use.first_span.valid()) {
+          d.fixits.push_back({use.first_span, "_" + name,
+                              "prefix with '_' to mark the variable as "
+                              "intentionally unused"});
+        }
+        out->Add(std::move(d));
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MAD010 / MAD011: dead predicates and unreachable rules
+// ---------------------------------------------------------------------------
+
+void InsertAtomPred(const Atom& a, std::set<const datalog::PredicateInfo*>* s) {
+  if (a.pred != nullptr) s->insert(a.pred);
+}
+
+std::set<const datalog::PredicateInfo*> OccurringPredicates(const Program& p) {
+  std::set<const datalog::PredicateInfo*> used;
+  for (const Rule& r : p.rules()) {
+    InsertAtomPred(r.head, &used);
+    for (const Subgoal& sg : r.body) {
+      if (sg.kind == Subgoal::Kind::kAtom ||
+          sg.kind == Subgoal::Kind::kNegatedAtom) {
+        InsertAtomPred(sg.atom, &used);
+      } else if (sg.kind == Subgoal::Kind::kAggregate) {
+        for (const Atom& a : sg.aggregate.atoms) InsertAtomPred(a, &used);
+      }
+    }
+  }
+  for (const datalog::Fact& f : p.facts()) {
+    if (f.pred != nullptr) used.insert(f.pred);
+  }
+  for (const datalog::IntegrityConstraint& c : p.constraints()) {
+    for (const Subgoal& sg : c.body) {
+      if (sg.kind == Subgoal::Kind::kAtom ||
+          sg.kind == Subgoal::Kind::kNegatedAtom) {
+        InsertAtomPred(sg.atom, &used);
+      }
+    }
+  }
+  return used;
+}
+
+class DeadPredicatePass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return Desc("MAD010"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    std::set<const datalog::PredicateInfo*> used =
+        OccurringPredicates(*ctx.program);
+    for (const auto& p : ctx.program->predicates()) {
+      if (used.count(p.get())) continue;
+      out->Add(Make(ctx, SourceSpan{},
+                    StrPrintf("predicate %s/%d is declared but never used in "
+                              "any rule, fact, or constraint",
+                              p->name.c_str(), p->arity)));
+    }
+  }
+};
+
+class UnreachableRulePass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return Desc("MAD011"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    std::set<const datalog::PredicateInfo*> derivable;
+    for (const Rule& r : ctx.program->rules()) {
+      if (r.head.pred != nullptr) derivable.insert(r.head.pred);
+    }
+    for (const datalog::Fact& f : ctx.program->facts()) {
+      if (f.pred != nullptr) derivable.insert(f.pred);
+    }
+    auto check_atom = [&](const Rule& r, const Atom& a) {
+      if (a.pred == nullptr) return;
+      // Default-value predicates carry bottom for every key, so they are
+      // never empty.
+      if (a.pred->has_default || derivable.count(a.pred)) return;
+      out->Add(Make(ctx, a.span.valid() ? a.span : r.span,
+                    StrPrintf("subgoal %s can never hold: predicate %s has "
+                              "no facts and no rules, so this rule never "
+                              "fires",
+                              a.ToString().c_str(), a.pred->name.c_str())));
+    };
+    for (const Rule& r : ctx.program->rules()) {
+      for (const Subgoal& sg : r.body) {
+        if (sg.kind == Subgoal::Kind::kAtom) {
+          check_atom(r, sg.atom);
+        } else if (sg.kind == Subgoal::Kind::kAggregate) {
+          for (const Atom& a : sg.aggregate.atoms) check_atom(r, a);
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MAD012: duplicate rules
+// ---------------------------------------------------------------------------
+
+/// Canonicalizes a rule's text by renaming variables (identifiers starting
+/// with an upper-case letter or '_') to V0, V1, ... in order of first
+/// occurrence. Two rules identical up to variable renaming canonicalize to
+/// the same string. Quoted string constants are skipped verbatim.
+std::string CanonicalRuleText(const Rule& r) {
+  std::string in = r.ToString();
+  std::string out;
+  std::map<std::string, std::string> renames;
+  size_t i = 0;
+  while (i < in.size()) {
+    char c = in[i];
+    if (c == '"') {
+      size_t j = i + 1;
+      while (j < in.size() && in[j] != '"') ++j;
+      out.append(in, i, j - i + 1);
+      i = j + 1;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < in.size() &&
+             (std::isalnum(static_cast<unsigned char>(in[j])) ||
+              in[j] == '_')) {
+        ++j;
+      }
+      std::string ident = in.substr(i, j - i);
+      if (std::isupper(static_cast<unsigned char>(c)) || c == '_') {
+        auto [it, inserted] = renames.emplace(
+            ident, StrPrintf("V%d", static_cast<int>(renames.size())));
+        out += it->second;
+      } else {
+        out += ident;
+      }
+      i = j;
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+class DuplicateRulePass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return Desc("MAD012"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    std::map<std::string, const Rule*> seen;
+    for (const Rule& r : ctx.program->rules()) {
+      std::string canon = CanonicalRuleText(r);
+      auto [it, inserted] = seen.emplace(canon, &r);
+      if (inserted) continue;
+      out->Add(Make(ctx, r.span,
+                    StrPrintf("rule duplicates the rule at line %d (identical "
+                              "up to variable renaming) and adds no "
+                              "derivations",
+                              it->second->source_line)));
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MAD013: cartesian products
+// ---------------------------------------------------------------------------
+
+class JoinGraph {
+ public:
+  const std::string& Find(const std::string& v) {
+    std::string* p = &parent_[v];
+    if (p->empty()) *p = v;
+    if (*p != v) *p = Find(*p);
+    return parent_[v];
+  }
+  void Union(const std::string& a, const std::string& b) {
+    std::string ra = Find(a), rb = Find(b);
+    if (ra != rb) parent_[ra] = rb;
+  }
+  void UnionAll(const std::vector<std::string>& vars) {
+    for (size_t i = 1; i < vars.size(); ++i) Union(vars[0], vars[i]);
+  }
+
+ private:
+  std::map<std::string, std::string> parent_;
+};
+
+class CartesianProductPass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return Desc("MAD013"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    for (const Rule& r : ctx.program->rules()) {
+      // Relational nodes: positive atoms and aggregate subgoals; built-ins
+      // and negated atoms act as connectors only (they filter, not enumerate).
+      struct Node {
+        std::vector<std::string> vars;
+        const Atom* atom = nullptr;
+        const datalog::AggregateSubgoal* agg = nullptr;
+      };
+      std::vector<Node> nodes;
+      JoinGraph jg;
+      for (const Subgoal& sg : r.body) {
+        std::vector<std::string> vars = sg.Vars();
+        jg.UnionAll(vars);
+        if (sg.kind == Subgoal::Kind::kAtom) {
+          Node n;
+          n.atom = &sg.atom;
+          for (const Term& t : sg.atom.args) {
+            if (t.is_var()) n.vars.push_back(t.var);
+          }
+          if (!n.vars.empty()) nodes.push_back(std::move(n));
+        } else if (sg.kind == Subgoal::Kind::kAggregate) {
+          Node n;
+          n.agg = &sg.aggregate;
+          n.vars = vars;
+          if (!n.vars.empty()) nodes.push_back(std::move(n));
+        }
+      }
+      if (nodes.size() < 2) continue;
+      std::map<std::string, std::vector<const Node*>> groups;
+      for (const Node& n : nodes) {
+        groups[jg.Find(n.vars.front())].push_back(&n);
+      }
+      if (groups.size() < 2) continue;
+      // Report against the second group's first subgoal, naming one subgoal
+      // from the first group for contrast.
+      auto it = groups.begin();
+      const Node* a = it->second.front();
+      ++it;
+      const Node* b = it->second.front();
+      auto describe = [](const Node* n) {
+        return n->atom != nullptr ? n->atom->ToString() : n->agg->ToString();
+      };
+      SourceSpan span = b->atom != nullptr ? b->atom->span : b->agg->span;
+      out->Add(
+          Make(ctx, span.valid() ? span : r.span,
+               StrPrintf("body splits into %d independent join groups: %s "
+                         "shares no variables with %s, forming a cartesian "
+                         "product",
+                         static_cast<int>(groups.size()),
+                         describe(b).c_str(), describe(a).c_str())));
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MAD014: cost-domain mismatches
+// ---------------------------------------------------------------------------
+
+class CostDomainMismatchPass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return Desc("MAD014"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    for (const Rule& r : ctx.program->rules()) {
+      struct CostUse {
+        const datalog::PredicateInfo* pred;
+        SourceSpan span;
+      };
+      std::map<std::string, CostUse> first;
+      std::set<std::string> reported;
+      auto visit_atom = [&](const Atom& a) {
+        if (a.pred == nullptr || !a.pred->has_cost) return;
+        const Term* cost = a.CostTerm();
+        if (cost == nullptr || !cost->is_var()) return;
+        auto [it, inserted] =
+            first.emplace(cost->var, CostUse{a.pred, cost->span});
+        if (inserted) return;
+        if (it->second.pred->domain == a.pred->domain) return;
+        if (!reported.insert(cost->var).second) return;
+        out->Add(Make(
+            ctx, cost->span.valid() ? cost->span : r.span,
+            StrPrintf("variable %s is the cost argument of %s (lattice %s) "
+                      "and of %s (lattice %s); values from unrelated orders "
+                      "are being conflated",
+                      cost->var.c_str(), a.pred->name.c_str(),
+                      std::string(a.pred->domain->name()).c_str(),
+                      it->second.pred->name.c_str(),
+                      std::string(it->second.pred->domain->name()).c_str())));
+      };
+      visit_atom(r.head);
+      for (const Subgoal& sg : r.body) {
+        if (sg.kind == Subgoal::Kind::kAtom ||
+            sg.kind == Subgoal::Kind::kNegatedAtom) {
+          visit_atom(sg.atom);
+        } else if (sg.kind == Subgoal::Kind::kAggregate) {
+          for (const Atom& a : sg.aggregate.atoms) visit_atom(a);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Diagnostic AdmissibilityDiagnostic(const AdmissibilityViolation& v,
+                                   const Rule& rule,
+                                   const DependencyGraph& graph,
+                                   const std::string& file) {
+  Diagnostic d;
+  d.message = v.message;
+  d.file = file;
+  d.span = v.span;
+  switch (v.aspect) {
+    case AdmissibilityAspect::kNegation:
+      // A negated CDB subgoal makes the component recursive through
+      // negation, which overall() always rejects.
+      d.rule_id = Desc("MAD006").FullId();
+      d.severity = Severity::kError;
+      break;
+    case AdmissibilityAspect::kPseudoMonotonicNoDefault:
+      // The aggregate ranges over a CDB predicate, so the component is
+      // recursive through aggregation and inadmissibility rejects it.
+      d.rule_id = Desc("MAD005").FullId();
+      d.severity = Severity::kError;
+      break;
+    default:
+      d.rule_id = Desc("MAD004").FullId();
+      d.severity = ComponentRecursesThroughAggregationOrNegation(rule, graph)
+                       ? Severity::kError
+                       : Severity::kWarning;
+      break;
+  }
+  return d;
+}
+
+PassManager MakePaperPassManager() {
+  PassManager pm;
+  pm.AddPass(std::make_unique<RangeRestrictionPass>());
+  pm.AddPass(std::make_unique<CostRespectingPass>());
+  pm.AddPass(std::make_unique<ConflictFreePass>());
+  pm.AddPass(std::make_unique<AdmissibilityPass>());
+  pm.AddPass(std::make_unique<TerminationPass>());
+  pm.AddPass(std::make_unique<PrefixSoundnessPass>());
+  return pm;
+}
+
+PassManager MakeDefaultPassManager() {
+  PassManager pm = MakePaperPassManager();
+  pm.AddPass(std::make_unique<SingletonVariablePass>());
+  pm.AddPass(std::make_unique<DeadPredicatePass>());
+  pm.AddPass(std::make_unique<UnreachableRulePass>());
+  pm.AddPass(std::make_unique<DuplicateRulePass>());
+  pm.AddPass(std::make_unique<CartesianProductPass>());
+  pm.AddPass(std::make_unique<CostDomainMismatchPass>());
+  return pm;
+}
+
+}  // namespace lint
+}  // namespace analysis
+}  // namespace mad

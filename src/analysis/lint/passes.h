@@ -1,0 +1,38 @@
+#ifndef MAD_ANALYSIS_LINT_PASSES_H_
+#define MAD_ANALYSIS_LINT_PASSES_H_
+
+#include <string>
+
+#include "analysis/admissibility.h"
+#include "analysis/lint/pass.h"
+
+namespace mad {
+namespace analysis {
+namespace lint {
+
+/// The paper's five checks as lint passes (MAD001–MAD008): range
+/// restriction, cost-respecting, conflict freedom, admissibility (split into
+/// MAD004/MAD005/MAD006 by aspect), termination, and prefix soundness.
+/// Exactly these passes carry error severity, and an error is emitted iff
+/// ProgramCheckResult::overall() fails — the lint report and the evaluator's
+/// accept/reject decision agree by construction.
+PassManager MakePaperPassManager();
+
+/// Paper passes plus the hygiene/performance passes (MAD009–MAD014), which
+/// only ever emit warnings and notes. This is what the madlint tool runs.
+PassManager MakeDefaultPassManager();
+
+/// Maps one admissibility violation to its diagnostic. Aspect picks the rule
+/// (negation → MAD006, missing default → MAD005, everything else → MAD004);
+/// MAD004's severity is an error only when the head's component recurses
+/// through aggregation or negation — exactly when overall() would reject.
+Diagnostic AdmissibilityDiagnostic(const AdmissibilityViolation& v,
+                                   const datalog::Rule& rule,
+                                   const DependencyGraph& graph,
+                                   const std::string& file);
+
+}  // namespace lint
+}  // namespace analysis
+}  // namespace mad
+
+#endif  // MAD_ANALYSIS_LINT_PASSES_H_

@@ -128,15 +128,21 @@ VariableClassification ClassifyVariables(const Rule& rule) {
 
 namespace {
 
-Status Violation(const Rule& rule, const std::string& what) {
-  return Status::AnalysisError(
-      StrPrintf("rule '%s' (line %d) is not range-restricted: %s",
-                rule.ToString().c_str(), rule.source_line, what.c_str()));
+/// Falls back to the rule span when the more specific span is unknown.
+datalog::SourceSpan SpanOr(const datalog::SourceSpan& specific,
+                           const Rule& rule) {
+  return specific.valid() ? specific : rule.span;
 }
 
 }  // namespace
 
-Status CheckRuleRangeRestricted(const Rule& rule) {
+std::vector<CheckViolation> CollectRangeRestrictionViolations(
+    const Rule& rule) {
+  std::vector<CheckViolation> out;
+  auto add = [&](datalog::SourceSpan span, std::string message) {
+    out.push_back({std::move(message), SpanOr(span, rule)});
+  };
+
   VariableClassification cls = ClassifyVariables(rule);
   auto limited = [&](const std::string& v) { return cls.limited.count(v) > 0; };
   auto quasi = [&](const std::string& v) {
@@ -151,10 +157,10 @@ Status CheckRuleRangeRestricted(const Rule& rule) {
           for (int i = 0; i < sg.atom.pred->key_arity(); ++i) {
             const Term& t = sg.atom.args[i];
             if (t.is_var() && !limited(t.var)) {
-              return Violation(
-                  rule, StrPrintf("variable %s in a non-cost argument of "
-                                  "default-value predicate %s is not limited",
-                                  t.var.c_str(), sg.atom.pred->name.c_str()));
+              add(t.span,
+                  StrPrintf("variable %s in a non-cost argument of "
+                            "default-value predicate %s is not limited",
+                            t.var.c_str(), sg.atom.pred->name.c_str()));
             }
           }
         }
@@ -166,10 +172,10 @@ Status CheckRuleRangeRestricted(const Rule& rule) {
           bool is_cost = sg.atom.pred->has_cost &&
                          i == sg.atom.pred->cost_position();
           if (is_cost ? !quasi(t.var) : !limited(t.var)) {
-            return Violation(
-                rule, StrPrintf("variable %s in negated subgoal !%s is not %s",
-                                t.var.c_str(), sg.atom.pred->name.c_str(),
-                                is_cost ? "quasi-limited" : "limited"));
+            add(t.span,
+                StrPrintf("variable %s in negated subgoal !%s is not %s",
+                          t.var.c_str(), sg.atom.pred->name.c_str(),
+                          is_cost ? "quasi-limited" : "limited"));
           }
         }
         break;
@@ -178,10 +184,10 @@ Status CheckRuleRangeRestricted(const Rule& rule) {
         const AggregateSubgoal& agg = sg.aggregate;
         for (const std::string& v : agg.grouping_vars) {
           if (!limited(v)) {
-            return Violation(
-                rule, StrPrintf("grouping variable %s of aggregate subgoal "
-                                "'%s' is not limited",
-                                v.c_str(), agg.ToString().c_str()));
+            add(agg.span,
+                StrPrintf("grouping variable %s of aggregate subgoal "
+                          "'%s' is not limited",
+                          v.c_str(), agg.ToString().c_str()));
           }
         }
         // Local variables in non-cost arguments must be limited, and key
@@ -195,8 +201,7 @@ Status CheckRuleRangeRestricted(const Rule& rule) {
                 std::find(agg.local_vars.begin(), agg.local_vars.end(),
                           t.var) != agg.local_vars.end();
             if ((is_local || a.pred->has_default) && !limited(t.var)) {
-              return Violation(
-                  rule,
+              add(t.span,
                   StrPrintf("variable %s inside aggregate subgoal is not "
                             "limited (atom %s)",
                             t.var.c_str(), a.ToString().c_str()));
@@ -208,10 +213,10 @@ Status CheckRuleRangeRestricted(const Rule& rule) {
       case Subgoal::Kind::kBuiltin: {
         for (const std::string& v : sg.builtin.Vars()) {
           if (!quasi(v)) {
-            return Violation(
-                rule, StrPrintf("variable %s in built-in subgoal '%s' is "
-                                "neither limited nor quasi-limited",
-                                v.c_str(), sg.builtin.ToString().c_str()));
+            add(rule.span,
+                StrPrintf("variable %s in built-in subgoal '%s' is "
+                          "neither limited nor quasi-limited",
+                          v.c_str(), sg.builtin.ToString().c_str()));
           }
         }
         break;
@@ -226,12 +231,21 @@ Status CheckRuleRangeRestricted(const Rule& rule) {
     if (!t.is_var()) continue;
     bool is_cost = head.pred->has_cost && i == head.pred->cost_position();
     if (is_cost ? !quasi(t.var) : !limited(t.var)) {
-      return Violation(
-          rule, StrPrintf("head variable %s is not %s", t.var.c_str(),
-                          is_cost ? "quasi-limited" : "limited"));
+      add(t.span, StrPrintf("head variable %s is not %s", t.var.c_str(),
+                            is_cost ? "quasi-limited" : "limited"));
     }
   }
-  return Status::OK();
+  return out;
+}
+
+Status CheckRuleRangeRestricted(const Rule& rule) {
+  std::vector<CheckViolation> violations =
+      CollectRangeRestrictionViolations(rule);
+  if (violations.empty()) return Status::OK();
+  return Status::AnalysisError(
+      StrPrintf("rule '%s' (line %d) is not range-restricted: %s",
+                rule.ToString().c_str(), rule.source_line,
+                violations.front().message.c_str()));
 }
 
 Status CheckRangeRestricted(const datalog::Program& program) {

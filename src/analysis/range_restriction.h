@@ -3,7 +3,9 @@
 
 #include <set>
 #include <string>
+#include <vector>
 
+#include "analysis/violation.h"
 #include "datalog/ast.h"
 #include "util/status.h"
 
@@ -23,8 +25,15 @@ struct VariableClassification {
 /// rule.
 VariableClassification ClassifyVariables(const datalog::Rule& rule);
 
+/// Collects *every* range-restriction violation of one rule (Definition
+/// 2.5), with a span pointing at the offending subgoal or argument. Empty
+/// iff the rule is range-restricted.
+std::vector<CheckViolation> CollectRangeRestrictionViolations(
+    const datalog::Rule& rule);
+
 /// Checks one rule for range restriction (Definition 2.5). Returns OK or an
-/// AnalysisError naming the offending variable and position.
+/// AnalysisError naming the offending variable and position (first violation
+/// only; use CollectRangeRestrictionViolations for all of them).
 Status CheckRuleRangeRestricted(const datalog::Rule& rule);
 
 /// Checks every rule of the program; reports the first violation.

@@ -1,0 +1,26 @@
+#ifndef MAD_ANALYSIS_VIOLATION_H_
+#define MAD_ANALYSIS_VIOLATION_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/source_span.h"
+
+namespace mad {
+namespace analysis {
+
+/// One violation found by a static check, before it is turned into either a
+/// first-failure Status (the legacy Check* entry points) or a structured
+/// lint::Diagnostic (the pass manager). `message` carries only the detail —
+/// the caller prefixes the rule/line context it wants.
+struct CheckViolation {
+  std::string message;
+  /// Most specific source region available: the offending term or atom when
+  /// known, otherwise the whole rule.
+  datalog::SourceSpan span;
+};
+
+}  // namespace analysis
+}  // namespace mad
+
+#endif  // MAD_ANALYSIS_VIOLATION_H_

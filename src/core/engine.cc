@@ -83,6 +83,10 @@ StatusOr<EvalResult> Engine::Run(Database edb) const {
   EvalResult result;
   result.check = analysis::CheckProgram(*program_, graph_);
   if (options_.validate) {
+    // overall() fails exactly when check.diagnostics carries error-severity
+    // findings. Warning- and note-level findings (termination, prefix
+    // soundness, hygiene) stay recorded in result.check and evaluation
+    // proceeds.
     MAD_RETURN_IF_ERROR(result.check.overall());
   }
 

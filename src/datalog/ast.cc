@@ -336,6 +336,7 @@ Rule Rule::Clone() const {
   Rule r;
   r.head = head;
   r.source_line = source_line;
+  r.span = span;
   r.body.reserve(body.size());
   for (const Subgoal& sg : body) r.body.push_back(sg.Clone());
   return r;

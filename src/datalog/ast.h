@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "datalog/source_span.h"
 #include "datalog/value.h"
 #include "lattice/aggregate.h"
 #include "lattice/cost_domain.h"
@@ -56,6 +57,9 @@ struct Term {
   Kind kind = Kind::kConstant;
   std::string var;  ///< variable name, valid iff kind == kVariable
   Value constant;   ///< valid iff kind == kConstant
+  /// Source region of the term; invalid for programmatically built terms.
+  /// Ignored by operator== — two terms are equal wherever they were written.
+  SourceSpan span;
 
   static Term Var(std::string name) {
     Term t;
@@ -111,6 +115,8 @@ const char* CmpOpName(CmpOp op);
 struct Atom {
   const PredicateInfo* pred = nullptr;
   std::vector<Term> args;
+  /// Source region of the whole atom (predicate name through ')').
+  SourceSpan span;
 
   /// Variables in key (non-cost) positions.
   std::vector<std::string> KeyVars() const;
@@ -138,6 +144,9 @@ struct AggregateSubgoal {
   /// Conjunction of positive atoms inside the subgoal (no negation allowed,
   /// Definition 2.4).
   std::vector<Atom> atoms;
+  /// Source region of the whole aggregate subgoal (result term through the
+  /// closing atom).
+  SourceSpan span;
 
   /// Variables of `atoms` that also occur elsewhere in the rule — the
   /// grouping variables X1..Xn. Computed by Rule::Finalize().
@@ -194,6 +203,8 @@ struct Rule {
   std::vector<Subgoal> body;
   /// 1-based line in the source text (0 for programmatically built rules).
   int source_line = 0;
+  /// Source region of the whole clause (head through the terminating '.').
+  SourceSpan span;
 
   /// Recomputes grouping/local variable classifications of every aggregate
   /// subgoal (Definition 2.4's X/Y split depends on the whole rule).

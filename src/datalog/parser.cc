@@ -54,6 +54,17 @@ struct Token {
   bool is_integer = false;
   int line = 0;
   int col = 0;  // 1-based column of the token's first character
+  int end_line = 0;  // 1-based line just past the token's last character
+  int end_col = 0;   // 1-based column just past the token's last character
+
+  SourceSpan Span() const {
+    SourceSpan s;
+    s.line = line;
+    s.col = col;
+    s.end_line = end_line;
+    s.end_col = end_col;
+    return s;
+  }
 };
 
 class Lexer {
@@ -66,12 +77,16 @@ class Lexer {
       SkipSpaceAndComments();
       if (pos_ >= src_.size()) break;
       MAD_ASSIGN_OR_RETURN(Token t, Next());
+      t.end_line = line_;
+      t.end_col = Col();
       out.push_back(std::move(t));
     }
     Token end;
     end.kind = Tok::kEnd;
     end.line = line_;
     end.col = Col();
+    end.end_line = end.line;
+    end.end_col = end.col;
     out.push_back(end);
     return out;
   }
@@ -352,6 +367,20 @@ class Parser {
                                         Peek().col, msg.c_str()));
   }
 
+  /// Source region from the token at index `start_tok` through the most
+  /// recently consumed token.
+  SourceSpan SpanFrom(size_t start_tok) const {
+    const Token& s = tokens_[start_tok < tokens_.size() ? start_tok
+                                                        : tokens_.size() - 1];
+    const Token& e = tokens_[pos_ > start_tok ? pos_ - 1 : start_tok];
+    SourceSpan sp;
+    sp.line = s.line;
+    sp.col = s.col;
+    sp.end_line = e.end_line;
+    sp.end_col = e.end_col;
+    return sp;
+  }
+
   Status ParseItem() {
     if (Peek().kind == Tok::kDirective) {
       const std::string& d = Peek().text;
@@ -421,6 +450,7 @@ class Parser {
   // head [:- body] .
   Status ParseClause() {
     int clause_line = Peek().line;
+    size_t clause_start = pos_;
     MAD_ASSIGN_OR_RETURN(Atom head, ParseAtom());
     last_clause_line_ = clause_line;
     std::vector<Subgoal> body;
@@ -431,10 +461,12 @@ class Parser {
     }
     MAD_RETURN_IF_ERROR(Expect(Tok::kDot, "'.'"));
     last_clause_line_ = clause_line;
-    return AddClause(std::move(head), std::move(body), had_body);
+    return AddClause(std::move(head), std::move(body), had_body,
+                     SpanFrom(clause_start));
   }
 
-  Status AddClause(Atom head, std::vector<Subgoal> body, bool had_body) {
+  Status AddClause(Atom head, std::vector<Subgoal> body, bool had_body,
+                   SourceSpan span = {}) {
     if (!had_body) {
       // Ground heads become EDB facts; nonground bodyless clauses are rules
       // (caught later by the range-restriction check if unsafe).
@@ -463,6 +495,7 @@ class Parser {
     rule.head = std::move(head);
     rule.body = std::move(body);
     rule.source_line = last_clause_line_;
+    rule.span = span;
     program_->AddRule(std::move(rule));
     return Status::OK();
   }
@@ -497,6 +530,7 @@ class Parser {
     }
     // Otherwise: an expression followed by a comparison — either a built-in
     // subgoal or (for '='/'=r' + aggregate name) an aggregate subgoal.
+    size_t subgoal_start = pos_;
     MAD_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseExpr());
     Tok op_tok = Peek().kind;
     if (!IsComparison(op_tok)) {
@@ -507,7 +541,7 @@ class Parser {
     if ((op_tok == Tok::kEq || op_tok == Tok::kEqR) &&
         Peek().kind == Tok::kIdent &&
         lattice::AggregateRegistry::Global().IsAggregateName(Peek().text)) {
-      return ParseAggregateSubgoal(std::move(lhs), restricted);
+      return ParseAggregateSubgoal(std::move(lhs), restricted, subgoal_start);
     }
     if (op_tok == Tok::kEqR) {
       return Error("'=r' is only valid in aggregate subgoals");
@@ -520,7 +554,8 @@ class Parser {
   }
 
   StatusOr<Subgoal> ParseAggregateSubgoal(std::unique_ptr<Expr> lhs,
-                                          bool restricted) {
+                                          bool restricted,
+                                          size_t subgoal_start) {
     AggregateSubgoal agg;
     agg.restricted = restricted;
     // The result term must be a simple variable or constant.
@@ -531,6 +566,8 @@ class Parser {
     } else {
       return Error("aggregate result must be a variable or constant");
     }
+    // A simple result is exactly one token, the one at subgoal_start.
+    agg.result.span = tokens_[subgoal_start].Span();
     agg.function_name = Advance().text;
     if (Peek().kind == Tok::kVar) {
       agg.multiset_var = Advance().text;
@@ -547,6 +584,7 @@ class Parser {
       MAD_ASSIGN_OR_RETURN(Atom a, ParseAtom());
       agg.atoms.push_back(std::move(a));
     }
+    agg.span = SpanFrom(subgoal_start);
     MAD_RETURN_IF_ERROR(ResolveAggregate(&agg));
     return Subgoal::Aggregate(std::move(agg));
   }
@@ -600,6 +638,7 @@ class Parser {
   StatusOr<Atom> ParseAtom() {
     if (Peek().kind != Tok::kIdent) return Error("expected predicate name");
     last_clause_line_ = Peek().line;
+    size_t atom_start = pos_;
     std::string name = Advance().text;
     std::vector<Term> args;
     if (Accept(Tok::kLParen)) {
@@ -616,6 +655,7 @@ class Parser {
     Atom a;
     a.pred = pred.value();
     a.args = std::move(args);
+    a.span = SpanFrom(atom_start);
     return a;
   }
 
@@ -639,32 +679,37 @@ class Parser {
 
   StatusOr<Term> ParseTerm() {
     const Token& t = Peek();
+    size_t term_start = pos_;
+    auto spanned = [&](Term term) {
+      term.span = SpanFrom(term_start);
+      return term;
+    };
     switch (t.kind) {
       case Tok::kLBrace: {
         MAD_ASSIGN_OR_RETURN(Value set, ParseSetLiteral());
-        return Term::Const(std::move(set));
+        return spanned(Term::Const(std::move(set)));
       }
       case Tok::kVar: {
         std::string name = Advance().text;
         if (name == "_") {
           // Anonymous variable: each '_' is a fresh variable.
-          return Term::Var(StrPrintf("_anon%d", anon_counter_++));
+          return spanned(Term::Var(StrPrintf("_anon%d", anon_counter_++)));
         }
-        return Term::Var(std::move(name));
+        return spanned(Term::Var(std::move(name)));
       }
       case Tok::kIdent: {
         std::string text = Advance().text;
-        if (text == "true") return Term::Const(Value::Bool(true));
-        if (text == "false") return Term::Const(Value::Bool(false));
-        return Term::Const(Value::Symbol(text));
+        if (text == "true") return spanned(Term::Const(Value::Bool(true)));
+        if (text == "false") return spanned(Term::Const(Value::Bool(false)));
+        return spanned(Term::Const(Value::Symbol(text)));
       }
       case Tok::kString:
-        return Term::Const(Value::Symbol(Advance().text));
+        return spanned(Term::Const(Value::Symbol(Advance().text)));
       case Tok::kNumber: {
         const Token& num = Advance();
-        return Term::Const(num.is_integer
-                               ? Value::Int(static_cast<int64_t>(num.number))
-                               : Value::Real(num.number));
+        return spanned(Term::Const(
+            num.is_integer ? Value::Int(static_cast<int64_t>(num.number))
+                           : Value::Real(num.number)));
       }
       default:
         return Error("expected term");

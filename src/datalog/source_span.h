@@ -1,0 +1,60 @@
+#ifndef MAD_DATALOG_SOURCE_SPAN_H_
+#define MAD_DATALOG_SOURCE_SPAN_H_
+
+#include <string>
+
+namespace mad {
+namespace datalog {
+
+/// A half-open region of program source text, in 1-based lines and columns.
+/// Default-constructed spans (line == 0) mean "no source location" — the AST
+/// node was built programmatically rather than parsed. Diagnostics carry
+/// spans so they can point at the offending argument, not just its line.
+struct SourceSpan {
+  int line = 0;      ///< 1-based start line; 0 = unknown
+  int col = 0;       ///< 1-based start column
+  int end_line = 0;  ///< 1-based line of the character just past the span
+  int end_col = 0;   ///< 1-based column just past the span (exclusive)
+
+  bool valid() const { return line > 0; }
+
+  /// Spans the region covering both `a` and `b` (either may be invalid).
+  static SourceSpan Cover(const SourceSpan& a, const SourceSpan& b) {
+    if (!a.valid()) return b;
+    if (!b.valid()) return a;
+    SourceSpan out = a;
+    if (b.line < out.line || (b.line == out.line && b.col < out.col)) {
+      out.line = b.line;
+      out.col = b.col;
+    }
+    if (b.end_line > out.end_line ||
+        (b.end_line == out.end_line && b.end_col > out.end_col)) {
+      out.end_line = b.end_line;
+      out.end_col = b.end_col;
+    }
+    return out;
+  }
+
+  bool operator==(const SourceSpan& o) const {
+    return line == o.line && col == o.col && end_line == o.end_line &&
+           end_col == o.end_col;
+  }
+
+  /// "12:5-12:18", "12:5-14:2", or "<unknown>".
+  std::string ToString() const {
+    if (!valid()) return "<unknown>";
+    std::string out =
+        std::to_string(line) + ":" + std::to_string(col);
+    if (end_line > 0) {
+      out += "-";
+      if (end_line != line) out += std::to_string(end_line) + ":";
+      out += std::to_string(end_col);
+    }
+    return out;
+  }
+};
+
+}  // namespace datalog
+}  // namespace mad
+
+#endif  // MAD_DATALOG_SOURCE_SPAN_H_

@@ -1,0 +1,215 @@
+// A deliberately tiny recursive-descent JSON reader, used only by tests to
+// lock the shape of madlint's --format=json / --format=sarif output. The
+// project has no JSON dependency, and the renderers hand-emit their output;
+// this is the independent decoder that keeps them honest.
+#ifndef MAD_TESTS_JSON_LITE_H_
+#define MAD_TESTS_JSON_LITE_H_
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mad {
+namespace testing {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  bool Has(const std::string& key) const {
+    return is_object() && obj.count(key) > 0;
+  }
+  const JsonValue& At(const std::string& key) const {
+    static const JsonValue missing;
+    auto it = obj.find(key);
+    return it == obj.end() ? missing : it->second;
+  }
+};
+
+class JsonLiteParser {
+ public:
+  explicit JsonLiteParser(const std::string& text) : text_(text) {}
+
+  std::optional<JsonValue> Parse() {
+    std::optional<JsonValue> v = ParseValue();
+    SkipSpace();
+    if (!v.has_value() || pos_ != text_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* w) {
+    SkipSpace();
+    size_t n = std::string(w).size();
+    if (text_.compare(pos_, n, w) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return std::nullopt;
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (ConsumeWord("true")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (ConsumeWord("false")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    if (ConsumeWord("null")) return JsonValue{};
+    return ParseNumber();
+  }
+
+  std::optional<JsonValue> ParseObject() {
+    if (!Consume('{')) return std::nullopt;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) return v;
+    while (true) {
+      std::optional<JsonValue> key = ParseString();
+      if (!key.has_value() || !Consume(':')) return std::nullopt;
+      std::optional<JsonValue> val = ParseValue();
+      if (!val.has_value()) return std::nullopt;
+      v.obj.emplace(key->str, std::move(*val));
+      if (Consume(',')) continue;
+      if (Consume('}')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> ParseArray() {
+    if (!Consume('[')) return std::nullopt;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) return v;
+    while (true) {
+      std::optional<JsonValue> val = ParseValue();
+      if (!val.has_value()) return std::nullopt;
+      v.arr.push_back(std::move(*val));
+      if (Consume(',')) continue;
+      if (Consume(']')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> ParseString() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return std::nullopt;
+    ++pos_;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        v.str += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          v.str += esc;
+          break;
+        case 'n':
+          v.str += '\n';
+          break;
+        case 'r':
+          v.str += '\r';
+          break;
+        case 't':
+          v.str += '\t';
+          break;
+        case 'b':
+          v.str += '\b';
+          break;
+        case 'f':
+          v.str += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          int code = std::stoi(text_.substr(pos_, 4), nullptr, 16);
+          pos_ += 4;
+          // Tests only emit control characters this way; keep it one byte.
+          v.str += static_cast<char>(code);
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    if (pos_ >= text_.size()) return std::nullopt;
+    ++pos_;  // closing quote
+    return v;
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+inline std::optional<JsonValue> ParseJson(const std::string& text) {
+  return JsonLiteParser(text).Parse();
+}
+
+}  // namespace testing
+}  // namespace mad
+
+#endif  // MAD_TESTS_JSON_LITE_H_

@@ -1,0 +1,267 @@
+// The diagnostic data model and its three renderers: rule registry, text
+// formatting, and the JSON / SARIF schemas locked by an independent decoder.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/lint/diagnostic.h"
+#include "json_lite.h"
+
+namespace mad {
+namespace analysis {
+namespace lint {
+namespace {
+
+using mad::testing::JsonValue;
+using mad::testing::ParseJson;
+
+Diagnostic MakeDiag(const char* rule, Severity sev, const char* msg,
+                    const char* file, int line, int col, int end_col) {
+  Diagnostic d;
+  d.rule_id = rule;
+  d.severity = sev;
+  d.message = msg;
+  d.file = file;
+  d.span = {line, col, line, end_col};
+  return d;
+}
+
+DiagnosticList SampleList() {
+  DiagnosticList list;
+  list.Add(MakeDiag("MAD009-singleton-variable", Severity::kWarning,
+                    "variable Y occurs only once in this rule", "a.mdl", 7, 6,
+                    7));
+  list.Add(MakeDiag("MAD001-range-restriction", Severity::kError,
+                    "head variable Y is not limited", "a.mdl", 7, 6, 7));
+  list.Add(MakeDiag("MAD010-dead-predicate", Severity::kNote,
+                    "predicate unused/1 is declared but never used in any "
+                    "rule, fact, or constraint",
+                    "a.mdl", 0, 0, 0));
+  list.Sort();
+  return list;
+}
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(LintRegistryTest, FourteenRulesWithUniqueStableIds) {
+  const auto& rules = AllLintRules();
+  EXPECT_EQ(rules.size(), 14u);
+  std::set<std::string> codes, ids;
+  for (const LintRuleDesc& r : rules) {
+    codes.insert(r.code);
+    ids.insert(r.FullId());
+    EXPECT_NE(r.summary[0], '\0');
+    EXPECT_NE(r.paper_ref[0], '\0');
+  }
+  EXPECT_EQ(codes.size(), rules.size());
+  EXPECT_EQ(ids.size(), rules.size());
+  EXPECT_EQ(rules.front().FullId(), "MAD001-range-restriction");
+}
+
+TEST(LintRegistryTest, FindByCodeAndByFullId) {
+  EXPECT_NE(FindLintRule("MAD003"), nullptr);
+  EXPECT_NE(FindLintRule("MAD003-conflict-free"), nullptr);
+  EXPECT_EQ(FindLintRule("MAD003"), FindLintRule("MAD003-conflict-free"));
+  EXPECT_EQ(FindLintRule("MAD999"), nullptr);
+  EXPECT_EQ(FindLintRule(""), nullptr);
+}
+
+TEST(LintRegistryTest, PaperChecksDefaultToErrorHygieneDoesNot) {
+  EXPECT_EQ(FindLintRule("MAD001")->default_severity, Severity::kError);
+  EXPECT_EQ(FindLintRule("MAD002")->default_severity, Severity::kError);
+  EXPECT_EQ(FindLintRule("MAD003")->default_severity, Severity::kError);
+  for (const char* code :
+       {"MAD007", "MAD009", "MAD011", "MAD012", "MAD013", "MAD014"}) {
+    EXPECT_EQ(FindLintRule(code)->default_severity, Severity::kWarning)
+        << code;
+  }
+  EXPECT_EQ(FindLintRule("MAD008")->default_severity, Severity::kNote);
+  EXPECT_EQ(FindLintRule("MAD010")->default_severity, Severity::kNote);
+}
+
+// --- Text rendering ---------------------------------------------------------
+
+TEST(DiagnosticTest, ToStringCarriesFileSpanSeverityAndRuleId) {
+  Diagnostic d = MakeDiag("MAD001-range-restriction", Severity::kError,
+                          "head variable Y is not limited", "a.mdl", 7, 6, 7);
+  EXPECT_EQ(d.ToString(),
+            "a.mdl:7:6-7: error: head variable Y is not limited "
+            "[MAD001-range-restriction]");
+}
+
+TEST(DiagnosticTest, ToStringOmitsUnknownSpanAndNamesAnonymousInput) {
+  Diagnostic d = MakeDiag("MAD010-dead-predicate", Severity::kNote,
+                          "predicate unused/1 is never used", "", 0, 0, 0);
+  EXPECT_EQ(d.ToString(),
+            "<input>: note: predicate unused/1 is never used "
+            "[MAD010-dead-predicate]");
+}
+
+TEST(DiagnosticTest, ToStringRendersFixits) {
+  Diagnostic d = MakeDiag("MAD009-singleton-variable", Severity::kWarning,
+                          "variable Y occurs only once in this rule", "a.mdl",
+                          7, 6, 7);
+  d.fixits.push_back({{7, 6, 7, 7}, "_Y", "prefix with '_'"});
+  std::string s = d.ToString();
+  EXPECT_NE(s.find("fix at 7:6-7: prefix with '_' -> `_Y`"),
+            std::string::npos);
+}
+
+TEST(DiagnosticListTest, SortOrdersBySpanWithUnlocatedLast) {
+  DiagnosticList list = SampleList();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.diagnostics()[0].rule_id, "MAD001-range-restriction");
+  EXPECT_EQ(list.diagnostics()[1].rule_id, "MAD009-singleton-variable");
+  EXPECT_EQ(list.diagnostics()[2].rule_id, "MAD010-dead-predicate");
+}
+
+TEST(DiagnosticListTest, RenderTextEndsWithSummaryLine) {
+  std::string text = SampleList().RenderText();
+  EXPECT_NE(text.find("1 error(s), 1 warning(s), 1 note(s)\n"),
+            std::string::npos);
+  EXPECT_EQ(DiagnosticList().RenderText(), "");
+}
+
+TEST(DiagnosticListTest, SeverityCounting) {
+  DiagnosticList list = SampleList();
+  EXPECT_EQ(list.CountSeverity(Severity::kError), 1);
+  EXPECT_EQ(list.CountSeverity(Severity::kWarning), 1);
+  EXPECT_EQ(list.CountSeverity(Severity::kNote), 1);
+  EXPECT_TRUE(list.HasErrors());
+  EXPECT_FALSE(DiagnosticList().HasErrors());
+}
+
+// --- JSON escaping ----------------------------------------------------------
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+// --- JSON schema ------------------------------------------------------------
+
+TEST(RenderJsonTest, ParsesBackAndRoundTripsEveryField) {
+  DiagnosticList list = SampleList();
+  std::optional<JsonValue> doc = ParseJson(list.RenderJson());
+  ASSERT_TRUE(doc.has_value()) << list.RenderJson();
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->At("version").number, 1);
+
+  const JsonValue& diags = doc->At("diagnostics");
+  ASSERT_TRUE(diags.is_array());
+  ASSERT_EQ(diags.arr.size(), list.size());
+  for (size_t i = 0; i < list.size(); ++i) {
+    const Diagnostic& d = list.diagnostics()[i];
+    const JsonValue& j = diags.arr[i];
+    EXPECT_EQ(j.At("ruleId").str, d.rule_id);
+    EXPECT_EQ(j.At("severity").str, SeverityName(d.severity));
+    EXPECT_EQ(j.At("message").str, d.message);
+    EXPECT_EQ(j.At("file").str, d.file);
+    EXPECT_EQ(j.At("span").At("line").number, d.span.line);
+    EXPECT_EQ(j.At("span").At("col").number, d.span.col);
+    EXPECT_EQ(j.At("span").At("endLine").number, d.span.end_line);
+    EXPECT_EQ(j.At("span").At("endCol").number, d.span.end_col);
+  }
+
+  const JsonValue& summary = doc->At("summary");
+  EXPECT_EQ(summary.At("errors").number, 1);
+  EXPECT_EQ(summary.At("warnings").number, 1);
+  EXPECT_EQ(summary.At("notes").number, 1);
+}
+
+TEST(RenderJsonTest, FixitsSurviveTheRoundTrip) {
+  DiagnosticList list;
+  Diagnostic d = MakeDiag("MAD009-singleton-variable", Severity::kWarning,
+                          "variable \"Y\"\nonly once", "dir/a.mdl", 3, 2, 3);
+  d.fixits.push_back({{3, 2, 3, 3}, "_Y", "prefix with '_'"});
+  list.Add(std::move(d));
+  std::optional<JsonValue> doc = ParseJson(list.RenderJson());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue& j = doc->At("diagnostics").arr.at(0);
+  // The escaped quote and newline decode back to the original message.
+  EXPECT_EQ(j.At("message").str, "variable \"Y\"\nonly once");
+  const JsonValue& fix = j.At("fixits").arr.at(0);
+  EXPECT_EQ(fix.At("replacement").str, "_Y");
+  EXPECT_EQ(fix.At("description").str, "prefix with '_'");
+  EXPECT_EQ(fix.At("span").At("line").number, 3);
+}
+
+// --- SARIF schema -----------------------------------------------------------
+
+TEST(RenderSarifTest, MinimalSarif210Shape) {
+  DiagnosticList list = SampleList();
+  std::optional<JsonValue> doc = ParseJson(list.RenderSarif());
+  ASSERT_TRUE(doc.has_value()) << list.RenderSarif();
+  EXPECT_EQ(doc->At("version").str, "2.1.0");
+  EXPECT_NE(doc->At("$schema").str.find("sarif"), std::string::npos);
+
+  ASSERT_EQ(doc->At("runs").arr.size(), 1u);
+  const JsonValue& run = doc->At("runs").arr[0];
+  const JsonValue& driver = run.At("tool").At("driver");
+  EXPECT_EQ(driver.At("name").str, "madlint");
+
+  // The full registry ships as tool.driver.rules, in registry order.
+  const JsonValue& rules = driver.At("rules");
+  ASSERT_EQ(rules.arr.size(), AllLintRules().size());
+  for (size_t i = 0; i < rules.arr.size(); ++i) {
+    EXPECT_EQ(rules.arr[i].At("id").str, AllLintRules()[i].FullId());
+    EXPECT_TRUE(rules.arr[i].Has("shortDescription"));
+    EXPECT_TRUE(rules.arr[i].At("defaultConfiguration").Has("level"));
+  }
+
+  const JsonValue& results = run.At("results");
+  ASSERT_EQ(results.arr.size(), list.size());
+  for (size_t i = 0; i < list.size(); ++i) {
+    const Diagnostic& d = list.diagnostics()[i];
+    const JsonValue& r = results.arr[i];
+    EXPECT_EQ(r.At("ruleId").str, d.rule_id);
+    EXPECT_EQ(r.At("level").str, SeverityName(d.severity));
+    EXPECT_EQ(r.At("message").At("text").str, d.message);
+    // ruleIndex points back into the rules table.
+    int idx = static_cast<int>(r.At("ruleIndex").number);
+    ASSERT_GE(idx, 0);
+    EXPECT_EQ(AllLintRules()[idx].FullId(), d.rule_id);
+    const JsonValue& loc = r.At("locations").arr.at(0).At("physicalLocation");
+    EXPECT_EQ(loc.At("artifactLocation").At("uri").str, "a.mdl");
+    if (d.span.valid()) {
+      EXPECT_EQ(loc.At("region").At("startLine").number, d.span.line);
+      EXPECT_EQ(loc.At("region").At("startColumn").number, d.span.col);
+      EXPECT_EQ(loc.At("region").At("endColumn").number, d.span.end_col);
+    } else {
+      EXPECT_FALSE(loc.Has("region"));
+    }
+  }
+}
+
+TEST(RenderSarifTest, FixitsBecomeSarifFixes) {
+  DiagnosticList list;
+  Diagnostic d = MakeDiag("MAD009-singleton-variable", Severity::kWarning,
+                          "variable Y occurs only once in this rule", "a.mdl",
+                          7, 6, 7);
+  d.fixits.push_back({{7, 6, 7, 7}, "_Y", "prefix with '_'"});
+  list.Add(std::move(d));
+  std::optional<JsonValue> doc = ParseJson(list.RenderSarif());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue& fix =
+      doc->At("runs").arr.at(0).At("results").arr.at(0).At("fixes").arr.at(0);
+  EXPECT_EQ(fix.At("description").At("text").str, "prefix with '_'");
+  const JsonValue& repl =
+      fix.At("artifactChanges").arr.at(0).At("replacements").arr.at(0);
+  EXPECT_EQ(repl.At("insertedContent").At("text").str, "_Y");
+  EXPECT_EQ(repl.At("deletedRegion").At("startColumn").number, 6);
+}
+
+TEST(RenderSarifTest, EmptyListStillValidSarif) {
+  std::optional<JsonValue> doc = ParseJson(DiagnosticList().RenderSarif());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(doc->At("runs").arr.at(0).At("results").arr.empty());
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace analysis
+}  // namespace mad

@@ -1,0 +1,85 @@
+// Golden-file tests: each tests/lint_testdata/<name>.mdl is linted with the
+// full pass manager and the findings — rendered as "rule-id span severity",
+// one per line — must match <name>.expected exactly. The goldens double as
+// the documentation of where each rule anchors its span.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "analysis/checker.h"
+#include "analysis/lint/passes.h"
+#include "datalog/parser.h"
+
+namespace mad {
+namespace analysis {
+namespace lint {
+namespace {
+
+std::string TestdataDir() {
+  return std::string(MAD_SOURCE_DIR) + "/tests/lint_testdata/";
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<std::string> NonCommentLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+class LintGoldenTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LintGoldenTest, FindingsMatchGoldenFile) {
+  const std::string base = GetParam();
+  const std::string mdl_path = TestdataDir() + base + ".mdl";
+  const std::string expected_path = TestdataDir() + base + ".expected";
+
+  auto program = datalog::ParseProgram(ReadFileOrDie(mdl_path));
+  ASSERT_TRUE(program.ok()) << base << ": " << program.status();
+  DependencyGraph graph(*program);
+  LintContext ctx;
+  ctx.program = &*program;
+  ctx.graph = &graph;
+  ctx.file = mdl_path;
+  DiagnosticList diags = MakeDefaultPassManager().Run(ctx);
+
+  std::vector<std::string> got;
+  for (const Diagnostic& d : diags.diagnostics()) {
+    got.push_back(d.rule_id + " " + d.span.ToString() + " " +
+                  SeverityName(d.severity));
+  }
+  std::vector<std::string> want = NonCommentLines(ReadFileOrDie(expected_path));
+  EXPECT_EQ(got, want) << base << ":\n" << diags.RenderText();
+
+  // The golden programs also exercise the accept/reject equivalence: the
+  // checker rejects exactly the files whose goldens contain an error.
+  ProgramCheckResult check = CheckProgram(*program, graph, mdl_path);
+  EXPECT_EQ(check.overall().ok(), !diags.HasErrors())
+      << base << ": " << check.overall();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGoldens, LintGoldenTest,
+                         ::testing::Values("ok", "bad_range", "bad_cost",
+                                           "bad_conflict", "bad_recursion",
+                                           "hygiene"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace lint
+}  // namespace analysis
+}  // namespace mad

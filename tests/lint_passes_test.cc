@@ -1,0 +1,509 @@
+// The lint pass manager: every pass in isolation, the "all findings in one
+// run" guarantee, and the equivalence between error-severity findings and
+// the evaluator's accept/reject decision.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/checker.h"
+#include "analysis/lint/passes.h"
+#include "datalog/parser.h"
+#include "workloads/programs.h"
+
+namespace mad {
+namespace analysis {
+namespace lint {
+namespace {
+
+using datalog::ParseProgram;
+using datalog::Program;
+
+struct Linted {
+  Program program;
+  std::unique_ptr<DependencyGraph> graph;
+  DiagnosticList diags;
+};
+
+Linted Lint(std::string_view text, bool paper_only = false) {
+  auto p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status();
+  Linted out{std::move(p).value(), nullptr, {}};
+  out.graph = std::make_unique<DependencyGraph>(out.program);
+  LintContext ctx;
+  ctx.program = &out.program;
+  ctx.graph = out.graph.get();
+  ctx.file = "test.mdl";
+  out.diags = (paper_only ? MakePaperPassManager() : MakeDefaultPassManager())
+                  .Run(ctx);
+  return out;
+}
+
+int CountRule(const DiagnosticList& list, const std::string& code) {
+  int n = 0;
+  for (const Diagnostic& d : list.diagnostics()) {
+    if (d.rule_id.rfind(code, 0) == 0) ++n;
+  }
+  return n;
+}
+
+const Diagnostic* FindRule(const DiagnosticList& list,
+                           const std::string& code) {
+  for (const Diagnostic& d : list.diagnostics()) {
+    if (d.rule_id.rfind(code, 0) == 0) return &d;
+  }
+  return nullptr;
+}
+
+// --- One run reports everything ---------------------------------------------
+
+TEST(PassManagerTest, ThreeSeededViolationsAllReportedInOneRun) {
+  // Seeded: one negated-CDB subgoal (MAD006) and two unlimited variables
+  // (MAD001). The legacy Check* API stops at the first; the pass manager
+  // must surface all three errors in a single invocation.
+  Linted l = Lint(R"(
+.decl e(x, y)
+.decl p(x)
+.decl q(x)
+e(a, b).
+p(X) :- e(X, X), !q(X).
+q(X) :- p(X).
+p(Y) :- e(X, X).
+q(C) :- e(C, C), !e(C, Z).
+)");
+  std::vector<const Diagnostic*> errors;
+  for (const Diagnostic& d : l.diags.diagnostics()) {
+    if (d.severity == Severity::kError) errors.push_back(&d);
+  }
+  ASSERT_EQ(errors.size(), 3u);
+  EXPECT_EQ(CountRule(l.diags, "MAD006"), 1);
+  EXPECT_EQ(CountRule(l.diags, "MAD001"), 2);
+  for (const Diagnostic* d : errors) {
+    EXPECT_TRUE(d->span.valid()) << d->ToString();
+    EXPECT_EQ(d->file, "test.mdl");
+  }
+}
+
+TEST(PassManagerTest, CleanProgramHasNoFindings) {
+  Linted l = Lint(R"(
+.decl e(x, y)
+.decl tc(x, y)
+e(a, b).
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- tc(X, Z), e(Z, Y).
+)");
+  EXPECT_TRUE(l.diags.empty()) << l.diags.RenderText();
+}
+
+// --- Individual passes ------------------------------------------------------
+
+TEST(SingletonVariableTest, FlagsSingleUseNamedVariables) {
+  Linted l = Lint(R"(
+.decl e(x, y)
+.decl p(x)
+e(a, b).
+p(X) :- e(X, Dangling).
+)");
+  const Diagnostic* d = FindRule(l.diags, "MAD009");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_NE(d->message.find("Dangling"), std::string::npos);
+  ASSERT_EQ(d->fixits.size(), 1u);
+  EXPECT_EQ(d->fixits[0].replacement, "_Dangling");
+}
+
+TEST(SingletonVariableTest, UnderscorePrefixSuppresses) {
+  Linted l = Lint(R"(
+.decl e(x, y)
+.decl p(x)
+e(a, b).
+p(X) :- e(X, _Ignored).
+p(X) :- e(X, _).
+)");
+  EXPECT_EQ(CountRule(l.diags, "MAD009"), 0) << l.diags.RenderText();
+}
+
+TEST(SingletonVariableTest, AggregateLocalVariablesAreExempt) {
+  // C is local to the aggregate (ranges over record's second column); that
+  // is the idiomatic projection, not a typo.
+  Linted l = Lint(R"(
+.decl record(s, c, g: max_real)
+.decl s_avg(s, g: max_real)
+record(s1, c1, 3).
+s_avg(S, G) :- G =r avg D : record(S, C, D).
+)");
+  EXPECT_EQ(CountRule(l.diags, "MAD009"), 0) << l.diags.RenderText();
+}
+
+TEST(DeadPredicateTest, FlagsDeclaredButUnusedPredicates) {
+  Linted l = Lint(R"(
+.decl e(x, y)
+.decl orphan(x, y)
+.decl tc(x, y)
+e(a, b).
+tc(X, Y) :- e(X, Y).
+)");
+  const Diagnostic* d = FindRule(l.diags, "MAD010");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kNote);
+  EXPECT_NE(d->message.find("orphan/2"), std::string::npos);
+  EXPECT_FALSE(d->span.valid());  // declarations carry no span
+}
+
+TEST(UnreachableRuleTest, FlagsEmptyPredicateInBody) {
+  Linted l = Lint(R"(
+.decl e(x)
+.decl ghost(x)
+.decl p(x)
+e(a).
+p(X) :- e(X), ghost(X).
+)");
+  const Diagnostic* d = FindRule(l.diags, "MAD011");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("ghost"), std::string::npos);
+  EXPECT_TRUE(d->span.valid());
+}
+
+TEST(UnreachableRuleTest, DefaultValuePredicatesAreNeverEmpty) {
+  Linted l = Lint(R"(
+.decl e(x)
+.decl d(x, c: bool_or) default
+.decl p(x)
+e(a).
+p(X) :- e(X), d(X, C), C = true.
+)");
+  EXPECT_EQ(CountRule(l.diags, "MAD011"), 0) << l.diags.RenderText();
+}
+
+TEST(DuplicateRuleTest, FlagsAlphaEquivalentRules) {
+  Linted l = Lint(R"(
+.decl e(x, y)
+.decl p(x, y)
+e(a, b).
+p(X, Y) :- e(X, Y).
+p(A, B) :- e(A, B).
+)");
+  const Diagnostic* d = FindRule(l.diags, "MAD012");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("line 5"), std::string::npos);
+}
+
+TEST(DuplicateRuleTest, DistinctBindingPatternsAreNotDuplicates) {
+  Linted l = Lint(R"(
+.decl e(x, y)
+.decl p(x, y)
+e(a, b).
+p(X, Y) :- e(X, Y).
+p(X, Y) :- e(Y, X).
+)");
+  EXPECT_EQ(CountRule(l.diags, "MAD012"), 0) << l.diags.RenderText();
+}
+
+TEST(CartesianProductTest, FlagsDisconnectedJoinGroups) {
+  Linted l = Lint(R"(
+.decl e(x, y)
+.decl cart(x, y)
+e(a, b).
+cart(X, Y) :- e(X, _A), e(Y, _B).
+)");
+  const Diagnostic* d = FindRule(l.diags, "MAD013");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("cartesian"), std::string::npos);
+}
+
+TEST(CartesianProductTest, BuiltinsConnectJoinGroups) {
+  Linted l = Lint(R"(
+.decl e(x, y)
+.decl cart(x, y)
+e(a, b).
+cart(X, Y) :- e(X, A), e(Y, B), A = B.
+)");
+  EXPECT_EQ(CountRule(l.diags, "MAD013"), 0) << l.diags.RenderText();
+}
+
+TEST(CostDomainMismatchTest, FlagsOneVariableInTwoLattices) {
+  Linted l = Lint(R"(
+.decl m1(x, c: min_real)
+.decl m2(x, c: max_real)
+.decl mix(x, y)
+m1(a, 1).
+m2(a, 2).
+mix(X, Y) :- m1(X, C), m2(Y, C).
+)");
+  const Diagnostic* d = FindRule(l.diags, "MAD014");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("min_real"), std::string::npos);
+  EXPECT_NE(d->message.find("max_real"), std::string::npos);
+}
+
+TEST(CostDomainMismatchTest, SameLatticeIsFine) {
+  Linted l = Lint(R"(
+.decl m1(x, c: min_real)
+.decl m3(x, c: min_real)
+.decl mix(x, y)
+m1(a, 1).
+m3(a, 2).
+mix(X, Y) :- m1(X, C), m3(Y, C).
+)");
+  EXPECT_EQ(CountRule(l.diags, "MAD014"), 0) << l.diags.RenderText();
+}
+
+TEST(AdmissibilityPassTest, PseudoMonotonicWithoutDefaultIsError) {
+  Linted l = Lint(R"(
+.decl gate(g, t)
+.decl connect(g, w)
+.decl t(w, v: bool_or)
+gate(g1, and).
+connect(g1, w1).
+t(G, C) :- gate(G, and), C = and D : (connect(G, W), t(W, D)).
+)");
+  const Diagnostic* d = FindRule(l.diags, "MAD005");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_TRUE(d->span.valid());
+}
+
+TEST(AdmissibilityPassTest, CircuitWithDefaultHasNoMad005) {
+  Linted l = Lint(workloads::kCircuitProgram);
+  EXPECT_EQ(CountRule(l.diags, "MAD005"), 0) << l.diags.RenderText();
+}
+
+TEST(AdmissibilityPassTest, NegatedCdbSubgoalIsError) {
+  Linted l = Lint(R"(
+.decl e(x)
+.decl p(x)
+.decl q(x)
+e(a).
+p(X) :- e(X), !q(X).
+q(X) :- p(X).
+)");
+  const Diagnostic* d = FindRule(l.diags, "MAD006");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_TRUE(d->span.valid());
+}
+
+TEST(AdmissibilityPassTest, WarningOnlyOutsideAggregateOrNegationRecursion) {
+  // Constant CDB cost violates Definition 4.2(2), but the component recurses
+  // positively only, so the evaluator still accepts the program: the finding
+  // must be a warning, matching overall().
+  Linted l = Lint(R"(
+.decl e(x)
+.decl p(x, c: min_real)
+e(a).
+p(X, 3) :- e(X), p(X, 3).
+)");
+  const Diagnostic* d = FindRule(l.diags, "MAD004");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_FALSE(l.diags.HasErrors()) << l.diags.RenderText();
+}
+
+TEST(TerminationPassTest, InfiniteChainLatticeGetsWarning) {
+  Linted l = Lint(workloads::kShortestPathProgram);
+  const Diagnostic* d = FindRule(l.diags, "MAD007");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+}
+
+TEST(PrefixSoundnessPassTest, PseudoMonotonicAggregateGetsNote) {
+  Linted l = Lint(workloads::kCircuitProgram);
+  const Diagnostic* d = FindRule(l.diags, "MAD008");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kNote);
+  EXPECT_TRUE(d->span.valid());
+}
+
+TEST(PrefixSoundnessPassTest, StrictlyMonotonicAggregateHasNoNote) {
+  Linted l = Lint(workloads::kShortestPathProgram);
+  EXPECT_EQ(CountRule(l.diags, "MAD008"), 0) << l.diags.RenderText();
+}
+
+// --- Breadth: many distinct rule IDs, each with a usable location -----------
+
+TEST(PassManagerTest, AtLeastTenDistinctRuleIdsWithSpans) {
+  const char* programs[] = {
+      // MAD001 + MAD002 + MAD009
+      R"(
+.decl e(x, y)
+.decl sp(x, c: min_real)
+e(a, b).
+sp(X, C) :- e(X, Y), e(Y, Z).
+)",
+      // MAD003
+      R"(
+.decl e(x, c: min_real)
+.decl p(x, c: min_real)
+e(a, 1).
+p(X, C) :- e(X, C).
+p(X, D) :- e(X, C), D = C + 1.
+)",
+      // MAD004 (warning form)
+      R"(
+.decl e(x)
+.decl p(x, c: min_real)
+e(a).
+p(X, 3) :- e(X), p(X, 3).
+)",
+      // MAD005 + MAD006
+      R"(
+.decl e(x)
+.decl p(x)
+.decl q(x)
+.decl gate(g, t)
+.decl connect(g, w)
+.decl t(w, v: bool_or)
+e(a).
+gate(g1, and).
+connect(g1, w1).
+p(X) :- e(X), !q(X).
+q(X) :- p(X).
+t(G, C) :- gate(G, and), C = and D : (connect(G, W), t(W, D)).
+)",
+      // MAD007
+      workloads::kShortestPathProgram,
+      // MAD008
+      workloads::kCircuitProgram,
+      // MAD010 + MAD011 + MAD012 + MAD013 + MAD014
+      R"(
+.decl e(x, y)
+.decl unused(x)
+.decl ghost(x)
+.decl p(x, y)
+.decl q(x)
+.decl cart(x, y)
+.decl m1(x, c: min_real)
+.decl m2(x, c: max_real)
+.decl mix(x, y)
+e(a, b).
+m1(a, 1).
+m2(a, 2).
+p(X, Y) :- e(X, Y).
+p(A, B) :- e(A, B).
+q(X) :- e(X, _Y), ghost(X).
+cart(X, Y) :- e(X, _A), e(Y, _B).
+mix(X, Y) :- m1(X, C), m2(Y, C).
+)",
+  };
+  std::set<std::string> ids;
+  for (const char* text : programs) {
+    Linted l = Lint(text);
+    for (const Diagnostic& d : l.diags.diagnostics()) {
+      ids.insert(d.rule_id);
+      // Every finding except the span-less declaration note locates itself.
+      if (d.rule_id.rfind("MAD010", 0) != 0) {
+        EXPECT_TRUE(d.span.valid()) << d.ToString();
+      }
+    }
+  }
+  EXPECT_GE(ids.size(), 10u) << "distinct rule IDs seen: " << ids.size();
+}
+
+// --- Equivalence with the evaluator's decision ------------------------------
+
+TEST(LintEquivalenceTest, ErrorFindingsIffOverallRejects) {
+  const char* corpus[] = {
+      workloads::kShortestPathProgram,
+      workloads::kCompanyControlProgram,
+      workloads::kCompanyControlRMonotonic,
+      workloads::kPartyProgram,
+      workloads::kCircuitProgram,
+      workloads::kHalfsumProgram,
+      // Unlimited head variable: rejected.
+      R"(
+.decl e(x)
+.decl p(x, y)
+p(X, Y) :- e(X).
+)",
+      // Conflicting cost rules: rejected.
+      R"(
+.decl e(x, c: min_real)
+.decl p(x, c: min_real)
+p(X, C) :- e(X, C).
+p(X, D) :- e(X, C), D = C + 1.
+)",
+      // Recursion through negation: rejected.
+      R"(
+.decl e(x)
+.decl p(x)
+.decl q(x)
+p(X) :- e(X), !q(X).
+q(X) :- p(X).
+)",
+      // Antitone comparison on a recursive count: rejected.
+      R"(
+.decl e(x, y)
+.decl lim(x, k: count_nat)
+.decl small(x)
+.decl kc(x, y)
+small(X) :- lim(X, K), N = count : kc(X, Y), N < K.
+kc(X, Y) :- e(X, Y), small(Y).
+)",
+      // Inadmissible but positively recursive: accepted with warnings.
+      R"(
+.decl e(x)
+.decl p(x, c: min_real)
+p(X, 3) :- e(X), p(X, 3).
+)",
+      // Descending value feeding an ascending head, positive recursion:
+      // accepted with warnings.
+      R"(
+.decl p(x, c: max_nonneg)
+.decl q2(x, c: min_real)
+p(X, C) :- q2(X, C1), C = C1 + 1.
+q2(X, C) :- p(X, C0), C = C0 + 1.
+)",
+      // Hygiene smells only: accepted.
+      R"(
+.decl e(x, y)
+.decl p(x, y)
+e(a, b).
+p(X, Y) :- e(X, Y).
+p(A, B) :- e(A, B).
+)",
+  };
+  for (const char* text : corpus) {
+    Linted l = Lint(text);
+    ProgramCheckResult check = CheckProgram(l.program, *l.graph);
+    EXPECT_EQ(check.overall().ok(), !l.diags.HasErrors())
+        << "overall: " << check.overall() << "\nfindings:\n"
+        << l.diags.RenderText() << "\nprogram:\n"
+        << text;
+    // The paper subset alone must make the same call, and CheckProgram's own
+    // recorded diagnostics agree too.
+    Linted paper = Lint(text, /*paper_only=*/true);
+    EXPECT_EQ(paper.diags.HasErrors(), l.diags.HasErrors()) << text;
+    EXPECT_EQ(check.diagnostics.HasErrors(), l.diags.HasErrors()) << text;
+  }
+}
+
+TEST(CheckProgramTest, RecordsComponentDiagnosticsAndRendersThem) {
+  auto p = ParseProgram(R"(
+.decl e(x)
+.decl p(x)
+.decl q(x)
+p(X) :- e(X), !q(X).
+q(X) :- p(X).
+)");
+  ASSERT_TRUE(p.ok()) << p.status();
+  DependencyGraph graph(*p);
+  ProgramCheckResult r = CheckProgram(*p, graph, "neg.mdl");
+  EXPECT_FALSE(r.overall().ok());
+  bool component_has_error = false;
+  for (const ComponentVerdict& c : r.components) {
+    for (const Diagnostic& d : c.diagnostics) {
+      if (d.severity == Severity::kError) component_has_error = true;
+      EXPECT_EQ(d.file, "neg.mdl");
+    }
+  }
+  EXPECT_TRUE(component_has_error);
+  // ToString now folds in the shared diagnostic rendering.
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("MAD006-recursive-negation"), std::string::npos) << s;
+  EXPECT_NE(s.find("neg.mdl:"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace analysis
+}  // namespace mad

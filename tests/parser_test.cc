@@ -369,6 +369,79 @@ p(a, -1).
                    "outside domain");
 }
 
+TEST(ParserSpanTest, RuleSpansCoverTheWholeClause) {
+  Program p = MustParse(R"(
+.decl e(x, y)
+.decl tc(x, y)
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :-
+    tc(X, Z),
+    e(Z, Y).
+)");
+  ASSERT_EQ(p.rules().size(), 2u);
+  const Rule& r0 = p.rules()[0];
+  EXPECT_EQ(r0.span.ToString(), "4:1-21");
+  EXPECT_EQ(r0.source_line, 4);
+  // A clause spread over several lines spans from its head to the final '.'.
+  const Rule& r1 = p.rules()[1];
+  EXPECT_TRUE(r1.span.valid());
+  EXPECT_EQ(r1.span.line, 5);
+  EXPECT_EQ(r1.span.end_line, 7);
+}
+
+TEST(ParserSpanTest, AtomAndTermSpansPointAtTheirTokens) {
+  Program p = MustParse(R"(
+.decl e(x, y)
+.decl tc(x, y)
+tc(X, Y) :- e(X, Y).
+)");
+  ASSERT_EQ(p.rules().size(), 1u);
+  const Rule& r = p.rules()[0];
+  // Head atom: "tc(X, Y)" starts at column 1; body atom "e(X, Y)" at 13.
+  EXPECT_EQ(r.head.span.ToString(), "4:1-9");
+  EXPECT_EQ(r.head.args[0].span.ToString(), "4:4-5");
+  EXPECT_EQ(r.head.args[1].span.ToString(), "4:7-8");
+  ASSERT_EQ(r.body.size(), 1u);
+  EXPECT_EQ(r.body[0].atom.span.ToString(), "4:13-20");
+  EXPECT_EQ(r.body[0].atom.args[1].span.ToString(), "4:18-19");
+}
+
+TEST(ParserSpanTest, NegatedAtomSpanExcludesTheBang) {
+  Program p = MustParse(R"(
+.decl e(x)
+.decl q(x)
+.decl p(x)
+p(X) :- e(X), !q(X).
+)");
+  ASSERT_EQ(p.rules().size(), 1u);
+  const Subgoal& neg = p.rules()[0].body[1];
+  ASSERT_EQ(neg.kind, Subgoal::Kind::kNegatedAtom);
+  EXPECT_EQ(neg.atom.span.ToString(), "5:16-20");
+}
+
+TEST(ParserSpanTest, AggregateSpanRunsFromResultToClosingAtom) {
+  Program p = MustParse(R"(
+.decl record(s, c, g: max_real)
+.decl best(s, g: max_real)
+best(S, G) :- G =r max D : record(S, _C, D).
+)");
+  ASSERT_EQ(p.rules().size(), 1u);
+  const Subgoal& sg = p.rules()[0].body[0];
+  ASSERT_EQ(sg.kind, Subgoal::Kind::kAggregate);
+  EXPECT_EQ(sg.aggregate.span.line, 4);
+  EXPECT_EQ(sg.aggregate.span.col, 15);
+  EXPECT_EQ(sg.aggregate.span.end_col, 44);
+  // The result term carries its own narrower span.
+  EXPECT_EQ(sg.aggregate.result.span.ToString(), "4:15-16");
+}
+
+TEST(ParserSpanTest, ProgrammaticallyBuiltRulesHaveInvalidSpans) {
+  Rule r;
+  r.head = Atom{};
+  EXPECT_FALSE(r.span.valid());
+  EXPECT_EQ(r.span.ToString(), "<unknown>");
+}
+
 }  // namespace
 }  // namespace datalog
 }  // namespace mad
