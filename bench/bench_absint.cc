@@ -1,0 +1,104 @@
+// Benchmarks for the semantic certification layer: how much does the
+// abstract-interpretation pass cost on top of the syntactic checks, and how
+// does it scale with program size and EDB size?
+
+#include <string>
+
+#include "analysis/absint/engine.h"
+#include "analysis/checker.h"
+#include "analysis/dependency_graph.h"
+#include "bench_common.h"
+#include "datalog/parser.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace mad;
+
+// The flagship semantically-certified program: a `C1 >= 0` guard that
+// Definition 4.5 rejects but the interval fixpoint discharges.
+std::string GuardedShortestPath(int arcs) {
+  std::string text =
+      ".decl arc(from, to, c: min_real)\n"
+      ".decl path(from, mid, to, c: min_real)\n"
+      ".decl s(from, to, c: min_real)\n"
+      ".constraint arc(direct, Z, C).\n"
+      "path(X, direct, Y, C) :- arc(X, Y, C).\n"
+      "path(X, Z, Y, C) :- s(X, Z, C1), C1 >= 0, arc(Z, Y, C2), "
+      "C = C1 + C2.\n"
+      "s(X, Y, C) :- C =r min D : path(X, Z, Y, D).\n";
+  for (int i = 0; i < arcs; ++i) {
+    text += StrPrintf("arc(n%d, n%d, %d).\n", i, (i + 1) % arcs, (i * 7) % 11);
+  }
+  return text;
+}
+
+// A selective max-flow program: syntactically admissible, bounded chains.
+std::string AlarmLevels(int nodes) {
+  std::string text =
+      ".decl node(x)\n"
+      ".decl edge(x, y)\n"
+      ".decl sensor(x, c: max_real)\n"
+      ".decl level(x, c: max_real) default\n"
+      ".constraint sensor(X, C), node(X).\n"
+      "level(X, C) :- sensor(X, C).\n"
+      "level(Y, C) :- node(Y), C =r max D : (edge(X, Y), level(X, D)).\n";
+  for (int i = 0; i < nodes; ++i) {
+    text += StrPrintf("node(n%d).\n", i);
+    text += StrPrintf("edge(n%d, n%d).\n", i, (i + 1) % nodes);
+    if (i % 3 == 0) text += StrPrintf("sensor(n%d, %d).\n", i, i % 13);
+  }
+  return text;
+}
+
+void BM_Certify(benchmark::State& state, const std::string& text) {
+  auto parsed = datalog::ParseProgram(text);
+  if (!parsed.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  analysis::DependencyGraph graph(*parsed);
+  for (auto _ : state) {
+    analysis::absint::CertificateReport report =
+        analysis::absint::CertifyProgram(*parsed, graph);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+
+void BM_CertifyGuarded(benchmark::State& state) {
+  BM_Certify(state, GuardedShortestPath(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_CertifyGuarded)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_CertifyAlarm(benchmark::State& state) {
+  BM_Certify(state, AlarmLevels(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_CertifyAlarm)->RangeMultiplier(4)->Range(16, 1024);
+
+// Full CheckProgram (syntactic passes + certification + termination), the
+// path every Engine::Run pays.
+void BM_CheckProgramEndToEnd(benchmark::State& state) {
+  std::string text = GuardedShortestPath(static_cast<int>(state.range(0)));
+  auto parsed = datalog::ParseProgram(text);
+  if (!parsed.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  analysis::DependencyGraph graph(*parsed);
+  for (auto _ : state) {
+    analysis::ProgramCheckResult check =
+        analysis::CheckProgram(*parsed, graph);
+    benchmark::DoNotOptimize(check);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_CheckProgramEndToEnd)->RangeMultiplier(4)->Range(16, 1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mad::bench::RunBenchmarks(argc, argv);
+}

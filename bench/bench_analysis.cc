@@ -91,7 +91,5 @@ BENCHMARK(BM_ParseManyFacts)->Arg(1000)->Arg(10000)
 
 int main(int argc, char** argv) {
   PrintVerdictTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return mad::bench::RunBenchmarks(argc, argv);
 }

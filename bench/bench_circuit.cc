@@ -105,7 +105,5 @@ void RegisterAll() {
 int main(int argc, char** argv) {
   PrintComparisonTable();
   RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return mad::bench::RunBenchmarks(argc, argv);
 }

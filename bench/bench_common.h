@@ -6,9 +6,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "benchmark/benchmark.h"
 #include "core/engine.h"
+#include "util/string_util.h"
 #include "workloads/generators.h"
 #include "workloads/programs.h"
 #include "workloads/to_datalog.h"
@@ -50,6 +55,91 @@ inline core::EvalResult RunProgram(const datalog::Program& program,
     std::abort();
   }
   return std::move(result).value();
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable results: every bench binary also writes BENCH_<name>.json
+// next to the working directory — one record per benchmark run with the op
+// name, wall time per iteration in nanoseconds, the iteration count, and the
+// bytes processed (0 when the benchmark does not set SetBytesProcessed).
+// ---------------------------------------------------------------------------
+
+/// Console output as usual, plus a JSON sidecar of the per-run numbers.
+class JsonSidecarReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonSidecarReporter(std::string path) : path_(std::move(path)) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Record rec;
+      rec.name = run.benchmark_name();
+      rec.iterations = static_cast<long long>(run.iterations);
+      double per_iter = run.iterations > 0
+                            ? run.real_accumulated_time /
+                                  static_cast<double>(run.iterations)
+                            : run.real_accumulated_time;
+      rec.wall_ns = per_iter * 1e9;
+      auto it = run.counters.find("bytes_per_second");
+      if (it != run.counters.end()) {
+        rec.bytes = static_cast<long long>(it->second.value * per_iter *
+                                           static_cast<double>(run.iterations));
+      }
+      records_.push_back(std::move(rec));
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return;
+    }
+    out << "{\n  \"benchmarks\": [\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      out << "    {\"name\": \"" << Escape(r.name) << "\", \"wall_ns\": "
+          << StrPrintf("%.1f", r.wall_ns) << ", \"iterations\": "
+          << r.iterations << ", \"bytes\": " << r.bytes << "}"
+          << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    double wall_ns = 0;
+    long long iterations = 0;
+    long long bytes = 0;
+  };
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<Record> records_;
+};
+
+/// Initialize + run with the JSON sidecar; call from main() after any table
+/// printing. The sidecar is BENCH_<basename of argv[0]>.json in the cwd.
+inline int RunBenchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  std::string name = argv[0];
+  size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  JsonSidecarReporter reporter("BENCH_" + name + ".json");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
 }
 
 }  // namespace bench

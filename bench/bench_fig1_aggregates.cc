@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "bench_common.h"
 #include "lattice/aggregate.h"
 #include "util/random.h"
 #include "util/table_printer.h"
@@ -108,7 +109,5 @@ void RegisterAll() {
 int main(int argc, char** argv) {
   PrintFigure1Table();
   RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return mad::bench::RunBenchmarks(argc, argv);
 }

@@ -71,7 +71,5 @@ BENCHMARK(BM_HalfsumToEpsilon)->Arg(3)->Arg(6)->Arg(9)->Arg(12);
 
 int main(int argc, char** argv) {
   PrintApproximationTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return mad::bench::RunBenchmarks(argc, argv);
 }

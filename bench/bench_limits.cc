@@ -159,7 +159,5 @@ int main(int argc, char** argv) {
   PrintOverheadTable();
   PrintAnytimeTable();
   RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return mad::bench::RunBenchmarks(argc, argv);
 }

@@ -13,6 +13,7 @@
 
 #include "analysis/checker.h"
 #include "analysis/lint/passes.h"
+#include "bench_common.h"
 #include "datalog/parser.h"
 
 namespace {
@@ -140,4 +141,6 @@ BENCHMARK(BM_RenderSarif)->RangeMultiplier(4)->Range(8, 512);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return mad::bench::RunBenchmarks(argc, argv);
+}

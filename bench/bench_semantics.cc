@@ -225,7 +225,5 @@ int main(int argc, char** argv) {
   PrintDefinednessTable();
   PrintGreedyEnvelopeTable();
   PrintRMonotonicTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return mad::bench::RunBenchmarks(argc, argv);
 }

@@ -116,7 +116,5 @@ void RegisterAll() {
 int main(int argc, char** argv) {
   PrintDerivationTable();
   RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return mad::bench::RunBenchmarks(argc, argv);
 }

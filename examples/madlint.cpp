@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/absint/engine.h"
 #include "analysis/dependency_graph.h"
 #include "analysis/lint/passes.h"
 #include "datalog/parser.h"
@@ -91,9 +92,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     analysis::DependencyGraph graph(*program);
+    // Certify once per file; the MAD015-MAD018 passes would otherwise each
+    // recompute the abstract fixpoint on their own.
+    analysis::absint::CertificateReport certs =
+        analysis::absint::CertifyProgram(*program, graph);
     analysis::lint::LintContext ctx;
     ctx.program = &*program;
     ctx.graph = &graph;
+    ctx.certificates = &certs;
     ctx.file = path;
     all.Extend(pm.Run(ctx));
   }

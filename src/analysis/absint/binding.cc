@@ -1,0 +1,113 @@
+#include "analysis/absint/binding.h"
+
+#include "util/string_util.h"
+
+namespace mad {
+namespace analysis {
+namespace absint {
+
+namespace {
+
+using datalog::Expr;
+using datalog::Rule;
+using datalog::Subgoal;
+
+bool ExprGround(const Expr& e, const std::map<std::string, Binding>& env) {
+  std::vector<std::string> vars;
+  e.CollectVars(&vars);
+  for (const std::string& v : vars) {
+    auto it = env.find(v);
+    if (it == env.end() || it->second != Binding::kGround) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* BindingName(Binding b) {
+  switch (b) {
+    case Binding::kFree:
+      return "free";
+    case Binding::kGround:
+      return "ground";
+  }
+  return "?";
+}
+
+Binding BindingInfo::Of(const std::string& var) const {
+  auto it = bindings.find(var);
+  return it == bindings.end() ? Binding::kFree : it->second;
+}
+
+BindingInfo AnalyzeBindings(const Rule& rule) {
+  BindingInfo out;
+  for (const std::string& v : rule.AllVars()) {
+    out.bindings[v] = Binding::kFree;
+  }
+
+  auto ground = [&](const std::string& v, const char* why) {
+    auto it = out.bindings.find(v);
+    if (it == out.bindings.end() || it->second == Binding::kGround) return;
+    it->second = Binding::kGround;
+    out.steps.push_back(StrPrintf("%s ground (%s)", v.c_str(), why));
+  };
+
+  // Seed: positive atoms and aggregate subgoals bind their variables
+  // (aggregate-local variables are ground within the group evaluation, and
+  // shared ones are ground in every satisfying substitution of the rule).
+  for (const Subgoal& sg : rule.body) {
+    switch (sg.kind) {
+      case Subgoal::Kind::kAtom:
+        for (const std::string& v : sg.Vars()) ground(v, sg.atom.pred->name.c_str());
+        break;
+      case Subgoal::Kind::kAggregate:
+        if (sg.aggregate.result.is_var()) {
+          ground(sg.aggregate.result.var, "aggregate result");
+        }
+        for (const std::string& v : sg.aggregate.AtomVars()) {
+          ground(v, "aggregate body");
+        }
+        break;
+      case Subgoal::Kind::kNegatedAtom:  // negation binds nothing
+      case Subgoal::Kind::kBuiltin:
+        break;
+    }
+  }
+
+  // Fixpoint over defining equalities: V = expr (or expr = V) with V free
+  // and every expr variable ground. Terminates: each pass grounds at least
+  // one variable or stops.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      const Subgoal& sg = rule.body[i];
+      if (sg.kind != Subgoal::Kind::kBuiltin) continue;
+      if (out.IsDefining(static_cast<int>(i))) continue;
+      if (sg.builtin.op != datalog::CmpOp::kEq) continue;
+      const Expr& lhs = *sg.builtin.lhs;
+      const Expr& rhs = *sg.builtin.rhs;
+      const Expr* defined = nullptr;
+      const Expr* source = nullptr;
+      if (lhs.kind == Expr::Kind::kVar && out.Of(lhs.var) == Binding::kFree &&
+          ExprGround(rhs, out.bindings)) {
+        defined = &lhs;
+        source = &rhs;
+      } else if (rhs.kind == Expr::Kind::kVar && out.Of(rhs.var) == Binding::kFree &&
+                 ExprGround(lhs, out.bindings)) {
+        defined = &rhs;
+        source = &lhs;
+      }
+      if (defined == nullptr) continue;
+      (void)source;
+      out.defining_builtins.insert(static_cast<int>(i));
+      ground(defined->var, "defining equality");
+      changed = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace absint
+}  // namespace analysis
+}  // namespace mad

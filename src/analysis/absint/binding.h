@@ -1,0 +1,55 @@
+#ifndef MAD_ANALYSIS_ABSINT_BINDING_H_
+#define MAD_ANALYSIS_ABSINT_BINDING_H_
+
+// Groundness/binding domain of the certification layer: a two-point lattice
+// kFree ⊑ kGround per rule variable. The abstract rule evaluator uses it to
+// tell *defining* built-in equalities (which bind a fresh variable and carry
+// interval information) apart from *checks* (which constrain already-bound
+// variables and must be proven stable for certification).
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+
+namespace mad {
+namespace analysis {
+namespace absint {
+
+enum class Binding {
+  kFree,    ///< not bound by any subgoal considered so far
+  kGround,  ///< bound to a concrete value in every satisfying substitution
+};
+
+const char* BindingName(Binding b);
+
+/// Result of the binding fixpoint over one rule.
+struct BindingInfo {
+  std::map<std::string, Binding> bindings;
+  /// Indices into rule.body of built-in equalities consumed as definitions
+  /// (they ground a previously free variable); every other built-in subgoal
+  /// is a check.
+  std::set<int> defining_builtins;
+  /// Human-readable derivation steps, appended to rule traces.
+  std::vector<std::string> steps;
+
+  Binding Of(const std::string& var) const;
+  bool IsDefining(int builtin_index) const {
+    return defining_builtins.count(builtin_index) > 0;
+  }
+};
+
+/// Runs the binding analysis to a fixpoint: variables of positive atoms and
+/// aggregate results start ground (range restriction already guarantees
+/// this for well-formed programs); a built-in equality with exactly one free
+/// bare-variable side and a ground opposite side grounds that variable and
+/// is recorded as defining. Head-only variables stay free unless defined.
+BindingInfo AnalyzeBindings(const datalog::Rule& rule);
+
+}  // namespace absint
+}  // namespace analysis
+}  // namespace mad
+
+#endif  // MAD_ANALYSIS_ABSINT_BINDING_H_

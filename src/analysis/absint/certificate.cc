@@ -1,0 +1,123 @@
+#include "analysis/absint/certificate.h"
+
+#include "analysis/lint/diagnostic.h"
+#include "util/string_util.h"
+
+namespace mad {
+namespace analysis {
+namespace absint {
+
+const char* CertificateKindName(CertificateKind k) {
+  switch (k) {
+    case CertificateKind::kSyntacticallyAdmissible:
+      return "syntactically-admissible";
+    case CertificateKind::kSemanticallyMonotonic:
+      return "semantically-monotonic";
+    case CertificateKind::kUncertified:
+      return "uncertified";
+  }
+  return "?";
+}
+
+std::string RuleTrace::ToString() const {
+  std::string out = StrPrintf("    rule #%d (%s):\n", rule_index,
+                              span.ToString().c_str());
+  for (const std::string& s : steps) {
+    out += "      " + s + "\n";
+  }
+  return out;
+}
+
+std::string ComponentCertificate::ToString() const {
+  std::string out = StrPrintf("  component %d: %s", component_index,
+                              CertificateKindName(kind));
+  if (!reason.empty()) out += StrPrintf(" — %s", reason.c_str());
+  out += "\n";
+  for (const auto& [pred, iv] : predicate_intervals) {
+    out += StrPrintf("    %s ∈ %s\n", pred.c_str(), iv.ToString().c_str());
+  }
+  if (chains_bounded) {
+    out += static_chain_height >= 0
+               ? StrPrintf("    chains bounded, height %lld\n",
+                           static_chain_height)
+               : std::string(
+                     "    chains bounded by distinct values at entry\n");
+  }
+  if (widened) {
+    std::string names;
+    for (const std::string& p : widened_predicates) {
+      if (!names.empty()) names += ", ";
+      names += p;
+    }
+    out += StrPrintf("    widened: %s\n", names.c_str());
+  }
+  for (const RuleTrace& t : traces) out += t.ToString();
+  return out;
+}
+
+const ComponentCertificate* CertificateReport::ForComponent(int index) const {
+  for (const ComponentCertificate& c : components) {
+    if (c.component_index == index) return &c;
+  }
+  return nullptr;
+}
+
+bool CertificateReport::AnySemantic() const {
+  for (const ComponentCertificate& c : components) {
+    if (c.kind == CertificateKind::kSemanticallyMonotonic) return true;
+  }
+  return false;
+}
+
+std::string CertificateReport::ToString() const {
+  std::string out = "certificates:\n";
+  for (const ComponentCertificate& c : components) out += c.ToString();
+  return out;
+}
+
+std::string CertificateReport::ToJson() const {
+  using lint::JsonEscape;
+  std::string out = "{\n  \"components\": [\n";
+  for (size_t i = 0; i < components.size(); ++i) {
+    const ComponentCertificate& c = components[i];
+    out += "    {\n";
+    out += StrPrintf("      \"index\": %d,\n", c.component_index);
+    out += StrPrintf("      \"kind\": \"%s\",\n", CertificateKindName(c.kind));
+    out += StrPrintf("      \"reason\": \"%s\",\n",
+                     JsonEscape(c.reason).c_str());
+    out += StrPrintf("      \"chains_bounded\": %s,\n",
+                     c.chains_bounded ? "true" : "false");
+    out += StrPrintf("      \"static_chain_height\": %lld,\n",
+                     c.static_chain_height);
+    out += StrPrintf("      \"widened\": %s,\n", c.widened ? "true" : "false");
+    out += "      \"intervals\": {";
+    bool first = true;
+    for (const auto& [pred, iv] : c.predicate_intervals) {
+      if (!first) out += ", ";
+      first = false;
+      out += StrPrintf("\"%s\": \"%s\"", JsonEscape(pred).c_str(),
+                       JsonEscape(iv.ToString()).c_str());
+    }
+    out += "},\n";
+    out += "      \"traces\": [\n";
+    for (size_t t = 0; t < c.traces.size(); ++t) {
+      const RuleTrace& tr = c.traces[t];
+      out += StrPrintf("        {\"rule\": %d, \"span\": \"%s\", \"steps\": [",
+                       tr.rule_index,
+                       JsonEscape(tr.span.ToString()).c_str());
+      for (size_t s = 0; s < tr.steps.size(); ++s) {
+        if (s > 0) out += ", ";
+        out += StrPrintf("\"%s\"", JsonEscape(tr.steps[s]).c_str());
+      }
+      out += StrPrintf("]}%s\n", t + 1 < c.traces.size() ? "," : "");
+    }
+    out += "      ]\n";
+    out += StrPrintf("    }%s\n", i + 1 < components.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace absint
+}  // namespace analysis
+}  // namespace mad

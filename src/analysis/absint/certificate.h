@@ -1,0 +1,91 @@
+#ifndef MAD_ANALYSIS_ABSINT_CERTIFICATE_H_
+#define MAD_ANALYSIS_ABSINT_CERTIFICATE_H_
+
+// Machine-checkable certificates produced by the abstract interpreter. One
+// certificate per dependency-graph component records how the component was
+// admitted (or why it was not), the abstract fixpoint that justifies the
+// decision, and a per-rule trace of the abstract derivation — enough for an
+// external checker (or the differential harness) to re-validate the claim.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/absint/interval.h"
+#include "datalog/ast.h"
+
+namespace mad {
+namespace analysis {
+namespace absint {
+
+/// How a component earned the right to be evaluated.
+enum class CertificateKind {
+  /// Every rule passes Definition 4.5 — today's syntactic path.
+  kSyntacticallyAdmissible,
+  /// Some rule is rejected by Definition 4.5, but the abstract fixpoint
+  /// proves every offending comparison stable at all iteration stages, so
+  /// T_P restricted to this component is monotonic anyway.
+  kSemanticallyMonotonic,
+  /// Neither path applies; the component keeps its syntactic rejection.
+  kUncertified,
+};
+
+const char* CertificateKindName(CertificateKind k);
+
+/// Abstract derivation record for one rule.
+struct RuleTrace {
+  int rule_index = -1;
+  datalog::SourceSpan span;
+  /// Ordered derivation steps: bindings, per-subgoal intervals, comparison
+  /// verdicts, head interval.
+  std::vector<std::string> steps;
+
+  std::string ToString() const;
+};
+
+/// The certificate for one component.
+struct ComponentCertificate {
+  int component_index = -1;
+  CertificateKind kind = CertificateKind::kSyntacticallyAdmissible;
+  /// One-line justification (for kUncertified: the blocking violation).
+  std::string reason;
+  /// Span of the certifying construct (the discharged guard / rule) for
+  /// kSemanticallyMonotonic, or of the blocking construct for kUncertified.
+  datalog::SourceSpan span;
+  std::vector<RuleTrace> traces;
+
+  /// Chain analysis: true when every cost value derivable in this component
+  /// is selected from the values present at component entry (plus rule
+  /// constants), so per-key ascending chains are bounded by the number of
+  /// distinct cost values — even on lattices with infinite chains.
+  bool chains_bounded = false;
+  /// Static chain height when the widened fixpoint pins an integral cost
+  /// predicate to a finite interval (e.g. booleans: 2); -1 when the bound
+  /// is only known at runtime (|distinct values| at component entry).
+  long long static_chain_height = -1;
+  /// True when widening fired; the named predicates lost a finite bound.
+  bool widened = false;
+  std::vector<std::string> widened_predicates;
+  /// Final abstract value per cost predicate of the component.
+  std::map<std::string, Interval> predicate_intervals;
+
+  std::string ToString() const;
+};
+
+/// Certificates for every component, indexed like DependencyGraph components.
+struct CertificateReport {
+  std::vector<ComponentCertificate> components;
+
+  const ComponentCertificate* ForComponent(int index) const;
+  /// True iff some component needed (and received) the semantic path.
+  bool AnySemantic() const;
+
+  std::string ToString() const;
+  std::string ToJson() const;
+};
+
+}  // namespace absint
+}  // namespace analysis
+}  // namespace mad
+
+#endif  // MAD_ANALYSIS_ABSINT_CERTIFICATE_H_

@@ -1,0 +1,723 @@
+#include "analysis/absint/differential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "analysis/checker.h"
+#include "datalog/database.h"
+#include "lattice/cost_domain.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace mad {
+namespace analysis {
+namespace absint {
+
+namespace {
+
+using datalog::Atom;
+using datalog::CmpOp;
+using datalog::Database;
+using datalog::Expr;
+using datalog::Fact;
+using datalog::PredicateInfo;
+using datalog::Program;
+using datalog::Relation;
+using datalog::Rule;
+using datalog::Subgoal;
+using datalog::Term;
+using datalog::Tuple;
+using datalog::Value;
+using lattice::CostDomain;
+using lattice::NumericDomain;
+
+// ---------------------------------------------------------------------------
+// Brute-force naive evaluator
+//
+// A deliberately dumb re-implementation of the rule semantics (Sections 2-3)
+// that shares no code with core/: full scans instead of indexes, a name ->
+// value map instead of compiled slots, chaotic per-rule merging instead of
+// batched T_P rounds. Its only job is to be an independent oracle for the
+// differential harness.
+// ---------------------------------------------------------------------------
+
+using Env = std::map<std::string, Value>;
+
+struct BfDerivation {
+  const PredicateInfo* pred = nullptr;
+  Tuple key;
+  std::optional<Value> cost;
+};
+
+class BruteForce {
+ public:
+  explicit BruteForce(const Database* db) : db_(db) {}
+
+  bool unsupported() const { return unsupported_; }
+
+  /// Appends every head instance `rule` derives from the current database.
+  void EvalRule(const Rule& rule, std::vector<BfDerivation>* out) {
+    env_.clear();
+    std::vector<bool> used(rule.body.size(), false);
+    Step(rule, &used, out);
+  }
+
+ private:
+  std::optional<Value> Lookup(const std::string& var) const {
+    auto it = env_.find(var);
+    if (it == env_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool ExprReady(const Expr& e) const {
+    switch (e.kind) {
+      case Expr::Kind::kConst:
+        return true;
+      case Expr::Kind::kVar:
+        return env_.count(e.var) > 0;
+      default:
+        return ExprReady(*e.lhs) && ExprReady(*e.rhs);
+    }
+  }
+
+  std::optional<Value> EvalExpr(const Expr& e) const {
+    switch (e.kind) {
+      case Expr::Kind::kConst:
+        return e.constant;
+      case Expr::Kind::kVar:
+        return Lookup(e.var);
+      default: {
+        std::optional<Value> l = EvalExpr(*e.lhs);
+        std::optional<Value> r = EvalExpr(*e.rhs);
+        if (!l.has_value() || !r.has_value()) return std::nullopt;
+        bool lnum = l->is_numeric() || l->is_bool();
+        bool rnum = r->is_numeric() || r->is_bool();
+        if (!lnum || !rnum) return std::nullopt;
+        bool as_int = l->is_int() && r->is_int();
+        switch (e.kind) {
+          case Expr::Kind::kAdd:
+            return as_int ? Value::Int(l->int_value() + r->int_value())
+                          : Value::Real(l->AsDouble() + r->AsDouble());
+          case Expr::Kind::kSub:
+            return as_int ? Value::Int(l->int_value() - r->int_value())
+                          : Value::Real(l->AsDouble() - r->AsDouble());
+          case Expr::Kind::kMul:
+            return as_int ? Value::Int(l->int_value() * r->int_value())
+                          : Value::Real(l->AsDouble() * r->AsDouble());
+          case Expr::Kind::kDiv: {
+            double denom = r->AsDouble();
+            if (denom == 0.0) return std::nullopt;
+            return Value::Real(l->AsDouble() / denom);
+          }
+          case Expr::Kind::kMin2:
+            return Value::NumericCompare(*l, *r) <= 0 ? *l : *r;
+          case Expr::Kind::kMax2:
+            return Value::NumericCompare(*l, *r) >= 0 ? *l : *r;
+          default:
+            return std::nullopt;
+        }
+      }
+    }
+  }
+
+  static bool EvalCompare(CmpOp op, const Value& a, const Value& b) {
+    bool anum = a.is_numeric() || a.is_bool();
+    bool bnum = b.is_numeric() || b.is_bool();
+    if (anum && bnum) {
+      int c = Value::NumericCompare(a, b);
+      switch (op) {
+        case CmpOp::kEq: return c == 0;
+        case CmpOp::kNe: return c != 0;
+        case CmpOp::kLt: return c < 0;
+        case CmpOp::kLe: return c <= 0;
+        case CmpOp::kGt: return c > 0;
+        case CmpOp::kGe: return c >= 0;
+      }
+      return false;
+    }
+    switch (op) {
+      case CmpOp::kEq: return a == b;
+      case CmpOp::kNe: return !(a == b);
+      default: return false;
+    }
+  }
+
+  std::optional<Value> ResolveTerm(const Term& t) const {
+    if (t.is_const()) return t.constant;
+    return Lookup(t.var);
+  }
+
+  bool TermsResolvable(const std::vector<Term>& terms, size_t count) const {
+    for (size_t i = 0; i < count; ++i) {
+      if (terms[i].is_var() && env_.count(terms[i].var) == 0) return false;
+    }
+    return true;
+  }
+
+  /// Enumerates matches of one positive atom, calling `cont` per match with
+  /// the atom's variables bound. Default-value predicates need ground keys
+  /// (the stored value or the lattice bottom is the answer).
+  void EnumAtom(const Atom& atom, const std::function<void()>& cont) {
+    const PredicateInfo* pred = atom.pred;
+    const Relation* rel = db_->Find(pred);
+    size_t key_arity = static_cast<size_t>(pred->key_arity());
+
+    if (pred->has_default) {
+      if (!TermsResolvable(atom.args, key_arity)) {
+        unsupported_ = true;
+        return;
+      }
+      Tuple key;
+      key.reserve(key_arity);
+      for (size_t i = 0; i < key_arity; ++i) key.push_back(*ResolveTerm(atom.args[i]));
+      const Value* stored = rel != nullptr ? rel->Find(key) : nullptr;
+      Value cost = stored != nullptr ? *stored : pred->domain->Bottom();
+      if (!pred->has_cost) {
+        cont();
+        return;
+      }
+      MatchCostAndContinue(atom.args.back(), pred, cost, cont);
+      return;
+    }
+
+    if (rel == nullptr) return;
+    rel->ForEach([&](const Tuple& key, const Value& cost) {
+      std::vector<std::string> trail;
+      bool ok = true;
+      for (size_t i = 0; i < key_arity && ok; ++i) {
+        const Term& t = atom.args[i];
+        if (t.is_const()) {
+          ok = t.constant == key[i];
+        } else if (auto bound = Lookup(t.var)) {
+          ok = *bound == key[i];
+        } else {
+          env_[t.var] = key[i];
+          trail.push_back(t.var);
+        }
+      }
+      if (ok && pred->has_cost) {
+        const Term& ct = atom.args.back();
+        if (ct.is_var() && env_.count(ct.var) == 0) {
+          env_[ct.var] = cost;
+          trail.push_back(ct.var);
+        } else {
+          Value expected = *ResolveTerm(ct);
+          ok = pred->domain->Contains(expected) &&
+               pred->domain->Equal(pred->domain->Normalize(expected), cost);
+        }
+      }
+      if (ok) cont();
+      for (const std::string& v : trail) env_.erase(v);
+    });
+  }
+
+  void MatchCostAndContinue(const Term& ct, const PredicateInfo* pred,
+                            const Value& cost,
+                            const std::function<void()>& cont) {
+    if (ct.is_var() && env_.count(ct.var) == 0) {
+      env_[ct.var] = cost;
+      cont();
+      env_.erase(ct.var);
+      return;
+    }
+    Value expected = *ResolveTerm(ct);
+    if (pred->domain->Contains(expected) &&
+        pred->domain->Equal(pred->domain->Normalize(expected), cost)) {
+      cont();
+    }
+  }
+
+  /// Enumerates a conjunction of positive atoms, deferring default-value
+  /// atoms until their keys are ground.
+  void EnumAtomList(const std::vector<Atom>& atoms, std::vector<bool>* used,
+                    const std::function<void()>& cont) {
+    size_t pick = atoms.size();
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if ((*used)[i]) continue;
+      const Atom& a = atoms[i];
+      bool ready = !a.pred->has_default ||
+                   TermsResolvable(a.args, a.pred->key_arity());
+      if (ready) {
+        pick = i;
+        break;
+      }
+      if (pick == atoms.size()) pick = i;  // fall back to the first unused
+    }
+    if (pick == atoms.size()) {
+      cont();
+      return;
+    }
+    (*used)[pick] = true;
+    EnumAtom(atoms[pick], [&]() { EnumAtomList(atoms, used, cont); });
+    (*used)[pick] = false;
+  }
+
+  void EnumAtoms(const std::vector<Atom>& atoms,
+                 const std::function<void()>& cont) {
+    std::vector<bool> used(atoms.size(), false);
+    EnumAtomList(atoms, &used, cont);
+  }
+
+  bool NegationHolds(const Atom& atom) {
+    const PredicateInfo* pred = atom.pred;
+    size_t key_arity = static_cast<size_t>(pred->key_arity());
+    Tuple key;
+    key.reserve(key_arity);
+    for (size_t i = 0; i < key_arity; ++i) key.push_back(*ResolveTerm(atom.args[i]));
+    const Relation* rel = db_->Find(pred);
+    const Value* stored = rel != nullptr ? rel->Find(key) : nullptr;
+    if (!pred->has_cost) return stored == nullptr && (rel == nullptr || !rel->Contains(key));
+    std::optional<Value> actual;
+    if (stored != nullptr) {
+      actual = *stored;
+    } else if (pred->has_default) {
+      actual = pred->domain->Bottom();
+    }
+    if (!actual.has_value()) return true;
+    Value expected = *ResolveTerm(atom.args.back());
+    if (!pred->domain->Contains(expected)) return true;
+    return !pred->domain->Equal(pred->domain->Normalize(expected), *actual);
+  }
+
+  void EvalAggregate(const datalog::AggregateSubgoal& agg,
+                     const std::function<void()>& cont) {
+    auto eval_one_group = [&]() {
+      std::vector<Value> multiset;
+      EnumAtoms(agg.atoms, [&]() {
+        if (!agg.multiset_var.empty()) {
+          auto it = env_.find(agg.multiset_var);
+          multiset.push_back(it != env_.end() ? it->second : Value::Bool(true));
+        } else {
+          multiset.push_back(Value::Bool(true));
+        }
+      });
+      if (agg.restricted && multiset.empty()) return;
+      StatusOr<Value> applied = agg.function->Apply(multiset);
+      if (!applied.ok()) return;
+      const CostDomain* dom = agg.function->output_domain();
+      Value norm = dom->Normalize(applied.value());
+      if (agg.result.is_var() && env_.count(agg.result.var) == 0) {
+        env_[agg.result.var] = norm;
+        cont();
+        env_.erase(agg.result.var);
+        return;
+      }
+      Value expected = *ResolveTerm(agg.result);
+      if (dom->Contains(expected) &&
+          dom->Equal(dom->Normalize(expected), norm)) {
+        cont();
+      }
+    };
+
+    std::vector<std::string> unbound;
+    for (const std::string& g : agg.grouping_vars) {
+      if (env_.count(g) == 0) unbound.push_back(g);
+    }
+    if (unbound.empty()) {
+      eval_one_group();
+      return;
+    }
+    // "=r" form reached with unbound grouping variables: enumerate the
+    // non-empty groups, then aggregate once per group.
+    std::vector<Tuple> groups;
+    EnumAtoms(agg.atoms, [&]() {
+      Tuple g;
+      g.reserve(agg.grouping_vars.size());
+      for (const std::string& v : agg.grouping_vars) g.push_back(env_.at(v));
+      groups.push_back(std::move(g));
+    });
+    std::sort(groups.begin(), groups.end());
+    groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+    for (const Tuple& g : groups) {
+      for (size_t i = 0; i < agg.grouping_vars.size(); ++i) {
+        if (env_.count(agg.grouping_vars[i]) == 0) {
+          env_[agg.grouping_vars[i]] = g[i];
+        }
+      }
+      eval_one_group();
+      for (const std::string& v : unbound) env_.erase(v);
+    }
+  }
+
+  void Step(const Rule& rule, std::vector<bool>* used,
+            std::vector<BfDerivation>* out) {
+    if (unsupported_) return;
+    // Pick the next evaluable subgoal: positive atoms first (they bind),
+    // then ready builtins/negations, aggregates last.
+    size_t pick = rule.body.size();
+    int pick_rank = 99;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if ((*used)[i]) continue;
+      const Subgoal& sg = rule.body[i];
+      int rank = -1;
+      switch (sg.kind) {
+        case Subgoal::Kind::kAtom:
+          if (!sg.atom.pred->has_default ||
+              TermsResolvable(sg.atom.args, sg.atom.pred->key_arity())) {
+            rank = 0;
+          }
+          break;
+        case Subgoal::Kind::kBuiltin: {
+          const datalog::BuiltinSubgoal& b = sg.builtin;
+          bool assign =
+              b.op == CmpOp::kEq &&
+              ((b.lhs->kind == Expr::Kind::kVar &&
+                env_.count(b.lhs->var) == 0 && ExprReady(*b.rhs)) ||
+               (b.rhs->kind == Expr::Kind::kVar &&
+                env_.count(b.rhs->var) == 0 && ExprReady(*b.lhs)));
+          if (assign || (ExprReady(*b.lhs) && ExprReady(*b.rhs))) rank = 1;
+          break;
+        }
+        case Subgoal::Kind::kNegatedAtom: {
+          bool ready = true;
+          for (const Term& t : sg.atom.args) {
+            if (t.is_var() && env_.count(t.var) == 0) ready = false;
+          }
+          if (ready) rank = 1;
+          break;
+        }
+        case Subgoal::Kind::kAggregate:
+          rank = 2;  // group enumeration copes with unbound grouping vars
+          break;
+      }
+      if (rank >= 0 && rank < pick_rank) {
+        pick = i;
+        pick_rank = rank;
+        if (rank == 0) break;
+      }
+    }
+    if (pick == rule.body.size()) {
+      bool all_used = true;
+      for (bool u : *used) all_used = all_used && u;
+      if (!all_used) {
+        unsupported_ = true;  // e.g. a builtin over never-bound variables
+        return;
+      }
+      EmitHead(rule, out);
+      return;
+    }
+
+    (*used)[pick] = true;
+    const Subgoal& sg = rule.body[pick];
+    auto next = [&]() { Step(rule, used, out); };
+    switch (sg.kind) {
+      case Subgoal::Kind::kAtom:
+        EnumAtom(sg.atom, next);
+        break;
+      case Subgoal::Kind::kNegatedAtom:
+        if (NegationHolds(sg.atom)) next();
+        break;
+      case Subgoal::Kind::kBuiltin: {
+        const datalog::BuiltinSubgoal& b = sg.builtin;
+        const Expr* target = nullptr;
+        const Expr* source = nullptr;
+        if (b.op == CmpOp::kEq && b.lhs->kind == Expr::Kind::kVar &&
+            env_.count(b.lhs->var) == 0 && ExprReady(*b.rhs)) {
+          target = b.lhs.get();
+          source = b.rhs.get();
+        } else if (b.op == CmpOp::kEq && b.rhs->kind == Expr::Kind::kVar &&
+                   env_.count(b.rhs->var) == 0 && ExprReady(*b.lhs)) {
+          target = b.rhs.get();
+          source = b.lhs.get();
+        }
+        if (target != nullptr) {
+          std::optional<Value> v = EvalExpr(*source);
+          if (v.has_value()) {
+            env_[target->var] = std::move(*v);
+            next();
+            env_.erase(target->var);
+          }
+          break;
+        }
+        std::optional<Value> l = EvalExpr(*b.lhs);
+        std::optional<Value> r = EvalExpr(*b.rhs);
+        if (l.has_value() && r.has_value() && EvalCompare(b.op, *l, *r)) {
+          next();
+        }
+        break;
+      }
+      case Subgoal::Kind::kAggregate:
+        EvalAggregate(sg.aggregate, next);
+        break;
+    }
+    (*used)[pick] = false;
+  }
+
+  void EmitHead(const Rule& rule, std::vector<BfDerivation>* out) {
+    const PredicateInfo* pred = rule.head.pred;
+    BfDerivation d;
+    d.pred = pred;
+    size_t key_arity = static_cast<size_t>(pred->key_arity());
+    for (size_t i = 0; i < key_arity; ++i) {
+      std::optional<Value> v = ResolveTerm(rule.head.args[i]);
+      if (!v.has_value()) return;  // not range-restricted; nothing to derive
+      d.key.push_back(std::move(*v));
+    }
+    if (pred->has_cost) {
+      std::optional<Value> raw = ResolveTerm(rule.head.args.back());
+      if (!raw.has_value()) return;
+      if (!pred->domain->Contains(*raw)) return;
+      d.cost = pred->domain->Normalize(*raw);
+    }
+    out->push_back(std::move(d));
+  }
+
+  const Database* db_;
+  Env env_;
+  bool unsupported_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Randomized EDBs
+// ---------------------------------------------------------------------------
+
+/// Predicates that may receive random facts: referenced in some rule body but
+/// never derived by a rule head, with numeric/boolean (or absent) costs.
+std::vector<const PredicateInfo*> EdbPredicates(const Program& program) {
+  std::set<const PredicateInfo*> heads = program.HeadPredicates();
+  std::set<const PredicateInfo*> seen;
+  std::vector<const PredicateInfo*> out;
+  auto add = [&](const PredicateInfo* p) {
+    if (p == nullptr || heads.count(p) > 0 || !seen.insert(p).second) return;
+    if (p->has_cost &&
+        dynamic_cast<const NumericDomain*>(p->domain) == nullptr) {
+      return;  // set-valued EDB costs: inline facts only
+    }
+    out.push_back(p);
+  };
+  for (const Rule& rule : program.rules()) {
+    for (const Subgoal& sg : rule.body) {
+      switch (sg.kind) {
+        case Subgoal::Kind::kAtom:
+        case Subgoal::Kind::kNegatedAtom:
+          add(sg.atom.pred);
+          break;
+        case Subgoal::Kind::kAggregate:
+          for (const Atom& a : sg.aggregate.atoms) add(a.pred);
+          break;
+        case Subgoal::Kind::kBuiltin:
+          break;
+      }
+    }
+  }
+  for (const Fact& f : program.facts()) add(f.pred);
+  return out;
+}
+
+std::vector<Fact> RandomFacts(const Program& program, Random* rng,
+                              int max_facts) {
+  // Key-column value pools from the inline facts, so generated keys overlap
+  // with whatever constants the rules mention via those facts.
+  std::map<const PredicateInfo*, std::vector<std::vector<Value>>> pools;
+  for (const Fact& f : program.facts()) {
+    auto& cols = pools[f.pred];
+    cols.resize(f.pred->key_arity());
+    for (size_t i = 0; i < f.key.size(); ++i) cols[i].push_back(f.key[i]);
+  }
+  std::vector<Value> fallback;
+  for (int i = 0; i < 5; ++i) {
+    fallback.push_back(Value::Symbol(StrPrintf("n%d", i)));
+  }
+
+  std::vector<Fact> facts;
+  for (const PredicateInfo* pred : EdbPredicates(program)) {
+    int n = static_cast<int>(rng->Uniform(1, std::max(1, max_facts)));
+    for (int i = 0; i < n; ++i) {
+      Fact f;
+      f.pred = pred;
+      for (int col = 0; col < pred->key_arity(); ++col) {
+        const std::vector<Value>* pool = &fallback;
+        auto it = pools.find(pred);
+        if (it != pools.end() && col < static_cast<int>(it->second.size()) &&
+            !it->second[col].empty() && rng->Bernoulli(0.7)) {
+          pool = &it->second[col];
+        }
+        f.key.push_back((*pool)[rng->Uniform(0, pool->size() - 1)]);
+      }
+      if (pred->has_cost) {
+        const auto* num = static_cast<const NumericDomain*>(pred->domain);
+        double lo = std::max(num->lo(), -8.0);
+        double hi = std::min(num->hi(), 8.0);
+        if (lo > hi) lo = hi = std::isfinite(num->lo()) ? num->lo() : num->hi();
+        if (num->integral()) {
+          f.cost = Value::Int(rng->Uniform(static_cast<int64_t>(std::ceil(lo)),
+                                           static_cast<int64_t>(std::floor(hi))));
+        } else {
+          // Quarter-step quantization so distinct facts collide on values,
+          // exercising the lattice-join path.
+          double v = rng->UniformReal(lo, hi);
+          f.cost = Value::Real(std::round(v * 4.0) / 4.0);
+        }
+      }
+      facts.push_back(std::move(f));
+    }
+  }
+  return facts;
+}
+
+/// One full bottom-up evaluation under a specific ordering. Returns the
+/// model rendered as sorted fact lines, or nullopt when the program uses a
+/// construct the brute-force evaluator does not support / diverges.
+struct EvalOutcome {
+  bool unsupported = false;
+  bool diverged = false;
+  std::string model;
+};
+
+EvalOutcome EvaluateOnce(const Program& program, const DependencyGraph& graph,
+                         const std::vector<Fact>& facts, Random* rng,
+                         int max_rounds) {
+  EvalOutcome outcome;
+  Database db;
+  std::vector<int> fact_order = rng->Permutation(static_cast<int>(facts.size()));
+  for (int idx : fact_order) {
+    // Out-of-domain inline facts would have failed parsing already.
+    (void)db.AddFact(facts[idx]);
+  }
+
+  for (const Component& comp : graph.components()) {
+    std::vector<Rule> rules;
+    std::vector<int> order =
+        rng->Permutation(static_cast<int>(comp.rule_indices.size()));
+    for (int oi : order) {
+      Rule clone = program.rules()[comp.rule_indices[oi]].Clone();
+      // Shuffle the body too: the evaluator schedules greedily, so this
+      // permutes tie-breaking among simultaneously-ready subgoals.
+      std::vector<int> body_order =
+          rng->Permutation(static_cast<int>(clone.body.size()));
+      std::vector<Subgoal> body;
+      body.reserve(clone.body.size());
+      for (int bi : body_order) body.push_back(std::move(clone.body[bi]));
+      clone.body = std::move(body);
+      clone.Finalize();
+      rules.push_back(std::move(clone));
+    }
+
+    bool changed = true;
+    int rounds = 0;
+    while (changed) {
+      if (++rounds > max_rounds) {
+        outcome.diverged = true;
+        return outcome;
+      }
+      changed = false;
+      for (const Rule& rule : rules) {
+        BruteForce bf(&db);
+        std::vector<BfDerivation> derivs;
+        bf.EvalRule(rule, &derivs);
+        if (bf.unsupported()) {
+          outcome.unsupported = true;
+          return outcome;
+        }
+        for (const BfDerivation& d : derivs) {
+          Relation* rel = db.GetOrCreate(d.pred);
+          Relation::MergeResult r =
+              rel->Merge(d.key, d.cost.value_or(Value::Bool(true)));
+          if (r != Relation::MergeResult::kUnchanged) changed = true;
+        }
+      }
+    }
+  }
+  outcome.model = db.ToString();
+  return outcome;
+}
+
+}  // namespace
+
+std::string DifferentialResult::ToString() const {
+  std::string out = StrPrintf(
+      "differential: %d trial(s), %d skipped, %d mismatch(es)", trials_run,
+      skipped, mismatches);
+  if (!first_mismatch.empty()) out += "\n  first: " + first_mismatch;
+  return out;
+}
+
+DifferentialResult RunDifferential(const datalog::Program& program,
+                                   const DependencyGraph& graph,
+                                   const DifferentialOptions& options) {
+  DifferentialResult result;
+  Random rng(options.seed);
+  for (int trial = 0; trial < options.trials; ++trial) {
+    std::vector<Fact> random_facts =
+        RandomFacts(program, &rng, options.max_facts);
+
+    // Certify against THIS database: a certificate is only valid for the
+    // fact values the interpreter has seen.
+    Database cert_db;
+    for (const Fact& f : random_facts) (void)cert_db.AddFact(f);
+    ProgramCheckResult check = CheckProgram(program, graph, "", &cert_db);
+    if (!check.overall().ok()) {
+      ++result.skipped;
+      continue;
+    }
+    // Failing to reach a fixpoint in max_rounds is only a certificate
+    // violation when the check promised termination; an accepted program on
+    // an infinite-chain lattice (e.g. min_real with a negative cycle) can
+    // legitimately descend forever, and there is no model to compare.
+    bool termination_guaranteed = true;
+    for (const ComponentTermination& t : check.termination.components) {
+      termination_guaranteed =
+          termination_guaranteed &&
+          (t.verdict == TerminationVerdict::kGuaranteed ||
+           t.verdict == TerminationVerdict::kBoundedChains);
+    }
+
+    std::vector<Fact> all_facts = random_facts;
+    for (const Fact& f : program.facts()) all_facts.push_back(f);
+
+    std::string reference;
+    bool counted = false;
+    for (int o = 0; o < std::max(2, options.orderings); ++o) {
+      EvalOutcome outcome = EvaluateOnce(program, graph, all_facts, &rng,
+                                         options.max_rounds);
+      if (outcome.unsupported) {
+        ++result.skipped;
+        counted = true;
+        break;
+      }
+      if (outcome.diverged) {
+        if (!termination_guaranteed) {
+          ++result.skipped;
+        } else {
+          ++result.mismatches;
+          if (result.first_mismatch.empty()) {
+            result.first_mismatch = StrPrintf(
+                "trial %d ordering %d: termination was certified but no "
+                "fixpoint within %d naive rounds",
+                trial, o, options.max_rounds);
+          }
+          ++result.trials_run;
+        }
+        counted = true;
+        break;
+      }
+      if (o == 0) {
+        reference = outcome.model;
+        continue;
+      }
+      if (outcome.model != reference) {
+        ++result.mismatches;
+        if (result.first_mismatch.empty()) {
+          result.first_mismatch = StrPrintf(
+              "trial %d: ordering %d disagrees with ordering 0 on the least "
+              "model (%zu vs %zu bytes)",
+              trial, o, outcome.model.size(), reference.size());
+        }
+        ++result.trials_run;
+        counted = true;
+        break;
+      }
+    }
+    if (!counted) ++result.trials_run;
+  }
+  return result;
+}
+
+}  // namespace absint
+}  // namespace analysis
+}  // namespace mad

@@ -1,0 +1,59 @@
+#ifndef MAD_ANALYSIS_ABSINT_DIFFERENTIAL_H_
+#define MAD_ANALYSIS_ABSINT_DIFFERENTIAL_H_
+
+// Differential validation of the semantic certificates: a certificate claims
+// the component's T_P is monotonic, and a monotone operator has ONE least
+// fixpoint no matter how the chaotic iteration is ordered. The harness
+// checks that claim empirically — randomized small EDBs, several rule/fact
+// orderings each, evaluated by a brute-force naive evaluator that shares no
+// code with the production engine — and reports any pair of orderings that
+// disagree on the least model. Programs the checker rejects (uncertified
+// non-monotonic components) are skipped, not counted as failures: the
+// harness validates accepted programs, it does not re-litigate rejections.
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/dependency_graph.h"
+#include "datalog/ast.h"
+
+namespace mad {
+namespace analysis {
+namespace absint {
+
+struct DifferentialOptions {
+  /// Number of randomized EDBs to try.
+  int trials = 100;
+  /// Orderings per EDB (rule order within components, body subgoal order,
+  /// fact insertion order). All orderings must yield byte-identical models.
+  int orderings = 3;
+  /// Random facts added per EDB predicate (on top of the inline facts).
+  int max_facts = 8;
+  /// Naive rounds before declaring divergence (a certificate violation for
+  /// bounded-chain components, since the concrete chains should be finite).
+  int max_rounds = 400;
+  uint64_t seed = 0x5eedULL;
+};
+
+struct DifferentialResult {
+  int trials_run = 0;   ///< EDBs actually evaluated
+  int skipped = 0;      ///< EDBs whose check rejected (or unsupported rules)
+  int mismatches = 0;   ///< EDBs where two orderings disagreed (or diverged)
+  std::string first_mismatch;  ///< human-readable detail of the first failure
+
+  bool ok() const { return mismatches == 0; }
+  std::string ToString() const;
+};
+
+/// Runs the harness over `program`. `graph` must be built from `program`.
+/// Each trial re-runs the full static checker (including certification)
+/// against the trial's EDB; only accepted programs are evaluated.
+DifferentialResult RunDifferential(const datalog::Program& program,
+                                   const DependencyGraph& graph,
+                                   const DifferentialOptions& options = {});
+
+}  // namespace absint
+}  // namespace analysis
+}  // namespace mad
+
+#endif  // MAD_ANALYSIS_ABSINT_DIFFERENTIAL_H_

@@ -1,0 +1,54 @@
+#ifndef MAD_ANALYSIS_ABSINT_ENGINE_H_
+#define MAD_ANALYSIS_ABSINT_ENGINE_H_
+
+// The abstract interpreter behind the semantic certification layer. It runs
+// each dependency-graph component's rules over abstract domains instead of
+// concrete tuples — groundness for variables (binding.h), intervals for
+// cost values (interval.h), transfer functions for the Figure 1 aggregates
+// (transfer.h) — computes an abstract fixpoint with widening, and emits a
+// machine-checkable certificate per component (certificate.h).
+//
+// Soundness of the interval fixpoint: predicate intervals start at the hull
+// of the known facts and only grow by joins, and every transfer function
+// over-approximates its concrete counterpart, so the widened fixpoint
+// over-approximates the set of cost values derivable at *every* stage of
+// the concrete iteration — not just the final model. A comparison that is
+// always-true over those intervals therefore never flips during evaluation,
+// which is exactly the Definition 4.4 obligation the syntactic polarity
+// check could not discharge.
+
+#include "analysis/absint/certificate.h"
+#include "analysis/dependency_graph.h"
+#include "datalog/ast.h"
+#include "datalog/database.h"
+
+namespace mad {
+namespace analysis {
+namespace absint {
+
+struct AbsintOptions {
+  /// Abstract rounds per component before giving up (safety net; widening
+  /// converges far earlier).
+  int max_rounds = 64;
+  /// Rounds of precise iteration before widening kicks in. A small delay
+  /// lets short chains (booleans, small integral domains) stabilize with
+  /// exact bounds instead of being widened to ±∞.
+  int widen_after = 4;
+};
+
+/// Certifies every component of `program` bottom-up. `edb` optionally
+/// supplies externally loaded facts whose cost values are folded into the
+/// initial intervals alongside the program's inline facts — callers that
+/// evaluate against a database MUST pass it, because a certificate is only
+/// valid for the fact values it has seen (the differential harness and
+/// Engine::Run both recompute certificates per database).
+CertificateReport CertifyProgram(const datalog::Program& program,
+                                 const DependencyGraph& graph,
+                                 const datalog::Database* edb = nullptr,
+                                 const AbsintOptions& options = {});
+
+}  // namespace absint
+}  // namespace analysis
+}  // namespace mad
+
+#endif  // MAD_ANALYSIS_ABSINT_ENGINE_H_

@@ -1,0 +1,185 @@
+#include "analysis/absint/interval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace mad {
+namespace analysis {
+namespace absint {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Endpoint product with the interval-arithmetic convention 0 · ±∞ = 0
+/// (the concrete set {x·y : x ∈ a, y ∈ b} never contains NaN, so the hull
+/// of the finite products is the sound bound).
+double EndpointMul(double x, double y) {
+  if (x == 0.0 || y == 0.0) return 0.0;
+  return x * y;
+}
+
+}  // namespace
+
+Interval::Interval() : lo(kInf), hi(-kInf) {}
+
+Interval Interval::Empty() { return Interval(); }
+
+Interval Interval::All() { return Interval(-kInf, kInf); }
+
+Interval Interval::AtLeast(double lo) { return Interval(lo, kInf); }
+
+Interval Interval::AtMost(double hi) { return Interval(-kInf, hi); }
+
+bool Interval::IsAll() const { return lo == -kInf && hi == kInf; }
+
+long long Interval::IntegerPoints() const {
+  if (IsEmpty() || !std::isfinite(lo) || !std::isfinite(hi)) return -1;
+  double n = std::floor(hi) - std::ceil(lo) + 1.0;
+  if (n < 0.0) return 0;
+  if (n > 1e15) return -1;
+  return static_cast<long long>(n);
+}
+
+bool Interval::operator==(const Interval& o) const {
+  if (IsEmpty() && o.IsEmpty()) return true;
+  return lo == o.lo && hi == o.hi;
+}
+
+std::string Interval::ToString() const {
+  if (IsEmpty()) return "⊥";
+  auto bound = [](double v) -> std::string {
+    if (v == kInf) return "+inf";
+    if (v == -kInf) return "-inf";
+    return StrPrintf("%g", v);
+  };
+  return StrPrintf("[%s, %s]", bound(lo).c_str(), bound(hi).c_str());
+}
+
+Interval Join(const Interval& a, const Interval& b) {
+  if (a.IsEmpty()) return b;
+  if (b.IsEmpty()) return a;
+  return Interval(std::min(a.lo, b.lo), std::max(a.hi, b.hi));
+}
+
+Interval Meet(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return Interval::Empty();
+  Interval m(std::max(a.lo, b.lo), std::min(a.hi, b.hi));
+  return m.IsEmpty() ? Interval::Empty() : m;
+}
+
+Interval Widen(const Interval& older, const Interval& newer) {
+  if (older.IsEmpty()) return newer;
+  if (newer.IsEmpty()) return older;
+  return Interval(newer.lo < older.lo ? -kInf : older.lo,
+                  newer.hi > older.hi ? kInf : older.hi);
+}
+
+Interval Add(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return Interval::Empty();
+  double lo = a.lo + b.lo;
+  double hi = a.hi + b.hi;
+  // ∞ + (−∞) has no concrete witness on the matching bound; widen it out.
+  if (std::isnan(lo)) lo = -kInf;
+  if (std::isnan(hi)) hi = kInf;
+  return Interval(lo, hi);
+}
+
+Interval Sub(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return Interval::Empty();
+  double lo = a.lo - b.hi;
+  double hi = a.hi - b.lo;
+  if (std::isnan(lo)) lo = -kInf;
+  if (std::isnan(hi)) hi = kInf;
+  return Interval(lo, hi);
+}
+
+Interval Mul(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return Interval::Empty();
+  double c[4] = {EndpointMul(a.lo, b.lo), EndpointMul(a.lo, b.hi),
+                 EndpointMul(a.hi, b.lo), EndpointMul(a.hi, b.hi)};
+  double lo = c[0];
+  double hi = c[0];
+  for (double v : c) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return Interval(lo, hi);
+}
+
+Interval Div(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return Interval::Empty();
+  // A divisor interval containing zero makes the quotient unbounded (and the
+  // concrete evaluator's division-by-zero behaviour out of scope): give up.
+  if (b.Contains(0.0)) return Interval::All();
+  double c[4] = {a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi};
+  double lo = c[0];
+  double hi = c[0];
+  for (double v : c) {
+    if (std::isnan(v)) return Interval::All();
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return Interval(lo, hi);
+}
+
+Interval Min2(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return Interval::Empty();
+  return Interval(std::min(a.lo, b.lo), std::min(a.hi, b.hi));
+}
+
+Interval Max2(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return Interval::Empty();
+  return Interval(std::max(a.lo, b.lo), std::max(a.hi, b.hi));
+}
+
+const char* TruthName(Truth t) {
+  switch (t) {
+    case Truth::kAlwaysTrue:
+      return "always-true";
+    case Truth::kAlwaysFalse:
+      return "always-false";
+    case Truth::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+Truth Compare(datalog::CmpOp op, const Interval& lhs, const Interval& rhs) {
+  using datalog::CmpOp;
+  if (lhs.IsEmpty() || rhs.IsEmpty()) return Truth::kAlwaysTrue;
+  switch (op) {
+    case CmpOp::kLt:
+      if (lhs.hi < rhs.lo) return Truth::kAlwaysTrue;
+      if (lhs.lo >= rhs.hi) return Truth::kAlwaysFalse;
+      return Truth::kUnknown;
+    case CmpOp::kLe:
+      if (lhs.hi <= rhs.lo) return Truth::kAlwaysTrue;
+      if (lhs.lo > rhs.hi) return Truth::kAlwaysFalse;
+      return Truth::kUnknown;
+    case CmpOp::kGt:
+      return Compare(CmpOp::kLt, rhs, lhs);
+    case CmpOp::kGe:
+      return Compare(CmpOp::kLe, rhs, lhs);
+    case CmpOp::kEq:
+      if (lhs.IsPoint() && rhs.IsPoint() && lhs.lo == rhs.lo) {
+        return Truth::kAlwaysTrue;
+      }
+      if (Meet(lhs, rhs).IsEmpty()) return Truth::kAlwaysFalse;
+      return Truth::kUnknown;
+    case CmpOp::kNe:
+      if (Meet(lhs, rhs).IsEmpty()) return Truth::kAlwaysTrue;
+      if (lhs.IsPoint() && rhs.IsPoint() && lhs.lo == rhs.lo) {
+        return Truth::kAlwaysFalse;
+      }
+      return Truth::kUnknown;
+  }
+  return Truth::kUnknown;
+}
+
+}  // namespace absint
+}  // namespace analysis
+}  // namespace mad

@@ -1,0 +1,84 @@
+#ifndef MAD_ANALYSIS_ABSINT_INTERVAL_H_
+#define MAD_ANALYSIS_ABSINT_INTERVAL_H_
+
+// The numeric abstract domain of the certification layer: closed real
+// intervals with ±∞ endpoints, ordered by inclusion. An interval
+// over-approximates the set of cost values a variable or predicate can take
+// at *any* stage of the concrete fixpoint iteration, which is what lets the
+// three-valued comparison below certify that a guard can never flip.
+
+#include <string>
+
+#include "datalog/ast.h"
+
+namespace mad {
+namespace analysis {
+namespace absint {
+
+/// A closed interval [lo, hi] ⊆ ℝ ∪ {±∞}. Empty when lo > hi (the default:
+/// "no concrete value reaches this point"). Join is the convex hull — this
+/// domain has no holes, which keeps widening trivial.
+struct Interval {
+  double lo;
+  double hi;
+
+  Interval();  // empty
+  Interval(double l, double h) : lo(l), hi(h) {}
+
+  static Interval Empty();
+  static Interval All();
+  static Interval Point(double v) { return Interval(v, v); }
+  static Interval Range(double lo, double hi) { return Interval(lo, hi); }
+  static Interval AtLeast(double lo);
+  static Interval AtMost(double hi);
+
+  bool IsEmpty() const { return lo > hi; }
+  bool IsAll() const;
+  bool IsPoint() const { return lo == hi && !IsEmpty(); }
+  bool Contains(double v) const { return !IsEmpty() && lo <= v && v <= hi; }
+  /// Number of integer points in the interval, or -1 when unbounded/empty
+  /// intervals make the count meaningless (used for static chain heights).
+  long long IntegerPoints() const;
+
+  bool operator==(const Interval& o) const;
+  bool operator!=(const Interval& o) const { return !(*this == o); }
+
+  std::string ToString() const;
+};
+
+/// Lattice operations. Join is the hull of the union; Meet the intersection.
+Interval Join(const Interval& a, const Interval& b);
+Interval Meet(const Interval& a, const Interval& b);
+
+/// Standard interval widening: any bound that moved between `older` and
+/// `newer` jumps straight to ±∞, stable bounds are kept. Guarantees the
+/// abstract fixpoint converges in O(1) extra rounds per variable.
+Interval Widen(const Interval& older, const Interval& newer);
+
+/// Interval arithmetic, conservative on every edge case (∞−∞, 0·∞, division
+/// by an interval containing zero all go to the sound over-approximation).
+Interval Add(const Interval& a, const Interval& b);
+Interval Sub(const Interval& a, const Interval& b);
+Interval Mul(const Interval& a, const Interval& b);
+Interval Div(const Interval& a, const Interval& b);
+Interval Min2(const Interval& a, const Interval& b);
+Interval Max2(const Interval& a, const Interval& b);
+
+/// Three-valued truth of a comparison between abstract values.
+enum class Truth {
+  kAlwaysTrue,   ///< holds for every pair of concrete values
+  kAlwaysFalse,  ///< fails for every pair of concrete values
+  kUnknown,      ///< depends on the concrete instantiation
+};
+
+const char* TruthName(Truth t);
+
+/// Evaluates `lhs op rhs` over intervals. Comparisons against an empty
+/// interval are vacuously kAlwaysTrue: no concrete binding reaches them.
+Truth Compare(datalog::CmpOp op, const Interval& lhs, const Interval& rhs);
+
+}  // namespace absint
+}  // namespace analysis
+}  // namespace mad
+
+#endif  // MAD_ANALYSIS_ABSINT_INTERVAL_H_

@@ -1,0 +1,94 @@
+#include "analysis/absint/transfer.h"
+
+#include "util/string_util.h"
+
+namespace mad {
+namespace analysis {
+namespace absint {
+
+namespace {
+
+bool SameDomain(const lattice::AggregateFunction& fn) {
+  return fn.input_domain() == fn.output_domain();
+}
+
+}  // namespace
+
+bool DistributesIntoFixpoint(const lattice::AggregateFunction& fn) {
+  std::string_view n = fn.name();
+  bool extremal = n == "min" || n == "max" || n == "and" || n == "or" ||
+                  n == "union" || n == "intersection";
+  return extremal && SameDomain(fn);
+}
+
+bool IsSelective(const lattice::AggregateFunction& fn) {
+  std::string_view n = fn.name();
+  bool picks_element = n == "min" || n == "max" || n == "and" || n == "or";
+  return picks_element && SameDomain(fn);
+}
+
+AggregateTransfer TransferAggregate(const datalog::AggregateSubgoal& agg,
+                                    const Interval& element) {
+  AggregateTransfer t;
+  const lattice::AggregateFunction* fn = agg.function;
+  if (fn == nullptr) {
+    t.out = Interval::All();
+    t.note = StrPrintf("%s: unresolved aggregate, no abstraction",
+                       agg.function_name.c_str());
+    return t;
+  }
+  t.selective = IsSelective(*fn);
+  t.distributes = DistributesIntoFixpoint(*fn);
+  std::string_view n = fn->name();
+
+  if (t.selective) {
+    // The result of an extremal aggregate is one of its elements.
+    t.out = element;
+  } else if (n == "sum" || n == "halfsum") {
+    // Non-negative ascending domains only (enforced by MakeAggregate): a
+    // singleton multiset realizes the least element (halved for halfsum),
+    // and more elements only grow the total.
+    if (!element.IsEmpty() && element.lo >= 0.0) {
+      t.out = Interval::AtLeast(n == "halfsum" ? element.lo / 2.0
+                                               : element.lo);
+    } else {
+      t.out = element.IsEmpty() ? Interval::Empty() : Interval::All();
+    }
+  } else if (n == "count") {
+    // A non-empty group has at least one row; ∞ is the domain's top.
+    t.out = element.IsEmpty() ? Interval::Empty() : Interval::AtLeast(1.0);
+  } else if (n == "product") {
+    // Domains bounded below by 1: factors only grow the product.
+    if (!element.IsEmpty() && element.lo >= 1.0) {
+      t.out = Interval::AtLeast(element.lo);
+    } else {
+      t.out = element.IsEmpty() ? Interval::Empty() : Interval::All();
+    }
+  } else if (n == "avg") {
+    // The mean of a multiset lies inside the hull of its elements.
+    t.out = element;
+  } else {
+    // Set-valued or unknown aggregates carry no numeric abstraction.
+    t.out = element.IsEmpty() ? Interval::Empty() : Interval::All();
+  }
+
+  // The unrestricted "=" form also fires on empty groups, yielding the
+  // aggregate's empty-multiset value (sum 0, count 0, and 1, ...). Join it
+  // in; aggregates undefined on ∅ (avg, min, =r form) contribute nothing.
+  if (!agg.restricted) {
+    auto empty = fn->Apply({});
+    if (empty.ok() && (empty->is_numeric() || empty->is_bool())) {
+      t.out = Join(t.out, Interval::Point(empty->AsDouble()));
+    }
+  }
+
+  t.note = StrPrintf("%s: out %s%s%s", agg.function_name.c_str(),
+                     t.out.ToString().c_str(),
+                     t.selective ? ", selective" : "",
+                     t.distributes ? ", distributes (PreM)" : "");
+  return t;
+}
+
+}  // namespace absint
+}  // namespace analysis
+}  // namespace mad

@@ -1,0 +1,57 @@
+#ifndef MAD_ANALYSIS_ABSINT_TRANSFER_H_
+#define MAD_ANALYSIS_ABSINT_TRANSFER_H_
+
+// Abstract transfer functions for every Figure 1 aggregate: given an
+// interval over-approximating the aggregated multiset's *elements*, produce
+// an interval for the aggregate's *result*, plus the two structural facts
+// the certifier and the termination analysis consume — whether the
+// aggregate is selective (its result is always one of its inputs, so it
+// creates no new cost values) and whether it distributes into the fixpoint
+// in the PreM sense of Zaniolo et al. (arXiv:1707.05681).
+
+#include <string>
+
+#include "analysis/absint/interval.h"
+#include "datalog/ast.h"
+#include "lattice/aggregate.h"
+
+namespace mad {
+namespace analysis {
+namespace absint {
+
+/// Result of abstracting one aggregate application.
+struct AggregateTransfer {
+  Interval out;
+  /// Result ∈ input multiset for every non-empty multiset (min/max/and/or):
+  /// the aggregate can only *select* existing cost values, never invent
+  /// new ones — the load-bearing fact behind bounded-chain certificates.
+  bool selective = false;
+  /// PreM: F(T(J)) = T'(F(J)) — the aggregate commutes with the immediate
+  /// consequence operator, so pushing it into the fixpoint preserves the
+  /// least model. Holds for the idempotent extremal aggregates.
+  bool distributes = false;
+  /// One-line explanation for rule traces.
+  std::string note;
+};
+
+/// True iff `fn` distributes into the fixpoint (PreM): the idempotent
+/// extremal aggregates min/max/and/or/union/intersection applied at their
+/// own lattice (input domain == output domain).
+bool DistributesIntoFixpoint(const lattice::AggregateFunction& fn);
+
+/// True iff `fn` is selective: every result is a member of the input
+/// multiset (min/max/and/or with input domain == output domain).
+bool IsSelective(const lattice::AggregateFunction& fn);
+
+/// Abstracts one application of `agg` whose elements lie in `element`.
+/// Handles the unrestricted "=" form by joining the empty-multiset value
+/// (e.g. sum's 0, and's 1) into the result interval; the "=r" form is
+/// simply unsatisfied on empty groups.
+AggregateTransfer TransferAggregate(const datalog::AggregateSubgoal& agg,
+                                    const Interval& element);
+
+}  // namespace absint
+}  // namespace analysis
+}  // namespace mad
+
+#endif  // MAD_ANALYSIS_ABSINT_TRANSFER_H_

@@ -44,6 +44,8 @@ const char* AdmissibilityAspectName(AdmissibilityAspect aspect) {
       return "pseudo-monotonic-no-default";
     case AdmissibilityAspect::kBuiltin:
       return "builtin-monotonicity";
+    case AdmissibilityAspect::kHeadAlignment:
+      return "head-alignment";
     case AdmissibilityAspect::kNegation:
       return "negation";
   }
@@ -466,7 +468,7 @@ RuleAdmissibility CheckRuleAdmissible(const Rule& rule,
                     : hs == Sign::kFixed;
       if (!ok || (!sign_analysis_possible && hs == Sign::kUnknown)) {
         Fail(&out, &RuleAdmissibility::builtins_monotonic,
-             AdmissibilityAspect::kBuiltin,
+             AdmissibilityAspect::kHeadAlignment,
              BestSpan(rule, {rule.head.args.back().span, rule.head.span}),
              StrPrintf("head cost variable %s grows %s, which does not align "
                        "with the head lattice %s",

@@ -67,6 +67,7 @@ enum class AdmissibilityAspect {
   kPseudoMonotonicNoDefault,  ///< Section 4.1: pseudo-monotonic aggregate
                               ///< over a CDB predicate lacking `default`
   kBuiltin,       ///< Definition 4.4: a comparison can flip as J grows
+  kHeadAlignment,  ///< Definition 4.4: head cost can move against its lattice
   kNegation,      ///< Proposition 6.1: negated CDB subgoal
 };
 

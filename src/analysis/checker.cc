@@ -1,5 +1,6 @@
 #include "analysis/checker.h"
 
+#include "analysis/absint/engine.h"
 #include "analysis/admissibility.h"
 #include "analysis/conflict_free.h"
 #include "analysis/cost_respecting.h"
@@ -40,7 +41,10 @@ Status ProgramCheckResult::overall() const {
   for (const ComponentVerdict& c : components) {
     // Non-recursive components and plain positive recursion are always fine;
     // recursion through aggregation/negation needs the monotone guarantee.
-    if ((c.recursive_aggregation || c.recursive_negation) && !c.monotonic) {
+    // A semantic certificate from the abstract interpreter stands in for the
+    // syntactic Definition 4.5 proof (PreM-style monotonicity).
+    if ((c.recursive_aggregation || c.recursive_negation) && !c.monotonic &&
+        c.certificate != absint::CertificateKind::kSemanticallyMonotonic) {
       std::string why = "recursion through negation";
       for (const lint::Diagnostic& d : c.diagnostics) {
         if (d.severity == lint::Severity::kError) {
@@ -72,6 +76,10 @@ std::string ProgramCheckResult::ToString() const {
                      c.recursive_aggregation ? " thru-aggregation" : "",
                      c.recursive_negation ? " thru-negation" : "",
                      c.monotonic ? "yes" : "no");
+    if (!c.monotonic &&
+        c.certificate == absint::CertificateKind::kSemanticallyMonotonic) {
+      out += " certificate=semantically-monotonic";
+    }
     if (c.monotonic && !c.prefix_sound) out += " prefix-sound=no";
     if (!c.diagnostics.empty()) {
       out += " (" + c.diagnostics.front().message + ")";
@@ -82,6 +90,13 @@ std::string ProgramCheckResult::ToString() const {
                    termination.AllGuaranteed()
                        ? "guaranteed for every component"
                        : "not guaranteed (see max_iterations/epsilon)");
+  for (const ComponentTermination& t : termination.components) {
+    if (t.verdict != TerminationVerdict::kBoundedChains) continue;
+    out += StrPrintf("  component %d: bounded chains (%s)\n", t.component_index,
+                     t.chain_height >= 0
+                         ? StrPrintf("height %lld", t.chain_height).c_str()
+                         : "selective cost flow");
+  }
   // The shared lint formatter renders the same lines `madlint` would, so
   // `mondl --check` and the lint tool agree finding-for-finding.
   if (!diagnostics.empty()) {
@@ -92,19 +107,23 @@ std::string ProgramCheckResult::ToString() const {
 
 ProgramCheckResult CheckProgram(const datalog::Program& program,
                                 const DependencyGraph& graph,
-                                const std::string& file) {
+                                const std::string& file,
+                                const datalog::Database* edb) {
   ProgramCheckResult result;
   result.range_restricted = CheckRangeRestricted(program);
   result.cost_respecting = CheckCostRespecting(program);
   result.conflict_free = CheckConflictFree(program);
   result.admissible = CheckAdmissible(program, graph);
   result.r_monotonic = IsProgramRMonotonic(program);
-  result.termination = AnalyzeTermination(program, graph);
+  result.certificates = absint::CertifyProgram(program, graph, edb);
+  result.termination =
+      AnalyzeTermination(program, graph, &result.certificates);
 
   lint::LintContext ctx;
   ctx.program = &program;
   ctx.graph = &graph;
   ctx.file = file;
+  ctx.certificates = &result.certificates;
   result.diagnostics = lint::MakePaperPassManager().Run(ctx);
 
   for (const Component& comp : graph.components()) {
@@ -118,6 +137,10 @@ ProgramCheckResult CheckProgram(const datalog::Program& program,
     v.recursive_negation = comp.recursive_negation;
     v.monotonic = !comp.recursive_negation;
     v.prefix_sound = v.monotonic;
+    if (const absint::ComponentCertificate* cert =
+            result.certificates.ForComponent(comp.index)) {
+      v.certificate = cert->kind;
+    }
     for (int ri : comp.rule_indices) {
       const datalog::Rule& rule = program.rules()[ri];
       RuleAdmissibility a = CheckRuleAdmissible(rule, graph);
@@ -126,10 +149,16 @@ ProgramCheckResult CheckProgram(const datalog::Program& program,
         v.prefix_sound = false;
       }
       for (const AdmissibilityViolation& violation : a.violations) {
-        v.diagnostics.push_back(
-            lint::AdmissibilityDiagnostic(violation, rule, graph, file));
+        v.diagnostics.push_back(lint::AdmissibilityDiagnostic(
+            violation, rule, graph, file, &result.certificates));
       }
       if (UsesNonMonotonicCdbAggregate(rule, graph)) v.prefix_sound = false;
+    }
+    // A semantically certified component is evaluated despite failing the
+    // syntactic check, but its interrupted prefixes carry no guarantee.
+    if (!v.monotonic &&
+        v.certificate == absint::CertificateKind::kSemanticallyMonotonic) {
+      v.prefix_sound = false;
     }
     result.components.push_back(std::move(v));
   }

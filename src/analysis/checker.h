@@ -5,10 +5,12 @@
 #include <string>
 #include <vector>
 
+#include "analysis/absint/certificate.h"
 #include "analysis/dependency_graph.h"
 #include "analysis/lint/diagnostic.h"
 #include "analysis/termination.h"
 #include "datalog/ast.h"
+#include "datalog/database.h"
 #include "util/status.h"
 
 namespace mad {
@@ -33,6 +35,11 @@ struct ComponentVerdict {
   /// *interrupted* iteration has not yet derived all inner keys, so partial
   /// states are not certifiable and resource trips become hard errors.
   bool prefix_sound = false;
+  /// How the abstract interpreter certified this component. Components
+  /// rejected by the syntactic Definition 4.5 check still evaluate when the
+  /// certificate is kSemanticallyMonotonic.
+  absint::CertificateKind certificate =
+      absint::CertificateKind::kSyntacticallyAdmissible;
   /// Every admissibility finding against this component's rules, in rule
   /// order (empty iff all rules are admissible). Error severity marks the
   /// findings that make overall() reject.
@@ -50,6 +57,10 @@ struct ProgramCheckResult {
   std::vector<ComponentVerdict> components;
   /// Section 6.2 termination analysis (informational; never rejects).
   TerminationReport termination;
+  /// Abstract-interpretation certificates per component (the semantic layer
+  /// behind the kSemanticallyMonotonic acceptances and the kBoundedChains
+  /// termination verdicts).
+  absint::CertificateReport certificates;
   /// Every finding of the paper checks (MAD001–MAD008), collected in one
   /// run — never just the first violation. Error-severity entries exist
   /// iff overall() fails; warnings and notes are advisory.
@@ -66,9 +77,14 @@ struct ProgramCheckResult {
 
 /// Runs all static checks. `graph` must be built from `program`. `file`
 /// is stamped into the collected diagnostics (empty for programmatic input).
+/// `edb` optionally supplies the database the program will run against; the
+/// abstract interpreter folds its cost values into the certificate's
+/// initial intervals (certificates are only valid for the facts they have
+/// seen — Engine::Run always passes its database).
 ProgramCheckResult CheckProgram(const datalog::Program& program,
                                 const DependencyGraph& graph,
-                                const std::string& file = "");
+                                const std::string& file = "",
+                                const datalog::Database* edb = nullptr);
 
 /// Convenience: builds the graph and checks; returns an error Status if the
 /// program is rejected.

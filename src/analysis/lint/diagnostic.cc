@@ -83,6 +83,27 @@ const std::vector<LintRuleDesc>& AllLintRules() {
        "one variable is used as the cost argument of predicates with "
        "different cost lattices, so values mix unrelated orders",
        "Ross & Sagiv Section 2 (cost domains)", Severity::kWarning},
+      {"MAD015", "semantically-monotonic",
+       "the component is rejected by the syntactic admissibility check "
+       "(Definition 4.5) but the abstract interpreter certified its T_P "
+       "monotonic: every offending comparison is stable over the interval "
+       "fixpoint, so the component evaluates under the certificate",
+       "Zaniolo et al. PreM, arXiv:1707.05681", Severity::kNote},
+      {"MAD016", "termination-verdict",
+       "Section 6.2 termination verdict for a recursive cost-carrying "
+       "component (guaranteed or bounded-chains); surfaced so round budgets "
+       "can be sized from the report",
+       "Ross & Sagiv Section 6.2", Severity::kNote},
+      {"MAD017", "unbounded-ascent",
+       "abstract interpretation widened a cost predicate to an unbounded "
+       "interval and no selective-flow bound applies: derived values can "
+       "ascend without limit (e.g. Example 5.1's halfsum)",
+       "Ross & Sagiv Example 5.1 / Section 6.2", Severity::kWarning},
+      {"MAD018", "uncertified-component",
+       "a component that needs the monotone guarantee is neither "
+       "syntactically admissible nor semantically certified; evaluation "
+       "rejects it",
+       "Ross & Sagiv Definition 4.5 + Zaniolo et al. PreM", Severity::kNote},
   };
   return *rules;
 }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/absint/certificate.h"
 #include "analysis/dependency_graph.h"
 #include "analysis/lint/diagnostic.h"
 #include "datalog/ast.h"
@@ -19,6 +20,10 @@ struct LintContext {
   const datalog::Program* program = nullptr;
   const DependencyGraph* graph = nullptr;
   std::string file;  ///< source path for diagnostics; empty for programmatic
+  /// Abstract-interpretation certificates for the program, when the caller
+  /// has already computed them (checker.cc, madlint). Passes that need
+  /// certificates compute their own when this is null.
+  const absint::CertificateReport* certificates = nullptr;
 };
 
 /// One analysis rule. Passes are stateless between runs: Run() inspects the

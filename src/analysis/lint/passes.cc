@@ -5,6 +5,7 @@
 #include <set>
 #include <vector>
 
+#include "analysis/absint/engine.h"
 #include "analysis/conflict_free.h"
 #include "analysis/cost_respecting.h"
 #include "analysis/range_restriction.h"
@@ -30,6 +31,36 @@ const LintRuleDesc& Desc(const char* code) {
   const LintRuleDesc* d = FindLintRule(code);
   // The registry is static; a miss is a programming error caught in tests.
   return *d;
+}
+
+/// Certificates for the context: the caller's (checker.cc / madlint compute
+/// them once per file), or a locally computed report for standalone runs.
+const absint::CertificateReport* EnsureCertificates(
+    const LintContext& ctx, absint::CertificateReport* local) {
+  if (ctx.certificates != nullptr) return ctx.certificates;
+  *local = absint::CertifyProgram(*ctx.program, *ctx.graph);
+  return local;
+}
+
+/// Span of a component's first rule (diagnostics without a finer anchor).
+SourceSpan ComponentSpan(const LintContext& ctx, const Component& comp) {
+  if (comp.rule_indices.empty()) return SourceSpan{};
+  return ctx.program->rules()[comp.rule_indices.front()].span;
+}
+
+std::string ComponentNames(const Component& comp) {
+  std::vector<std::string> names;
+  for (const datalog::PredicateInfo* p : comp.predicates) {
+    names.push_back(p->name);
+  }
+  return Join(names, ", ");
+}
+
+bool ComponentHasCost(const Component& comp) {
+  for (const datalog::PredicateInfo* p : comp.predicates) {
+    if (p->has_cost) return true;
+  }
+  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -90,10 +121,12 @@ class AdmissibilityPass : public LintPass {
  public:
   const LintRuleDesc& rule() const override { return Desc("MAD004"); }
   void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    absint::CertificateReport local;
+    const absint::CertificateReport* certs = EnsureCertificates(ctx, &local);
     for (const Rule& r : ctx.program->rules()) {
       RuleAdmissibility a = CheckRuleAdmissible(r, *ctx.graph);
       for (const AdmissibilityViolation& v : a.violations) {
-        out->Add(AdmissibilityDiagnostic(v, r, *ctx.graph, ctx.file));
+        out->Add(AdmissibilityDiagnostic(v, r, *ctx.graph, ctx.file, certs));
       }
     }
   }
@@ -107,25 +140,137 @@ class TerminationPass : public LintPass {
  public:
   const LintRuleDesc& rule() const override { return Desc("MAD007"); }
   void Run(const LintContext& ctx, DiagnosticList* out) const override {
-    TerminationReport report = AnalyzeTermination(*ctx.program, *ctx.graph);
+    absint::CertificateReport local;
+    const absint::CertificateReport* certs = EnsureCertificates(ctx, &local);
+    TerminationReport report =
+        AnalyzeTermination(*ctx.program, *ctx.graph, certs);
     for (const ComponentTermination& ct : report.components) {
       if (ct.verdict != TerminationVerdict::kUnknown) continue;
       if (ct.component_index < 0 ||
           ct.component_index >= static_cast<int>(ctx.graph->components().size()))
         continue;
       const Component& comp = ctx.graph->components()[ct.component_index];
-      SourceSpan span;
-      if (!comp.rule_indices.empty()) {
-        span = ctx.program->rules()[comp.rule_indices.front()].span;
+      out->Add(Make(ctx, ComponentSpan(ctx, comp),
+                    StrPrintf("component %d (%s) may not terminate: %s",
+                              comp.index, ComponentNames(comp).c_str(),
+                              ct.reason.c_str())));
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MAD015 / MAD016 / MAD017 / MAD018: semantic certification layer
+// ---------------------------------------------------------------------------
+
+class SemanticCertificatePass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return Desc("MAD015"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    absint::CertificateReport local;
+    const absint::CertificateReport* certs = EnsureCertificates(ctx, &local);
+    for (const Component& comp : ctx.graph->components()) {
+      const absint::ComponentCertificate* cert =
+          certs->ForComponent(comp.index);
+      if (cert == nullptr ||
+          cert->kind != absint::CertificateKind::kSemanticallyMonotonic) {
+        continue;
       }
-      std::vector<std::string> names;
-      for (const datalog::PredicateInfo* p : comp.predicates) {
-        names.push_back(p->name);
+      SourceSpan span =
+          cert->span.valid() ? cert->span : ComponentSpan(ctx, comp);
+      out->Add(Make(ctx, span,
+                    StrPrintf("component %d (%s) is rejected by the "
+                              "syntactic Definition 4.5 check but certified "
+                              "semantically monotonic: %s",
+                              comp.index, ComponentNames(comp).c_str(),
+                              cert->reason.c_str())));
+    }
+  }
+};
+
+/// Satellite bugfix for the dropped TerminationReport: the report was
+/// computed by CheckProgram but never rendered by madlint or mondl --check.
+/// One note per recursive cost-carrying component surfaces the verdict
+/// (kUnknown components already get a MAD007 warning instead).
+class TerminationVerdictPass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return Desc("MAD016"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    absint::CertificateReport local;
+    const absint::CertificateReport* certs = EnsureCertificates(ctx, &local);
+    TerminationReport report =
+        AnalyzeTermination(*ctx.program, *ctx.graph, certs);
+    for (const ComponentTermination& ct : report.components) {
+      if (ct.verdict == TerminationVerdict::kUnknown) continue;
+      if (ct.component_index < 0 ||
+          ct.component_index >= static_cast<int>(ctx.graph->components().size()))
+        continue;
+      const Component& comp = ctx.graph->components()[ct.component_index];
+      if (!comp.recursive || !ComponentHasCost(comp)) continue;
+      out->Add(Make(ctx, ComponentSpan(ctx, comp),
+                    StrPrintf("component %d (%s): termination %s — %s",
+                              comp.index, ComponentNames(comp).c_str(),
+                              TerminationVerdictName(ct.verdict),
+                              ct.reason.c_str())));
+    }
+  }
+};
+
+class UnboundedAscentPass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return Desc("MAD017"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    absint::CertificateReport local;
+    const absint::CertificateReport* certs = EnsureCertificates(ctx, &local);
+    for (const Component& comp : ctx.graph->components()) {
+      if (!comp.recursive) continue;
+      const absint::ComponentCertificate* cert =
+          certs->ForComponent(comp.index);
+      if (cert == nullptr || !cert->widened || cert->chains_bounded) continue;
+      // Anchor on the first rule whose head predicate was widened — the
+      // generative flow that defeats every static bound.
+      SourceSpan span = ComponentSpan(ctx, comp);
+      for (int ri : comp.rule_indices) {
+        const Rule& r = ctx.program->rules()[ri];
+        for (const std::string& name : cert->widened_predicates) {
+          if (r.head.pred != nullptr && r.head.pred->name == name) {
+            span = r.span;
+            break;
+          }
+        }
       }
       out->Add(Make(ctx, span,
-                    StrPrintf("component %d (%s) may not terminate: %s",
-                              comp.index, Join(names, ", ").c_str(),
-                              ct.reason.c_str())));
+                    StrPrintf("component %d (%s): abstract interpretation "
+                              "widened %s to an unbounded interval and no "
+                              "selective-flow bound applies; cost values can "
+                              "ascend without limit",
+                              comp.index, ComponentNames(comp).c_str(),
+                              Join(cert->widened_predicates, ", ").c_str())));
+    }
+  }
+};
+
+class UncertifiedComponentPass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return Desc("MAD018"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    absint::CertificateReport local;
+    const absint::CertificateReport* certs = EnsureCertificates(ctx, &local);
+    for (const Component& comp : ctx.graph->components()) {
+      // Only components that actually need the monotone guarantee.
+      if (!comp.recursive_aggregation && !comp.recursive_negation) continue;
+      const absint::ComponentCertificate* cert =
+          certs->ForComponent(comp.index);
+      if (cert == nullptr ||
+          cert->kind != absint::CertificateKind::kUncertified) {
+        continue;
+      }
+      SourceSpan span =
+          cert->span.valid() ? cert->span : ComponentSpan(ctx, comp);
+      out->Add(Make(ctx, span,
+                    StrPrintf("component %d (%s) is neither syntactically "
+                              "admissible nor semantically certified: %s",
+                              comp.index, ComponentNames(comp).c_str(),
+                              cert->reason.c_str())));
     }
   }
 };
@@ -547,7 +692,8 @@ class CostDomainMismatchPass : public LintPass {
 Diagnostic AdmissibilityDiagnostic(const AdmissibilityViolation& v,
                                    const Rule& rule,
                                    const DependencyGraph& graph,
-                                   const std::string& file) {
+                                   const std::string& file,
+                                   const absint::CertificateReport* certs) {
   Diagnostic d;
   d.message = v.message;
   d.file = file;
@@ -570,6 +716,19 @@ Diagnostic AdmissibilityDiagnostic(const AdmissibilityViolation& v,
       d.severity = ComponentRecursesThroughAggregationOrNegation(rule, graph)
                        ? Severity::kError
                        : Severity::kWarning;
+      // A semantic certificate means overall() accepts the component, so
+      // the finding must not stay an error (error ⟺ reject is property-
+      // tested). It remains visible as a warning next to the MAD015 note.
+      if (d.severity == Severity::kError && certs != nullptr &&
+          rule.head.pred != nullptr) {
+        const absint::ComponentCertificate* cert =
+            certs->ForComponent(graph.ComponentOf(rule.head.pred));
+        if (cert != nullptr &&
+            cert->kind == absint::CertificateKind::kSemanticallyMonotonic) {
+          d.severity = Severity::kWarning;
+          d.message += " (discharged by the semantic certificate; MAD015)";
+        }
+      }
       break;
   }
   return d;
@@ -583,6 +742,10 @@ PassManager MakePaperPassManager() {
   pm.AddPass(std::make_unique<AdmissibilityPass>());
   pm.AddPass(std::make_unique<TerminationPass>());
   pm.AddPass(std::make_unique<PrefixSoundnessPass>());
+  pm.AddPass(std::make_unique<SemanticCertificatePass>());
+  pm.AddPass(std::make_unique<TerminationVerdictPass>());
+  pm.AddPass(std::make_unique<UnboundedAscentPass>());
+  pm.AddPass(std::make_unique<UncertifiedComponentPass>());
   return pm;
 }
 

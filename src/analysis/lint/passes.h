@@ -10,12 +10,13 @@ namespace mad {
 namespace analysis {
 namespace lint {
 
-/// The paper's five checks as lint passes (MAD001–MAD008): range
-/// restriction, cost-respecting, conflict freedom, admissibility (split into
-/// MAD004/MAD005/MAD006 by aspect), termination, and prefix soundness.
-/// Exactly these passes carry error severity, and an error is emitted iff
-/// ProgramCheckResult::overall() fails — the lint report and the evaluator's
-/// accept/reject decision agree by construction.
+/// The paper's checks as lint passes (MAD001–MAD008) plus the semantic
+/// certification passes (MAD015–MAD018): range restriction, cost-respecting,
+/// conflict freedom, admissibility (split into MAD004/MAD005/MAD006 by
+/// aspect), termination, prefix soundness, and the abstract-interpretation
+/// certificates. Exactly these passes carry error severity, and an error is
+/// emitted iff ProgramCheckResult::overall() fails — the lint report and the
+/// evaluator's accept/reject decision agree by construction.
 PassManager MakePaperPassManager();
 
 /// Paper passes plus the hygiene/performance passes (MAD009–MAD014), which
@@ -26,10 +27,12 @@ PassManager MakeDefaultPassManager();
 /// (negation → MAD006, missing default → MAD005, everything else → MAD004);
 /// MAD004's severity is an error only when the head's component recurses
 /// through aggregation or negation — exactly when overall() would reject.
-Diagnostic AdmissibilityDiagnostic(const AdmissibilityViolation& v,
-                                   const datalog::Rule& rule,
-                                   const DependencyGraph& graph,
-                                   const std::string& file);
+/// When `certificates` marks the rule's component semantically monotonic,
+/// the error downgrades to a warning (overall() accepts the component).
+Diagnostic AdmissibilityDiagnostic(
+    const AdmissibilityViolation& v, const datalog::Rule& rule,
+    const DependencyGraph& graph, const std::string& file,
+    const absint::CertificateReport* certificates = nullptr);
 
 }  // namespace lint
 }  // namespace analysis

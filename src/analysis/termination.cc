@@ -9,6 +9,8 @@ const char* TerminationVerdictName(TerminationVerdict v) {
   switch (v) {
     case TerminationVerdict::kGuaranteed:
       return "guaranteed";
+    case TerminationVerdict::kBoundedChains:
+      return "bounded-chains";
     case TerminationVerdict::kUnknown:
       return "unknown";
   }
@@ -17,7 +19,7 @@ const char* TerminationVerdictName(TerminationVerdict v) {
 
 bool TerminationReport::AllGuaranteed() const {
   for (const ComponentTermination& c : components) {
-    if (c.verdict != TerminationVerdict::kGuaranteed) return false;
+    if (c.verdict == TerminationVerdict::kUnknown) return false;
   }
   return true;
 }
@@ -31,8 +33,9 @@ std::string TerminationReport::ToString() const {
   return out;
 }
 
-TerminationReport AnalyzeTermination(const datalog::Program& program,
-                                     const DependencyGraph& graph) {
+TerminationReport AnalyzeTermination(
+    const datalog::Program& program, const DependencyGraph& graph,
+    const absint::CertificateReport* certificates) {
   TerminationReport report;
   for (const Component& component : graph.components()) {
     ComponentTermination ct;
@@ -57,6 +60,26 @@ TerminationReport AnalyzeTermination(const datalog::Program& program,
               "ascending chains; rely on max_iterations/epsilon",
               std::string(pred->domain->name()).c_str(), pred->name.c_str());
           break;
+        }
+      }
+      if (ct.verdict == TerminationVerdict::kUnknown &&
+          certificates != nullptr) {
+        const absint::ComponentCertificate* cert =
+            certificates->ForComponent(component.index);
+        if (cert != nullptr && cert->chains_bounded) {
+          ct.verdict = TerminationVerdict::kBoundedChains;
+          ct.chain_height = cert->static_chain_height;
+          ct.selective = cert->static_chain_height < 0;
+          ct.reason =
+              cert->static_chain_height >= 0
+                  ? StrPrintf(
+                        "infinite lattice, but the abstract fixpoint pins "
+                        "every cost value to a finite integral interval "
+                        "(chain height %lld)",
+                        cert->static_chain_height)
+                  : "infinite lattice, but all cost flows are selective: "
+                    "derived values are drawn from the values at component "
+                    "entry, bounding per-key chains";
         }
       }
     }

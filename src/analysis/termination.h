@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/absint/certificate.h"
 #include "analysis/dependency_graph.h"
 #include "datalog/ast.h"
 
@@ -18,6 +19,12 @@ enum class TerminationVerdict {
   /// component has finite ascending chains (or the component carries no
   /// cost values at all). Values can then only step finitely often.
   kGuaranteed,
+  /// The lattice itself has infinite chains, but the abstract interpreter
+  /// certified that the component's cost flows are selective (or its
+  /// widened fixpoint is a finite integral interval): per-key chains are
+  /// bounded by the distinct cost values in play, so the engine can derive
+  /// a concrete round bound from the database at component entry.
+  kBoundedChains,
   /// No guarantee from this analysis: some cost lattice admits infinite
   /// ascending chains (e.g. min over the reals with negative cycles, or
   /// Example 5.1's halfsum), so the iteration may need the engine's
@@ -31,12 +38,19 @@ struct ComponentTermination {
   int component_index = -1;
   TerminationVerdict verdict = TerminationVerdict::kUnknown;
   std::string reason;
+  /// For kBoundedChains: statically known chain height (e.g. 2 for a
+  /// boolean lattice), or -1 when the height is |distinct cost values| at
+  /// component entry and only known at runtime.
+  long long chain_height = -1;
+  /// For kBoundedChains: true when the bound comes from selective cost
+  /// flows (min/max/and/or + pass-through copies, no arithmetic).
+  bool selective = false;
 };
 
 struct TerminationReport {
   std::vector<ComponentTermination> components;
 
-  /// True iff every component is kGuaranteed.
+  /// True iff every component is kGuaranteed or kBoundedChains.
   bool AllGuaranteed() const;
   std::string ToString() const;
 };
@@ -45,9 +59,12 @@ struct TerminationReport {
 /// components always terminate (one pass); recursive components terminate
 /// when the key space is finite (always true: the language is function-free
 /// and range-restricted, Lemma 2.2) and every CDB cost value lives in a
-/// lattice with finite ascending chains.
-TerminationReport AnalyzeTermination(const datalog::Program& program,
-                                     const DependencyGraph& graph);
+/// lattice with finite ascending chains. When `certificates` is provided,
+/// components whose lattice has infinite chains but whose certificate
+/// proves bounded ascent are upgraded from kUnknown to kBoundedChains.
+TerminationReport AnalyzeTermination(
+    const datalog::Program& program, const DependencyGraph& graph,
+    const absint::CertificateReport* certificates = nullptr);
 
 }  // namespace analysis
 }  // namespace mad

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <queue>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -76,12 +78,110 @@ std::string EvalStats::ToString() const {
 // Engine
 // ---------------------------------------------------------------------------
 
+namespace {
+
+void CollectExprConstants(const datalog::Expr& e, std::set<Value>* out) {
+  switch (e.kind) {
+    case datalog::Expr::Kind::kConst:
+      out->insert(e.constant);
+      return;
+    case datalog::Expr::Kind::kVar:
+      return;
+    default:
+      CollectExprConstants(*e.lhs, out);
+      CollectExprConstants(*e.rhs, out);
+  }
+}
+
+void CollectRuleConstants(const datalog::Rule& rule, std::set<Value>* out) {
+  auto from_atom = [&](const datalog::Atom& a) {
+    for (const datalog::Term& t : a.args) {
+      if (t.is_const()) out->insert(t.constant);
+    }
+  };
+  from_atom(rule.head);
+  for (const datalog::Subgoal& sg : rule.body) {
+    switch (sg.kind) {
+      case datalog::Subgoal::Kind::kAtom:
+      case datalog::Subgoal::Kind::kNegatedAtom:
+        from_atom(sg.atom);
+        break;
+      case datalog::Subgoal::Kind::kAggregate:
+        for (const datalog::Atom& a : sg.aggregate.atoms) from_atom(a);
+        if (sg.aggregate.result.is_const()) {
+          out->insert(sg.aggregate.result.constant);
+        }
+        break;
+      case datalog::Subgoal::Kind::kBuiltin:
+        CollectExprConstants(*sg.builtin.lhs, out);
+        CollectExprConstants(*sg.builtin.rhs, out);
+        break;
+    }
+  }
+}
+
+/// A provable upper bound on the fixpoint rounds of a bounded-chains
+/// component, from the database at component entry. Every non-final round
+/// performs at least one merge (a new key or a ⊑-increase), so
+///   rounds  ≤  (#derivable keys) × (per-key chain height) + 2.
+/// Keys are drawn from the active domain (every value in the database plus
+/// the component's rule constants): at most A^arity per predicate. The
+/// chain height is the certificate's static height, or — for selective cost
+/// flows, which never mint new values — the number of distinct values in
+/// play plus the lattice endpoints. Overflow saturates to INT64_MAX, which
+/// the caller min()s with the configured guard.
+int64_t BoundedChainRoundCap(const Program& program,
+                             const analysis::Component& component,
+                             const analysis::ComponentTermination& term,
+                             const Database& db) {
+  std::set<Value> values;  // active domain: keys, costs, rule constants
+  for (const auto& [_, rel] : db.relations()) {
+    rel->ForEach([&](const Tuple& key, const Value& cost) {
+      for (const Value& v : key) values.insert(v);
+      if (rel->pred()->has_cost) values.insert(cost);
+    });
+  }
+  for (int ri : component.rule_indices) {
+    CollectRuleConstants(program.rules()[ri], &values);
+  }
+  long double active = static_cast<long double>(values.size()) + 1.0L;
+
+  long double height;
+  if (term.chain_height >= 0) {
+    height = static_cast<long double>(term.chain_height);
+  } else {
+    // Selective flow: per-key values ⊆ values in play ∪ {⊥, ⊤}.
+    height = static_cast<long double>(values.size()) + 2.0L;
+  }
+
+  long double keys = 0.0L;
+  for (const PredicateInfo* pred : component.predicates) {
+    long double k = 1.0L;
+    for (int i = 0; i < pred->key_arity(); ++i) k *= active;
+    keys += k;
+  }
+  long double cap = keys * height + 2.0L;
+  if (!std::isfinite(static_cast<double>(cap)) || cap > 9.0e18L) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return static_cast<int64_t>(cap);
+}
+
+}  // namespace
+
 Engine::Engine(const Program& program, EvalOptions options)
     : program_(&program), options_(options), graph_(program) {}
 
 StatusOr<EvalResult> Engine::Run(Database edb) const {
   EvalResult result;
-  result.check = analysis::CheckProgram(*program_, graph_);
+  // The database is assembled BEFORE the static checks: semantic
+  // certificates (and the bounded-chain round caps derived from them) are
+  // only valid for the fact values the abstract interpreter has seen.
+  result.db = std::move(edb);
+  for (const datalog::Fact& f : program_->facts()) {
+    MAD_RETURN_IF_ERROR(result.db.AddFact(f));
+  }
+  result.check = analysis::CheckProgram(*program_, graph_, "", &result.db);
   if (options_.validate) {
     // overall() fails exactly when check.diagnostics carries error-severity
     // findings. Warning- and note-level findings (termination, prefix
@@ -90,10 +190,6 @@ StatusOr<EvalResult> Engine::Run(Database edb) const {
     MAD_RETURN_IF_ERROR(result.check.overall());
   }
 
-  result.db = std::move(edb);
-  for (const datalog::Fact& f : program_->facts()) {
-    MAD_RETURN_IF_ERROR(result.db.AddFact(f));
-  }
   Provenance* prov = options_.track_provenance ? &result.provenance : nullptr;
   if (prov != nullptr) {
     // Everything present before evaluation is an EDB fact.
@@ -111,8 +207,24 @@ StatusOr<EvalResult> Engine::Run(Database edb) const {
   for (const analysis::Component& component : graph_.components()) {
     if (component.rule_indices.empty()) continue;
     EvalStats& cstats = result.component_stats[component.index];
+    // Components with a bounded-chains certificate get a concrete round cap
+    // derived from the database at component entry: hitting it would
+    // falsify the certificate, whereas the blanket max_iterations guard is
+    // merely a heuristic stop.
+    int64_t max_iters = options_.max_iterations;
+    for (const analysis::ComponentTermination& t :
+         result.check.termination.components) {
+      if (t.component_index != component.index ||
+          t.verdict != analysis::TerminationVerdict::kBoundedChains) {
+        continue;
+      }
+      max_iters = std::min(
+          max_iters, BoundedChainRoundCap(*program_, component, t, result.db));
+      break;
+    }
     auto c0 = std::chrono::steady_clock::now();
-    Status st = RunComponent(component, &result.db, &cstats, prov, &guard);
+    Status st =
+        RunComponent(component, &result.db, &cstats, prov, &guard, max_iters);
     cstats.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - c0)
             .count();
@@ -148,15 +260,16 @@ StatusOr<EvalResult> Engine::Run(Database edb) const {
 }
 
 Status Engine::RunComponent(const analysis::Component& component,
-                            Database* db, EvalStats* stats,
-                            Provenance* prov, ResourceGuard* guard) const {
+                            Database* db, EvalStats* stats, Provenance* prov,
+                            ResourceGuard* guard,
+                            int64_t max_iterations) const {
   MAD_ASSIGN_OR_RETURN(std::vector<CompiledRule> rules,
                        CompileComponent(*program_, component, graph_));
   switch (options_.strategy) {
     case Strategy::kNaive:
-      return RunNaive(rules, db, stats, prov, guard);
+      return RunNaive(rules, db, stats, prov, guard, max_iterations);
     case Strategy::kSemiNaive:
-      return RunSemiNaive(rules, db, stats, prov, guard);
+      return RunSemiNaive(rules, db, stats, prov, guard, max_iterations);
     case Strategy::kGreedy:
       return RunGreedy(component, rules, db, stats, prov, guard);
   }
@@ -240,7 +353,7 @@ size_t DeltaSize(const std::map<int, std::vector<uint32_t>>& delta) {
 
 Status Engine::RunNaive(const std::vector<CompiledRule>& rules, Database* db,
                         EvalStats* stats, Provenance* prov,
-                        ResourceGuard* guard) const {
+                        ResourceGuard* guard, int64_t max_iterations) const {
   RuleExecutor exec(db);
   if (guard->active()) exec.set_guard(guard);
   std::vector<Derivation> buffer;
@@ -252,7 +365,7 @@ Status Engine::RunNaive(const std::vector<CompiledRule>& rules, Database* db,
     return st;
   };
   while (true) {
-    if (stats->iterations >= options_.max_iterations) {
+    if (stats->iterations >= max_iterations) {
       stats->reached_fixpoint = false;
       return Status::OK();
     }
@@ -298,8 +411,9 @@ Status Engine::RunNaive(const std::vector<CompiledRule>& rules, Database* db,
 // ---------------------------------------------------------------------------
 
 Status Engine::RunSemiNaive(const std::vector<CompiledRule>& rules,
-                            Database* db, EvalStats* stats,
-                            Provenance* prov, ResourceGuard* guard) const {
+                            Database* db, EvalStats* stats, Provenance* prov,
+                            ResourceGuard* guard,
+                            int64_t max_iterations) const {
   RuleExecutor exec(db);
   if (guard->active()) exec.set_guard(guard);
   std::vector<Derivation> buffer;
@@ -327,7 +441,7 @@ Status Engine::RunSemiNaive(const std::vector<CompiledRule>& rules,
   }
 
   while (DeltaSize(delta) > 0) {
-    if (stats->iterations >= options_.max_iterations) {
+    if (stats->iterations >= max_iterations) {
       stats->reached_fixpoint = false;
       return Status::OK();
     }

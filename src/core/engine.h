@@ -164,15 +164,19 @@ class Engine {
                              const std::vector<datalog::Fact>& facts) const;
 
  private:
+  /// `max_iterations` is the effective per-component round cap: the global
+  /// EvalOptions::max_iterations, or — for components whose certificate
+  /// proves bounded chains — the smaller certificate-derived bound (see
+  /// BoundedChainRoundCap in engine.cc).
   Status RunComponent(const analysis::Component& component, Database* db,
-                      EvalStats* stats, Provenance* prov,
-                      ResourceGuard* guard) const;
+                      EvalStats* stats, Provenance* prov, ResourceGuard* guard,
+                      int64_t max_iterations) const;
   Status RunNaive(const std::vector<CompiledRule>& rules, Database* db,
-                  EvalStats* stats, Provenance* prov,
-                  ResourceGuard* guard) const;
+                  EvalStats* stats, Provenance* prov, ResourceGuard* guard,
+                  int64_t max_iterations) const;
   Status RunSemiNaive(const std::vector<CompiledRule>& rules, Database* db,
-                      EvalStats* stats, Provenance* prov,
-                      ResourceGuard* guard) const;
+                      EvalStats* stats, Provenance* prov, ResourceGuard* guard,
+                      int64_t max_iterations) const;
   Status RunGreedy(const analysis::Component& component,
                    const std::vector<CompiledRule>& rules, Database* db,
                    EvalStats* stats, Provenance* prov,

@@ -1,0 +1,195 @@
+// The semantic certification layer end-to-end: CertifyProgram verdicts,
+// their integration into CheckProgram/ComponentVerdict, and the termination
+// verdicts the certificates feed.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "analysis/absint/engine.h"
+#include "analysis/checker.h"
+#include "analysis/dependency_graph.h"
+#include "core/engine.h"
+#include "datalog/parser.h"
+
+namespace mad {
+namespace analysis {
+namespace {
+
+using absint::CertificateKind;
+
+struct Certified {
+  datalog::Program program;
+  std::unique_ptr<DependencyGraph> graph;
+  ProgramCheckResult check;
+};
+
+Certified Check(std::string_view text) {
+  auto p = datalog::ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status();
+  Certified out{std::move(p).value(), nullptr, {}};
+  out.graph = std::make_unique<DependencyGraph>(out.program);
+  out.check = CheckProgram(out.program, *out.graph);
+  return out;
+}
+
+// The component (by head predicate name) a certificate belongs to.
+const absint::ComponentCertificate* CertFor(const Certified& c,
+                                            std::string_view pred) {
+  const datalog::PredicateInfo* info = c.program.FindPredicate(pred);
+  if (info == nullptr) return nullptr;
+  int comp = c.graph->ComponentOf(info);
+  return c.check.certificates.ForComponent(comp);
+}
+
+constexpr char kGuardedShortestPath[] = R"(
+.decl arc(from, to, c: min_real)
+.decl path(from, mid, to, c: min_real)
+.decl s(from, to, c: min_real)
+.constraint arc(direct, Z, C).
+path(X, direct, Y, C) :- arc(X, Y, C).
+path(X, Z, Y, C) :- s(X, Z, C1), C1 >= 0, arc(Z, Y, C2), C = C1 + C2.
+s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+arc(a, b, 1).
+arc(b, b, 0).
+arc(a, c, 5).
+arc(c, b, 1).
+arc(b, a, 10).
+)";
+
+TEST(CertificateTest, GuardedShortestPathIsSemanticallyCertified) {
+  Certified c = Check(kGuardedShortestPath);
+  const absint::ComponentCertificate* cert = CertFor(c, "s");
+  ASSERT_NE(cert, nullptr);
+  // Definition 4.5 rejects the C1 >= 0 guard...
+  bool some_inadmissible = false;
+  for (const ComponentVerdict& v : c.check.components) {
+    if (v.index == cert->component_index) some_inadmissible = !v.monotonic;
+  }
+  EXPECT_TRUE(some_inadmissible)
+      << "the guard should fail the syntactic polarity check";
+  // ...but the interval fixpoint discharges it.
+  EXPECT_EQ(cert->kind, CertificateKind::kSemanticallyMonotonic)
+      << cert->reason;
+  // And the program is accepted for evaluation on the strength of it.
+  EXPECT_TRUE(c.check.overall().ok()) << c.check.overall();
+  EXPECT_TRUE(c.check.certificates.AnySemantic());
+}
+
+TEST(CertificateTest, CertifiedProgramEvaluatesToShortestPaths) {
+  auto run = core::ParseAndRun(kGuardedShortestPath);
+  ASSERT_TRUE(run.ok()) << run.status();
+  auto cost = core::LookupCost(*run->program, run->result.db, "s",
+                               {datalog::Value::Symbol("a"),
+                                datalog::Value::Symbol("b")});
+  ASSERT_TRUE(cost.has_value());
+  EXPECT_DOUBLE_EQ(cost->AsDouble(), 1.0);
+}
+
+TEST(CertificateTest, NegativeArcBreaksTheCertificate) {
+  // Same program, one arc cost below the guard's threshold: the interval
+  // for C1 now reaches below 0 and the guard can genuinely flip.
+  std::string text = kGuardedShortestPath;
+  text += "arc(b, c, -2).\n";
+  Certified c = Check(text);
+  const absint::ComponentCertificate* cert = CertFor(c, "s");
+  ASSERT_NE(cert, nullptr);
+  EXPECT_EQ(cert->kind, CertificateKind::kUncertified) << cert->reason;
+  EXPECT_FALSE(c.check.overall().ok());
+}
+
+TEST(CertificateTest, VacuouslyTrueGuardDoesNotCertify) {
+  // No facts at all: every interval is empty and every comparison is
+  // vacuously true. Certification must still be withheld — a certificate
+  // earned on an empty database would be unsound for any real EDB.
+  constexpr char kText[] = R"(
+.decl lim(x, k: count_nat)
+.decl e(x, y)
+.decl small(x)
+.decl kc(x, y)
+small(X) :- lim(X, K), N = count : kc(X, Y), N < K.
+kc(X, Y) :- e(X, Y), small(Y).
+)";
+  Certified c = Check(kText);
+  const absint::ComponentCertificate* cert = CertFor(c, "small");
+  ASSERT_NE(cert, nullptr);
+  EXPECT_EQ(cert->kind, CertificateKind::kUncertified) << cert->reason;
+  EXPECT_FALSE(c.check.overall().ok());
+}
+
+TEST(CertificateTest, SyntacticallyAdmissibleStaysSyntactic) {
+  constexpr char kText[] = R"(
+.decl edge(x, y, c: min_real)
+.decl dist(x, y, c: min_real)
+dist(X, Y, C) :- C =r min D : edge(X, Y, D).
+edge(a, b, 1).
+)";
+  Certified c = Check(kText);
+  const absint::ComponentCertificate* cert = CertFor(c, "dist");
+  ASSERT_NE(cert, nullptr);
+  EXPECT_EQ(cert->kind, CertificateKind::kSyntacticallyAdmissible);
+}
+
+TEST(CertificateTest, BadRecursionStaysUncertified) {
+  std::ifstream in(MAD_SOURCE_DIR "/tests/lint_testdata/bad_recursion.mdl");
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  Certified c = Check(buf.str());
+  bool any_uncertified = false;
+  for (const absint::ComponentCertificate& cert :
+       c.check.certificates.components) {
+    EXPECT_NE(cert.kind, CertificateKind::kSemanticallyMonotonic)
+        << "nothing in bad_recursion.mdl is semantically salvageable";
+    any_uncertified |= cert.kind == CertificateKind::kUncertified;
+  }
+  EXPECT_TRUE(any_uncertified);
+  EXPECT_FALSE(c.check.overall().ok());
+}
+
+TEST(CertificateTest, SelectiveMaxFlowGetsBoundedChains) {
+  constexpr char kText[] = R"(
+.decl node(x)
+.decl edge(x, y)
+.decl sensor(x, c: max_real)
+.decl level(x, c: max_real) default
+.constraint sensor(X, C), node(X).
+level(X, C) :- sensor(X, C).
+level(Y, C) :- node(Y), C =r max D : (edge(X, Y), level(X, D)).
+sensor(a, 3). node(a). node(b).
+edge(a, b). edge(b, a).
+)";
+  Certified c = Check(kText);
+  const absint::ComponentCertificate* cert = CertFor(c, "level");
+  ASSERT_NE(cert, nullptr);
+  EXPECT_TRUE(cert->chains_bounded) << cert->reason;
+  bool found = false;
+  for (const ComponentTermination& t : c.check.termination.components) {
+    if (t.component_index != cert->component_index) continue;
+    found = true;
+    EXPECT_EQ(t.verdict, TerminationVerdict::kBoundedChains) << t.reason;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CertificateTest, CertificateReportRendersJson) {
+  Certified c = Check(kGuardedShortestPath);
+  std::string json = c.check.certificates.ToJson();
+  EXPECT_NE(json.find("semantically-monotonic"), std::string::npos);
+  EXPECT_NE(json.find("\"components\""), std::string::npos);
+}
+
+TEST(CertificateTest, TracesCoverEveryComponentRule) {
+  Certified c = Check(kGuardedShortestPath);
+  const absint::ComponentCertificate* cert = CertFor(c, "s");
+  ASSERT_NE(cert, nullptr);
+  EXPECT_EQ(cert->traces.size(), 3u);  // two path rules + the aggregate rule
+  for (const absint::RuleTrace& t : cert->traces) {
+    EXPECT_FALSE(t.steps.empty());
+  }
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace mad

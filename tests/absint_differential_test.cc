@@ -1,0 +1,123 @@
+// The differential validation harness (analysis/absint/differential.h):
+// certified components must produce order-invariant least models under
+// brute-force evaluation with randomized EDBs and shuffled orderings.
+
+#include "analysis/absint/differential.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/dependency_graph.h"
+#include "datalog/parser.h"
+#include "workloads/programs.h"
+
+namespace mad {
+namespace analysis {
+namespace absint {
+namespace {
+
+struct Prepared {
+  datalog::Program program;
+  std::unique_ptr<DependencyGraph> graph;
+};
+
+Prepared Prepare(std::string_view text) {
+  auto p = datalog::ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status();
+  Prepared out{std::move(p).value(), nullptr};
+  out.graph = std::make_unique<DependencyGraph>(out.program);
+  return out;
+}
+
+// The ISSUE acceptance bar: >= 100 randomized EDBs, order-invariant models.
+TEST(DifferentialTest, GuardedShortestPathIsOrderInvariant) {
+  Prepared p = Prepare(R"(
+.decl arc(from, to, c: min_real)
+.decl path(from, mid, to, c: min_real)
+.decl s(from, to, c: min_real)
+.constraint arc(direct, Z, C).
+path(X, direct, Y, C) :- arc(X, Y, C).
+path(X, Z, Y, C) :- s(X, Z, C1), C1 >= 0, arc(Z, Y, C2), C = C1 + C2.
+s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+arc(a, b, 1).
+arc(b, b, 0).
+arc(b, a, 2).
+)");
+  DifferentialOptions opts;
+  opts.trials = 120;
+  opts.max_facts = 5;
+  DifferentialResult r = RunDifferential(p.program, *p.graph, opts);
+  EXPECT_EQ(r.mismatches, 0) << r.first_mismatch;
+  // Random arcs can be negative, which correctly voids the certificate for
+  // that EDB; but a healthy fraction must actually evaluate.
+  EXPECT_GE(r.trials_run, 10) << r.ToString();
+}
+
+TEST(DifferentialTest, SelectiveMaxFlowRunsEveryTrial) {
+  Prepared p = Prepare(R"(
+.decl node(x)
+.decl edge(x, y)
+.decl sensor(x, c: max_real)
+.decl level(x, c: max_real) default
+.constraint sensor(X, C), node(X).
+level(X, C) :- sensor(X, C).
+level(Y, C) :- node(Y), C =r max D : (edge(X, Y), level(X, D)).
+node(a). node(b). node(c).
+sensor(a, 3).
+edge(a, b). edge(b, c). edge(c, b).
+)");
+  DifferentialOptions opts;
+  opts.trials = 100;
+  DifferentialResult r = RunDifferential(p.program, *p.graph, opts);
+  EXPECT_EQ(r.mismatches, 0) << r.first_mismatch;
+  // Syntactically admissible on every EDB: nothing should be skipped.
+  EXPECT_EQ(r.skipped, 0) << r.ToString();
+  EXPECT_EQ(r.trials_run, 100);
+}
+
+TEST(DifferentialTest, CanonicalShortestPathProgram) {
+  Prepared p = Prepare(workloads::kShortestPathProgram);
+  DifferentialOptions opts;
+  opts.trials = 60;
+  opts.max_facts = 4;
+  DifferentialResult r = RunDifferential(p.program, *p.graph, opts);
+  EXPECT_EQ(r.mismatches, 0) << r.first_mismatch;
+  EXPECT_GT(r.trials_run, 0) << r.ToString();
+}
+
+TEST(DifferentialTest, RejectedProgramIsSkippedNotFailed) {
+  // Recursion through negation: uncertifiable, every trial skipped.
+  Prepared p = Prepare(R"(
+.decl p(x)
+.decl q(x)
+p(X) :- q(X).
+q(X) :- p(X), !q(X).
+)");
+  DifferentialOptions opts;
+  opts.trials = 10;
+  DifferentialResult r = RunDifferential(p.program, *p.graph, opts);
+  EXPECT_EQ(r.trials_run, 0);
+  EXPECT_EQ(r.skipped, 10);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(DifferentialTest, DeterministicUnderSeed) {
+  Prepared p = Prepare(R"(
+.decl edge(x, y)
+.decl reach(x, y)
+reach(X, Y) :- edge(X, Y).
+reach(X, Y) :- reach(X, Z), edge(Z, Y).
+edge(a, b).
+)");
+  DifferentialOptions opts;
+  opts.trials = 20;
+  DifferentialResult a = RunDifferential(p.program, *p.graph, opts);
+  DifferentialResult b = RunDifferential(p.program, *p.graph, opts);
+  EXPECT_EQ(a.trials_run, b.trials_run);
+  EXPECT_EQ(a.skipped, b.skipped);
+  EXPECT_EQ(a.mismatches, b.mismatches);
+}
+
+}  // namespace
+}  // namespace absint
+}  // namespace analysis
+}  // namespace mad

@@ -1,0 +1,161 @@
+// The interval abstract domain (analysis/absint/interval.h): lattice laws,
+// conservative arithmetic, widening, and the three-valued comparison that
+// underwrites the semantic certificates.
+
+#include "analysis/absint/interval.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace mad {
+namespace analysis {
+namespace absint {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(IntervalTest, DefaultIsEmpty) {
+  Interval i;
+  EXPECT_TRUE(i.IsEmpty());
+  EXPECT_TRUE(Interval::Empty().IsEmpty());
+  EXPECT_FALSE(Interval::All().IsEmpty());
+  EXPECT_TRUE(Interval::All().IsAll());
+}
+
+TEST(IntervalTest, PointAndContains) {
+  Interval p = Interval::Point(3.0);
+  EXPECT_TRUE(p.IsPoint());
+  EXPECT_TRUE(p.Contains(3.0));
+  EXPECT_FALSE(p.Contains(3.5));
+  EXPECT_FALSE(Interval::Empty().Contains(0.0));
+}
+
+TEST(IntervalTest, JoinIsHull) {
+  Interval a = Interval::Range(0, 1);
+  Interval b = Interval::Range(5, 7);
+  EXPECT_EQ(Join(a, b), Interval::Range(0, 7));
+  // Empty is the identity of Join.
+  EXPECT_EQ(Join(a, Interval::Empty()), a);
+  EXPECT_EQ(Join(Interval::Empty(), b), b);
+  // Join is commutative and idempotent.
+  EXPECT_EQ(Join(a, b), Join(b, a));
+  EXPECT_EQ(Join(a, a), a);
+}
+
+TEST(IntervalTest, MeetIsIntersection) {
+  Interval a = Interval::Range(0, 5);
+  Interval b = Interval::Range(3, 9);
+  EXPECT_EQ(Meet(a, b), Interval::Range(3, 5));
+  EXPECT_TRUE(Meet(Interval::Range(0, 1), Interval::Range(2, 3)).IsEmpty());
+  EXPECT_TRUE(Meet(a, Interval::Empty()).IsEmpty());
+}
+
+TEST(IntervalTest, WidenKeepsStableBoundsDropsMovingOnes) {
+  Interval older = Interval::Range(0, 10);
+  // hi grew: widened to +inf, stable lo kept.
+  Interval w = Widen(older, Interval::Range(0, 20));
+  EXPECT_EQ(w.lo, 0.0);
+  EXPECT_EQ(w.hi, kInf);
+  // lo fell: widened to -inf.
+  Interval w2 = Widen(older, Interval::Range(-1, 10));
+  EXPECT_EQ(w2.lo, -kInf);
+  EXPECT_EQ(w2.hi, 10.0);
+  // Nothing moved: unchanged.
+  EXPECT_EQ(Widen(older, older), older);
+}
+
+TEST(IntervalTest, WidenConvergesInOneStepPerBound) {
+  // After widening both bounds no further widening can change the result:
+  // this is what bounds the abstract fixpoint round count.
+  Interval w = Widen(Interval::Range(0, 1), Interval::Range(-1, 2));
+  EXPECT_EQ(Widen(w, Join(w, Interval::Range(-100, 100))), w);
+}
+
+TEST(IntervalTest, ArithmeticSoundOnSamples) {
+  Interval a = Interval::Range(1, 2);
+  Interval b = Interval::Range(-3, 4);
+  EXPECT_EQ(Add(a, b), Interval::Range(-2, 6));
+  EXPECT_EQ(Sub(a, b), Interval::Range(-3, 5));
+  // Mul hull over all endpoint products: {-3,-6,4,8} -> [-6, 8].
+  EXPECT_EQ(Mul(a, b), Interval::Range(-6, 8));
+  EXPECT_EQ(Min2(a, b), Interval::Range(-3, 2));
+  EXPECT_EQ(Max2(a, b), Interval::Range(1, 4));
+}
+
+TEST(IntervalTest, ArithmeticPropagatesEmpty) {
+  EXPECT_TRUE(Add(Interval::Empty(), Interval::Range(0, 1)).IsEmpty());
+  EXPECT_TRUE(Mul(Interval::Range(0, 1), Interval::Empty()).IsEmpty());
+  EXPECT_TRUE(Min2(Interval::Empty(), Interval::Empty()).IsEmpty());
+}
+
+TEST(IntervalTest, DivisionByIntervalContainingZeroIsConservative) {
+  Interval q = Div(Interval::Range(1, 1), Interval::Range(-1, 1));
+  // Must over-approximate {1/x : x in [-1,1] \ {0}} = (-inf,-1] u [1,inf).
+  EXPECT_TRUE(q.Contains(1.0));
+  EXPECT_TRUE(q.Contains(-1.0));
+  EXPECT_TRUE(q.Contains(100.0));
+}
+
+TEST(IntervalTest, IntegerPoints) {
+  EXPECT_EQ(Interval::Range(0, 4).IntegerPoints(), 5);
+  EXPECT_EQ(Interval::Point(2).IntegerPoints(), 1);
+  EXPECT_EQ(Interval::Range(0.5, 0.9).IntegerPoints(), 0);
+  EXPECT_EQ(Interval::All().IntegerPoints(), -1);
+  EXPECT_EQ(Interval::Empty().IntegerPoints(), -1);
+}
+
+TEST(IntervalCompareTest, DisjointIntervalsDecide) {
+  Interval lo = Interval::Range(0, 1);
+  Interval hi = Interval::Range(2, 3);
+  EXPECT_EQ(Compare(datalog::CmpOp::kLt, lo, hi), Truth::kAlwaysTrue);
+  EXPECT_EQ(Compare(datalog::CmpOp::kGt, lo, hi), Truth::kAlwaysFalse);
+  EXPECT_EQ(Compare(datalog::CmpOp::kLe, lo, hi), Truth::kAlwaysTrue);
+  EXPECT_EQ(Compare(datalog::CmpOp::kNe, lo, hi), Truth::kAlwaysTrue);
+  EXPECT_EQ(Compare(datalog::CmpOp::kEq, lo, hi), Truth::kAlwaysFalse);
+}
+
+TEST(IntervalCompareTest, OverlapIsUnknown) {
+  Interval a = Interval::Range(0, 2);
+  Interval b = Interval::Range(1, 3);
+  EXPECT_EQ(Compare(datalog::CmpOp::kLt, a, b), Truth::kUnknown);
+  EXPECT_EQ(Compare(datalog::CmpOp::kEq, a, b), Truth::kUnknown);
+}
+
+TEST(IntervalCompareTest, TheFlagshipGuard) {
+  // C1 in [0, +inf) vs the constant 0: `C1 >= 0` must certify.
+  EXPECT_EQ(Compare(datalog::CmpOp::kGe, Interval::AtLeast(0),
+                    Interval::Point(0)),
+            Truth::kAlwaysTrue);
+  // But [-1, +inf) >= 0 cannot.
+  EXPECT_EQ(Compare(datalog::CmpOp::kGe, Interval::AtLeast(-1),
+                    Interval::Point(0)),
+            Truth::kUnknown);
+}
+
+TEST(IntervalCompareTest, EmptyOperandIsVacuouslyTrue) {
+  // The engine tracks vacuity separately (vacuously-true checks never
+  // certify a component); the domain itself reports kAlwaysTrue because no
+  // concrete binding reaches the comparison.
+  EXPECT_EQ(Compare(datalog::CmpOp::kLt, Interval::Empty(),
+                    Interval::Point(0)),
+            Truth::kAlwaysTrue);
+  EXPECT_EQ(Compare(datalog::CmpOp::kGt, Interval::Point(0),
+                    Interval::Empty()),
+            Truth::kAlwaysTrue);
+}
+
+TEST(IntervalCompareTest, PointEquality) {
+  EXPECT_EQ(Compare(datalog::CmpOp::kEq, Interval::Point(2),
+                    Interval::Point(2)),
+            Truth::kAlwaysTrue);
+  EXPECT_EQ(Compare(datalog::CmpOp::kEq, Interval::Point(2),
+                    Interval::Point(3)),
+            Truth::kAlwaysFalse);
+}
+
+}  // namespace
+}  // namespace absint
+}  // namespace analysis
+}  // namespace mad

@@ -1,0 +1,176 @@
+// Property tests for CheckProgram: its verdicts are semantic properties of
+// the program, so they must be invariant under (a) the textual order of the
+// rules and (b) consistent renaming of the predicates. A verdict that
+// changed under either transformation would mean the checker is keying off
+// an accident of presentation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/checker.h"
+#include "analysis/dependency_graph.h"
+#include "datalog/parser.h"
+#include "util/random.h"
+#include "workloads/programs.h"
+
+namespace mad {
+namespace analysis {
+namespace {
+
+// Everything CheckProgram decides, keyed by presentation-independent names:
+// per-predicate monotonicity/certificate/termination, the accept/reject
+// decision, and the multiset of (rule, severity) diagnostics.
+struct Fingerprint {
+  bool accepted = false;
+  // predicate name -> "monotonic=1 cert=semantically-monotonic term=..."
+  std::map<std::string, std::string> per_predicate;
+  std::multiset<std::string> diagnostics;  // "MAD004/error"
+
+  bool operator==(const Fingerprint& o) const {
+    return accepted == o.accepted && per_predicate == o.per_predicate &&
+           diagnostics == o.diagnostics;
+  }
+};
+
+Fingerprint FingerprintOf(const datalog::Program& program,
+                          const std::string& rename_suffix = "") {
+  DependencyGraph graph(program);
+  ProgramCheckResult check = CheckProgram(program, graph);
+  Fingerprint fp;
+  fp.accepted = check.overall().ok();
+  for (const ComponentVerdict& v : check.components) {
+    const absint::ComponentCertificate* cert =
+        check.certificates.ForComponent(v.index);
+    std::string term = "?";
+    for (const ComponentTermination& t : check.termination.components) {
+      if (t.component_index == v.index) {
+        term = TerminationVerdictName(t.verdict);
+      }
+    }
+    std::string desc =
+        std::string("monotonic=") + (v.monotonic ? "1" : "0") + " cert=" +
+        (cert != nullptr ? absint::CertificateKindName(cert->kind) : "?") +
+        " term=" + term;
+    for (const std::string& name : v.predicate_names) {
+      // Strip the rename suffix so renamed programs key identically.
+      std::string key = name;
+      if (!rename_suffix.empty() && key.size() > rename_suffix.size() &&
+          key.compare(key.size() - rename_suffix.size(), rename_suffix.size(),
+                      rename_suffix) == 0) {
+        key.resize(key.size() - rename_suffix.size());
+      }
+      fp.per_predicate[key] = desc;
+    }
+  }
+  for (const lint::Diagnostic& d : check.diagnostics.diagnostics()) {
+    fp.diagnostics.insert(d.rule_id + "/" + lint::SeverityName(d.severity));
+  }
+  return fp;
+}
+
+datalog::Program MustParse(std::string_view text) {
+  auto p = datalog::ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status() << "\n" << text;
+  return std::move(p).value();
+}
+
+/// Appends `suffix` to every predicate name, consistently, via word-boundary
+/// replacement of the names found by an initial parse. Longer names are
+/// rewritten first so a predicate that is a prefix of another cannot corrupt
+/// it; the suffix keeps the renamed names collision-free among themselves.
+std::string RenamePredicates(const std::string& text,
+                             const std::string& suffix) {
+  datalog::Program program = MustParse(text);
+  std::vector<std::string> names;
+  for (const auto& p : program.predicates()) names.push_back(p->name);
+  std::sort(names.begin(), names.end(),
+            [](const std::string& a, const std::string& b) {
+              return a.size() > b.size();
+            });
+  std::string out = text;
+  for (const std::string& name : names) {
+    out = std::regex_replace(out, std::regex("\\b" + name + "\\b"),
+                             name + suffix);
+  }
+  return out;
+}
+
+const char* const kPrograms[] = {
+    workloads::kShortestPathProgram,
+    workloads::kCompanyControlProgram,
+    workloads::kPartyProgram,
+    // The semantically-certified flagship: exercises the absint path.
+    R"(
+.decl arc(from, to, c: min_real)
+.decl path(from, mid, to, c: min_real)
+.decl s(from, to, c: min_real)
+.constraint arc(direct, Z, C).
+path(X, direct, Y, C) :- arc(X, Y, C).
+path(X, Z, Y, C) :- s(X, Z, C1), C1 >= 0, arc(Z, Y, C2), C = C1 + C2.
+s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+arc(a, b, 1).
+arc(b, a, 2).
+)",
+    // A rejected program: rejection must also be presentation-invariant.
+    R"(
+.decl p(x)
+.decl q(x)
+p(X) :- q(X).
+q(X) :- p(X), !q(X).
+)",
+    // Bounded-chains selective flow.
+    R"(
+.decl node(x)
+.decl edge(x, y)
+.decl sensor(x, c: max_real)
+.decl level(x, c: max_real) default
+.constraint sensor(X, C), node(X).
+level(X, C) :- sensor(X, C).
+level(Y, C) :- node(Y), C =r max D : (edge(X, Y), level(X, D)).
+node(a). sensor(a, 3). edge(a, a).
+)",
+};
+
+TEST(CheckerPropertyTest, VerdictsInvariantUnderRuleReordering) {
+  for (const char* text : kPrograms) {
+    datalog::Program reference = MustParse(text);
+    Fingerprint want = FingerprintOf(reference);
+    Random rng(0xfeedULL);
+    for (int trial = 0; trial < 8; ++trial) {
+      datalog::Program shuffled = MustParse(text);
+      auto& rules = shuffled.mutable_rules();
+      std::vector<int> perm = rng.Permutation(static_cast<int>(rules.size()));
+      std::vector<datalog::Rule> reordered;
+      reordered.reserve(rules.size());
+      for (int idx : perm) reordered.push_back(rules[idx].Clone());
+      rules = std::move(reordered);
+      Fingerprint got = FingerprintOf(shuffled);
+      EXPECT_EQ(got.accepted, want.accepted) << text;
+      EXPECT_EQ(got.per_predicate, want.per_predicate) << text;
+      EXPECT_EQ(got.diagnostics, want.diagnostics) << text;
+    }
+  }
+}
+
+TEST(CheckerPropertyTest, VerdictsInvariantUnderPredicateRenaming) {
+  for (const char* text : kPrograms) {
+    Fingerprint want = FingerprintOf(MustParse(text));
+    for (const std::string& suffix : {std::string("_rn"), std::string("x")}) {
+      std::string renamed_text = RenamePredicates(text, suffix);
+      Fingerprint got = FingerprintOf(MustParse(renamed_text), suffix);
+      EXPECT_EQ(got.accepted, want.accepted) << renamed_text;
+      EXPECT_EQ(got.per_predicate, want.per_predicate) << renamed_text;
+      EXPECT_EQ(got.diagnostics, want.diagnostics) << renamed_text;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace mad

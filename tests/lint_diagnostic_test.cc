@@ -44,9 +44,9 @@ DiagnosticList SampleList() {
 
 // --- Registry ---------------------------------------------------------------
 
-TEST(LintRegistryTest, FourteenRulesWithUniqueStableIds) {
+TEST(LintRegistryTest, EighteenRulesWithUniqueStableIds) {
   const auto& rules = AllLintRules();
-  EXPECT_EQ(rules.size(), 14u);
+  EXPECT_EQ(rules.size(), 18u);
   std::set<std::string> codes, ids;
   for (const LintRuleDesc& r : rules) {
     codes.insert(r.code);
