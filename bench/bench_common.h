@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -60,8 +61,12 @@ inline core::EvalResult RunProgram(const datalog::Program& program,
 // ---------------------------------------------------------------------------
 // Machine-readable results: every bench binary also writes BENCH_<name>.json
 // next to the working directory — one record per benchmark run with the op
-// name, wall time per iteration in nanoseconds, the iteration count, and the
-// bytes processed (0 when the benchmark does not set SetBytesProcessed).
+// name, wall time per iteration in nanoseconds, the iteration count, the
+// bytes processed (0 when the benchmark does not set SetBytesProcessed), and
+// the evaluation thread count (the "num_threads" counter, 1 when unset).
+// Thread-sweep benchmarks name their runs ".../t<threads>"; for those the
+// sidecar also records speedup_vs_1t — the single-thread sibling's wall time
+// divided by this run's, so scaling curves survive into the archived JSON.
 // ---------------------------------------------------------------------------
 
 /// Console output as usual, plus a JSON sidecar of the per-run numbers.
@@ -86,6 +91,10 @@ class JsonSidecarReporter : public benchmark::ConsoleReporter {
         rec.bytes = static_cast<long long>(it->second.value * per_iter *
                                            static_cast<double>(run.iterations));
       }
+      auto threads = run.counters.find("num_threads");
+      if (threads != run.counters.end()) {
+        rec.num_threads = static_cast<int>(threads->second.value);
+      }
       records_.push_back(std::move(rec));
     }
   }
@@ -97,13 +106,25 @@ class JsonSidecarReporter : public benchmark::ConsoleReporter {
       std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
       return;
     }
+    // Single-thread baselines for speedup: runs of the same benchmark that
+    // differ only in their trailing /t<threads> component share a base name.
+    std::map<std::string, double> wall_1t;
+    for (const Record& r : records_) {
+      if (r.num_threads == 1) wall_1t[BaseName(r.name)] = r.wall_ns;
+    }
     out << "{\n  \"benchmarks\": [\n";
     for (size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
       out << "    {\"name\": \"" << Escape(r.name) << "\", \"wall_ns\": "
           << StrPrintf("%.1f", r.wall_ns) << ", \"iterations\": "
-          << r.iterations << ", \"bytes\": " << r.bytes << "}"
-          << (i + 1 < records_.size() ? "," : "") << "\n";
+          << r.iterations << ", \"bytes\": " << r.bytes
+          << ", \"num_threads\": " << r.num_threads;
+      auto base = wall_1t.find(BaseName(r.name));
+      if (base != wall_1t.end() && r.wall_ns > 0) {
+        out << StrPrintf(", \"speedup_vs_1t\": %.3f",
+                         base->second / r.wall_ns);
+      }
+      out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
   }
@@ -114,7 +135,20 @@ class JsonSidecarReporter : public benchmark::ConsoleReporter {
     double wall_ns = 0;
     long long iterations = 0;
     long long bytes = 0;
+    int num_threads = 1;
   };
+
+  /// Strips a trailing "/t<digits>" thread-count component, if present.
+  static std::string BaseName(const std::string& name) {
+    size_t slash = name.find_last_of('/');
+    if (slash == std::string::npos) return name;
+    const std::string tail = name.substr(slash + 1);
+    if (tail.size() >= 2 && tail[0] == 't' &&
+        tail.find_first_not_of("0123456789", 1) == std::string::npos) {
+      return name.substr(0, slash);
+    }
+    return name;
+  }
 
   static std::string Escape(const std::string& s) {
     std::string out;

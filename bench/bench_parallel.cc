@@ -1,0 +1,170 @@
+// Parallel evaluation scaling: the same three recursive-aggregation
+// workloads swept across EvalOptions::num_threads in {1, 2, 4, 8}. Each run
+// records the thread count as a counter, so the JSON sidecar carries
+// num_threads and speedup_vs_1t per data point (the /t1 run is the baseline
+// for its benchmark family).
+//
+// Expected shape on a multi-core host: shortest-path and company-control
+// approach the core count until the sharded merge phase and the serial
+// residue (delta dedupe, round bookkeeping) flatten the curve (Amdahl);
+// halfsum is a single tiny SCC and mostly measures pool overhead. On a
+// single-core host every curve is flat at ~1x with a small coordination tax —
+// the numbers are recorded either way, never assumed.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace mad;
+using baselines::Graph;
+using bench::CachedProgram;
+
+/// Runs `program` on a clone of `edb` with `num_threads` pool participants;
+/// asserts success; returns the result.
+core::EvalResult RunThreaded(const datalog::Program& program,
+                             const datalog::Database& edb, int num_threads,
+                             double epsilon = 0.0) {
+  core::EvalOptions options;
+  options.num_threads = num_threads;
+  options.epsilon = epsilon;
+  core::Engine engine(program, options);
+  auto result = engine.Run(edb.Clone());
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench: evaluation failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+datalog::Database ShortestPathEdb(const datalog::Program& program) {
+  Random rng(23);
+  Graph g = workloads::RandomGraph(64, 256, {1.0, 10.0}, &rng);
+  datalog::Database edb;
+  (void)workloads::AddGraphFacts(program, g, &edb);
+  return edb;
+}
+
+datalog::Database CompanyControlEdb(const datalog::Program& program) {
+  Random rng(23);
+  auto net = workloads::RandomOwnership(120, 4, 0.6, &rng);
+  datalog::Database edb;
+  (void)workloads::AddOwnershipFacts(program, net, &edb);
+  return edb;
+}
+
+void BM_ShortestPath(benchmark::State& state, int threads) {
+  const datalog::Program& program =
+      CachedProgram(workloads::kShortestPathProgram);
+  datalog::Database edb = ShortestPathEdb(program);
+  int64_t derivations = 0;
+  for (auto _ : state) {
+    auto result = RunThreaded(program, edb, threads);
+    derivations = result.stats.derivations;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["num_threads"] = static_cast<double>(threads);
+  state.counters["derivations"] = static_cast<double>(derivations);
+}
+
+void BM_CompanyControl(benchmark::State& state, int threads) {
+  const datalog::Program& program =
+      CachedProgram(workloads::kCompanyControlProgram);
+  datalog::Database edb = CompanyControlEdb(program);
+  int64_t derivations = 0;
+  for (auto _ : state) {
+    auto result = RunThreaded(program, edb, threads);
+    derivations = result.stats.derivations;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["num_threads"] = static_cast<double>(threads);
+  state.counters["derivations"] = static_cast<double>(derivations);
+}
+
+void BM_Halfsum(benchmark::State& state, int threads) {
+  const datalog::Program& program = CachedProgram(workloads::kHalfsumProgram);
+  // Monotone but not continuous (Example 5.1): epsilon turns the infinite
+  // ascent into a long finite one — many tiny rounds, the pool-overhead
+  // worst case.
+  constexpr double kEpsilon = 1e-9;
+  int64_t iterations = 0;
+  for (auto _ : state) {
+    auto result = RunThreaded(program, datalog::Database(), threads, kEpsilon);
+    iterations = result.stats.iterations;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["num_threads"] = static_cast<double>(threads);
+  state.counters["fixpoint_rounds"] = static_cast<double>(iterations);
+}
+
+void PrintScalingTable() {
+  std::cout << "=== Parallel semi-naive scaling (wall ms per evaluation) "
+               "===\n";
+  TablePrinter table({"workload", "t1", "t2", "t4", "t8", "speedup@8"});
+  struct Row {
+    const char* name;
+    const char* text;
+    datalog::Database edb;
+    double epsilon;
+  };
+  std::vector<Row> rows;
+  {
+    const datalog::Program& sp = CachedProgram(workloads::kShortestPathProgram);
+    rows.push_back({"shortest-path", workloads::kShortestPathProgram,
+                    ShortestPathEdb(sp), 0.0});
+    const datalog::Program& cc =
+        CachedProgram(workloads::kCompanyControlProgram);
+    rows.push_back({"company-control", workloads::kCompanyControlProgram,
+                    CompanyControlEdb(cc), 0.0});
+    rows.push_back(
+        {"half-sum", workloads::kHalfsumProgram, datalog::Database(), 1e-9});
+  }
+  for (Row& row : rows) {
+    const datalog::Program& program = CachedProgram(row.text);
+    double ms[4];
+    int i = 0;
+    for (int threads : {1, 2, 4, 8}) {
+      auto result = RunThreaded(program, row.edb, threads, row.epsilon);
+      ms[i++] = result.stats.wall_seconds * 1e3;
+    }
+    table.AddRow({row.name, StrPrintf("%.2f", ms[0]), StrPrintf("%.2f", ms[1]),
+                  StrPrintf("%.2f", ms[2]), StrPrintf("%.2f", ms[3]),
+                  StrPrintf("%.2fx", ms[0] / ms[3])});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void RegisterAll() {
+  // Registered via capturing lambdas (not ->Args) so the run name ends in
+  // exactly "/t<threads>" — the suffix the sidecar reporter keys speedups on.
+  for (int threads : {1, 2, 4, 8}) {
+    benchmark::RegisterBenchmark(
+        StrPrintf("BM_Parallel/shortest_path/t%d", threads).c_str(),
+        [threads](benchmark::State& s) { BM_ShortestPath(s, threads); })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        StrPrintf("BM_Parallel/company_control/t%d", threads).c_str(),
+        [threads](benchmark::State& s) { BM_CompanyControl(s, threads); })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        StrPrintf("BM_Parallel/halfsum/t%d", threads).c_str(),
+        [threads](benchmark::State& s) { BM_Halfsum(s, threads); })
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintScalingTable();
+  RegisterAll();
+  return mad::bench::RunBenchmarks(argc, argv);
+}

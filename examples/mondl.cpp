@@ -8,6 +8,7 @@
 //   --strategy=naive|seminaive|greedy   evaluation strategy (default seminaive)
 //   --max-iterations=N                  fixpoint round budget
 //   --epsilon=E                         numeric convergence tolerance
+//   --threads=N                         evaluation threads (default 1)
 //   --no-validate                       skip the static checks
 //   --check                             print the static report and exit
 //   --stats                             print evaluation statistics
@@ -32,7 +33,8 @@ int Usage() {
   std::cerr
       << "usage: mondl [--strategy=naive|seminaive|greedy] "
          "[--max-iterations=N]\n"
-         "             [--epsilon=E] [--no-validate] [--check] [--stats]\n"
+         "             [--epsilon=E] [--threads=N] [--no-validate] [--check]\n"
+         "             [--stats]\n"
          "             [--dump=PRED[,PRED...]] program.mdl\n";
   return 2;
 }
@@ -66,6 +68,9 @@ int main(int argc, char** argv) {
       options.max_iterations = std::stoll(value_of("--max-iterations="));
     } else if (arg.rfind("--epsilon=", 0) == 0) {
       options.epsilon = std::stod(value_of("--epsilon="));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.num_threads = static_cast<int>(std::stol(value_of("--threads=")));
+      if (options.num_threads < 1) return Usage();
     } else if (arg == "--no-validate") {
       options.validate = false;
     } else if (arg == "--check") {

@@ -49,6 +49,7 @@ void EvalStats::Accumulate(const EvalStats& other) {
   merges_new += other.merges_new;
   merges_increased += other.merges_increased;
   subgoal_evals += other.subgoal_evals;
+  index_reuses += other.index_reuses;
   greedy_violations += other.greedy_violations;
   reached_fixpoint = reached_fixpoint && other.reached_fixpoint;
   if (limit_tripped == LimitKind::kNone) limit_tripped = other.limit_tripped;
@@ -58,14 +59,15 @@ void EvalStats::Accumulate(const EvalStats& other) {
 std::string EvalStats::ToString() const {
   std::string out = StrPrintf(
       "iterations=%lld rule_evals=%lld derivations=%lld new=%lld "
-      "increased=%lld subgoals=%lld greedy_violations=%lld fixpoint=%s "
-      "wall=%.4fs",
+      "increased=%lld subgoals=%lld index_reuses=%lld "
+      "greedy_violations=%lld fixpoint=%s wall=%.4fs",
       static_cast<long long>(iterations),
       static_cast<long long>(rule_evaluations),
       static_cast<long long>(derivations),
       static_cast<long long>(merges_new),
       static_cast<long long>(merges_increased),
       static_cast<long long>(subgoal_evals),
+      static_cast<long long>(index_reuses),
       static_cast<long long>(greedy_violations),
       reached_fixpoint ? "yes" : "NO", wall_seconds);
   if (limit_tripped != LimitKind::kNone) {
@@ -203,14 +205,32 @@ StatusOr<EvalResult> Engine::Run(Database edb) const {
 
   result.component_stats.resize(graph_.components().size());
   ResourceGuard guard(options_.limits);
-  auto t0 = std::chrono::steady_clock::now();
-  for (const analysis::Component& component : graph_.components()) {
-    if (component.rule_indices.empty()) continue;
-    EvalStats& cstats = result.component_stats[component.index];
-    // Components with a bounded-chains certificate get a concrete round cap
-    // derived from the database at component entry: hitting it would
-    // falsify the certificate, whereas the blanket max_iterations guard is
-    // merely a heuristic stop.
+
+  // Parallel evaluation applies to semi-naive fixpoints without provenance
+  // (Provenance is single-writer). A pool of 1 would be pure overhead, so
+  // anything else stays on the untouched serial path.
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.num_threads > 1 && options_.strategy == Strategy::kSemiNaive &&
+      !options_.track_provenance) {
+    pool = std::make_unique<ThreadPool>(options_.num_threads);
+    // Pre-create every head relation so evaluation never mutates the
+    // relation map: concurrent merge shards and pipelined components then
+    // only ever FindMutable existing nodes.
+    for (const datalog::Rule& r : program_->rules()) {
+      result.db.GetOrCreate(r.head.pred);
+    }
+  }
+  int64_t index_reuses_before = 0;
+  for (const auto& [_, rel] : result.db.relations()) {
+    index_reuses_before += rel->index_reuses();
+  }
+
+  // Round-cap helper: components with a bounded-chains certificate get a
+  // concrete cap derived from the database at component entry — hitting it
+  // would falsify the certificate, whereas the blanket max_iterations guard
+  // is merely a heuristic stop. Scans the whole database, so it must run
+  // serially (before any same-depth fan-out).
+  auto round_cap = [&](const analysis::Component& component) -> int64_t {
     int64_t max_iters = options_.max_iterations;
     for (const analysis::ComponentTermination& t :
          result.check.termination.components) {
@@ -222,37 +242,110 @@ StatusOr<EvalResult> Engine::Run(Database edb) const {
           max_iters, BoundedChainRoundCap(*program_, component, t, result.db));
       break;
     }
+    return max_iters;
+  };
+
+  auto run_one = [&](const analysis::Component& component,
+                     int64_t max_iters) -> Status {
+    EvalStats& cstats = result.component_stats[component.index];
     auto c0 = std::chrono::steady_clock::now();
-    Status st =
-        RunComponent(component, &result.db, &cstats, prov, &guard, max_iters);
+    Status st = RunComponent(component, &result.db, &cstats, prov, &guard,
+                             max_iters, pool.get());
     cstats.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - c0)
             .count();
+    return st;
+  };
+
+  // Folds one finished component's stats into the aggregate and translates a
+  // tripped resource limit: certifiable (prefix-sound, non-greedy) trips
+  // degrade the run to an under-approximation, everything else fails hard.
+  // Returns true when the outer loop should stop.
+  Status hard_error;
+  auto settle = [&](const analysis::Component& component,
+                    const Status& st) -> bool {
+    EvalStats& cstats = result.component_stats[component.index];
     // Accumulate without double-counting wall time (it is re-measured).
     double saved = result.stats.wall_seconds;
     result.stats.Accumulate(cstats);
     result.stats.wall_seconds = saved;
-    if (!st.ok()) {
-      if (st.code() != StatusCode::kResourceExhausted) return st;
-      // A resource limit tripped inside this component. The partial database
-      // is certifiable exactly when the interrupted iteration is a prefix of
-      // a monotone fixpoint computation: the component must be prefix-sound
-      // and the strategy must actually iterate T_P from ⊥ (greedy settles
-      // keys speculatively, so its intermediate states carry no guarantee).
-      const analysis::ComponentVerdict& verdict =
-          result.check.components[component.index];
-      if (options_.strategy == Strategy::kGreedy || !verdict.prefix_sound) {
-        return st;
-      }
-      cstats.limit_tripped = guard.tripped();
-      result.completeness = Completeness::kUnderApproximation;
-      result.limit_tripped = guard.tripped();
+    if (st.ok()) return false;
+    if (st.code() != StatusCode::kResourceExhausted) {
+      hard_error = st;
+      return true;
+    }
+    // A resource limit tripped inside this component. The partial database
+    // is certifiable exactly when the interrupted iteration is a prefix of
+    // a monotone fixpoint computation: the component must be prefix-sound
+    // and the strategy must actually iterate T_P from ⊥ (greedy settles
+    // keys speculatively, so its intermediate states carry no guarantee).
+    const analysis::ComponentVerdict& verdict =
+        result.check.components[component.index];
+    if (options_.strategy == Strategy::kGreedy || !verdict.prefix_sound) {
+      hard_error = st;
+      return true;
+    }
+    cstats.limit_tripped = guard.tripped();
+    result.completeness = Completeness::kUnderApproximation;
+    result.limit_tripped = guard.tripped();
+    if (result.tripped_component < 0) {
       result.tripped_component = component.index;
-      result.stats.limit_tripped = guard.tripped();
-      result.stats.reached_fixpoint = false;
-      break;
+    }
+    result.stats.limit_tripped = guard.tripped();
+    result.stats.reached_fixpoint = false;
+    return true;
+  };
+
+  auto t0 = std::chrono::steady_clock::now();
+  const std::vector<analysis::Component>& components = graph_.components();
+  size_t ci = 0;
+  bool stopped = false;
+  while (ci < components.size() && !stopped) {
+    // Maximal run of consecutive equal-depth components. Equal condensation
+    // depth admits no path between the components in either direction, so
+    // their fixpoints read disjoint inputs and write disjoint relations —
+    // they may pipeline concurrently through the pool.
+    size_t cj = ci + 1;
+    while (cj < components.size() &&
+           components[cj].depth == components[ci].depth) {
+      ++cj;
+    }
+    std::vector<const analysis::Component*> group;
+    for (size_t k = ci; k < cj; ++k) {
+      if (!components[k].rule_indices.empty()) group.push_back(&components[k]);
+    }
+    ci = cj;
+    if (group.empty()) continue;
+
+    if (pool != nullptr && group.size() > 1) {
+      std::vector<int64_t> caps(group.size());
+      for (size_t g = 0; g < group.size(); ++g) caps[g] = round_cap(*group[g]);
+      std::vector<Status> statuses(group.size());
+      pool->ParallelFor(static_cast<int64_t>(group.size()),
+                        [&](int, int64_t g) {
+                          statuses[g] = run_one(*group[g], caps[g]);
+                        });
+      // Settle in component-index order so tripped_component is the
+      // smallest interrupted index, matching the serial contract that
+      // lower-indexed components hold their full least model.
+      for (size_t g = 0; g < group.size(); ++g) {
+        if (settle(*group[g], statuses[g])) stopped = true;
+      }
+    } else {
+      for (const analysis::Component* component : group) {
+        if (settle(*component, run_one(*component, round_cap(*component)))) {
+          stopped = true;
+          break;
+        }
+      }
     }
   }
+  if (!hard_error.ok()) return hard_error;
+  int64_t index_reuses_after = 0;
+  for (const auto& [_, rel] : result.db.relations()) {
+    index_reuses_after += rel->index_reuses();
+  }
+  result.stats.index_reuses = index_reuses_after - index_reuses_before;
   result.stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -261,15 +354,15 @@ StatusOr<EvalResult> Engine::Run(Database edb) const {
 
 Status Engine::RunComponent(const analysis::Component& component,
                             Database* db, EvalStats* stats, Provenance* prov,
-                            ResourceGuard* guard,
-                            int64_t max_iterations) const {
+                            ResourceGuard* guard, int64_t max_iterations,
+                            ThreadPool* pool) const {
   MAD_ASSIGN_OR_RETURN(std::vector<CompiledRule> rules,
                        CompileComponent(*program_, component, graph_));
   switch (options_.strategy) {
     case Strategy::kNaive:
       return RunNaive(rules, db, stats, prov, guard, max_iterations);
     case Strategy::kSemiNaive:
-      return RunSemiNaive(rules, db, stats, prov, guard, max_iterations);
+      return RunSemiNaive(rules, db, stats, prov, guard, max_iterations, pool);
     case Strategy::kGreedy:
       return RunGreedy(component, rules, db, stats, prov, guard);
   }
@@ -280,40 +373,47 @@ Status Engine::RunComponent(const analysis::Component& component,
 // Merging
 // ---------------------------------------------------------------------------
 
+void Engine::MergeOneDerivation(const Derivation& d, Database* db,
+                                EvalStats* stats,
+                                std::map<int, std::vector<uint32_t>>* delta,
+                                Provenance* prov) const {
+  Relation* rel = db->FindMutable(d.pred);
+  if (rel == nullptr) rel = db->GetOrCreate(d.pred);
+  if (options_.epsilon > 0 && d.pred->has_cost) {
+    const Value* cur = rel->Find(d.key);
+    if (cur != nullptr) {
+      Value joined = d.pred->domain->Join(*cur, d.cost);
+      if ((joined.is_numeric() || joined.is_bool()) &&
+          (cur->is_numeric() || cur->is_bool()) &&
+          std::fabs(joined.AsDouble() - cur->AsDouble()) < options_.epsilon) {
+        return;  // converged within tolerance
+      }
+    }
+  }
+  uint32_t row = 0;
+  Relation::MergeResult mr = rel->Merge(d.key, d.cost, &row);
+  switch (mr) {
+    case Relation::MergeResult::kNew:
+      ++stats->merges_new;
+      if (delta != nullptr) (*delta)[d.pred->id].push_back(row);
+      if (prov != nullptr) prov->Record(d.pred, row, d.rule_index);
+      break;
+    case Relation::MergeResult::kIncreased:
+      ++stats->merges_increased;
+      if (delta != nullptr) (*delta)[d.pred->id].push_back(row);
+      if (prov != nullptr) prov->Record(d.pred, row, d.rule_index);
+      break;
+    case Relation::MergeResult::kUnchanged:
+      break;
+  }
+}
+
 Status Engine::MergeDerivations(
     const std::vector<Derivation>& derivations, Database* db,
     EvalStats* stats, std::map<int, std::vector<uint32_t>>* delta,
     Provenance* prov, ResourceGuard* guard) const {
   for (const Derivation& d : derivations) {
-    Relation* rel = db->GetOrCreate(d.pred);
-    if (options_.epsilon > 0 && d.pred->has_cost) {
-      const Value* cur = rel->Find(d.key);
-      if (cur != nullptr) {
-        Value joined = d.pred->domain->Join(*cur, d.cost);
-        if ((joined.is_numeric() || joined.is_bool()) &&
-            (cur->is_numeric() || cur->is_bool()) &&
-            std::fabs(joined.AsDouble() - cur->AsDouble()) <
-                options_.epsilon) {
-          continue;  // converged within tolerance
-        }
-      }
-    }
-    uint32_t row = 0;
-    Relation::MergeResult mr = rel->Merge(d.key, d.cost, &row);
-    switch (mr) {
-      case Relation::MergeResult::kNew:
-        ++stats->merges_new;
-        if (delta != nullptr) (*delta)[d.pred->id].push_back(row);
-        if (prov != nullptr) prov->Record(d.pred, row, d.rule_index);
-        break;
-      case Relation::MergeResult::kIncreased:
-        ++stats->merges_increased;
-        if (delta != nullptr) (*delta)[d.pred->id].push_back(row);
-        if (prov != nullptr) prov->Record(d.pred, row, d.rule_index);
-        break;
-      case Relation::MergeResult::kUnchanged:
-        break;
-    }
+    MergeOneDerivation(d, db, stats, delta, prov);
   }
   // Charge after merging: the batch is already safely in the database (any
   // subset of derivations stays ⊑-below the least model under monotone T_P),
@@ -412,8 +512,11 @@ Status Engine::RunNaive(const std::vector<CompiledRule>& rules, Database* db,
 
 Status Engine::RunSemiNaive(const std::vector<CompiledRule>& rules,
                             Database* db, EvalStats* stats, Provenance* prov,
-                            ResourceGuard* guard,
-                            int64_t max_iterations) const {
+                            ResourceGuard* guard, int64_t max_iterations,
+                            ThreadPool* pool) const {
+  if (pool != nullptr && pool->num_participants() > 1 && prov == nullptr) {
+    return RunSemiNaiveParallel(rules, db, stats, guard, max_iterations, pool);
+  }
   RuleExecutor exec(db);
   if (guard->active()) exec.set_guard(guard);
   std::vector<Derivation> buffer;
@@ -474,6 +577,208 @@ Status Engine::RunSemiNaive(const std::vector<CompiledRule>& rules,
     delta = std::move(next_delta);
   }
   stats->subgoal_evals = exec.subgoal_evals();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Parallel semi-naive: phased fan-out / sharded merge
+// ---------------------------------------------------------------------------
+//
+// Soundness rests on two facts. (1) Relation::Merge is the lattice join, and
+// joins commute and associate, so the set of derivations produced by a round
+// can be folded into the database in any order — including split across
+// shard owners — without changing the resulting interpretation (Tarski's
+// theorem makes the least fixpoint unique regardless of the T_P application
+// schedule). (2) Rounds are strictly phased: every executor of a fan-out
+// phase reads the database frozen at the end of the previous merge phase.
+// The serial evaluator lets later rules see earlier rules' merges within a
+// round; phasing drops that intra-round visibility, but any derivation
+// thereby missed is recovered through the delta drivers of a later round —
+// the fixpoint, and hence Database::ToString(), is identical.
+//
+// Within a merge phase, derivations are sharded by head-predicate id, so
+// each relation is touched by exactly one shard owner: merging needs no
+// per-relation locks, and delta membership (row ∈ delta iff the join
+// strictly raised the stored value) is independent of merge order.
+
+Status Engine::RunSemiNaiveParallel(const std::vector<CompiledRule>& rules,
+                                    Database* db, EvalStats* stats,
+                                    ResourceGuard* guard,
+                                    int64_t max_iterations,
+                                    ThreadPool* pool) const {
+  const int participants = pool->num_participants();
+  const int shards = participants;  // shard key: pred->id % shards
+
+  struct WorkerCtx {
+    std::unique_ptr<RuleExecutor> exec;
+    std::vector<Derivation> buffer;  ///< fan-out scratch, scattered per item
+    std::vector<std::vector<Derivation>> by_shard;
+    int64_t rule_evaluations = 0;
+    int64_t derivations = 0;
+  };
+  std::vector<WorkerCtx> ctxs(participants);
+  for (WorkerCtx& c : ctxs) {
+    c.exec = std::make_unique<RuleExecutor>(db);
+    if (guard->active()) c.exec->set_guard(guard);
+    c.by_shard.resize(shards);
+  }
+
+  // Scan patterns this component's schedules can issue; forced before every
+  // fan-out so concurrent scans find complete indexes under the shared lock.
+  std::vector<ScanPattern> patterns;
+  for (const CompiledRule& rule : rules) CollectScanPatterns(rule, &patterns);
+  std::sort(patterns.begin(), patterns.end());
+  patterns.erase(std::unique(patterns.begin(), patterns.end()),
+                 patterns.end());
+  auto force_indexes = [&]() {
+    for (const ScanPattern& p : patterns) {
+      const Relation* rel = db->Find(p.first);
+      if (rel != nullptr) rel->ForceIndex(p.second);
+    }
+  };
+
+  auto scatter = [&](WorkerCtx& c) {
+    for (Derivation& d : c.buffer) {
+      c.by_shard[d.pred->id % shards].push_back(std::move(d));
+    }
+    c.derivations += static_cast<int64_t>(c.buffer.size());
+    c.buffer.clear();
+  };
+
+  // Merge phase: shard s folds every worker's bin s into the database.
+  // Workers are visited in participant order for cache-friendly streaming;
+  // the order is irrelevant to the outcome (joins commute).
+  auto merge_phase =
+      [&](std::map<int, std::vector<uint32_t>>* out_delta) -> Status {
+    struct ShardOut {
+      EvalStats stats;
+      std::map<int, std::vector<uint32_t>> delta;
+    };
+    std::vector<ShardOut> outs(shards);
+    pool->ParallelFor(shards, [&](int, int64_t s) {
+      ShardOut& out = outs[s];
+      for (WorkerCtx& c : ctxs) {
+        for (const Derivation& d : c.by_shard[s]) {
+          MergeOneDerivation(d, db, &out.stats, &out.delta, nullptr);
+        }
+      }
+    });
+    int64_t batch = 0;
+    for (WorkerCtx& c : ctxs) {
+      for (std::vector<Derivation>& bin : c.by_shard) {
+        batch += static_cast<int64_t>(bin.size());
+        bin.clear();
+      }
+    }
+    for (ShardOut& out : outs) {
+      stats->merges_new += out.stats.merges_new;
+      stats->merges_increased += out.stats.merges_increased;
+      // Shards partition predicate ids, so these delta maps are disjoint.
+      for (auto& [pred_id, rows] : out.delta) {
+        (*out_delta)[pred_id] = std::move(rows);
+      }
+    }
+    // Charge after merging, like the serial path: the batch is already
+    // safely in the database, so a trip loses no work.
+    if (guard->active()) {
+      LimitKind k = guard->ChargeTuples(batch);
+      if (k == LimitKind::kNone && guard->memory_limited()) {
+        k = guard->ChargeMemory(db->ApproxBytes());
+      }
+      if (k != LimitKind::kNone) {
+        return Status::ResourceExhausted(guard->Describe());
+      }
+    }
+    return Status::OK();
+  };
+
+  auto drain_ctx_stats = [&]() {
+    for (WorkerCtx& c : ctxs) {
+      stats->rule_evaluations += c.rule_evaluations;
+      stats->derivations += c.derivations;
+      stats->subgoal_evals += c.exec->subgoal_evals();
+    }
+  };
+  auto stop = [&](Status st) {
+    drain_ctx_stats();
+    stats->reached_fixpoint = false;
+    return st;
+  };
+
+  // Round 0: full evaluation of every rule against the (empty-CDB) initial
+  // interpretation, one rule per work item.
+  std::map<int, std::vector<uint32_t>> delta;
+  if (guard->ChargeRound(1) != LimitKind::kNone) {
+    return stop(Status::ResourceExhausted(guard->Describe()));
+  }
+  ++stats->iterations;
+  force_indexes();
+  pool->ParallelFor(static_cast<int64_t>(rules.size()),
+                    [&](int p, int64_t i) {
+                      WorkerCtx& c = ctxs[p];
+                      ++c.rule_evaluations;
+                      c.exec->RunBase(rules[i], &c.buffer);
+                      scatter(c);
+                    });
+  {
+    Status st = merge_phase(&delta);
+    if (st.code() == StatusCode::kResourceExhausted) return stop(st);
+    MAD_RETURN_IF_ERROR(st);
+  }
+
+  // Delta rounds: the driver work of a round — every (rule, driver,
+  // delta-row) triple — is one flat item list fanned out across the pool.
+  struct DriverItem {
+    const CompiledRule* rule;
+    const DriverVariant* driver;
+    const Relation* rel;
+    uint32_t row;
+  };
+  std::vector<DriverItem> items;
+  while (DeltaSize(delta) > 0) {
+    if (stats->iterations >= max_iterations) {
+      drain_ctx_stats();
+      stats->reached_fixpoint = false;
+      return Status::OK();
+    }
+    if (guard->ChargeRound(stats->iterations + 1) != LimitKind::kNone) {
+      return stop(Status::ResourceExhausted(guard->Describe()));
+    }
+    ++stats->iterations;
+    DedupeDelta(&delta);
+    items.clear();
+    for (const CompiledRule& rule : rules) {
+      for (const DriverVariant& driver : rule.drivers) {
+        auto it = delta.find(driver.delta_pred->id);
+        if (it == delta.end()) continue;
+        const Relation* rel = db->Find(driver.delta_pred);
+        for (uint32_t row : it->second) {
+          items.push_back({&rule, &driver, rel, row});
+        }
+      }
+    }
+    force_indexes();
+    pool->ParallelFor(static_cast<int64_t>(items.size()),
+                      [&](int p, int64_t i) {
+                        WorkerCtx& c = ctxs[p];
+                        const DriverItem& item = items[i];
+                        ++c.rule_evaluations;
+                        // Current cost (possibly fresher than at
+                        // delta-recording time — monotonicity makes that
+                        // harmless).
+                        c.exec->RunDriver(*item.rule, *item.driver,
+                                          item.rel->key_at(item.row),
+                                          item.rel->cost_at(item.row),
+                                          &c.buffer);
+                        scatter(c);
+                      });
+    std::map<int, std::vector<uint32_t>> next_delta;
+    Status st = merge_phase(&next_delta);
+    if (st.code() == StatusCode::kResourceExhausted) return stop(st);
+    MAD_RETURN_IF_ERROR(st);
+    delta = std::move(next_delta);
+  }
+  drain_ctx_stats();
   return Status::OK();
 }
 

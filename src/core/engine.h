@@ -15,6 +15,7 @@
 #include "datalog/parser.h"
 #include "util/resource_guard.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace mad {
 namespace core {
@@ -62,6 +63,18 @@ struct EvalOptions {
   /// stops at the next check boundary; whether that yields a certified
   /// partial result or an error depends on the component — see Completeness.
   ResourceLimits limits = {};
+  /// Evaluation parallelism: number of pool participants (the calling
+  /// thread plus num_threads-1 workers). 1 (default) runs the untouched
+  /// serial code path. With >1, semi-naive rounds partition their
+  /// (rule × delta-row) driver work across the pool and merge through
+  /// predicate-sharded owners, and independent same-depth components
+  /// pipeline concurrently. Sound for any monotone program: Relation::Merge
+  /// is a lattice join, so derivation batches commute and the least model —
+  /// hence Database::ToString() — is identical for every thread count
+  /// (Tarski; see DESIGN.md "Parallel evaluation"). Ignored (serial
+  /// fallback) for the naive/greedy strategies, whose semantics are
+  /// order-sensitive, and when track_provenance is set.
+  int num_threads = 1;
 };
 
 /// How much of the least model an EvalResult is guaranteed to contain.
@@ -87,6 +100,10 @@ struct EvalStats {
   int64_t merges_new = 0;       ///< keys first derived
   int64_t merges_increased = 0; ///< cost strictly raised in ⊑
   int64_t subgoal_evals = 0;
+  /// Scans served by an already-complete secondary index (no extension
+  /// work) across the run's database — a measure of how well the lazily
+  /// built indexes amortize. Aggregate-level only (not per component).
+  int64_t index_reuses = 0;
   /// Greedy only: merges that would have raised an already-settled key —
   /// each one is a place where greedy evaluation lost the least model.
   int64_t greedy_violations = 0;
@@ -167,20 +184,38 @@ class Engine {
   /// `max_iterations` is the effective per-component round cap: the global
   /// EvalOptions::max_iterations, or — for components whose certificate
   /// proves bounded chains — the smaller certificate-derived bound (see
-  /// BoundedChainRoundCap in engine.cc).
+  /// BoundedChainRoundCap in engine.cc). `pool` (nullable) enables parallel
+  /// semi-naive rounds.
   Status RunComponent(const analysis::Component& component, Database* db,
                       EvalStats* stats, Provenance* prov, ResourceGuard* guard,
-                      int64_t max_iterations) const;
+                      int64_t max_iterations, ThreadPool* pool) const;
   Status RunNaive(const std::vector<CompiledRule>& rules, Database* db,
                   EvalStats* stats, Provenance* prov, ResourceGuard* guard,
                   int64_t max_iterations) const;
   Status RunSemiNaive(const std::vector<CompiledRule>& rules, Database* db,
                       EvalStats* stats, Provenance* prov, ResourceGuard* guard,
-                      int64_t max_iterations) const;
+                      int64_t max_iterations, ThreadPool* pool) const;
+  /// Parallel semi-naive: rounds are strictly phased — a fan-out phase runs
+  /// (rule × delta-row) driver work on per-participant executors against a
+  /// frozen database, then a merge phase shards the buffered derivations by
+  /// predicate id so each relation has exactly one writer. Never tracks
+  /// provenance (Engine::Run falls back to serial instead).
+  Status RunSemiNaiveParallel(const std::vector<CompiledRule>& rules,
+                              Database* db, EvalStats* stats,
+                              ResourceGuard* guard, int64_t max_iterations,
+                              ThreadPool* pool) const;
   Status RunGreedy(const analysis::Component& component,
                    const std::vector<CompiledRule>& rules, Database* db,
                    EvalStats* stats, Provenance* prov,
                    ResourceGuard* guard) const;
+
+  /// Lattice-merges one derivation into `db`, updating `stats` counters and
+  /// appending the changed row (if any) to `delta`. The single-writer
+  /// building block shared by the serial batch path and the sharded
+  /// parallel merge.
+  void MergeOneDerivation(const Derivation& d, Database* db, EvalStats* stats,
+                          std::map<int, std::vector<uint32_t>>* delta,
+                          Provenance* prov) const;
 
   /// Merges buffered derivations; returns changed row ids per predicate.
   /// `delta` maps predicate id -> row ids changed by this merge batch.

@@ -21,7 +21,7 @@ void RuleExecutor::RunBase(const CompiledRule& rule,
                            std::vector<Derivation>* out) {
   if (stopped_) return;
   current_rule_ = &rule;
-  Binding binding;
+  Binding& binding = scratch_;
   binding.Reset(rule.num_slots);
   RunSchedule(rule, rule.base, 0, &binding, out);
 }
@@ -32,7 +32,7 @@ void RuleExecutor::RunDriver(const CompiledRule& rule,
                              std::vector<Derivation>* out) {
   if (stopped_) return;
   current_rule_ = &rule;
-  Binding binding;
+  Binding& binding = scratch_;
   binding.Reset(rule.num_slots);
   if (!MatchSeed(driver.seed, delta_key, delta_cost, &binding)) return;
 

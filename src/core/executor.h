@@ -16,27 +16,31 @@ using datalog::Database;
 using datalog::Relation;
 using datalog::Tuple;
 
-/// A variable assignment over a compiled rule's slots.
+/// A variable assignment over a compiled rule's slots. Reset() reuses the
+/// vectors' capacity, so a long-lived Binding (one per executor) stops
+/// allocating after the first few rules. The bound flags are bytes, not
+/// std::vector<bool> bits: IsBound/Set/Clear sit on the innermost join loop
+/// and a byte store beats a read-modify-write bit twiddle there.
 class Binding {
  public:
   void Reset(int num_slots) {
     values_.assign(num_slots, Value());
-    bound_.assign(num_slots, false);
+    bound_.assign(num_slots, 0);
   }
-  bool IsBound(int slot) const { return bound_[slot]; }
+  bool IsBound(int slot) const { return bound_[slot] != 0; }
   const Value& Get(int slot) const { return values_[slot]; }
   void Set(int slot, Value v) {
     values_[slot] = std::move(v);
-    bound_[slot] = true;
+    bound_[slot] = 1;
   }
   void Clear(int slot) {
-    bound_[slot] = false;
+    bound_[slot] = 0;
     values_[slot] = Value();
   }
 
  private:
   std::vector<Value> values_;
-  std::vector<bool> bound_;
+  std::vector<uint8_t> bound_;
 };
 
 /// One head derivation produced by a rule evaluation.
@@ -124,6 +128,11 @@ class RuleExecutor {
 
   const Database* db_;
   const CompiledRule* current_rule_ = nullptr;
+  /// Reused across RunBase/RunDriver calls so the per-rule Reset touches
+  /// warm, already-sized vectors instead of allocating. The executor is
+  /// single-threaded (the parallel evaluator gives each pool participant its
+  /// own executor), so one scratch binding suffices.
+  Binding scratch_;
   int64_t subgoal_evals_ = 0;
   ResourceGuard* guard_ = nullptr;
   bool stopped_ = false;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
+#include <shared_mutex>
 
 #include "lattice/cost_domain.h"
 #include "util/string_util.h"
@@ -40,16 +42,18 @@ constexpr int64_t kRowOverheadBytes = 64;
 
 Relation::MergeResult Relation::Merge(const Tuple& key, const Value& cost,
                                       uint32_t* row_out) {
-  auto it = rows_.find(key);
-  if (it == rows_.end()) {
-    uint32_t row = static_cast<uint32_t>(keys_.size());
+  // try_emplace hashes the key exactly once for the combined lookup+insert
+  // (the old find-then-emplace hashed twice on every novel fact).
+  auto [it, inserted] = rows_.try_emplace(key, static_cast<uint32_t>(keys_.size()));
+  if (inserted) {
     keys_.push_back(key);
     costs_.push_back(pred_->has_cost ? cost : Value());
-    rows_.emplace(key, row);
-    if (row_out != nullptr) *row_out = row;
+    if (row_out != nullptr) *row_out = it->second;
     // Two key copies live here (dense vector + primary map) plus the cost.
-    approx_bytes_ += 2 * ApproxTupleBytes(key) + ApproxValueBytes(costs_.back()) +
-                     kRowOverheadBytes;
+    approx_bytes_.fetch_add(
+        2 * ApproxTupleBytes(key) + ApproxValueBytes(costs_.back()) +
+            kRowOverheadBytes,
+        std::memory_order_relaxed);
     // Newly appended rows are picked up lazily by GetIndex; nothing to do.
     return MergeResult::kNew;
   }
@@ -58,7 +62,8 @@ Relation::MergeResult Relation::Merge(const Tuple& key, const Value& cost,
   Value& current = costs_[it->second];
   Value joined = pred_->domain->Join(current, cost);
   if (pred_->domain->Equal(joined, current)) return MergeResult::kUnchanged;
-  approx_bytes_ += ApproxValueBytes(joined) - ApproxValueBytes(current);
+  approx_bytes_.fetch_add(ApproxValueBytes(joined) - ApproxValueBytes(current),
+                          std::memory_order_relaxed);
   current = std::move(joined);
   return MergeResult::kIncreased;
 }
@@ -74,17 +79,34 @@ void Relation::ForEach(
   for (size_t i = 0; i < keys_.size(); ++i) cb(keys_[i], costs_[i]);
 }
 
-Relation::Index& Relation::GetIndex(const std::vector<int>& bound_pos) const {
+const Relation::Index& Relation::GetIndex(
+    const std::vector<int>& bound_pos) const {
+  {
+    std::shared_lock<std::shared_mutex> lk(index_mu_);
+    auto it = indexes_.find(bound_pos);
+    if (it != indexes_.end() && it->second.built_rows == keys_.size()) {
+      index_reuses_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lk(index_mu_);
   Index& index = indexes_[bound_pos];
   for (size_t row = index.built_rows; row < keys_.size(); ++row) {
     Tuple proj;
     proj.reserve(bound_pos.size());
     for (int p : bound_pos) proj.push_back(keys_[row][p]);
-    approx_bytes_ += ApproxTupleBytes(proj) + sizeof(uint32_t);
+    approx_bytes_.fetch_add(ApproxTupleBytes(proj) + sizeof(uint32_t),
+                            std::memory_order_relaxed);
     index.buckets[std::move(proj)].push_back(static_cast<uint32_t>(row));
   }
   index.built_rows = keys_.size();
   return index;
+}
+
+void Relation::ForceIndex(const std::vector<int>& bound_pos) const {
+  if (bound_pos.empty()) return;
+  if (static_cast<int>(bound_pos.size()) == pred_->key_arity()) return;
+  GetIndex(bound_pos);
 }
 
 void Relation::Scan(
@@ -102,14 +124,16 @@ void Relation::ScanRows(const std::vector<int>& bound_pos,
     for (size_t row = 0; row < keys_.size(); ++row) cb(row);
     return;
   }
+  // One hash for the whole lookup, whichever container serves it.
+  const PrehashedTuple probe{&bound_vals, TupleHash{}(bound_vals)};
   if (static_cast<int>(bound_pos.size()) == pred_->key_arity()) {
     // Fully bound: point lookup on the primary map.
-    auto it = rows_.find(bound_vals);
+    auto it = rows_.find(probe);
     if (it != rows_.end()) cb(it->second);
     return;
   }
   const Index& index = GetIndex(bound_pos);
-  auto it = index.buckets.find(bound_vals);
+  auto it = index.buckets.find(probe);
   if (it == index.buckets.end()) return;
   for (uint32_t row : it->second) cb(row);
 }
@@ -125,6 +149,11 @@ Relation* Database::GetOrCreate(const PredicateInfo* pred) {
 }
 
 const Relation* Database::Find(const PredicateInfo* pred) const {
+  auto it = relations_.find(pred->id);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+Relation* Database::FindMutable(const PredicateInfo* pred) {
   auto it = relations_.find(pred->id);
   return it == relations_.end() ? nullptr : it->second.get();
 }

@@ -1,10 +1,12 @@
 #ifndef MAD_DATALOG_DATABASE_H_
 #define MAD_DATALOG_DATABASE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -27,9 +29,30 @@ namespace datalog {
 /// indexes extend lazily instead of rebuilding. Only the *core* (Section 2.3.3)
 /// is stored: default-value predicates' implicit ⊥ rows are synthesized by
 /// the evaluator, never materialized here.
+///
+/// Concurrency contract: mutation (Merge) is exclusive — callers serialize it
+/// (the parallel evaluator shards relations across merge workers so each
+/// relation has one writer). Reads (Scan/Find/Contains) may run concurrently
+/// from many threads *while no Merge is in flight*; lazily built secondary
+/// indexes follow a build-once-then-read-concurrently discipline guarded by a
+/// shared_mutex, and the evaluator forces the round's index patterns
+/// (ForceIndexes) before fanning out so the hot read path takes only the
+/// shared lock.
 class Relation {
  public:
   explicit Relation(const PredicateInfo* pred) : pred_(pred) {}
+
+  /// Deep copy; the clone starts with the source's rows and indexes but
+  /// fresh synchronization state. Must not race with writers.
+  Relation(const Relation& other)
+      : pred_(other.pred_),
+        keys_(other.keys_),
+        costs_(other.costs_),
+        rows_(other.rows_),
+        indexes_(other.indexes_),
+        index_reuses_(other.index_reuses_.load(std::memory_order_relaxed)),
+        approx_bytes_(other.approx_bytes_.load(std::memory_order_relaxed)) {}
+  Relation& operator=(const Relation&) = delete;
 
   const PredicateInfo* pred() const { return pred_; }
 
@@ -72,8 +95,18 @@ class Relation {
   /// map) plus lazily built secondary indexes. Maintained incrementally so
   /// the resource governor can poll it at merge granularity; set payloads
   /// count their element vectors, interned symbols count as their 16-byte
-  /// handles (the symbol table is process-global and shared).
-  int64_t ApproxBytes() const { return approx_bytes_; }
+  /// handles (the symbol table is process-global and shared). Atomic so the
+  /// governor can poll while other relations' shards are still merging.
+  int64_t ApproxBytes() const {
+    return approx_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Times a Scan was served by an already-complete secondary index (no
+  /// extension work). Monotone over the relation's lifetime; the engine
+  /// diffs it around a run to report EvalStats::index_reuses.
+  int64_t index_reuses() const {
+    return index_reuses_.load(std::memory_order_relaxed);
+  }
 
   /// Stable row access (row ids are dense, 0-based, insertion-ordered).
   const Tuple& key_at(size_t row) const { return keys_[row]; }
@@ -96,21 +129,35 @@ class Relation {
   void ScanRows(const std::vector<int>& bound_pos, const Tuple& bound_vals,
                 const std::function<void(size_t row)>& cb) const;
 
+  /// Builds (or extends to current size) the secondary index for
+  /// `bound_pos`, so subsequent concurrent Scans with that pattern are pure
+  /// reads. The parallel evaluator calls this for every scan pattern of the
+  /// round before fanning work out. No-op for the empty and fully-bound
+  /// patterns, which never touch a secondary index.
+  void ForceIndex(const std::vector<int>& bound_pos) const;
+
  private:
   struct Index {
-    std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> buckets;
+    std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash, TupleEq>
+        buckets;
     size_t built_rows = 0;  ///< rows [0, built_rows) are indexed
   };
 
-  /// Extends the index for `bound_pos` to cover all current rows.
-  Index& GetIndex(const std::vector<int>& bound_pos) const;
+  /// Returns the index for `bound_pos` extended to cover all current rows.
+  /// Fast path: shared lock, index already complete. Slow path: exclusive
+  /// lock, extend. The returned reference stays valid after the lock drops
+  /// (node-based std::map) and its buckets are safe to read concurrently as
+  /// long as no rows are appended — which the phased evaluator guarantees.
+  const Index& GetIndex(const std::vector<int>& bound_pos) const;
 
   const PredicateInfo* pred_;
   std::vector<Tuple> keys_;
   std::vector<Value> costs_;
-  std::unordered_map<Tuple, uint32_t, TupleHash> rows_;
+  std::unordered_map<Tuple, uint32_t, TupleHash, TupleEq> rows_;
+  mutable std::shared_mutex index_mu_;  ///< guards indexes_ map + extension
   mutable std::map<std::vector<int>, Index> indexes_;
-  mutable int64_t approx_bytes_ = 0;
+  mutable std::atomic<int64_t> index_reuses_{0};
+  mutable std::atomic<int64_t> approx_bytes_{0};
 };
 
 /// A set of relations — the extension of an LDB, a CDB, or both. This is the
@@ -122,10 +169,15 @@ class Database {
   Database(Database&&) = default;
   Database& operator=(Database&&) = default;
 
-  /// The relation for `pred`, creating an empty one on first touch.
+  /// The relation for `pred`, creating an empty one on first touch. NOT
+  /// safe to call concurrently — the parallel evaluator pre-creates every
+  /// head relation before fanning out and uses FindMutable from workers.
   Relation* GetOrCreate(const PredicateInfo* pred);
   /// Read access; returns nullptr if the predicate has no relation yet.
   const Relation* Find(const PredicateInfo* pred) const;
+  /// Write access without the inserting side effect of GetOrCreate, so
+  /// concurrent merge shards never mutate the relation map itself.
+  Relation* FindMutable(const PredicateInfo* pred);
 
   /// Inserts a fact (normalizing the cost into the predicate's domain).
   /// Rejects facts whose cost lies outside the declared domain.

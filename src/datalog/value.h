@@ -159,11 +159,37 @@ namespace datalog {
 /// A tuple of ground values; the key of a fact (all non-cost arguments).
 using Tuple = std::vector<Value>;
 
+/// A probe carrying a tuple together with its precomputed TupleHash, so a
+/// lookup that touches several hash containers (primary row map, secondary
+/// index buckets) hashes the tuple exactly once.
+struct PrehashedTuple {
+  const Tuple* tuple;
+  size_t hash;
+};
+
 struct TupleHash {
+  using is_transparent = void;
   size_t operator()(const Tuple& t) const {
     size_t seed = 0x12345678u ^ t.size();
     for (const Value& v : t) HashCombine(&seed, v.Hash());
     return seed;
+  }
+  size_t operator()(const PrehashedTuple& p) const { return p.hash; }
+};
+
+/// Transparent equality companion to TupleHash: containers declared with
+/// (TupleHash, TupleEq) accept PrehashedTuple probes in find().
+struct TupleEq {
+  using is_transparent = void;
+  bool operator()(const Tuple& a, const Tuple& b) const { return a == b; }
+  bool operator()(const PrehashedTuple& a, const Tuple& b) const {
+    return *a.tuple == b;
+  }
+  bool operator()(const Tuple& a, const PrehashedTuple& b) const {
+    return a == *b.tuple;
+  }
+  bool operator()(const PrehashedTuple& a, const PrehashedTuple& b) const {
+    return *a.tuple == *b.tuple;
   }
 };
 

@@ -23,11 +23,13 @@ const char* LimitKindName(LimitKind k) {
 }
 
 std::string ResourceGuard::Describe() const {
-  if (tripped_ == LimitKind::kNone) return "no limit tripped";
+  LimitKind t = tripped();
+  if (t == LimitKind::kNone) return "no limit tripped";
   return StrPrintf(
       "%s limit tripped after %.4fs, %lld derived tuples, %lld rounds",
-      LimitKindName(tripped_), elapsed_seconds(),
-      static_cast<long long>(tuples_), static_cast<long long>(total_rounds_));
+      LimitKindName(t), elapsed_seconds(),
+      static_cast<long long>(tuples_charged()),
+      static_cast<long long>(rounds_charged()));
 }
 
 }  // namespace mad

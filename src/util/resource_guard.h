@@ -89,8 +89,13 @@ struct ResourceLimits {
 /// subsequent call reports the same LimitKind so control can unwind at the
 /// next boundary without re-deriving the verdict.
 ///
-/// Not thread-safe except for the CancellationToken, which is the one
-/// intentional cross-thread channel.
+/// Thread-safe: counters are relaxed atomics (they are budgets, not
+/// happens-before edges) and the trip flag is set by a single
+/// compare-exchange, so exactly one LimitKind wins even when several workers
+/// blow different budgets in the same instant. The budget checks themselves
+/// are best-effort under concurrency — a budget may be overshot by at most
+/// one in-flight batch per worker — which is the same boundary-granularity
+/// contract the serial evaluator already had.
 class ResourceGuard {
  public:
   using Clock = std::chrono::steady_clock;
@@ -110,18 +115,20 @@ class ResourceGuard {
   bool memory_limited() const { return active_ && limits_.max_memory_bytes > 0; }
 
   /// Accounts `n` derived tuples. Polls deadline/cancellation once per
-  /// `check_interval` charged tuples.
+  /// `check_interval` charged tuples. Callable from any pool participant.
   LimitKind ChargeTuples(int64_t n) {
     if (!active_) return LimitKind::kNone;
-    if (tripped_ != LimitKind::kNone) return tripped_;
-    tuples_ += n;
-    if (limits_.max_derived_tuples > 0 &&
-        tuples_ > limits_.max_derived_tuples) {
+    LimitKind t = tripped();
+    if (t != LimitKind::kNone) return t;
+    int64_t total = tuples_.fetch_add(n, std::memory_order_relaxed) + n;
+    if (limits_.max_derived_tuples > 0 && total > limits_.max_derived_tuples) {
       return Trip(LimitKind::kTupleBudget);
     }
-    since_poll_ += n;
-    if (since_poll_ < limits_.check_interval) return LimitKind::kNone;
-    since_poll_ = 0;
+    int64_t since = since_poll_.fetch_add(n, std::memory_order_relaxed) + n;
+    if (since < limits_.check_interval) return LimitKind::kNone;
+    // Benign race: two workers may both reset and both poll — that only
+    // polls more often than required, never less per charged interval.
+    since_poll_.store(0, std::memory_order_relaxed);
     return Poll();
   }
 
@@ -129,14 +136,14 @@ class ResourceGuard {
   /// `component_rounds` rounds. Rounds are coarse, so this always polls.
   LimitKind ChargeRound(int64_t component_rounds) {
     if (!active_) return LimitKind::kNone;
-    if (tripped_ != LimitKind::kNone) return tripped_;
-    ++total_rounds_;
+    LimitKind t = tripped();
+    if (t != LimitKind::kNone) return t;
+    int64_t total = total_rounds_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (limits_.max_rounds_per_component > 0 &&
         component_rounds > limits_.max_rounds_per_component) {
       return Trip(LimitKind::kRoundCap);
     }
-    if (limits_.max_total_rounds > 0 &&
-        total_rounds_ > limits_.max_total_rounds) {
+    if (limits_.max_total_rounds > 0 && total > limits_.max_total_rounds) {
       return Trip(LimitKind::kRoundCap);
     }
     return Poll();
@@ -146,8 +153,13 @@ class ResourceGuard {
   /// merge granularity and only when memory_limited().
   LimitKind ChargeMemory(int64_t approx_bytes) {
     if (!active_) return LimitKind::kNone;
-    if (tripped_ != LimitKind::kNone) return tripped_;
-    peak_bytes_ = approx_bytes > peak_bytes_ ? approx_bytes : peak_bytes_;
+    LimitKind t = tripped();
+    if (t != LimitKind::kNone) return t;
+    int64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+    while (approx_bytes > peak &&
+           !peak_bytes_.compare_exchange_weak(peak, approx_bytes,
+                                              std::memory_order_relaxed)) {
+    }
     if (limits_.max_memory_bytes > 0 &&
         approx_bytes > limits_.max_memory_bytes) {
       return Trip(LimitKind::kMemoryBudget);
@@ -158,7 +170,8 @@ class ResourceGuard {
   /// Unconditional deadline + cancellation check.
   LimitKind Poll() {
     if (!active_) return LimitKind::kNone;
-    if (tripped_ != LimitKind::kNone) return tripped_;
+    LimitKind t = tripped();
+    if (t != LimitKind::kNone) return t;
     if (limits_.cancellation != nullptr && limits_.cancellation->cancelled()) {
       return Trip(LimitKind::kCancelled);
     }
@@ -168,12 +181,21 @@ class ResourceGuard {
     return LimitKind::kNone;
   }
 
-  /// The limit that stopped this evaluation, or kNone. Sticky.
-  LimitKind tripped() const { return tripped_; }
+  /// The limit that stopped this evaluation, or kNone. Sticky. Acquire pairs
+  /// with the release in Trip so the tripping worker's writes are visible.
+  LimitKind tripped() const {
+    return tripped_.load(std::memory_order_acquire);
+  }
 
-  int64_t tuples_charged() const { return tuples_; }
-  int64_t rounds_charged() const { return total_rounds_; }
-  int64_t peak_bytes() const { return peak_bytes_; }
+  int64_t tuples_charged() const {
+    return tuples_.load(std::memory_order_relaxed);
+  }
+  int64_t rounds_charged() const {
+    return total_rounds_.load(std::memory_order_relaxed);
+  }
+  int64_t peak_bytes() const {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
   double elapsed_seconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
@@ -182,20 +204,26 @@ class ResourceGuard {
   std::string Describe() const;
 
  private:
+  /// First caller wins; later trips (even for a different limit) report the
+  /// already-recorded kind so the whole evaluation agrees on one verdict.
   LimitKind Trip(LimitKind k) {
-    tripped_ = k;
-    return k;
+    LimitKind expected = LimitKind::kNone;
+    if (tripped_.compare_exchange_strong(expected, k,
+                                         std::memory_order_acq_rel)) {
+      return k;
+    }
+    return expected;
   }
 
   ResourceLimits limits_;
   bool active_ = false;
   Clock::time_point start_{};
   std::optional<Clock::time_point> deadline_;
-  LimitKind tripped_ = LimitKind::kNone;
-  int64_t tuples_ = 0;
-  int64_t total_rounds_ = 0;
-  int64_t since_poll_ = 0;
-  int64_t peak_bytes_ = 0;
+  std::atomic<LimitKind> tripped_{LimitKind::kNone};
+  std::atomic<int64_t> tuples_{0};
+  std::atomic<int64_t> total_rounds_{0};
+  std::atomic<int64_t> since_poll_{0};
+  std::atomic<int64_t> peak_bytes_{0};
 };
 
 }  // namespace mad

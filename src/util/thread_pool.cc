@@ -1,0 +1,142 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace mad {
+
+namespace {
+
+/// Which pool (if any) the current thread belongs to, and its slot. A worker
+/// thread belongs to exactly one pool for its whole life, so a plain pair of
+/// thread-locals suffices; threads outside any pool read a null pool and are
+/// treated as participant 0 of whatever pool they call into.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local int tls_participant = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  int participants = std::max(1, num_threads);
+  deques_.reserve(participants);
+  for (int i = 0; i < participants; ++i) {
+    deques_.push_back(std::make_unique<WorkDeque>());
+  }
+  workers_.reserve(participants - 1);
+  for (int i = 1; i < participants; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ThreadPool::ParticipantId() const {
+  return tls_pool == this ? tls_participant : 0;
+}
+
+void ThreadPool::Push(int participant, std::function<void()> task) {
+  WorkDeque& d = *deques_[participant];
+  std::lock_guard<std::mutex> lk(d.mu);
+  d.tasks.push_back(std::move(task));
+}
+
+bool ThreadPool::RunOneTask(int participant) {
+  const int p = num_participants();
+  // Own deque first, newest task (LIFO keeps the working set warm).
+  {
+    WorkDeque& own = *deques_[participant];
+    std::unique_lock<std::mutex> lk(own.mu);
+    if (!own.tasks.empty()) {
+      std::function<void()> task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      lk.unlock();
+      task();
+      return true;
+    }
+  }
+  // Steal the oldest task of the first non-empty victim (FIFO: the oldest
+  // range is the one least likely to be mid-claim by its owner).
+  for (int k = 1; k < p; ++k) {
+    WorkDeque& victim = *deques_[(participant + k) % p];
+    std::unique_lock<std::mutex> lk(victim.mu);
+    if (victim.tasks.empty()) continue;
+    std::function<void()> task = std::move(victim.tasks.front());
+    victim.tasks.pop_front();
+    lk.unlock();
+    task();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(int participant) {
+  tls_pool = this;
+  tls_participant = participant;
+  while (true) {
+    if (RunOneTask(participant)) continue;
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    if (stop_.load(std::memory_order_acquire)) return;
+    // Timed wait: a notify can land between RunOneTask and the wait, so the
+    // timeout bounds the staleness instead of a fragile predicate recheck of
+    // every deque under every lock.
+    wake_cv_.wait_for(lk, std::chrono::milliseconds(20));
+    if (stop_.load(std::memory_order_acquire)) return;
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int, int64_t)>& body) {
+  if (n <= 0) return;
+  const int p = num_participants();
+  const int self = ParticipantId();
+  if (p == 1 || n == 1) {
+    for (int64_t i = 0; i < n; ++i) body(self, i);
+    return;
+  }
+
+  struct Batch {
+    std::atomic<int64_t> remaining;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->remaining.store(n, std::memory_order_relaxed);
+
+  // Several ranges per participant so that stealing can still rebalance
+  // after the initial round-robin scatter.
+  const int64_t pieces = std::min<int64_t>(n, 4 * p);
+  for (int64_t k = 0; k < pieces; ++k) {
+    const int64_t lo = n * k / pieces;
+    const int64_t hi = n * (k + 1) / pieces;
+    auto task = [this, batch, &body, lo, hi] {
+      const ThreadPool* saved_pool = tls_pool;
+      const int runner =
+          saved_pool == this ? tls_participant : 0;  // creator thread is 0
+      for (int64_t i = lo; i < hi; ++i) body(runner, i);
+      if (batch->remaining.fetch_sub(hi - lo, std::memory_order_acq_rel) ==
+          hi - lo) {
+        std::lock_guard<std::mutex> lk(wake_mu_);
+        wake_cv_.notify_all();
+      }
+    };
+    Push((self + static_cast<int>(k % p)) % p, std::move(task));
+  }
+  wake_cv_.notify_all();
+
+  // Drain until this batch is complete. The loop may execute tasks from
+  // other batches (nested ParallelFor on sibling work) — that only advances
+  // the global computation.
+  while (batch->remaining.load(std::memory_order_acquire) > 0) {
+    if (RunOneTask(self)) continue;
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    if (batch->remaining.load(std::memory_order_acquire) == 0) break;
+    wake_cv_.wait_for(lk, std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace mad

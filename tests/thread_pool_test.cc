@@ -1,0 +1,110 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace mad {
+namespace {
+
+TEST(ThreadPoolTest, SerialPoolRunsEverythingInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_participants(), 1);
+  std::vector<int64_t> order;
+  pool.ParallelFor(10, [&](int participant, int64_t i) {
+    EXPECT_EQ(participant, 0);
+    order.push_back(i);
+  });
+  std::vector<int64_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);  // pool of 1 preserves iteration order
+}
+
+TEST(ThreadPoolTest, EmptyAndNegativeRangesAreNoOps) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](int, int64_t) { ++calls; });
+  pool.ParallelFor(-5, [&](int, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](int, int64_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParticipantIdsAreInRangeAndExclusive) {
+  ThreadPool pool(4);
+  const int p = pool.num_participants();
+  // A participant runs at most one item at a time: per-participant scratch
+  // must never be touched concurrently. Flag a slot while working in it.
+  std::vector<std::atomic<int>> in_use(p);
+  std::atomic<bool> overlap{false};
+  pool.ParallelFor(5000, [&](int participant, int64_t) {
+    ASSERT_GE(participant, 0);
+    ASSERT_LT(participant, p);
+    if (in_use[participant].fetch_add(1, std::memory_order_acq_rel) != 0) {
+      overlap.store(true, std::memory_order_relaxed);
+    }
+    in_use[participant].fetch_sub(1, std::memory_order_acq_rel);
+  });
+  EXPECT_FALSE(overlap.load());
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(8, [&](int, int64_t) {
+    pool.ParallelFor(100, [&](int, int64_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ThreadPoolTest, SumMatchesSerialUnderContention) {
+  ThreadPool pool(8);
+  constexpr int64_t kN = 200000;
+  const int p = pool.num_participants();
+  std::vector<int64_t> partial(p, 0);
+  pool.ParallelFor(kN, [&](int participant, int64_t i) {
+    partial[participant] += i;  // safe: one item at a time per participant
+  });
+  int64_t sum = std::accumulate(partial.begin(), partial.end(), int64_t{0});
+  EXPECT_EQ(sum, kN * (kN - 1) / 2);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyBatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(round, [&](int, int64_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), round);
+  }
+}
+
+TEST(ThreadPoolTest, OversubscribedPoolStillCorrect) {
+  // More participants than the host has cores (this container often has 1).
+  ThreadPool pool(16);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(1000, [&](int, int64_t i) {
+    total.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 1000 * 999 / 2);
+}
+
+}  // namespace
+}  // namespace mad
