@@ -95,6 +95,15 @@ class JsonSidecarReporter : public benchmark::ConsoleReporter {
       if (threads != run.counters.end()) {
         rec.num_threads = static_cast<int>(threads->second.value);
       }
+      // Latency distribution, for closed-loop request benchmarks that
+      // record per-op samples (bench_server): surfaced via the p50_ns /
+      // p95_ns / p99_ns counters and passed through to the sidecar.
+      auto p50 = run.counters.find("p50_ns");
+      if (p50 != run.counters.end()) rec.p50_ns = p50->second.value;
+      auto p95 = run.counters.find("p95_ns");
+      if (p95 != run.counters.end()) rec.p95_ns = p95->second.value;
+      auto p99 = run.counters.find("p99_ns");
+      if (p99 != run.counters.end()) rec.p99_ns = p99->second.value;
       records_.push_back(std::move(rec));
     }
   }
@@ -124,6 +133,11 @@ class JsonSidecarReporter : public benchmark::ConsoleReporter {
         out << StrPrintf(", \"speedup_vs_1t\": %.3f",
                          base->second / r.wall_ns);
       }
+      if (r.p50_ns >= 0) {
+        out << StrPrintf(
+            ", \"p50_ns\": %.1f, \"p95_ns\": %.1f, \"p99_ns\": %.1f",
+            r.p50_ns, r.p95_ns, r.p99_ns);
+      }
       out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
@@ -136,6 +150,11 @@ class JsonSidecarReporter : public benchmark::ConsoleReporter {
     long long iterations = 0;
     long long bytes = 0;
     int num_threads = 1;
+    /// Per-op latency percentiles; negative = not recorded (field omitted,
+    /// so existing sidecar consumers are unaffected).
+    double p50_ns = -1;
+    double p95_ns = -1;
+    double p99_ns = -1;
   };
 
   /// Strips a trailing "/t<digits>" thread-count component, if present.

@@ -1,0 +1,198 @@
+// Serving-layer benchmarks: closed-loop request latency against an
+// in-process madd (real loopback TCP, real frames) for each verb, a reader
+// fan-out to measure snapshot-pinning contention, and the writer's insert
+// path. Per-op latencies feed the p50/p95/p99 sidecar fields via the
+// "p50_ns"/"p95_ns"/"p99_ns" counters (see JsonSidecarReporter).
+//
+// Run:
+//   ./build/bench/bench_server
+// Results also land in BENCH_bench_server.json.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/state.h"
+#include "util/string_util.h"
+
+namespace mad {
+namespace bench {
+namespace {
+
+using server::Client;
+using server::Json;
+using server::Server;
+using server::ServerState;
+
+/// Program + EDB served by every benchmark: shortest paths over a random
+/// graph, the paper's flagship workload.
+std::string ServedProgram(int nodes, int edges) {
+  std::string text = workloads::kShortestPathProgram;
+  Random rng(42);
+  baselines::Graph g = workloads::RandomGraph(nodes, edges, {1.0, 9.0}, &rng);
+  for (int u = 0; u < g.num_nodes; ++u) {
+    for (const baselines::Graph::Edge& e : g.adj[u]) {
+      text += StrPrintf("arc(%s, %s, %g).\n",
+                        baselines::Graph::NodeName(u).c_str(),
+                        baselines::Graph::NodeName(e.to).c_str(), e.weight);
+    }
+  }
+  return text;
+}
+
+/// One server per benchmark invocation; ephemeral port.
+std::unique_ptr<Server> StartServer(int nodes, int edges) {
+  auto state = ServerState::Load(ServedProgram(nodes, edges), {});
+  if (!state.ok()) {
+    std::fprintf(stderr, "bench_server: load failed: %s\n",
+                 state.status().ToString().c_str());
+    std::abort();
+  }
+  auto srv = Server::Start(std::move(*state), {});
+  if (!srv.ok()) {
+    std::fprintf(stderr, "bench_server: start failed: %s\n",
+                 srv.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*srv);
+}
+
+Client MustConnect(const Server& server) {
+  auto c = Client::Connect("127.0.0.1", server.port());
+  if (!c.ok()) {
+    std::fprintf(stderr, "bench_server: connect failed: %s\n",
+                 c.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*c);
+}
+
+/// Sorted-sample percentile in nanoseconds.
+double Percentile(std::vector<double>* samples, double p) {
+  if (samples->empty()) return 0;
+  std::sort(samples->begin(), samples->end());
+  size_t idx =
+      static_cast<size_t>(p * static_cast<double>(samples->size() - 1));
+  return (*samples)[idx];
+}
+
+void SetLatencyCounters(benchmark::State& state,
+                        std::vector<double>* samples) {
+  state.counters["p50_ns"] = Percentile(samples, 0.50);
+  state.counters["p95_ns"] = Percentile(samples, 0.95);
+  state.counters["p99_ns"] = Percentile(samples, 0.99);
+}
+
+/// Runs `call` once per benchmark iteration, recording per-op latency.
+template <typename Fn>
+void ClosedLoop(benchmark::State& state, Fn&& call) {
+  std::vector<double> samples;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    call();
+    auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::nano>(t1 - t0).count());
+  }
+  SetLatencyCounters(state, &samples);
+}
+
+void BM_ServerPing(benchmark::State& state) {
+  auto server = StartServer(20, 60);
+  Client client = MustConnect(*server);
+  ClosedLoop(state, [&] {
+    auto r = client.Ping();
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r->obj.size());
+  });
+}
+BENCHMARK(BM_ServerPing);
+
+void BM_ServerQueryPoint(benchmark::State& state) {
+  auto server = StartServer(20, 60);
+  Client client = MustConnect(*server);
+  Json req = Json::Object();
+  req.Set("verb", Json::Str("query"));
+  req.Set("pred", Json::Str("s"));
+  Json key = Json::Array();
+  key.Push(Json::Str("n0"));
+  key.Push(Json::Str("n1"));
+  req.Set("key", std::move(key));
+  ClosedLoop(state, [&] {
+    auto r = client.Call(req);
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r->obj.size());
+  });
+}
+BENCHMARK(BM_ServerQueryPoint);
+
+void BM_ServerQueryScan(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  auto server = StartServer(nodes, 3 * nodes);
+  Client client = MustConnect(*server);
+  Json req = Json::Object();
+  req.Set("verb", Json::Str("query"));
+  req.Set("pred", Json::Str("s"));
+  ClosedLoop(state, [&] {
+    auto r = client.Call(req);
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r->obj.size());
+  });
+}
+BENCHMARK(BM_ServerQueryScan)->Arg(10)->Arg(30);
+
+void BM_ServerInsertIdempotent(benchmark::State& state) {
+  // Re-inserting a known fact: the full writer path (parse, Update, epoch
+  // bump, snapshot publish) with a no-op delta-closure — the floor of
+  // insert latency.
+  auto server = StartServer(20, 60);
+  Client client = MustConnect(*server);
+  ClosedLoop(state, [&] {
+    auto r = client.Insert("arc(n0, n1, 1).");
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r->obj.size());
+  });
+}
+BENCHMARK(BM_ServerInsertIdempotent);
+
+void BM_ServerConcurrentReaders(benchmark::State& state) {
+  // Fixed background read pressure; the measured client's latency shows the
+  // cost of snapshot pinning under contention.
+  const int kBackground = static_cast<int>(state.range(0));
+  auto server = StartServer(20, 60);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> background;
+  for (int i = 0; i < kBackground; ++i) {
+    background.emplace_back([&] {
+      Client c = MustConnect(*server);
+      while (!stop.load(std::memory_order_acquire)) {
+        if (!c.Dump().ok()) return;
+      }
+    });
+  }
+  Client client = MustConnect(*server);
+  ClosedLoop(state, [&] {
+    auto r = client.Dump();
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r->obj.size());
+  });
+  stop.store(true, std::memory_order_release);
+  server->RequestShutdown();
+  for (std::thread& t : background) t.join();
+}
+BENCHMARK(BM_ServerConcurrentReaders)->Arg(0)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mad
+
+int main(int argc, char** argv) {
+  return mad::bench::RunBenchmarks(argc, argv);
+}

@@ -1,0 +1,125 @@
+// madc — command-line client for a running madd.
+//
+// Usage:
+//   madc [--host=A] [--port=N] <verb> [args]
+//
+// Verbs:
+//   ping
+//   query PRED [ARG...]      ARG is a key value; `_` leaves the position
+//                            unbound (integer/real/true/false lexemes map to
+//                            the corresponding value kinds, anything else is
+//                            a symbol). Omit all args for a full scan.
+//   insert FACTS|-           FACTS is `.mdl` fact text; `-` reads stdin.
+//   dump
+//   stats
+//   shutdown
+//
+// The raw JSON response prints on stdout; the exit code is 0 iff the server
+// answered ok:true.
+//
+// Examples:
+//   madc --port=7407 query sp a _
+//   echo 'edge(a, b, 3.0).' | madc insert -
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "server/client.h"
+
+using namespace mad;
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: madc [--host=A] [--port=N] "
+               "ping|query|insert|dump|stats|shutdown [args]\n"
+               "       madc query PRED [ARG|_ ...]\n"
+               "       madc insert 'fact(a, 1).' | madc insert -\n";
+  return 2;
+}
+
+/// CLI argument -> JSON request value, mirroring the server's JsonToValue
+/// mapping (integral lexeme -> Int, numeric -> Double, bools, else symbol).
+server::Json ParseArg(const std::string& arg) {
+  if (arg == "true") return server::Json::Bool(true);
+  if (arg == "false") return server::Json::Bool(false);
+  try {
+    size_t used = 0;
+    long long i = std::stoll(arg, &used);
+    if (used == arg.size()) return server::Json::Int(i);
+  } catch (...) {
+  }
+  try {
+    size_t used = 0;
+    double d = std::stod(arg, &used);
+    if (used == arg.size()) return server::Json::Double(d);
+  } catch (...) {
+  }
+  return server::Json::Str(arg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 7407;
+  std::vector<std::string> rest;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--host=", 0) == 0) {
+      host = arg.substr(7);
+    } else if (arg.rfind("--port=", 0) == 0) {
+      port = static_cast<int>(std::stol(arg.substr(7)));
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      return Usage();
+    } else {
+      rest.push_back(arg);
+    }
+  }
+  if (rest.empty()) return Usage();
+  const std::string verb = rest[0];
+
+  server::Json request = server::Json::Object();
+  request.Set("verb", server::Json::Str(verb));
+  if (verb == "query") {
+    if (rest.size() < 2) return Usage();
+    request.Set("pred", server::Json::Str(rest[1]));
+    if (rest.size() > 2) {
+      server::Json key = server::Json::Array();
+      for (size_t i = 2; i < rest.size(); ++i) {
+        key.Push(rest[i] == "_" ? server::Json::Null() : ParseArg(rest[i]));
+      }
+      request.Set("key", std::move(key));
+    }
+  } else if (verb == "insert") {
+    if (rest.size() != 2) return Usage();
+    std::string facts = rest[1];
+    if (facts == "-") {
+      std::stringstream buffer;
+      buffer << std::cin.rdbuf();
+      facts = buffer.str();
+    }
+    request.Set("facts", server::Json::Str(facts));
+  } else if (verb != "ping" && verb != "dump" && verb != "stats" &&
+             verb != "shutdown") {
+    return Usage();
+  } else if (rest.size() != 1) {
+    return Usage();
+  }
+
+  auto client = server::Client::Connect(host, port);
+  if (!client.ok()) {
+    std::cerr << "madc: " << client.status() << "\n";
+    return 1;
+  }
+  auto response = client->Call(request);
+  if (!response.ok()) {
+    std::cerr << "madc: " << response.status() << "\n";
+    return 1;
+  }
+  std::cout << response->Dump() << "\n";
+  return response->At("ok").boolean ? 0 : 1;
+}

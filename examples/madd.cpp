@@ -1,0 +1,142 @@
+// madd — the monotonic-aggregation Datalog daemon.
+//
+// Loads a `.mdl` program, runs the static check-and-certify pipeline,
+// evaluates the initial least model, then serves it over a loopback TCP
+// socket speaking the framed-JSON protocol of src/server/wire.h. One writer
+// applies `insert` batches incrementally (Engine::Update) and publishes
+// immutable snapshots; any number of concurrent readers `query`/`dump`
+// against their pinned snapshot — see DESIGN.md "Serving".
+//
+// Usage:
+//   madd [options] program.mdl
+//
+// Options:
+//   --port=N                            listen port (default 7407; 0 = ephemeral)
+//   --host=A                            bind address (default 127.0.0.1)
+//   --strategy=naive|seminaive|greedy   initial-evaluation strategy
+//   --threads=N                         evaluation threads
+//   --max-iterations=N                  fixpoint round budget
+//
+// On startup madd prints exactly one line to stdout:
+//   madd: serving on <host>:<port>
+// so scripts (and the test harness) can scrape the resolved ephemeral port.
+//
+// Shutdown: SIGINT/SIGTERM or the `shutdown` verb. Either way the listener
+// closes, in-flight requests drain to completion, and long evaluations are
+// interrupted through the shared CancellationToken (their responses degrade
+// to certified under-approximations rather than being dropped).
+
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "server/server.h"
+
+using namespace mad;
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: madd [--port=N] [--host=A] "
+               "[--strategy=naive|seminaive|greedy]\n"
+               "            [--threads=N] [--max-iterations=N] program.mdl\n";
+  return 2;
+}
+
+// Signal handling: the handler only flips lock-free atomics (both
+// async-signal-safe); the main thread polls and runs the actual drain.
+CancellationToken* g_cancel = nullptr;
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) {
+  g_stop = 1;
+  if (g_cancel != nullptr) g_cancel->Cancel();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  server::Server::Options net;
+  net.port = 7407;
+  server::ServerState::LoadOptions load;
+  std::string path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--port=", 0) == 0) {
+      net.port = static_cast<int>(std::stol(value_of("--port=")));
+    } else if (arg.rfind("--host=", 0) == 0) {
+      net.host = value_of("--host=");
+    } else if (arg.rfind("--strategy=", 0) == 0) {
+      std::string s = value_of("--strategy=");
+      if (s == "naive") {
+        load.eval.strategy = core::Strategy::kNaive;
+      } else if (s == "seminaive") {
+        load.eval.strategy = core::Strategy::kSemiNaive;
+      } else if (s == "greedy") {
+        load.eval.strategy = core::Strategy::kGreedy;
+      } else {
+        return Usage();
+      }
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      load.eval.num_threads =
+          static_cast<int>(std::stol(value_of("--threads=")));
+      if (load.eval.num_threads < 1) return Usage();
+    } else if (arg.rfind("--max-iterations=", 0) == 0) {
+      load.eval.max_iterations = std::stoll(value_of("--max-iterations="));
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (path.empty()) return Usage();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "madd: cannot open " << path << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  load.cancellation = std::make_shared<CancellationToken>();
+  g_cancel = load.cancellation.get();
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  auto state = server::ServerState::Load(buffer.str(), load);
+  if (!state.ok()) {
+    std::cerr << "madd: " << state.status() << "\n";
+    return 1;
+  }
+
+  auto srv = server::Server::Start(std::move(*state), net);
+  if (!srv.ok()) {
+    std::cerr << "madd: " << srv.status() << "\n";
+    return 1;
+  }
+  server::Server& server = **srv;
+  std::cout << "madd: serving on " << net.host << ":" << server.port()
+            << std::endl;
+
+  // The accept and connection threads do the work; this thread just waits
+  // for a reason to drain.
+  while (g_stop == 0 && !server.stopping()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cerr << "madd: draining...\n";
+  server.RequestShutdown();
+  server.Wait();
+  std::cerr << "madd: bye (final epoch " << server.state().epoch() << ")\n";
+  return 0;
+}

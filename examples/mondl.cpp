@@ -12,18 +12,27 @@
 //   --no-validate                       skip the static checks
 //   --check                             print the static report and exit
 //   --stats                             print evaluation statistics
+//   --format=text|json                  output format (default text)
 //   --dump=PRED[,PRED...]               print only these relations
+//
+// SIGINT cancels the evaluation cooperatively: for a monotone program the
+// interrupted state is still ⊑-below the least model, so mondl prints the
+// partial database as a *certified under-approximation* instead of dying
+// with nothing (a second SIGINT falls back to default handling).
 //
 // Example:
 //   ./build/examples/mondl --stats examples/shortest_path.mdl
 
+#include <csignal>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/engine.h"
+#include "server/result_json.h"
 
 using namespace mad;
 
@@ -34,9 +43,20 @@ int Usage() {
       << "usage: mondl [--strategy=naive|seminaive|greedy] "
          "[--max-iterations=N]\n"
          "             [--epsilon=E] [--threads=N] [--no-validate] [--check]\n"
-         "             [--stats]\n"
+         "             [--stats] [--format=text|json]\n"
          "             [--dump=PRED[,PRED...]] program.mdl\n";
   return 2;
+}
+
+// Written once before the handler is installed, read from the handler:
+// Cancel() is a lock-free atomic store, so this is async-signal-safe.
+CancellationToken* g_cancel = nullptr;
+
+void OnSigInt(int) {
+  if (g_cancel != nullptr) g_cancel->Cancel();
+  // A second ^C should actually kill a run that is stuck outside the
+  // evaluator's poll points.
+  std::signal(SIGINT, SIG_DFL);
 }
 
 }  // namespace
@@ -45,6 +65,7 @@ int main(int argc, char** argv) {
   core::EvalOptions options;
   bool check_only = false;
   bool print_stats = false;
+  std::string format = "text";
   std::vector<std::string> dump;
   std::string path;
 
@@ -77,6 +98,9 @@ int main(int argc, char** argv) {
       check_only = true;
     } else if (arg == "--stats") {
       print_stats = true;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = value_of("--format=");
+      if (format != "text" && format != "json") return Usage();
     } else if (arg.rfind("--dump=", 0) == 0) {
       std::stringstream ss(value_of("--dump="));
       std::string item;
@@ -114,11 +138,41 @@ int main(int argc, char** argv) {
     return check.overall().ok() ? 0 : 1;
   }
 
+  auto cancel = std::make_shared<CancellationToken>();
+  options.limits.cancellation = cancel;
+  g_cancel = cancel.get();
+  std::signal(SIGINT, OnSigInt);
+
   core::Engine engine(*program, options);
   auto result = engine.Run(datalog::Database());
+  std::signal(SIGINT, SIG_DFL);
   if (!result.ok()) {
     std::cerr << "mondl: " << result.status() << "\n";
     return 1;
+  }
+  if (result->completeness == core::Completeness::kUnderApproximation) {
+    std::cerr << "mondl: evaluation stopped early ("
+              << LimitKindName(result->limit_tripped)
+              << "); printing a certified under-approximation of the least "
+                 "model\n";
+  }
+
+  if (format == "json") {
+    server::Json j = server::ResultToJson(*program, *result);
+    if (!dump.empty()) {
+      server::Json filtered = server::Json::Array();
+      for (server::Json& rel : j.obj["relations"].arr) {
+        for (const std::string& name : dump) {
+          if (rel.StrOr("pred", "") == name) {
+            filtered.Push(std::move(rel));
+            break;
+          }
+        }
+      }
+      j.Set("relations", std::move(filtered));
+    }
+    std::cout << j.Dump() << "\n";
+    return 0;
   }
 
   if (dump.empty()) {

@@ -933,8 +933,9 @@ Status Engine::RunGreedy(const analysis::Component& component,
 // Incremental maintenance (monotone inserts)
 // ---------------------------------------------------------------------------
 
-StatusOr<EvalStats> Engine::Update(
-    EvalResult* result, const std::vector<datalog::Fact>& facts) const {
+StatusOr<EvalStats> Engine::Update(EvalResult* result,
+                                   const std::vector<datalog::Fact>& facts,
+                                   const ResourceLimits& limits) const {
   // Insert-only maintenance is exact only under the update-safety
   // discipline: no negation, fully monotonic aggregates, and no value
   // *increase* on a predicate some rule consumes antitonically (new keys
@@ -943,7 +944,7 @@ StatusOr<EvalStats> Engine::Update(
   MAD_RETURN_IF_ERROR(safety.basic);
 
   EvalStats stats;
-  ResourceGuard guard(options_.limits);
+  ResourceGuard guard(limits);
   Provenance* prov =
       options_.track_provenance ? &result->provenance : nullptr;
 

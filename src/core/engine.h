@@ -178,7 +178,17 @@ class Engine {
   /// `result` is marked Completeness::kUnderApproximation (⊑-below the
   /// post-insert least model) and the stats are returned as OK.
   StatusOr<EvalStats> Update(EvalResult* result,
-                             const std::vector<datalog::Fact>& facts) const;
+                             const std::vector<datalog::Fact>& facts) const {
+    return Update(result, facts, options_.limits);
+  }
+
+  /// Update with per-call resource limits overriding EvalOptions::limits —
+  /// the serving layer threads each insert request's own deadline/budget
+  /// through here so one expensive update degrades (certified) instead of
+  /// stalling the writer behind a global knob.
+  StatusOr<EvalStats> Update(EvalResult* result,
+                             const std::vector<datalog::Fact>& facts,
+                             const ResourceLimits& limits) const;
 
  private:
   /// `max_iterations` is the effective per-component round cap: the global

@@ -259,6 +259,17 @@ class Program {
   }
   void AddFact(Fact f) { facts_.push_back(std::move(f)); }
 
+  /// Moves facts_[first..] out and truncates the inline-fact list back to
+  /// `first` entries. Lets ParseFacts() reuse the parser for transient fact
+  /// payloads (e.g. server inserts) without permanently growing the program.
+  std::vector<Fact> TakeFactsFrom(size_t first) {
+    if (first >= facts_.size()) return {};
+    std::vector<Fact> out(std::make_move_iterator(facts_.begin() + first),
+                          std::make_move_iterator(facts_.end()));
+    facts_.resize(first);
+    return out;
+  }
+
   const std::vector<Rule>& rules() const { return rules_; }
   std::vector<Rule>& mutable_rules() { return rules_; }
   const std::vector<IntegrityConstraint>& constraints() const {

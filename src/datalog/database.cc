@@ -142,10 +142,23 @@ void Relation::ScanRows(const std::vector<int>& bound_pos,
 // Database
 // ---------------------------------------------------------------------------
 
+Relation* Database::Unshared(std::shared_ptr<Relation>* slot) {
+  if ((*slot)->frozen()) {
+    // Shared with a published snapshot: clone before the first write. The
+    // clone starts unfrozen, so COW fires at most once per relation per
+    // snapshot; the snapshot keeps the old (now immutable) version alive.
+    *slot = std::make_shared<Relation>(**slot);
+  }
+  return slot->get();
+}
+
 Relation* Database::GetOrCreate(const PredicateInfo* pred) {
   auto& slot = relations_[pred->id];
-  if (!slot) slot = std::make_unique<Relation>(pred);
-  return slot.get();
+  if (!slot) {
+    slot = std::make_shared<Relation>(pred);
+    return slot.get();
+  }
+  return Unshared(&slot);
 }
 
 const Relation* Database::Find(const PredicateInfo* pred) const {
@@ -155,7 +168,7 @@ const Relation* Database::Find(const PredicateInfo* pred) const {
 
 Relation* Database::FindMutable(const PredicateInfo* pred) {
   auto it = relations_.find(pred->id);
-  return it == relations_.end() ? nullptr : it->second.get();
+  return it == relations_.end() ? nullptr : Unshared(&it->second);
 }
 
 Status Database::AddFact(const Fact& fact) {
@@ -188,7 +201,16 @@ Status Database::AddFacts(const Program& program) {
 Database Database::Clone() const {
   Database out;
   for (const auto& [id, rel] : relations_) {
-    out.relations_[id] = rel->Clone();
+    out.relations_[id] = std::make_shared<Relation>(*rel);
+  }
+  return out;
+}
+
+Database Database::Snapshot() const {
+  Database out;
+  for (const auto& [id, rel] : relations_) {
+    rel->freeze();
+    out.relations_[id] = rel;
   }
   return out;
 }

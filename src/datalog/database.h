@@ -43,16 +43,30 @@ class Relation {
   explicit Relation(const PredicateInfo* pred) : pred_(pred) {}
 
   /// Deep copy; the clone starts with the source's rows and indexes but
-  /// fresh synchronization state. Must not race with writers.
+  /// fresh synchronization state (and is never frozen — see freeze()). Row
+  /// storage must not race with writers, but concurrent *readers* of the
+  /// source are fine: the secondary indexes (the only state mutated through
+  /// const access) are copied under the source's index lock.
   Relation(const Relation& other)
       : pred_(other.pred_),
         keys_(other.keys_),
         costs_(other.costs_),
         rows_(other.rows_),
-        indexes_(other.indexes_),
         index_reuses_(other.index_reuses_.load(std::memory_order_relaxed)),
-        approx_bytes_(other.approx_bytes_.load(std::memory_order_relaxed)) {}
+        approx_bytes_(other.approx_bytes_.load(std::memory_order_relaxed)) {
+    std::shared_lock<std::shared_mutex> lk(other.index_mu_);
+    indexes_ = other.indexes_;
+  }
   Relation& operator=(const Relation&) = delete;
+
+  /// Copy-on-write support for Database::Snapshot. A frozen relation is
+  /// shared with at least one published snapshot: the next mutable access
+  /// through the owning Database clones it instead of writing in place.
+  /// The flag is only ever touched by the single writer thread (Snapshot,
+  /// GetOrCreate, FindMutable all run on the writer), so it needs no
+  /// synchronization; readers of a snapshot never consult it.
+  void freeze() { cow_frozen_ = true; }
+  bool frozen() const { return cow_frozen_; }
 
   const PredicateInfo* pred() const { return pred_; }
 
@@ -68,11 +82,6 @@ class Relation {
   /// non-null it receives the stable row id of the (new or existing) key.
   MergeResult Merge(const Tuple& key, const Value& cost,
                     uint32_t* row = nullptr);
-
-  /// Deep copy (benchmarks reuse one EDB across evaluation strategies).
-  std::unique_ptr<Relation> Clone() const {
-    return std::make_unique<Relation>(*this);
-  }
 
   /// True iff `key` is explicitly present (ignores default values).
   bool Contains(const Tuple& key) const { return rows_.count(key) > 0; }
@@ -154,6 +163,7 @@ class Relation {
   std::vector<Tuple> keys_;
   std::vector<Value> costs_;
   std::unordered_map<Tuple, uint32_t, TupleHash, TupleEq> rows_;
+  bool cow_frozen_ = false;  ///< writer-thread-only; see freeze()
   mutable std::shared_mutex index_mu_;  ///< guards indexes_ map + extension
   mutable std::map<std::vector<int>, Index> indexes_;
   mutable std::atomic<int64_t> index_reuses_{0};
@@ -163,20 +173,33 @@ class Relation {
 /// A set of relations — the extension of an LDB, a CDB, or both. This is the
 /// "aggregate Herbrand interpretation" (Definition 3.3) restricted to its
 /// finite core.
+///
+/// Relations are held by shared_ptr so a database can be *snapshotted* in
+/// O(#relations): Snapshot() shares every relation and freezes it; the next
+/// mutable access through this database clones the frozen relation
+/// (copy-on-write), so published snapshots are immutable while the writer
+/// keeps evolving its working set. This is what gives the serving layer
+/// snapshot isolation for free: T_P is monotone, inserts only move the model
+/// up in ⊑, and readers pin whichever immutable snapshot was current when
+/// their request arrived (DESIGN.md "Serving").
 class Database {
  public:
   Database() = default;
   Database(Database&&) = default;
   Database& operator=(Database&&) = default;
 
-  /// The relation for `pred`, creating an empty one on first touch. NOT
-  /// safe to call concurrently — the parallel evaluator pre-creates every
-  /// head relation before fanning out and uses FindMutable from workers.
+  /// The relation for `pred`, creating an empty one on first touch (and
+  /// un-freezing a snapshot-shared one via copy-on-write). NOT safe to call
+  /// concurrently — the parallel evaluator pre-creates every head relation
+  /// before fanning out and uses FindMutable from workers.
   Relation* GetOrCreate(const PredicateInfo* pred);
   /// Read access; returns nullptr if the predicate has no relation yet.
   const Relation* Find(const PredicateInfo* pred) const;
   /// Write access without the inserting side effect of GetOrCreate, so
-  /// concurrent merge shards never mutate the relation map itself.
+  /// concurrent merge shards never mutate the relation map itself. Applies
+  /// the same copy-on-write unsharing as GetOrCreate; safe from concurrent
+  /// merge shards because shards partition predicates (each map slot has
+  /// exactly one writer) and slot replacement never rebalances the map.
   Relation* FindMutable(const PredicateInfo* pred);
 
   /// Inserts a fact (normalizing the cost into the predicate's domain).
@@ -196,8 +219,16 @@ class Database {
   /// Deep copy of every relation.
   Database Clone() const;
 
+  /// O(#relations) copy that *shares* every relation with this database and
+  /// freezes them: the snapshot is immutable from then on (reads only, which
+  /// Relation supports concurrently), while the next write to a shared
+  /// relation through *this* database copy-on-writes it. Must be called
+  /// from the (single) writer thread; the returned snapshot may be read
+  /// from any number of threads.
+  Database Snapshot() const;
+
   /// All relations (iteration order: predicate id).
-  const std::map<int, std::unique_ptr<Relation>>& relations() const {
+  const std::map<int, std::shared_ptr<Relation>>& relations() const {
     return relations_;
   }
 
@@ -205,7 +236,13 @@ class Database {
   std::string ToString() const;
 
  private:
-  std::map<int, std::unique_ptr<Relation>> relations_;
+  /// Slot access with copy-on-write: clones the relation if it is frozen
+  /// (shared with a snapshot). Row ids are dense and insertion-ordered, so
+  /// they survive the clone — deltas recorded against the old version stay
+  /// valid against the new one.
+  Relation* Unshared(std::shared_ptr<Relation>* slot);
+
+  std::map<int, std::shared_ptr<Relation>> relations_;
 };
 
 }  // namespace datalog

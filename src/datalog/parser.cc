@@ -853,5 +853,16 @@ Status ParseFactsInto(Program* program, std::string_view facts_text) {
   return parser.ParseFactsOnly();
 }
 
+StatusOr<std::vector<Fact>> ParseFacts(Program* program,
+                                       std::string_view facts_text) {
+  const size_t before = program->facts().size();
+  Status st = ParseFactsInto(program, facts_text);
+  // Drain whatever was appended even on error, so a half-parsed payload
+  // never leaks facts into the program.
+  std::vector<Fact> out = program->TakeFactsFrom(before);
+  MAD_RETURN_IF_ERROR(st);
+  return out;
+}
+
 }  // namespace datalog
 }  // namespace mad

@@ -45,6 +45,14 @@ Status ParseRuleInto(Program* program, std::string_view rule_text);
 /// Parses facts only (e.g. a generated EDB listing) into `program`.
 Status ParseFactsInto(Program* program, std::string_view facts_text);
 
+/// Parses facts against `program`'s declarations and returns them *without*
+/// leaving them in Program::facts() — the transient-payload variant used by
+/// the serving layer for insert requests. Facts must reference predicates
+/// the program already declares (implicit cost-free declarations still
+/// happen for unknown names, matching ParseFactsInto).
+StatusOr<std::vector<Fact>> ParseFacts(Program* program,
+                                       std::string_view facts_text);
+
 }  // namespace datalog
 }  // namespace mad
 

@@ -1,0 +1,105 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "server/wire.h"
+#include "util/string_util.h"
+
+namespace mad {
+namespace server {
+
+StatusOr<Client> Client::Connect(const std::string& host, int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrPrintf("socket: %s", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        StrPrintf("not an IPv4 address: '%s'", host.c_str()));
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    Status st =
+        Status::Internal(StrPrintf("connect %s:%d: %s", host.c_str(), port,
+                                   std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  Client c;
+  c.fd_ = fd;
+  return c;
+}
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<Json> Client::Call(const Json& request) {
+  if (fd_ < 0) return Status::InvalidArgument("client is not connected");
+  MAD_RETURN_IF_ERROR(WriteFrame(fd_, request.Dump()));
+  std::string payload;
+  MAD_ASSIGN_OR_RETURN(bool got, ReadFrame(fd_, &payload));
+  if (!got) return Status::Internal("server closed before responding");
+  std::optional<Json> response = ParseJson(payload);
+  if (!response.has_value()) {
+    return Status::Internal("response is not valid JSON");
+  }
+  return *std::move(response);
+}
+
+namespace {
+
+Json VerbRequest(const char* verb) {
+  Json j = Json::Object();
+  j.Set("verb", Json::Str(verb));
+  return j;
+}
+
+}  // namespace
+
+StatusOr<Json> Client::Ping() { return Call(VerbRequest("ping")); }
+
+StatusOr<Json> Client::Insert(const std::string& facts_text) {
+  Json j = VerbRequest("insert");
+  j.Set("facts", Json::Str(facts_text));
+  return Call(j);
+}
+
+StatusOr<Json> Client::Dump() { return Call(VerbRequest("dump")); }
+
+StatusOr<Json> Client::Stats() { return Call(VerbRequest("stats")); }
+
+StatusOr<Json> Client::Shutdown() { return Call(VerbRequest("shutdown")); }
+
+}  // namespace server
+}  // namespace mad

@@ -1,0 +1,52 @@
+#ifndef MAD_SERVER_CLIENT_H_
+#define MAD_SERVER_CLIENT_H_
+
+// Client side of the madd protocol: one blocking connection, synchronous
+// request/response. This is all madc, the tests, and bench_server need; a
+// caller that wants pipelining can open more clients — the server gives
+// every connection its own thread anyway.
+
+#include <memory>
+#include <string>
+
+#include "server/json.h"
+#include "util/status.h"
+
+namespace mad {
+namespace server {
+
+class Client {
+ public:
+  static StatusOr<Client> Connect(const std::string& host, int port);
+
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request frame and reads the response frame. Transport or
+  /// framing failures are an error Status; application-level failures come
+  /// back as a parsed response with ok:false.
+  StatusOr<Json> Call(const Json& request);
+
+  /// Convenience wrappers over Call.
+  StatusOr<Json> Ping();
+  StatusOr<Json> Insert(const std::string& facts_text);
+  StatusOr<Json> Dump();
+  StatusOr<Json> Stats();
+  StatusOr<Json> Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace server
+}  // namespace mad
+
+#endif  // MAD_SERVER_CLIENT_H_

@@ -1,0 +1,99 @@
+#include "server/result_json.h"
+
+#include <string>
+
+namespace mad {
+namespace server {
+
+using datalog::Relation;
+using datalog::Tuple;
+using datalog::Value;
+
+Json ValueToJson(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kNone:
+      return Json::Null();
+    case Value::Kind::kSymbol:
+      return Json::Str(std::string(v.symbol_name()));
+    case Value::Kind::kInt:
+      return Json::Int(v.int_value());
+    case Value::Kind::kDouble:
+      return Json::Double(v.double_value());
+    case Value::Kind::kBool:
+      return Json::Bool(v.bool_value());
+    case Value::Kind::kSet: {
+      Json arr = Json::Array();
+      for (const Value& e : v.set_value()) arr.Push(ValueToJson(e));
+      return arr;
+    }
+  }
+  return Json::Null();
+}
+
+std::optional<Value> JsonToValue(const Json& j) {
+  switch (j.kind) {
+    case Json::Kind::kBool:
+      return Value::Bool(j.boolean);
+    case Json::Kind::kInt:
+      return Value::Int(j.integer);
+    case Json::Kind::kDouble:
+      return Value::Real(j.number);
+    case Json::Kind::kString:
+      return Value::Symbol(j.str);
+    default:
+      return std::nullopt;
+  }
+}
+
+Json EvalStatsToJson(const core::EvalStats& stats) {
+  Json j = Json::Object();
+  j.Set("iterations", Json::Int(stats.iterations));
+  j.Set("rule_evaluations", Json::Int(stats.rule_evaluations));
+  j.Set("derivations", Json::Int(stats.derivations));
+  j.Set("merges_new", Json::Int(stats.merges_new));
+  j.Set("merges_increased", Json::Int(stats.merges_increased));
+  j.Set("subgoal_evals", Json::Int(stats.subgoal_evals));
+  j.Set("index_reuses", Json::Int(stats.index_reuses));
+  j.Set("greedy_violations", Json::Int(stats.greedy_violations));
+  j.Set("reached_fixpoint", Json::Bool(stats.reached_fixpoint));
+  j.Set("limit_tripped", Json::Str(LimitKindName(stats.limit_tripped)));
+  j.Set("wall_seconds", Json::Double(stats.wall_seconds));
+  return j;
+}
+
+Json RelationToJson(const Relation& rel) {
+  Json j = Json::Object();
+  j.Set("pred", Json::Str(rel.pred()->name));
+  j.Set("arity", Json::Int(rel.pred()->arity));
+  j.Set("has_cost", Json::Bool(rel.pred()->has_cost));
+  Json rows = Json::Array();
+  rel.ForEach([&](const Tuple& key, const Value& cost) {
+    Json row = Json::Object();
+    Json key_arr = Json::Array();
+    for (const Value& v : key) key_arr.Push(ValueToJson(v));
+    row.Set("key", std::move(key_arr));
+    if (rel.pred()->has_cost) row.Set("cost", ValueToJson(cost));
+    rows.Push(std::move(row));
+  });
+  j.Set("rows", std::move(rows));
+  return j;
+}
+
+Json ResultToJson(const datalog::Program& program,
+                  const core::EvalResult& result) {
+  Json j = Json::Object();
+  j.Set("completeness", Json::Str(core::CompletenessName(result.completeness)));
+  j.Set("limit_tripped", Json::Str(LimitKindName(result.limit_tripped)));
+  j.Set("tripped_component", Json::Int(result.tripped_component));
+  j.Set("stats", EvalStatsToJson(result.stats));
+  Json relations = Json::Array();
+  for (const auto& [_, rel] : result.db.relations()) {
+    relations.Push(RelationToJson(*rel));
+  }
+  j.Set("relations", std::move(relations));
+  (void)program;
+  return j;
+}
+
+}  // namespace server
+}  // namespace mad

@@ -1,0 +1,45 @@
+#ifndef MAD_SERVER_RESULT_JSON_H_
+#define MAD_SERVER_RESULT_JSON_H_
+
+// JSON views of evaluation artifacts: datalog values, EvalStats, relations,
+// and whole evaluation results. Shared by `mondl --format=json` and the madd
+// wire protocol so the two surfaces cannot drift apart; the schema is locked
+// by tests decoding with the independent tests/json_lite.h reader.
+
+#include <optional>
+#include <string>
+
+#include "core/engine.h"
+#include "datalog/ast.h"
+#include "datalog/database.h"
+#include "datalog/value.h"
+#include "server/json.h"
+
+namespace mad {
+namespace server {
+
+/// Value -> JSON: symbols as strings, ints as JSON integers, reals as JSON
+/// numbers, bools as bools, sets as (sorted) arrays.
+Json ValueToJson(const datalog::Value& v);
+
+/// JSON -> Value, the request direction: strings intern as symbols, integral
+/// numbers become Value::Int, other numbers Value::Real, bools Value::Bool.
+/// Arrays/objects/null are not valid key components -> std::nullopt.
+std::optional<datalog::Value> JsonToValue(const Json& j);
+
+/// EvalStats as a flat object (field names match EvalStats members).
+Json EvalStatsToJson(const core::EvalStats& stats);
+
+/// One relation as {"pred": ..., "arity": N, "has_cost": b, "rows":
+/// [{"key": [...], "cost": ...}, ...]} with rows in stable row-id order.
+Json RelationToJson(const datalog::Relation& rel);
+
+/// The whole `mondl --format=json` document: program name, completeness,
+/// tripped limit, stats, and every relation of the model.
+Json ResultToJson(const datalog::Program& program,
+                  const core::EvalResult& result);
+
+}  // namespace server
+}  // namespace mad
+
+#endif  // MAD_SERVER_RESULT_JSON_H_

@@ -1,0 +1,170 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "server/wire.h"
+#include "util/string_util.h"
+
+namespace mad {
+namespace server {
+
+namespace {
+
+Status SocketError(const char* op) {
+  return Status::Internal(StrPrintf("%s: %s", op, std::strerror(errno)));
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Server>> Server::Start(
+    std::unique_ptr<ServerState> state, Options options) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return SocketError("socket");
+
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        StrPrintf("not an IPv4 address: '%s'", options.host.c_str()));
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = SocketError("bind");
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 128) < 0) {
+    Status st = SocketError("listen");
+    ::close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    Status st = SocketError("getsockname");
+    ::close(fd);
+    return st;
+  }
+
+  auto server = std::unique_ptr<Server>(new Server());
+  server->state_ = std::move(state);
+  server->listen_fd_ = fd;
+  server->port_ = ntohs(addr.sin_port);
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+Server::~Server() {
+  RequestShutdown();
+  Wait();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void Server::RequestShutdown() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  // Unblocks the accept() below (Linux: blocked accept returns EINVAL after
+  // shutdown on the listening socket).
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  // Half-close every live connection: an idle ReadFrame wakes with clean
+  // EOF, while a thread mid-response still writes its answer out.
+  std::lock_guard<std::mutex> lk(conns_mu_);
+  for (Connection& c : conns_) ::shutdown(c.fd, SHUT_RD);
+}
+
+void Server::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  Reap(/*all=*/true);
+}
+
+void Server::Reap(bool all) {
+  // Joining with conns_mu_ held would deadlock against a connection thread
+  // blocked on the same mutex inside RequestShutdown's half-close sweep
+  // (the shutdown-verb path), so splice candidates out under the lock and
+  // join them after releasing it.
+  std::list<Connection> dead;
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      auto next = std::next(it);
+      if (all || it->finished.load(std::memory_order_acquire)) {
+        dead.splice(dead.end(), conns_, it);
+      }
+      it = next;
+    }
+  }
+  for (Connection& c : dead) {
+    // A drain can race the sweep that half-closes live fds; re-issuing the
+    // (idempotent) half-close guarantees this thread's blocking read wakes
+    // even if the sweep ran before the connection was listed.
+    if (all) ::shutdown(c.fd, SHUT_RD);
+    if (c.thread.joinable()) c.thread.join();
+    ::close(c.fd);
+  }
+}
+
+void Server::AcceptLoop() {
+  while (!stopping()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (or unrecoverable) — start draining
+    }
+    if (stopping()) {
+      ::close(fd);
+      break;
+    }
+    Reap(/*all=*/false);
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    conns_.emplace_back();
+    Connection* conn = &conns_.back();
+    conn->fd = fd;
+    conn->thread = std::thread([this, conn] { ServeConnection(conn); });
+    // A shutdown racing this accept may have missed the new fd in its
+    // half-close sweep; repair under the same lock that sweep takes.
+    if (stopping()) ::shutdown(fd, SHUT_RD);
+  }
+}
+
+void Server::ServeConnection(Connection* conn) {
+  std::string payload;
+  for (;;) {
+    StatusOr<bool> got = ReadFrame(conn->fd, &payload);
+    if (!got.ok() || !*got) break;  // EOF, half-close, or malformed framing
+
+    Json response;
+    std::optional<Json> request = ParseJson(payload);
+    if (!request.has_value()) {
+      response = Json::Object();
+      response.Set("ok", Json::Bool(false));
+      response.Set("verb", Json::Str(""));
+      Json err = Json::Object();
+      err.Set("code", Json::Str("InvalidArgument"));
+      err.Set("message", Json::Str("request is not valid JSON"));
+      response.Set("error", std::move(err));
+    } else {
+      response = state_->Handle(*request);
+    }
+
+    const bool shutdown_verb =
+        request.has_value() && request->StrOr("verb", "") == "shutdown";
+    if (!WriteFrame(conn->fd, response.Dump()).ok()) break;
+    if (shutdown_verb) {
+      RequestShutdown();
+      break;
+    }
+  }
+  conn->finished.store(true, std::memory_order_release);
+}
+
+}  // namespace server
+}  // namespace mad

@@ -1,0 +1,91 @@
+#ifndef MAD_SERVER_SERVER_H_
+#define MAD_SERVER_SERVER_H_
+
+// The madd transport: a loopback TCP listener speaking the wire.h framed
+// JSON protocol, one thread per connection, graceful drain on shutdown.
+//
+// Threading model: an accept thread hands each connection to its own
+// serving thread; all of them call ServerState::Handle, which is the layer
+// that actually provides snapshot isolation (reads pin, the one insert lane
+// serializes internally). Shutdown — whether from the `shutdown` verb, a
+// SIGINT-driven RequestShutdown, or the destructor — closes the listener,
+// then half-closes (SHUT_RD) every live connection: blocked reads wake with
+// a clean EOF while responses already being computed still write out, so no
+// accepted request is ever dropped mid-flight.
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "server/state.h"
+#include "util/status.h"
+
+namespace mad {
+namespace server {
+
+class Server {
+ public:
+  struct Options {
+    /// Loopback only by design: madd is a serving layer, not an internet
+    /// daemon — no TLS, no auth, no reason to listen wider.
+    std::string host = "127.0.0.1";
+    /// 0 picks an ephemeral port (read it back via port()).
+    int port = 0;
+  };
+
+  /// Binds, listens, and starts the accept thread. Takes ownership of the
+  /// loaded state.
+  static StatusOr<std::unique_ptr<Server>> Start(
+      std::unique_ptr<ServerState> state, Options options);
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (resolves ephemeral binds).
+  int port() const { return port_; }
+  ServerState& state() { return *state_; }
+
+  /// Begins the graceful drain described above. Idempotent; safe to call
+  /// from any thread, including a connection thread and a signal-watcher.
+  void RequestShutdown();
+
+  /// True once RequestShutdown has been called (by any path).
+  bool stopping() const { return stopping_.load(std::memory_order_acquire); }
+
+  /// Blocks until the accept thread and every connection thread have
+  /// finished. Call RequestShutdown first (or rely on the `shutdown` verb);
+  /// must not be called from a connection thread.
+  void Wait();
+
+ private:
+  Server() = default;
+
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> finished{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* conn);
+  /// Joins and closes finished connections (accept thread + Wait).
+  void Reap(bool all);
+
+  std::unique_ptr<ServerState> state_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conns_mu_;
+  std::list<Connection> conns_;
+};
+
+}  // namespace server
+}  // namespace mad
+
+#endif  // MAD_SERVER_SERVER_H_

@@ -1,0 +1,360 @@
+#include "server/state.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/admissibility.h"
+#include "datalog/parser.h"
+#include "server/result_json.h"
+#include "util/string_util.h"
+
+namespace mad {
+namespace server {
+
+using datalog::PredicateInfo;
+using datalog::Relation;
+using datalog::Tuple;
+using datalog::Value;
+
+// ---------------------------------------------------------------------------
+// LatencyRecorder
+// ---------------------------------------------------------------------------
+
+void LatencyRecorder::Record(const std::string& verb, double micros) {
+  std::lock_guard<std::mutex> lk(mu_);
+  PerVerb& pv = verbs_[verb];
+  ++pv.count;
+  pv.total_us += micros;
+  if (pv.recent.size() < kReservoir) {
+    pv.recent.push_back(micros);
+  } else {
+    pv.recent[pv.next] = micros;
+    pv.next = (pv.next + 1) % kReservoir;
+  }
+}
+
+namespace {
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted->size() - 1));
+  return (*sorted)[idx];
+}
+
+}  // namespace
+
+Json LatencyRecorder::ToJson() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Json out = Json::Object();
+  for (const auto& [verb, pv] : verbs_) {
+    std::vector<double> samples = pv.recent;
+    std::sort(samples.begin(), samples.end());
+    Json v = Json::Object();
+    v.Set("count", Json::Int(pv.count));
+    v.Set("mean_us",
+          Json::Double(pv.count > 0 ? pv.total_us / static_cast<double>(pv.count)
+                                    : 0));
+    v.Set("p50_us", Json::Double(Percentile(&samples, 0.50)));
+    v.Set("p95_us", Json::Double(Percentile(&samples, 0.95)));
+    v.Set("p99_us", Json::Double(Percentile(&samples, 0.99)));
+    out.Set(verb, std::move(v));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ServerState
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Json ErrorResponse(const std::string& verb, const Status& status) {
+  Json j = Json::Object();
+  j.Set("ok", Json::Bool(false));
+  j.Set("verb", Json::Str(verb));
+  Json err = Json::Object();
+  err.Set("code", Json::Str(StatusCodeName(status.code())));
+  err.Set("message", Json::Str(status.message()));
+  j.Set("error", std::move(err));
+  return j;
+}
+
+Json OkResponse(const std::string& verb, int64_t epoch) {
+  Json j = Json::Object();
+  j.Set("ok", Json::Bool(true));
+  j.Set("verb", Json::Str(verb));
+  j.Set("epoch", Json::Int(epoch));
+  return j;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ServerState>> ServerState::Load(
+    std::string_view program_text, LoadOptions options) {
+  MAD_ASSIGN_OR_RETURN(datalog::Program parsed,
+                       datalog::ParseProgram(program_text));
+  // The unique_ptr dance: Engine keeps a Program*, so give the program a
+  // stable address before constructing the engine.
+  auto state = std::unique_ptr<ServerState>(new ServerState());
+  state->program_ = std::make_unique<datalog::Program>(std::move(parsed));
+  state->cancellation_ = options.cancellation;
+  if (state->cancellation_ != nullptr &&
+      options.eval.limits.cancellation == nullptr) {
+    options.eval.limits.cancellation = state->cancellation_;
+  }
+  state->engine_ =
+      std::make_unique<core::Engine>(*state->program_, options.eval);
+
+  // The check-and-certify pipeline runs inside Run (validate=true): a
+  // rejected program returns an error here and never serves.
+  MAD_ASSIGN_OR_RETURN(state->work_, state->engine_->Run(datalog::Database()));
+
+  for (const auto& pred : state->program_->predicates()) {
+    state->preds_.emplace(pred->name, pred.get());
+  }
+  state->updates_safe_ =
+      analysis::AnalyzeUpdateSafety(*state->program_).basic.ok();
+  state->start_ = std::chrono::steady_clock::now();
+  state->Publish();
+  return state;
+}
+
+void ServerState::Publish() {
+  auto snap = std::make_shared<ServingSnapshot>();
+  snap->epoch = epoch_;
+  snap->db = work_.db.Snapshot();
+  snap->stats = work_.stats;
+  snap->completeness = work_.completeness;
+  snap->limit_tripped = work_.limit_tripped;
+  std::lock_guard<std::mutex> lk(snap_mu_);
+  snapshot_ = std::move(snap);
+}
+
+std::shared_ptr<const ServingSnapshot> ServerState::Pin() const {
+  std::lock_guard<std::mutex> lk(snap_mu_);
+  return snapshot_;
+}
+
+int64_t ServerState::epoch() const { return Pin()->epoch; }
+
+ResourceLimits ServerState::RequestResourceLimits(const Json& request) const {
+  ResourceLimits limits;
+  const Json& l = request.At("limits");
+  int64_t deadline_ms = l.IntOr("deadline_ms", 0);
+  if (deadline_ms > 0) {
+    limits.deadline = std::chrono::milliseconds(deadline_ms);
+  }
+  int64_t max_tuples = l.IntOr("max_tuples", 0);
+  if (max_tuples > 0) limits.max_derived_tuples = max_tuples;
+  limits.cancellation = cancellation_;
+  return limits;
+}
+
+Json ServerState::Handle(const Json& request) {
+  const std::string verb = request.StrOr("verb", "");
+  const auto t0 = std::chrono::steady_clock::now();
+  Json response;
+  if (verb == "ping") {
+    response = HandlePing();
+  } else if (verb == "query") {
+    response = HandleQuery(request);
+  } else if (verb == "insert") {
+    response = HandleInsert(request);
+  } else if (verb == "dump") {
+    response = HandleDump();
+  } else if (verb == "stats") {
+    response = HandleStats();
+  } else if (verb == "shutdown") {
+    // Transport-level: the server loop sees this verb and starts draining;
+    // the response acknowledges the request against the final epoch.
+    response = OkResponse("shutdown", epoch());
+  } else {
+    response = ErrorResponse(verb, Status::InvalidArgument(StrPrintf(
+                                       "unknown verb '%s'", verb.c_str())));
+  }
+  const double us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  latency_.Record(verb.empty() ? "<none>" : verb, us);
+  return response;
+}
+
+Json ServerState::HandlePing() {
+  auto snap = Pin();
+  Json j = OkResponse("ping", snap->epoch);
+  j.Set("completeness", Json::Str(core::CompletenessName(snap->completeness)));
+  return j;
+}
+
+Json ServerState::HandleQuery(const Json& request) {
+  auto snap = Pin();
+  const std::string pred_name = request.StrOr("pred", "");
+  auto it = preds_.find(pred_name);
+  if (it == preds_.end()) {
+    return ErrorResponse("query", Status::NotFound(StrPrintf(
+                                      "no predicate '%s'", pred_name.c_str())));
+  }
+  const PredicateInfo* pred = it->second;
+
+  // "key": array of key_arity entries, null = unbound. Missing key = full
+  // scan.
+  std::vector<int> bound_pos;
+  Tuple bound_vals;
+  const Json& key = request.At("key");
+  if (key.is_array()) {
+    if (static_cast<int>(key.arr.size()) != pred->key_arity()) {
+      return ErrorResponse(
+          "query", Status::InvalidArgument(StrPrintf(
+                       "'%s' takes %d key arguments, got %zu",
+                       pred_name.c_str(), pred->key_arity(), key.arr.size())));
+    }
+    for (size_t i = 0; i < key.arr.size(); ++i) {
+      if (key.arr[i].is_null()) continue;
+      std::optional<Value> v = JsonToValue(key.arr[i]);
+      if (!v.has_value()) {
+        return ErrorResponse("query",
+                             Status::InvalidArgument(StrPrintf(
+                                 "key position %zu is not a ground value", i)));
+      }
+      bound_pos.push_back(static_cast<int>(i));
+      bound_vals.push_back(*v);
+    }
+  } else if (!key.is_null()) {
+    return ErrorResponse(
+        "query", Status::InvalidArgument("'key' must be an array or absent"));
+  }
+
+  ResourceGuard guard(RequestResourceLimits(request));
+  const int64_t max_rows = request.At("limits").IntOr("max_rows", 0);
+
+  Json rows = Json::Array();
+  int64_t matched = 0;
+  bool truncated = false;
+  const Relation* rel = snap->db.Find(pred);
+  if (rel != nullptr) {
+    rel->Scan(bound_pos, bound_vals, [&](const Tuple& k, const Value& cost) {
+      ++matched;
+      if (truncated) return;
+      if (max_rows > 0 && static_cast<int64_t>(rows.arr.size()) >= max_rows) {
+        truncated = true;
+        return;
+      }
+      if (guard.active() && (matched & 127) == 0 &&
+          guard.Poll() != LimitKind::kNone) {
+        truncated = true;
+        return;
+      }
+      Json row = Json::Object();
+      Json key_arr = Json::Array();
+      for (const Value& v : k) key_arr.Push(ValueToJson(v));
+      row.Set("key", std::move(key_arr));
+      if (pred->has_cost) row.Set("cost", ValueToJson(cost));
+      rows.Push(std::move(row));
+    });
+  }
+  // Default-value cost predicates: a fully-bound miss still has a defined
+  // answer — the lattice bottom (Section 2.3.2).
+  bool defaulted = false;
+  if (rows.arr.empty() && pred->has_default &&
+      static_cast<int>(bound_pos.size()) == pred->key_arity()) {
+    Json row = Json::Object();
+    Json key_arr = Json::Array();
+    for (const Value& v : bound_vals) key_arr.Push(ValueToJson(v));
+    row.Set("key", std::move(key_arr));
+    row.Set("cost", ValueToJson(pred->domain->Bottom()));
+    rows.Push(std::move(row));
+    defaulted = true;
+  }
+
+  Json j = OkResponse("query", snap->epoch);
+  j.Set("pred", Json::Str(pred_name));
+  j.Set("row_count", Json::Int(static_cast<int64_t>(rows.arr.size())));
+  j.Set("rows", std::move(rows));
+  // A truncated enumeration is still certified: every returned row is in the
+  // snapshot's least model, which is itself ⊑ the live least model.
+  j.Set("complete", Json::Bool(!truncated));
+  if (defaulted) j.Set("defaulted", Json::Bool(true));
+  j.Set("completeness", Json::Str(core::CompletenessName(snap->completeness)));
+  if (guard.tripped() != LimitKind::kNone) {
+    j.Set("limit_tripped", Json::Str(LimitKindName(guard.tripped())));
+  }
+  return j;
+}
+
+Json ServerState::HandleInsert(const Json& request) {
+  const Json& facts_field = request.At("facts");
+  if (!facts_field.is_string()) {
+    return ErrorResponse("insert", Status::InvalidArgument(
+                                       "'facts' must be a string of fact "
+                                       "clauses in .mdl syntax"));
+  }
+  if (!updates_safe_) {
+    return ErrorResponse(
+        "insert",
+        Status::InvalidArgument(
+            "program is not update-safe (negation or pseudo-monotonic "
+            "aggregates): incremental inserts are disabled"));
+  }
+
+  std::lock_guard<std::mutex> lk(writer_mu_);
+  if (poisoned_) {
+    return ErrorResponse(
+        "insert", Status::Internal(
+                      "a previous insert failed mid-merge; the working set "
+                      "is no longer a certified model, restart the server"));
+  }
+  // Parsing may implicitly declare unknown predicates on the Program, but
+  // readers resolve names against the load-time frozen map, so this is
+  // writer-private state.
+  auto facts = datalog::ParseFacts(program_.get(), facts_field.str);
+  if (!facts.ok()) return ErrorResponse("insert", facts.status());
+
+  auto stats =
+      engine_->Update(&work_, *facts, RequestResourceLimits(request));
+  if (!stats.ok()) {
+    // Update merges facts before closing over them, so a failure here can
+    // leave the working set under-closed. Refuse further writes; reads keep
+    // serving the last published (still sound) snapshot.
+    poisoned_ = true;
+    return ErrorResponse("insert", stats.status());
+  }
+  ++epoch_;
+  Publish();
+
+  Json j = OkResponse("insert", epoch_);
+  j.Set("facts_parsed", Json::Int(static_cast<int64_t>(facts->size())));
+  j.Set("stats", EvalStatsToJson(*stats));
+  j.Set("completeness",
+        Json::Str(core::CompletenessName(work_.completeness)));
+  return j;
+}
+
+Json ServerState::HandleDump() {
+  auto snap = Pin();
+  Json j = OkResponse("dump", snap->epoch);
+  j.Set("model", Json::Str(snap->db.ToString()));
+  j.Set("completeness", Json::Str(core::CompletenessName(snap->completeness)));
+  return j;
+}
+
+Json ServerState::HandleStats() {
+  auto snap = Pin();
+  Json j = OkResponse("stats", snap->epoch);
+  j.Set("completeness", Json::Str(core::CompletenessName(snap->completeness)));
+  j.Set("limit_tripped", Json::Str(LimitKindName(snap->limit_tripped)));
+  j.Set("stats", EvalStatsToJson(snap->stats));
+  j.Set("total_rows", Json::Int(static_cast<int64_t>(snap->db.TotalRows())));
+  j.Set("approx_bytes", Json::Int(snap->db.ApproxBytes()));
+  j.Set("strategy",
+        Json::Str(core::StrategyName(engine_->options().strategy)));
+  j.Set("num_threads", Json::Int(engine_->options().num_threads));
+  j.Set("uptime_seconds",
+        Json::Double(std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count()));
+  j.Set("verbs", latency_.ToJson());
+  return j;
+}
+
+}  // namespace server
+}  // namespace mad

@@ -1,0 +1,145 @@
+#ifndef MAD_SERVER_STATE_H_
+#define MAD_SERVER_STATE_H_
+
+// The serving brain of madd: one writer, many readers, snapshot isolation.
+//
+// Why this is sound (the monotonicity argument, DESIGN.md "Serving"): the
+// model served is the least fixpoint of a monotone T_P over a complete
+// lattice, and the only write operation is the insert-only incremental
+// Engine::Update, which moves the least model strictly up in ⊑. The writer
+// applies each insert batch to its private working database and then
+// *publishes* an immutable snapshot (Database::Snapshot — shared relations,
+// copy-on-write on the update path, so publishing is O(#relations), not
+// O(#rows)). A reader pins whichever snapshot was current when its request
+// arrived and computes against it exclusively; since every snapshot is the
+// exact least model of a serial prefix of the insert stream, no reader can
+// ever observe a torn state — not by luck, but because the lattice order
+// totally orders the published models.
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "datalog/ast.h"
+#include "datalog/database.h"
+#include "server/json.h"
+#include "util/resource_guard.h"
+#include "util/status.h"
+
+namespace mad {
+namespace server {
+
+/// One published, immutable least-model snapshot. `db` shares relations with
+/// the writer's working set via copy-on-write; all access must be read-only
+/// (enforced by convention: readers only ever hold const pointers).
+struct ServingSnapshot {
+  int64_t epoch = 0;
+  datalog::Database db;
+  core::EvalStats stats;  ///< cumulative: load run + every applied update
+  core::Completeness completeness = core::Completeness::kLeastModel;
+  LimitKind limit_tripped = LimitKind::kNone;
+};
+
+/// Per-verb latency accounting: count, running mean, and p50/p95/p99 over a
+/// sliding reservoir of the most recent samples.
+class LatencyRecorder {
+ public:
+  void Record(const std::string& verb, double micros);
+  /// {"<verb>": {"count": N, "mean_us": m, "p50_us": ..., "p95_us": ...,
+  ///  "p99_us": ...}, ...}
+  Json ToJson() const;
+
+ private:
+  static constexpr size_t kReservoir = 4096;
+  struct PerVerb {
+    int64_t count = 0;
+    double total_us = 0;
+    std::vector<double> recent;  ///< ring buffer, capacity kReservoir
+    size_t next = 0;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, PerVerb> verbs_;
+};
+
+/// Owns the program, the engine, the writer's working model, and the
+/// published snapshot. Handle() is safe to call from any number of
+/// connection threads concurrently: reads pin a snapshot, the insert path
+/// serializes on an internal writer mutex.
+class ServerState {
+ public:
+  struct LoadOptions {
+    core::EvalOptions eval;
+    /// Server-wide cancellation (SIGINT): merged into every request's
+    /// ResourceGuard so shutdown interrupts long evaluations, and honored by
+    /// the load-time run itself.
+    std::shared_ptr<CancellationToken> cancellation;
+  };
+
+  /// Parses, checks (the full PR2/PR3 check-and-certify pipeline runs inside
+  /// Engine::Run when eval.validate is set — a rejected program never
+  /// serves), evaluates the initial least model, and publishes epoch 0.
+  static StatusOr<std::unique_ptr<ServerState>> Load(
+      std::string_view program_text, LoadOptions options);
+
+  /// Dispatches one request and returns the response. Verbs: ping, query,
+  /// insert, dump, stats, shutdown. Unknown verbs get ok:false responses;
+  /// this never fails at the transport level.
+  Json Handle(const Json& request);
+
+  /// The currently published snapshot (never null after Load).
+  std::shared_ptr<const ServingSnapshot> Pin() const;
+
+  int64_t epoch() const;
+  const core::Engine& engine() const { return *engine_; }
+  const datalog::Program& program() const { return *program_; }
+
+ private:
+  ServerState() = default;
+
+  Json HandlePing();
+  Json HandleQuery(const Json& request);
+  Json HandleInsert(const Json& request);
+  Json HandleDump();
+  Json HandleStats();
+
+  /// Reads {"limits": {"deadline_ms": N, "max_tuples": N}} into engine
+  /// limits, always merging the server-wide cancellation token.
+  ResourceLimits RequestResourceLimits(const Json& request) const;
+
+  /// Publishes the writer's current working model as epoch `epoch_`.
+  void Publish();
+
+  // Program first: engine_ and every PredicateInfo pointer reference it.
+  std::unique_ptr<datalog::Program> program_;
+  std::unique_ptr<core::Engine> engine_;
+  /// Name lookup frozen at load so reader threads never touch the Program's
+  /// internals while the writer-side parser appends to it.
+  std::map<std::string, const datalog::PredicateInfo*, std::less<>> preds_;
+  std::shared_ptr<CancellationToken> cancellation_;
+  bool updates_safe_ = false;  ///< AnalyzeUpdateSafety verdict, fixed at load
+  std::chrono::steady_clock::time_point start_{};
+
+  /// Writer lane. `work_` is the evolving model; only the thread holding
+  /// writer_mu_ touches it (or the Program, via the insert parser).
+  std::mutex writer_mu_;
+  core::EvalResult work_;
+  int64_t epoch_ = 0;
+  /// Set when an insert failed *after* merging began (increase-unsafe trip):
+  /// the working set may be under-closed, so further inserts are refused
+  /// while reads keep serving the last sound snapshot.
+  bool poisoned_ = false;
+
+  mutable std::mutex snap_mu_;
+  std::shared_ptr<const ServingSnapshot> snapshot_;
+
+  LatencyRecorder latency_;
+};
+
+}  // namespace server
+}  // namespace mad
+
+#endif  // MAD_SERVER_STATE_H_

@@ -1,0 +1,101 @@
+#include "server/wire.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace mad {
+namespace server {
+
+namespace {
+
+Status IoError(const char* op) {
+  return Status::Internal(StrPrintf("%s: %s", op, std::strerror(errno)));
+}
+
+/// Reads exactly `n` bytes; false via *eof when the peer closed cleanly at
+/// offset 0 (only meaningful for the first byte of a header).
+Status ReadExact(int fd, char* buf, size_t n, bool* eof) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::read(fd, buf + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return IoError("read");
+    }
+    if (r == 0) {
+      if (eof != nullptr && got == 0) {
+        *eof = true;
+        return Status::OK();
+      }
+      return Status::Internal("peer closed mid-frame");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        StrPrintf("frame payload of %zu bytes exceeds the %zu-byte cap",
+                  payload.size(), kMaxFrameBytes));
+  }
+  std::string frame = StrPrintf("%zu\n", payload.size());
+  frame.append(payload);
+  frame.push_back('\n');
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t w = ::write(fd, frame.data() + sent, frame.size() - sent);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return IoError("write");
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> ReadFrame(int fd, std::string* payload) {
+  // Header: decimal digits then '\n'. 12 digits comfortably covers the
+  // frame cap and can never overflow the stoull below.
+  std::string header;
+  for (;;) {
+    char c;
+    bool eof = false;
+    MAD_RETURN_IF_ERROR(
+        ReadExact(fd, &c, 1, header.empty() ? &eof : nullptr));
+    if (eof) return false;
+    if (c == '\n') break;
+    if (c < '0' || c > '9' || header.size() >= 12) {
+      return Status::InvalidArgument("malformed frame header");
+    }
+    header.push_back(c);
+  }
+  if (header.empty()) return Status::InvalidArgument("empty frame header");
+  unsigned long long len = std::stoull(header);
+  if (len > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        StrPrintf("frame of %llu bytes exceeds the %zu-byte cap", len,
+                  kMaxFrameBytes));
+  }
+  payload->resize(static_cast<size_t>(len));
+  if (len > 0) {
+    MAD_RETURN_IF_ERROR(ReadExact(fd, payload->data(), payload->size(),
+                                  nullptr));
+  }
+  char nl;
+  MAD_RETURN_IF_ERROR(ReadExact(fd, &nl, 1, nullptr));
+  if (nl != '\n') {
+    return Status::InvalidArgument("frame missing terminating newline");
+  }
+  return true;
+}
+
+}  // namespace server
+}  // namespace mad

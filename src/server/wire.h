@@ -1,0 +1,39 @@
+#ifndef MAD_SERVER_WIRE_H_
+#define MAD_SERVER_WIRE_H_
+
+// The madd wire format: length-prefixed newline-JSON frames over a stream
+// socket. One frame is
+//
+//     <decimal payload length> '\n' <payload> '\n'
+//
+// where <payload> is a single-line JSON document of exactly the stated byte
+// length (the trailing newline is framing, not payload). The length prefix
+// lets the reader allocate once and never scan for a terminator inside the
+// payload; the newlines keep frames greppable with netcat during debugging.
+// Both sides reject frames above a hard cap so a corrupt or hostile peer
+// cannot make the process allocate unboundedly.
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace mad {
+namespace server {
+
+/// Upper bound on a single frame's payload (64 MiB) — generous for dump
+/// responses, small enough to bound per-connection memory.
+inline constexpr size_t kMaxFrameBytes = 64u << 20;
+
+/// Writes one frame, retrying on EINTR and short writes.
+Status WriteFrame(int fd, std::string_view payload);
+
+/// Reads one frame into `*payload`. Returns true on a frame, false on clean
+/// EOF before any header byte (peer closed between requests); any other
+/// malformation or I/O failure is an error Status.
+StatusOr<bool> ReadFrame(int fd, std::string* payload);
+
+}  // namespace server
+}  // namespace mad
+
+#endif  // MAD_SERVER_WIRE_H_

@@ -123,6 +123,74 @@ TEST_P(IncrementalSeedTest, CompanyControlShareInserts) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalSeedTest, ::testing::Range(1, 6));
 
+class IncrementalThreadsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalThreadsTest, TrickledUpdatesMatchBatchUnderParallelism) {
+  // Same contract as ArcByArcEqualsBatch, but the engine runs its fixpoints
+  // with a worker pool: updates must land on the identical least model at
+  // every thread count (the serving layer leans on this — its writer calls
+  // Update on a parallel engine while snapshots are being read).
+  EvalOptions options;
+  options.num_threads = GetParam();
+  Random rng(11);
+  Graph g = workloads::RandomGraph(14, 40, {1.0, 9.0}, &rng);
+  auto program = datalog::ParseProgram(workloads::kShortestPathProgram);
+  ASSERT_TRUE(program.ok());
+  Engine engine(*program, options);
+
+  auto trickled = engine.Run(Database());
+  ASSERT_TRUE(trickled.ok());
+  for (int u = 0; u < g.num_nodes; ++u) {
+    for (const Graph::Edge& e : g.adj[u]) {
+      auto st = engine.Update(&trickled.value(),
+                              {ArcFact(*program, u, e.to, e.weight)});
+      ASSERT_TRUE(st.ok()) << st.status();
+    }
+  }
+
+  Database edb;
+  ASSERT_TRUE(workloads::AddGraphFacts(*program, g, &edb).ok());
+  Engine serial(*program);
+  auto batch = serial.Run(std::move(edb));
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(trickled->db.ToString(), batch->db.ToString())
+      << "num_threads=" << GetParam();
+}
+
+TEST_P(IncrementalThreadsTest, BulkUpdateMatchesBatchUnderParallelism) {
+  // One big insert batch (the serving layer's common case) instead of
+  // arc-by-arc trickling.
+  EvalOptions options;
+  options.num_threads = GetParam();
+  Random rng(12);
+  Graph g = workloads::RandomGraph(20, 70, {1.0, 9.0}, &rng);
+  auto program = datalog::ParseProgram(workloads::kShortestPathProgram);
+  ASSERT_TRUE(program.ok());
+  Engine engine(*program, options);
+
+  std::vector<Fact> all_arcs;
+  for (int u = 0; u < g.num_nodes; ++u) {
+    for (const Graph::Edge& e : g.adj[u]) {
+      all_arcs.push_back(ArcFact(*program, u, e.to, e.weight));
+    }
+  }
+  auto result = engine.Run(Database());
+  ASSERT_TRUE(result.ok());
+  auto st = engine.Update(&result.value(), all_arcs);
+  ASSERT_TRUE(st.ok()) << st.status();
+
+  Database edb;
+  ASSERT_TRUE(workloads::AddGraphFacts(*program, g, &edb).ok());
+  Engine serial(*program);
+  auto batch = serial.Run(std::move(edb));
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(result->db.ToString(), batch->db.ToString())
+      << "num_threads=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, IncrementalThreadsTest,
+                         ::testing::Values(2, 8));
+
 TEST(IncrementalTest, UpdateDoesFarLessWorkThanRecompute) {
   Random rng(9);
   Graph g = workloads::RandomGraph(40, 160, {1.0, 9.0}, &rng);

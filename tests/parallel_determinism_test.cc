@@ -182,6 +182,70 @@ TEST(ParallelDeterminismTest, AnyThreadCountSameModel) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Incremental maintenance under parallelism: Engine::Update must land on the
+// same least model at every thread count, both against a serial Update run
+// and against the from-scratch evaluation of the final fact set.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelDeterminismTest, UpdateSameModelAcrossThreadCounts) {
+  Program program = MustParse(workloads::kShortestPathProgram);
+  Random rng(88);
+  baselines::Graph g = workloads::RandomGraph(16, 60, {1.0, 9.0}, &rng);
+
+  // Split the edges: half as the initial EDB, half applied via Update in
+  // three batches.
+  std::vector<datalog::Fact> initial, extra;
+  const datalog::PredicateInfo* arc = program.FindPredicate("arc");
+  ASSERT_NE(arc, nullptr);
+  int i = 0;
+  for (int u = 0; u < g.num_nodes; ++u) {
+    for (const baselines::Graph::Edge& e : g.adj[u]) {
+      datalog::Fact f;
+      f.pred = arc;
+      f.key = {datalog::Value::Symbol(baselines::Graph::NodeName(u)),
+               datalog::Value::Symbol(baselines::Graph::NodeName(e.to))};
+      f.cost = datalog::Value::Real(e.weight);
+      (i++ % 2 == 0 ? initial : extra).push_back(std::move(f));
+    }
+  }
+
+  auto run_with = [&](int n) -> std::string {
+    Engine engine(program, Threads(n));
+    Database edb;
+    for (const datalog::Fact& f : initial) {
+      EXPECT_TRUE(edb.AddFact(f).ok());
+    }
+    auto result = engine.Run(std::move(edb));
+    EXPECT_TRUE(result.ok()) << "num_threads=" << n << ": " << result.status();
+    if (!result.ok()) return "";
+    const size_t batch = extra.size() / 3 + 1;
+    for (size_t start = 0; start < extra.size(); start += batch) {
+      std::vector<datalog::Fact> facts(
+          extra.begin() + start,
+          extra.begin() + std::min(start + batch, extra.size()));
+      auto st = engine.Update(&result.value(), facts);
+      EXPECT_TRUE(st.ok()) << "num_threads=" << n << ": " << st.status();
+    }
+    return result->db.ToString();
+  };
+
+  const std::string expected = run_with(1);
+  ASSERT_FALSE(expected.empty());
+  for (int n : {2, 8}) {
+    EXPECT_EQ(run_with(n), expected) << "num_threads=" << n;
+  }
+
+  // And the trickled model is the least model of all the facts at once.
+  Database full;
+  for (const datalog::Fact& f : initial) ASSERT_TRUE(full.AddFact(f).ok());
+  for (const datalog::Fact& f : extra) ASSERT_TRUE(full.AddFact(f).ok());
+  Engine reference(program, Threads(1));
+  auto batch = reference.Run(std::move(full));
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->db.ToString(), expected);
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace mad

@@ -1,0 +1,162 @@
+// Schema checks for the hand-emitted server JSON, decoded with the
+// *independent* tests/json_lite.h reader (the emitter must never be its own
+// referee). Covers the Json emitter/parser round trip, the Value <-> JSON
+// mapping, ResultToJson (the exact document `mondl --format=json` prints),
+// and full wire responses.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/engine.h"
+#include "json_lite.h"
+#include "server/json.h"
+#include "server/result_json.h"
+#include "server/state.h"
+#include "workloads/programs.h"
+
+namespace mad {
+namespace server {
+namespace {
+
+using testing::JsonValue;
+
+std::optional<JsonValue> Independent(const Json& j) {
+  return mad::testing::ParseJson(j.Dump());
+}
+
+/// The workload program ships no facts; add a small EDB so the emitted
+/// documents have actual rows to check.
+std::string ProgramWithFacts() {
+  return std::string(workloads::kShortestPathProgram) +
+         "\narc(a, b, 1).\narc(b, c, 2).\narc(a, c, 9).\n";
+}
+
+TEST(ServerJsonTest, DumpSurvivesTheIndependentDecoder) {
+  Json j = Json::Object();
+  j.Set("int", Json::Int(-42));
+  j.Set("double", Json::Double(2.5));
+  j.Set("bool", Json::Bool(true));
+  j.Set("null", Json::Null());
+  j.Set("escape", Json::Str("line\nbreak \"quoted\" back\\slash"));
+  Json arr = Json::Array();
+  arr.Push(Json::Int(1));
+  arr.Push(Json::Str("two"));
+  j.Set("arr", std::move(arr));
+
+  auto parsed = Independent(j);
+  ASSERT_TRUE(parsed.has_value()) << j.Dump();
+  EXPECT_DOUBLE_EQ(parsed->At("int").number, -42);
+  EXPECT_DOUBLE_EQ(parsed->At("double").number, 2.5);
+  EXPECT_TRUE(parsed->At("bool").boolean);
+  EXPECT_EQ(parsed->At("null").kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(parsed->At("escape").str, "line\nbreak \"quoted\" back\\slash");
+  ASSERT_EQ(parsed->At("arr").arr.size(), 2u);
+  EXPECT_EQ(parsed->At("arr").arr[1].str, "two");
+}
+
+TEST(ServerJsonTest, OwnParserRoundTripsPreservingIntness) {
+  const char* text =
+      R"({"a": 3, "b": 3.0, "c": [true, false, null, "s"], "d": {"n": -7}})";
+  auto j = ParseJson(text);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_TRUE(j->At("a").is_int());
+  EXPECT_FALSE(j->At("b").is_int());  // fractional lexeme stays a double
+  EXPECT_TRUE(j->At("b").is_number());
+  EXPECT_EQ(j->At("d").At("n").integer, -7);
+
+  // Round trip through Dump and the independent reader.
+  auto again = mad::testing::ParseJson(j->Dump());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_DOUBLE_EQ(again->At("a").number, 3);
+  EXPECT_DOUBLE_EQ(again->At("d").At("n").number, -7);
+}
+
+TEST(ServerJsonTest, ParserRejectsGarbage) {
+  EXPECT_FALSE(ParseJson("{").has_value());
+  EXPECT_FALSE(ParseJson("{\"a\": }").has_value());
+  EXPECT_FALSE(ParseJson("[1,]").has_value());
+  EXPECT_FALSE(ParseJson("{} trailing").has_value());
+  // Depth bomb: must fail cleanly, not blow the stack.
+  std::string bomb(10000, '[');
+  EXPECT_FALSE(ParseJson(bomb).has_value());
+}
+
+TEST(ServerJsonTest, ValueRoundTrip) {
+  using datalog::Value;
+  for (const Value& v : {Value::Symbol("abc"), Value::Int(7),
+                         Value::Real(1.5), Value::Bool(true)}) {
+    auto back = JsonToValue(ValueToJson(v));
+    ASSERT_TRUE(back.has_value()) << v.ToString();
+    EXPECT_EQ(*back, v) << v.ToString();
+  }
+}
+
+TEST(ServerJsonTest, ResultToJsonSchema) {
+  // The exact document mondl --format=json emits.
+  auto run = core::ParseAndRun(ProgramWithFacts());
+  ASSERT_TRUE(run.ok()) << run.status();
+  Json j = ResultToJson(*run->program, run->result);
+
+  auto doc = Independent(j);
+  ASSERT_TRUE(doc.has_value()) << j.Dump();
+  EXPECT_EQ(doc->At("completeness").str, "least-model");
+  EXPECT_EQ(doc->At("limit_tripped").str, "none");
+  ASSERT_TRUE(doc->At("stats").is_object());
+  const JsonValue& stats = doc->At("stats");
+  for (const char* field :
+       {"iterations", "rule_evaluations", "derivations", "merges_new",
+        "merges_increased", "subgoal_evals", "index_reuses",
+        "greedy_violations", "wall_seconds"}) {
+    EXPECT_TRUE(stats.At(field).is_number()) << field;
+  }
+  EXPECT_EQ(stats.At("reached_fixpoint").kind, JsonValue::Kind::kBool);
+
+  ASSERT_TRUE(doc->At("relations").is_array());
+  ASSERT_FALSE(doc->At("relations").arr.empty());
+  for (const JsonValue& rel : doc->At("relations").arr) {
+    EXPECT_TRUE(rel.At("pred").is_string());
+    EXPECT_TRUE(rel.At("arity").is_number());
+    ASSERT_TRUE(rel.At("rows").is_array());
+    for (const JsonValue& row : rel.At("rows").arr) {
+      ASSERT_TRUE(row.At("key").is_array());
+      EXPECT_EQ(row.At("key").arr.size(),
+                static_cast<size_t>(rel.At("arity").number) -
+                    (rel.At("has_cost").boolean ? 1 : 0));
+      if (rel.At("has_cost").boolean) EXPECT_TRUE(row.Has("cost"));
+    }
+  }
+}
+
+TEST(ServerJsonTest, WireResponsesAreWellFormed) {
+  auto state = ServerState::Load(ProgramWithFacts(), {});
+  ASSERT_TRUE(state.ok()) << state.status();
+
+  for (const char* verb : {"ping", "dump", "stats"}) {
+    Json req = Json::Object();
+    req.Set("verb", Json::Str(verb));
+    Json resp = (*state)->Handle(req);
+    auto doc = Independent(resp);
+    ASSERT_TRUE(doc.has_value()) << verb << ": " << resp.Dump();
+    EXPECT_TRUE(doc->At("ok").boolean) << verb;
+    EXPECT_EQ(doc->At("verb").str, verb);
+    EXPECT_TRUE(doc->At("epoch").is_number()) << verb;
+  }
+
+  // Stats carries the per-verb latency map with percentile fields.
+  Json req = Json::Object();
+  req.Set("verb", Json::Str("stats"));
+  Json resp = (*state)->Handle(req);
+  auto doc = Independent(resp);
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue& verbs = doc->At("verbs");
+  ASSERT_TRUE(verbs.is_object());
+  ASSERT_TRUE(verbs.Has("stats"));
+  for (const char* field : {"count", "mean_us", "p50_us", "p95_us", "p99_us"}) {
+    EXPECT_TRUE(verbs.At("stats").At(field).is_number()) << field;
+  }
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace mad
