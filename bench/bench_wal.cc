@@ -1,0 +1,221 @@
+// Durability cost model: what does the WAL charge per accepted batch, and
+// what does a restart cost as the log grows? Three families:
+//
+//   BM_WalAppend/<policy>     append throughput under fsync=always vs never —
+//                             the price of "acknowledged means durable".
+//   BM_WalSegmentRead/<n>     raw segment scan (CRC + framing) per record.
+//   BM_Recovery/<n>           full ServerState::Load over a data dir holding
+//                             n logged batches — replay-only vs from a
+//                             checkpoint (which shortens replay to zero).
+//
+// Results land in the BENCH_bench_wal.json sidecar; EXPERIMENTS.md cites
+// them in the recovery-time entry.
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "server/json.h"
+#include "server/state.h"
+#include "server/wal.h"
+#include "util/posix_file.h"
+
+namespace mad {
+namespace bench {
+namespace {
+
+constexpr const char* kProgram = R"(
+.decl arc(from, to, c: min_real)
+.decl path(from, mid, to, c: min_real)
+.decl s(from, to, c: min_real)
+.constraint arc(direct, Z, C).
+
+path(X, direct, Y, C) :- arc(X, Y, C).
+path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+
+arc(v0, v1, 1).
+)";
+
+std::string TempDir() {
+  std::string tmpl = "/tmp/mad_bench_wal_XXXXXX";
+  if (::mkdtemp(tmpl.data()) == nullptr) {
+    std::perror("mkdtemp");
+    std::abort();
+  }
+  return tmpl;
+}
+
+void RemoveTree(const std::string& dir) {
+  auto entries = util::ListDir(dir);
+  if (entries.ok()) {
+    for (const std::string& name : *entries) {
+      (void)util::RemoveFile(dir + "/" + name);
+    }
+  }
+  ::rmdir(dir.c_str());
+}
+
+/// One realistic insert batch: a handful of arcs, ~100 bytes of fact text.
+std::string Batch(int i) {
+  return StrPrintf("arc(v%d, v%d, %d). arc(v%d, v%d, %d).", i % 97,
+                   (i + 1) % 97, 1 + i % 7, (i + 13) % 97, (i + 14) % 97,
+                   2 + i % 5);
+}
+
+void BM_WalAppend(benchmark::State& state) {
+  const auto policy = state.range(0) == 0 ? server::FsyncPolicy::kAlways
+                                          : server::FsyncPolicy::kNever;
+  const std::string dir = TempDir();
+  auto writer = server::WalWriter::Create(dir, 0, policy, nullptr);
+  if (!writer.ok()) {
+    state.SkipWithError(writer.status().ToString().c_str());
+    RemoveTree(dir);
+    return;
+  }
+  server::WalRecord record;
+  record.type = server::WalRecordType::kInsert;
+  int64_t bytes = 0;
+  int i = 0;
+  for (auto _ : state) {
+    record.epoch = ++i;
+    record.facts_text = Batch(i);
+    Status st = writer->Append(record);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      break;
+    }
+    bytes += static_cast<int64_t>(server::EncodeWalRecord(record).size());
+  }
+  state.SetBytesProcessed(bytes);
+  state.SetLabel(server::FsyncPolicyName(policy));
+  RemoveTree(dir);
+}
+BENCHMARK(BM_WalAppend)->Arg(0)->Arg(1)->ArgNames({"fsync"});
+
+void BM_WalSegmentRead(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::string dir = TempDir();
+  {
+    auto writer =
+        server::WalWriter::Create(dir, 0, server::FsyncPolicy::kNever, nullptr);
+    server::WalRecord record;
+    for (int i = 0; i < n; ++i) {
+      record.epoch = i + 1;
+      record.facts_text = Batch(i);
+      (void)writer->Append(record);
+    }
+  }
+  const std::string path = dir + "/" + server::WalSegmentName(0);
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    auto read = server::ReadWalSegment(path);
+    if (!read.ok() || static_cast<int>(read->records.size()) != n) {
+      state.SkipWithError("segment read failed");
+      break;
+    }
+    bytes += read->valid_bytes;
+  }
+  state.SetBytesProcessed(bytes);
+  RemoveTree(dir);
+}
+BENCHMARK(BM_WalSegmentRead)->Arg(64)->Arg(512)->Arg(4096)->ArgNames({"recs"});
+
+/// Builds a data dir with `n` accepted batches. With `checkpoint` the final
+/// state is checkpointed (sync verb) so recovery replays nothing; without,
+/// the full WAL replays at Load.
+std::string PrepareDataDir(int n, bool checkpoint) {
+  const std::string dir = TempDir();
+  server::ServerState::LoadOptions load;
+  load.durability.data_dir = dir;
+  load.durability.fsync = server::FsyncPolicy::kNever;
+  load.durability.checkpoint_every_epochs = 0;  // only explicit checkpoints
+  load.durability.checkpoint_every_bytes = 0;
+  load.durability.verify_recovery = false;
+  auto state = server::ServerState::Load(kProgram, load);
+  if (!state.ok()) {
+    std::fprintf(stderr, "bench_wal: load failed: %s\n",
+                 state.status().ToString().c_str());
+    std::abort();
+  }
+  for (int i = 0; i < n; ++i) {
+    server::Json request = server::Json::Object();
+    request.Set("verb", server::Json::Str("insert"));
+    request.Set("facts", server::Json::Str(Batch(i)));
+    server::Json response = (*state)->Handle(request);
+    if (!response.At("ok").boolean) {
+      std::fprintf(stderr, "bench_wal: insert %d refused\n", i);
+      std::abort();
+    }
+  }
+  if (checkpoint) {
+    server::Json request = server::Json::Object();
+    request.Set("verb", server::Json::Str("sync"));
+    request.Set("checkpoint", server::Json::Bool(true));
+    (void)(*state)->Handle(request);
+  }
+  return dir;
+}
+
+/// Copies the template data dir so every Load sees the same on-disk state
+/// (Load itself rotates to a fresh segment, which would otherwise pile up).
+std::string CloneDataDir(const std::string& src) {
+  const std::string dst = TempDir();
+  auto entries = util::ListDir(src);
+  for (const std::string& name : *entries) {
+    auto bytes = util::ReadFileToString(src + "/" + name);
+    if (!bytes.ok() ||
+        !util::WriteFileAtomic(dst + "/" + name, *bytes, nullptr).ok()) {
+      std::fprintf(stderr, "bench_wal: clone failed for %s\n", name.c_str());
+      std::abort();
+    }
+  }
+  return dst;
+}
+
+void BM_Recovery(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool checkpointed = state.range(1) != 0;
+  const std::string tmpl = PrepareDataDir(n, checkpointed);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::string dir = CloneDataDir(tmpl);
+    server::ServerState::LoadOptions load;
+    load.durability.data_dir = dir;
+    load.durability.fsync = server::FsyncPolicy::kNever;
+    load.durability.verify_recovery = false;
+    state.ResumeTiming();
+    auto recovered = server::ServerState::Load(kProgram, load);
+    state.PauseTiming();
+    if (!recovered.ok()) {
+      state.SkipWithError(recovered.status().ToString().c_str());
+      RemoveTree(dir);
+      state.ResumeTiming();
+      break;
+    }
+    recovered->reset();  // close the rotated segment before deleting
+    RemoveTree(dir);
+    state.ResumeTiming();
+  }
+  state.SetLabel(checkpointed ? "from-checkpoint" : "replay-only");
+  RemoveTree(tmpl);
+}
+BENCHMARK(BM_Recovery)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({512, 0})
+    ->Args({512, 1})
+    ->ArgNames({"recs", "ckpt"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mad
+
+int main(int argc, char** argv) {
+  return mad::bench::RunBenchmarks(argc, argv);
+}

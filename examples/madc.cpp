@@ -1,7 +1,7 @@
 // madc — command-line client for a running madd.
 //
 // Usage:
-//   madc [--host=A] [--port=N] <verb> [args]
+//   madc [--host=A] [--port=N] [--retries=N] <verb> [args]
 //
 // Verbs:
 //   ping
@@ -12,14 +12,25 @@
 //   insert FACTS|-           FACTS is `.mdl` fact text; `-` reads stdin.
 //   dump
 //   stats
+//   sync [checkpoint]        fsync the WAL; `checkpoint` also forces one.
+//   recover                  clear writer poison / reopen a degraded WAL.
 //   shutdown
 //
-// The raw JSON response prints on stdout; the exit code is 0 iff the server
-// answered ok:true.
+// --retries=N resends through transient transport failures (connection
+// refused while the server restarts, a reset mid-call) with capped
+// exponential backoff — safe because madd's inserts are idempotent lattice
+// joins. Non-transient errors never retry.
+//
+// The raw JSON response prints on stdout. Exit codes:
+//   0  server answered ok:true
+//   1  server answered ok:false (application error; see "error" in the JSON)
+//   2  usage error
+//   3  transport failure that persisted through every retry
+//   4  non-retryable client-side failure (bad address, protocol violation)
 //
 // Examples:
 //   madc --port=7407 query sp a _
-//   echo 'edge(a, b, 3.0).' | madc insert -
+//   echo 'edge(a, b, 3.0).' | madc --retries=5 insert -
 
 #include <iostream>
 #include <sstream>
@@ -33,10 +44,11 @@ using namespace mad;
 namespace {
 
 int Usage() {
-  std::cerr << "usage: madc [--host=A] [--port=N] "
-               "ping|query|insert|dump|stats|shutdown [args]\n"
+  std::cerr << "usage: madc [--host=A] [--port=N] [--retries=N] "
+               "ping|query|insert|dump|stats|sync|recover|shutdown [args]\n"
                "       madc query PRED [ARG|_ ...]\n"
-               "       madc insert 'fact(a, 1).' | madc insert -\n";
+               "       madc insert 'fact(a, 1).' | madc insert -\n"
+               "       madc sync [checkpoint]\n";
   return 2;
 }
 
@@ -65,6 +77,7 @@ server::Json ParseArg(const std::string& arg) {
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 7407;
+  int retries = 1;
   std::vector<std::string> rest;
 
   for (int i = 1; i < argc; ++i) {
@@ -73,6 +86,9 @@ int main(int argc, char** argv) {
       host = arg.substr(7);
     } else if (arg.rfind("--port=", 0) == 0) {
       port = static_cast<int>(std::stol(arg.substr(7)));
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      retries = static_cast<int>(std::stol(arg.substr(10)));
+      if (retries < 1) return Usage();
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       return Usage();
     } else {
@@ -103,22 +119,30 @@ int main(int argc, char** argv) {
       facts = buffer.str();
     }
     request.Set("facts", server::Json::Str(facts));
+  } else if (verb == "sync") {
+    if (rest.size() > 2 || (rest.size() == 2 && rest[1] != "checkpoint")) {
+      return Usage();
+    }
+    if (rest.size() == 2) request.Set("checkpoint", server::Json::Bool(true));
   } else if (verb != "ping" && verb != "dump" && verb != "stats" &&
-             verb != "shutdown") {
+             verb != "recover" && verb != "shutdown") {
     return Usage();
   } else if (rest.size() != 1) {
     return Usage();
   }
 
-  auto client = server::Client::Connect(host, port);
+  server::RetryOptions retry;
+  retry.max_attempts = retries;
+
+  auto client = server::Client::ConnectWithRetry(host, port, retry);
   if (!client.ok()) {
     std::cerr << "madc: " << client.status() << "\n";
-    return 1;
+    return client.status().code() == StatusCode::kUnavailable ? 3 : 4;
   }
-  auto response = client->Call(request);
+  auto response = client->CallWithRetry(request, retry);
   if (!response.ok()) {
     std::cerr << "madc: " << response.status() << "\n";
-    return 1;
+    return response.status().code() == StatusCode::kUnavailable ? 3 : 4;
   }
   std::cout << response->Dump() << "\n";
   return response->At("ok").boolean ? 0 : 1;

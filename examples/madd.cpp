@@ -16,6 +16,17 @@
 //   --strategy=naive|seminaive|greedy   initial-evaluation strategy
 //   --threads=N                         evaluation threads
 //   --max-iterations=N                  fixpoint round budget
+//   --data-dir=DIR                      enable durability: WAL + checkpoints
+//                                       in DIR, crash recovery on startup
+//   --fsync-policy=always|never         fsync each accepted batch (default
+//                                       always) or leave it to the OS
+//   --checkpoint-every-epochs=N         checkpoint cadence by insert count
+//                                       (default 256; 0 disables)
+//   --checkpoint-every-bytes=N          ... or by WAL growth (default 16 MiB;
+//                                       0 disables)
+//   --no-verify-recovery                skip the differential recovery check
+//                                       (recovered state vs from-scratch
+//                                       evaluation of program + history)
 //
 // On startup madd prints exactly one line to stdout:
 //   madd: serving on <host>:<port>
@@ -43,7 +54,11 @@ namespace {
 int Usage() {
   std::cerr << "usage: madd [--port=N] [--host=A] "
                "[--strategy=naive|seminaive|greedy]\n"
-               "            [--threads=N] [--max-iterations=N] program.mdl\n";
+               "            [--threads=N] [--max-iterations=N]\n"
+               "            [--data-dir=DIR] [--fsync-policy=always|never]\n"
+               "            [--checkpoint-every-epochs=N] "
+               "[--checkpoint-every-bytes=N]\n"
+               "            [--no-verify-recovery] program.mdl\n";
   return 2;
 }
 
@@ -91,6 +106,26 @@ int main(int argc, char** argv) {
       if (load.eval.num_threads < 1) return Usage();
     } else if (arg.rfind("--max-iterations=", 0) == 0) {
       load.eval.max_iterations = std::stoll(value_of("--max-iterations="));
+    } else if (arg.rfind("--data-dir=", 0) == 0) {
+      load.durability.data_dir = value_of("--data-dir=");
+      if (load.durability.data_dir.empty()) return Usage();
+    } else if (arg.rfind("--fsync-policy=", 0) == 0) {
+      std::string p = value_of("--fsync-policy=");
+      if (p == "always") {
+        load.durability.fsync = server::FsyncPolicy::kAlways;
+      } else if (p == "never") {
+        load.durability.fsync = server::FsyncPolicy::kNever;
+      } else {
+        return Usage();
+      }
+    } else if (arg.rfind("--checkpoint-every-epochs=", 0) == 0) {
+      load.durability.checkpoint_every_epochs =
+          std::stoll(value_of("--checkpoint-every-epochs="));
+    } else if (arg.rfind("--checkpoint-every-bytes=", 0) == 0) {
+      load.durability.checkpoint_every_bytes =
+          std::stoll(value_of("--checkpoint-every-bytes="));
+    } else if (arg == "--no-verify-recovery") {
+      load.durability.verify_recovery = false;
     } else if (!arg.empty() && arg[0] == '-') {
       return Usage();
     } else if (path.empty()) {
@@ -118,6 +153,10 @@ int main(int argc, char** argv) {
   if (!state.ok()) {
     std::cerr << "madd: " << state.status() << "\n";
     return 1;
+  }
+  if (!load.durability.data_dir.empty()) {
+    std::cerr << "madd: durable in " << load.durability.data_dir
+              << " (recovered to epoch " << (*state)->epoch() << ")\n";
   }
 
   auto srv = server::Server::Start(std::move(*state), net);

@@ -1,0 +1,353 @@
+#include "server/checkpoint.h"
+
+#include <cstring>
+
+#include "util/crc32c.h"
+#include "util/string_util.h"
+
+namespace mad {
+namespace server {
+
+using datalog::Tuple;
+using datalog::Value;
+
+namespace {
+
+constexpr char kMagic[] = "MADCKPT1";  // 8 bytes, no terminator
+constexpr size_t kMagicBytes = 8;
+constexpr uint32_t kVersion = 1;
+
+// --- little-endian primitives -------------------------------------------
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutStr(std::string* out, std::string_view s) {
+  PutU64(out, s.size());
+  out->append(s);
+}
+
+/// Bounds-checked cursor over the payload; every Get fails cleanly on a
+/// truncated or lying buffer instead of reading past the end (the CRC makes
+/// this unlikely, but a decoder must not trust its input's lengths).
+class Cursor {
+ public:
+  Cursor(const std::string& data, size_t off) : data_(data), off_(off) {}
+
+  bool ok() const { return ok_; }
+  size_t off() const { return off_; }
+  bool done() const { return off_ == data_.size(); }
+
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(
+               static_cast<unsigned char>(data_[off_ + i]))
+           << (8 * i);
+    }
+    off_ += 4;
+    return v;
+  }
+
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(
+               static_cast<unsigned char>(data_[off_ + i]))
+           << (8 * i);
+    }
+    off_ += 8;
+    return v;
+  }
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(data_[off_++]);
+  }
+
+  std::string Str() {
+    uint64_t n = U64();
+    if (!ok_ || !Need(n)) return {};
+    std::string s = data_.substr(off_, n);
+    off_ += n;
+    return s;
+  }
+
+ private:
+  bool Need(uint64_t n) {
+    if (!ok_ || n > data_.size() - off_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::string& data_;
+  size_t off_;
+  bool ok_ = true;
+};
+
+// --- Value encoding ------------------------------------------------------
+
+enum : uint8_t {
+  kValNone = 0,
+  kValSymbol = 1,
+  kValInt = 2,
+  kValDouble = 3,
+  kValBool = 4,
+  kValSet = 5,
+};
+
+void PutValue(std::string* out, const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kNone:
+      out->push_back(kValNone);
+      return;
+    case Value::Kind::kSymbol:
+      out->push_back(kValSymbol);
+      PutStr(out, v.symbol_name());
+      return;
+    case Value::Kind::kInt:
+      out->push_back(kValInt);
+      PutU64(out, static_cast<uint64_t>(v.int_value()));
+      return;
+    case Value::Kind::kDouble: {
+      out->push_back(kValDouble);
+      uint64_t bits = 0;
+      double d = v.double_value();
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(out, bits);
+      return;
+    }
+    case Value::Kind::kBool:
+      out->push_back(kValBool);
+      out->push_back(v.bool_value() ? 1 : 0);
+      return;
+    case Value::Kind::kSet: {
+      out->push_back(kValSet);
+      const datalog::ValueSet& set = v.set_value();
+      PutU64(out, set.size());
+      for (const Value& e : set) PutValue(out, e);
+      return;
+    }
+  }
+}
+
+Value GetValue(Cursor* c, int depth = 0) {
+  if (depth > 16) return Value();  // hostile nesting; Cursor goes !ok below
+  switch (c->U8()) {
+    case kValNone:
+      return Value();
+    case kValSymbol:
+      return Value::Symbol(c->Str());
+    case kValInt:
+      return Value::Int(static_cast<int64_t>(c->U64()));
+    case kValDouble: {
+      uint64_t bits = c->U64();
+      double d = 0;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value::Real(d);
+    }
+    case kValBool:
+      return Value::Bool(c->U8() != 0);
+    case kValSet: {
+      uint64_t n = c->U64();
+      datalog::ValueSet elems;
+      for (uint64_t i = 0; i < n && c->ok(); ++i) {
+        elems.push_back(GetValue(c, depth + 1));
+      }
+      return Value::Set(std::move(elems));
+    }
+    default:
+      return Value();
+  }
+}
+
+}  // namespace
+
+std::string CheckpointFileName(int64_t epoch) {
+  return StrPrintf("checkpoint-%010lld.ckpt", static_cast<long long>(epoch));
+}
+
+bool ParseCheckpointFileName(const std::string& name, int64_t* epoch) {
+  constexpr size_t kPrefix = 11;  // "checkpoint-"
+  if (name.size() != kPrefix + 10 + 5 || name.rfind("checkpoint-", 0) != 0 ||
+      name.compare(name.size() - 5, 5, ".ckpt") != 0) {
+    return false;
+  }
+  int64_t v = 0;
+  for (size_t i = kPrefix; i < kPrefix + 10; ++i) {
+    char ch = name[i];
+    if (ch < '0' || ch > '9') return false;
+    v = v * 10 + (ch - '0');
+  }
+  *epoch = v;
+  return true;
+}
+
+void DumpRelations(const datalog::Database& db, CheckpointData* out) {
+  for (const auto& [id, rel] : db.relations()) {
+    (void)id;
+    const datalog::PredicateInfo* pred = rel->pred();
+    CheckpointData::RelationDump dump;
+    dump.name = pred->name;
+    dump.arity = pred->arity;
+    dump.has_cost = pred->has_cost;
+    dump.has_default = pred->has_default;
+    if (pred->has_cost) dump.domain = std::string(pred->domain->name());
+    dump.rows.reserve(rel->size());
+    rel->ForEach([&](const Tuple& key, const Value& cost) {
+      dump.rows.emplace_back(key, cost);
+    });
+    out->relations.push_back(std::move(dump));
+  }
+}
+
+Status RestoreRelations(const CheckpointData& ckpt, datalog::Program* program,
+                        datalog::Database* db) {
+  for (const auto& dump : ckpt.relations) {
+    const datalog::PredicateInfo* pred = program->FindPredicate(dump.name);
+    if (pred == nullptr) {
+      // Only implicitly-declared (cost-free) predicates can be absent from
+      // the program text — ParseFacts creates exactly these on insert.
+      if (dump.has_cost) {
+        return Status::Internal(StrPrintf(
+            "checkpoint relation '%s' has a cost argument but the program "
+            "does not declare it",
+            dump.name.c_str()));
+      }
+      MAD_ASSIGN_OR_RETURN(pred,
+                           program->FindOrDeclare(dump.name, dump.arity));
+    }
+    if (pred->arity != dump.arity || pred->has_cost != dump.has_cost ||
+        pred->has_default != dump.has_default ||
+        (pred->has_cost &&
+         std::string(pred->domain->name()) != dump.domain)) {
+      return Status::Internal(StrPrintf(
+          "checkpoint relation '%s' does not match the program's declaration"
+          " (checkpoint from a different program?)",
+          dump.name.c_str()));
+    }
+    datalog::Relation* rel = db->GetOrCreate(pred);
+    for (const auto& [key, cost] : dump.rows) {
+      if (static_cast<int>(key.size()) != pred->key_arity()) {
+        return Status::Internal(StrPrintf(
+            "checkpoint row arity mismatch in '%s'", dump.name.c_str()));
+      }
+      // Stored costs were normalized before serialization; merging into the
+      // (⊑-smaller) working model is a lattice join, so restore lands on
+      // exactly the checkpointed state.
+      rel->Merge(key, cost);
+    }
+  }
+  return Status::OK();
+}
+
+std::string EncodeCheckpoint(const CheckpointData& ckpt) {
+  std::string payload;
+  PutU64(&payload, static_cast<uint64_t>(ckpt.epoch));
+  PutStr(&payload, ckpt.program_text);
+  PutStr(&payload, ckpt.facts_text);
+  PutStr(&payload, ckpt.completeness);
+  PutStr(&payload, ckpt.certificate_summary);
+  PutU64(&payload, ckpt.relations.size());
+  for (const auto& dump : ckpt.relations) {
+    PutStr(&payload, dump.name);
+    PutU32(&payload, static_cast<uint32_t>(dump.arity));
+    payload.push_back(dump.has_cost ? 1 : 0);
+    payload.push_back(dump.has_default ? 1 : 0);
+    PutStr(&payload, dump.domain);
+    PutU64(&payload, dump.rows.size());
+    for (const auto& [key, cost] : dump.rows) {
+      PutU32(&payload, static_cast<uint32_t>(key.size()));
+      for (const Value& v : key) PutValue(&payload, v);
+      PutValue(&payload, cost);
+    }
+  }
+
+  std::string file;
+  file.append(kMagic, kMagicBytes);
+  PutU32(&file, kVersion);
+  PutU64(&file, payload.size());
+  file.append(payload);
+  PutU32(&file, util::MaskCrc(util::Crc32c(payload)));
+  return file;
+}
+
+StatusOr<CheckpointData> DecodeCheckpoint(const std::string& bytes,
+                                          const std::string& origin) {
+  auto corrupt = [&origin](const char* why) {
+    return Status::Internal(
+        StrPrintf("%s: invalid checkpoint (%s)", origin.c_str(), why));
+  };
+  if (bytes.size() < kMagicBytes + 4 + 8 + 4 ||
+      std::memcmp(bytes.data(), kMagic, kMagicBytes) != 0) {
+    return corrupt("bad magic or truncated header");
+  }
+  Cursor header(bytes, kMagicBytes);
+  const uint32_t version = header.U32();
+  if (version != kVersion) return corrupt("unsupported version");
+  const uint64_t payload_len = header.U64();
+  const size_t payload_off = header.off();
+  if (payload_len != bytes.size() - payload_off - 4) {
+    return corrupt("length mismatch");
+  }
+  {
+    Cursor tail(bytes, payload_off + payload_len);
+    const uint32_t stored = tail.U32();
+    const uint32_t got =
+        util::Crc32c(bytes.data() + payload_off, payload_len);
+    if (util::UnmaskCrc(stored) != got) return corrupt("CRC mismatch");
+  }
+
+  CheckpointData ckpt;
+  Cursor c(bytes, payload_off);
+  ckpt.epoch = static_cast<int64_t>(c.U64());
+  ckpt.program_text = c.Str();
+  ckpt.facts_text = c.Str();
+  ckpt.completeness = c.Str();
+  ckpt.certificate_summary = c.Str();
+  const uint64_t nrel = c.U64();
+  for (uint64_t r = 0; r < nrel && c.ok(); ++r) {
+    CheckpointData::RelationDump dump;
+    dump.name = c.Str();
+    dump.arity = static_cast<int32_t>(c.U32());
+    dump.has_cost = c.U8() != 0;
+    dump.has_default = c.U8() != 0;
+    dump.domain = c.Str();
+    const uint64_t nrows = c.U64();
+    for (uint64_t i = 0; i < nrows && c.ok(); ++i) {
+      Tuple key;
+      const uint32_t klen = c.U32();
+      for (uint32_t k = 0; k < klen && c.ok(); ++k) {
+        key.push_back(GetValue(&c));
+      }
+      Value cost = GetValue(&c);
+      dump.rows.emplace_back(std::move(key), std::move(cost));
+    }
+    ckpt.relations.push_back(std::move(dump));
+  }
+  if (!c.ok()) return corrupt("truncated payload");
+  return ckpt;
+}
+
+Status WriteCheckpoint(const std::string& dir, const CheckpointData& ckpt,
+                       util::IoHooks* hooks) {
+  return util::WriteFileAtomic(dir + "/" + CheckpointFileName(ckpt.epoch),
+                               EncodeCheckpoint(ckpt), hooks);
+}
+
+StatusOr<CheckpointData> ReadCheckpoint(const std::string& path) {
+  MAD_ASSIGN_OR_RETURN(std::string bytes, util::ReadFileToString(path));
+  return DecodeCheckpoint(bytes, path);
+}
+
+}  // namespace server
+}  // namespace mad

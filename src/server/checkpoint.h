@@ -1,0 +1,90 @@
+#ifndef MAD_SERVER_CHECKPOINT_H_
+#define MAD_SERVER_CHECKPOINT_H_
+
+// Checkpoints: periodic durable images of the served least model, so
+// recovery replays a short WAL suffix instead of the whole insert history.
+//
+// A checkpoint file `checkpoint-<epoch>.ckpt` carries everything needed to
+// reconstruct (and cross-check) the serving state at that epoch:
+//
+//   * the program text as loaded (recovery refuses to replay a WAL written
+//     by a different program — the least model is a function of both),
+//   * the cumulative accepted insert history in `.mdl` fact syntax (this is
+//     what makes recovery *certifiable*: from-scratch re-evaluation of
+//     program + history must reproduce the materialized relations below,
+//     byte-identical in Database::ToString — the same differential-oracle
+//     discipline madcert applies to certificates),
+//   * every materialized relation (keys + normalized lattice costs), the
+//     fast path that skips re-running the fixpoint,
+//   * epoch, completeness, and a per-component certificate summary.
+//
+// Atomicity: checkpoints are written to a temp file, fsync'd, renamed into
+// place, and the directory fsync'd (util::WriteFileAtomic). A crash between
+// write and rename leaves a `.tmp` that recovery ignores. The payload is
+// CRC32C-framed; a checkpoint that fails validation is skipped in favor of
+// an older one plus a longer WAL replay.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/database.h"
+#include "util/posix_file.h"
+#include "util/status.h"
+
+namespace mad {
+namespace server {
+
+struct CheckpointData {
+  int64_t epoch = 0;
+  std::string program_text;
+  /// Concatenated accepted insert batches ('\n'-joined `.mdl` fact text).
+  std::string facts_text;
+  /// core::CompletenessName at checkpoint time (recovery refuses to
+  /// checkpoint-restore an under-approximation as if it were the model).
+  std::string completeness;
+  /// Human-readable per-component certificate kinds, e.g.
+  /// "c0:syntactically-admissible c1:semantically-monotonic".
+  std::string certificate_summary;
+
+  struct RelationDump {
+    std::string name;
+    int32_t arity = 0;
+    bool has_cost = false;
+    bool has_default = false;
+    std::string domain;  ///< CostDomain registry name; empty iff !has_cost
+    std::vector<std::pair<datalog::Tuple, datalog::Value>> rows;
+  };
+  std::vector<RelationDump> relations;
+};
+
+std::string CheckpointFileName(int64_t epoch);
+bool ParseCheckpointFileName(const std::string& name, int64_t* epoch);
+
+/// Captures `db` (a published snapshot — read-only access) into dump form.
+void DumpRelations(const datalog::Database& db, CheckpointData* out);
+
+/// Merges the checkpoint's relations into `db`, declaring implicitly-created
+/// (cost-free) predicates on `program` as the insert parser would have.
+/// Fails on any signature mismatch with an existing declaration — replaying
+/// someone else's checkpoint must not silently corrupt the model.
+Status RestoreRelations(const CheckpointData& ckpt, datalog::Program* program,
+                        datalog::Database* db);
+
+/// Binary encoding: magic + version + CRC32C-framed payload.
+std::string EncodeCheckpoint(const CheckpointData& ckpt);
+StatusOr<CheckpointData> DecodeCheckpoint(const std::string& bytes,
+                                          const std::string& origin);
+
+/// Crash-atomically writes `checkpoint-<epoch>.ckpt` into `dir`.
+Status WriteCheckpoint(const std::string& dir, const CheckpointData& ckpt,
+                       util::IoHooks* hooks);
+/// Reads and validates one checkpoint file.
+StatusOr<CheckpointData> ReadCheckpoint(const std::string& path);
+
+}  // namespace server
+}  // namespace mad
+
+#endif  // MAD_SERVER_CHECKPOINT_H_

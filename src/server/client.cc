@@ -6,14 +6,51 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "server/wire.h"
+#include "util/random.h"
 #include "util/string_util.h"
 
 namespace mad {
 namespace server {
+
+namespace {
+
+/// Socket-level errno values that mean "the connection, not the request,
+/// failed" — the server may be mid-restart or briefly overloaded, so a
+/// fresh connection can succeed.
+bool TransientErrno(int err) {
+  return err == ECONNREFUSED || err == ECONNRESET || err == ECONNABORTED ||
+         err == EPIPE || err == ETIMEDOUT || err == EHOSTUNREACH ||
+         err == ENETUNREACH || err == EAGAIN;
+}
+
+std::chrono::milliseconds BackoffDelay(const RetryOptions& retry, int attempt,
+                                       Random* rng) {
+  double base = static_cast<double>(retry.initial_backoff.count());
+  for (int i = 0; i < attempt; ++i) {
+    base *= 2;
+    if (base >= static_cast<double>(retry.max_backoff.count())) break;
+  }
+  base = std::min(base, static_cast<double>(retry.max_backoff.count()));
+  const double lo = 1.0 - retry.jitter;
+  const double hi = 1.0 + retry.jitter;
+  double scaled = base * (retry.jitter > 0 ? rng->UniformReal(lo, hi) : 1.0);
+  return std::chrono::milliseconds(
+      std::max<int64_t>(0, static_cast<int64_t>(scaled)));
+}
+
+uint64_t RetrySeed(const RetryOptions& retry) {
+  if (retry.seed != 0) return retry.seed;
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace
 
 StatusOr<Client> Client::Connect(const std::string& host, int port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -33,25 +70,51 @@ StatusOr<Client> Client::Connect(const std::string& host, int port) {
     rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
   } while (rc < 0 && errno == EINTR);
   if (rc < 0) {
-    Status st =
-        Status::Internal(StrPrintf("connect %s:%d: %s", host.c_str(), port,
-                                   std::strerror(errno)));
+    const int err = errno;
+    const std::string msg = StrPrintf("connect %s:%d: %s", host.c_str(), port,
+                                      std::strerror(err));
     ::close(fd);
-    return st;
+    return TransientErrno(err) ? Status::Unavailable(msg)
+                               : Status::Internal(msg);
   }
   Client c;
   c.fd_ = fd;
+  c.host_ = host;
+  c.port_ = port;
   return c;
+}
+
+StatusOr<Client> Client::ConnectWithRetry(const std::string& host, int port,
+                                          const RetryOptions& retry) {
+  Random rng(RetrySeed(retry));
+  Status last;
+  for (int attempt = 0; attempt < std::max(1, retry.max_attempts); ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(BackoffDelay(retry, attempt - 1, &rng));
+    }
+    auto client = Connect(host, port);
+    if (client.ok()) return client;
+    if (client.status().code() != StatusCode::kUnavailable) return client;
+    last = client.status();
+  }
+  return Status::Unavailable(StrPrintf(
+      "still unreachable after %d attempts: %s",
+      std::max(1, retry.max_attempts), last.message().c_str()));
 }
 
 Client::~Client() { Close(); }
 
-Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), host_(std::move(other.host_)), port_(other.port_) {
+  other.fd_ = -1;
+}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    host_ = std::move(other.host_);
+    port_ = other.port_;
     other.fd_ = -1;
   }
   return *this;
@@ -66,15 +129,63 @@ void Client::Close() {
 
 StatusOr<Json> Client::Call(const Json& request) {
   if (fd_ < 0) return Status::InvalidArgument("client is not connected");
-  MAD_RETURN_IF_ERROR(WriteFrame(fd_, request.Dump()));
+  Status written = WriteFrame(fd_, request.Dump());
+  if (!written.ok()) {
+    // A failed write is always a connection problem (the bytes never made it
+    // out); a fresh connection may succeed.
+    return Status::Unavailable(written.message());
+  }
   std::string payload;
-  MAD_ASSIGN_OR_RETURN(bool got, ReadFrame(fd_, &payload));
-  if (!got) return Status::Internal("server closed before responding");
+  auto got = ReadFrame(fd_, &payload);
+  if (!got.ok()) {
+    // Distinguish the dead connection from a live peer speaking garbage:
+    // framing violations are kInvalidArgument from the wire layer and must
+    // not be retried (the server is broken, not briefly away).
+    if (got.status().code() == StatusCode::kInvalidArgument) {
+      return got.status();
+    }
+    return Status::Unavailable(got.status().message());
+  }
+  if (!*got) {
+    return Status::Unavailable("server closed before responding");
+  }
   std::optional<Json> response = ParseJson(payload);
   if (!response.has_value()) {
     return Status::Internal("response is not valid JSON");
   }
   return *std::move(response);
+}
+
+StatusOr<Json> Client::CallWithRetry(const Json& request,
+                                     const RetryOptions& retry) {
+  Random rng(RetrySeed(retry));
+  Status last;
+  for (int attempt = 0; attempt < std::max(1, retry.max_attempts); ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(BackoffDelay(retry, attempt - 1, &rng));
+      // Reconnect and resend. Sound because every verb is idempotent: the
+      // server may have applied the previous send before dying mid-response,
+      // but inserts are lattice joins (a ⊔ a = a), so the resend lands on
+      // the same model.
+      auto fresh = Connect(host_, port_);
+      if (!fresh.ok()) {
+        if (fresh.status().code() != StatusCode::kUnavailable) {
+          return fresh.status();
+        }
+        last = fresh.status();
+        continue;
+      }
+      *this = std::move(fresh).value();
+    }
+    auto response = Call(request);
+    if (response.ok()) return response;
+    if (response.status().code() != StatusCode::kUnavailable) return response;
+    last = response.status();
+    Close();
+  }
+  return Status::Unavailable(StrPrintf(
+      "request failed after %d attempts: %s", std::max(1, retry.max_attempts),
+      last.message().c_str()));
 }
 
 namespace {
@@ -98,6 +209,14 @@ StatusOr<Json> Client::Insert(const std::string& facts_text) {
 StatusOr<Json> Client::Dump() { return Call(VerbRequest("dump")); }
 
 StatusOr<Json> Client::Stats() { return Call(VerbRequest("stats")); }
+
+StatusOr<Json> Client::Sync(bool checkpoint) {
+  Json j = VerbRequest("sync");
+  if (checkpoint) j.Set("checkpoint", Json::Bool(true));
+  return Call(j);
+}
+
+StatusOr<Json> Client::Recover() { return Call(VerbRequest("recover")); }
 
 StatusOr<Json> Client::Shutdown() { return Call(VerbRequest("shutdown")); }
 

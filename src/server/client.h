@@ -5,7 +5,17 @@
 // request/response. This is all madc, the tests, and bench_server need; a
 // caller that wants pipelining can open more clients — the server gives
 // every connection its own thread anyway.
+//
+// Transient transport failures (connection refused while the server
+// restarts, a peer reset mid-call) surface as kUnavailable; everything else
+// — bad arguments, protocol violations, malformed responses — is
+// non-retryable and fails fast. CallWithRetry layers capped exponential
+// backoff with jitter on top, reconnecting and *resending* on kUnavailable:
+// resending is safe here by construction, because every write verb is a
+// lattice join and joins are idempotent (a ⊔ a = a) — the monotone
+// semantics, not the transport, is what makes at-least-once delivery exact.
 
+#include <chrono>
 #include <memory>
 #include <string>
 
@@ -15,9 +25,27 @@
 namespace mad {
 namespace server {
 
+/// Backoff schedule for CallWithRetry / ConnectWithRetry. Attempt n sleeps
+/// min(initial * 2^n, max), scaled by a uniform jitter in [1-jitter,
+/// 1+jitter] so a thundering herd of clients decorrelates.
+struct RetryOptions {
+  int max_attempts = 5;
+  std::chrono::milliseconds initial_backoff{50};
+  std::chrono::milliseconds max_backoff{2000};
+  double jitter = 0.2;
+  /// RNG seed for the jitter; 0 derives one from the clock (fine for real
+  /// clients, tests pass a fixed seed).
+  uint64_t seed = 0;
+};
+
 class Client {
  public:
   static StatusOr<Client> Connect(const std::string& host, int port);
+
+  /// Connect, retrying kUnavailable failures (connection refused, host
+  /// briefly unreachable) per `retry`. Non-retryable errors return at once.
+  static StatusOr<Client> ConnectWithRetry(const std::string& host, int port,
+                                           const RetryOptions& retry);
 
   Client() = default;
   ~Client();
@@ -29,21 +57,32 @@ class Client {
   bool connected() const { return fd_ >= 0; }
 
   /// Sends one request frame and reads the response frame. Transport or
-  /// framing failures are an error Status; application-level failures come
-  /// back as a parsed response with ok:false.
+  /// framing failures are an error Status — kUnavailable when the connection
+  /// is the problem (retry may help), kInternal when the peer's bytes are
+  /// malformed (retrying will not help). Application-level failures come
+  /// back as a parsed response with ok:false, not as an error Status.
   StatusOr<Json> Call(const Json& request);
+
+  /// Call, but on kUnavailable: reconnect to the original host:port and
+  /// resend, with backoff per `retry`. Safe for every madd verb — inserts
+  /// are idempotent lattice joins, reads are reads.
+  StatusOr<Json> CallWithRetry(const Json& request, const RetryOptions& retry);
 
   /// Convenience wrappers over Call.
   StatusOr<Json> Ping();
   StatusOr<Json> Insert(const std::string& facts_text);
   StatusOr<Json> Dump();
   StatusOr<Json> Stats();
+  StatusOr<Json> Sync(bool checkpoint = false);
+  StatusOr<Json> Recover();
   StatusOr<Json> Shutdown();
 
   void Close();
 
  private:
   int fd_ = -1;
+  std::string host_;
+  int port_ = 0;
 };
 
 }  // namespace server

@@ -1,0 +1,100 @@
+#include "server/recovery.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace mad {
+namespace server {
+
+StatusOr<RecoveryPlan> PlanRecovery(const std::string& dir) {
+  MAD_RETURN_IF_ERROR(util::EnsureDir(dir));
+  MAD_ASSIGN_OR_RETURN(std::vector<std::string> names, util::ListDir(dir));
+
+  RecoveryPlan plan;
+  std::vector<int64_t> checkpoint_epochs;
+  std::vector<uint64_t> segment_seqs;
+  for (const std::string& name : names) {
+    int64_t epoch = 0;
+    uint64_t seq = 0;
+    if (ParseCheckpointFileName(name, &epoch)) {
+      checkpoint_epochs.push_back(epoch);
+    } else if (ParseWalSegmentName(name, &seq)) {
+      segment_seqs.push_back(seq);
+    } else if (name.size() > 4 &&
+               name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      // Crash between checkpoint-write and rename: the temp never became a
+      // checkpoint, so it is garbage by the atomicity protocol.
+      (void)util::RemoveFile(dir + "/" + name);
+    }
+    // Anything else in the directory is left alone.
+  }
+
+  // Newest checkpoint that validates wins; invalid ones are skipped in
+  // favor of older ones (longer replay, same least model).
+  std::sort(checkpoint_epochs.rbegin(), checkpoint_epochs.rend());
+  for (int64_t epoch : checkpoint_epochs) {
+    auto ckpt = ReadCheckpoint(dir + "/" + CheckpointFileName(epoch));
+    if (ckpt.ok()) {
+      plan.checkpoint = std::move(ckpt).value();
+      break;
+    }
+    ++plan.invalid_checkpoints;
+  }
+
+  const int64_t base_epoch =
+      plan.checkpoint.has_value() ? plan.checkpoint->epoch : 0;
+
+  // Collect records across segments in sequence order, then filter.
+  std::sort(segment_seqs.begin(), segment_seqs.end());
+  std::vector<WalRecord> records;
+  for (uint64_t seq : segment_seqs) {
+    MAD_ASSIGN_OR_RETURN(
+        WalReadResult one,
+        ReadWalSegment(dir + "/" + WalSegmentName(seq)));
+    ++plan.segments_scanned;
+    if (one.truncated_tail) ++plan.truncated_tail_records;
+    for (WalRecord& rec : one.records) records.push_back(std::move(rec));
+    plan.next_segment_seq = std::max(plan.next_segment_seq, seq + 1);
+  }
+
+  for (size_t i = 0; i < records.size(); ++i) {
+    WalRecord& rec = records[i];
+    if (rec.type == WalRecordType::kAbort) continue;  // pair consumed below
+    if (rec.epoch <= base_epoch) continue;  // covered by the checkpoint
+    // An insert immediately followed by its abort marker failed mid-merge
+    // and was never acknowledged: skip the pair. (The single-writer lane
+    // guarantees the abort, if written at all, is the very next record.)
+    if (i + 1 < records.size() &&
+        records[i + 1].type == WalRecordType::kAbort &&
+        records[i + 1].epoch == rec.epoch) {
+      ++plan.skipped_aborted_batches;
+      continue;
+    }
+    plan.replay.push_back(std::move(rec));
+  }
+  return plan;
+}
+
+Status PruneDataDir(const std::string& dir, uint64_t keep_seq,
+                    int64_t keep_epoch) {
+  MAD_ASSIGN_OR_RETURN(std::vector<std::string> names, util::ListDir(dir));
+  Status first_error;
+  for (const std::string& name : names) {
+    int64_t epoch = 0;
+    uint64_t seq = 0;
+    bool drop = false;
+    if (ParseCheckpointFileName(name, &epoch)) {
+      drop = epoch != keep_epoch;
+    } else if (ParseWalSegmentName(name, &seq)) {
+      drop = seq < keep_seq;
+    }
+    if (!drop) continue;
+    Status st = util::RemoveFile(dir + "/" + name);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+}  // namespace server
+}  // namespace mad

@@ -1,0 +1,87 @@
+#ifndef MAD_SERVER_RECOVERY_H_
+#define MAD_SERVER_RECOVERY_H_
+
+// Startup-time crash recovery: scan the data directory, load the newest
+// *valid* checkpoint, and plan the WAL replay past it. The replay itself
+// (ParseFacts + Engine::Update per batch) runs in ServerState::Load, which
+// owns the program and engine; this module is the pure filesystem/log side
+// so the fault-injection tests can drive it without a server.
+//
+// Invariants the scan enforces:
+//   * `.tmp` files (a crash between checkpoint-write and rename) are
+//     ignored and deleted.
+//   * A checkpoint that fails CRC/decode is skipped with a note; an older
+//     checkpoint plus a longer replay takes over. Only if *no* checkpoint
+//     validates does recovery start from epoch 0.
+//   * WAL segments replay in sequence order. A torn tail record in any
+//     segment is truncated (the expected crash signature); corruption in the
+//     middle of a segment hard-fails the recovery — silently skipping
+//     interior history would violate the prefix-replay soundness argument.
+//   * Records at or below the checkpoint epoch (from segments the pruner
+//     did not get to) are dropped; an insert immediately followed by its
+//     abort marker is skipped as a pair.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "server/checkpoint.h"
+#include "server/wal.h"
+#include "util/posix_file.h"
+#include "util/status.h"
+
+namespace mad {
+namespace server {
+
+/// Durability knobs threaded through ServerState::LoadOptions. An empty
+/// `data_dir` disables the subsystem entirely (the pre-durability loopback
+/// behaviour, used by most unit tests).
+struct DurabilityOptions {
+  std::string data_dir;
+  FsyncPolicy fsync = FsyncPolicy::kAlways;
+  /// Checkpoint after this many epochs since the last one (0 = never by
+  /// epoch count).
+  int64_t checkpoint_every_epochs = 256;
+  /// ... or once the WAL grows past this many bytes since the last
+  /// checkpoint (0 = never by size).
+  int64_t checkpoint_every_bytes = 16ll << 20;
+  /// After recovery, re-evaluate program + full insert history from scratch
+  /// and require Database::ToString() equality with the restored state —
+  /// the differential-oracle certification of the prefix-replay argument.
+  /// Costs one extra evaluation at startup.
+  bool verify_recovery = true;
+  /// Fault-injection seam; null uses pass-through hooks.
+  util::IoHooks* hooks = nullptr;
+};
+
+/// Everything recovery learned from the data directory.
+struct RecoveryPlan {
+  /// Newest checkpoint that validated, if any.
+  std::optional<CheckpointData> checkpoint;
+  /// Insert records to replay, in order, already filtered: epochs above the
+  /// checkpoint only, abort-marked batches removed.
+  std::vector<WalRecord> replay;
+  /// Sequence number the writer should use for its fresh segment (one past
+  /// every segment seen — recovery never appends to an old segment).
+  uint64_t next_segment_seq = 1;
+  /// Diagnostics for stats/logs.
+  int64_t segments_scanned = 0;
+  int64_t truncated_tail_records = 0;
+  int64_t skipped_aborted_batches = 0;
+  int64_t invalid_checkpoints = 0;
+};
+
+/// Scans `dir` (creating it if absent) and builds the replay plan.
+StatusOr<RecoveryPlan> PlanRecovery(const std::string& dir);
+
+/// Deletes WAL segments strictly below `keep_seq` and all checkpoints other
+/// than `keep_epoch` (called after a successful checkpoint+rotation; best
+/// effort — an undeletable file is reported but must not fail the writer).
+Status PruneDataDir(const std::string& dir, uint64_t keep_seq,
+                    int64_t keep_epoch);
+
+}  // namespace server
+}  // namespace mad
+
+#endif  // MAD_SERVER_RECOVERY_H_

@@ -163,6 +163,10 @@ void Server::ServeConnection(Connection* conn) {
       break;
     }
   }
+  // Reap() owns the close, but it may not run until the next accept; without
+  // this half-close an abusive peer that broke framing would wait on a dead
+  // connection indefinitely. Signal EOF now, reclaim the fd later.
+  ::shutdown(conn->fd, SHUT_RDWR);
   conn->finished.store(true, std::memory_order_release);
 }
 

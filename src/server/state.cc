@@ -97,7 +97,9 @@ StatusOr<std::unique_ptr<ServerState>> ServerState::Load(
   // stable address before constructing the engine.
   auto state = std::unique_ptr<ServerState>(new ServerState());
   state->program_ = std::make_unique<datalog::Program>(std::move(parsed));
+  state->program_text_ = std::string(program_text);
   state->cancellation_ = options.cancellation;
+  state->durability_ = std::move(options.durability);
   if (state->cancellation_ != nullptr &&
       options.eval.limits.cancellation == nullptr) {
     options.eval.limits.cancellation = state->cancellation_;
@@ -109,14 +111,178 @@ StatusOr<std::unique_ptr<ServerState>> ServerState::Load(
   // rejected program returns an error here and never serves.
   MAD_ASSIGN_OR_RETURN(state->work_, state->engine_->Run(datalog::Database()));
 
+  state->updates_safe_ =
+      analysis::AnalyzeUpdateSafety(*state->program_).basic.ok();
+  for (const auto& verdict : state->work_.check.components) {
+    if (!state->certificate_summary_.empty()) {
+      state->certificate_summary_.push_back(' ');
+    }
+    state->certificate_summary_ += StrPrintf(
+        "c%d:%s", verdict.index,
+        analysis::absint::CertificateKindName(verdict.certificate));
+  }
+
+  if (!state->durability_.data_dir.empty()) {
+    MAD_RETURN_IF_ERROR(state->RecoverAndOpenWal());
+  }
+
+  // Build the frozen name map only after recovery: WAL replay may implicitly
+  // declare cost-free predicates exactly like live inserts do, and those
+  // must be queryable.
   for (const auto& pred : state->program_->predicates()) {
     state->preds_.emplace(pred->name, pred.get());
   }
-  state->updates_safe_ =
-      analysis::AnalyzeUpdateSafety(*state->program_).basic.ok();
   state->start_ = std::chrono::steady_clock::now();
   state->Publish();
   return state;
+}
+
+Status ServerState::RecoverAndOpenWal() {
+  const auto t0 = std::chrono::steady_clock::now();
+  MAD_ASSIGN_OR_RETURN(RecoveryPlan plan, PlanRecovery(durability_.data_dir));
+
+  if (plan.checkpoint.has_value()) {
+    const CheckpointData& ckpt = *plan.checkpoint;
+    // The least model is a function of program AND insert history; a WAL
+    // written under a different program must not be silently replayed.
+    if (ckpt.program_text != program_text_) {
+      return Status::InvalidArgument(StrPrintf(
+          "data dir '%s' holds a checkpoint for a different program; refusing "
+          "to recover (move the data dir aside or restore the original .mdl)",
+          durability_.data_dir.c_str()));
+    }
+    MAD_RETURN_IF_ERROR(RestoreRelations(ckpt, program_.get(), &work_.db));
+    epoch_ = ckpt.epoch;
+    cumulative_facts_ = ckpt.facts_text;
+  }
+
+  int64_t replayed = 0;
+  for (const WalRecord& rec : plan.replay) {
+    auto facts = datalog::ParseFacts(program_.get(), rec.facts_text);
+    if (!facts.ok()) {
+      return Status::Internal(StrPrintf(
+          "WAL replay: the batch for epoch %lld no longer parses against the "
+          "program: %s",
+          static_cast<long long>(rec.epoch), facts.status().message().c_str()));
+    }
+    ResourceLimits limits;
+    limits.cancellation = cancellation_;
+    auto stats = engine_->Update(&work_, *facts, limits);
+    if (!stats.ok()) {
+      return Status::Internal(StrPrintf(
+          "WAL replay failed applying the batch for epoch %lld: %s",
+          static_cast<long long>(rec.epoch), stats.status().message().c_str()));
+    }
+    epoch_ = rec.epoch;
+    cumulative_facts_.append(rec.facts_text);
+    cumulative_facts_.push_back('\n');
+    ++replayed;
+  }
+
+  if (durability_.verify_recovery &&
+      (plan.checkpoint.has_value() || replayed > 0)) {
+    MAD_RETURN_IF_ERROR(VerifyRecoveredState());
+  }
+
+  // Always rotate: recovery never appends to a segment it read, so a torn
+  // tail stays frozen in place instead of being overwritten.
+  MAD_ASSIGN_OR_RETURN(
+      WalWriter wal,
+      WalWriter::Create(durability_.data_dir, plan.next_segment_seq,
+                        durability_.fsync, hooks()));
+  wal_ = std::make_unique<WalWriter>(std::move(wal));
+
+  std::lock_guard<std::mutex> lk(dur_mu_);
+  dur_.durable_epoch = epoch_;
+  dur_.wal_seq = wal_->seq();
+  dur_.last_checkpoint_epoch =
+      plan.checkpoint.has_value() ? plan.checkpoint->epoch : 0;
+  dur_.replayed_records = replayed;
+  dur_.truncated_tail_records = plan.truncated_tail_records;
+  dur_.skipped_aborted_batches = plan.skipped_aborted_batches;
+  dur_.invalid_checkpoints = plan.invalid_checkpoints;
+  dur_.recovery_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+  return Status::OK();
+}
+
+Status ServerState::VerifyRecoveredState() {
+  // Differential oracle: the recovered model must equal a from-scratch
+  // evaluation of program + full insert history. Confluence of lattice joins
+  // makes the history order-insensitive, so one bulk Update of the
+  // concatenated batches reaches the same least model the incremental
+  // sequence did — and ToString() is sorted, so equality is byte-equality.
+  MAD_ASSIGN_OR_RETURN(core::EvalResult fresh,
+                       engine_->Run(datalog::Database()));
+  if (!cumulative_facts_.empty()) {
+    MAD_ASSIGN_OR_RETURN(std::vector<datalog::Fact> facts,
+                         datalog::ParseFacts(program_.get(), cumulative_facts_));
+    ResourceLimits limits;
+    limits.cancellation = cancellation_;
+    auto stats = engine_->Update(&fresh, facts, limits);
+    if (!stats.ok()) return stats.status();
+  }
+  if (fresh.db.ToString() != work_.db.ToString()) {
+    return Status::Internal(
+        "recovery certification failed: the replayed state differs from a "
+        "from-scratch evaluation of program + insert history (corrupt "
+        "checkpoint or non-deterministic evaluation)");
+  }
+  return Status::OK();
+}
+
+void ServerState::SyncDurabilityCounters() {
+  if (wal_ == nullptr) return;
+  std::lock_guard<std::mutex> lk(dur_mu_);
+  dur_.wal_seq = wal_->seq();
+  dur_.wal_records = wal_->records();
+  dur_.wal_bytes = wal_->bytes();
+}
+
+void ServerState::MaybeCheckpoint(bool force) {
+  if (wal_ == nullptr) return;
+  // Only exact least models are checkpointed: a limit-degraded working set
+  // is sound but not the state the differential verifier would reproduce.
+  if (work_.completeness != core::Completeness::kLeastModel) return;
+  if (!force) {
+    int64_t last = 0;
+    {
+      std::lock_guard<std::mutex> lk(dur_mu_);
+      last = dur_.last_checkpoint_epoch;
+    }
+    const bool by_epochs = durability_.checkpoint_every_epochs > 0 &&
+                           epoch_ - last >= durability_.checkpoint_every_epochs;
+    const bool by_bytes = durability_.checkpoint_every_bytes > 0 &&
+                          wal_->bytes() >= durability_.checkpoint_every_bytes;
+    if (!by_epochs && !by_bytes) return;
+  }
+
+  CheckpointData ckpt;
+  ckpt.epoch = epoch_;
+  ckpt.program_text = program_text_;
+  ckpt.facts_text = cumulative_facts_;
+  ckpt.completeness = core::CompletenessName(work_.completeness);
+  ckpt.certificate_summary = certificate_summary_;
+  DumpRelations(work_.db, &ckpt);
+
+  // Failures here are counted, never fatal: the WAL remains authoritative
+  // and a later attempt (or restart) can still checkpoint.
+  Status written = WriteCheckpoint(durability_.data_dir, ckpt, hooks());
+  if (written.ok()) {
+    auto rotated = WalWriter::Create(durability_.data_dir, wal_->seq() + 1,
+                                     durability_.fsync, hooks());
+    if (rotated.ok()) {
+      *wal_ = std::move(rotated).value();
+      (void)PruneDataDir(durability_.data_dir, wal_->seq(), epoch_);
+      std::lock_guard<std::mutex> lk(dur_mu_);
+      dur_.last_checkpoint_epoch = epoch_;
+      ++dur_.checkpoints_written;
+      return;
+    }
+  }
+  std::lock_guard<std::mutex> lk(dur_mu_);
+  ++dur_.checkpoint_failures;
 }
 
 void ServerState::Publish() {
@@ -164,6 +330,10 @@ Json ServerState::Handle(const Json& request) {
     response = HandleDump();
   } else if (verb == "stats") {
     response = HandleStats();
+  } else if (verb == "sync") {
+    response = HandleSync(request);
+  } else if (verb == "recover") {
+    response = HandleRecover();
   } else if (verb == "shutdown") {
     // Transport-level: the server loop sees this verb and starts draining;
     // the response acknowledges the request against the final epoch.
@@ -297,11 +467,21 @@ Json ServerState::HandleInsert(const Json& request) {
   }
 
   std::lock_guard<std::mutex> lk(writer_mu_);
-  if (poisoned_) {
+  if (poisoned_.load(std::memory_order_acquire)) {
     return ErrorResponse(
         "insert", Status::Internal(
                       "a previous insert failed mid-merge; the working set "
-                      "is no longer a certified model, restart the server"));
+                      "is no longer a certified model — send the 'recover' "
+                      "verb to rebuild the writer from the last published "
+                      "snapshot, or restart the server"));
+  }
+  if (degraded_.load(std::memory_order_acquire)) {
+    return ErrorResponse(
+        "insert",
+        Status::DurabilityDegraded(
+            "the write-ahead log can no longer persist writes (disk full or "
+            "I/O error); writes are refused while reads keep serving — free "
+            "space and send the 'recover' verb"));
   }
   // Parsing may implicitly declare unknown predicates on the Program, but
   // readers resolve names against the load-time frozen map, so this is
@@ -309,23 +489,136 @@ Json ServerState::HandleInsert(const Json& request) {
   auto facts = datalog::ParseFacts(program_.get(), facts_field.str);
   if (!facts.ok()) return ErrorResponse("insert", facts.status());
 
+  // Write-ahead: the batch must be on stable storage before the model moves.
+  // An append/fsync failure degrades the server instead of acknowledging a
+  // write that a crash could silently lose.
+  if (wal_ != nullptr) {
+    WalRecord rec;
+    rec.type = WalRecordType::kInsert;
+    rec.epoch = epoch_ + 1;
+    rec.facts_text = facts_field.str;
+    Status appended = wal_->Append(rec);
+    if (!appended.ok()) {
+      degraded_.store(true, std::memory_order_release);
+      SyncDurabilityCounters();
+      return ErrorResponse(
+          "insert", Status::DurabilityDegraded(StrPrintf(
+                        "WAL append failed (%s); writes are refused while "
+                        "reads keep serving — free space and send 'recover'",
+                        appended.message().c_str())));
+    }
+  }
+
   auto stats =
       engine_->Update(&work_, *facts, RequestResourceLimits(request));
   if (!stats.ok()) {
     // Update merges facts before closing over them, so a failure here can
     // leave the working set under-closed. Refuse further writes; reads keep
-    // serving the last published (still sound) snapshot.
-    poisoned_ = true;
+    // serving the last published (still sound) snapshot. The abort record
+    // tells replay to skip the logged batch — if logging the abort itself
+    // fails, recovery replays an unacknowledged batch, which is monotone-
+    // sound (at-least-once for failed writes).
+    poisoned_.store(true, std::memory_order_release);
+    if (wal_ != nullptr) {
+      WalRecord abort;
+      abort.type = WalRecordType::kAbort;
+      abort.epoch = epoch_ + 1;
+      Status aborted = wal_->Append(abort);
+      if (!aborted.ok()) degraded_.store(true, std::memory_order_release);
+      SyncDurabilityCounters();
+    }
     return ErrorResponse("insert", stats.status());
   }
   ++epoch_;
+  cumulative_facts_.append(facts_field.str);
+  cumulative_facts_.push_back('\n');
   Publish();
+  if (wal_ != nullptr) {
+    MaybeCheckpoint(/*force=*/false);
+    SyncDurabilityCounters();
+    if (durability_.fsync == FsyncPolicy::kAlways) {
+      std::lock_guard<std::mutex> dlk(dur_mu_);
+      dur_.durable_epoch = epoch_;
+    }
+  }
 
   Json j = OkResponse("insert", epoch_);
   j.Set("facts_parsed", Json::Int(static_cast<int64_t>(facts->size())));
   j.Set("stats", EvalStatsToJson(*stats));
   j.Set("completeness",
         Json::Str(core::CompletenessName(work_.completeness)));
+  if (wal_ != nullptr) {
+    j.Set("durable",
+          Json::Bool(durability_.fsync == FsyncPolicy::kAlways));
+  }
+  return j;
+}
+
+Json ServerState::HandleSync(const Json& request) {
+  std::lock_guard<std::mutex> lk(writer_mu_);
+  if (wal_ == nullptr) {
+    Json j = OkResponse("sync", epoch_);
+    j.Set("durability_enabled", Json::Bool(false));
+    return j;
+  }
+  Status synced = wal_->Sync();
+  if (!synced.ok()) {
+    degraded_.store(true, std::memory_order_release);
+    return ErrorResponse(
+        "sync", Status::DurabilityDegraded(StrPrintf(
+                    "fsync failed (%s); writes are refused while reads keep "
+                    "serving", synced.message().c_str())));
+  }
+  {
+    std::lock_guard<std::mutex> dlk(dur_mu_);
+    dur_.durable_epoch = epoch_;
+  }
+  const Json& ckpt = request.At("checkpoint");
+  if (ckpt.is_bool() && ckpt.boolean) MaybeCheckpoint(/*force=*/true);
+  SyncDurabilityCounters();
+  Json j = OkResponse("sync", epoch_);
+  j.Set("durability_enabled", Json::Bool(true));
+  j.Set("durable_epoch", Json::Int(epoch_));
+  return j;
+}
+
+Json ServerState::HandleRecover() {
+  std::lock_guard<std::mutex> lk(writer_mu_);
+  bool poison_cleared = false;
+  bool wal_restored = false;
+
+  if (poisoned_.load(std::memory_order_acquire)) {
+    // The published snapshot is exactly the least model of every acknowledged
+    // batch (the poisoning batch was never published), so cloning it rebuilds
+    // a certified writer state. Clone, not Snapshot: the writer needs its own
+    // mutable relations, detached from what readers are pinning.
+    auto snap = Pin();
+    work_.db = snap->db.Clone();
+    work_.completeness = snap->completeness;
+    work_.limit_tripped = snap->limit_tripped;
+    poisoned_.store(false, std::memory_order_release);
+    poison_cleared = true;
+  }
+
+  if (degraded_.load(std::memory_order_acquire) && wal_ != nullptr) {
+    // The old segment keeps every acknowledged batch (its tail may be torn;
+    // recovery truncates that). Rotate to a fresh segment — if the disk is
+    // still full this fails and the server stays degraded.
+    auto rotated = WalWriter::Create(durability_.data_dir, wal_->seq() + 1,
+                                     durability_.fsync, hooks());
+    if (rotated.ok()) {
+      *wal_ = std::move(rotated).value();
+      degraded_.store(false, std::memory_order_release);
+      wal_restored = true;
+    }
+  }
+  SyncDurabilityCounters();
+
+  Json j = OkResponse("recover", epoch_);
+  j.Set("poison_cleared", Json::Bool(poison_cleared));
+  j.Set("wal_restored", Json::Bool(wal_restored));
+  j.Set("poisoned", Json::Bool(poisoned_.load(std::memory_order_acquire)));
+  j.Set("degraded", Json::Bool(degraded_.load(std::memory_order_acquire)));
   return j;
 }
 
@@ -352,7 +645,31 @@ Json ServerState::HandleStats() {
         Json::Double(std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start_)
                          .count()));
+  j.Set("poisoned", Json::Bool(poisoned_.load(std::memory_order_acquire)));
   j.Set("verbs", latency_.ToJson());
+
+  Json d = Json::Object();
+  const bool enabled = !durability_.data_dir.empty();
+  d.Set("enabled", Json::Bool(enabled));
+  if (enabled) {
+    d.Set("data_dir", Json::Str(durability_.data_dir));
+    d.Set("fsync_policy", Json::Str(FsyncPolicyName(durability_.fsync)));
+    d.Set("degraded", Json::Bool(degraded_.load(std::memory_order_acquire)));
+    std::lock_guard<std::mutex> dlk(dur_mu_);
+    d.Set("durable_epoch", Json::Int(dur_.durable_epoch));
+    d.Set("wal_segment_seq", Json::Int(static_cast<int64_t>(dur_.wal_seq)));
+    d.Set("wal_records", Json::Int(dur_.wal_records));
+    d.Set("wal_bytes", Json::Int(dur_.wal_bytes));
+    d.Set("last_checkpoint_epoch", Json::Int(dur_.last_checkpoint_epoch));
+    d.Set("checkpoints_written", Json::Int(dur_.checkpoints_written));
+    d.Set("checkpoint_failures", Json::Int(dur_.checkpoint_failures));
+    d.Set("replayed_records", Json::Int(dur_.replayed_records));
+    d.Set("truncated_tail_records", Json::Int(dur_.truncated_tail_records));
+    d.Set("skipped_aborted_batches", Json::Int(dur_.skipped_aborted_batches));
+    d.Set("invalid_checkpoints", Json::Int(dur_.invalid_checkpoints));
+    d.Set("recovery_seconds", Json::Double(dur_.recovery_seconds));
+  }
+  j.Set("durability", std::move(d));
   return j;
 }
 

@@ -15,7 +15,18 @@
 // exact least model of a serial prefix of the insert stream, no reader can
 // ever observe a torn state — not by luck, but because the lattice order
 // totally orders the published models.
+//
+// Durability (DESIGN.md "Durability") extends the same prefix argument to
+// disk: every accepted insert batch is appended to a CRC32C-framed,
+// fsync'd write-ahead log *before* Engine::Update runs, periodic
+// checkpoints capture the materialized model, and startup replays the
+// newest checkpoint plus the WAL suffix — reproducing the exact pre-crash
+// least model (replay of any prefix is sound; replay of everything is
+// exact). On WAL failure (disk full, I/O error) the server degrades: writes
+// are refused with kDurabilityDegraded, reads keep serving the last sound
+// snapshot.
 
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <memory>
@@ -27,6 +38,8 @@
 #include "datalog/ast.h"
 #include "datalog/database.h"
 #include "server/json.h"
+#include "server/recovery.h"
+#include "server/wal.h"
 #include "util/resource_guard.h"
 #include "util/status.h"
 
@@ -77,17 +90,23 @@ class ServerState {
     /// ResourceGuard so shutdown interrupts long evaluations, and honored by
     /// the load-time run itself.
     std::shared_ptr<CancellationToken> cancellation;
+    /// WAL + checkpoint + crash recovery; disabled while data_dir is empty.
+    DurabilityOptions durability;
   };
 
   /// Parses, checks (the full PR2/PR3 check-and-certify pipeline runs inside
   /// Engine::Run when eval.validate is set — a rejected program never
   /// serves), evaluates the initial least model, and publishes epoch 0.
+  /// With durability enabled, first recovers from the data directory:
+  /// newest valid checkpoint, then WAL replay (torn tails truncated), then
+  /// — under DurabilityOptions::verify_recovery — a from-scratch
+  /// re-evaluation that must reproduce the recovered model byte-identically.
   static StatusOr<std::unique_ptr<ServerState>> Load(
       std::string_view program_text, LoadOptions options);
 
   /// Dispatches one request and returns the response. Verbs: ping, query,
-  /// insert, dump, stats, shutdown. Unknown verbs get ok:false responses;
-  /// this never fails at the transport level.
+  /// insert, dump, stats, sync, recover, shutdown. Unknown verbs get
+  /// ok:false responses; this never fails at the transport level.
   Json Handle(const Json& request);
 
   /// The currently published snapshot (never null after Load).
@@ -97,6 +116,10 @@ class ServerState {
   const core::Engine& engine() const { return *engine_; }
   const datalog::Program& program() const { return *program_; }
 
+  /// Durability health, for callers that bypass the JSON surface (tests).
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
+
  private:
   ServerState() = default;
 
@@ -105,6 +128,8 @@ class ServerState {
   Json HandleInsert(const Json& request);
   Json HandleDump();
   Json HandleStats();
+  Json HandleSync(const Json& request);
+  Json HandleRecover();
 
   /// Reads {"limits": {"deadline_ms": N, "max_tuples": N}} into engine
   /// limits, always merging the server-wide cancellation token.
@@ -112,6 +137,23 @@ class ServerState {
 
   /// Publishes the writer's current working model as epoch `epoch_`.
   void Publish();
+
+  /// Startup-time recovery body: restore the newest valid checkpoint into
+  /// the working model, replay the WAL suffix, optionally certify against a
+  /// from-scratch evaluation, and open a fresh WAL segment.
+  Status RecoverAndOpenWal();
+  /// Differential certification: program + full insert history, evaluated
+  /// from scratch, must reproduce the working model byte-identically.
+  Status VerifyRecoveredState();
+  /// Writes a checkpoint of the current working model, rotates the WAL, and
+  /// prunes covered files. `force` bypasses the epoch/byte thresholds.
+  /// Requires writer_mu_; best effort — failures are counted, not fatal
+  /// (the WAL remains authoritative).
+  void MaybeCheckpoint(bool force);
+  util::IoHooks* hooks() const {
+    return durability_.hooks != nullptr ? durability_.hooks
+                                        : util::DefaultIoHooks();
+  }
 
   // Program first: engine_ and every PredicateInfo pointer reference it.
   std::unique_ptr<datalog::Program> program_;
@@ -122,16 +164,51 @@ class ServerState {
   std::shared_ptr<CancellationToken> cancellation_;
   bool updates_safe_ = false;  ///< AnalyzeUpdateSafety verdict, fixed at load
   std::chrono::steady_clock::time_point start_{};
+  std::string program_text_;          ///< exactly as loaded (checkpointed)
+  std::string certificate_summary_;   ///< per-component kinds, for ckpts
 
   /// Writer lane. `work_` is the evolving model; only the thread holding
-  /// writer_mu_ touches it (or the Program, via the insert parser).
+  /// writer_mu_ touches it (or the Program, via the insert parser) — and
+  /// all durability state below except the two health atomics.
   std::mutex writer_mu_;
   core::EvalResult work_;
   int64_t epoch_ = 0;
   /// Set when an insert failed *after* merging began (increase-unsafe trip):
   /// the working set may be under-closed, so further inserts are refused
-  /// while reads keep serving the last sound snapshot.
-  bool poisoned_ = false;
+  /// while reads keep serving the last sound snapshot. The `recover` verb
+  /// rebuilds the writer from the snapshot and clears this.
+  std::atomic<bool> poisoned_{false};
+
+  // --- durability (writer lane; counters mirrored under dur_mu_) ---------
+  DurabilityOptions durability_;
+  std::unique_ptr<WalWriter> wal_;
+  /// Concatenated accepted insert batches since epoch 0 — the full EDB
+  /// delta history, checkpointed for differential recovery certification.
+  std::string cumulative_facts_;
+  /// Set when the WAL can no longer persist writes (ENOSPC, I/O error):
+  /// inserts are refused with kDurabilityDegraded, reads keep serving.
+  std::atomic<bool> degraded_{false};
+
+  /// Small scalar mirror of durability state for the stats verb, so readers
+  /// never block behind a long-running update on writer_mu_.
+  struct DurabilityCounters {
+    int64_t durable_epoch = 0;     ///< highest epoch known fsync'd
+    uint64_t wal_seq = 0;
+    int64_t wal_records = 0;
+    int64_t wal_bytes = 0;
+    int64_t last_checkpoint_epoch = 0;
+    int64_t checkpoints_written = 0;
+    int64_t checkpoint_failures = 0;
+    int64_t replayed_records = 0;
+    int64_t truncated_tail_records = 0;
+    int64_t skipped_aborted_batches = 0;
+    int64_t invalid_checkpoints = 0;
+    double recovery_seconds = 0;
+  };
+  mutable std::mutex dur_mu_;
+  DurabilityCounters dur_;
+  /// Refreshes the wal_* mirror fields from wal_ (writer lane only).
+  void SyncDurabilityCounters();
 
   mutable std::mutex snap_mu_;
   std::shared_ptr<const ServingSnapshot> snapshot_;

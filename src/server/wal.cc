@@ -1,0 +1,188 @@
+#include "server/wal.h"
+
+#include <cstring>
+
+#include "util/crc32c.h"
+#include "util/string_util.h"
+
+namespace mad {
+namespace server {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* FsyncPolicyName(FsyncPolicy p) {
+  switch (p) {
+    case FsyncPolicy::kAlways:
+      return "always";
+    case FsyncPolicy::kNever:
+      return "never";
+  }
+  return "unknown";
+}
+
+std::string WalSegmentName(uint64_t seq) {
+  return StrPrintf("wal-%010llu.log", static_cast<unsigned long long>(seq));
+}
+
+bool ParseWalSegmentName(const std::string& name, uint64_t* seq) {
+  if (name.size() != 4 + 10 + 4 || name.rfind("wal-", 0) != 0 ||
+      name.compare(name.size() - 4, 4, ".log") != 0) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (size_t i = 4; i < 14; ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *seq = v;
+  return true;
+}
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  std::string payload;
+  payload.push_back(static_cast<char>(record.type));
+  PutU64(&payload, static_cast<uint64_t>(record.epoch));
+  payload.append(record.facts_text);
+
+  std::string frame;
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, util::MaskCrc(util::Crc32c(payload)));
+  frame.append(payload);
+  return frame;
+}
+
+StatusOr<WalReadResult> ReadWalSegment(const std::string& path) {
+  MAD_ASSIGN_OR_RETURN(std::string data, util::ReadFileToString(path));
+  WalReadResult out;
+
+  // Magic. A file shorter than the magic is the torn remains of segment
+  // creation — treat as an empty segment; wrong bytes are hard corruption.
+  if (data.size() < kWalMagicBytes) {
+    if (std::memcmp(data.data(), kWalMagic, data.size()) != 0) {
+      return Status::Internal(path + ": bad WAL magic");
+    }
+    out.truncated_tail = !data.empty();
+    out.valid_bytes = 0;
+    return out;
+  }
+  if (std::memcmp(data.data(), kWalMagic, kWalMagicBytes) != 0) {
+    return Status::Internal(path + ": bad WAL magic");
+  }
+
+  size_t off = kWalMagicBytes;
+  out.valid_bytes = static_cast<int64_t>(off);
+  while (off < data.size()) {
+    // A header that does not fit before EOF is a torn tail.
+    if (data.size() - off < 8) {
+      out.truncated_tail = true;
+      break;
+    }
+    const uint32_t len = GetU32(data.data() + off);
+    const uint32_t want_crc = util::UnmaskCrc(GetU32(data.data() + off + 4));
+    const size_t body = off + 8;
+    // Claimed extent past EOF: the crash-torn signature, whether the length
+    // field is real (payload cut short) or garbage from a torn header —
+    // after a crash nothing follows the tear, so a plausible-but-overlong
+    // extent can only be the tail.
+    if (len > data.size() - body) {
+      out.truncated_tail = true;
+      break;
+    }
+    if (len > kMaxWalRecordBytes || len < 9) {
+      // Extent fits but the length is impossible (payload needs at least
+      // type + epoch): bytes after this point exist, so this is interior
+      // corruption, not a tear.
+      return Status::Internal(
+          StrPrintf("%s: corrupt record length %u at offset %zu",
+                    path.c_str(), len, off));
+    }
+    const uint32_t got_crc = util::Crc32c(data.data() + body, len);
+    if (got_crc != want_crc) {
+      if (body + len == data.size()) {
+        // CRC-failing final record: torn payload/CRC write. Drop it.
+        out.truncated_tail = true;
+        break;
+      }
+      return Status::Internal(StrPrintf(
+          "%s: CRC mismatch at offset %zu (mid-segment corruption)",
+          path.c_str(), off));
+    }
+    WalRecord rec;
+    const uint8_t type = static_cast<uint8_t>(data[body]);
+    if (type != static_cast<uint8_t>(WalRecordType::kInsert) &&
+        type != static_cast<uint8_t>(WalRecordType::kAbort)) {
+      return Status::Internal(StrPrintf("%s: unknown record type %u",
+                                        path.c_str(), type));
+    }
+    rec.type = static_cast<WalRecordType>(type);
+    rec.epoch = static_cast<int64_t>(GetU64(data.data() + body + 1));
+    rec.facts_text.assign(data, body + 9, len - 9);
+    out.records.push_back(std::move(rec));
+    off = body + len;
+    out.valid_bytes = static_cast<int64_t>(off);
+  }
+  return out;
+}
+
+StatusOr<WalWriter> WalWriter::Create(const std::string& dir, uint64_t seq,
+                                      FsyncPolicy fsync,
+                                      util::IoHooks* hooks) {
+  const std::string path = dir + "/" + WalSegmentName(seq);
+  if (util::FileExists(path)) {
+    return Status::Internal(path + ": WAL segment already exists");
+  }
+  MAD_ASSIGN_OR_RETURN(util::AppendFile file,
+                       util::AppendFile::Open(path, hooks));
+  WalWriter w;
+  w.file_ = std::move(file);
+  w.seq_ = seq;
+  w.fsync_ = fsync;
+  MAD_RETURN_IF_ERROR(
+      w.file_.Append(std::string_view(kWalMagic, kWalMagicBytes)));
+  if (fsync == FsyncPolicy::kAlways) MAD_RETURN_IF_ERROR(w.file_.Sync());
+  return w;
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  if (record.facts_text.size() + 9 > kMaxWalRecordBytes) {
+    return Status::InvalidArgument(StrPrintf(
+        "WAL record of %zu bytes exceeds the %zu-byte cap",
+        record.facts_text.size(), kMaxWalRecordBytes));
+  }
+  MAD_RETURN_IF_ERROR(file_.Append(EncodeWalRecord(record)));
+  if (fsync_ == FsyncPolicy::kAlways) MAD_RETURN_IF_ERROR(file_.Sync());
+  ++records_;
+  return Status::OK();
+}
+
+Status WalWriter::Sync() { return file_.Sync(); }
+
+}  // namespace server
+}  // namespace mad

@@ -1,0 +1,136 @@
+#ifndef MAD_SERVER_WAL_H_
+#define MAD_SERVER_WAL_H_
+
+// Write-ahead log of insert batches — the durability half of madd's crash
+// story (DESIGN.md "Durability"). Soundness rides on the paper's central
+// property: the served model is the limit of a monotone chain of lattice
+// joins, so replaying *any prefix* of the insert history yields a sound
+// (⊑ least-model) partial model, and replaying the whole history reproduces
+// the exact least model. The WAL therefore logs the raw accepted `.mdl`
+// fact text per batch — replay runs the identical ParseFacts + Engine::Update
+// path the live server ran, and determinism of the least fixpoint does the
+// rest.
+//
+// On-disk format (all integers little-endian):
+//
+//   segment  := magic(8 = "MADWAL01") record*
+//   record   := length(u32) masked_crc32c(u32) payload
+//   payload  := type(u8) epoch(u64) facts_text(bytes)
+//
+// `length` counts payload bytes; the CRC covers the payload and is stored
+// masked (util/crc32c.h) so checksummed checksums stay independent. Record
+// types: kInsert logs an accepted batch whose application produced `epoch`;
+// kAbort marks the *immediately preceding* kInsert with the same epoch as
+// failed mid-merge (the writer poisoned itself) — replay must skip that
+// batch.
+//
+// Torn-tail tolerance: a crash mid-append leaves a partial or CRC-failing
+// record at the *end* of the last segment. Readers truncate such a tail and
+// report it; a bad record with more data after its claimed extent is
+// corruption in the middle of a segment and hard-fails — silent data loss
+// in the interior would break the prefix argument.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/posix_file.h"
+#include "util/status.h"
+
+namespace mad {
+namespace server {
+
+/// How eagerly appended records reach stable storage.
+enum class FsyncPolicy {
+  /// fsync after every accepted batch: an acknowledged insert survives any
+  /// crash. The default.
+  kAlways,
+  /// Never fsync explicitly (OS page cache decides): maximum throughput, a
+  /// crash may lose the most recent acknowledged batches — still sound
+  /// (recovered state is an earlier prefix model), just less durable.
+  kNever,
+};
+
+const char* FsyncPolicyName(FsyncPolicy p);
+
+enum class WalRecordType : uint8_t {
+  kInsert = 1,
+  kAbort = 2,
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kInsert;
+  int64_t epoch = 0;
+  std::string facts_text;  ///< empty for kAbort
+};
+
+/// `wal-<seq>.log` for a zero-padded decimal sequence number.
+std::string WalSegmentName(uint64_t seq);
+/// Parses a segment file name; false if `name` is not one.
+bool ParseWalSegmentName(const std::string& name, uint64_t* seq);
+
+/// The outcome of reading one segment.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  /// True when a torn/partial/CRC-failing tail record was dropped — the
+  /// expected signature of a crash mid-append, not an error.
+  bool truncated_tail = false;
+  /// Byte offset of the end of the last intact record (where an in-place
+  /// repair would truncate to).
+  int64_t valid_bytes = 0;
+};
+
+/// Reads every intact record of one segment file. Returns an error for a
+/// missing/garbled header or for corruption *before* the tail (a bad record
+/// followed by more data).
+StatusOr<WalReadResult> ReadWalSegment(const std::string& path);
+
+/// Appends records to one segment file. Single-writer (the server's writer
+/// mutex); all I/O flows through the IoHooks seam for fault injection.
+class WalWriter {
+ public:
+  /// Creates segment `wal-<seq>.log` in `dir` and writes the magic. Fails if
+  /// the segment already exists with content (recovery always rotates to a
+  /// fresh sequence number instead of appending to an old segment).
+  static StatusOr<WalWriter> Create(const std::string& dir, uint64_t seq,
+                                    FsyncPolicy fsync, util::IoHooks* hooks);
+
+  WalWriter() = default;
+  WalWriter(WalWriter&&) = default;
+  WalWriter& operator=(WalWriter&&) = default;
+
+  /// Appends one record and, under FsyncPolicy::kAlways, fsyncs before
+  /// returning — the insert is only acknowledged after this succeeds. Any
+  /// failure leaves the segment with (at most) a torn tail record, which
+  /// recovery truncates.
+  Status Append(const WalRecord& record);
+
+  /// Explicit fsync (the `sync` verb; a no-op freshness check under kAlways).
+  Status Sync();
+
+  uint64_t seq() const { return seq_; }
+  int64_t bytes() const { return file_.size(); }
+  int64_t records() const { return records_; }
+  const std::string& path() const { return file_.path(); }
+
+ private:
+  util::AppendFile file_;
+  uint64_t seq_ = 0;
+  int64_t records_ = 0;
+  FsyncPolicy fsync_ = FsyncPolicy::kAlways;
+};
+
+/// Serializes one record to its on-disk framing (exposed for tests and for
+/// bench_wal's byte accounting).
+std::string EncodeWalRecord(const WalRecord& record);
+
+inline constexpr char kWalMagic[] = "MADWAL01";  // 8 bytes, no terminator
+inline constexpr size_t kWalMagicBytes = 8;
+/// Hard cap on one record's payload — mirrors the wire frame cap so a WAL
+/// can never hold a batch the protocol could not have carried.
+inline constexpr size_t kMaxWalRecordBytes = 64u << 20;
+
+}  // namespace server
+}  // namespace mad
+
+#endif  // MAD_SERVER_WAL_H_

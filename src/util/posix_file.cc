@@ -1,0 +1,251 @@
+#include "util/posix_file.h"
+
+#include <dirent.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace mad {
+namespace util {
+
+namespace {
+
+Status Errno(const char* op, const std::string& path) {
+  return Status::Internal(
+      StrPrintf("%s %s: %s", op, path.c_str(), std::strerror(errno)));
+}
+
+/// Writes exactly [data, data+n) to fd, retrying EINTR/short kernel writes.
+/// The hook has already authorized these bytes; a kernel-level short write
+/// is not a failure point we model, so it is retried like EINTR.
+Status WriteAll(int fd, const char* data, size_t n, const std::string& path) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t w = ::write(fd, data + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    done += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+IoHooks* DefaultIoHooks() {
+  static IoHooks* hooks = new IoHooks();
+  return hooks;
+}
+
+// ---------------------------------------------------------------------------
+// AppendFile
+// ---------------------------------------------------------------------------
+
+AppendFile::~AppendFile() { Close(); }
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_(other.fd_),
+      size_(other.size_),
+      path_(std::move(other.path_)),
+      hooks_(other.hooks_) {
+  other.fd_ = -1;
+}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+    hooks_ = other.hooks_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+StatusOr<AppendFile> AppendFile::Open(const std::string& path, IoHooks* hooks) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return Errno("open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    Status s = Errno("fstat", path);
+    ::close(fd);
+    return s;
+  }
+  AppendFile f;
+  f.fd_ = fd;
+  f.size_ = static_cast<int64_t>(st.st_size);
+  f.path_ = path;
+  f.hooks_ = hooks != nullptr ? hooks : DefaultIoHooks();
+  return f;
+}
+
+Status AppendFile::Append(std::string_view data) {
+  if (fd_ < 0) return Status::Internal("append on closed file " + path_);
+  StatusOr<size_t> allowed = hooks_->BeforeWrite(path_, data.size());
+  if (!allowed.ok()) return allowed.status();
+  size_t n = std::min(*allowed, data.size());
+  MAD_RETURN_IF_ERROR(WriteAll(fd_, data.data(), n, path_));
+  size_ += static_cast<int64_t>(n);
+  if (n < data.size()) {
+    // Injected torn write: the permitted prefix is on disk, the rest of the
+    // record never lands — exactly the state a crash mid-append leaves.
+    return Status::Internal(StrPrintf(
+        "injected short write on %s (%zu of %zu bytes)", path_.c_str(), n,
+        data.size()));
+  }
+  return Status::OK();
+}
+
+Status AppendFile::Sync() {
+  if (fd_ < 0) return Status::Internal("sync on closed file " + path_);
+  MAD_RETURN_IF_ERROR(hooks_->BeforeSync(path_));
+  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  return Status::OK();
+}
+
+void AppendFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-file and directory helpers
+// ---------------------------------------------------------------------------
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Errno("open", path);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      Status s = Errno("read", path);
+      ::close(fd);
+      return s;
+    }
+    if (r == 0) break;
+    out.append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  return out;
+}
+
+namespace {
+
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents,
+                       IoHooks* hooks) {
+  if (hooks == nullptr) hooks = DefaultIoHooks();
+  const std::string tmp = path + ".tmp";
+  {
+    // O_TRUNC: a leftover temp from an earlier crash is garbage by design.
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                    0644);
+    if (fd < 0) return Errno("open", tmp);
+    StatusOr<size_t> allowed = hooks->BeforeWrite(tmp, contents.size());
+    Status st = allowed.ok() ? Status::OK() : allowed.status();
+    size_t n = allowed.ok() ? std::min(*allowed, contents.size()) : 0;
+    if (st.ok()) st = WriteAll(fd, contents.data(), n, tmp);
+    if (st.ok() && n < contents.size()) {
+      st = Status::Internal(StrPrintf("injected short write on %s (%zu of %zu"
+                                      " bytes)",
+                                      tmp.c_str(), n, contents.size()));
+    }
+    if (st.ok()) st = hooks->BeforeSync(tmp);
+    if (st.ok() && ::fsync(fd) != 0) st = Errno("fsync", tmp);
+    ::close(fd);
+    if (!st.ok()) {
+      ::unlink(tmp.c_str());
+      return st;
+    }
+  }
+  MAD_RETURN_IF_ERROR(hooks->BeforeRename(tmp, path));
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status s = Errno("rename", tmp);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  return SyncDir(DirName(path));
+}
+
+Status EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0) return Errno("stat", path);
+    if (!S_ISDIR(st.st_mode)) {
+      return Status::InvalidArgument(path + " exists and is not a directory");
+    }
+    return Status::OK();
+  }
+  return Errno("mkdir", path);
+}
+
+StatusOr<std::vector<std::string>> ListDir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return Errno("opendir", path);
+  std::vector<std::string> names;
+  for (;;) {
+    errno = 0;
+    dirent* ent = ::readdir(dir);
+    if (ent == nullptr) {
+      if (errno != 0) {
+        Status s = Errno("readdir", path);
+        ::closedir(dir);
+        return s;
+      }
+      break;
+    }
+    std::string name = ent->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(std::move(name));
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Errno("open dir", path);
+  Status st;
+  if (::fsync(fd) != 0) st = Errno("fsync dir", path);
+  ::close(fd);
+  return st;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace util
+}  // namespace mad

@@ -1,0 +1,115 @@
+#ifndef MAD_UTIL_POSIX_FILE_H_
+#define MAD_UTIL_POSIX_FILE_H_
+
+// Thin POSIX file layer for the durability subsystem, with one deliberate
+// twist: every state-changing operation (write, fsync, rename) first passes
+// through an injectable IoHooks seam. Production runs use the default
+// pass-through hooks; the fault-injection tests substitute hooks that stop
+// writing at an exact byte boundary (simulating a crash mid-append), fail
+// renames (crash between checkpoint-write and publish), or report ENOSPC —
+// so the recovery guarantees are *tested against every failure point*, not
+// argued from inspection.
+//
+// Crash model: a hook that returns an error means "the process died here (or
+// the disk refused the bytes)". Everything written before the failure point
+// is on disk; nothing after it ever lands. AppendFile therefore performs at
+// most one write(2) per hook consultation and never retries past an
+// injected failure, so the bytes on disk match the simulated crash exactly.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mad {
+namespace util {
+
+/// Failpoint seam. The default implementation permits everything; tests
+/// override. Hooks are consulted *before* the syscall; BeforeWrite may
+/// permit a prefix of the buffer (short write followed by failure — the torn
+/// record of a real crash). Instances must outlive every file using them and
+/// be internally synchronized if shared across threads (the durability layer
+/// only calls them from the single writer thread).
+class IoHooks {
+ public:
+  virtual ~IoHooks() = default;
+
+  /// Returns how many of `n` bytes may be written to `path`. A full return
+  /// (== n) proceeds normally; a short return writes that prefix and then
+  /// fails the operation with `error()`; an error Status writes nothing.
+  virtual StatusOr<size_t> BeforeWrite(const std::string& path, size_t n) {
+    (void)path;
+    return n;
+  }
+  virtual Status BeforeSync(const std::string& path) {
+    (void)path;
+    return Status::OK();
+  }
+  virtual Status BeforeRename(const std::string& from, const std::string& to) {
+    (void)from;
+    (void)to;
+    return Status::OK();
+  }
+};
+
+/// The process-wide pass-through instance used when no hooks are supplied.
+IoHooks* DefaultIoHooks();
+
+/// Append-only file handle (the WAL segment primitive). Not thread-safe;
+/// the durability layer serializes on the server's writer mutex.
+class AppendFile {
+ public:
+  AppendFile() = default;
+  ~AppendFile();
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  /// Opens (creating if absent) for append. `hooks` may be null (defaults).
+  static StatusOr<AppendFile> Open(const std::string& path, IoHooks* hooks);
+
+  bool open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+  /// Bytes successfully appended through this handle plus the size at open.
+  int64_t size() const { return size_; }
+
+  /// Appends `data`, honoring the hook seam. On failure the file holds
+  /// exactly the permitted prefix (never retried past an injected fault).
+  Status Append(std::string_view data);
+  /// fsync(2) through the hook seam.
+  Status Sync();
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int64_t size_ = 0;
+  std::string path_;
+  IoHooks* hooks_ = nullptr;
+};
+
+/// Whole-file read (checkpoints, WAL segments are read-once at recovery).
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Crash-atomic publish: writes `<path>.tmp`, fsyncs it, renames over
+/// `path`, fsyncs the containing directory. A crash at any point leaves
+/// either the old file (or nothing) or the complete new file — never a
+/// partial one. The temp file is unlinked on failure where possible.
+Status WriteFileAtomic(const std::string& path, std::string_view contents,
+                       IoHooks* hooks);
+
+/// Directory helpers. EnsureDir creates one level (mkdir -p for the final
+/// component only); ListDir returns entry names (no dot entries), sorted.
+Status EnsureDir(const std::string& path);
+StatusOr<std::vector<std::string>> ListDir(const std::string& path);
+Status RemoveFile(const std::string& path);
+/// fsync on a directory fd, making renames/unlinks in it durable.
+Status SyncDir(const std::string& path);
+bool FileExists(const std::string& path);
+
+}  // namespace util
+}  // namespace mad
+
+#endif  // MAD_UTIL_POSIX_FILE_H_

@@ -35,6 +35,16 @@ enum class StatusCode {
   kResourceExhausted,
   /// Internal invariant violated; indicates a bug in the library.
   kInternal,
+  /// Transient transport-level failure (connection refused/reset, peer gone
+  /// mid-exchange). Safe to retry: madd requests are idempotent — reads pin
+  /// snapshots and inserts are lattice joins, so re-sending cannot
+  /// double-apply.
+  kUnavailable,
+  /// The durability layer can no longer persist writes (disk full, I/O
+  /// failure on the WAL). Writes are rejected to avoid acknowledging
+  /// updates that would not survive a crash; reads keep serving the last
+  /// sound snapshot.
+  kDurabilityDegraded,
 };
 
 /// Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -73,6 +83,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DurabilityDegraded(std::string msg) {
+    return Status(StatusCode::kDurabilityDegraded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,211 @@
+// Client retry semantics: transient transport failures (kUnavailable)
+// reconnect and resend with capped backoff; everything else fails fast.
+// Resending is sound because madd's writes are idempotent lattice joins —
+// these tests also pin that down end-to-end by resending an insert that was
+// already applied and checking the model does not move.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/server.h"
+#include "server/state.h"
+#include "server/wire.h"
+
+namespace mad {
+namespace server {
+namespace {
+
+constexpr const char* kProgram = R"(
+.decl arc(from, to, c: min_real)
+.decl s(from, to, c: min_real)
+s(X, Y, C) :- arc(X, Y, C).
+arc(a, b, 1).
+)";
+
+RetryOptions FastRetry(int attempts) {
+  RetryOptions r;
+  r.max_attempts = attempts;
+  r.initial_backoff = std::chrono::milliseconds(1);
+  r.max_backoff = std::chrono::milliseconds(4);
+  r.seed = 42;
+  return r;
+}
+
+/// A port that refuses connections: bind + close, then use the freed port.
+/// (Small race with other processes; acceptable for a test that only needs
+/// "very probably nothing listening".)
+int DeadPort() {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+TEST(ClientRetryTest, ConnectionRefusedIsUnavailable) {
+  auto client = Client::Connect("127.0.0.1", DeadPort());
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ClientRetryTest, ConnectWithRetryExhaustsAndReportsAttempts) {
+  auto client = Client::ConnectWithRetry("127.0.0.1", DeadPort(), FastRetry(3));
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(client.status().message().find("3 attempts"), std::string::npos)
+      << client.status();
+}
+
+TEST(ClientRetryTest, BadAddressFailsFastNotRetried) {
+  auto client =
+      Client::ConnectWithRetry("not-an-address", DeadPort(), FastRetry(5));
+  ASSERT_FALSE(client.ok());
+  // Fails fast with the non-retryable code, not "after 5 attempts".
+  EXPECT_EQ(client.status().code(), StatusCode::kInvalidArgument);
+}
+
+/// Minimal hand-rolled server: scripts how each accepted connection is
+/// treated, so tests can force drops at exact protocol points.
+class FlakyListener {
+ public:
+  enum class Behavior {
+    kCloseBeforeResponse,  ///< read the request, drop the connection
+    kServePing,            ///< respond to one request properly, then close
+    kGarbageResponse,      ///< reply with a protocol-violating frame
+  };
+
+  explicit FlakyListener(std::vector<Behavior> script)
+      : script_(std::move(script)) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(
+        ::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+        0);
+    EXPECT_EQ(::listen(fd_, 8), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  ~FlakyListener() {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    thread_.join();
+  }
+
+  int port() const { return port_; }
+  int accepted() const { return accepted_.load(); }
+
+ private:
+  void Run() {
+    for (const Behavior behavior : script_) {
+      int conn = ::accept(fd_, nullptr, nullptr);
+      if (conn < 0) return;  // listener torn down
+      ++accepted_;
+      std::string payload;
+      auto got = ReadFrame(conn, &payload);
+      if (got.ok() && *got) {
+        switch (behavior) {
+          case Behavior::kCloseBeforeResponse:
+            break;  // just close: the client sees EOF mid-call
+          case Behavior::kServePing: {
+            Json response = Json::Object();
+            response.Set("ok", Json::Bool(true));
+            response.Set("verb", Json::Str("ping"));
+            response.Set("epoch", Json::Int(0));
+            (void)WriteFrame(conn, response.Dump());
+            break;
+          }
+          case Behavior::kGarbageResponse: {
+            const char kGarbage[] = "not-a-frame-header\n";
+            (void)::send(conn, kGarbage, sizeof(kGarbage) - 1, MSG_NOSIGNAL);
+            break;
+          }
+        }
+      }
+      ::close(conn);
+    }
+  }
+
+  int fd_ = -1;
+  int port_ = 0;
+  std::vector<Behavior> script_;
+  std::atomic<int> accepted_{0};
+  std::thread thread_;
+};
+
+TEST(ClientRetryTest, CallWithRetryReconnectsAndResendsAfterMidCallDrop) {
+  FlakyListener listener({FlakyListener::Behavior::kCloseBeforeResponse,
+                          FlakyListener::Behavior::kServePing});
+  auto client = Client::Connect("127.0.0.1", listener.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  Json ping = Json::Object();
+  ping.Set("verb", Json::Str("ping"));
+  auto response = client->CallWithRetry(ping, FastRetry(4));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->At("ok").boolean);
+  EXPECT_EQ(listener.accepted(), 2);  // first dropped, second served
+}
+
+TEST(ClientRetryTest, ProtocolViolationIsNotRetried) {
+  FlakyListener listener({FlakyListener::Behavior::kGarbageResponse,
+                          FlakyListener::Behavior::kServePing});
+  auto client = Client::Connect("127.0.0.1", listener.port());
+  ASSERT_TRUE(client.ok());
+
+  Json ping = Json::Object();
+  ping.Set("verb", Json::Str("ping"));
+  auto response = client->CallWithRetry(ping, FastRetry(4));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(listener.accepted(), 1);  // fail fast: no second connection
+}
+
+TEST(ClientRetryTest, ResentInsertIsIdempotentAgainstRealServer) {
+  auto state = ServerState::Load(kProgram, {});
+  ASSERT_TRUE(state.ok());
+  auto srv = Server::Start(std::move(*state), {});
+  ASSERT_TRUE(srv.ok()) << srv.status();
+  auto client = Client::Connect("127.0.0.1", (*srv)->port());
+  ASSERT_TRUE(client.ok());
+
+  // Apply a batch, then resend the identical batch — the model must not
+  // move (joins are idempotent), though the epoch does tick.
+  ASSERT_TRUE(client->Insert("arc(b, c, 2).")->At("ok").boolean);
+  auto before = client->Dump();
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(client->Insert("arc(b, c, 2).")->At("ok").boolean);
+  auto after = client->Dump();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->At("model").str, after->At("model").str);
+
+  (*srv)->RequestShutdown();
+  (*srv)->Wait();
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace mad

@@ -1,0 +1,421 @@
+// ServerState durability: WAL-before-update, checkpoint/restore, crash
+// recovery at every byte boundary, ENOSPC degradation with reads still
+// serving, writer-poison recovery via the `recover` verb, and the
+// differential certification of recovered state.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/state.h"
+#include "util/posix_file.h"
+
+namespace mad {
+namespace server {
+namespace {
+
+constexpr const char* kShortestPath = R"(
+.decl arc(from, to, c: min_real)
+.decl path(from, mid, to, c: min_real)
+.decl s(from, to, c: min_real)
+.constraint arc(direct, Z, C).
+
+path(X, direct, Y, C) :- arc(X, Y, C).
+path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+
+arc(a, b, 1).
+arc(b, c, 2).
+arc(a, c, 9).
+)";
+
+// Update-safe overall, but `cap` is increase-unsafe: its cost is consumed
+// antitonically (C < 10), so raising an existing key fails Engine::Update
+// *after* merging began — the writer-poison path.
+constexpr const char* kPoisonable = R"(
+.decl cap(x, c: max_real)
+.decl warn(x)
+warn(X) :- cap(X, C), C < 10.
+cap(a, 1).
+)";
+
+std::string TempDir() {
+  std::string tmpl = ::testing::TempDir() + "mad_dur_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr);
+  return tmpl;
+}
+
+Json Request(const char* verb) {
+  Json j = Json::Object();
+  j.Set("verb", Json::Str(verb));
+  return j;
+}
+
+Json InsertRequest(const std::string& facts) {
+  Json j = Request("insert");
+  j.Set("facts", Json::Str(facts));
+  return j;
+}
+
+std::string ErrorCode(const Json& response) {
+  return response.At("error").StrOr("code", "");
+}
+
+DurabilityOptions Durable(const std::string& dir,
+                          util::IoHooks* hooks = nullptr) {
+  DurabilityOptions d;
+  d.data_dir = dir;
+  d.hooks = hooks;
+  // Unit tests trigger checkpoints explicitly (or per-test); the defaults
+  // would checkpoint mid-test and complicate byte accounting.
+  d.checkpoint_every_epochs = 0;
+  d.checkpoint_every_bytes = 0;
+  return d;
+}
+
+StatusOr<std::unique_ptr<ServerState>> LoadDurable(
+    const char* text, const DurabilityOptions& durability) {
+  ServerState::LoadOptions options;
+  options.durability = durability;
+  return ServerState::Load(text, options);
+}
+
+std::string Dump(ServerState* state) {
+  Json r = state->Handle(Request("dump"));
+  EXPECT_TRUE(r.At("ok").boolean) << r.Dump();
+  return r.StrOr("model", "");
+}
+
+TEST(DurabilityTest, RestartReplaysAckedBatchesExactly) {
+  std::string dir = TempDir();
+  std::string model;
+  int64_t epoch = 0;
+  {
+    auto state = LoadDurable(kShortestPath, Durable(dir));
+    ASSERT_TRUE(state.ok()) << state.status();
+    ASSERT_TRUE(
+        (*state)->Handle(InsertRequest("arc(c, d, 5).")).At("ok").boolean);
+    ASSERT_TRUE(
+        (*state)->Handle(InsertRequest("arc(a, d, 100).\narc(d, e, 1)."))
+            .At("ok")
+            .boolean);
+    epoch = (*state)->epoch();
+    model = Dump(state->get());
+  }  // destructor = clean crash (no shutdown protocol exists to get wrong)
+
+  auto revived = LoadDurable(kShortestPath, Durable(dir));
+  ASSERT_TRUE(revived.ok()) << revived.status();
+  EXPECT_EQ((*revived)->epoch(), epoch);
+  EXPECT_EQ(Dump(revived->get()), model);
+
+  Json stats = (*revived)->Handle(Request("stats"));
+  const Json& d = stats.At("durability");
+  EXPECT_TRUE(d.At("enabled").boolean);
+  EXPECT_EQ(d.IntOr("replayed_records", -1), 2);
+  EXPECT_EQ(d.IntOr("truncated_tail_records", -1), 0);
+}
+
+TEST(DurabilityTest, RecoveredModelEqualsFromScratchOracle) {
+  std::string dir = TempDir();
+  const std::vector<std::string> batches = {
+      "arc(c, d, 5).", "arc(d, e, 1).", "arc(a, e, 50)."};
+  {
+    auto state = LoadDurable(kShortestPath, Durable(dir));
+    ASSERT_TRUE(state.ok());
+    for (const std::string& b : batches) {
+      ASSERT_TRUE((*state)->Handle(InsertRequest(b)).At("ok").boolean);
+    }
+  }
+  auto revived = LoadDurable(kShortestPath, Durable(dir));
+  ASSERT_TRUE(revived.ok()) << revived.status();
+
+  // Independent oracle: a non-durable server fed the same history.
+  auto oracle = ServerState::Load(kShortestPath, {});
+  ASSERT_TRUE(oracle.ok());
+  for (const std::string& b : batches) {
+    ASSERT_TRUE((*oracle)->Handle(InsertRequest(b)).At("ok").boolean);
+  }
+  EXPECT_EQ(Dump(revived->get()), Dump(oracle->get()));
+}
+
+/// Byte-budgeted crash: permits writes until the budget runs out, then
+/// fails everything (including fsync) — the injected process death.
+class CrashAtByte : public util::IoHooks {
+ public:
+  explicit CrashAtByte(int64_t budget) : budget_(budget) {}
+
+  StatusOr<size_t> BeforeWrite(const std::string& path, size_t n) override {
+    (void)path;
+    if (budget_ >= static_cast<int64_t>(n)) {
+      budget_ -= static_cast<int64_t>(n);
+      return n;
+    }
+    size_t allowed = budget_ > 0 ? static_cast<size_t>(budget_) : 0;
+    budget_ = 0;
+    crashed_ = true;
+    return allowed;
+  }
+
+  Status BeforeSync(const std::string& path) override {
+    (void)path;
+    if (crashed_) return Status::Internal("crashed before fsync");
+    return Status::OK();
+  }
+
+ private:
+  int64_t budget_;
+  bool crashed_ = false;
+};
+
+// The acceptance-criterion sweep: crash the WAL at every byte boundary of a
+// three-batch history. After each simulated crash the revived server must
+// (a) recover exactly the acknowledged prefix — never more, never less,
+// (b) match a from-scratch oracle of that prefix byte-for-byte, and
+// (c) pass its own differential recovery certification (verify_recovery is
+// on by default in these loads).
+TEST(DurabilityTest, CrashAtEveryByteBoundaryRecoversAckedPrefix) {
+  const std::vector<std::string> batches = {
+      "arc(c, d, 5).", "arc(d, e, 1).", "arc(a, e, 50)."};
+
+  // Dry run with unlimited budget to learn the total WAL size.
+  int64_t total = 0;
+  {
+    std::string dir = TempDir();
+    auto state = LoadDurable(kShortestPath, Durable(dir));
+    ASSERT_TRUE(state.ok());
+    for (const std::string& b : batches) {
+      ASSERT_TRUE((*state)->Handle(InsertRequest(b)).At("ok").boolean);
+    }
+    Json stats = (*state)->Handle(Request("stats"));
+    total = stats.At("durability").IntOr("wal_bytes", 0) + 8;  // + magic
+    ASSERT_GT(total, 8);
+  }
+
+  // Oracles for every acked-prefix length.
+  std::vector<std::string> oracle_models;
+  {
+    auto oracle = ServerState::Load(kShortestPath, {});
+    ASSERT_TRUE(oracle.ok());
+    oracle_models.push_back(Dump(oracle->get()));
+    for (const std::string& b : batches) {
+      ASSERT_TRUE((*oracle)->Handle(InsertRequest(b)).At("ok").boolean);
+      oracle_models.push_back(Dump(oracle->get()));
+    }
+  }
+
+  for (int64_t budget = 0; budget <= total; ++budget) {
+    std::string dir = TempDir();
+    CrashAtByte hooks(budget);
+    int64_t acked = 0;
+    {
+      auto state = LoadDurable(kShortestPath, Durable(dir, &hooks));
+      if (!state.ok()) {
+        // The crash hit segment creation; nothing was ever served. Recovery
+        // from the torn directory must still come up empty and sound.
+        auto revived = LoadDurable(kShortestPath, Durable(dir));
+        ASSERT_TRUE(revived.ok()) << "budget " << budget << ": "
+                                  << revived.status();
+        EXPECT_EQ((*revived)->epoch(), 0) << "budget " << budget;
+        EXPECT_EQ(Dump(revived->get()), oracle_models[0]);
+        continue;
+      }
+      for (const std::string& b : batches) {
+        Json r = (*state)->Handle(InsertRequest(b));
+        if (!r.At("ok").boolean) {
+          EXPECT_EQ(ErrorCode(r), "DurabilityDegraded")
+              << "budget " << budget << ": " << r.Dump();
+          break;
+        }
+        ++acked;
+      }
+    }
+    auto revived = LoadDurable(kShortestPath, Durable(dir));
+    ASSERT_TRUE(revived.ok()) << "budget " << budget << ": "
+                              << revived.status();
+    EXPECT_EQ((*revived)->epoch(), acked) << "budget " << budget;
+    EXPECT_EQ(Dump(revived->get()),
+              oracle_models[static_cast<size_t>(acked)])
+        << "budget " << budget;
+  }
+}
+
+/// Flips to "disk full" on demand; recovers when the flag clears.
+class DiskFull : public util::IoHooks {
+ public:
+  StatusOr<size_t> BeforeWrite(const std::string& path, size_t n) override {
+    (void)path;
+    if (full_) return Status::Internal("no space left on device");
+    return n;
+  }
+  void set_full(bool full) { full_ = full; }
+
+ private:
+  bool full_ = false;
+};
+
+TEST(DurabilityTest, DiskFullDegradesWritesWhileReadsKeepServing) {
+  std::string dir = TempDir();
+  DiskFull hooks;
+  auto state = LoadDurable(kShortestPath, Durable(dir, &hooks));
+  ASSERT_TRUE(state.ok()) << state.status();
+  ASSERT_TRUE(
+      (*state)->Handle(InsertRequest("arc(c, d, 5).")).At("ok").boolean);
+  const std::string model_before = Dump(state->get());
+
+  hooks.set_full(true);
+  Json rejected = (*state)->Handle(InsertRequest("arc(d, e, 1)."));
+  EXPECT_FALSE(rejected.At("ok").boolean);
+  EXPECT_EQ(ErrorCode(rejected), "DurabilityDegraded");
+  // Structured rejection, not a dropped write: later inserts refuse too.
+  Json still = (*state)->Handle(InsertRequest("arc(e, f, 1)."));
+  EXPECT_EQ(ErrorCode(still), "DurabilityDegraded");
+
+  // Reads keep serving the last sound snapshot.
+  EXPECT_EQ(Dump(state->get()), model_before);
+  Json q = Request("query");
+  q.Set("pred", Json::Str("s"));
+  EXPECT_TRUE((*state)->Handle(q).At("ok").boolean);
+  Json stats = (*state)->Handle(Request("stats"));
+  EXPECT_TRUE(stats.At("durability").At("degraded").boolean);
+
+  // Space returns; `recover` rotates to a fresh segment and re-enables
+  // writes. The rejected batches were never applied, so the model is still
+  // exactly the acked prefix.
+  hooks.set_full(false);
+  Json recovered = (*state)->Handle(Request("recover"));
+  ASSERT_TRUE(recovered.At("ok").boolean) << recovered.Dump();
+  EXPECT_TRUE(recovered.At("wal_restored").boolean);
+  EXPECT_FALSE(recovered.At("degraded").boolean);
+  ASSERT_TRUE(
+      (*state)->Handle(InsertRequest("arc(d, e, 1).")).At("ok").boolean);
+  EXPECT_EQ((*state)->epoch(), 2);
+
+  // And the whole story survives a restart.
+  state->reset();
+  auto revived = LoadDurable(kShortestPath, Durable(dir));
+  ASSERT_TRUE(revived.ok()) << revived.status();
+  EXPECT_EQ((*revived)->epoch(), 2);
+}
+
+TEST(DurabilityTest, PoisonedWriterRecoversFromSnapshotAndWalStaysSound) {
+  std::string dir = TempDir();
+  auto state = LoadDurable(kPoisonable, Durable(dir));
+  ASSERT_TRUE(state.ok()) << state.status();
+
+  // New keys are safe.
+  ASSERT_TRUE((*state)->Handle(InsertRequest("cap(b, 3).")).At("ok").boolean);
+  const std::string model_before = Dump(state->get());
+
+  // Raising an existing key trips the increase guard mid-merge: poison.
+  Json poisoning = (*state)->Handle(InsertRequest("cap(a, 5)."));
+  ASSERT_FALSE(poisoning.At("ok").boolean);
+  EXPECT_TRUE((*state)->poisoned());
+
+  // Writes refuse with a hint; reads serve the pre-poison snapshot.
+  Json refused = (*state)->Handle(InsertRequest("cap(c, 4)."));
+  EXPECT_FALSE(refused.At("ok").boolean);
+  EXPECT_NE(refused.At("error").StrOr("message", "").find("recover"),
+            std::string::npos);
+  EXPECT_EQ(Dump(state->get()), model_before);
+
+  // `recover` rebuilds the writer from the published snapshot.
+  Json recovered = (*state)->Handle(Request("recover"));
+  ASSERT_TRUE(recovered.At("ok").boolean);
+  EXPECT_TRUE(recovered.At("poison_cleared").boolean);
+  EXPECT_FALSE((*state)->poisoned());
+
+  // The writer is a fresh certified model again: inserts work and land on
+  // exactly the state the snapshot promised.
+  ASSERT_TRUE((*state)->Handle(InsertRequest("cap(c, 4).")).At("ok").boolean);
+  EXPECT_EQ((*state)->epoch(), 2);
+
+  // Restart: the abort record makes replay skip the poisoning batch, and
+  // the differential verification (on by default) certifies the result.
+  state->reset();
+  auto revived = LoadDurable(kPoisonable, Durable(dir));
+  ASSERT_TRUE(revived.ok()) << revived.status();
+  EXPECT_EQ((*revived)->epoch(), 2);
+  Json stats = (*revived)->Handle(Request("stats"));
+  EXPECT_EQ(stats.At("durability").IntOr("skipped_aborted_batches", -1), 1);
+
+  auto oracle = ServerState::Load(kPoisonable, {});
+  ASSERT_TRUE(oracle.ok());
+  ASSERT_TRUE((*oracle)->Handle(InsertRequest("cap(b, 3).")).At("ok").boolean);
+  ASSERT_TRUE((*oracle)->Handle(InsertRequest("cap(c, 4).")).At("ok").boolean);
+  EXPECT_EQ(Dump(revived->get()), Dump(oracle->get()));
+}
+
+TEST(DurabilityTest, CheckpointShortensReplayAndPrunesSegments) {
+  std::string dir = TempDir();
+  DurabilityOptions opts = Durable(dir);
+  opts.checkpoint_every_epochs = 2;
+  {
+    auto state = LoadDurable(kShortestPath, opts);
+    ASSERT_TRUE(state.ok());
+    for (const char* b :
+         {"arc(c, d, 5).", "arc(d, e, 1).", "arc(a, e, 50)."}) {
+      ASSERT_TRUE((*state)->Handle(InsertRequest(b)).At("ok").boolean);
+    }
+    Json stats = (*state)->Handle(Request("stats"));
+    const Json& d = stats.At("durability");
+    EXPECT_EQ(d.IntOr("checkpoints_written", -1), 1);
+    EXPECT_EQ(d.IntOr("last_checkpoint_epoch", -1), 2);
+  }
+  auto revived = LoadDurable(kShortestPath, opts);
+  ASSERT_TRUE(revived.ok()) << revived.status();
+  EXPECT_EQ((*revived)->epoch(), 3);
+  Json stats = (*revived)->Handle(Request("stats"));
+  // Only the post-checkpoint record replays; epochs 1-2 restore from the
+  // checkpoint image.
+  EXPECT_EQ(stats.At("durability").IntOr("replayed_records", -1), 1);
+  EXPECT_EQ(stats.At("durability").IntOr("last_checkpoint_epoch", -1), 2);
+}
+
+TEST(DurabilityTest, SyncVerbForcesCheckpointAndReportsDurableEpoch) {
+  std::string dir = TempDir();
+  auto state = LoadDurable(kShortestPath, Durable(dir));
+  ASSERT_TRUE(state.ok());
+  ASSERT_TRUE(
+      (*state)->Handle(InsertRequest("arc(c, d, 5).")).At("ok").boolean);
+
+  Json sync = Request("sync");
+  sync.Set("checkpoint", Json::Bool(true));
+  Json r = (*state)->Handle(sync);
+  ASSERT_TRUE(r.At("ok").boolean) << r.Dump();
+  EXPECT_EQ(r.IntOr("durable_epoch", -1), 1);
+  Json stats = (*state)->Handle(Request("stats"));
+  EXPECT_EQ(stats.At("durability").IntOr("last_checkpoint_epoch", -1), 1);
+  EXPECT_EQ(stats.At("durability").IntOr("checkpoints_written", -1), 1);
+}
+
+TEST(DurabilityTest, RefusesDataDirOfDifferentProgram) {
+  std::string dir = TempDir();
+  DurabilityOptions opts = Durable(dir);
+  opts.checkpoint_every_epochs = 1;  // force a checkpoint to exist
+  {
+    auto state = LoadDurable(kShortestPath, opts);
+    ASSERT_TRUE(state.ok());
+    ASSERT_TRUE(
+        (*state)->Handle(InsertRequest("arc(c, d, 5).")).At("ok").boolean);
+  }
+  auto wrong = LoadDurable(kPoisonable, Durable(dir));
+  EXPECT_FALSE(wrong.ok());
+}
+
+TEST(DurabilityTest, SyncWithoutDurabilityReportsDisabled) {
+  auto state = ServerState::Load(kShortestPath, {});
+  ASSERT_TRUE(state.ok());
+  Json r = (*state)->Handle(Request("sync"));
+  ASSERT_TRUE(r.At("ok").boolean);
+  EXPECT_FALSE(r.At("durability_enabled").boolean);
+  Json stats = (*state)->Handle(Request("stats"));
+  EXPECT_FALSE(stats.At("durability").At("enabled").boolean);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace mad

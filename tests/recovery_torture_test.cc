@@ -1,0 +1,252 @@
+// Crash-recovery torture: repeatedly kill -9 a real madd process mid
+// insert-storm and prove that what survives is always a sound prefix of the
+// acknowledged history — and that resending the full history (idempotent
+// joins) reconverges to the exact least model an uninterrupted server would
+// have produced, byte-identical in the dump.
+//
+// This is the ctest gate `RecoveryTortureTest.*`; it runs the production
+// binary (MAD_BINARY_DIR/examples/madd), not an in-process harness, so the
+// whole stack — CLI flags, WAL fsync, checkpoint rotation, startup
+// recovery, differential certification — is on the hook.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/state.h"
+
+#ifndef MAD_BINARY_DIR
+#define MAD_BINARY_DIR "."
+#endif
+
+namespace mad {
+namespace server {
+namespace {
+
+constexpr const char* kProgram = R"(
+.decl arc(from, to, c: min_real)
+.decl path(from, mid, to, c: min_real)
+.decl s(from, to, c: min_real)
+.constraint arc(direct, Z, C).
+
+path(X, direct, Y, C) :- arc(X, Y, C).
+path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+
+arc(n0, n1, 1).
+)";
+
+std::string TempDir() {
+  std::string tmpl = ::testing::TempDir() + "mad_torture_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr);
+  return tmpl;
+}
+
+struct Madd {
+  pid_t pid = -1;
+  int port = 0;
+};
+
+/// fork/exec madd with an ephemeral port, scraping the resolved port from
+/// its single startup line on stdout.
+Madd StartMadd(const std::string& program_path, const std::string& data_dir) {
+  int out_pipe[2];
+  EXPECT_EQ(::pipe(out_pipe), 0);
+  const std::string binary = std::string(MAD_BINARY_DIR) + "/examples/madd";
+  const std::string data_flag = "--data-dir=" + data_dir;
+  // Small checkpoint cadence so the torture exercises checkpoint rotation
+  // and pruning, not just raw WAL replay.
+  pid_t pid = ::fork();
+  if (pid == 0) {
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    ::execl(binary.c_str(), binary.c_str(), "--port=0", data_flag.c_str(),
+            "--checkpoint-every-epochs=3", program_path.c_str(),
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  ::close(out_pipe[1]);
+
+  Madd m;
+  m.pid = pid;
+  // Read "madd: serving on 127.0.0.1:PORT\n".
+  std::string line;
+  char ch;
+  while (::read(out_pipe[0], &ch, 1) == 1 && ch != '\n') line.push_back(ch);
+  ::close(out_pipe[0]);
+  size_t colon = line.rfind(':');
+  if (colon != std::string::npos) {
+    m.port = std::atoi(line.c_str() + colon + 1);
+  }
+  EXPECT_GT(m.port, 0) << "madd startup line: '" << line << "'";
+  return m;
+}
+
+void KillHard(pid_t pid) {
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+}
+
+std::string Batch(int i) {
+  // A growing strongly-connected-ish graph: each batch adds an edge that
+  // genuinely changes shortest paths, so a lost batch is visible in the dump.
+  return "arc(n" + std::to_string(i % 7) + ", n" + std::to_string((i + 1) % 7) +
+         ", " + std::to_string(1 + i % 5) + ").";
+}
+
+TEST(RecoveryTortureTest, KillNineStormThenFullResendConvergesExactly) {
+  const std::string dir = TempDir();
+  const std::string program_path = dir + "/program.mdl";
+  {
+    std::ofstream out(program_path);
+    out << kProgram;
+  }
+  const std::string data_dir = dir + "/data";
+
+  RetryOptions retry;
+  retry.max_attempts = 20;
+  retry.initial_backoff = std::chrono::milliseconds(10);
+  retry.max_backoff = std::chrono::milliseconds(200);
+  retry.seed = 7;
+
+  constexpr int kCycles = 4;
+  constexpr int kBatchesPerCycle = 6;
+  int next_batch = 0;
+
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    Madd madd = StartMadd(program_path, data_dir);
+    ASSERT_GT(madd.port, 0);
+    auto client = Client::ConnectWithRetry("127.0.0.1", madd.port, retry);
+    ASSERT_TRUE(client.ok()) << client.status();
+
+    // Insert storm on a side thread; the main thread kills mid-storm.
+    std::thread storm([&client, &next_batch] {
+      for (int i = 0; i < kBatchesPerCycle; ++i) {
+        auto response = client->Insert(Batch(next_batch));
+        if (!response.ok() || !response->At("ok").boolean) break;
+        ++next_batch;  // acknowledged
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5 + 7 * cycle));
+    KillHard(madd.pid);
+    storm.join();
+  }
+
+  // Final epoch: a clean server over the survived data dir. Resend the FULL
+  // attempted history — acknowledged or not — and require exact convergence
+  // with an uninterrupted oracle. Idempotent joins make the resend safe;
+  // monotonicity makes it exact.
+  Madd madd = StartMadd(program_path, data_dir);
+  ASSERT_GT(madd.port, 0);
+  auto client = Client::ConnectWithRetry("127.0.0.1", madd.port, retry);
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  const int attempted = kCycles * kBatchesPerCycle;
+  for (int i = 0; i < attempted; ++i) {
+    auto response = client->CallWithRetry(
+        [&] {
+          Json j = Json::Object();
+          j.Set("verb", Json::Str("insert"));
+          j.Set("facts", Json::Str(Batch(i)));
+          return j;
+        }(),
+        retry);
+    ASSERT_TRUE(response.ok()) << response.status();
+    ASSERT_TRUE(response->At("ok").boolean) << response->Dump();
+  }
+  auto dump = client->Dump();
+  ASSERT_TRUE(dump.ok()) << dump.status();
+
+  // Durability health after four murders: enabled, not degraded.
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  const Json& d = stats->At("durability");
+  EXPECT_TRUE(d.At("enabled").boolean);
+  EXPECT_FALSE(d.At("degraded").boolean);
+
+  auto bye = client->Shutdown();
+  EXPECT_TRUE(bye.ok()) << bye.status();
+  int status = 0;
+  ::waitpid(madd.pid, &status, 0);
+  EXPECT_TRUE(WIFEXITED(status));
+
+  // The oracle: uninterrupted in-process evaluation of the same history.
+  auto oracle = ServerState::Load(kProgram, {});
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+  for (int i = 0; i < attempted; ++i) {
+    Json ins = Json::Object();
+    ins.Set("verb", Json::Str("insert"));
+    ins.Set("facts", Json::Str(Batch(i)));
+    ASSERT_TRUE((*oracle)->Handle(ins).At("ok").boolean);
+  }
+  Json oracle_dump = (*oracle)->Handle([] {
+    Json j = Json::Object();
+    j.Set("verb", Json::Str("dump"));
+    return j;
+  }());
+  EXPECT_EQ(dump->At("model").str, oracle_dump.At("model").str);
+}
+
+// Killing madd *between* startup and first insert must also round-trip: the
+// recovery-of-a-recovery case (a fresh segment was opened and nothing else).
+TEST(RecoveryTortureTest, KillRightAfterRecoveryIsStable) {
+  const std::string dir = TempDir();
+  const std::string program_path = dir + "/program.mdl";
+  {
+    std::ofstream out(program_path);
+    out << kProgram;
+  }
+  const std::string data_dir = dir + "/data";
+
+  RetryOptions retry;
+  retry.max_attempts = 20;
+  retry.initial_backoff = std::chrono::milliseconds(10);
+  retry.seed = 11;
+
+  // Seed one acked batch.
+  {
+    Madd madd = StartMadd(program_path, data_dir);
+    auto client = Client::ConnectWithRetry("127.0.0.1", madd.port, retry);
+    ASSERT_TRUE(client.ok()) << client.status();
+    auto response = client->Insert("arc(n1, n2, 2).");
+    ASSERT_TRUE(response.ok());
+    ASSERT_TRUE(response->At("ok").boolean);
+    KillHard(madd.pid);
+  }
+  // Kill immediately after recovery, three times in a row.
+  for (int i = 0; i < 3; ++i) {
+    Madd madd = StartMadd(program_path, data_dir);
+    ASSERT_GT(madd.port, 0);
+    KillHard(madd.pid);
+  }
+  // The acked batch must still be there.
+  Madd madd = StartMadd(program_path, data_dir);
+  auto client = Client::ConnectWithRetry("127.0.0.1", madd.port, retry);
+  ASSERT_TRUE(client.ok()) << client.status();
+  auto dump = client->Dump();
+  ASSERT_TRUE(dump.ok());
+  EXPECT_NE(dump->At("model").str.find("arc(n1, n2, 2)"), std::string::npos)
+      << dump->At("model").str;
+  auto bye = client->Shutdown();
+  EXPECT_TRUE(bye.ok());
+  int status = 0;
+  ::waitpid(madd.pid, &status, 0);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace mad

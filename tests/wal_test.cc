@@ -1,0 +1,403 @@
+// Durability primitives under fault injection: CRC32C known answers, WAL
+// record framing, torn-tail truncation at *every* byte boundary, the
+// mid-segment-corruption hard-fail, checkpoint encode/decode, atomic
+// checkpoint publication, and recovery planning over mixed directories.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "server/checkpoint.h"
+#include "server/recovery.h"
+#include "server/wal.h"
+#include "util/crc32c.h"
+#include "util/posix_file.h"
+
+namespace mad {
+namespace server {
+namespace {
+
+// RFC 3720-style known-answer vectors for CRC32C (Castagnoli).
+TEST(Crc32cTest, KnownAnswers) {
+  EXPECT_EQ(util::Crc32c("", 0), 0u);
+  EXPECT_EQ(util::Crc32c("123456789", 9), 0xE3069283u);
+  std::string zeros(32, '\0');
+  EXPECT_EQ(util::Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, SeedChainsIncrementally) {
+  const std::string data = "monotone aggregation";
+  uint32_t whole = util::Crc32c(data.data(), data.size());
+  uint32_t part = util::Crc32c(data.data(), 8);
+  uint32_t chained = util::Crc32c(data.data() + 8, data.size() - 8, part);
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(Crc32cTest, MaskRoundTrips) {
+  for (uint32_t crc : {0u, 1u, 0xE3069283u, 0xFFFFFFFFu}) {
+    EXPECT_EQ(util::UnmaskCrc(util::MaskCrc(crc)), crc);
+    // Masking exists so a CRC of data containing CRCs stays independent.
+    EXPECT_NE(util::MaskCrc(crc), crc);
+  }
+}
+
+std::string TempDir() {
+  std::string tmpl = ::testing::TempDir() + "mad_wal_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr);
+  return tmpl;
+}
+
+WalRecord Insert(int64_t epoch, std::string facts) {
+  WalRecord r;
+  r.type = WalRecordType::kInsert;
+  r.epoch = epoch;
+  r.facts_text = std::move(facts);
+  return r;
+}
+
+TEST(WalTest, SegmentNameRoundTrips) {
+  EXPECT_EQ(WalSegmentName(7), "wal-0000000007.log");
+  uint64_t seq = 0;
+  EXPECT_TRUE(ParseWalSegmentName("wal-0000000007.log", &seq));
+  EXPECT_EQ(seq, 7u);
+  EXPECT_FALSE(ParseWalSegmentName("wal-7.log", &seq));
+  EXPECT_FALSE(ParseWalSegmentName("wal-00000000x7.log", &seq));
+  EXPECT_FALSE(ParseWalSegmentName("checkpoint-0000000007.ckpt", &seq));
+}
+
+TEST(WalTest, AppendThenReadRoundTrips) {
+  std::string dir = TempDir();
+  auto writer = WalWriter::Create(dir, 1, FsyncPolicy::kAlways, nullptr);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  ASSERT_TRUE(writer->Append(Insert(1, "arc(a, b, 1).")).ok());
+  ASSERT_TRUE(writer->Append(Insert(2, "arc(b, c, 2).\narc(c, d, 3).")).ok());
+  WalRecord abort;
+  abort.type = WalRecordType::kAbort;
+  abort.epoch = 3;
+  ASSERT_TRUE(writer->Append(abort).ok());
+  EXPECT_EQ(writer->records(), 3);
+
+  auto read = ReadWalSegment(dir + "/" + WalSegmentName(1));
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_FALSE(read->truncated_tail);
+  ASSERT_EQ(read->records.size(), 3u);
+  EXPECT_EQ(read->records[0].epoch, 1);
+  EXPECT_EQ(read->records[0].facts_text, "arc(a, b, 1).");
+  EXPECT_EQ(read->records[1].facts_text, "arc(b, c, 2).\narc(c, d, 3).");
+  EXPECT_EQ(read->records[2].type, WalRecordType::kAbort);
+  EXPECT_EQ(read->records[2].facts_text, "");
+}
+
+TEST(WalTest, CreateRefusesExistingSegment) {
+  std::string dir = TempDir();
+  auto first = WalWriter::Create(dir, 1, FsyncPolicy::kNever, nullptr);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->Append(Insert(1, "arc(a, b, 1).")).ok());
+  auto second = WalWriter::Create(dir, 1, FsyncPolicy::kNever, nullptr);
+  EXPECT_FALSE(second.ok());
+}
+
+/// Stops permitting bytes after a budget is spent: byte-exact crash
+/// simulation (the prefix lands, nothing after does).
+class CrashAtByte : public util::IoHooks {
+ public:
+  explicit CrashAtByte(int64_t budget) : budget_(budget) {}
+
+  StatusOr<size_t> BeforeWrite(const std::string& path, size_t n) override {
+    (void)path;
+    if (budget_ >= static_cast<int64_t>(n)) {
+      budget_ -= static_cast<int64_t>(n);
+      return n;
+    }
+    size_t allowed = budget_ > 0 ? static_cast<size_t>(budget_) : 0;
+    budget_ = 0;
+    crashed_ = true;
+    return allowed;  // short write: prefix lands, call fails
+  }
+
+  Status BeforeSync(const std::string& path) override {
+    (void)path;
+    if (crashed_) return Status::Internal("crashed before fsync");
+    return Status::OK();
+  }
+
+ private:
+  int64_t budget_;
+  bool crashed_ = false;
+};
+
+// The core torn-tail guarantee, exhaustively: write a 3-record WAL, then for
+// every byte budget B from 0 to the full size, re-write it crashing at B and
+// require that reading recovers exactly the records whose frames fit in B —
+// never an error, never a spurious record, tail truncation reported iff the
+// crash landed mid-record.
+TEST(WalTest, CrashAtEveryByteBoundaryRecoversPrefix) {
+  const std::vector<WalRecord> history = {
+      Insert(1, "arc(a, b, 1)."),
+      Insert(2, "arc(b, c, 2)."),
+      Insert(3, "arc(c, d, 3).\narc(d, e, 4)."),
+  };
+  // Frame sizes tell us which records must survive a crash at byte B.
+  std::vector<int64_t> cutoffs;  // end offset of each record
+  int64_t off = static_cast<int64_t>(kWalMagicBytes);
+  for (const WalRecord& r : history) {
+    off += static_cast<int64_t>(EncodeWalRecord(r).size());
+    cutoffs.push_back(off);
+  }
+  const int64_t total = off;
+
+  for (int64_t budget = 0; budget <= total; ++budget) {
+    CrashAtByte hooks(budget);
+    std::string dir = TempDir();
+    auto writer = WalWriter::Create(dir, 1, FsyncPolicy::kAlways, &hooks);
+    if (writer.ok()) {
+      for (const WalRecord& r : history) {
+        if (!writer->Append(r).ok()) break;
+      }
+    }
+    // Crash happened (unless budget == total). Now recover.
+    const std::string path = dir + "/" + WalSegmentName(1);
+    size_t expect = 0;
+    for (int64_t c : cutoffs) {
+      if (budget >= c) ++expect;
+    }
+    if (budget < static_cast<int64_t>(kWalMagicBytes)) {
+      // Not even the magic landed: the segment reads as empty-with-torn-tail
+      // (or does not exist at budget 0 — both recover to zero records).
+      if (util::FileExists(path)) {
+        auto read = ReadWalSegment(path);
+        ASSERT_TRUE(read.ok()) << "budget " << budget << ": " << read.status();
+        EXPECT_TRUE(read->records.empty());
+      }
+      continue;
+    }
+    auto read = ReadWalSegment(path);
+    ASSERT_TRUE(read.ok()) << "budget " << budget << ": " << read.status();
+    ASSERT_EQ(read->records.size(), expect) << "budget " << budget;
+    for (size_t i = 0; i < expect; ++i) {
+      EXPECT_EQ(read->records[i].epoch, history[i].epoch);
+      EXPECT_EQ(read->records[i].facts_text, history[i].facts_text);
+    }
+    const bool mid_record =
+        std::find(cutoffs.begin(), cutoffs.end(), budget) == cutoffs.end() &&
+        budget != static_cast<int64_t>(kWalMagicBytes);
+    EXPECT_EQ(read->truncated_tail, mid_record) << "budget " << budget;
+  }
+}
+
+TEST(WalTest, InteriorCorruptionHardFails) {
+  std::string dir = TempDir();
+  auto writer = WalWriter::Create(dir, 1, FsyncPolicy::kNever, nullptr);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append(Insert(1, "arc(a, b, 1).")).ok());
+  ASSERT_TRUE(writer->Append(Insert(2, "arc(b, c, 2).")).ok());
+
+  const std::string path = dir + "/" + WalSegmentName(1);
+  auto bytes = util::ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  // Flip one payload byte of the FIRST record: a bad record with more data
+  // after it is interior corruption, not a torn tail.
+  std::string corrupted = *bytes;
+  corrupted[kWalMagicBytes + 8 + 2] ^= 0x01;
+  {
+    FILE* f = ::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(::fwrite(corrupted.data(), 1, corrupted.size(), f),
+              corrupted.size());
+    ::fclose(f);
+  }
+  auto read = ReadWalSegment(path);
+  EXPECT_FALSE(read.ok());
+
+  // The same flip in the LAST record is a valid torn tail: truncate.
+  std::string tail_corrupt = *bytes;
+  tail_corrupt[tail_corrupt.size() - 3] ^= 0x01;
+  {
+    FILE* f = ::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(::fwrite(tail_corrupt.data(), 1, tail_corrupt.size(), f),
+              tail_corrupt.size());
+    ::fclose(f);
+  }
+  auto tail_read = ReadWalSegment(path);
+  ASSERT_TRUE(tail_read.ok()) << tail_read.status();
+  EXPECT_TRUE(tail_read->truncated_tail);
+  ASSERT_EQ(tail_read->records.size(), 1u);
+  EXPECT_EQ(tail_read->records[0].epoch, 1);
+}
+
+TEST(WalTest, GarbageMagicIsAnError) {
+  std::string dir = TempDir();
+  const std::string path = dir + "/" + WalSegmentName(1);
+  FILE* f = ::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ::fwrite("NOTAWAL!garbage", 1, 15, f);
+  ::fclose(f);
+  EXPECT_FALSE(ReadWalSegment(path).ok());
+}
+
+// --- checkpoint codec ----------------------------------------------------
+
+CheckpointData SampleCheckpoint() {
+  CheckpointData ckpt;
+  ckpt.epoch = 42;
+  ckpt.program_text = ".decl arc(from, to, c: min_real)\n";
+  ckpt.facts_text = "arc(a, b, 1).\n";
+  ckpt.completeness = "least-model";
+  ckpt.certificate_summary = "c0:syntactically-admissible";
+  CheckpointData::RelationDump dump;
+  dump.name = "arc";
+  dump.arity = 3;
+  dump.has_cost = true;
+  dump.has_default = false;
+  dump.domain = "min_real";
+  dump.rows.emplace_back(
+      datalog::Tuple{datalog::Value::Symbol("a"), datalog::Value::Symbol("b")},
+      datalog::Value::Real(1.0));
+  ckpt.relations.push_back(std::move(dump));
+  return ckpt;
+}
+
+TEST(CheckpointTest, EncodeDecodeRoundTrips) {
+  CheckpointData ckpt = SampleCheckpoint();
+  auto decoded = DecodeCheckpoint(EncodeCheckpoint(ckpt), "test");
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->epoch, 42);
+  EXPECT_EQ(decoded->program_text, ckpt.program_text);
+  EXPECT_EQ(decoded->facts_text, ckpt.facts_text);
+  EXPECT_EQ(decoded->certificate_summary, ckpt.certificate_summary);
+  ASSERT_EQ(decoded->relations.size(), 1u);
+  EXPECT_EQ(decoded->relations[0].name, "arc");
+  EXPECT_EQ(decoded->relations[0].domain, "min_real");
+  ASSERT_EQ(decoded->relations[0].rows.size(), 1u);
+  EXPECT_EQ(decoded->relations[0].rows[0].second.double_value(), 1.0);
+}
+
+TEST(CheckpointTest, EveryTruncationAndBitFlipIsRejected) {
+  const std::string good = EncodeCheckpoint(SampleCheckpoint());
+  // Every strict prefix must fail (CRC or framing), never crash or succeed.
+  for (size_t len = 0; len < good.size(); ++len) {
+    auto decoded = DecodeCheckpoint(good.substr(0, len), "prefix");
+    EXPECT_FALSE(decoded.ok()) << "prefix length " << len;
+  }
+  // A single flipped bit anywhere must fail the CRC (or the framing).
+  for (size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] ^= 0x20;
+    auto decoded = DecodeCheckpoint(bad, "bitflip");
+    EXPECT_FALSE(decoded.ok()) << "flipped byte " << i;
+  }
+}
+
+TEST(CheckpointTest, FileNameRoundTrips) {
+  EXPECT_EQ(CheckpointFileName(42), "checkpoint-0000000042.ckpt");
+  int64_t epoch = 0;
+  EXPECT_TRUE(ParseCheckpointFileName("checkpoint-0000000042.ckpt", &epoch));
+  EXPECT_EQ(epoch, 42);
+  EXPECT_FALSE(ParseCheckpointFileName("checkpoint-42.ckpt", &epoch));
+  EXPECT_FALSE(ParseCheckpointFileName("wal-0000000042.log", &epoch));
+}
+
+/// Fails the rename step: crash between checkpoint-write and publish.
+class FailRename : public util::IoHooks {
+ public:
+  Status BeforeRename(const std::string& from, const std::string& to) override {
+    (void)from;
+    (void)to;
+    return Status::Internal("injected crash before rename");
+  }
+};
+
+TEST(CheckpointTest, CrashBeforeRenameLeavesNoCheckpoint) {
+  std::string dir = TempDir();
+  FailRename hooks;
+  CheckpointData ckpt = SampleCheckpoint();
+  EXPECT_FALSE(WriteCheckpoint(dir, ckpt, &hooks).ok());
+  // The atomicity protocol: no checkpoint file may exist, and recovery must
+  // clean up whatever temp is left and proceed from nothing.
+  EXPECT_FALSE(util::FileExists(dir + "/" + CheckpointFileName(42)));
+  auto plan = PlanRecovery(dir);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_FALSE(plan->checkpoint.has_value());
+  auto names = util::ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  EXPECT_TRUE(names->empty());  // the stray .tmp was deleted
+}
+
+// --- recovery planning ----------------------------------------------------
+
+TEST(RecoveryPlanTest, PicksNewestValidCheckpointAndFiltersReplay) {
+  std::string dir = TempDir();
+  // Two checkpoints; corrupt the newer one so the older must win.
+  CheckpointData old_ckpt = SampleCheckpoint();
+  old_ckpt.epoch = 2;
+  ASSERT_TRUE(WriteCheckpoint(dir, old_ckpt, nullptr).ok());
+  CheckpointData new_ckpt = SampleCheckpoint();
+  new_ckpt.epoch = 5;
+  ASSERT_TRUE(WriteCheckpoint(dir, new_ckpt, nullptr).ok());
+  {
+    const std::string path = dir + "/" + CheckpointFileName(5);
+    auto bytes = util::ReadFileToString(path);
+    ASSERT_TRUE(bytes.ok());
+    std::string bad = *bytes;
+    bad[bad.size() / 2] ^= 0xFF;
+    FILE* f = ::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ::fwrite(bad.data(), 1, bad.size(), f);
+    ::fclose(f);
+  }
+
+  // Segment 1: epochs 1..3 (1 and 2 are covered by the checkpoint), plus an
+  // aborted pair at 4, plus a good record at 4.
+  auto writer = WalWriter::Create(dir, 1, FsyncPolicy::kNever, nullptr);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append(Insert(1, "one")).ok());
+  ASSERT_TRUE(writer->Append(Insert(2, "two")).ok());
+  ASSERT_TRUE(writer->Append(Insert(3, "three")).ok());
+  WalRecord failed = Insert(4, "failed");
+  ASSERT_TRUE(writer->Append(failed).ok());
+  WalRecord abort;
+  abort.type = WalRecordType::kAbort;
+  abort.epoch = 4;
+  ASSERT_TRUE(writer->Append(abort).ok());
+  ASSERT_TRUE(writer->Append(Insert(4, "four")).ok());
+
+  auto plan = PlanRecovery(dir);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_TRUE(plan->checkpoint.has_value());
+  EXPECT_EQ(plan->checkpoint->epoch, 2);
+  EXPECT_EQ(plan->invalid_checkpoints, 1);
+  EXPECT_EQ(plan->skipped_aborted_batches, 1);
+  ASSERT_EQ(plan->replay.size(), 2u);
+  EXPECT_EQ(plan->replay[0].facts_text, "three");
+  EXPECT_EQ(plan->replay[1].facts_text, "four");
+  EXPECT_EQ(plan->next_segment_seq, 2u);
+}
+
+TEST(RecoveryPlanTest, PruneKeepsOnlyCoveredFiles) {
+  std::string dir = TempDir();
+  CheckpointData a = SampleCheckpoint();
+  a.epoch = 2;
+  ASSERT_TRUE(WriteCheckpoint(dir, a, nullptr).ok());
+  CheckpointData b = SampleCheckpoint();
+  b.epoch = 7;
+  ASSERT_TRUE(WriteCheckpoint(dir, b, nullptr).ok());
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    auto w = WalWriter::Create(dir, seq, FsyncPolicy::kNever, nullptr);
+    ASSERT_TRUE(w.ok());
+  }
+  ASSERT_TRUE(PruneDataDir(dir, /*keep_seq=*/3, /*keep_epoch=*/7).ok());
+  auto names = util::ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{CheckpointFileName(7),
+                                              WalSegmentName(3)}));
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace mad
