@@ -12,10 +12,13 @@
 // Options:
 //   --format=text|json|sarif   output renderer (default text)
 //   --paper-only               run only the paper checks (MAD001-MAD008)
+//   --fail-on=error|warning|note  severity threshold for exit status 1
+//                              (default error)
 //   --rules                    print the rule registry and exit
 //
-// Exit status: 0 when no error-severity finding was reported, 1 otherwise,
-// 2 on usage or I/O problems.
+// Exit status: 0 when no finding at or above the --fail-on threshold was
+// reported (default: no error-severity finding), 1 otherwise, 2 on usage or
+// I/O problems.
 
 #include <fstream>
 #include <iostream>
@@ -33,8 +36,9 @@ using namespace mad;
 namespace {
 
 int Usage() {
-  std::cerr << "usage: madlint [--format=text|json|sarif] [--paper-only] "
-               "[--rules] program.mdl [more.mdl ...]\n";
+  std::cerr << "usage: madlint [--format=text|json|sarif] [--paper-only]\n"
+               "               [--fail-on=error|warning|note] [--rules] "
+               "program.mdl [more.mdl ...]\n";
   return 2;
 }
 
@@ -52,6 +56,9 @@ int PrintRules() {
 int main(int argc, char** argv) {
   std::string format = "text";
   bool paper_only = false;
+  // Severities at or above (≤ in enum order) this threshold flip the exit
+  // status to 1. The default preserves the historical errors-only contract.
+  analysis::lint::Severity fail_on = analysis::lint::Severity::kError;
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -59,6 +66,17 @@ int main(int argc, char** argv) {
     if (arg.rfind("--format=", 0) == 0) {
       format = arg.substr(std::string("--format=").size());
       if (format != "text" && format != "json" && format != "sarif") {
+        return Usage();
+      }
+    } else if (arg.rfind("--fail-on=", 0) == 0) {
+      std::string s = arg.substr(std::string("--fail-on=").size());
+      if (s == "error") {
+        fail_on = analysis::lint::Severity::kError;
+      } else if (s == "warning") {
+        fail_on = analysis::lint::Severity::kWarning;
+      } else if (s == "note") {
+        fail_on = analysis::lint::Severity::kNote;
+      } else {
         return Usage();
       }
     } else if (arg == "--paper-only") {
@@ -117,5 +135,8 @@ int main(int argc, char** argv) {
       std::cout << text;
     }
   }
-  return all.HasErrors() ? 1 : 0;
+  for (const analysis::lint::Diagnostic& d : all.diagnostics()) {
+    if (d.severity <= fail_on) return 1;
+  }
+  return 0;
 }

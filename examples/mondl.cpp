@@ -11,6 +11,12 @@
 //   --threads=N                         evaluation threads (default 1)
 //   --no-validate                       skip the static checks
 //   --check                             print the static report and exit
+//   --explain                           print the static query plans (per-rule
+//                                       adornments, inferred column types and
+//                                       join order) and exit; honors --format
+//   --join-order=planned|textual|heuristic  subgoal scheduling (default
+//                                       planned; all modes compute the same
+//                                       least model)
 //   --stats                             print evaluation statistics
 //   --format=text|json                  output format (default text)
 //   --dump=PRED[,PRED...]               print only these relations
@@ -43,6 +49,7 @@ int Usage() {
       << "usage: mondl [--strategy=naive|seminaive|greedy] "
          "[--max-iterations=N]\n"
          "             [--epsilon=E] [--threads=N] [--no-validate] [--check]\n"
+         "             [--explain] [--join-order=planned|textual|heuristic]\n"
          "             [--stats] [--format=text|json]\n"
          "             [--dump=PRED[,PRED...]] program.mdl\n";
   return 2;
@@ -64,6 +71,7 @@ void OnSigInt(int) {
 int main(int argc, char** argv) {
   core::EvalOptions options;
   bool check_only = false;
+  bool explain_only = false;
   bool print_stats = false;
   std::string format = "text";
   std::vector<std::string> dump;
@@ -96,6 +104,19 @@ int main(int argc, char** argv) {
       options.validate = false;
     } else if (arg == "--check") {
       check_only = true;
+    } else if (arg == "--explain") {
+      explain_only = true;
+    } else if (arg.rfind("--join-order=", 0) == 0) {
+      std::string s = value_of("--join-order=");
+      if (s == "planned") {
+        options.join_order = core::JoinOrderMode::kPlanned;
+      } else if (s == "textual") {
+        options.join_order = core::JoinOrderMode::kTextual;
+      } else if (s == "heuristic") {
+        options.join_order = core::JoinOrderMode::kHeuristic;
+      } else {
+        return Usage();
+      }
     } else if (arg == "--stats") {
       print_stats = true;
     } else if (arg.rfind("--format=", 0) == 0) {
@@ -136,6 +157,15 @@ int main(int argc, char** argv) {
     std::cout << check.ToString();
     // Mirror the evaluator's decision: errors reject, warnings don't.
     return check.overall().ok() ? 0 : 1;
+  }
+
+  if (explain_only) {
+    analysis::DependencyGraph graph(*program);
+    analysis::plan::PlanReport plans = analysis::plan::PlanProgram(
+        *program, graph,
+        analysis::plan::CardinalityEstimates::FromProgram(*program));
+    std::cout << (format == "json" ? plans.ToJson() + "\n" : plans.ToString());
+    return 0;
   }
 
   auto cancel = std::make_shared<CancellationToken>();

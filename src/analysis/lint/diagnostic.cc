@@ -104,6 +104,33 @@ const std::vector<LintRuleDesc>& AllLintRules() {
        "syntactically admissible nor semantically certified; evaluation "
        "rejects it",
        "Ross & Sagiv Definition 4.5 + Zaniolo et al. PreM", Severity::kNote},
+      {"MAD019", "type-conflict",
+       "type inference unified two incompatible column types through "
+       "variable dataflow: the same equivalence class carries, e.g., symbol "
+       "and numeric evidence",
+       "static typing (union-find inference)", Severity::kWarning},
+      {"MAD020", "constant-type-mismatch",
+       "a literal constant (in a fact or a rule) disagrees with the type "
+       "inferred for the column it occupies",
+       "static typing (union-find inference)", Severity::kWarning},
+      {"MAD021", "statically-empty-rule",
+       "a positive body predicate is transitively empty (no fact, default, "
+       "or firable rule can ever populate it), so the rule never fires",
+       "static planning (emptiness fixpoint)", Severity::kWarning},
+      {"MAD022", "cross-join",
+       "the planned join order must scan a relation with zero bound key "
+       "positions after earlier relational steps — a cross join that "
+       "multiplies intermediate results",
+       "static planning (SIPS adornment)", Severity::kWarning},
+      {"MAD023", "unbound-head-under-modes",
+       "mode analysis found a head variable the planned body never binds; "
+       "accompanies the range-restriction error with the planner's view",
+       "static planning (SIPS adornment)", Severity::kNote},
+      {"MAD024", "empty-aggregate-input",
+       "an aggregate ranges over a transitively empty predicate: the '=' "
+       "form always yields the lattice bottom and the '=r' form never "
+       "holds",
+       "static planning (emptiness fixpoint)", Severity::kWarning},
   };
   return *rules;
 }

@@ -757,6 +757,7 @@ PassManager MakeDefaultPassManager() {
   pm.AddPass(std::make_unique<DuplicateRulePass>());
   pm.AddPass(std::make_unique<CartesianProductPass>());
   pm.AddPass(std::make_unique<CostDomainMismatchPass>());
+  AddStaticPlanningPasses(&pm);
   return pm;
 }
 

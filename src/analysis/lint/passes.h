@@ -19,9 +19,15 @@ namespace lint {
 /// evaluator's accept/reject decision agree by construction.
 PassManager MakePaperPassManager();
 
-/// Paper passes plus the hygiene/performance passes (MAD009–MAD014), which
-/// only ever emit warnings and notes. This is what the madlint tool runs.
+/// Paper passes plus the hygiene/performance passes (MAD009–MAD014) and the
+/// static typing/planning passes (MAD019–MAD024), which only ever emit
+/// warnings and notes. This is what the madlint tool runs.
 PassManager MakeDefaultPassManager();
+
+/// Appends the static typing/planning passes (MAD019–MAD024, defined in
+/// plan_passes.cc): type-inference conflicts, statically empty rule and
+/// aggregate inputs, planned cross joins, and unbound head modes.
+void AddStaticPlanningPasses(PassManager* pm);
 
 /// Maps one admissibility violation to its diagnostic. Aspect picks the rule
 /// (negation → MAD006, missing default → MAD005, everything else → MAD004);

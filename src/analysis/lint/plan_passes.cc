@@ -1,0 +1,226 @@
+// Lint passes MAD019–MAD024: findings of the static typing and planning
+// layer (analysis/typing, analysis/plan). All of them are warnings or notes
+// — never errors — so the error ⟺ overall()-reject equivalence of the paper
+// passes is untouched.
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/lint/passes.h"
+#include "analysis/plan/plan.h"
+#include "analysis/typing/types.h"
+#include "util/string_util.h"
+
+namespace mad {
+namespace analysis {
+namespace lint {
+
+namespace {
+
+using datalog::Atom;
+using datalog::PredicateInfo;
+using datalog::Rule;
+using datalog::SourceSpan;
+using datalog::Subgoal;
+
+const LintRuleDesc& PlanDesc(const char* code) {
+  const LintRuleDesc* d = FindLintRule(code);
+  // The registry is static; a miss is a programming error caught in tests.
+  return *d;
+}
+
+/// Span for a type conflict: the offending evidence if located, else the
+/// rule that supplied it, else nothing (inline-fact evidence).
+SourceSpan ConflictSpan(const LintContext& ctx,
+                        const typing::TypeConflict& c) {
+  if (c.span.valid()) return c.span;
+  if (c.rule_index >= 0 &&
+      c.rule_index < static_cast<int>(ctx.program->rules().size())) {
+    return ctx.program->rules()[c.rule_index].span;
+  }
+  return SourceSpan{};
+}
+
+std::string ConflictPlace(const typing::TypeConflict& c) {
+  if (c.pred != nullptr) {
+    return StrPrintf("argument %d of %s", c.column + 1, c.pred->name.c_str());
+  }
+  return "a rule variable";
+}
+
+// ---------------------------------------------------------------------------
+// MAD019 / MAD020: type-inference conflicts
+// ---------------------------------------------------------------------------
+
+class TypeConflictPass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return PlanDesc("MAD019"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    typing::TypeReport types = typing::InferTypes(*ctx.program);
+    for (const typing::TypeConflict& c : types.conflicts()) {
+      if (c.constant_evidence) continue;  // MAD020's finding
+      out->Add(Make(
+          ctx, ConflictSpan(ctx, c),
+          StrPrintf("conflicting inferred types for %s: %s vs %s (%s)",
+                    ConflictPlace(c).c_str(), c.existing.ToString().c_str(),
+                    c.incoming.ToString().c_str(), c.detail.c_str())));
+    }
+  }
+};
+
+class ConstantTypeMismatchPass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return PlanDesc("MAD020"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    typing::TypeReport types = typing::InferTypes(*ctx.program);
+    for (const typing::TypeConflict& c : types.conflicts()) {
+      if (!c.constant_evidence) continue;  // MAD019's finding
+      out->Add(Make(
+          ctx, ConflictSpan(ctx, c),
+          StrPrintf("constant disagrees with the inferred type of %s: "
+                    "%s vs %s (%s)",
+                    ConflictPlace(c).c_str(), c.existing.ToString().c_str(),
+                    c.incoming.ToString().c_str(), c.detail.c_str())));
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MAD021 / MAD024: statically empty inputs
+// ---------------------------------------------------------------------------
+
+/// MAD011's criterion: predicates some fact or rule head could ever populate
+/// *directly*. MAD021 restricts itself to predicates that pass this test but
+/// fail the transitive emptiness fixpoint, so the two rules never
+/// double-report one subgoal.
+std::set<const PredicateInfo*> DirectlyDerivable(
+    const datalog::Program& program) {
+  std::set<const PredicateInfo*> derivable;
+  for (const Rule& r : program.rules()) {
+    if (r.head.pred != nullptr) derivable.insert(r.head.pred);
+  }
+  for (const datalog::Fact& f : program.facts()) {
+    if (f.pred != nullptr) derivable.insert(f.pred);
+  }
+  return derivable;
+}
+
+class StaticallyEmptyRulePass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return PlanDesc("MAD021"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    std::set<const PredicateInfo*> nonempty =
+        plan::PotentiallyNonEmpty(*ctx.program);
+    std::set<const PredicateInfo*> derivable =
+        DirectlyDerivable(*ctx.program);
+    for (const Rule& r : ctx.program->rules()) {
+      for (const Subgoal& sg : r.body) {
+        if (sg.kind != Subgoal::Kind::kAtom) continue;
+        const Atom& a = sg.atom;
+        if (a.pred == nullptr || nonempty.count(a.pred)) continue;
+        // A predicate with no facts and no rules is MAD011's finding.
+        if (!derivable.count(a.pred)) continue;
+        out->Add(Make(
+            ctx, a.span.valid() ? a.span : r.span,
+            StrPrintf("predicate %s is transitively empty (no chain of "
+                      "rules can ever populate it), so this rule never "
+                      "fires",
+                      a.pred->name.c_str())));
+      }
+    }
+  }
+};
+
+class EmptyAggregateInputPass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return PlanDesc("MAD024"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    std::set<const PredicateInfo*> nonempty =
+        plan::PotentiallyNonEmpty(*ctx.program);
+    for (const Rule& r : ctx.program->rules()) {
+      for (const Subgoal& sg : r.body) {
+        if (sg.kind != Subgoal::Kind::kAggregate) continue;
+        for (const Atom& a : sg.aggregate.atoms) {
+          if (a.pred == nullptr || nonempty.count(a.pred)) continue;
+          const char* consequence =
+              sg.aggregate.restricted
+                  ? "the '=r' subgoal never holds, so this rule never fires"
+                  : "the aggregate always yields the lattice bottom";
+          out->Add(Make(
+              ctx, sg.aggregate.span.valid() ? sg.aggregate.span : r.span,
+              StrPrintf("aggregate input %s is statically empty: %s",
+                        a.pred->name.c_str(), consequence)));
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MAD022 / MAD023: planner findings (cross joins, unbound head modes)
+// ---------------------------------------------------------------------------
+
+class CrossJoinPass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return PlanDesc("MAD022"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    plan::PlanReport report = plan::PlanProgram(
+        *ctx.program, *ctx.graph,
+        plan::CardinalityEstimates::FromProgram(*ctx.program));
+    for (const plan::QueryPlan& qp : report.rules) {
+      for (size_t pos = 0; pos < qp.steps.size(); ++pos) {
+        const plan::PlanStep& step = qp.steps[pos];
+        if (!step.cross_join) continue;
+        const Subgoal& sg = qp.rule->body[step.subgoal_index];
+        if (sg.atom.pred == nullptr) continue;
+        out->Add(Make(
+            ctx, sg.atom.span.valid() ? sg.atom.span : qp.rule->span,
+            StrPrintf("no bound key position when %s is scanned at planned "
+                      "step %d: a cross join with the earlier subgoals",
+                      sg.atom.pred->name.c_str(),
+                      static_cast<int>(pos) + 1)));
+      }
+    }
+  }
+};
+
+class UnboundHeadModePass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return PlanDesc("MAD023"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    plan::PlanReport report = plan::PlanProgram(
+        *ctx.program, *ctx.graph,
+        plan::CardinalityEstimates::FromProgram(*ctx.program));
+    for (const plan::QueryPlan& qp : report.rules) {
+      if (qp.unbound_head_vars.empty() || qp.rule->head.pred == nullptr) {
+        continue;
+      }
+      out->Add(Make(
+          ctx,
+          qp.rule->head.span.valid() ? qp.rule->head.span : qp.rule->span,
+          StrPrintf("under inferred modes the planned body never binds head "
+                    "variable%s %s (head adornment %s^%s)",
+                    qp.unbound_head_vars.size() > 1 ? "s" : "",
+                    Join(qp.unbound_head_vars, ", ").c_str(),
+                    qp.rule->head.pred->name.c_str(),
+                    qp.head_adornment.c_str())));
+    }
+  }
+};
+
+}  // namespace
+
+void AddStaticPlanningPasses(PassManager* pm) {
+  pm->AddPass(std::make_unique<TypeConflictPass>());
+  pm->AddPass(std::make_unique<ConstantTypeMismatchPass>());
+  pm->AddPass(std::make_unique<StaticallyEmptyRulePass>());
+  pm->AddPass(std::make_unique<CrossJoinPass>());
+  pm->AddPass(std::make_unique<UnboundHeadModePass>());
+  pm->AddPass(std::make_unique<EmptyAggregateInputPass>());
+}
+
+}  // namespace lint
+}  // namespace analysis
+}  // namespace mad

@@ -1,0 +1,547 @@
+#include "analysis/plan/plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "util/string_util.h"
+
+namespace mad {
+namespace analysis {
+namespace plan {
+
+using datalog::Atom;
+using datalog::CmpOp;
+using datalog::Expr;
+using datalog::PredicateInfo;
+using datalog::Program;
+using datalog::Rule;
+using datalog::Subgoal;
+using datalog::Term;
+
+namespace {
+
+/// Selectivity of one bound key position: each bound column is assumed to
+/// cut the scanned rows by this factor. Coarse, but monotone in boundness —
+/// which is all the greedy order needs.
+constexpr double kBoundFactor = 4.0;
+/// Floor on a step's estimated match count (avoids zero-cost plans).
+constexpr double kMinMatches = 0.0625;
+
+int BoundKeyPositions(const Atom& a, const std::set<std::string>& bound) {
+  int n = 0;
+  int keys = a.pred->key_arity();
+  for (int i = 0; i < keys; ++i) {
+    const Term& t = a.args[i];
+    if (t.is_const() || bound.count(t.var)) ++n;
+  }
+  return n;
+}
+
+bool KeysBound(const Atom& a, const std::set<std::string>& bound) {
+  return BoundKeyPositions(a, bound) == a.pred->key_arity();
+}
+
+bool AtomFullyBound(const Atom& a, const std::set<std::string>& bound) {
+  for (const Term& t : a.args) {
+    if (t.is_var() && !bound.count(t.var)) return false;
+  }
+  return true;
+}
+
+bool ExprBound(const Expr& e, const std::set<std::string>& bound) {
+  std::vector<std::string> vars;
+  e.CollectVars(&vars);
+  for (const std::string& v : vars) {
+    if (!bound.count(v)) return false;
+  }
+  return true;
+}
+
+void BindAtomVars(const Atom& a, std::set<std::string>* bound) {
+  for (const Term& t : a.args) {
+    if (t.is_var()) bound->insert(t.var);
+  }
+}
+
+std::string AtomAdornment(const Atom& a, const std::set<std::string>& bound) {
+  std::string ad;
+  ad.reserve(a.args.size());
+  for (const Term& t : a.args) {
+    ad += (t.is_const() || bound.count(t.var)) ? 'b' : 'f';
+  }
+  return ad;
+}
+
+double EstMatches(const PredicateInfo* pred, int nbound,
+                  const CardinalityEstimates& cards) {
+  double sel = cards.RowsFor(pred) / std::pow(kBoundFactor, nbound);
+  return std::max(sel, kMinMatches);
+}
+
+/// A ready subgoal's assessed cost and effects.
+struct Candidate {
+  double cost = 0;
+  double out_rows = 0;
+  int nbound = 0;
+  bool cross_join = false;
+  std::string adornment;
+  /// Variable the step newly binds via assignment (builtin `V = expr`).
+  std::string assign_var;
+};
+
+/// Greedy cost of evaluating an aggregate's inner conjunction, mirroring
+/// ScheduleInnerAtoms' safety condition (default-value atoms need bound
+/// keys). Returns accumulated work for one outer binding.
+double InnerConjunctionCost(const std::vector<Atom>& atoms,
+                            std::set<std::string> bound,
+                            const CardinalityEstimates& cards) {
+  std::vector<bool> done(atoms.size(), false);
+  double rows = 1.0;
+  double cost = 0.0;
+  for (size_t scheduled = 0; scheduled < atoms.size(); ++scheduled) {
+    int pick = -1;
+    double pick_matches = 0;
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (done[i]) continue;
+      if (atoms[i].pred->has_default && !KeysBound(atoms[i], bound)) continue;
+      double m = EstMatches(atoms[i].pred, BoundKeyPositions(atoms[i], bound),
+                            cards);
+      if (pick < 0 || rows * m < rows * pick_matches) {
+        pick = static_cast<int>(i);
+        pick_matches = m;
+      }
+    }
+    if (pick < 0) break;  // unsafe inner order; checker rejects the rule
+    cost += rows * pick_matches;
+    rows *= pick_matches;
+    BindAtomVars(atoms[pick], &bound);
+    done[pick] = true;
+  }
+  return std::max(cost, 1.0);
+}
+
+/// Assesses one pending subgoal against the current bindings; nullopt when
+/// the subgoal is not safely executable yet. Readiness conditions are an
+/// exact mirror of core's ScheduleBody so a planned preference order can
+/// always be realized.
+std::optional<Candidate> Assess(const Subgoal& sg,
+                                const std::set<std::string>& bound,
+                                double rows, bool saw_relational,
+                                const CardinalityEstimates& cards) {
+  Candidate c;
+  switch (sg.kind) {
+    case Subgoal::Kind::kAtom: {
+      const Atom& a = sg.atom;
+      if (a.pred->has_default && !KeysBound(a, bound)) return std::nullopt;
+      c.nbound = BoundKeyPositions(a, bound);
+      double m = a.pred->has_default && KeysBound(a, bound)
+                     ? 1.0
+                     : EstMatches(a.pred, c.nbound, cards);
+      c.cost = rows * m;
+      c.out_rows = rows * m;
+      c.cross_join =
+          saw_relational && c.nbound == 0 && a.pred->key_arity() > 0;
+      c.adornment = AtomAdornment(a, bound);
+      return c;
+    }
+    case Subgoal::Kind::kNegatedAtom: {
+      if (!AtomFullyBound(sg.atom, bound)) return std::nullopt;
+      c.cost = rows * 0.01;  // point lookups; cheap but not free
+      c.out_rows = rows * 0.5;
+      c.nbound = BoundKeyPositions(sg.atom, bound);
+      c.adornment = AtomAdornment(sg.atom, bound);
+      return c;
+    }
+    case Subgoal::Kind::kBuiltin: {
+      const auto& b = sg.builtin;
+      if (ExprBound(*b.lhs, bound) && ExprBound(*b.rhs, bound)) {
+        c.cost = 0;
+        c.out_rows = rows * 0.5;
+        return c;
+      }
+      if (b.op != CmpOp::kEq) return std::nullopt;
+      auto try_assign = [&](const Expr& var_side,
+                            const Expr& expr_side) -> bool {
+        if (var_side.kind != Expr::Kind::kVar) return false;
+        if (bound.count(var_side.var)) return false;
+        if (!ExprBound(expr_side, bound)) return false;
+        c.cost = 0;
+        c.out_rows = rows;
+        c.assign_var = var_side.var;
+        return true;
+      };
+      if (try_assign(*b.lhs, *b.rhs) || try_assign(*b.rhs, *b.lhs)) return c;
+      return std::nullopt;
+    }
+    case Subgoal::Kind::kAggregate: {
+      const auto& agg = sg.aggregate;
+      if (!agg.restricted) {
+        for (const std::string& g : agg.grouping_vars) {
+          if (!bound.count(g)) return std::nullopt;
+        }
+      }
+      c.cost = rows * InnerConjunctionCost(agg.atoms, bound, cards);
+      c.out_rows = rows;
+      std::string ad;
+      for (const std::string& g : agg.grouping_vars) {
+        ad += bound.count(g) ? 'b' : 'f';
+      }
+      c.adornment = ad;
+      return c;
+    }
+  }
+  return std::nullopt;
+}
+
+void ApplyEffects(const Subgoal& sg, const Candidate& c,
+                  std::set<std::string>* bound) {
+  switch (sg.kind) {
+    case Subgoal::Kind::kAtom:
+      BindAtomVars(sg.atom, bound);
+      break;
+    case Subgoal::Kind::kNegatedAtom:
+      break;
+    case Subgoal::Kind::kBuiltin:
+      if (!c.assign_var.empty()) bound->insert(c.assign_var);
+      break;
+    case Subgoal::Kind::kAggregate:
+      for (const std::string& g : sg.aggregate.grouping_vars) {
+        bound->insert(g);
+      }
+      if (sg.aggregate.result.is_var()) bound->insert(sg.aggregate.result.var);
+      break;
+  }
+}
+
+const char* KindName(Subgoal::Kind k) {
+  switch (k) {
+    case Subgoal::Kind::kAtom:
+      return "atom";
+    case Subgoal::Kind::kNegatedAtom:
+      return "negation";
+    case Subgoal::Kind::kAggregate:
+      return "aggregate";
+    case Subgoal::Kind::kBuiltin:
+      return "builtin";
+  }
+  return "?";
+}
+
+std::string StepDescription(const Subgoal& sg) {
+  switch (sg.kind) {
+    case Subgoal::Kind::kAtom:
+      return "scan " + sg.atom.ToString();
+    case Subgoal::Kind::kNegatedAtom:
+      return "check " + sg.ToString();
+    case Subgoal::Kind::kAggregate:
+      return "aggregate " + sg.aggregate.function_name;
+    case Subgoal::Kind::kBuiltin:
+      return "filter " + sg.builtin.ToString();
+  }
+  return sg.ToString();
+}
+
+QueryPlan PlanRule(const Rule& rule, int rule_index,
+                   const DependencyGraph& graph,
+                   const CardinalityEstimates& cards) {
+  QueryPlan plan;
+  plan.rule_index = rule_index;
+  plan.rule = &rule;
+  plan.component = graph.ComponentOf(rule.head.pred);
+
+  std::set<std::string> bound;
+  std::vector<bool> done(rule.body.size(), false);
+  double rows = 1.0;
+  bool saw_relational = false;
+  size_t remaining = rule.body.size();
+
+  while (remaining > 0) {
+    int pick = -1;
+    Candidate best;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (done[i]) continue;
+      std::optional<Candidate> c =
+          Assess(rule.body[i], bound, rows, saw_relational, cards);
+      if (!c.has_value()) continue;
+      // Strict < keeps the earliest textual subgoal on ties — plans stay
+      // deterministic and invariant under predicate renaming.
+      if (pick < 0 || c->cost < best.cost) {
+        pick = static_cast<int>(i);
+        best = std::move(*c);
+      }
+    }
+    if (pick < 0) {
+      // No safe next subgoal (the checker rejects such rules); fall back to
+      // the textual tail so the plan still covers every subgoal.
+      plan.complete = false;
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (done[i]) continue;
+        const Subgoal& sg = rule.body[i];
+        PlanStep step;
+        step.subgoal_index = static_cast<int>(i);
+        step.kind = sg.kind;
+        if (sg.kind == Subgoal::Kind::kAtom ||
+            sg.kind == Subgoal::Kind::kNegatedAtom) {
+          step.adornment = AtomAdornment(sg.atom, bound);
+          step.bound_positions = BoundKeyPositions(sg.atom, bound);
+        }
+        step.est_rows = rows;
+        step.description = StepDescription(sg);
+        ApplyEffects(sg, Candidate{}, &bound);
+        plan.steps.push_back(std::move(step));
+      }
+      break;
+    }
+
+    const Subgoal& sg = rule.body[pick];
+    PlanStep step;
+    step.subgoal_index = pick;
+    step.kind = sg.kind;
+    step.adornment = best.adornment;
+    step.bound_positions = best.nbound;
+    step.est_rows = best.out_rows;
+    step.est_cost = best.cost;
+    step.cross_join = best.cross_join;
+    step.description = StepDescription(sg);
+    plan.est_cost += best.cost;
+    rows = best.out_rows;
+    if (sg.kind == Subgoal::Kind::kAtom ||
+        sg.kind == Subgoal::Kind::kAggregate) {
+      saw_relational = true;
+    }
+    ApplyEffects(sg, best, &bound);
+    plan.steps.push_back(std::move(step));
+    done[pick] = true;
+    --remaining;
+  }
+
+  for (const Term& t : rule.head.args) {
+    bool b = t.is_const() || bound.count(t.var);
+    plan.head_adornment += b ? 'b' : 'f';
+    if (!b && std::find(plan.unbound_head_vars.begin(),
+                        plan.unbound_head_vars.end(),
+                        t.var) == plan.unbound_head_vars.end()) {
+      plan.unbound_head_vars.push_back(t.var);
+    }
+  }
+  return plan;
+}
+
+std::string JsonEscapeStr(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += StrPrintf("\\u%04x", ch);
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double CardinalityEstimates::RowsFor(const PredicateInfo* pred) const {
+  auto it = rows.find(pred);
+  return it == rows.end() ? kDefaultRows : std::max(it->second, 1.0);
+}
+
+CardinalityEstimates CardinalityEstimates::FromProgram(
+    const Program& program) {
+  CardinalityEstimates out;
+  for (const datalog::Fact& f : program.facts()) {
+    out.rows[f.pred] += 1.0;
+  }
+  return out;
+}
+
+CardinalityEstimates CardinalityEstimates::FromDatabase(
+    const Program& program, const datalog::Database& db) {
+  CardinalityEstimates out;
+  for (const auto& p : program.predicates()) {
+    const datalog::Relation* rel = db.Find(p.get());
+    if (rel != nullptr && rel->size() > 0) {
+      out.rows[p.get()] = static_cast<double>(rel->size());
+    }
+  }
+  return out;
+}
+
+std::string PlanStep::ToString() const {
+  std::string out = StrPrintf("[%d] %s", subgoal_index, description.c_str());
+  if (!adornment.empty()) out += "^" + adornment;
+  out += StrPrintf("  est_rows=%.1f est_cost=%.1f", est_rows, est_cost);
+  if (cross_join) out += "  CROSS JOIN";
+  return out;
+}
+
+std::vector<int> QueryPlan::Order() const {
+  std::vector<int> order;
+  order.reserve(steps.size());
+  for (const PlanStep& s : steps) order.push_back(s.subgoal_index);
+  return order;
+}
+
+std::string QueryPlan::ToString() const {
+  std::string out = StrPrintf("rule %d (line %d, component %d): %s\n",
+                              rule_index, rule != nullptr ? rule->source_line : 0,
+                              component,
+                              rule != nullptr ? rule->ToString().c_str() : "?");
+  std::string order;
+  for (const PlanStep& s : steps) {
+    if (!order.empty()) order += " -> ";
+    order += StrPrintf("%d", s.subgoal_index);
+  }
+  out += "  join order: " + (order.empty() ? std::string("(empty body)") : order);
+  out += "\n";
+  int n = 0;
+  for (const PlanStep& s : steps) {
+    out += StrPrintf("  step %d: %s\n", ++n, s.ToString().c_str());
+  }
+  out += StrPrintf("  head: %s^%s",
+                   rule != nullptr ? rule->head.pred->name.c_str() : "?",
+                   head_adornment.c_str());
+  if (!unbound_head_vars.empty()) {
+    out += "  UNBOUND:";
+    for (const std::string& v : unbound_head_vars) out += " " + v;
+  }
+  if (!complete) out += "  (incomplete: textual tail)";
+  out += StrPrintf("  est_total=%.1f\n", est_cost);
+  return out;
+}
+
+std::string PlanReport::ToString() const {
+  std::string out = "== inferred column types ==\n";
+  out += types.ToString();
+  out += "== query plans ==\n";
+  for (const QueryPlan& p : rules) {
+    out += p.ToString();
+  }
+  return out;
+}
+
+std::string PlanReport::ToJson() const {
+  std::string out = "{\"types\":[";
+  bool first = true;
+  for (const auto& [pred, cols] : types.Rows()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"pred\":\"" + JsonEscapeStr(pred->name) + "\",\"columns\":[";
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + JsonEscapeStr(cols[i].ToString()) + "\"";
+    }
+    out += "]}";
+  }
+  out += "],\"plans\":[";
+  first = true;
+  for (const QueryPlan& p : rules) {
+    if (!first) out += ",";
+    first = false;
+    out += StrPrintf("{\"rule\":%d,\"line\":%d,\"component\":%d", p.rule_index,
+                     p.rule != nullptr ? p.rule->source_line : 0, p.component);
+    out += ",\"text\":\"" +
+           JsonEscapeStr(p.rule != nullptr ? p.rule->ToString() : "") + "\"";
+    out += StrPrintf(",\"complete\":%s,\"est_cost\":%.6g",
+                     p.complete ? "true" : "false", p.est_cost);
+    out += ",\"head_adornment\":\"" + p.head_adornment + "\"";
+    out += ",\"unbound_head_vars\":[";
+    for (size_t i = 0; i < p.unbound_head_vars.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + JsonEscapeStr(p.unbound_head_vars[i]) + "\"";
+    }
+    out += "],\"order\":[";
+    for (size_t i = 0; i < p.steps.size(); ++i) {
+      if (i > 0) out += ",";
+      out += StrPrintf("%d", p.steps[i].subgoal_index);
+    }
+    out += "],\"steps\":[";
+    for (size_t i = 0; i < p.steps.size(); ++i) {
+      const PlanStep& s = p.steps[i];
+      if (i > 0) out += ",";
+      out += StrPrintf("{\"subgoal\":%d,\"kind\":\"%s\"", s.subgoal_index,
+                       KindName(s.kind));
+      out += ",\"adornment\":\"" + s.adornment + "\"";
+      out += StrPrintf(
+          ",\"bound_positions\":%d,\"est_rows\":%.6g,\"est_cost\":%.6g,"
+          "\"cross_join\":%s",
+          s.bound_positions, s.est_rows, s.est_cost,
+          s.cross_join ? "true" : "false");
+      out += ",\"description\":\"" + JsonEscapeStr(s.description) + "\"}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+PlanReport PlanProgram(const Program& program, const DependencyGraph& graph,
+                       const CardinalityEstimates& cards) {
+  PlanReport report;
+  report.types = typing::InferTypes(program);
+  const auto& rules = program.rules();
+  report.rules.reserve(rules.size());
+  for (size_t ri = 0; ri < rules.size(); ++ri) {
+    report.rules.push_back(
+        PlanRule(rules[ri], static_cast<int>(ri), graph, cards));
+  }
+  return report;
+}
+
+std::set<const PredicateInfo*> PotentiallyNonEmpty(const Program& program) {
+  std::set<const PredicateInfo*> nonempty;
+  for (const auto& p : program.predicates()) {
+    if (p->has_default) nonempty.insert(p.get());
+  }
+  for (const datalog::Fact& f : program.facts()) nonempty.insert(f.pred);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& r : program.rules()) {
+      if (nonempty.count(r.head.pred)) continue;
+      bool fires = true;
+      for (const Subgoal& sg : r.body) {
+        if (sg.kind == Subgoal::Kind::kAtom &&
+            !nonempty.count(sg.atom.pred)) {
+          fires = false;
+          break;
+        }
+        if (sg.kind == Subgoal::Kind::kAggregate && sg.aggregate.restricted) {
+          for (const Atom& a : sg.aggregate.atoms) {
+            if (!nonempty.count(a.pred)) {
+              fires = false;
+              break;
+            }
+          }
+          if (!fires) break;
+        }
+      }
+      if (fires) {
+        nonempty.insert(r.head.pred);
+        changed = true;
+      }
+    }
+  }
+  return nonempty;
+}
+
+}  // namespace plan
+}  // namespace analysis
+}  // namespace mad

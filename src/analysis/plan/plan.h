@@ -1,0 +1,123 @@
+#ifndef MAD_ANALYSIS_PLAN_PLAN_H_
+#define MAD_ANALYSIS_PLAN_PLAN_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/dependency_graph.h"
+#include "analysis/typing/types.h"
+#include "datalog/ast.h"
+#include "datalog/database.h"
+
+namespace mad {
+namespace analysis {
+namespace plan {
+
+/// Per-predicate row-count estimates feeding the join-order planner. Any
+/// predicate without an entry (typically IDB) falls back to kDefaultRows —
+/// estimates steer preferences only, never correctness, so a coarse default
+/// is fine.
+struct CardinalityEstimates {
+  static constexpr double kDefaultRows = 32.0;
+
+  std::map<const datalog::PredicateInfo*, double> rows;
+
+  /// Counts inline facts per predicate (static / pre-database planning).
+  static CardinalityEstimates FromProgram(const datalog::Program& program);
+  /// Live relation sizes — what Engine::Run uses after loading the EDB.
+  static CardinalityEstimates FromDatabase(const datalog::Program& program,
+                                           const datalog::Database& db);
+
+  double RowsFor(const datalog::PredicateInfo* pred) const;
+};
+
+/// One scheduled step of a rule body. The adornment is the bound ('b') /
+/// free ('f') pattern of the subgoal's arguments *at the time the step
+/// runs* (constants are 'b'): atom and negated-atom steps adorn every
+/// argument, aggregate steps adorn their grouping variables, builtins have
+/// no adornment.
+struct PlanStep {
+  int subgoal_index = -1;  ///< position in Rule::body (textual order)
+  datalog::Subgoal::Kind kind = datalog::Subgoal::Kind::kAtom;
+  std::string adornment;
+  int bound_positions = 0;  ///< bound key positions when the step runs
+  double est_rows = 0;      ///< estimated bindings alive after the step
+  double est_cost = 0;      ///< estimated work of the step
+  /// Atom step scanning a non-trivial relation with zero bound positions
+  /// after earlier relational steps — a cross join (MAD022).
+  bool cross_join = false;
+  std::string description;
+
+  std::string ToString() const;
+};
+
+/// The planned evaluation order of one rule, with per-step estimates — the
+/// auditable artifact behind `mondl --explain` and the executor seam.
+struct QueryPlan {
+  int rule_index = -1;
+  const datalog::Rule* rule = nullptr;
+  int component = -1;  ///< SCC of the head predicate (evaluation stage)
+  std::vector<PlanStep> steps;
+  /// Head argument adornment after the full body ran ('b' everywhere for a
+  /// range-restricted rule).
+  std::string head_adornment;
+  /// Head variables the planned body never binds (MAD023; implies the
+  /// checker's range-restriction error).
+  std::vector<std::string> unbound_head_vars;
+  /// False iff the SIPS got stuck (no safe next subgoal) and the tail was
+  /// emitted in textual order.
+  bool complete = true;
+  double est_cost = 0;
+
+  /// Subgoal indices in planned execution order.
+  std::vector<int> Order() const;
+  std::string ToString() const;
+};
+
+/// Whole-program plan: inferred column types plus one QueryPlan per rule
+/// (indexed by position in Program::rules()).
+struct PlanReport {
+  typing::TypeReport types;
+  std::vector<QueryPlan> rules;
+
+  const QueryPlan* ForRule(int rule_index) const {
+    if (rule_index < 0 || rule_index >= static_cast<int>(rules.size())) {
+      return nullptr;
+    }
+    return &rules[rule_index];
+  }
+
+  /// The `mondl --explain` dump: column types, then per-rule plans.
+  std::string ToString() const;
+  /// Machine-readable variant (`mondl --explain --format=json`).
+  std::string ToJson() const;
+};
+
+/// Plans every rule of `program`: runs type inference, then a greedy
+/// sideways-information-passing pass per rule — repeatedly picking the
+/// cheapest *safe* subgoal under the same readiness conditions the executor
+/// enforces (builtins need bound operands or act as assignments, negation
+/// needs full boundness, default-value atoms need bound keys, "=" aggregates
+/// need bound grouping variables). Estimates come from `cards`; ties break
+/// by textual subgoal index, so plans are deterministic and invariant under
+/// predicate renaming and rule reordering.
+PlanReport PlanProgram(const datalog::Program& program,
+                       const DependencyGraph& graph,
+                       const CardinalityEstimates& cards);
+
+/// Predicates that can possibly hold at least one fact in the least model:
+/// the fixpoint of "has inline facts, or a default value, or a rule whose
+/// positive atoms (and restricted-aggregate inner atoms) are all potentially
+/// non-empty". Complement = statically empty (MAD021/MAD024). Negated
+/// subgoals and "=" aggregates never block a rule here — both can succeed
+/// against empty inputs.
+std::set<const datalog::PredicateInfo*> PotentiallyNonEmpty(
+    const datalog::Program& program);
+
+}  // namespace plan
+}  // namespace analysis
+}  // namespace mad
+
+#endif  // MAD_ANALYSIS_PLAN_PLAN_H_

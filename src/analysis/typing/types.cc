@@ -1,0 +1,456 @@
+#include "analysis/typing/types.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace mad {
+namespace analysis {
+namespace typing {
+
+using datalog::Atom;
+using datalog::CmpOp;
+using datalog::ColumnType;
+using datalog::Expr;
+using datalog::PredicateInfo;
+using datalog::Program;
+using datalog::Rule;
+using datalog::SourceSpan;
+using datalog::Subgoal;
+using datalog::Term;
+using datalog::Value;
+
+std::string TypeDesc::ToString() const {
+  if (kind == ColumnType::kLattice && domain != nullptr) {
+    return std::string(domain->name());
+  }
+  return ColumnTypeName(kind);
+}
+
+std::string TypeConflict::ToString() const {
+  std::string where = pred != nullptr
+                          ? StrPrintf("%s argument %d", pred->name.c_str(),
+                                      column + 1)
+                          : std::string("rule-local variable");
+  return StrPrintf("%s: %s vs %s (%s)", where.c_str(),
+                   existing.ToString().c_str(), incoming.ToString().c_str(),
+                   detail.c_str());
+}
+
+namespace {
+
+ColumnType KindOfValue(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kSymbol:
+      return ColumnType::kSymbol;
+    case Value::Kind::kInt:
+      return ColumnType::kInt;
+    case Value::Kind::kDouble:
+      return ColumnType::kReal;
+    case Value::Kind::kBool:
+      return ColumnType::kBool;
+    case Value::Kind::kSet:
+      return ColumnType::kSet;
+    default:
+      return ColumnType::kUnknown;
+  }
+}
+
+/// The carrier kind of a cost domain's elements, from its least element.
+ColumnType DomainBaseKind(const lattice::CostDomain* d) {
+  switch (d->Bottom().kind()) {
+    case Value::Kind::kInt:
+    case Value::Kind::kDouble:
+      return ColumnType::kNumeric;
+    case Value::Kind::kBool:
+      return ColumnType::kBool;
+    case Value::Kind::kSet:
+      return ColumnType::kSet;
+    case Value::Kind::kSymbol:
+      return ColumnType::kSymbol;
+    default:
+      return ColumnType::kUnknown;
+  }
+}
+
+bool IsNumericKind(ColumnType k) {
+  return k == ColumnType::kInt || k == ColumnType::kReal ||
+         k == ColumnType::kNumeric;
+}
+
+/// Joins two type descriptions; nullopt marks a genuine contradiction.
+/// kNumeric is weak evidence ("must be a number") refined by kInt/kReal;
+/// lattice elements absorb evidence matching their carrier kind; two
+/// *different* numeric-carrier lattices are deliberately NOT a conflict
+/// (cross-domain flow is MAD014's finding) and weaken to kNumeric.
+std::optional<TypeDesc> JoinTypes(const TypeDesc& a, const TypeDesc& b) {
+  if (a.kind == ColumnType::kUnknown) return b;
+  if (b.kind == ColumnType::kUnknown) return a;
+  if (a.kind == ColumnType::kConflict) return a;
+  if (b.kind == ColumnType::kConflict) return b;
+
+  if (a.kind == ColumnType::kLattice && b.kind == ColumnType::kLattice) {
+    if (a.domain == b.domain) return a;
+    ColumnType ab = DomainBaseKind(a.domain);
+    ColumnType bb = DomainBaseKind(b.domain);
+    if (ab == ColumnType::kNumeric && bb == ColumnType::kNumeric) {
+      return TypeDesc{ColumnType::kNumeric, nullptr};
+    }
+    if (ab == bb) return TypeDesc{ab, nullptr};
+    return std::nullopt;
+  }
+  if (a.kind == ColumnType::kLattice || b.kind == ColumnType::kLattice) {
+    const TypeDesc& lat = a.kind == ColumnType::kLattice ? a : b;
+    const TypeDesc& other = a.kind == ColumnType::kLattice ? b : a;
+    ColumnType base = DomainBaseKind(lat.domain);
+    if (base == ColumnType::kNumeric &&
+        (IsNumericKind(other.kind) || other.kind == ColumnType::kBool)) {
+      return lat;
+    }
+    if (base == ColumnType::kBool && (other.kind == ColumnType::kBool ||
+                                      other.kind == ColumnType::kNumeric)) {
+      return lat;
+    }
+    if (base == other.kind) return lat;
+    return std::nullopt;
+  }
+
+  if (a.kind == b.kind) return a;
+  // Numeric refinement and widening.
+  if (a.kind == ColumnType::kNumeric &&
+      (IsNumericKind(b.kind) || b.kind == ColumnType::kBool)) {
+    return b;
+  }
+  if (b.kind == ColumnType::kNumeric &&
+      (IsNumericKind(a.kind) || a.kind == ColumnType::kBool)) {
+    return a;
+  }
+  if ((a.kind == ColumnType::kInt && b.kind == ColumnType::kReal) ||
+      (a.kind == ColumnType::kReal && b.kind == ColumnType::kInt)) {
+    return TypeDesc{ColumnType::kNumeric, nullptr};
+  }
+  return std::nullopt;
+}
+
+/// Provenance of one piece of evidence, for conflict reports.
+struct Evidence {
+  bool constant = false;
+  int rule_index = -1;
+  SourceSpan span;
+  std::string detail;
+};
+
+/// Union-find over type equivalence classes: one node per predicate column
+/// (global) and per rule-local variable (fresh per rule).
+class Inference {
+ public:
+  explicit Inference(const Program& program) : program_(program) {}
+
+  void Run() {
+    // Declared cost columns.
+    for (const auto& p : program_.predicates()) {
+      if (p->has_cost) {
+        Apply(ColumnNode(p.get(), p->cost_position()),
+              TypeDesc{ColumnType::kLattice, p->domain},
+              {false, -1, SourceSpan{},
+               StrPrintf("declared cost column of %s", p->name.c_str())});
+      }
+    }
+    // Inline facts.
+    for (const datalog::Fact& f : program_.facts()) {
+      for (size_t i = 0; i < f.key.size(); ++i) {
+        Apply(ColumnNode(f.pred, static_cast<int>(i)),
+              TypeDesc{KindOfValue(f.key[i]), nullptr},
+              {true, -1, SourceSpan{},
+               StrPrintf("inline fact constant %s",
+                         f.key[i].ToString().c_str())});
+      }
+      if (f.cost.has_value()) {
+        Apply(ColumnNode(f.pred, f.pred->cost_position()),
+              TypeDesc{KindOfValue(*f.cost), nullptr},
+              {true, -1, SourceSpan{},
+               StrPrintf("inline fact cost %s", f.cost->ToString().c_str())});
+      }
+    }
+    // Rules.
+    const auto& rules = program_.rules();
+    for (size_t ri = 0; ri < rules.size(); ++ri) {
+      var_nodes_.clear();
+      rule_index_ = static_cast<int>(ri);
+      ProcessRule(rules[ri]);
+    }
+    Emit();
+  }
+
+  std::map<const PredicateInfo*, std::vector<TypeDesc>>& columns() {
+    return out_columns_;
+  }
+  std::vector<TypeConflict>& conflicts() { return conflicts_; }
+
+ private:
+  struct Node {
+    int parent = -1;
+    int rank = 0;
+    TypeDesc type;
+    const PredicateInfo* anchor_pred = nullptr;  ///< first column in class
+    int anchor_col = -1;
+  };
+
+  int NewNode() {
+    int id = static_cast<int>(nodes_.size());
+    Node n;
+    n.parent = id;
+    nodes_.push_back(std::move(n));
+    return id;
+  }
+
+  int ColumnNode(const PredicateInfo* pred, int col) {
+    auto key = std::make_pair(pred, col);
+    auto it = column_nodes_.find(key);
+    if (it != column_nodes_.end()) return it->second;
+    int id = NewNode();
+    nodes_[id].anchor_pred = pred;
+    nodes_[id].anchor_col = col;
+    column_nodes_.emplace(key, id);
+    return id;
+  }
+
+  int VarNode(const std::string& name) {
+    auto it = var_nodes_.find(name);
+    if (it != var_nodes_.end()) return it->second;
+    int id = NewNode();
+    var_nodes_.emplace(name, id);
+    return id;
+  }
+
+  int Find(int x) {
+    while (nodes_[x].parent != x) {
+      nodes_[x].parent = nodes_[nodes_[x].parent].parent;
+      x = nodes_[x].parent;
+    }
+    return x;
+  }
+
+  void Conflict(const Node& root, const TypeDesc& incoming,
+                const Evidence& ev) {
+    TypeConflict c;
+    c.pred = root.anchor_pred;
+    c.column = root.anchor_col;
+    c.existing = root.type;
+    c.incoming = incoming;
+    c.constant_evidence = ev.constant;
+    c.rule_index = ev.rule_index;
+    c.span = ev.span;
+    c.detail = ev.detail;
+    conflicts_.push_back(std::move(c));
+  }
+
+  /// Joins `t` into x's class; a failed join records a conflict once and
+  /// poisons the class with kConflict.
+  void Apply(int x, const TypeDesc& t, const Evidence& ev) {
+    Node& root = nodes_[Find(x)];
+    std::optional<TypeDesc> joined = JoinTypes(root.type, t);
+    if (!joined.has_value()) {
+      Conflict(root, t, ev);
+      root.type = TypeDesc{ColumnType::kConflict, nullptr};
+      return;
+    }
+    root.type = *joined;
+  }
+
+  void Union(int a, int b, const Evidence& ev) {
+    int ra = Find(a);
+    int rb = Find(b);
+    if (ra == rb) return;
+    std::optional<TypeDesc> joined =
+        JoinTypes(nodes_[ra].type, nodes_[rb].type);
+    if (nodes_[ra].rank < nodes_[rb].rank) std::swap(ra, rb);
+    Node& keep = nodes_[ra];
+    Node& gone = nodes_[rb];
+    if (!joined.has_value()) {
+      // Anchor the report to whichever side names a column.
+      Conflict(keep.anchor_pred != nullptr ? keep : gone,
+               keep.anchor_pred != nullptr ? gone.type : keep.type, ev);
+      keep.type = TypeDesc{ColumnType::kConflict, nullptr};
+    } else {
+      keep.type = *joined;
+    }
+    if (keep.anchor_pred == nullptr) {
+      keep.anchor_pred = gone.anchor_pred;
+      keep.anchor_col = gone.anchor_col;
+    }
+    gone.parent = ra;
+    if (keep.rank == gone.rank) ++keep.rank;
+  }
+
+  void ProcessAtom(const Atom& atom) {
+    if (atom.pred == nullptr) return;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const Term& t = atom.args[i];
+      int col = ColumnNode(atom.pred, static_cast<int>(i));
+      if (t.is_const()) {
+        Apply(col, TypeDesc{KindOfValue(t.constant), nullptr},
+              {true, rule_index_, t.span,
+               StrPrintf("constant %s at argument %d of %s",
+                         t.constant.ToString().c_str(),
+                         static_cast<int>(i) + 1, atom.pred->name.c_str())});
+      } else {
+        Union(VarNode(t.var), col,
+              {false, rule_index_, t.span,
+               StrPrintf("variable %s at argument %d of %s", t.var.c_str(),
+                         static_cast<int>(i) + 1, atom.pred->name.c_str())});
+      }
+    }
+  }
+
+  void NumericVars(const Expr& e, const Evidence& ev) {
+    std::vector<std::string> vars;
+    e.CollectVars(&vars);
+    for (const std::string& v : vars) {
+      Apply(VarNode(v), TypeDesc{ColumnType::kNumeric, nullptr}, ev);
+    }
+  }
+
+  void ProcessBuiltin(const datalog::BuiltinSubgoal& b, const SourceSpan& span) {
+    Evidence ev{false, rule_index_, span,
+                StrPrintf("builtin %s", b.ToString().c_str())};
+    const bool lhs_bare = b.lhs->kind == Expr::Kind::kVar;
+    const bool rhs_bare = b.rhs->kind == Expr::Kind::kVar;
+    // Variables inside arithmetic must be numbers.
+    if (!lhs_bare && b.lhs->kind != Expr::Kind::kConst) NumericVars(*b.lhs, ev);
+    if (!rhs_bare && b.rhs->kind != Expr::Kind::kConst) NumericVars(*b.rhs, ev);
+    // Ordered comparisons force bare operands numeric too.
+    if (b.op == CmpOp::kLt || b.op == CmpOp::kLe || b.op == CmpOp::kGt ||
+        b.op == CmpOp::kGe) {
+      if (lhs_bare) Apply(VarNode(b.lhs->var), {ColumnType::kNumeric, nullptr}, ev);
+      if (rhs_bare) Apply(VarNode(b.rhs->var), {ColumnType::kNumeric, nullptr}, ev);
+    }
+    if (b.op != CmpOp::kEq) return;
+    // Equalities: unify bare variables; constants type their variable side.
+    if (lhs_bare && rhs_bare) {
+      Union(VarNode(b.lhs->var), VarNode(b.rhs->var), ev);
+      return;
+    }
+    auto eq_side = [&](bool bare, const Expr& var_side, const Expr& other) {
+      if (!bare) return;
+      int v = VarNode(var_side.var);
+      if (other.kind == Expr::Kind::kConst) {
+        Apply(v, TypeDesc{KindOfValue(other.constant), nullptr},
+              {true, rule_index_, span,
+               StrPrintf("equality with constant %s",
+                         other.constant.ToString().c_str())});
+      } else {
+        Apply(v, TypeDesc{ColumnType::kNumeric, nullptr}, ev);
+      }
+    };
+    eq_side(lhs_bare, *b.lhs, *b.rhs);
+    eq_side(rhs_bare, *b.rhs, *b.lhs);
+  }
+
+  void ProcessRule(const Rule& rule) {
+    ProcessAtom(rule.head);
+    for (const Subgoal& sg : rule.body) {
+      switch (sg.kind) {
+        case Subgoal::Kind::kAtom:
+        case Subgoal::Kind::kNegatedAtom:
+          ProcessAtom(sg.atom);
+          break;
+        case Subgoal::Kind::kAggregate: {
+          const auto& agg = sg.aggregate;
+          for (const Atom& a : agg.atoms) ProcessAtom(a);
+          if (agg.result.is_var() && agg.function != nullptr &&
+              agg.function->output_domain() != nullptr) {
+            Apply(VarNode(agg.result.var),
+                  TypeDesc{ColumnType::kLattice, agg.function->output_domain()},
+                  {false, rule_index_, agg.span,
+                   StrPrintf("result of aggregate %s",
+                             agg.function_name.c_str())});
+          }
+          break;
+        }
+        case Subgoal::Kind::kBuiltin:
+          ProcessBuiltin(sg.builtin, rule.span);
+          break;
+      }
+    }
+  }
+
+  void Emit() {
+    for (const auto& p : program_.predicates()) {
+      std::vector<TypeDesc> cols(p->arity);
+      for (int i = 0; i < p->arity; ++i) {
+        auto it = column_nodes_.find(std::make_pair(p.get(), i));
+        if (it != column_nodes_.end()) cols[i] = nodes_[Find(it->second)].type;
+      }
+      out_columns_.emplace(p.get(), std::move(cols));
+    }
+  }
+
+  const Program& program_;
+  std::vector<Node> nodes_;
+  std::map<std::pair<const PredicateInfo*, int>, int> column_nodes_;
+  std::map<std::string, int> var_nodes_;  ///< rule-local, cleared per rule
+  int rule_index_ = -1;
+  std::vector<TypeConflict> conflicts_;
+  std::map<const PredicateInfo*, std::vector<TypeDesc>> out_columns_;
+};
+
+}  // namespace
+
+const std::vector<TypeDesc>* TypeReport::ForPredicate(
+    const PredicateInfo* pred) const {
+  auto it = columns_.find(pred);
+  return it == columns_.end() ? nullptr : &it->second;
+}
+
+void TypeReport::Annotate(const Program& program) const {
+  for (const auto& p : program.predicates()) {
+    const std::vector<TypeDesc>* cols = ForPredicate(p.get());
+    p->col_types.assign(p->arity, ColumnType::kUnknown);
+    if (cols == nullptr) continue;
+    for (int i = 0; i < p->arity && i < static_cast<int>(cols->size()); ++i) {
+      p->col_types[i] = (*cols)[i].kind;
+    }
+  }
+}
+
+std::vector<std::pair<const PredicateInfo*, std::vector<TypeDesc>>>
+TypeReport::Rows() const {
+  // columns_ is keyed by pointer; emit in predicate-id order so dumps follow
+  // declaration order deterministically.
+  std::vector<std::pair<const PredicateInfo*, std::vector<TypeDesc>>> rows(
+      columns_.begin(), columns_.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.first->id < b.first->id;
+  });
+  return rows;
+}
+
+std::string TypeReport::ToString() const {
+  std::string out;
+  for (const auto& [pred, cols] : Rows()) {
+    out += pred->name;
+    out += "(";
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += cols[i].ToString();
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+TypeReport InferTypes(const Program& program) {
+  TypeReport report;
+  Inference inf(program);
+  inf.Run();
+  report.columns_ = std::move(inf.columns());
+  report.conflicts_ = std::move(inf.conflicts());
+  return report;
+}
+
+}  // namespace typing
+}  // namespace analysis
+}  // namespace mad

@@ -1,0 +1,102 @@
+#ifndef MAD_ANALYSIS_TYPING_TYPES_H_
+#define MAD_ANALYSIS_TYPING_TYPES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/source_span.h"
+
+namespace mad {
+namespace analysis {
+namespace typing {
+
+/// One inferred type: a ColumnType kind plus, for kLattice, the cost domain
+/// the element ranges over.
+struct TypeDesc {
+  datalog::ColumnType kind = datalog::ColumnType::kUnknown;
+  /// Set iff kind == kLattice.
+  const lattice::CostDomain* domain = nullptr;
+
+  /// "symbol", "int", ..., or the domain name ("min_real") for lattices.
+  std::string ToString() const;
+  bool operator==(const TypeDesc& o) const {
+    return kind == o.kind && domain == o.domain;
+  }
+};
+
+/// A contradiction found while unifying type evidence: two incompatible
+/// TypeDescs flowed into the same column / variable equivalence class.
+struct TypeConflict {
+  /// The predicate column the class is anchored to (the first column merged
+  /// into the class); null if the class contains only rule-local variables.
+  const datalog::PredicateInfo* pred = nullptr;
+  int column = -1;  ///< 0-based argument position; -1 iff pred is null
+  TypeDesc existing;
+  TypeDesc incoming;
+  /// True when the offending evidence is a literal constant (a fact argument
+  /// or a rule constant) rather than variable dataflow. Splits MAD020
+  /// (constant/type mismatch) from MAD019 (conflicting uses).
+  bool constant_evidence = false;
+  /// Rule that supplied the offending evidence; -1 for fact evidence.
+  int rule_index = -1;
+  /// Span of the offending evidence (invalid for inline-fact evidence).
+  datalog::SourceSpan span;
+  std::string detail;  ///< human-readable "what flowed where"
+
+  std::string ToString() const;
+};
+
+/// Result of whole-program type inference: per-predicate column types plus
+/// every conflict encountered. Conflicted classes resolve to kConflict.
+class TypeReport {
+ public:
+  /// Inferred types for `pred`'s columns (size == arity), or null if the
+  /// predicate was not seen (never occurs in facts or rules).
+  const std::vector<TypeDesc>* ForPredicate(
+      const datalog::PredicateInfo* pred) const;
+
+  const std::vector<TypeConflict>& conflicts() const { return conflicts_; }
+
+  /// (predicate, column types) pairs in declaration (predicate-id) order.
+  std::vector<std::pair<const datalog::PredicateInfo*, std::vector<TypeDesc>>>
+  Rows() const;
+
+  /// Stamps ColumnType kinds into PredicateInfo::col_types for every
+  /// predicate of `program` (kUnknown columns included).
+  void Annotate(const datalog::Program& program) const;
+
+  /// One line per predicate: "arc(symbol, symbol, min_real)".
+  std::string ToString() const;
+
+ private:
+  friend TypeReport InferTypes(const datalog::Program& program);
+  std::map<const datalog::PredicateInfo*, std::vector<TypeDesc>> columns_;
+  std::vector<TypeConflict> conflicts_;
+};
+
+/// Flow-insensitive column type inference over EDB facts and rule dataflow.
+/// Evidence sources, in order of application:
+///   - declarations: a cost column is kLattice(domain);
+///   - inline facts: each argument contributes its Value kind;
+///   - rule constants: each literal argument contributes its kind;
+///   - variables: an occurrence in an atom unifies the variable's class with
+///     the column's class (rule-locally; columns are global);
+///   - builtins: arithmetic operands and ordered comparisons contribute
+///     kNumeric; `V = <expr>` equalities unify or constrain V;
+///   - aggregates: the multiset variable unifies with the inner cost
+///     columns; the result variable gets the function's output domain.
+/// Joins are tolerant where evaluation is: int⊔real = numeric, numeric
+/// evidence is absorbed by any numeric-carrier lattice, and two different
+/// numeric-carrier lattices join to kNumeric (cross-domain *flow* is
+/// MAD014's business, not a type conflict). Everything else cross-kind is a
+/// conflict; conflicted classes absorb further evidence silently so each
+/// contradiction is reported once.
+TypeReport InferTypes(const datalog::Program& program);
+
+}  // namespace typing
+}  // namespace analysis
+}  // namespace mad
+
+#endif  // MAD_ANALYSIS_TYPING_TYPES_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "util/string_util.h"
@@ -180,16 +181,129 @@ bool AggregateReady(const AggregateSubgoal& agg, SlotMap* slots,
   return true;
 }
 
+/// Side-effect-free readiness probe: mirrors exactly the conditions under
+/// which the tiered scheduler below would accept the subgoal. (SlotMap
+/// lazily allocates slot ids for probed variables; that is idempotent and
+/// harmless — every rule variable receives a slot eventually.)
+bool SubgoalReady(const Subgoal& sg, SlotMap* slots,
+                  const std::set<int>& bound) {
+  switch (sg.kind) {
+    case Subgoal::Kind::kBuiltin: {
+      const auto& b = sg.builtin;
+      if (ExprBound(*b.lhs, slots, bound) && ExprBound(*b.rhs, slots, bound)) {
+        return true;
+      }
+      if (b.op != CmpOp::kEq) return false;
+      auto assignable = [&](const Expr& var_side, const Expr& expr_side) {
+        return var_side.kind == Expr::Kind::kVar &&
+               !bound.count(slots->SlotOf(var_side.var)) &&
+               ExprBound(expr_side, slots, bound);
+      };
+      return assignable(*b.lhs, *b.rhs) || assignable(*b.rhs, *b.lhs);
+    }
+    case Subgoal::Kind::kNegatedAtom:
+      return AtomFullyBound(CompileAtom(sg.atom, slots), bound);
+    case Subgoal::Kind::kAtom:
+      return !sg.atom.pred->has_default ||
+             AtomKeysBound(CompileAtom(sg.atom, slots), bound);
+    case Subgoal::Kind::kAggregate:
+      return AggregateReady(sg.aggregate, slots, bound);
+  }
+  return false;
+}
+
+/// Compiles the already-readiness-checked subgoal `sg` into a schedule step,
+/// applying its binding effects to `bound`.
+StatusOr<CompiledSubgoal> CompileStep(const Subgoal& sg, SlotMap* slots,
+                                      std::set<int>* bound) {
+  CompiledSubgoal step;
+  switch (sg.kind) {
+    case Subgoal::Kind::kBuiltin: {
+      const auto& b = sg.builtin;
+      step.kind = CompiledSubgoal::Kind::kBuiltin;
+      if (ExprBound(*b.lhs, slots, *bound) &&
+          ExprBound(*b.rhs, slots, *bound)) {
+        step.builtin = {b.op, b.lhs.get(), b.rhs.get(), -1, nullptr};
+        return step;
+      }
+      // Assignment form; try lhs as the defined variable first, like the
+      // tiered scheduler.
+      auto try_assign = [&](const Expr& var_side,
+                            const Expr& expr_side) -> bool {
+        if (var_side.kind != Expr::Kind::kVar) return false;
+        int s = slots->SlotOf(var_side.var);
+        if (bound->count(s)) return false;
+        if (!ExprBound(expr_side, slots, *bound)) return false;
+        step.builtin = {b.op, b.lhs.get(), b.rhs.get(), s, &expr_side};
+        bound->insert(s);
+        return true;
+      };
+      if (try_assign(*b.lhs, *b.rhs) || try_assign(*b.rhs, *b.lhs)) {
+        return step;
+      }
+      return Status::Internal("builtin scheduled while unready");
+    }
+    case Subgoal::Kind::kNegatedAtom: {
+      CompiledAtom atom = CompileAtom(sg.atom, slots);
+      ComputeScanPositions(&atom, *bound);
+      step.kind = CompiledSubgoal::Kind::kNegatedAtom;
+      step.atom = std::move(atom);
+      return step;
+    }
+    case Subgoal::Kind::kAtom: {
+      CompiledAtom atom = CompileAtom(sg.atom, slots);
+      ComputeScanPositions(&atom, *bound);
+      AtomSlots(atom, bound);
+      step.kind = CompiledSubgoal::Kind::kAtom;
+      step.atom = std::move(atom);
+      return step;
+    }
+    case Subgoal::Kind::kAggregate: {
+      MAD_ASSIGN_OR_RETURN(CompiledAggregate agg,
+                           CompileAggregate(sg.aggregate, slots, bound));
+      step.kind = CompiledSubgoal::Kind::kAggregate;
+      step.aggregate = std::move(agg);
+      return step;
+    }
+  }
+  return Status::Internal("unknown subgoal kind");
+}
+
 /// Greedy safe-order scheduling of a rule body. `skip` may name one subgoal
-/// index to omit (the seed of an atom driver).
+/// index to omit (the seed of an atom driver). `pref` (nullable) ranks the
+/// body subgoals — lower rank first among the *ready* ones; readiness always
+/// wins over preference, so any rank vector yields a safe schedule. Null
+/// keeps the legacy tiered heuristic.
 StatusOr<Schedule> ScheduleBody(const Rule& rule, SlotMap* slots,
-                                std::set<int> bound, int skip = -1) {
+                                std::set<int> bound,
+                                const std::vector<int>* pref, int skip = -1) {
   const std::vector<Subgoal>& body = rule.body;
   std::vector<bool> done(body.size(), false);
   if (skip >= 0) done[skip] = true;
   size_t remaining = body.size() - (skip >= 0 ? 1 : 0);
 
   Schedule schedule;
+  if (pref != nullptr) {
+    while (remaining > 0) {
+      int pick = -1;
+      for (size_t i = 0; i < body.size(); ++i) {
+        if (done[i]) continue;
+        if (pick >= 0 && (*pref)[i] >= (*pref)[pick]) continue;
+        if (SubgoalReady(body[i], slots, bound)) pick = static_cast<int>(i);
+      }
+      if (pick < 0) {
+        return Status::Internal(StrPrintf(
+            "no safe evaluation order for rule '%s'; is it range-restricted?",
+            rule.ToString().c_str()));
+      }
+      MAD_ASSIGN_OR_RETURN(CompiledSubgoal step,
+                           CompileStep(body[pick], slots, &bound));
+      done[pick] = true;
+      --remaining;
+      schedule.push_back(std::move(step));
+    }
+    return schedule;
+  }
   while (remaining > 0) {
     // Priority 1: built-ins (tests or assignments) — cheap filters first.
     int pick = -1;
@@ -280,10 +394,43 @@ StatusOr<Schedule> ScheduleBody(const Rule& rule, SlotMap* slots,
 }  // namespace
 
 StatusOr<CompiledRule> CompileRule(const Rule& rule,
-                                   const analysis::DependencyGraph& graph) {
+                                   const analysis::DependencyGraph& graph,
+                                   JoinOrderMode mode,
+                                   const analysis::plan::QueryPlan* plan) {
   CompiledRule out;
   out.source = &rule;
   SlotMap slots;
+
+  // Preference ranks per body subgoal (lower = earlier among ready ones).
+  // kHeuristic keeps the tiered scheduler (null ranks); kTextual ranks by
+  // source position; kPlanned overlays the static plan's order when it
+  // covers the body exactly, falling back to textual otherwise.
+  std::optional<std::vector<int>> pref;
+  if (mode != JoinOrderMode::kHeuristic) {
+    std::vector<int> ranks(rule.body.size());
+    for (size_t i = 0; i < ranks.size(); ++i) ranks[i] = static_cast<int>(i);
+    if (mode == JoinOrderMode::kPlanned && plan != nullptr) {
+      std::vector<int> order = plan->Order();
+      std::vector<bool> seen(rule.body.size(), false);
+      bool usable = order.size() == rule.body.size();
+      for (int idx : order) {
+        if (!usable) break;
+        if (idx < 0 || idx >= static_cast<int>(rule.body.size()) ||
+            seen[idx]) {
+          usable = false;
+          break;
+        }
+        seen[idx] = true;
+      }
+      if (usable) {
+        for (size_t pos = 0; pos < order.size(); ++pos) {
+          ranks[order[pos]] = static_cast<int>(pos);
+        }
+      }
+    }
+    pref = std::move(ranks);
+  }
+  const std::vector<int>* prefp = pref.has_value() ? &*pref : nullptr;
 
   // Compile the head first so head variables get low slot ids.
   out.head_pred = rule.head.pred;
@@ -294,7 +441,7 @@ StatusOr<CompiledRule> CompileRule(const Rule& rule,
     out.head_cost = slots.Compile(rule.head.args.back());
   }
 
-  MAD_ASSIGN_OR_RETURN(out.base, ScheduleBody(rule, &slots, {}));
+  MAD_ASSIGN_OR_RETURN(out.base, ScheduleBody(rule, &slots, {}, prefp));
 
   // Drivers: one per positive/aggregate-inner occurrence. CDB occurrences
   // drive ordinary semi-naive rounds; LDB ones only fire when Engine::Update
@@ -309,7 +456,8 @@ StatusOr<CompiledRule> CompileRule(const Rule& rule,
       std::set<int> bound;
       AtomSlots(d.seed, &bound);
       MAD_ASSIGN_OR_RETURN(
-          d.rest, ScheduleBody(rule, &slots, bound, static_cast<int>(i)));
+          d.rest,
+          ScheduleBody(rule, &slots, bound, prefp, static_cast<int>(i)));
       out.drivers.push_back(std::move(d));
     } else if (sg.kind == Subgoal::Kind::kAggregate) {
       const AggregateSubgoal& agg = sg.aggregate;
@@ -338,8 +486,8 @@ StatusOr<CompiledRule> CompileRule(const Rule& rule,
         }
         std::set<int> group_bound(d.grouping_slots.begin(),
                                   d.grouping_slots.end());
-        MAD_ASSIGN_OR_RETURN(d.rest,
-                             ScheduleBody(rule, &slots, group_bound));
+        MAD_ASSIGN_OR_RETURN(
+            d.rest, ScheduleBody(rule, &slots, group_bound, prefp));
         out.drivers.push_back(std::move(d));
       }
     }
@@ -355,12 +503,15 @@ StatusOr<CompiledRule> CompileRule(const Rule& rule,
 
 StatusOr<std::vector<CompiledRule>> CompileComponent(
     const datalog::Program& program, const analysis::Component& component,
-    const analysis::DependencyGraph& graph) {
+    const analysis::DependencyGraph& graph, const CompileOrder& order) {
   std::vector<CompiledRule> rules;
   rules.reserve(component.rule_indices.size());
   for (int ri : component.rule_indices) {
-    MAD_ASSIGN_OR_RETURN(CompiledRule cr,
-                         CompileRule(program.rules()[ri], graph));
+    const analysis::plan::QueryPlan* plan =
+        order.plans != nullptr ? order.plans->ForRule(ri) : nullptr;
+    MAD_ASSIGN_OR_RETURN(
+        CompiledRule cr,
+        CompileRule(program.rules()[ri], graph, order.mode, plan));
     cr.rule_index = ri;
     rules.push_back(std::move(cr));
   }

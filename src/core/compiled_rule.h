@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/dependency_graph.h"
+#include "analysis/plan/plan.h"
 #include "datalog/ast.h"
 #include "util/status.h"
 
@@ -16,6 +17,30 @@ namespace core {
 using datalog::PredicateInfo;
 using datalog::Rule;
 using datalog::Value;
+
+/// How the scheduler picks among the safely-executable body subgoals. The
+/// safety (readiness) conditions are identical in every mode — only the
+/// preference among ready subgoals differs — so all three modes compute the
+/// same least model for monotone programs (certified by the planned-vs-
+/// textual differential gate); they differ only in work performed.
+enum class JoinOrderMode {
+  /// Legacy greedy tiers: builtins first, then fully-bound negation, then
+  /// the positive atom with the most bound key positions, then ready
+  /// aggregates.
+  kHeuristic,
+  /// The earliest safe subgoal in source order — the differential oracle.
+  kTextual,
+  /// Follow the static planner's per-rule QueryPlan order (analysis/plan).
+  kPlanned,
+};
+
+/// Join-order directive for rule compilation. `plans` must outlive the
+/// compiled rules when mode == kPlanned; a rule without a usable plan falls
+/// back to textual preference.
+struct CompileOrder {
+  JoinOrderMode mode = JoinOrderMode::kHeuristic;
+  const analysis::plan::PlanReport* plans = nullptr;
+};
 
 /// A term compiled to either a variable slot or an inline constant.
 struct SlotTerm {
@@ -141,16 +166,20 @@ struct CompiledRule {
 
 /// Compiles `rule` for evaluation inside the component identified by
 /// `graph`'s classification. Fails (Internal) only if no safe subgoal order
-/// exists — which range restriction rules out.
-StatusOr<CompiledRule> CompileRule(const Rule& rule,
-                                   const analysis::DependencyGraph& graph);
+/// exists — which range restriction rules out. `mode`/`plan` select the
+/// subgoal preference order (see JoinOrderMode); `plan`, when given, is the
+/// static QueryPlan for this rule and is only consulted under kPlanned.
+StatusOr<CompiledRule> CompileRule(
+    const Rule& rule, const analysis::DependencyGraph& graph,
+    JoinOrderMode mode = JoinOrderMode::kHeuristic,
+    const analysis::plan::QueryPlan* plan = nullptr);
 
 /// Compiles every rule of `component` (in rule_indices order), stamping each
 /// CompiledRule::rule_index. One compilation path for batch evaluation and
 /// incremental maintenance alike.
 StatusOr<std::vector<CompiledRule>> CompileComponent(
     const datalog::Program& program, const analysis::Component& component,
-    const analysis::DependencyGraph& graph);
+    const analysis::DependencyGraph& graph, const CompileOrder& order = {});
 
 /// One (predicate, scan-position-set) pattern a schedule may hand to
 /// Relation::Scan.

@@ -206,6 +206,21 @@ StatusOr<EvalResult> Engine::Run(Database edb) const {
   result.component_stats.resize(graph_.components().size());
   ResourceGuard guard(options_.limits);
 
+  // Static join-order planning: one PlanReport per run, costed from the
+  // live EDB relation sizes, consumed read-only by every CompileComponent
+  // below (including concurrent same-depth pipelining).
+  CompileOrder order;
+  order.mode = options_.join_order;
+  std::unique_ptr<analysis::plan::PlanReport> plans;
+  if (options_.join_order == JoinOrderMode::kPlanned) {
+    plans = std::make_unique<analysis::plan::PlanReport>(
+        analysis::plan::PlanProgram(
+            *program_, graph_,
+            analysis::plan::CardinalityEstimates::FromDatabase(*program_,
+                                                               result.db)));
+    order.plans = plans.get();
+  }
+
   // Parallel evaluation applies to semi-naive fixpoints without provenance
   // (Provenance is single-writer). A pool of 1 would be pure overhead, so
   // anything else stays on the untouched serial path.
@@ -249,8 +264,8 @@ StatusOr<EvalResult> Engine::Run(Database edb) const {
                      int64_t max_iters) -> Status {
     EvalStats& cstats = result.component_stats[component.index];
     auto c0 = std::chrono::steady_clock::now();
-    Status st = RunComponent(component, &result.db, &cstats, prov, &guard,
-                             max_iters, pool.get());
+    Status st = RunComponent(component, order, &result.db, &cstats, prov,
+                             &guard, max_iters, pool.get());
     cstats.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - c0)
             .count();
@@ -353,11 +368,12 @@ StatusOr<EvalResult> Engine::Run(Database edb) const {
 }
 
 Status Engine::RunComponent(const analysis::Component& component,
-                            Database* db, EvalStats* stats, Provenance* prov,
+                            const CompileOrder& order, Database* db,
+                            EvalStats* stats, Provenance* prov,
                             ResourceGuard* guard, int64_t max_iterations,
                             ThreadPool* pool) const {
   MAD_ASSIGN_OR_RETURN(std::vector<CompiledRule> rules,
-                       CompileComponent(*program_, component, graph_));
+                       CompileComponent(*program_, component, graph_, order));
   switch (options_.strategy) {
     case Strategy::kNaive:
       return RunNaive(rules, db, stats, prov, guard, max_iterations);
@@ -1000,10 +1016,24 @@ StatusOr<EvalStats> Engine::Update(EvalResult* result,
     return stats;
   };
 
+  // Plan join orders against the post-insert database (incremental deltas
+  // see the same relation shapes batch evaluation would).
+  CompileOrder order;
+  order.mode = options_.join_order;
+  std::unique_ptr<analysis::plan::PlanReport> plans;
+  if (options_.join_order == JoinOrderMode::kPlanned) {
+    plans = std::make_unique<analysis::plan::PlanReport>(
+        analysis::plan::PlanProgram(
+            *program_, graph_,
+            analysis::plan::CardinalityEstimates::FromDatabase(*program_,
+                                                               result->db)));
+    order.plans = plans.get();
+  }
+
   for (const analysis::Component& component : graph_.components()) {
     if (component.rule_indices.empty()) continue;
     MAD_ASSIGN_OR_RETURN(std::vector<CompiledRule> rules,
-                         CompileComponent(*program_, component, graph_));
+                         CompileComponent(*program_, component, graph_, order));
     // Seed with everything changed so far (EDB inserts + lower components),
     // then run delta rounds; changes feed both the next round and the
     // global delta consumed by higher components.

@@ -75,6 +75,15 @@ struct EvalOptions {
   /// fallback) for the naive/greedy strategies, whose semantics are
   /// order-sensitive, and when track_provenance is set.
   int num_threads = 1;
+  /// Body join order (see core/compiled_rule.h). kPlanned (default) follows
+  /// the static planner's per-rule order, costed at Run()/Update() entry
+  /// from the live EDB relation sizes; kTextual evaluates subgoals in
+  /// source order (the differential oracle); kHeuristic is the pre-planner
+  /// greedy most-bound-first scheduler. Safety conditions are identical in
+  /// every mode, so the least model — hence Database::ToString() — is
+  /// byte-identical across modes for monotone programs (certified by the
+  /// plan differential gate); only the work to reach it changes.
+  JoinOrderMode join_order = JoinOrderMode::kPlanned;
 };
 
 /// How much of the least model an EvalResult is guaranteed to contain.
@@ -196,7 +205,8 @@ class Engine {
   /// proves bounded chains — the smaller certificate-derived bound (see
   /// BoundedChainRoundCap in engine.cc). `pool` (nullable) enables parallel
   /// semi-naive rounds.
-  Status RunComponent(const analysis::Component& component, Database* db,
+  Status RunComponent(const analysis::Component& component,
+                      const CompileOrder& order, Database* db,
                       EvalStats* stats, Provenance* prov, ResourceGuard* guard,
                       int64_t max_iterations, ThreadPool* pool) const;
   Status RunNaive(const std::vector<CompiledRule>& rules, Database* db,

@@ -25,6 +25,30 @@ void AddVar(std::vector<std::string>* out, const std::string& name) {
 // PredicateInfo / Term / Expr
 // ---------------------------------------------------------------------------
 
+const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kUnknown:
+      return "unknown";
+    case ColumnType::kSymbol:
+      return "symbol";
+    case ColumnType::kInt:
+      return "int";
+    case ColumnType::kReal:
+      return "real";
+    case ColumnType::kBool:
+      return "bool";
+    case ColumnType::kSet:
+      return "set";
+    case ColumnType::kNumeric:
+      return "numeric";
+    case ColumnType::kLattice:
+      return "lattice";
+    case ColumnType::kConflict:
+      return "conflict";
+  }
+  return "unknown";
+}
+
 std::string PredicateInfo::ToString() const {
   std::string out = ".decl " + name + "(";
   for (int i = 0; i < key_arity(); ++i) {

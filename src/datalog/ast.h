@@ -22,6 +22,26 @@ namespace datalog {
 // Predicates
 // ---------------------------------------------------------------------------
 
+/// Statically inferred kind of one predicate column. Produced by the
+/// flow-insensitive inference in analysis/typing (union-find over fact and
+/// rule dataflow) and stamped onto PredicateInfo::col_types by
+/// typing::TypeReport::Annotate(). Purely an annotation: evaluation never
+/// reads it, so kUnknown everywhere is always safe.
+enum class ColumnType : uint8_t {
+  kUnknown,   ///< no evidence reached this column
+  kSymbol,    ///< interned symbol constants
+  kInt,       ///< integer constants
+  kReal,      ///< floating-point constants
+  kBool,      ///< boolean constants
+  kSet,       ///< set values
+  kNumeric,   ///< some number: mixed int/real evidence or arithmetic-only use
+  kLattice,   ///< cost-lattice element (domain given by PredicateInfo::domain)
+  kConflict,  ///< contradictory evidence — see typing::TypeReport::conflicts()
+};
+
+/// Short lowercase name ("symbol", "int", ...) for diagnostics and dumps.
+const char* ColumnTypeName(ColumnType t);
+
 /// Everything declared about one predicate (Section 2.3): arity, whether the
 /// final argument is a cost argument, which complete lattice it ranges over,
 /// and whether the predicate carries a default cost value (Section 2.3.2 —
@@ -37,6 +57,10 @@ struct PredicateInfo {
   /// Default-value cost predicate: semantically every key tuple carries
   /// domain->Bottom() until a rule derives something larger.
   bool has_default = false;
+  /// Inferred column types, one per argument (cost column last). Empty until
+  /// typing::TypeReport::Annotate() stamps it; mutable because inference is
+  /// an annotation pass over an otherwise-const Program.
+  mutable std::vector<ColumnType> col_types;
 
   /// Number of non-cost ("key") arguments.
   int key_arity() const { return has_cost ? arity - 1 : arity; }

@@ -44,9 +44,9 @@ DiagnosticList SampleList() {
 
 // --- Registry ---------------------------------------------------------------
 
-TEST(LintRegistryTest, EighteenRulesWithUniqueStableIds) {
+TEST(LintRegistryTest, TwentyFourRulesWithUniqueStableIds) {
   const auto& rules = AllLintRules();
-  EXPECT_EQ(rules.size(), 18u);
+  EXPECT_EQ(rules.size(), 24u);
   std::set<std::string> codes, ids;
   for (const LintRuleDesc& r : rules) {
     codes.insert(r.code);

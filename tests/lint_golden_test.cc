@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "analysis/checker.h"
 #include "analysis/lint/passes.h"
 #include "datalog/parser.h"
+#include "json_lite.h"
 
 namespace mad {
 namespace analysis {
@@ -69,12 +71,50 @@ TEST_P(LintGoldenTest, FindingsMatchGoldenFile) {
   ProgramCheckResult check = CheckProgram(*program, graph, mdl_path);
   EXPECT_EQ(check.overall().ok(), !diags.HasErrors())
       << base << ": " << check.overall();
+
+  // And the SARIF rendering of every golden must decode to a well-formed
+  // SARIF 2.1.0 log whose results point back into the registry's rule table.
+  std::optional<mad::testing::JsonValue> sarif =
+      mad::testing::ParseJson(diags.RenderSarif());
+  ASSERT_TRUE(sarif.has_value()) << base << ": " << diags.RenderSarif();
+  EXPECT_EQ(sarif->At("version").str, "2.1.0");
+  const mad::testing::JsonValue& run = sarif->At("runs").arr.at(0);
+  const auto& results = run.At("results").arr;
+  ASSERT_EQ(results.size(), diags.size()) << base;
+  const auto& rules = run.At("tool").At("driver").At("rules").arr;
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].At("ruleId").str, diags.diagnostics()[i].rule_id);
+    int idx = static_cast<int>(results[i].At("ruleIndex").number);
+    ASSERT_GE(idx, 0) << base;
+    ASSERT_LT(idx, static_cast<int>(rules.size())) << base;
+    EXPECT_EQ(rules[idx].At("id").str, diags.diagnostics()[i].rule_id);
+  }
+}
+
+// The static typing/planning rules must be registered with warning/note
+// severity only: an error-severity finding is emitted iff the checker's
+// overall() verdict rejects, and none of MAD019-MAD024 affects acceptance.
+TEST(LintRegistryTest, StaticPlanningRulesAreRegisteredNonError) {
+  const struct {
+    const char* code;
+    Severity severity;
+  } kWant[] = {
+      {"MAD019", Severity::kWarning}, {"MAD020", Severity::kWarning},
+      {"MAD021", Severity::kWarning}, {"MAD022", Severity::kWarning},
+      {"MAD023", Severity::kNote},    {"MAD024", Severity::kWarning},
+  };
+  for (const auto& w : kWant) {
+    const LintRuleDesc* desc = FindLintRule(w.code);
+    ASSERT_NE(desc, nullptr) << w.code;
+    EXPECT_EQ(desc->default_severity, w.severity) << w.code;
+    EXPECT_NE(desc->default_severity, Severity::kError) << w.code;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllGoldens, LintGoldenTest,
                          ::testing::Values("ok", "bad_range", "bad_cost",
                                            "bad_conflict", "bad_recursion",
-                                           "hygiene"),
+                                           "hygiene", "bad_types", "planning"),
                          [](const ::testing::TestParamInfo<const char*>& info) {
                            return std::string(info.param);
                          });

@@ -1,0 +1,186 @@
+// Property tests for the static planner: a QueryPlan is a semantic artifact
+// of one rule plus the program's cardinalities, so it must be invariant
+// under (a) the textual order of the rules and (b) consistent renaming of
+// the predicates. A plan that changed under either transformation would
+// mean the tie-breaking keys off an accident of presentation — and would
+// make `mondl --explain` output unstable across refactorings.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "analysis/dependency_graph.h"
+#include "analysis/plan/plan.h"
+#include "datalog/parser.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "workloads/programs.h"
+
+namespace mad {
+namespace analysis {
+namespace plan {
+namespace {
+
+datalog::Program MustParse(std::string_view text) {
+  auto p = datalog::ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status() << "\n" << text;
+  return std::move(p).value();
+}
+
+/// Name-free signature of one rule's plan: execution order, per-step
+/// adornment/kind/boundness/estimates, and the head summary. Descriptions
+/// are excluded (they embed predicate names).
+std::string PlanSignature(const QueryPlan& qp) {
+  std::string sig = "order=";
+  for (int idx : qp.Order()) sig += std::to_string(idx) + ",";
+  for (const PlanStep& s : qp.steps) {
+    sig += StrPrintf("|k%d^%s b%d r%.3f c%.3f x%d",
+                     static_cast<int>(s.kind), s.adornment.c_str(),
+                     s.bound_positions, s.est_rows, s.est_cost,
+                     s.cross_join ? 1 : 0);
+  }
+  sig += StrPrintf("|head=%s unbound=%d complete=%d cost=%.3f",
+                   qp.head_adornment.c_str(),
+                   static_cast<int>(qp.unbound_head_vars.size()),
+                   qp.complete ? 1 : 0, qp.est_cost);
+  return sig;
+}
+
+PlanReport PlanOf(const datalog::Program& program) {
+  DependencyGraph graph(program);
+  return PlanProgram(program, graph,
+                     CardinalityEstimates::FromProgram(program));
+}
+
+/// Appends `suffix` to every predicate name, consistently (the
+/// checker_property_test transformation).
+std::string RenamePredicates(const std::string& text,
+                             const std::string& suffix) {
+  datalog::Program program = MustParse(text);
+  std::vector<std::string> names;
+  for (const auto& p : program.predicates()) names.push_back(p->name);
+  std::sort(names.begin(), names.end(),
+            [](const std::string& a, const std::string& b) {
+              return a.size() > b.size();
+            });
+  std::string out = text;
+  for (const std::string& name : names) {
+    out = std::regex_replace(out, std::regex("\\b" + name + "\\b"),
+                             name + suffix);
+  }
+  return out;
+}
+
+const char* const kPrograms[] = {
+    workloads::kShortestPathProgram,
+    workloads::kCompanyControlProgram,
+    workloads::kPartyProgram,
+    R"(
+.decl arc(from, to, c: min_real)
+.decl path(from, mid, to, c: min_real)
+.decl s(from, to, c: min_real)
+.constraint arc(direct, Z, C).
+path(X, direct, Y, C) :- arc(X, Y, C).
+path(X, Z, Y, C) :- s(X, Z, C1), C1 >= 0, arc(Z, Y, C2), C = C1 + C2.
+s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+arc(a, b, 1).
+arc(b, a, 2).
+)",
+    // Multi-join bodies with negation: the interesting tie-break cases.
+    R"(
+.decl e(x, y)
+.decl f(x, y)
+.decl g(x, y)
+.decl out(x, y)
+e(a, b). e(b, c). e(c, d).
+f(a, b). f(b, c).
+g(a, b).
+out(X, Z) :- e(X, Y), f(Y, Z), !g(X, Z).
+out(X, Z) :- g(X, Y), e(Y, Z).
+)",
+};
+
+TEST(PlanPropertyTest, PlansInvariantUnderRuleReordering) {
+  for (const char* text : kPrograms) {
+    datalog::Program reference = MustParse(text);
+    PlanReport want = PlanOf(reference);
+    // Key plans by the rule's text: rule_index changes under reordering but
+    // each rule's plan may not.
+    std::map<std::string, std::string> want_by_rule;
+    for (const QueryPlan& qp : want.rules) {
+      want_by_rule[qp.rule->ToString()] = PlanSignature(qp);
+    }
+
+    Random rng(0xfeedULL);
+    for (int trial = 0; trial < 8; ++trial) {
+      datalog::Program shuffled = MustParse(text);
+      auto& rules = shuffled.mutable_rules();
+      std::vector<int> perm = rng.Permutation(static_cast<int>(rules.size()));
+      std::vector<datalog::Rule> reordered;
+      reordered.reserve(rules.size());
+      for (int idx : perm) reordered.push_back(rules[idx].Clone());
+      rules = std::move(reordered);
+
+      PlanReport got = PlanOf(shuffled);
+      ASSERT_EQ(got.rules.size(), want.rules.size()) << text;
+      for (const QueryPlan& qp : got.rules) {
+        auto it = want_by_rule.find(qp.rule->ToString());
+        ASSERT_NE(it, want_by_rule.end()) << qp.rule->ToString();
+        EXPECT_EQ(PlanSignature(qp), it->second)
+            << text << "\nrule: " << qp.rule->ToString();
+      }
+    }
+  }
+}
+
+TEST(PlanPropertyTest, PlansInvariantUnderPredicateRenaming) {
+  for (const char* text : kPrograms) {
+    PlanReport want = PlanOf(MustParse(text));
+    for (const std::string& suffix : {std::string("_rn"), std::string("x")}) {
+      std::string renamed_text = RenamePredicates(text, suffix);
+      datalog::Program renamed = MustParse(renamed_text);
+      PlanReport got = PlanOf(renamed);
+      // Renaming preserves rule order, so plans align by index; the
+      // signatures are name-free by construction.
+      ASSERT_EQ(got.rules.size(), want.rules.size()) << renamed_text;
+      for (size_t i = 0; i < got.rules.size(); ++i) {
+        EXPECT_EQ(PlanSignature(got.rules[i]), PlanSignature(want.rules[i]))
+            << renamed_text << "\nrule " << i;
+      }
+    }
+  }
+}
+
+// Inferred column types are equally presentation-independent: renaming a
+// predicate must not change what kinds its columns carry.
+TEST(PlanPropertyTest, ColumnTypesInvariantUnderPredicateRenaming) {
+  for (const char* text : kPrograms) {
+    datalog::Program reference = MustParse(text);
+    typing::TypeReport want = typing::InferTypes(reference);
+    const std::string suffix = "_rn";
+    datalog::Program renamed = MustParse(RenamePredicates(text, suffix));
+    typing::TypeReport got = typing::InferTypes(renamed);
+    for (const auto& p : reference.predicates()) {
+      const datalog::PredicateInfo* q =
+          renamed.FindPredicate(p->name + suffix);
+      ASSERT_NE(q, nullptr) << p->name;
+      const std::vector<typing::TypeDesc>* a = want.ForPredicate(p.get());
+      const std::vector<typing::TypeDesc>* b = got.ForPredicate(q);
+      ASSERT_EQ(a != nullptr, b != nullptr) << p->name;
+      if (a == nullptr) continue;
+      ASSERT_EQ(a->size(), b->size()) << p->name;
+      for (size_t i = 0; i < a->size(); ++i) {
+        EXPECT_EQ((*a)[i].kind, (*b)[i].kind) << p->name << " col " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace plan
+}  // namespace analysis
+}  // namespace mad

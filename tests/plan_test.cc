@@ -1,0 +1,243 @@
+// The static join-order planner (analysis/plan): SIPS adornments, greedy
+// cost-driven ordering, readiness parity with the executor, the emptiness
+// fixpoint, and the explain/JSON dumps.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/dependency_graph.h"
+#include "analysis/plan/plan.h"
+#include "datalog/parser.h"
+#include "json_lite.h"
+
+namespace mad {
+namespace analysis {
+namespace plan {
+namespace {
+
+using datalog::Program;
+
+Program MustParse(std::string_view text) {
+  auto p = datalog::ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status();
+  return std::move(p).value();
+}
+
+PlanReport PlanOf(const Program& program) {
+  DependencyGraph graph(program);
+  return PlanProgram(program, graph,
+                     CardinalityEstimates::FromProgram(program));
+}
+
+TEST(CardinalityTest, FromProgramCountsInlineFacts) {
+  Program program = MustParse(R"(
+    .decl e(x, y)
+    .decl lone(x)
+    e(a, b).
+    e(b, c).
+    e(c, d).
+    lone(a).
+  )");
+  CardinalityEstimates cards = CardinalityEstimates::FromProgram(program);
+  EXPECT_DOUBLE_EQ(cards.RowsFor(program.FindPredicate("e")), 3.0);
+  EXPECT_DOUBLE_EQ(cards.RowsFor(program.FindPredicate("lone")), 1.0);
+}
+
+TEST(CardinalityTest, UnknownPredicateFallsBackToDefault) {
+  Program program = MustParse(".decl idb(x)\n idb(X) :- idb(X).");
+  CardinalityEstimates cards = CardinalityEstimates::FromProgram(program);
+  EXPECT_DOUBLE_EQ(cards.RowsFor(program.FindPredicate("idb")),
+                   CardinalityEstimates::kDefaultRows);
+}
+
+TEST(PlanTest, BoundAtomScheduledBeforeFreeScanOfBiggerRelation) {
+  // big has 100 facts, small has 1: the planner must seed from small and
+  // then scan big with its key bound, not the other way around.
+  std::string text = ".decl small(x)\n.decl big(x, y)\n.decl out(x, y)\n";
+  text += "small(s0).\n";
+  for (int i = 0; i < 100; ++i) {
+    text += "big(s" + std::to_string(i % 7) + ", t" + std::to_string(i) +
+            ").\n";
+  }
+  text += "out(X, Y) :- big(X, Y), small(X).";
+  Program program = MustParse(text);
+  PlanReport report = PlanOf(program);
+  ASSERT_EQ(report.rules.size(), 1u);
+  const QueryPlan& qp = report.rules[0];
+  EXPECT_TRUE(qp.complete);
+  // Subgoal 1 (small) runs first, then subgoal 0 (big) with X bound.
+  EXPECT_EQ(qp.Order(), (std::vector<int>{1, 0}));
+  EXPECT_EQ(qp.steps[1].adornment, "bf");
+  EXPECT_EQ(qp.steps[1].bound_positions, 1);
+  EXPECT_EQ(qp.head_adornment, "bb");
+  EXPECT_TRUE(qp.unbound_head_vars.empty());
+}
+
+TEST(PlanTest, BuiltinTestRunsAsSoonAsItsOperandsAreBound) {
+  Program program = MustParse(R"(
+    .decl n(x)
+    .decl e(x, y)
+    .decl out(x, y)
+    n(a).
+    e(a, b).
+    out(X, Y) :- n(X), X > 0, e(X, Y).
+  )");
+  PlanReport report = PlanOf(program);
+  const QueryPlan& qp = report.rules[0];
+  // The filter (subgoal 1) is free once n binds X — it must precede the
+  // e scan, cutting the rows the scan fans out of.
+  EXPECT_EQ(qp.Order(), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(qp.steps[1].kind, datalog::Subgoal::Kind::kBuiltin);
+}
+
+TEST(PlanTest, CrossJoinIsFlagged) {
+  Program program = MustParse(R"(
+    .decl e(x, y)
+    .decl cross(x, y)
+    e(a, b).
+    cross(X, Y) :- e(X, A), e(Y, B).
+  )");
+  PlanReport report = PlanOf(program);
+  const QueryPlan& qp = report.rules[0];
+  ASSERT_EQ(qp.steps.size(), 2u);
+  EXPECT_FALSE(qp.steps[0].cross_join);
+  EXPECT_TRUE(qp.steps[1].cross_join);
+}
+
+TEST(PlanTest, NegationWaitsForFullBoundness) {
+  Program program = MustParse(R"(
+    .decl e(x, y)
+    .decl f(x, y)
+    .decl out(x, y)
+    e(a, b).
+    f(a, b).
+    out(X, Y) :- !f(X, Y), e(X, Y).
+  )");
+  PlanReport report = PlanOf(program);
+  const QueryPlan& qp = report.rules[0];
+  EXPECT_TRUE(qp.complete);
+  // The negated subgoal (textual index 0) cannot run until e binds X and Y.
+  EXPECT_EQ(qp.Order(), (std::vector<int>{1, 0}));
+  EXPECT_EQ(qp.steps[1].kind, datalog::Subgoal::Kind::kNegatedAtom);
+  EXPECT_EQ(qp.steps[1].adornment, "bb");
+}
+
+TEST(PlanTest, UnrestrictedAggregateWaitsForGroupingVars) {
+  Program program = MustParse(R"(
+    .decl node(x)
+    .decl w(x, c: min_real)
+    .decl out(x, c: min_real)
+    node(a).
+    w(a, 1).
+    out(X, C) :- C = min E : w(X, E), node(X).
+  )");
+  PlanReport report = PlanOf(program);
+  const QueryPlan& qp = report.rules[0];
+  EXPECT_TRUE(qp.complete);
+  // "=" aggregates need their grouping variable X bound: node must run
+  // first even though it is textually second.
+  EXPECT_EQ(qp.Order(), (std::vector<int>{1, 0}));
+  EXPECT_EQ(qp.steps[1].kind, datalog::Subgoal::Kind::kAggregate);
+}
+
+TEST(PlanTest, StuckPlanFallsBackToTextualTailIncomplete) {
+  // Y occurs only in the head: no subgoal ever binds it, the body still
+  // plans, and the head adornment records the hole.
+  Program program = MustParse(R"(
+    .decl q(x)
+    .decl p(x, y)
+    q(a).
+    p(X, Y) :- q(X).
+  )");
+  PlanReport report = PlanOf(program);
+  const QueryPlan& qp = report.rules[0];
+  EXPECT_EQ(qp.head_adornment, "bf");
+  EXPECT_EQ(qp.unbound_head_vars, (std::vector<std::string>{"Y"}));
+}
+
+TEST(PlanTest, PotentiallyNonEmptyFixpoint) {
+  Program program = MustParse(R"(
+    .decl e(x, y)
+    .decl seed(x)
+    .decl chain(x)
+    .decl dead(x)
+    .decl live(x)
+    e(a, b).
+    chain(X) :- seed(X).
+    dead(X) :- e(X, Y), chain(Y).
+    live(X) :- e(X, Y).
+  )");
+  auto nonempty = PotentiallyNonEmpty(program);
+  EXPECT_TRUE(nonempty.count(program.FindPredicate("e")));
+  EXPECT_TRUE(nonempty.count(program.FindPredicate("live")));
+  EXPECT_FALSE(nonempty.count(program.FindPredicate("seed")));
+  EXPECT_FALSE(nonempty.count(program.FindPredicate("chain")));
+  EXPECT_FALSE(nonempty.count(program.FindPredicate("dead")));
+}
+
+TEST(PlanTest, NegationNeverBlocksNonEmptiness) {
+  Program program = MustParse(R"(
+    .decl e(x, y)
+    .decl missing(x, y)
+    .decl out(x, y)
+    e(a, b).
+    out(X, Y) :- e(X, Y), !missing(X, Y).
+  )");
+  auto nonempty = PotentiallyNonEmpty(program);
+  EXPECT_TRUE(nonempty.count(program.FindPredicate("out")));
+}
+
+TEST(PlanTest, ExplainDumpMentionsAdornmentAndOrder) {
+  Program program = MustParse(R"(
+    .decl e(x, y)
+    .decl tc(x, y)
+    e(a, b).
+    tc(X, Y) :- e(X, Y).
+    tc(X, Y) :- tc(X, Z), e(Z, Y).
+  )");
+  PlanReport report = PlanOf(program);
+  std::string s = report.ToString();
+  EXPECT_NE(s.find("inferred column types"), std::string::npos) << s;
+  EXPECT_NE(s.find("join order"), std::string::npos) << s;
+  // The single e fact seeds the recursive rule; tc then scans with Z bound.
+  EXPECT_NE(s.find("^fb"), std::string::npos) << s;
+  EXPECT_NE(s.find("head: tc^bb"), std::string::npos) << s;
+}
+
+TEST(PlanTest, JsonDumpDecodesAndMirrorsThePlan) {
+  Program program = MustParse(R"(
+    .decl e(x, y)
+    .decl tc(x, y)
+    e(a, b).
+    tc(X, Y) :- tc(X, Z), e(Z, Y).
+  )");
+  PlanReport report = PlanOf(program);
+  std::optional<mad::testing::JsonValue> doc =
+      mad::testing::ParseJson(report.ToJson());
+  ASSERT_TRUE(doc.has_value()) << report.ToJson();
+  const auto& plans = doc->At("plans").arr;
+  ASSERT_EQ(plans.size(), report.rules.size());
+  const auto& steps = plans[0].At("steps").arr;
+  ASSERT_EQ(steps.size(), report.rules[0].steps.size());
+  for (size_t i = 0; i < steps.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(steps[i].At("subgoal").number),
+              report.rules[0].steps[i].subgoal_index);
+    EXPECT_EQ(steps[i].At("adornment").str, report.rules[0].steps[i].adornment);
+  }
+  EXPECT_TRUE(doc->At("types").is_array());
+}
+
+TEST(PlanTest, PlanReportForRuleBoundsChecks) {
+  Program program = MustParse(".decl e(x)\n e(a).");
+  PlanReport report = PlanOf(program);
+  EXPECT_EQ(report.ForRule(-1), nullptr);
+  EXPECT_EQ(report.ForRule(99), nullptr);
+}
+
+}  // namespace
+}  // namespace plan
+}  // namespace analysis
+}  // namespace mad

@@ -1,0 +1,186 @@
+// Flow-insensitive column type inference (analysis/typing): evidence joins,
+// conflict reporting, and the annotation side channel.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/typing/types.h"
+#include "datalog/parser.h"
+
+namespace mad {
+namespace analysis {
+namespace typing {
+namespace {
+
+using datalog::ColumnType;
+using datalog::Program;
+
+Program MustParse(std::string_view text) {
+  auto p = datalog::ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status();
+  return std::move(p).value();
+}
+
+const std::vector<TypeDesc>& TypesOf(const TypeReport& report,
+                                     const Program& program,
+                                     const char* pred) {
+  const datalog::PredicateInfo* p = program.FindPredicate(pred);
+  EXPECT_NE(p, nullptr) << pred;
+  const std::vector<TypeDesc>* cols = report.ForPredicate(p);
+  EXPECT_NE(cols, nullptr) << pred;
+  return *cols;
+}
+
+TEST(TypingTest, FactEvidenceTypesColumns) {
+  Program program = MustParse(R"(
+    .decl e(x, y)
+    .decl n(x, c)
+    e(a, b).
+    n(a, 3).
+  )");
+  TypeReport report = InferTypes(program);
+  EXPECT_TRUE(report.conflicts().empty());
+
+  const auto& e = TypesOf(report, program, "e");
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e[0].kind, ColumnType::kSymbol);
+  EXPECT_EQ(e[1].kind, ColumnType::kSymbol);
+
+  const auto& n = TypesOf(report, program, "n");
+  ASSERT_EQ(n.size(), 2u);
+  EXPECT_EQ(n[0].kind, ColumnType::kSymbol);
+  EXPECT_EQ(n[1].kind, ColumnType::kInt);
+}
+
+TEST(TypingTest, RuleDataflowPropagatesTypes) {
+  Program program = MustParse(R"(
+    .decl e(x, y)
+    .decl tc(x, y)
+    e(a, b).
+    tc(X, Y) :- e(X, Y).
+    tc(X, Y) :- tc(X, Z), e(Z, Y).
+  )");
+  TypeReport report = InferTypes(program);
+  EXPECT_TRUE(report.conflicts().empty());
+  const auto& tc = TypesOf(report, program, "tc");
+  ASSERT_EQ(tc.size(), 2u);
+  EXPECT_EQ(tc[0].kind, ColumnType::kSymbol);
+  EXPECT_EQ(tc[1].kind, ColumnType::kSymbol);
+}
+
+TEST(TypingTest, CostColumnsAreLatticeTyped) {
+  Program program = MustParse(R"(
+    .decl arc(x, y, c: min_real)
+    .decl d(x, y, c: min_real)
+    arc(a, b, 1).
+    d(X, Y, C) :- C =r min E : arc(X, Y, E).
+  )");
+  TypeReport report = InferTypes(program);
+  EXPECT_TRUE(report.conflicts().empty()) << report.conflicts()[0].ToString();
+  const auto& arc = TypesOf(report, program, "arc");
+  ASSERT_EQ(arc.size(), 3u);
+  EXPECT_EQ(arc[2].kind, ColumnType::kLattice);
+  ASSERT_NE(arc[2].domain, nullptr);
+  EXPECT_EQ(arc[2].ToString(), "min_real");
+  const auto& d = TypesOf(report, program, "d");
+  EXPECT_EQ(d[2].kind, ColumnType::kLattice);
+}
+
+TEST(TypingTest, IntAndRealJoinToNumeric) {
+  Program program = MustParse(R"(
+    .decl m(x)
+    m(3).
+    m(4.5).
+  )");
+  TypeReport report = InferTypes(program);
+  EXPECT_TRUE(report.conflicts().empty());
+  EXPECT_EQ(TypesOf(report, program, "m")[0].kind, ColumnType::kNumeric);
+}
+
+TEST(TypingTest, CrossKindFlowIsReportedOnce) {
+  Program program = MustParse(R"(
+    .decl age(p, n)
+    .decl name(p, s)
+    .decl mix(x)
+    age(alice, 34).
+    name(alice, al).
+    mix(X) :- age(P, X), name(P, X).
+    mix(Y) :- name(Q, Y), age(Q, Y).
+  )");
+  TypeReport report = InferTypes(program);
+  // The classes are merged after the first conflict poisons them; the
+  // second rule's identical contradiction is absorbed silently.
+  ASSERT_EQ(report.conflicts().size(), 1u);
+  const TypeConflict& c = report.conflicts()[0];
+  EXPECT_FALSE(c.constant_evidence);
+  EXPECT_EQ(c.rule_index, 0);
+  EXPECT_EQ(TypesOf(report, program, "mix")[0].kind, ColumnType::kConflict);
+}
+
+TEST(TypingTest, ConstantMismatchIsFlaggedAsConstantEvidence) {
+  Program program = MustParse(R"(
+    .decl tag(p, s)
+    .decl t(x)
+    tag(box, red).
+    t(X) :- tag(P, X), X = 7.
+  )");
+  TypeReport report = InferTypes(program);
+  ASSERT_EQ(report.conflicts().size(), 1u);
+  EXPECT_TRUE(report.conflicts()[0].constant_evidence);
+}
+
+TEST(TypingTest, OrderedComparisonImpliesNumeric) {
+  Program program = MustParse(R"(
+    .decl v(x)
+    .decl big(x)
+    v(X) :- big(X), X > 10.
+  )");
+  TypeReport report = InferTypes(program);
+  EXPECT_TRUE(report.conflicts().empty());
+  EXPECT_EQ(TypesOf(report, program, "big")[0].kind, ColumnType::kNumeric);
+  EXPECT_EQ(TypesOf(report, program, "v")[0].kind, ColumnType::kNumeric);
+}
+
+TEST(TypingTest, DifferentNumericLatticesJoinToNumericNotConflict) {
+  // Cross-domain *flow* is MAD014's business; the type layer only records
+  // that the shared variable is numeric.
+  Program program = MustParse(R"(
+    .decl m1(x, c: min_real)
+    .decl m2(x, c: max_real)
+    .decl mix(x, y)
+    m1(a, 1).
+    m2(a, 2).
+    mix(X, Y) :- m1(X, C), m2(Y, C).
+  )");
+  TypeReport report = InferTypes(program);
+  EXPECT_TRUE(report.conflicts().empty());
+}
+
+TEST(TypingTest, AnnotateStampsPredicateInfo) {
+  Program program = MustParse(R"(
+    .decl e(x, y)
+    e(a, b).
+  )");
+  TypeReport report = InferTypes(program);
+  report.Annotate(program);
+  const datalog::PredicateInfo* e = program.FindPredicate("e");
+  ASSERT_NE(e, nullptr);
+  ASSERT_EQ(e->col_types.size(), 2u);
+  EXPECT_EQ(e->col_types[0], ColumnType::kSymbol);
+}
+
+TEST(TypingTest, ToStringListsEveryPredicate) {
+  Program program = MustParse(R"(
+    .decl arc(x, y, c: min_real)
+    arc(a, b, 1).
+  )");
+  TypeReport report = InferTypes(program);
+  std::string s = report.ToString();
+  EXPECT_NE(s.find("arc(symbol, symbol, min_real)"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace typing
+}  // namespace analysis
+}  // namespace mad
