@@ -9,6 +9,12 @@
 //                            unbound (integer/real/true/false lexemes map to
 //                            the corresponding value kinds, anything else is
 //                            a symbol). Omit all args for a full scan.
+//   query 'ATOM'             demand-driven point query: a single argument
+//                            containing '(' is sent as an `.mdl` atom (e.g.
+//                            "s(a, Y, C)") and answered by the certified
+//                            magic-sets slice when one applies. --mode=demand
+//                            makes a bail-out an error, --mode=full forces
+//                            the full-evaluation oracle (default: auto).
 //   insert FACTS|-           FACTS is `.mdl` fact text; `-` reads stdin.
 //   dump
 //   stats
@@ -45,8 +51,10 @@ namespace {
 
 int Usage() {
   std::cerr << "usage: madc [--host=A] [--port=N] [--retries=N] "
+               "[--mode=auto|demand|full] "
                "ping|query|insert|dump|stats|sync|recover|shutdown [args]\n"
                "       madc query PRED [ARG|_ ...]\n"
+               "       madc query 's(a, Y, C)'\n"
                "       madc insert 'fact(a, 1).' | madc insert -\n"
                "       madc sync [checkpoint]\n";
   return 2;
@@ -78,6 +86,7 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 7407;
   int retries = 1;
+  std::string mode;
   std::vector<std::string> rest;
 
   for (int i = 1; i < argc; ++i) {
@@ -89,6 +98,11 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--retries=", 0) == 0) {
       retries = static_cast<int>(std::stol(arg.substr(10)));
       if (retries < 1) return Usage();
+    } else if (arg.rfind("--mode=", 0) == 0) {
+      mode = arg.substr(7);
+      if (mode != "auto" && mode != "demand" && mode != "full") {
+        return Usage();
+      }
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       return Usage();
     } else {
@@ -102,13 +116,20 @@ int main(int argc, char** argv) {
   request.Set("verb", server::Json::Str(verb));
   if (verb == "query") {
     if (rest.size() < 2) return Usage();
-    request.Set("pred", server::Json::Str(rest[1]));
-    if (rest.size() > 2) {
-      server::Json key = server::Json::Array();
-      for (size_t i = 2; i < rest.size(); ++i) {
-        key.Push(rest[i] == "_" ? server::Json::Null() : ParseArg(rest[i]));
+    if (rest.size() == 2 && rest[1].find('(') != std::string::npos) {
+      // Atom form: demand-driven point query.
+      request.Set("atom", server::Json::Str(rest[1]));
+      if (!mode.empty()) request.Set("mode", server::Json::Str(mode));
+    } else {
+      if (!mode.empty()) return Usage();  // --mode= is atom-form only
+      request.Set("pred", server::Json::Str(rest[1]));
+      if (rest.size() > 2) {
+        server::Json key = server::Json::Array();
+        for (size_t i = 2; i < rest.size(); ++i) {
+          key.Push(rest[i] == "_" ? server::Json::Null() : ParseArg(rest[i]));
+        }
+        request.Set("key", std::move(key));
       }
-      request.Set("key", std::move(key));
     }
   } else if (verb == "insert") {
     if (rest.size() != 2) return Usage();

@@ -20,6 +20,18 @@
 //   --stats                             print evaluation statistics
 //   --format=text|json                  output format (default text)
 //   --dump=PRED[,PRED...]               print only these relations
+//   --query=ATOM                        answer one point query (e.g.
+//                                       --query='s(a, Y, C)') through the
+//                                       demand analysis instead of printing
+//                                       the model; bound constants select,
+//                                       variables project
+//   --query-mode=auto|demand|full       auto (default) takes the certified
+//                                       magic-sets slice when one applies;
+//                                       demand makes a bail-out an error;
+//                                       full forces the oracle
+//   --query-check                       evaluate every declared .query both
+//                                       demand-driven and in full; exit 1
+//                                       unless the answers are byte-identical
 //
 // SIGINT cancels the evaluation cooperatively: for a monotone program the
 // interrupted state is still ⊑-below the least model, so mondl prints the
@@ -51,7 +63,9 @@ int Usage() {
          "             [--epsilon=E] [--threads=N] [--no-validate] [--check]\n"
          "             [--explain] [--join-order=planned|textual|heuristic]\n"
          "             [--stats] [--format=text|json]\n"
-         "             [--dump=PRED[,PRED...]] program.mdl\n";
+         "             [--dump=PRED[,PRED...]] [--query=ATOM]\n"
+         "             [--query-mode=auto|demand|full] [--query-check]\n"
+         "             program.mdl\n";
   return 2;
 }
 
@@ -75,6 +89,9 @@ int main(int argc, char** argv) {
   bool print_stats = false;
   std::string format = "text";
   std::vector<std::string> dump;
+  std::string query_atom;
+  std::string query_mode = "auto";
+  bool query_check = false;
   std::string path;
 
   for (int i = 1; i < argc; ++i) {
@@ -126,6 +143,17 @@ int main(int argc, char** argv) {
       std::stringstream ss(value_of("--dump="));
       std::string item;
       while (std::getline(ss, item, ',')) dump.push_back(item);
+    } else if (arg.rfind("--query=", 0) == 0) {
+      query_atom = value_of("--query=");
+      if (query_atom.empty()) return Usage();
+    } else if (arg.rfind("--query-mode=", 0) == 0) {
+      query_mode = value_of("--query-mode=");
+      if (query_mode != "auto" && query_mode != "demand" &&
+          query_mode != "full") {
+        return Usage();
+      }
+    } else if (arg == "--query-check") {
+      query_check = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return Usage();
     } else if (path.empty()) {
@@ -172,6 +200,95 @@ int main(int argc, char** argv) {
   options.limits.cancellation = cancel;
   g_cancel = cancel.get();
   std::signal(SIGINT, OnSigInt);
+
+  if (query_check) {
+    // Differential gate: every declared .query, demand-driven vs the
+    // full-evaluation oracle, must agree byte for byte.
+    core::Engine engine(*program, options);
+    const std::vector<datalog::Atom>& queries = program->queries();
+    if (queries.empty()) {
+      std::cout << "mondl: " << path << ": no declared .query directives\n";
+      return 0;
+    }
+    int mismatches = 0;
+    for (const datalog::Atom& q : queries) {
+      core::QueryOptions auto_opts;
+      core::QueryOptions full_opts;
+      full_opts.mode = core::QueryOptions::Mode::kFull;
+      auto answer = engine.Query(q, datalog::Database(), auto_opts);
+      auto oracle = engine.Query(q, datalog::Database(), full_opts);
+      if (!answer.ok() || !oracle.ok()) {
+        std::cerr << "mondl: query failed: "
+                  << (answer.ok() ? oracle.status() : answer.status()) << "\n";
+        ++mismatches;
+        continue;
+      }
+      const bool same = answer->ToString() == oracle->ToString();
+      std::cout << q.pred->name << "^" << answer->adornment << ": "
+                << answer->rows.size() << " rows, "
+                << (answer->used_demand ? "demand" : "full (bail-out)")
+                << (same ? ", matches oracle" : ", MISMATCH") << "\n";
+      if (!same) ++mismatches;
+    }
+    return mismatches == 0 ? 0 : 1;
+  }
+
+  if (!query_atom.empty()) {
+    auto atom = datalog::ParseQueryAtom(*program, query_atom);
+    if (!atom.ok()) {
+      std::cerr << "mondl: " << atom.status() << "\n";
+      return 1;
+    }
+    core::QueryOptions qopts;
+    if (query_mode == "demand") {
+      qopts.mode = core::QueryOptions::Mode::kDemand;
+    } else if (query_mode == "full") {
+      qopts.mode = core::QueryOptions::Mode::kFull;
+    }
+    core::Engine engine(*program, options);
+    auto result = engine.Query(*atom, datalog::Database(), qopts);
+    std::signal(SIGINT, SIG_DFL);
+    if (!result.ok()) {
+      std::cerr << "mondl: " << result.status() << "\n";
+      return 1;
+    }
+    if (format == "json") {
+      server::Json j = server::Json::Object();
+      j.Set("pred", server::Json::Str(result->pred->name));
+      j.Set("adornment", server::Json::Str(result->adornment));
+      j.Set("used_demand", server::Json::Bool(result->used_demand));
+      if (!result->bailout_reason.empty()) {
+        j.Set("bailout_reason", server::Json::Str(result->bailout_reason));
+      }
+      if (result->cost_widened) {
+        j.Set("cost_widened", server::Json::Bool(true));
+      }
+      server::Json rows = server::Json::Array();
+      for (const datalog::Fact& f : result->rows) {
+        server::Json row = server::Json::Object();
+        server::Json key = server::Json::Array();
+        for (const datalog::Value& v : f.key) key.Push(server::ValueToJson(v));
+        row.Set("key", std::move(key));
+        if (f.cost.has_value()) row.Set("cost", server::ValueToJson(*f.cost));
+        rows.Push(std::move(row));
+      }
+      j.Set("row_count", server::Json::Int(
+                             static_cast<int64_t>(result->rows.size())));
+      j.Set("rows", std::move(rows));
+      j.Set("stats", server::EvalStatsToJson(result->stats));
+      std::cout << j.Dump() << "\n";
+    } else {
+      std::cout << result->ToString();
+    }
+    if (print_stats) {
+      std::cerr << result->pred->name << "^" << result->adornment
+                << (result->used_demand ? " (demand slice)"
+                                        : " (full evaluation)")
+                << "\n"
+                << result->stats.ToString() << "\n";
+    }
+    return 0;
+  }
 
   core::Engine engine(*program, options);
   auto result = engine.Run(datalog::Database());

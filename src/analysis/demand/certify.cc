@@ -1,0 +1,317 @@
+// Structural certification of the demand rewrite (see demand.h). The
+// rewriter's own bookkeeping (patterns, copy_sources, magic_sources) is
+// treated as the *specification* and the emitted Program as the artifact;
+// every check below cross-validates the two, so a bug in either half turns
+// into a bail-out (full evaluation) instead of a wrong answer.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "analysis/demand/demand.h"
+#include "util/string_util.h"
+
+namespace mad {
+namespace analysis {
+namespace demand {
+
+using datalog::Atom;
+using datalog::PredicateInfo;
+using datalog::Program;
+using datalog::Rule;
+using datalog::Subgoal;
+using datalog::Term;
+
+namespace {
+
+std::string MagicNameFor(const DemandPattern& p) {
+  return "m_" + p.pred->name + "_" + p.adornment;
+}
+
+Status Fail(const std::string& msg) { return Status::InvalidArgument(msg); }
+
+/// Renders a rule body (subgoal list) for structural comparison.
+std::string BodyKey(const Rule& r, size_t first_subgoal) {
+  std::string out;
+  for (size_t i = first_subgoal; i < r.body.size(); ++i) {
+    if (!out.empty()) out += ", ";
+    out += r.body[i].ToString();
+  }
+  return out;
+}
+
+std::string RuleKey(const Rule& r, size_t first_subgoal) {
+  return r.head.ToString() + " :- " + BodyKey(r, first_subgoal);
+}
+
+}  // namespace
+
+Status CertifyRewrite(const Program& original, const DemandRewrite& rewrite) {
+  const Program& rw = rewrite.rewritten;
+
+  // -- 1. Predicate alignment: every original predicate redeclared first,
+  //       identical signature and id, so relation maps line up.
+  if (rw.predicates().size() < original.predicates().size()) {
+    return Fail("rewritten program drops predicates");
+  }
+  for (size_t i = 0; i < original.predicates().size(); ++i) {
+    const PredicateInfo* a = original.predicates()[i].get();
+    const PredicateInfo* b = rw.predicates()[i].get();
+    if (a->name != b->name || a->arity != b->arity ||
+        a->has_cost != b->has_cost || a->domain != b->domain ||
+        a->has_default != b->has_default || a->id != b->id ||
+        b->is_magic) {
+      return Fail(StrPrintf("predicate %zu ('%s') misaligned in rewrite", i,
+                            a->name.c_str()));
+    }
+  }
+
+  // -- 2. Magic predicate shape: exactly one per bound demand pattern,
+  //       cost-free, arity == bound count.
+  size_t bound_patterns = 0;
+  for (const DemandPattern& p : rewrite.patterns) {
+    if (static_cast<int>(p.adornment.size()) != p.pred->key_arity()) {
+      return Fail("pattern " + p.ToString() + " has wrong adornment length");
+    }
+    if (!p.HasBound()) continue;
+    ++bound_patterns;
+    const PredicateInfo* magic = rw.FindPredicate(MagicNameFor(p));
+    if (magic == nullptr || !magic->is_magic || magic->has_cost ||
+        magic->arity != p.BoundCount()) {
+      return Fail("magic predicate for " + p.ToString() +
+                  " missing or malformed");
+    }
+  }
+  size_t declared_magic = 0;
+  for (size_t i = original.predicates().size(); i < rw.predicates().size();
+       ++i) {
+    if (!rw.predicates()[i]->is_magic) {
+      return Fail("rewritten program declares a non-magic extra predicate '" +
+                  rw.predicates()[i]->name + "'");
+    }
+    ++declared_magic;
+  }
+  if (declared_magic != bound_patterns) {
+    return Fail(StrPrintf("%zu magic predicates declared for %zu bound "
+                          "patterns",
+                          declared_magic, bound_patterns));
+  }
+
+  // Build the original rule lookup: head pred -> rule indices, and the
+  // structural key of each original rule. Keys are ORIGINAL PredicateInfo
+  // pointers; rewritten-program preds are mapped over via their aligned id.
+  std::map<const PredicateInfo*, std::vector<int>> rules_by_head;
+  for (size_t ri = 0; ri < original.rules().size(); ++ri) {
+    rules_by_head[original.rules()[ri].head.pred].push_back(
+        static_cast<int>(ri));
+  }
+  auto original_pred = [&](const PredicateInfo* pred) {
+    return original.predicates()[pred->id].get();
+  };
+
+  // -- 3. Copy faithfulness. Classify every rewritten rule; each non-magic
+  //       rule must be `original rule + optional leading guard`, and the
+  //       guard must be over exactly the head's bound key terms.
+  std::set<std::pair<int, std::string>> present_copies;  // (orig rule, adorn)
+  size_t magic_rule_count = 0;
+  for (size_t ri = 0; ri < rw.rules().size(); ++ri) {
+    const Rule& r = rw.rules()[ri];
+    if (r.head.pred->is_magic) {
+      ++magic_rule_count;
+      continue;  // validated against magic_sources below
+    }
+    size_t strip = 0;
+    std::string adornment(r.head.pred->key_arity(), 'f');
+    if (!r.body.empty() && r.body[0].kind == Subgoal::Kind::kAtom &&
+        r.body[0].atom.pred->is_magic) {
+      const Atom& guard = r.body[0].atom;
+      strip = 1;
+      // Recover the adornment from the guard's argument terms: they must be
+      // exactly the head's key terms at the bound positions, in order.
+      size_t gi = 0;
+      const PredicateInfo* head = r.head.pred;
+      std::string expected_name = "m_" + head->name + "_";
+      for (int k = 0; k < head->key_arity() && gi < guard.args.size(); ++k) {
+        if (guard.args[gi] == r.head.args[k]) {
+          adornment[k] = 'b';
+          ++gi;
+        }
+      }
+      if (gi != guard.args.size() ||
+          guard.pred->name != expected_name + adornment) {
+        return Fail(StrPrintf("rewritten rule %zu: guard %s does not project "
+                              "the head's bound key terms",
+                              ri, guard.ToString().c_str()));
+      }
+    }
+    // The stripped remainder must be an original rule with this head.
+    const std::string key = RuleKey(r, strip);
+    bool matched = false;
+    for (int ori : rules_by_head[original_pred(r.head.pred)]) {
+      if (RuleKey(original.rules()[ori], 0) == key) {
+        present_copies.insert({ori, adornment});
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      return Fail(StrPrintf("rewritten rule %zu does not correspond to any "
+                            "original rule: %s",
+                            ri, r.ToString().c_str()));
+    }
+    DemandPattern head_pattern{original_pred(r.head.pred), adornment};
+    if (rewrite.patterns.count(head_pattern) == 0) {
+      return Fail(StrPrintf("rewritten rule %zu guarded by undemanded "
+                            "pattern %s",
+                            ri, head_pattern.ToString().c_str()));
+    }
+  }
+
+  // -- 4. Copy completeness: every demanded (p, alpha) guards a copy of
+  //       every original rule with head p.
+  for (const DemandPattern& p : rewrite.patterns) {
+    for (int ori : rules_by_head[p.pred]) {
+      if (present_copies.count({ori, p.adornment}) == 0) {
+        return Fail(StrPrintf("demanded pattern %s lacks a copy of original "
+                              "rule %d",
+                              p.ToString().c_str(), ori));
+      }
+    }
+  }
+  //       ... and nothing outside the cone leaked in.
+  for (int unreachable : rewrite.unreachable_rules) {
+    for (const auto& [ori, adorn] : present_copies) {
+      if (ori == unreachable) {
+        return Fail(StrPrintf("rule %d is marked demand-unreachable but was "
+                              "copied",
+                              unreachable));
+      }
+    }
+  }
+
+  // -- 5. Cone closure: every IDB predicate a kept copy references is
+  //       demanded; negated IDB predicates are demanded all-free.
+  std::set<const PredicateInfo*> demanded_preds;
+  std::set<const PredicateInfo*> demanded_all_free;
+  for (const DemandPattern& p : rewrite.patterns) {
+    demanded_preds.insert(p.pred);
+    if (!p.HasBound()) demanded_all_free.insert(p.pred);
+  }
+  auto is_idb = [&](const PredicateInfo* pred) {
+    return !pred->is_magic &&
+           rules_by_head.count(original_pred(pred)) > 0;
+  };
+  for (const Rule& r : rw.rules()) {
+    if (r.head.pred->is_magic) continue;
+    for (const Subgoal& sg : r.body) {
+      switch (sg.kind) {
+        case Subgoal::Kind::kAtom:
+          if (!sg.atom.pred->is_magic && is_idb(sg.atom.pred) &&
+              demanded_preds.count(original_pred(sg.atom.pred)) == 0) {
+            return Fail("cone not closed under positive atom " +
+                        sg.atom.ToString());
+          }
+          break;
+        case Subgoal::Kind::kNegatedAtom:
+          if (is_idb(sg.atom.pred) &&
+              demanded_all_free.count(original_pred(sg.atom.pred)) == 0) {
+            return Fail("negated predicate '" + sg.atom.pred->name +
+                        "' must be demanded all-free");
+          }
+          break;
+        case Subgoal::Kind::kAggregate:
+          for (const Atom& a : sg.aggregate.atoms) {
+            if (is_idb(a.pred) &&
+                demanded_preds.count(original_pred(a.pred)) == 0) {
+              return Fail("cone not closed under aggregate-inner atom " +
+                          a.ToString());
+            }
+          }
+          break;
+        case Subgoal::Kind::kBuiltin:
+          break;
+      }
+    }
+  }
+
+  // -- 6. Magic rule validation + aggregate grouping-variable policy.
+  if (magic_rule_count != rewrite.magic_sources.size()) {
+    return Fail(StrPrintf("%zu magic rules emitted but %zu sources recorded",
+                          magic_rule_count, rewrite.magic_sources.size()));
+  }
+  for (const MagicRuleSource& src : rewrite.magic_sources) {
+    if (src.rewritten_rule_index < 0 ||
+        src.rewritten_rule_index >= static_cast<int>(rw.rules().size()) ||
+        src.original_rule_index < 0 ||
+        src.original_rule_index >= static_cast<int>(original.rules().size())) {
+      return Fail("magic source indexes out of range");
+    }
+    const Rule& magic = rw.rules()[src.rewritten_rule_index];
+    if (!magic.head.pred->is_magic ||
+        magic.head.pred->name != MagicNameFor(src.target)) {
+      return Fail("magic rule head does not match its target pattern " +
+                  src.target.ToString());
+    }
+    const Rule& source_rule = original.rules()[src.original_rule_index];
+    if (src.subgoal_index < 0 ||
+        src.subgoal_index >= static_cast<int>(source_rule.body.size())) {
+      return Fail("magic source subgoal out of range");
+    }
+    const Subgoal& sg = source_rule.body[src.subgoal_index];
+    const Atom* demanded = nullptr;
+    if (src.aggregate_atom_index >= 0) {
+      if (sg.kind != Subgoal::Kind::kAggregate ||
+          src.aggregate_atom_index >=
+              static_cast<int>(sg.aggregate.atoms.size())) {
+        return Fail("magic source does not name an aggregate-inner atom");
+      }
+      demanded = &sg.aggregate.atoms[src.aggregate_atom_index];
+    } else {
+      if (sg.kind != Subgoal::Kind::kAtom) {
+        return Fail("magic source does not name a positive atom");
+      }
+      demanded = &sg.atom;
+    }
+    if (original_pred(demanded->pred) != src.target.pred) {
+      return Fail("magic rule targets a different predicate than its "
+                  "demanding atom");
+    }
+    // The head must project the demanding atom's key terms at exactly the
+    // target's bound positions.
+    std::vector<Term> expected;
+    for (int k = 0; k < src.target.pred->key_arity(); ++k) {
+      if (src.target.adornment[k] == 'b') {
+        expected.push_back(demanded->args[k]);
+      }
+    }
+    if (expected.size() != magic.head.args.size() ||
+        !std::equal(expected.begin(), expected.end(),
+                    magic.head.args.begin())) {
+      return Fail("magic rule head does not project the demanded atom's "
+                  "bound key terms (" + magic.ToString() + ")");
+    }
+    // Lattice policy: demand reaching into an aggregate may bind only
+    // constants and grouping variables — then each demanded group's inner
+    // multiset is complete and the aggregate value equals the full model's.
+    if (src.aggregate_atom_index >= 0) {
+      const auto& grouping = sg.aggregate.grouping_vars;
+      for (int k = 0; k < src.target.pred->key_arity(); ++k) {
+        if (src.target.adornment[k] != 'b') continue;
+        const Term& t = demanded->args[k];
+        if (t.is_var() && std::find(grouping.begin(), grouping.end(),
+                                    t.var) == grouping.end()) {
+          return Fail(StrPrintf(
+              "aggregate-inner demand %s binds non-grouping variable %s",
+              src.target.ToString().c_str(), t.var.c_str()));
+        }
+      }
+    }
+  }
+
+  return Status::OK();
+}
+
+}  // namespace demand
+}  // namespace analysis
+}  // namespace mad

@@ -1,0 +1,146 @@
+// Lint passes MAD025–MAD027: findings of the demand-analysis layer
+// (analysis/demand). All three are warnings or notes — never errors — so the
+// error ⟺ overall()-reject equivalence of the paper passes is untouched: a
+// bailed-out query still has a well-defined answer (full evaluation).
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "analysis/demand/demand.h"
+#include "analysis/lint/passes.h"
+#include "util/string_util.h"
+
+namespace mad {
+namespace analysis {
+namespace lint {
+
+namespace {
+
+using datalog::Atom;
+using datalog::Rule;
+using datalog::SourceSpan;
+
+const LintRuleDesc& DemandDesc(const char* code) {
+  const LintRuleDesc* d = FindLintRule(code);
+  // The registry is static; a miss is a programming error caught in tests.
+  return *d;
+}
+
+SourceSpan QuerySpan(const LintContext& ctx, const Atom& q) {
+  if (q.span.valid()) return q.span;
+  (void)ctx;
+  return SourceSpan{};
+}
+
+// ---------------------------------------------------------------------------
+// MAD025: the demand transformation bailed out for a declared query
+// ---------------------------------------------------------------------------
+
+class UndemandableQueryPass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return DemandDesc("MAD025"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    for (const Atom& q : ctx.program->queries()) {
+      bool cost_widened = false;
+      demand::DemandPattern pattern =
+          demand::PatternForQuery(q, &cost_widened);
+      if (pattern.pred == nullptr) continue;
+      demand::DemandRewrite rw =
+          demand::RewriteForPattern(*ctx.program, *ctx.graph, pattern);
+      if (rw.ok) continue;
+      out->Add(Make(
+          ctx, QuerySpan(ctx, q),
+          StrPrintf("query %s is answered by full evaluation: the demand "
+                    "transformation for %s bailed out (%s)",
+                    q.ToString().c_str(), pattern.ToString().c_str(),
+                    rw.bailout_reason.c_str())));
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MAD026: rules outside the demand cone of every declared query
+// ---------------------------------------------------------------------------
+
+class DemandUnreachableRulePass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return DemandDesc("MAD026"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    if (ctx.program->queries().empty()) return;
+    // A rule is demand-unreachable only if *no* declared query's (successful)
+    // rewrite keeps a copy of it. Any bailed-out query falls back to full
+    // evaluation — which fires every rule — so it suppresses the pass.
+    std::set<int> unreachable;
+    bool first = true;
+    for (const Atom& q : ctx.program->queries()) {
+      bool cost_widened = false;
+      demand::DemandPattern pattern =
+          demand::PatternForQuery(q, &cost_widened);
+      if (pattern.pred == nullptr) return;
+      demand::DemandRewrite rw =
+          demand::RewriteForPattern(*ctx.program, *ctx.graph, pattern);
+      if (!rw.ok) return;
+      std::set<int> here(rw.unreachable_rules.begin(),
+                         rw.unreachable_rules.end());
+      if (first) {
+        unreachable = std::move(here);
+        first = false;
+      } else {
+        std::set<int> both;
+        for (int i : unreachable) {
+          if (here.count(i)) both.insert(i);
+        }
+        unreachable = std::move(both);
+      }
+    }
+    const auto& rules = ctx.program->rules();
+    for (int i : unreachable) {
+      if (i < 0 || i >= static_cast<int>(rules.size())) continue;
+      const Rule& r = rules[i];
+      if (r.head.pred == nullptr) continue;
+      out->Add(Make(
+          ctx, r.span,
+          StrPrintf("rule for %s is outside the demand cone of every "
+                    "declared query: no point query along the declared "
+                    "patterns ever fires it",
+                    r.head.pred->name.c_str())));
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MAD027: a query binds a cost column (demand widening + post-filter)
+// ---------------------------------------------------------------------------
+
+class CostColumnWideningPass : public LintPass {
+ public:
+  const LintRuleDesc& rule() const override { return DemandDesc("MAD027"); }
+  void Run(const LintContext& ctx, DiagnosticList* out) const override {
+    for (const Atom& q : ctx.program->queries()) {
+      bool cost_widened = false;
+      demand::DemandPattern pattern =
+          demand::PatternForQuery(q, &cost_widened);
+      if (pattern.pred == nullptr || !cost_widened) continue;
+      out->Add(Make(
+          ctx, QuerySpan(ctx, q),
+          StrPrintf("query %s binds the cost column of %s: demand adornments "
+                    "keep lattice columns free (pattern %s), so the slice is "
+                    "computed unrestricted there and post-filtered",
+                    q.ToString().c_str(), pattern.pred->name.c_str(),
+                    pattern.ToString().c_str())));
+    }
+  }
+};
+
+}  // namespace
+
+void AddDemandPasses(PassManager* pm) {
+  pm->AddPass(std::make_unique<UndemandableQueryPass>());
+  pm->AddPass(std::make_unique<DemandUnreachableRulePass>());
+  pm->AddPass(std::make_unique<CostColumnWideningPass>());
+}
+
+}  // namespace lint
+}  // namespace analysis
+}  // namespace mad

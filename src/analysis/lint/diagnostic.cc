@@ -131,6 +131,21 @@ const std::vector<LintRuleDesc>& AllLintRules() {
        "form always yields the lattice bottom and the '=r' form never "
        "holds",
        "static planning (emptiness fixpoint)", Severity::kWarning},
+      {"MAD025", "undemandable-query",
+       "the demand transformation conservatively bailed out for a declared "
+       ".query (pattern explosion, unsafe adornment order, or the rewritten "
+       "program failing re-certification); the query is answered by full "
+       "evaluation",
+       "demand analysis (magic sets)", Severity::kWarning},
+      {"MAD026", "demand-unreachable-rule",
+       "the rule is outside the demand cone of every declared .query: no "
+       "point query along the declared patterns ever fires it",
+       "demand analysis (magic sets)", Severity::kNote},
+      {"MAD027", "free-cost-column-demand-widening",
+       "a .query binds a cost column; demand adornments keep lattice cost "
+       "columns free (slicing an aggregate's input multiset is unsound), so "
+       "the slice is computed with the column free and post-filtered",
+       "demand analysis (lattice-column policy)", Severity::kWarning},
   };
   return *rules;
 }

@@ -474,8 +474,12 @@ class UnreachableRulePass : public LintPass {
     auto check_atom = [&](const Rule& r, const Atom& a) {
       if (a.pred == nullptr) return;
       // Default-value predicates carry bottom for every key, so they are
-      // never empty.
-      if (a.pred->has_default || derivable.count(a.pred)) return;
+      // never empty; magic predicates are seeded from the query's bound
+      // constants at evaluation time.
+      if (a.pred->has_default || a.pred->is_magic ||
+          derivable.count(a.pred)) {
+        return;
+      }
       out->Add(Make(ctx, a.span.valid() ? a.span : r.span,
                     StrPrintf("subgoal %s can never hold: predicate %s has "
                               "no facts and no rules, so this rule never "
@@ -758,6 +762,7 @@ PassManager MakeDefaultPassManager() {
   pm.AddPass(std::make_unique<CartesianProductPass>());
   pm.AddPass(std::make_unique<CostDomainMismatchPass>());
   AddStaticPlanningPasses(&pm);
+  AddDemandPasses(&pm);
   return pm;
 }
 

@@ -29,6 +29,12 @@ PassManager MakeDefaultPassManager();
 /// aggregate inputs, planned cross joins, and unbound head modes.
 void AddStaticPlanningPasses(PassManager* pm);
 
+/// Appends the demand-analysis passes (MAD025–MAD027, defined in
+/// demand_passes.cc): undemandable queries (magic-sets bail-out),
+/// demand-unreachable rules, and free-cost-column demand widening. They only
+/// fire on programs that declare `.query` directives.
+void AddDemandPasses(PassManager* pm);
+
 /// Maps one admissibility violation to its diagnostic. Aspect picks the rule
 /// (negation → MAD006, missing default → MAD005, everything else → MAD004);
 /// MAD004's severity is an error only when the head's component recurses

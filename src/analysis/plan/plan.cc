@@ -242,15 +242,15 @@ std::string StepDescription(const Subgoal& sg) {
   return sg.ToString();
 }
 
-QueryPlan PlanRule(const Rule& rule, int rule_index,
-                   const DependencyGraph& graph,
-                   const CardinalityEstimates& cards) {
+QueryPlan PlanRuleImpl(const Rule& rule, int rule_index,
+                       const DependencyGraph& graph,
+                       const CardinalityEstimates& cards,
+                       std::set<std::string> bound) {
   QueryPlan plan;
   plan.rule_index = rule_index;
   plan.rule = &rule;
   plan.component = graph.ComponentOf(rule.head.pred);
 
-  std::set<std::string> bound;
   std::vector<bool> done(rule.body.size(), false);
   double rows = 1.0;
   bool saw_relational = false;
@@ -500,15 +500,25 @@ PlanReport PlanProgram(const Program& program, const DependencyGraph& graph,
   report.rules.reserve(rules.size());
   for (size_t ri = 0; ri < rules.size(); ++ri) {
     report.rules.push_back(
-        PlanRule(rules[ri], static_cast<int>(ri), graph, cards));
+        PlanRuleImpl(rules[ri], static_cast<int>(ri), graph, cards, {}));
   }
   return report;
+}
+
+QueryPlan PlanRuleWithBound(const datalog::Rule& rule, int rule_index,
+                            const DependencyGraph& graph,
+                            const CardinalityEstimates& cards,
+                            const std::set<std::string>& initial_bound) {
+  return PlanRuleImpl(rule, rule_index, graph, cards, initial_bound);
 }
 
 std::set<const PredicateInfo*> PotentiallyNonEmpty(const Program& program) {
   std::set<const PredicateInfo*> nonempty;
   for (const auto& p : program.predicates()) {
-    if (p->has_default) nonempty.insert(p.get());
+    // Magic predicates are seeded from outside the program text (the query's
+    // bound constants arrive as an EDB fact at Engine::Query time), so they
+    // count as potentially non-empty exactly like default-value predicates.
+    if (p->has_default || p->is_magic) nonempty.insert(p.get());
   }
   for (const datalog::Fact& f : program.facts()) nonempty.insert(f.pred);
   bool changed = true;

@@ -107,6 +107,16 @@ PlanReport PlanProgram(const datalog::Program& program,
                        const DependencyGraph& graph,
                        const CardinalityEstimates& cards);
 
+/// Plans one rule with `initial_bound` variables already bound before the
+/// first step runs — the SIPS under a head adornment. analysis/demand uses
+/// this to propagate demand from a rule head into its body: the bound head
+/// key variables seed the sideways information passing, and each planned
+/// step's adornment tells the rewrite which (pred, pattern) to demand next.
+QueryPlan PlanRuleWithBound(const datalog::Rule& rule, int rule_index,
+                            const DependencyGraph& graph,
+                            const CardinalityEstimates& cards,
+                            const std::set<std::string>& initial_bound);
+
 /// Predicates that can possibly hold at least one fact in the least model:
 /// the fixpoint of "has inline facts, or a default value, or a rule whose
 /// positive atoms (and restricted-aggregate inner atoms) are all potentially

@@ -1102,6 +1102,147 @@ StatusOr<EvalStats> Engine::Update(EvalResult* result,
 }
 
 // ---------------------------------------------------------------------------
+// Point queries (demand analysis)
+// ---------------------------------------------------------------------------
+
+std::string QueryResult::ToString() const {
+  std::vector<std::string> lines;
+  lines.reserve(rows.size());
+  for (const datalog::Fact& f : rows) lines.push_back(f.ToString());
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += "\n";
+  }
+  return out;
+}
+
+std::shared_ptr<const analysis::demand::DemandRewrite> Engine::CachedRewrite(
+    const analysis::demand::DemandPattern& pattern,
+    std::string* bailout_reason) const {
+  const std::string key = pattern.pred->name + "^" + pattern.adornment;
+  {
+    std::lock_guard<std::mutex> lock(demand_mu_);
+    auto it = demand_cache_.find(key);
+    if (it != demand_cache_.end()) {
+      if (it->second->ok) return it->second;
+      *bailout_reason = it->second->bailout_reason;
+      return nullptr;
+    }
+  }
+  // Rewrite outside the lock — the analysis walks the whole cone and two
+  // threads racing to the same pattern just produce identical entries.
+  auto rw = std::make_shared<const analysis::demand::DemandRewrite>(
+      analysis::demand::RewriteForPattern(*program_, graph_, pattern));
+  {
+    std::lock_guard<std::mutex> lock(demand_mu_);
+    demand_cache_.emplace(key, rw);
+  }
+  if (!rw->ok) {
+    *bailout_reason = rw->bailout_reason;
+    return nullptr;
+  }
+  return rw;
+}
+
+StatusOr<QueryResult> Engine::Query(const datalog::Atom& query, Database edb,
+                                    const QueryOptions& qopts) const {
+  if (query.pred == nullptr) {
+    return Status::InvalidArgument("query atom has no predicate");
+  }
+  if (program_->FindPredicate(query.pred->name) != query.pred) {
+    return Status::InvalidArgument(StrPrintf(
+        "query predicate '%s' does not belong to this engine's program",
+        query.pred->name.c_str()));
+  }
+  if (static_cast<int>(query.args.size()) != query.pred->arity) {
+    return Status::InvalidArgument(StrPrintf(
+        "query %s: expected %d arguments", query.ToString().c_str(),
+        query.pred->arity));
+  }
+
+  QueryResult out;
+  out.pred = query.pred;
+  analysis::demand::DemandPattern pattern =
+      analysis::demand::PatternForQuery(query, &out.cost_widened);
+  out.adornment = pattern.adornment;
+
+  std::shared_ptr<const analysis::demand::DemandRewrite> rw;
+  if (qopts.mode != QueryOptions::Mode::kFull) {
+    rw = CachedRewrite(pattern, &out.bailout_reason);
+    if (rw == nullptr && qopts.mode == QueryOptions::Mode::kDemand) {
+      return Status::AnalysisError(StrPrintf(
+          "demand mode requested but the rewrite for %s bailed out: %s",
+          pattern.ToString().c_str(), out.bailout_reason.c_str()));
+    }
+  }
+
+  EvalResult eval;
+  const PredicateInfo* eval_pred = query.pred;
+  if (rw != nullptr) {
+    if (rw->seed_pred != nullptr) {
+      datalog::Fact seed;
+      seed.pred = rw->seed_pred;
+      for (int pos : rw->bound_key_positions) {
+        seed.key.push_back(query.args[pos].constant);
+      }
+      MAD_RETURN_IF_ERROR(edb.AddFact(seed));
+    }
+    // The rewrite already re-ran the full static checker on the rewritten
+    // program (RewriteForPattern bails out otherwise) — skip re-validating
+    // on every point query.
+    EvalOptions demand_options = options_;
+    demand_options.validate = false;
+    if (qopts.limits != nullptr) demand_options.limits = *qopts.limits;
+    Engine demand_engine(rw->rewritten, demand_options);
+    MAD_ASSIGN_OR_RETURN(eval, demand_engine.Run(std::move(edb)));
+    eval_pred = rw->rewritten.FindPredicate(query.pred->name);
+    out.used_demand = true;
+  } else if (qopts.limits != nullptr) {
+    EvalOptions full_options = options_;
+    full_options.limits = *qopts.limits;
+    Engine full_engine(*program_, full_options);
+    MAD_ASSIGN_OR_RETURN(eval, full_engine.Run(std::move(edb)));
+  } else {
+    MAD_ASSIGN_OR_RETURN(eval, Run(std::move(edb)));
+  }
+  out.stats = eval.stats;
+  out.completeness = eval.completeness;
+
+  // Read the answer off the (sliced or full) least model: rows matching the
+  // query's bound key constants, post-filtered by a bound cost column.
+  const datalog::Relation* rel = eval.db.Find(eval_pred);
+  if (rel != nullptr) {
+    std::vector<int> bound_pos;
+    datalog::Tuple bound_vals;
+    for (int i = 0; i < query.pred->key_arity(); ++i) {
+      if (query.args[i].is_const()) {
+        bound_pos.push_back(i);
+        bound_vals.push_back(query.args[i].constant);
+      }
+    }
+    const datalog::Term* cost_term = query.CostTerm();
+    const bool filter_cost =
+        cost_term != nullptr && cost_term->is_const();
+    rel->Scan(bound_pos, bound_vals,
+              [&](const datalog::Tuple& tkey, const datalog::Value& cost) {
+                if (filter_cost && !(cost == cost_term->constant)) return;
+                datalog::Fact f;
+                f.pred = query.pred;
+                f.key = tkey;
+                if (query.pred->has_cost) f.cost = cost;
+                out.rows.push_back(std::move(f));
+              });
+    std::sort(out.rows.begin(), out.rows.end(),
+              [](const datalog::Fact& a, const datalog::Fact& b) {
+                return a.key < b.key;
+              });
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // Helpers
 // ---------------------------------------------------------------------------
 

@@ -1,12 +1,15 @@
 #ifndef MAD_CORE_ENGINE_H_
 #define MAD_CORE_ENGINE_H_
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "analysis/admissibility.h"
 #include "analysis/checker.h"
+#include "analysis/demand/demand.h"
 #include "analysis/dependency_graph.h"
 #include "core/compiled_rule.h"
 #include "core/executor.h"
@@ -145,6 +148,58 @@ struct EvalResult {
   int tripped_component = -1;
 };
 
+/// Knobs for one point query (Engine::Query).
+struct QueryOptions {
+  enum class Mode {
+    /// Use the demand rewrite when it certifies; fall back to evaluating the
+    /// full program otherwise (QueryResult::bailout_reason says why).
+    kAuto,
+    /// Require the demand rewrite: a bail-out is an error, never a silent
+    /// full evaluation. For tests and latency-sensitive callers.
+    kDemand,
+    /// Always evaluate the full program (the oracle the differential gate
+    /// compares the demand path against).
+    kFull,
+  };
+  Mode mode = Mode::kAuto;
+  /// Per-call resource limits overriding EvalOptions::limits — the serving
+  /// layer threads each request's deadline/budget through here. Not owned;
+  /// must outlive the Query call. nullptr = use the engine's own limits.
+  const ResourceLimits* limits = nullptr;
+};
+
+/// The answer to one point query: the matching facts of the queried
+/// predicate, plus how they were computed.
+struct QueryResult {
+  /// The queried predicate (the engine's program's instance, not the
+  /// rewrite's copy — callers can use it against their own Program).
+  const datalog::PredicateInfo* pred = nullptr;
+  /// Matching facts, sorted by key tuple. Each fact's key/cost layout is
+  /// the predicate's own; constants in the query atom (including a bound
+  /// cost column) have been applied as filters.
+  std::vector<datalog::Fact> rows;
+
+  bool used_demand = false;
+  /// The key adornment the query induced (e.g. "bf").
+  std::string adornment;
+  /// Under Mode::kAuto, why the demand path was not taken (empty when it
+  /// was). Mirrors MAD025's payload.
+  std::string bailout_reason;
+  /// True when the query bound a cost column: the demand slice was computed
+  /// with that column free and post-filtered (MAD027 widening).
+  bool cost_widened = false;
+
+  EvalStats stats;
+  /// kLeastModel unless a resource limit certified-degraded the underlying
+  /// evaluation (then the rows are a ⊑-under-approximation of the answer).
+  Completeness completeness = Completeness::kLeastModel;
+
+  /// Sorted fact lines, one per row — the same rendering Database::ToString
+  /// uses, so a query answer is byte-comparable against a full model's
+  /// restriction (the demand differential gate relies on this).
+  std::string ToString() const;
+};
+
 /// Evaluates a program under the paper's minimal-model semantics: components
 /// in bottom-up order, each component to its least fixpoint via the selected
 /// strategy.
@@ -199,7 +254,34 @@ class Engine {
                              const std::vector<datalog::Fact>& facts,
                              const ResourceLimits& limits) const;
 
+  /// Answers a point query: the facts of `query.pred` matching the query
+  /// atom's constants, over the least model of the program on `edb`.
+  ///
+  /// `edb` is the genuine extensional database — the same thing Run takes —
+  /// NOT a materialized result. When the demand rewrite for the query's
+  /// adornment certifies (cached per (predicate, adornment), so repeated
+  /// point queries pay the static analysis once), only the query's cone is
+  /// evaluated: the rewritten program runs against the same EDB plus one
+  /// seed fact holding the query's bound key constants. Otherwise — or under
+  /// QueryOptions::Mode::kFull — the full program is evaluated and the
+  /// answer read off the complete least model.
+  ///
+  /// The demand path's answer is certified byte-identical to the full path's
+  /// (analysis::demand::CertifyRewrite statically, the demand differential
+  /// gate dynamically). Thread-safe: concurrent Query calls on one Engine
+  /// only share the rewrite cache (mutex-guarded) and the immutable program.
+  StatusOr<QueryResult> Query(const datalog::Atom& query, Database edb,
+                              const QueryOptions& qopts = {}) const;
+
  private:
+  /// The cached demand rewrite for `pattern` (computing and caching it on
+  /// first use — bail-outs are cached too, so repeated undemandable queries
+  /// don't re-run the analysis). Returns nullptr and sets `bailout_reason`
+  /// when the rewrite bailed out.
+  std::shared_ptr<const analysis::demand::DemandRewrite> CachedRewrite(
+      const analysis::demand::DemandPattern& pattern,
+      std::string* bailout_reason) const;
+
   /// `max_iterations` is the effective per-component round cap: the global
   /// EvalOptions::max_iterations, or — for components whose certificate
   /// proves bounded chains — the smaller certificate-derived bound (see
@@ -251,6 +333,13 @@ class Engine {
   const Program* program_;
   EvalOptions options_;
   analysis::DependencyGraph graph_;
+
+  /// Demand rewrites keyed by "pred^adornment". Value-independent (the same
+  /// rewrite serves every bound constant), so one entry per pattern.
+  mutable std::mutex demand_mu_;
+  mutable std::map<std::string,
+                   std::shared_ptr<const analysis::demand::DemandRewrite>>
+      demand_cache_;
 };
 
 /// A parsed program together with its evaluation result. The database's

@@ -475,6 +475,7 @@ std::string Program::ToString() const {
     out += p->ToString() + "\n";
   }
   for (const auto& c : constraints_) out += c.ToString() + "\n";
+  for (const auto& q : queries_) out += ".query " + q.ToString() + ".\n";
   for (const auto& f : facts_) out += f.ToString() + "\n";
   for (const auto& r : rules_) out += r.ToString() + "\n";
   return out;

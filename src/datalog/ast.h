@@ -57,6 +57,10 @@ struct PredicateInfo {
   /// Default-value cost predicate: semantically every key tuple carries
   /// domain->Bottom() until a rule derives something larger.
   bool has_default = false;
+  /// Magic (demand) predicate introduced by the analysis/demand rewrite. Its
+  /// facts arrive from outside the program (the query seed plus magic rules),
+  /// so emptiness analyses must treat it like an EDB predicate (MAD021).
+  bool is_magic = false;
   /// Inferred column types, one per argument (cost column last). Empty until
   /// typing::TypeReport::Annotate() stamps it; mutable because inference is
   /// an annotation pass over an otherwise-const Program.
@@ -282,6 +286,10 @@ class Program {
     constraints_.push_back(std::move(c));
   }
   void AddFact(Fact f) { facts_.push_back(std::move(f)); }
+  /// Records a `.query` directive: an atom whose constant arguments are the
+  /// bound positions of a point query the program expects to serve.
+  /// Consumed by analysis/demand; evaluation ignores it.
+  void AddQuery(Atom query) { queries_.push_back(std::move(query)); }
 
   /// Moves facts_[first..] out and truncates the inline-fact list back to
   /// `first` entries. Lets ParseFacts() reuse the parser for transient fact
@@ -300,6 +308,7 @@ class Program {
     return constraints_;
   }
   const std::vector<Fact>& facts() const { return facts_; }
+  const std::vector<Atom>& queries() const { return queries_; }
   const std::vector<std::unique_ptr<PredicateInfo>>& predicates() const {
     return predicates_;
   }
@@ -317,6 +326,7 @@ class Program {
   std::vector<Rule> rules_;
   std::vector<IntegrityConstraint> constraints_;
   std::vector<Fact> facts_;
+  std::vector<Atom> queries_;
 };
 
 }  // namespace datalog

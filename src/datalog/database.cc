@@ -215,6 +215,19 @@ Database Database::Snapshot() const {
   return out;
 }
 
+Database Database::ShareForRead() const {
+  Database out;
+  for (const auto& [id, rel] : relations_) {
+    // Already-frozen relations are immutable, so sharing the pointer without
+    // re-freezing is race-free even when many readers share concurrently.
+    // An unfrozen relation (a database that was never published) is deep
+    // copied instead — never write cow_frozen_ from a reader thread.
+    out.relations_[id] =
+        rel->frozen() ? rel : std::make_shared<Relation>(*rel);
+  }
+  return out;
+}
+
 size_t Database::TotalRows() const {
   size_t n = 0;
   for (const auto& [_, rel] : relations_) n += rel->size();

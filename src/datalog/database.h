@@ -227,6 +227,14 @@ class Database {
   /// from any number of threads.
   Database Snapshot() const;
 
+  /// Read-only share for *reader* threads: relations that are already frozen
+  /// (a published serving snapshot) are shared by pointer without touching
+  /// the COW freeze flag — unlike Snapshot(), which re-writes `cow_frozen_`
+  /// and is therefore writer-thread-only. Unfrozen relations are deep-copied
+  /// so the result never aliases a mutable extension. Used by the demand
+  /// query path, where many readers evaluate against the same snapshot.
+  Database ShareForRead() const;
+
   /// All relations (iteration order: predicate id).
   const std::map<int, std::shared_ptr<Relation>>& relations() const {
     return relations_;

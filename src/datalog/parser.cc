@@ -333,6 +333,20 @@ class Parser {
     return Status::OK();
   }
 
+  /// Parses exactly one atom (optionally '.'-terminated) against existing
+  /// declarations — the query-atom payload of `mondl --query` / madc.
+  StatusOr<Atom> ParseSingleAtom() {
+    if (Peek().kind != Tok::kIdent) return Error("expected predicate name");
+    if (program_->FindPredicate(Peek().text) == nullptr) {
+      return Error(StrPrintf("query references undeclared predicate '%s'",
+                             Peek().text.c_str()));
+    }
+    MAD_ASSIGN_OR_RETURN(Atom a, ParseAtom());
+    Accept(Tok::kDot);
+    if (Peek().kind != Tok::kEnd) return Error("trailing input after atom");
+    return a;
+  }
+
   Status ParseFactsOnly() {
     while (Peek().kind != Tok::kEnd) {
       MAD_ASSIGN_OR_RETURN(Atom head, ParseAtom());
@@ -386,6 +400,7 @@ class Parser {
       const std::string& d = Peek().text;
       if (d == "decl") return ParseDecl();
       if (d == "constraint") return ParseConstraint();
+      if (d == "query") return ParseQuery();
       return Error(StrPrintf("unknown directive '.%s'", d.c_str()));
     }
     return ParseClause();
@@ -434,6 +449,23 @@ class Parser {
     }
     auto declared = program_->DeclarePredicate(std::move(info));
     if (!declared.ok()) return declared.status();
+    return Status::OK();
+  }
+
+  // .query p(bound, X, _).  — constants are the bound positions of a point
+  // query the program expects to serve (consumed by analysis/demand). The
+  // predicate must already be declared so a typo'd name fails loudly instead
+  // of implicitly declaring a fresh empty predicate.
+  Status ParseQuery() {
+    Advance();  // .query
+    if (Peek().kind != Tok::kIdent) return Error("expected predicate name");
+    if (program_->FindPredicate(Peek().text) == nullptr) {
+      return Error(StrPrintf(".query references undeclared predicate '%s'",
+                             Peek().text.c_str()));
+    }
+    MAD_ASSIGN_OR_RETURN(Atom a, ParseAtom());
+    MAD_RETURN_IF_ERROR(Expect(Tok::kDot, "'.'"));
+    program_->AddQuery(std::move(a));
     return Status::OK();
   }
 
@@ -851,6 +883,16 @@ Status ParseFactsInto(Program* program, std::string_view facts_text) {
   MAD_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
   Parser parser(program, std::move(tokens));
   return parser.ParseFactsOnly();
+}
+
+StatusOr<Atom> ParseQueryAtom(const Program& program,
+                              std::string_view atom_text) {
+  Lexer lexer(atom_text);
+  MAD_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  // ParseSingleAtom only reads declarations (it rejects undeclared predicate
+  // names before FindOrDeclare could mutate), so the const_cast is safe.
+  Parser parser(const_cast<Program*>(&program), std::move(tokens));
+  return parser.ParseSingleAtom();
 }
 
 StatusOr<std::vector<Fact>> ParseFacts(Program* program,

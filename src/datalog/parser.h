@@ -45,6 +45,13 @@ Status ParseRuleInto(Program* program, std::string_view rule_text);
 /// Parses facts only (e.g. a generated EDB listing) into `program`.
 Status ParseFactsInto(Program* program, std::string_view facts_text);
 
+/// Parses a single query atom like `sp("a", X, _)` against `program`'s
+/// existing declarations (constants = bound positions, variables/`_` = free).
+/// The predicate must already be declared; `program` is never mutated. Used
+/// by `mondl --query`, `madc query` and the madd `query` verb.
+StatusOr<Atom> ParseQueryAtom(const Program& program,
+                              std::string_view atom_text);
+
 /// Parses facts against `program`'s declarations and returns them *without*
 /// leaving them in Program::facts() — the transient-payload variant used by
 /// the serving layer for insert requests. Facts must reference predicates

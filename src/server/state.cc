@@ -126,6 +126,19 @@ StatusOr<std::unique_ptr<ServerState>> ServerState::Load(
     MAD_RETURN_IF_ERROR(state->RecoverAndOpenWal());
   }
 
+  // The demand-query base: program facts plus the full accepted insert
+  // history (cumulative_facts_ is exactly that after recovery — checkpoint
+  // facts plus WAL replay). Live inserts append to it under writer_mu_.
+  MAD_RETURN_IF_ERROR(state->base_facts_.AddFacts(*state->program_));
+  if (!state->cumulative_facts_.empty()) {
+    MAD_ASSIGN_OR_RETURN(
+        std::vector<datalog::Fact> history,
+        datalog::ParseFacts(state->program_.get(), state->cumulative_facts_));
+    for (const datalog::Fact& f : history) {
+      MAD_RETURN_IF_ERROR(state->base_facts_.AddFact(f));
+    }
+  }
+
   // Build the frozen name map only after recovery: WAL replay may implicitly
   // declare cost-free predicates exactly like live inserts do, and those
   // must be queryable.
@@ -289,6 +302,7 @@ void ServerState::Publish() {
   auto snap = std::make_shared<ServingSnapshot>();
   snap->epoch = epoch_;
   snap->db = work_.db.Snapshot();
+  snap->base = base_facts_.Snapshot();
   snap->stats = work_.stats;
   snap->completeness = work_.completeness;
   snap->limit_tripped = work_.limit_tripped;
@@ -357,6 +371,7 @@ Json ServerState::HandlePing() {
 }
 
 Json ServerState::HandleQuery(const Json& request) {
+  if (request.At("atom").is_string()) return HandleDemandQuery(request);
   auto snap = Pin();
   const std::string pred_name = request.StrOr("pred", "");
   auto it = preds_.find(pred_name);
@@ -451,6 +466,92 @@ Json ServerState::HandleQuery(const Json& request) {
   return j;
 }
 
+Json ServerState::HandleDemandQuery(const Json& request) {
+  auto snap = Pin();
+  const std::string atom_text = request.StrOr("atom", "");
+  const std::string mode_name = request.StrOr("mode", "auto");
+  core::QueryOptions qopts;
+  if (mode_name == "auto") {
+    qopts.mode = core::QueryOptions::Mode::kAuto;
+  } else if (mode_name == "demand") {
+    qopts.mode = core::QueryOptions::Mode::kDemand;
+  } else if (mode_name == "full") {
+    qopts.mode = core::QueryOptions::Mode::kFull;
+  } else {
+    return ErrorResponse(
+        "query", Status::InvalidArgument(StrPrintf(
+                     "unknown mode '%s' (want auto, demand or full)",
+                     mode_name.c_str())));
+  }
+
+  // Answers are a pure function of (snapshot, atom, mode); requests with
+  // per-call limits are excluded (their truncation is request-specific).
+  const bool memoizable = request.At("limits").is_null();
+  const std::string memo_key = atom_text + "|" + mode_name;
+  if (memoizable) {
+    std::lock_guard<std::mutex> lk(memo_mu_);
+    if (memo_epoch_ == snap->epoch) {
+      auto it = demand_memo_.find(memo_key);
+      if (it != demand_memo_.end()) {
+        Json hit = it->second;
+        hit.Set("memo_hit", Json::Bool(true));
+        return hit;
+      }
+    }
+  }
+
+  // Parse under writer_mu_: the insert path may be implicitly declaring
+  // predicates on the Program concurrently, and the parser reads its
+  // declaration table. The critical section is the parse only — the
+  // evaluation below runs lock-free against the pinned snapshot.
+  StatusOr<datalog::Atom> atom = Status::Internal("unparsed");
+  {
+    std::lock_guard<std::mutex> lk(writer_mu_);
+    atom = datalog::ParseQueryAtom(*program_, atom_text);
+  }
+  if (!atom.ok()) return ErrorResponse("query", atom.status());
+
+  ResourceLimits limits = RequestResourceLimits(request);
+  qopts.limits = &limits;
+  auto result = engine_->Query(*atom, snap->base.ShareForRead(), qopts);
+  if (!result.ok()) return ErrorResponse("query", result.status());
+
+  Json rows = Json::Array();
+  for (const datalog::Fact& f : result->rows) {
+    Json row = Json::Object();
+    Json key_arr = Json::Array();
+    for (const Value& v : f.key) key_arr.Push(ValueToJson(v));
+    row.Set("key", std::move(key_arr));
+    if (f.cost.has_value()) row.Set("cost", ValueToJson(*f.cost));
+    rows.Push(std::move(row));
+  }
+
+  Json j = OkResponse("query", snap->epoch);
+  j.Set("pred", Json::Str(result->pred->name));
+  j.Set("mode", Json::Str(mode_name));
+  j.Set("adornment", Json::Str(result->adornment));
+  j.Set("used_demand", Json::Bool(result->used_demand));
+  if (!result->bailout_reason.empty()) {
+    j.Set("bailout_reason", Json::Str(result->bailout_reason));
+  }
+  if (result->cost_widened) j.Set("cost_widened", Json::Bool(true));
+  j.Set("row_count", Json::Int(static_cast<int64_t>(rows.arr.size())));
+  j.Set("rows", std::move(rows));
+  j.Set("stats", EvalStatsToJson(result->stats));
+  j.Set("completeness",
+        Json::Str(core::CompletenessName(result->completeness)));
+
+  if (memoizable && result->completeness == core::Completeness::kLeastModel) {
+    std::lock_guard<std::mutex> lk(memo_mu_);
+    if (memo_epoch_ != snap->epoch) {
+      demand_memo_.clear();
+      memo_epoch_ = snap->epoch;
+    }
+    demand_memo_[memo_key] = j;
+  }
+  return j;
+}
+
 Json ServerState::HandleInsert(const Json& request) {
   const Json& facts_field = request.At("facts");
   if (!facts_field.is_string()) {
@@ -532,6 +633,9 @@ Json ServerState::HandleInsert(const Json& request) {
   ++epoch_;
   cumulative_facts_.append(facts_field.str);
   cumulative_facts_.push_back('\n');
+  // ParseFacts already validated these against the declarations, so the
+  // merge into the demand base cannot fail.
+  for (const datalog::Fact& f : *facts) (void)base_facts_.AddFact(f);
   Publish();
   if (wal_ != nullptr) {
     MaybeCheckpoint(/*force=*/false);

@@ -52,6 +52,11 @@ namespace server {
 struct ServingSnapshot {
   int64_t epoch = 0;
   datalog::Database db;
+  /// The raw extensional facts behind `db` — program facts plus every
+  /// acknowledged insert, *before* materialization. Demand queries evaluate
+  /// their sliced cone from this (a materialized model cannot be fed back
+  /// into Engine::Query: IDB relations would mix base and derived rows).
+  datalog::Database base;
   core::EvalStats stats;  ///< cumulative: load run + every applied update
   core::Completeness completeness = core::Completeness::kLeastModel;
   LimitKind limit_tripped = LimitKind::kNone;
@@ -125,6 +130,13 @@ class ServerState {
 
   Json HandlePing();
   Json HandleQuery(const Json& request);
+  /// The demand-driven form of the query verb, taken when the request
+  /// carries an "atom" field: a point query in .mdl syntax (e.g.
+  /// "s(n0, Y, C)") answered by Engine::Query over the pinned snapshot's
+  /// base facts — the certified magic-sets slice when it applies, full cone
+  /// evaluation otherwise. "mode" selects "auto" (default), "demand"
+  /// (bail-out is an error) or "full" (the oracle).
+  Json HandleDemandQuery(const Json& request);
   Json HandleInsert(const Json& request);
   Json HandleDump();
   Json HandleStats();
@@ -172,6 +184,10 @@ class ServerState {
   /// all durability state below except the two health atomics.
   std::mutex writer_mu_;
   core::EvalResult work_;
+  /// Raw extensional facts (program facts + every acknowledged insert),
+  /// maintained alongside `work_` and snapshotted into each published
+  /// ServingSnapshot as the demand-query evaluation base.
+  datalog::Database base_facts_;
   int64_t epoch_ = 0;
   /// Set when an insert failed *after* merging began (increase-unsafe trip):
   /// the working set may be under-closed, so further inserts are refused
@@ -212,6 +228,15 @@ class ServerState {
 
   mutable std::mutex snap_mu_;
   std::shared_ptr<const ServingSnapshot> snapshot_;
+
+  /// Per-snapshot demand-query memo: responses keyed by "atom|mode", valid
+  /// only while memo_epoch_ matches the pinned snapshot's epoch (a publish
+  /// invalidates the table wholesale — the model only moves up in ⊑, so a
+  /// stale answer could under-report). Requests carrying per-call limits
+  /// bypass the memo: their truncation behaviour is request-specific.
+  mutable std::mutex memo_mu_;
+  mutable int64_t memo_epoch_ = -1;
+  mutable std::map<std::string, Json> demand_memo_;
 
   LatencyRecorder latency_;
 };

@@ -1,0 +1,337 @@
+// The demand differential gate: for every shipped example and a corpus of
+// randomized workloads, the demand-rewritten point-query answer is
+// byte-identical to the restriction of the full least model (computed
+// independently by full evaluation), serially and with 8 threads, including
+// models maintained through the incremental Update path — and point queries
+// over nontrivial instances do strictly fewer derivations than full
+// materialization.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/demand/demand.h"
+#include "core/engine.h"
+#include "datalog/database.h"
+#include "datalog/parser.h"
+#include "workloads/generators.h"
+#include "workloads/programs.h"
+#include "workloads/to_datalog.h"
+
+#ifndef MAD_SOURCE_DIR
+#define MAD_SOURCE_DIR "."
+#endif
+
+namespace mad {
+namespace {
+
+using core::Engine;
+using core::EvalOptions;
+using core::QueryOptions;
+using core::QueryResult;
+using datalog::Atom;
+using datalog::Database;
+using datalog::Fact;
+using datalog::Program;
+using datalog::Term;
+using datalog::Value;
+
+Program MustParse(std::string_view text) {
+  auto p = datalog::ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status();
+  return std::move(p).value();
+}
+
+EvalOptions Opts(int threads) {
+  EvalOptions o;
+  o.num_threads = threads;
+  return o;
+}
+
+QueryOptions Mode(QueryOptions::Mode m) {
+  QueryOptions q;
+  q.mode = m;
+  return q;
+}
+
+/// Candidate query atoms for `program`: its declared .query directives plus,
+/// for every head predicate with at least one key column, atoms binding the
+/// first key column to (up to two) values drawn from the full model. The
+/// synthesized atoms keep every other column free.
+std::vector<Atom> CandidateQueries(const Program& program,
+                                   const Database& full_model) {
+  std::vector<Atom> out = program.queries();
+  for (const datalog::PredicateInfo* pred : program.HeadPredicates()) {
+    if (pred->key_arity() < 1) continue;
+    const datalog::Relation* rel = full_model.Find(pred);
+    if (rel == nullptr || rel->empty()) continue;
+    std::set<Value> firsts;
+    rel->ForEach([&](const datalog::Tuple& key, const Value&) {
+      if (firsts.size() < 2) firsts.insert(key[0]);
+    });
+    for (const Value& v : firsts) {
+      Atom a;
+      a.pred = pred;
+      a.args.push_back(Term::Const(v));
+      for (int i = 1; i < pred->arity; ++i) {
+        a.args.push_back(Term::Var("Q" + std::to_string(i)));
+      }
+      out.push_back(std::move(a));
+    }
+  }
+  return out;
+}
+
+/// The differential check proper: for every candidate query, the kAuto
+/// answer (demand rewrite when it certifies, full fallback otherwise) must
+/// be byte-identical to the kFull oracle — an independently computed
+/// restriction of the full least model. Returns the number of queries for
+/// which the demand path was actually taken.
+int CheckQueriesAgainstOracle(const Program& program, const Database& edb,
+                              const EvalOptions& opts,
+                              const std::string& label) {
+  Engine engine(program, opts);
+  auto full = engine.Run(edb.ShareForRead());
+  EXPECT_TRUE(full.ok()) << label << ": " << full.status();
+  if (!full.ok()) return 0;
+
+  int demanded = 0;
+  for (const Atom& q : CandidateQueries(program, full->db)) {
+    auto oracle =
+        engine.Query(q, edb.ShareForRead(), Mode(QueryOptions::Mode::kFull));
+    EXPECT_TRUE(oracle.ok()) << label << " " << q.ToString() << ": "
+                             << oracle.status();
+    auto answer =
+        engine.Query(q, edb.ShareForRead(), Mode(QueryOptions::Mode::kAuto));
+    EXPECT_TRUE(answer.ok()) << label << " " << q.ToString() << ": "
+                             << answer.status();
+    if (!oracle.ok() || !answer.ok()) continue;
+    EXPECT_EQ(answer->ToString(), oracle->ToString())
+        << label << ": demanded slice diverges for " << q.ToString()
+        << (answer->used_demand ? " (demand path)" : " (full fallback)");
+    if (answer->used_demand) ++demanded;
+  }
+  return demanded;
+}
+
+// ---------------------------------------------------------------------------
+// Every shipped example
+// ---------------------------------------------------------------------------
+
+TEST(DemandDifferentialTest, ExamplesMatchOracleSerialAndParallel) {
+  std::string dir = std::string(MAD_SOURCE_DIR) + "/examples";
+  int files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".mdl") continue;
+    std::ifstream in(entry.path());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = datalog::ParseProgram(buffer.str());
+    ASSERT_TRUE(parsed.ok()) << entry.path() << ": " << parsed.status();
+    ++files;
+    for (int threads : {1, 8}) {
+      CheckQueriesAgainstOracle(
+          *parsed, Database(), Opts(threads),
+          entry.path().filename().string() + " x" + std::to_string(threads));
+    }
+  }
+  EXPECT_GE(files, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized workloads (50 instances across four program families)
+// ---------------------------------------------------------------------------
+
+TEST(DemandDifferentialTest, RandomGraphsMatchOracle) {
+  Program program = MustParse(workloads::kShortestPathProgram);
+  int demanded = 0;
+  for (int i = 0; i < 20; ++i) {
+    Random rng(9000 + i);
+    workloads::Graph g;
+    switch (i % 4) {
+      case 0:
+        g = workloads::RandomGraph(24, 90, {1.0, 10.0}, &rng);
+        break;
+      case 1:
+        g = workloads::GridGraph(6, 5, {1.0, 10.0}, &rng);
+        break;
+      case 2:
+        g = workloads::CycleGraph(18, 6, {1.0, 10.0}, &rng);
+        break;
+      default:
+        g = workloads::LayeredDag(5, 5, 3, {1.0, 10.0}, &rng);
+        break;
+    }
+    Database edb;
+    ASSERT_TRUE(workloads::AddGraphFacts(program, g, &edb).ok());
+    int threads = (i % 2 == 0) ? 1 : 8;
+    demanded += CheckQueriesAgainstOracle(program, edb, Opts(threads),
+                                          "graph seed " + std::to_string(i));
+  }
+  EXPECT_GT(demanded, 0) << "the demand path never engaged";
+}
+
+TEST(DemandDifferentialTest, RandomOwnershipMatchesOracle) {
+  Program program = MustParse(workloads::kCompanyControlProgram);
+  int demanded = 0;
+  for (int i = 0; i < 12; ++i) {
+    Random rng(9100 + i);
+    workloads::OwnershipNetwork net =
+        workloads::RandomOwnership(20 + i, 3, 0.4, &rng);
+    Database edb;
+    ASSERT_TRUE(workloads::AddOwnershipFacts(program, net, &edb).ok());
+    int threads = (i % 2 == 0) ? 1 : 8;
+    demanded += CheckQueriesAgainstOracle(program, edb, Opts(threads),
+                                          "ownership seed " + std::to_string(i));
+  }
+  EXPECT_GT(demanded, 0);
+}
+
+TEST(DemandDifferentialTest, RandomCircuitsMatchOracle) {
+  Program program = MustParse(workloads::kCircuitProgram);
+  for (int i = 0; i < 9; ++i) {
+    Random rng(9200 + i);
+    workloads::Circuit c = workloads::RandomCircuit(5, 20, 3, 0.2, &rng);
+    Database edb;
+    ASSERT_TRUE(workloads::AddCircuitFacts(program, c, &edb).ok());
+    int threads = (i % 2 == 0) ? 1 : 8;
+    CheckQueriesAgainstOracle(program, edb, Opts(threads),
+                              "circuit seed " + std::to_string(i));
+  }
+}
+
+TEST(DemandDifferentialTest, RandomPartiesMatchOracle) {
+  Program program = MustParse(workloads::kPartyProgram);
+  for (int i = 0; i < 9; ++i) {
+    Random rng(9300 + i);
+    workloads::PartyInstance p = workloads::RandomParty(24, 4.0, 3, 0.5, &rng);
+    Database edb;
+    ASSERT_TRUE(workloads::AddPartyFacts(program, p, &edb).ok());
+    int threads = (i % 2 == 0) ? 1 : 8;
+    CheckQueriesAgainstOracle(program, edb, Opts(threads),
+                              "party seed " + std::to_string(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental Update path
+// ---------------------------------------------------------------------------
+
+/// The full model's restriction rendered exactly like QueryResult::ToString.
+std::string RestrictionOf(const Database& db,
+                          const datalog::PredicateInfo* pred,
+                          const Value& first_key) {
+  std::vector<std::string> lines;
+  const datalog::Relation* rel = db.Find(pred);
+  if (rel != nullptr) {
+    rel->ForEach([&](const datalog::Tuple& key, const Value& cost) {
+      if (!(key[0] == first_key)) return;
+      Fact f;
+      f.pred = pred;
+      f.key = key;
+      if (pred->has_cost) f.cost = cost;
+      lines.push_back(f.ToString());
+    });
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(DemandDifferentialTest, UpdateMaintainedModelMatchesDemandSlice) {
+  Program program = MustParse(workloads::kShortestPathProgram);
+  const datalog::PredicateInfo* arc = program.FindPredicate("arc");
+  const datalog::PredicateInfo* s = program.FindPredicate("s");
+  ASSERT_NE(arc, nullptr);
+  ASSERT_NE(s, nullptr);
+
+  for (int seed = 0; seed < 4; ++seed) {
+    Random rng(9400 + seed);
+    workloads::Graph g = workloads::RandomGraph(30, 140, {1.0, 10.0}, &rng);
+
+    // Split the arcs: two thirds as the initial EDB, the rest arriving as
+    // incremental inserts.
+    std::vector<Fact> initial;
+    std::vector<Fact> extra;
+    int n = 0;
+    for (int u = 0; u < g.num_nodes; ++u) {
+      for (const auto& e : g.adj[u]) {
+        Fact f;
+        f.pred = arc;
+        f.key = {Value::Symbol(baselines::Graph::NodeName(u)),
+                 Value::Symbol(baselines::Graph::NodeName(e.to))};
+        f.cost = Value::Real(e.weight);
+        (n++ % 3 == 2 ? extra : initial).push_back(std::move(f));
+      }
+    }
+
+    int threads = (seed % 2 == 0) ? 1 : 8;
+    Engine engine(program, Opts(threads));
+
+    // Full path: initial Run, then the incremental Update closure.
+    Database initial_edb;
+    for (const Fact& f : initial) ASSERT_TRUE(initial_edb.AddFact(f).ok());
+    auto maintained = engine.Run(std::move(initial_edb));
+    ASSERT_TRUE(maintained.ok()) << maintained.status();
+    auto delta = engine.Update(&*maintained, extra);
+    ASSERT_TRUE(delta.ok()) << delta.status();
+
+    // Demand path: a point query over the post-insert EDB.
+    Database all_edb;
+    for (const Fact& f : initial) ASSERT_TRUE(all_edb.AddFact(f).ok());
+    for (const Fact& f : extra) ASSERT_TRUE(all_edb.AddFact(f).ok());
+    Atom q;
+    q.pred = s;
+    q.args = {Term::Const(Value::Symbol("n0")), Term::Var("Y"),
+              Term::Var("C")};
+    auto answer = engine.Query(q, std::move(all_edb),
+                               Mode(QueryOptions::Mode::kDemand));
+    ASSERT_TRUE(answer.ok()) << answer.status();
+    EXPECT_TRUE(answer->used_demand);
+    EXPECT_EQ(answer->ToString(),
+              RestrictionOf(maintained->db, s, Value::Symbol("n0")))
+        << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Point queries do strictly less work
+// ---------------------------------------------------------------------------
+
+TEST(DemandDifferentialTest, PointQueriesDeriveStrictlyLess) {
+  Program program = MustParse(workloads::kShortestPathProgram);
+  const datalog::PredicateInfo* s = program.FindPredicate("s");
+  for (int seed = 0; seed < 3; ++seed) {
+    Random rng(9500 + seed);
+    workloads::Graph g = workloads::RandomGraph(60, 240, {1.0, 10.0}, &rng);
+    Database edb;
+    ASSERT_TRUE(workloads::AddGraphFacts(program, g, &edb).ok());
+    Engine engine(program, Opts(1));
+    Atom q;
+    q.pred = s;
+    q.args = {Term::Const(Value::Symbol("n0")), Term::Var("Y"),
+              Term::Var("C")};
+    auto full =
+        engine.Query(q, edb.ShareForRead(), Mode(QueryOptions::Mode::kFull));
+    ASSERT_TRUE(full.ok()) << full.status();
+    auto sliced =
+        engine.Query(q, edb.ShareForRead(), Mode(QueryOptions::Mode::kDemand));
+    ASSERT_TRUE(sliced.ok()) << sliced.status();
+    EXPECT_TRUE(sliced->used_demand);
+    EXPECT_EQ(sliced->ToString(), full->ToString());
+    EXPECT_LT(sliced->stats.derivations, full->stats.derivations)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mad

@@ -44,9 +44,9 @@ DiagnosticList SampleList() {
 
 // --- Registry ---------------------------------------------------------------
 
-TEST(LintRegistryTest, TwentyFourRulesWithUniqueStableIds) {
+TEST(LintRegistryTest, TwentySevenRulesWithUniqueStableIds) {
   const auto& rules = AllLintRules();
-  EXPECT_EQ(rules.size(), 24u);
+  EXPECT_EQ(rules.size(), 27u);
   std::set<std::string> codes, ids;
   for (const LintRuleDesc& r : rules) {
     codes.insert(r.code);

@@ -102,6 +102,8 @@ TEST(LintRegistryTest, StaticPlanningRulesAreRegisteredNonError) {
       {"MAD019", Severity::kWarning}, {"MAD020", Severity::kWarning},
       {"MAD021", Severity::kWarning}, {"MAD022", Severity::kWarning},
       {"MAD023", Severity::kNote},    {"MAD024", Severity::kWarning},
+      {"MAD025", Severity::kWarning}, {"MAD026", Severity::kNote},
+      {"MAD027", Severity::kWarning},
   };
   for (const auto& w : kWant) {
     const LintRuleDesc* desc = FindLintRule(w.code);
@@ -114,7 +116,8 @@ TEST(LintRegistryTest, StaticPlanningRulesAreRegisteredNonError) {
 INSTANTIATE_TEST_SUITE_P(AllGoldens, LintGoldenTest,
                          ::testing::Values("ok", "bad_range", "bad_cost",
                                            "bad_conflict", "bad_recursion",
-                                           "hygiene", "bad_types", "planning"),
+                                           "hygiene", "bad_types", "planning",
+                                           "demand", "bad_demand"),
                          [](const ::testing::TestParamInfo<const char*>& info) {
                            return std::string(info.param);
                          });

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "analysis/checker.h"
+#include "analysis/demand/demand.h"
 #include "analysis/lint/passes.h"
 #include "datalog/parser.h"
 #include "workloads/programs.h"
@@ -397,6 +398,48 @@ mix(X, Y) :- m1(X, C), m2(Y, C).
     }
   }
   EXPECT_GE(ids.size(), 10u) << "distinct rule IDs seen: " << ids.size();
+}
+
+// --- Magic predicates under the emptiness passes ----------------------------
+
+// Regression: a demand-rewritten program's magic predicates have no facts in
+// the program text (their seeds arrive at query time), so the emptiness
+// passes (MAD011 unreachable-rule, MAD021 transitively-empty, MAD024 empty
+// aggregate input) must treat them as potentially non-empty instead of
+// flagging every guarded rule copy as dead.
+TEST(MagicPredicateTest, RewrittenProgramHasNoFalseEmptinessFindings) {
+  // Inline facts so the only fact-less predicates in the rewritten program
+  // are the magic ones (the workloads corpus keeps its EDB in generators,
+  // which would trip the emptiness passes for unrelated reasons).
+  auto program = ParseProgram(R"(
+.decl arc(from, to, c: min_real)
+.decl path(from, mid, to, c: min_real)
+.decl s(from, to, c: min_real)
+.constraint arc(direct, Z, C).
+
+path(X, direct, Y, C) :- arc(X, Y, C).
+path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+
+arc(a, b, 1).
+arc(b, c, 2).
+)");
+  ASSERT_TRUE(program.ok()) << program.status();
+  DependencyGraph graph(*program);
+  demand::DemandPattern pattern{program->FindPredicate("s"), "bf"};
+  demand::DemandRewrite rw =
+      demand::RewriteForPattern(*program, graph, pattern);
+  ASSERT_TRUE(rw.ok) << rw.bailout_reason;
+
+  DependencyGraph rewritten_graph(rw.rewritten);
+  LintContext ctx;
+  ctx.program = &rw.rewritten;
+  ctx.graph = &rewritten_graph;
+  ctx.file = "<demand-rewrite>";
+  DiagnosticList diags = MakeDefaultPassManager().Run(ctx);
+  EXPECT_EQ(CountRule(diags, "MAD011"), 0) << diags.RenderText();
+  EXPECT_EQ(CountRule(diags, "MAD021"), 0) << diags.RenderText();
+  EXPECT_EQ(CountRule(diags, "MAD024"), 0) << diags.RenderText();
 }
 
 // --- Equivalence with the evaluator's decision ------------------------------

@@ -133,6 +133,109 @@ TEST(ServerStateTest, InsertAdvancesEpochAndModel) {
   EXPECT_EQ(qr.IntOr("epoch", -1), 1);
 }
 
+TEST(ServerStateTest, DemandQueryAnswersPointLookups) {
+  auto state = MustLoad(kShortestPath);
+
+  // Point query via the atom form: shortest paths out of a.
+  Json q = Request("query");
+  q.Set("atom", Json::Str("s(a, Y, C)"));
+  Json r = state->Handle(q);
+  ASSERT_TRUE(r.At("ok").boolean) << r.Dump();
+  EXPECT_EQ(r.At("pred").str, "s");
+  EXPECT_EQ(r.At("adornment").str, "bf");
+  EXPECT_TRUE(r.At("used_demand").boolean) << r.Dump();
+  EXPECT_EQ(r.IntOr("row_count", -1), 2);  // a->b (1), a->c (3)
+  EXPECT_EQ(r.At("completeness").str, "least-model");
+
+  // The demanded slice must agree with the scan form of the same lookup.
+  Json scan = Request("query");
+  scan.Set("pred", Json::Str("s"));
+  Json key = Json::Array();
+  key.Push(Json::Str("a"));
+  key.Push(Json::Null());
+  scan.Set("key", std::move(key));
+  Json sr = state->Handle(scan);
+  ASSERT_TRUE(sr.At("ok").boolean);
+  EXPECT_EQ(sr.IntOr("row_count", -1), r.IntOr("row_count", -2));
+
+  // Explicit modes: "full" is the oracle, "demand" must not bail out here.
+  for (const char* mode : {"demand", "full"}) {
+    Json m = Request("query");
+    m.Set("atom", Json::Str("s(a, Y, C)"));
+    m.Set("mode", Json::Str(mode));
+    Json mr = state->Handle(m);
+    ASSERT_TRUE(mr.At("ok").boolean) << mode << ": " << mr.Dump();
+    EXPECT_EQ(mr.IntOr("row_count", -1), 2) << mode;
+  }
+
+  // A bound cost column widens: keys stay bound, cost is post-filtered.
+  Json cost = Request("query");
+  cost.Set("atom", Json::Str("s(a, c, 3.0)"));
+  Json cr = state->Handle(cost);
+  ASSERT_TRUE(cr.At("ok").boolean) << cr.Dump();
+  EXPECT_TRUE(cr.At("cost_widened").boolean) << cr.Dump();
+  EXPECT_EQ(cr.IntOr("row_count", -1), 1);
+  EXPECT_DOUBLE_EQ(cr.At("rows").arr[0].At("cost").AsDouble(), 3.0);
+}
+
+TEST(ServerStateTest, DemandQueryMemoizesPerSnapshot) {
+  auto state = MustLoad(kShortestPath);
+  Json q = Request("query");
+  q.Set("atom", Json::Str("s(a, Y, C)"));
+
+  Json first = state->Handle(q);
+  ASSERT_TRUE(first.At("ok").boolean) << first.Dump();
+  EXPECT_TRUE(first.At("memo_hit").is_null());
+
+  Json second = state->Handle(q);
+  ASSERT_TRUE(second.At("ok").boolean);
+  EXPECT_TRUE(second.At("memo_hit").boolean) << second.Dump();
+  EXPECT_EQ(second.IntOr("row_count", -1), first.IntOr("row_count", -2));
+
+  // An insert publishes a new epoch; the memo must invalidate wholesale.
+  Json ins = Request("insert");
+  ins.Set("facts", Json::Str("arc(a, d, 1)."));
+  ASSERT_TRUE(state->Handle(ins).At("ok").boolean);
+
+  Json third = state->Handle(q);
+  ASSERT_TRUE(third.At("ok").boolean) << third.Dump();
+  EXPECT_TRUE(third.At("memo_hit").is_null());
+  EXPECT_EQ(third.IntOr("row_count", -1), 3);  // a->b, a->c, a->d
+  EXPECT_EQ(third.IntOr("epoch", -1), 1);
+
+  // Requests with per-call limits bypass the memo entirely.
+  Json lim = Request("query");
+  lim.Set("atom", Json::Str("s(a, Y, C)"));
+  Json limits = Json::Object();
+  limits.Set("deadline_ms", Json::Int(60000));
+  lim.Set("limits", std::move(limits));
+  Json lr = state->Handle(lim);
+  ASSERT_TRUE(lr.At("ok").boolean);
+  EXPECT_TRUE(lr.At("memo_hit").is_null());
+  Json lr2 = state->Handle(lim);
+  ASSERT_TRUE(lr2.At("ok").boolean);
+  EXPECT_TRUE(lr2.At("memo_hit").is_null());
+}
+
+TEST(ServerStateTest, DemandQueryErrorsAreResponses) {
+  auto state = MustLoad(kShortestPath);
+
+  Json bad_atom = Request("query");
+  bad_atom.Set("atom", Json::Str("s(a, Y"));
+  EXPECT_FALSE(state->Handle(bad_atom).At("ok").boolean);
+
+  Json undeclared = Request("query");
+  undeclared.Set("atom", Json::Str("nope(X)"));
+  EXPECT_FALSE(state->Handle(undeclared).At("ok").boolean);
+
+  Json bad_mode = Request("query");
+  bad_mode.Set("atom", Json::Str("s(a, Y, C)"));
+  bad_mode.Set("mode", Json::Str("psychic"));
+  Json bm = state->Handle(bad_mode);
+  EXPECT_FALSE(bm.At("ok").boolean);
+  EXPECT_EQ(bm.At("error").At("code").str, "InvalidArgument");
+}
+
 TEST(ServerStateTest, ErrorsAreResponsesNotCrashes) {
   auto state = MustLoad(kShortestPath);
 
