@@ -104,6 +104,12 @@ class JsonSidecarReporter : public benchmark::ConsoleReporter {
       if (p95 != run.counters.end()) rec.p95_ns = p95->second.value;
       auto p99 = run.counters.find("p99_ns");
       if (p99 != run.counters.end()) rec.p99_ns = p99->second.value;
+      // Replication fan-out, for replica-sweep benchmarks
+      // (bench_replication): omitted from the sidecar when unset.
+      auto replicas = run.counters.find("num_replicas");
+      if (replicas != run.counters.end()) {
+        rec.num_replicas = static_cast<int>(replicas->second.value);
+      }
       records_.push_back(std::move(rec));
     }
   }
@@ -138,6 +144,9 @@ class JsonSidecarReporter : public benchmark::ConsoleReporter {
             ", \"p50_ns\": %.1f, \"p95_ns\": %.1f, \"p99_ns\": %.1f",
             r.p50_ns, r.p95_ns, r.p99_ns);
       }
+      if (r.num_replicas >= 0) {
+        out << ", \"num_replicas\": " << r.num_replicas;
+      }
       out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
@@ -155,6 +164,8 @@ class JsonSidecarReporter : public benchmark::ConsoleReporter {
     double p50_ns = -1;
     double p95_ns = -1;
     double p99_ns = -1;
+    /// Replica fan-out for replication benchmarks; negative = not recorded.
+    int num_replicas = -1;
   };
 
   /// Strips a trailing "/t<digits>" thread-count component, if present.

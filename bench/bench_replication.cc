@@ -1,0 +1,210 @@
+// Replication benchmarks: acknowledgment-to-replica lag (the time from an
+// insert ack on the primary until every replica has applied that epoch) and
+// fleet read throughput, each swept over 1/2/4 replicas. Per-op lag samples
+// feed the p50/p95/p99 sidecar fields; the replica fan-out lands in the
+// sidecar's num_replicas field so the scaling curves survive archiving.
+//
+// The replicas are in-process ServerStates driven by real Replicator pumps
+// over real loopback TCP against a real durable primary — the wire, the
+// frame protocol, and the apply path are all in the measured loop; only the
+// client connection of a production deployment is elided.
+//
+// Run:
+//   ./build/bench/bench_replication
+// Results also land in BENCH_bench_replication.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "server/replication/replicator.h"
+#include "server/server.h"
+#include "server/state.h"
+
+namespace mad {
+namespace bench {
+namespace {
+
+using server::Json;
+using server::Replicator;
+using server::Server;
+using server::ServerState;
+
+constexpr const char* kShortestPath = R"(
+.decl arc(from, to, c: min_real)
+.decl path(from, mid, to, c: min_real)
+.decl s(from, to, c: min_real)
+.constraint arc(direct, Z, C).
+
+path(X, direct, Y, C) :- arc(X, Y, C).
+path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+
+arc(a, b, 1).
+arc(b, c, 2).
+)";
+
+std::string TempDir() {
+  std::string tmpl = "/tmp/mad_bench_repl_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  if (made == nullptr) std::abort();
+  return tmpl;
+}
+
+/// Sorted-sample percentile in nanoseconds.
+double Percentile(std::vector<double>* samples, double p) {
+  if (samples->empty()) return 0;
+  std::sort(samples->begin(), samples->end());
+  size_t idx =
+      static_cast<size_t>(p * static_cast<double>(samples->size() - 1));
+  return (*samples)[idx];
+}
+
+std::string Batch(int i) {
+  return "arc(n" + std::to_string(i % 23) + ", n" +
+         std::to_string((i + 1) % 29) + ", " + std::to_string(1 + i % 5) +
+         ").";
+}
+
+Json InsertRequest(const std::string& facts) {
+  Json j = Json::Object();
+  j.Set("verb", Json::Str("insert"));
+  j.Set("facts", Json::Str(facts));
+  return j;
+}
+
+/// A primary (durable, fsync off so the pipe — not the disk — is measured)
+/// plus N pump-driven replicas, torn down in reverse order.
+struct Fleet {
+  std::unique_ptr<Server> primary;
+  std::vector<std::unique_ptr<ServerState>> replicas;
+  std::vector<std::unique_ptr<Replicator>> pumps;
+
+  Fleet() = default;
+  Fleet(Fleet&&) = default;
+  Fleet& operator=(Fleet&&) = default;
+  ~Fleet() {
+    for (auto& pump : pumps) pump->Stop();
+  }
+};
+
+Fleet StartFleet(int num_replicas) {
+  Fleet fleet;
+  ServerState::LoadOptions options;
+  options.durability.data_dir = TempDir();
+  options.durability.fsync = server::FsyncPolicy::kNever;
+  options.durability.checkpoint_every_epochs = 0;
+  options.durability.checkpoint_every_bytes = 0;
+  auto state = ServerState::Load(kShortestPath, std::move(options));
+  if (!state.ok()) std::abort();
+  auto srv = Server::Start(std::move(*state), {});
+  if (!srv.ok()) std::abort();
+  fleet.primary = std::move(*srv);
+
+  for (int r = 0; r < num_replicas; ++r) {
+    ServerState::LoadOptions ropts;
+    ropts.replica.enabled = true;
+    ropts.replica.primary_host = "127.0.0.1";
+    ropts.replica.primary_port = fleet.primary->port();
+    auto replica = ServerState::Load(kShortestPath, std::move(ropts));
+    if (!replica.ok()) std::abort();
+    fleet.replicas.push_back(std::move(*replica));
+
+    Replicator::Options popts;
+    popts.primary_host = "127.0.0.1";
+    popts.primary_port = fleet.primary->port();
+    popts.program_text = kShortestPath;
+    popts.poll_wait_ms = 500;  // long-poll: the primary wakes it per insert
+    popts.seed = 1 + static_cast<uint64_t>(r);
+    fleet.pumps.push_back(
+        std::make_unique<Replicator>(fleet.replicas.back().get(), popts));
+    fleet.pumps.back()->Start();
+  }
+  return fleet;
+}
+
+/// Ack-to-applied lag: one insert per iteration, then wait until every
+/// replica has published that epoch. The sample is the wait alone — the
+/// primary's own evaluation cost is excluded.
+void BM_ReplicationLag(benchmark::State& state) {
+  const int num_replicas = static_cast<int>(state.range(0));
+  Fleet fleet = StartFleet(num_replicas);
+  std::vector<double> samples;
+  int i = 0;
+  for (auto _ : state) {
+    Json ack = fleet.primary->state().Handle(InsertRequest(Batch(i++)));
+    if (!ack.At("ok").boolean) std::abort();
+    const int64_t token = ack.IntOr("epoch", 0);
+    auto t0 = std::chrono::steady_clock::now();
+    for (auto& replica : fleet.replicas) {
+      if (!replica->WaitForEpoch(token, std::chrono::seconds(30))) {
+        std::abort();
+      }
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::nano>(t1 - t0).count());
+  }
+  state.counters["p50_ns"] = Percentile(&samples, 0.50);
+  state.counters["p95_ns"] = Percentile(&samples, 0.95);
+  state.counters["p99_ns"] = Percentile(&samples, 0.99);
+  state.counters["num_replicas"] = num_replicas;
+}
+BENCHMARK(BM_ReplicationLag)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Fleet read throughput: a caught-up fleet, one reader thread pinned per
+/// replica, each hammering full-scan queries. items/s is total fleet reads.
+void BM_ReplicaReadThroughput(benchmark::State& state) {
+  const int num_replicas = static_cast<int>(state.range(0));
+  Fleet fleet = StartFleet(num_replicas);
+  for (int i = 0; i < 32; ++i) {
+    Json ack = fleet.primary->state().Handle(InsertRequest(Batch(i)));
+    if (!ack.At("ok").boolean) std::abort();
+  }
+  const int64_t head = fleet.primary->state().epoch();
+  for (auto& replica : fleet.replicas) {
+    if (!replica->WaitForEpoch(head, std::chrono::seconds(30))) std::abort();
+  }
+
+  constexpr int kReadsPerReplica = 64;
+  Json query = Json::Object();
+  query.Set("verb", Json::Str("query"));
+  query.Set("pred", Json::Str("s"));
+  for (auto _ : state) {
+    std::vector<std::thread> readers;
+    readers.reserve(fleet.replicas.size());
+    for (auto& replica : fleet.replicas) {
+      readers.emplace_back([&replica, &query] {
+        for (int i = 0; i < kReadsPerReplica; ++i) {
+          Json response = replica->Handle(query);
+          if (!response.At("ok").boolean) std::abort();
+          benchmark::DoNotOptimize(response.obj.size());
+        }
+      });
+    }
+    for (std::thread& t : readers) t.join();
+  }
+  state.SetItemsProcessed(state.iterations() * kReadsPerReplica *
+                          num_replicas);
+  state.counters["num_replicas"] = num_replicas;
+}
+BENCHMARK(BM_ReplicaReadThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mad
+
+int main(int argc, char** argv) { return mad::bench::RunBenchmarks(argc, argv); }

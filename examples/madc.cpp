@@ -1,7 +1,8 @@
 // madc — command-line client for a running madd.
 //
 // Usage:
-//   madc [--host=A] [--port=N] [--retries=N] <verb> [args]
+//   madc [--host=A] [--port=N] [--retries=N] [--endpoint=H:P ...]
+//        [--min-epoch=N] <verb> [args]
 //
 // Verbs:
 //   ping
@@ -27,6 +28,20 @@
 // exponential backoff — safe because madd's inserts are idempotent lattice
 // joins. Non-transient errors never retry.
 //
+// Replication-aware routing:
+//   --endpoint=H:P           repeatable; the fleet to route over. Reads try
+//                            each endpoint in order and fail over on
+//                            transport errors or replica lag; writes do the
+//                            same but additionally follow the kNotPrimary
+//                            redirect a replica answers with, so pointing
+//                            madc at any node of the fleet works.
+//   --min-epoch=N            read-your-writes: attach the epoch token an
+//                            insert acknowledgment returned. A replica
+//                            holds the read until it has applied that epoch
+//                            (bounded by --min-epoch-wait-ms) and answers
+//                            ReplicaLagging rather than stale.
+//   --min-epoch-wait-ms=N    per-endpoint lag deadline (server default 2s).
+//
 // The raw JSON response prints on stdout. Exit codes:
 //   0  server answered ok:true
 //   1  server answered ok:false (application error; see "error" in the JSON)
@@ -39,6 +54,7 @@
 //   echo 'edge(a, b, 3.0).' | madc --retries=5 insert -
 
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -51,13 +67,33 @@ namespace {
 
 int Usage() {
   std::cerr << "usage: madc [--host=A] [--port=N] [--retries=N] "
-               "[--mode=auto|demand|full] "
+               "[--mode=auto|demand|full]\n"
+               "            [--endpoint=H:P ...] [--min-epoch=N] "
+               "[--min-epoch-wait-ms=N]\n"
+               "            "
                "ping|query|insert|dump|stats|sync|recover|shutdown [args]\n"
                "       madc query PRED [ARG|_ ...]\n"
                "       madc query 's(a, Y, C)'\n"
                "       madc insert 'fact(a, 1).' | madc insert -\n"
                "       madc sync [checkpoint]\n";
   return 2;
+}
+
+struct Endpoint {
+  std::string host;
+  int port = 0;
+};
+
+bool ParseEndpoint(const std::string& text, Endpoint* out) {
+  const size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  out->host = text.substr(0, colon);
+  try {
+    out->port = static_cast<int>(std::stol(text.substr(colon + 1)));
+  } catch (...) {
+    return false;
+  }
+  return out->port > 0 && out->port <= 65535;
 }
 
 /// CLI argument -> JSON request value, mirroring the server's JsonToValue
@@ -86,7 +122,10 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 7407;
   int retries = 1;
+  int64_t min_epoch = 0;
+  int64_t min_epoch_wait_ms = -1;
   std::string mode;
+  std::vector<Endpoint> endpoints;
   std::vector<std::string> rest;
 
   for (int i = 1; i < argc; ++i) {
@@ -98,6 +137,16 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--retries=", 0) == 0) {
       retries = static_cast<int>(std::stol(arg.substr(10)));
       if (retries < 1) return Usage();
+    } else if (arg.rfind("--endpoint=", 0) == 0) {
+      Endpoint ep;
+      if (!ParseEndpoint(arg.substr(11), &ep)) return Usage();
+      endpoints.push_back(ep);
+    } else if (arg.rfind("--min-epoch=", 0) == 0) {
+      min_epoch = std::stoll(arg.substr(12));
+      if (min_epoch < 0) return Usage();
+    } else if (arg.rfind("--min-epoch-wait-ms=", 0) == 0) {
+      min_epoch_wait_ms = std::stoll(arg.substr(20));
+      if (min_epoch_wait_ms < 0) return Usage();
     } else if (arg.rfind("--mode=", 0) == 0) {
       mode = arg.substr(7);
       if (mode != "auto" && mode != "demand" && mode != "full") {
@@ -152,19 +201,63 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
+  const bool is_read =
+      verb == "ping" || verb == "query" || verb == "dump" || verb == "stats";
+  if (min_epoch > 0) {
+    request.Set("min_epoch", server::Json::Int(min_epoch));
+    if (min_epoch_wait_ms >= 0) {
+      request.Set("min_epoch_wait_ms", server::Json::Int(min_epoch_wait_ms));
+    }
+  }
+  if (endpoints.empty()) endpoints.push_back(Endpoint{host, port});
+
   server::RetryOptions retry;
   retry.max_attempts = retries;
 
-  auto client = server::Client::ConnectWithRetry(host, port, retry);
-  if (!client.ok()) {
-    std::cerr << "madc: " << client.status() << "\n";
-    return client.status().code() == StatusCode::kUnavailable ? 3 : 4;
+  // Route over the fleet: reads take the first endpoint that answers without
+  // transport failure or replica lag; writes do the same but also follow the
+  // kNotPrimary redirect a replica responds with. The last response (or
+  // error) wins if every endpoint falls short.
+  Status last_error;
+  std::optional<server::Json> last_response;
+  for (size_t e = 0; e < endpoints.size(); ++e) {
+    Endpoint target = endpoints[e];
+    // A redirect chain longer than the fleet means misconfiguration.
+    for (size_t hops = 0; hops <= endpoints.size(); ++hops) {
+      auto client = server::Client::ConnectWithRetry(target.host, target.port,
+                                                     retry);
+      if (!client.ok()) {
+        last_error = client.status();
+        break;  // next endpoint
+      }
+      auto response = client->CallWithRetry(request, retry);
+      if (!response.ok()) {
+        last_error = response.status();
+        break;  // next endpoint
+      }
+      last_error = Status::OK();
+      last_response = *response;
+      const std::string code = response->At("error").StrOr("code", "");
+      if (!is_read && code == "NotPrimary" &&
+          response->At("redirect").is_object()) {
+        const server::Json& redirect = response->At("redirect");
+        target.host = redirect.StrOr("host", target.host);
+        target.port = static_cast<int>(redirect.IntOr("port", target.port));
+        continue;  // re-send at the primary
+      }
+      if (is_read && code == "ReplicaLagging" && e + 1 < endpoints.size()) {
+        break;  // this replica is behind the token; try the next endpoint
+      }
+      std::cout << response->Dump() << "\n";
+      return response->At("ok").boolean ? 0 : 1;
+    }
   }
-  auto response = client->CallWithRetry(request, retry);
-  if (!response.ok()) {
-    std::cerr << "madc: " << response.status() << "\n";
-    return response.status().code() == StatusCode::kUnavailable ? 3 : 4;
+  if (last_response.has_value()) {
+    // Every endpoint answered but none satisfied the request (all lagging,
+    // or a redirect loop): report the final answer as an application error.
+    std::cout << last_response->Dump() << "\n";
+    return 1;
   }
-  std::cout << response->Dump() << "\n";
-  return response->At("ok").boolean ? 0 : 1;
+  std::cerr << "madc: " << last_error << "\n";
+  return last_error.code() == StatusCode::kUnavailable ? 3 : 4;
 }

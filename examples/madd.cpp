@@ -27,6 +27,14 @@
 //   --no-verify-recovery                skip the differential recovery check
 //                                       (recovered state vs from-scratch
 //                                       evaluation of program + history)
+//   --replica-of=HOST:PORT              run as a read replica of the primary
+//                                       at HOST:PORT: pull its WAL over the
+//                                       wire and serve reads; writes are
+//                                       refused with a redirect. The program
+//                                       is fetched from the primary, so the
+//                                       program.mdl argument is optional
+//                                       (if given, it must match). Mutually
+//                                       exclusive with --data-dir.
 //
 // On startup madd prints exactly one line to stdout:
 //   madd: serving on <host>:<port>
@@ -45,6 +53,7 @@
 #include <string>
 #include <thread>
 
+#include "server/replication/replicator.h"
 #include "server/server.h"
 
 using namespace mad;
@@ -58,8 +67,23 @@ int Usage() {
                "            [--data-dir=DIR] [--fsync-policy=always|never]\n"
                "            [--checkpoint-every-epochs=N] "
                "[--checkpoint-every-bytes=N]\n"
-               "            [--no-verify-recovery] program.mdl\n";
+               "            [--no-verify-recovery] "
+               "[--replica-of=HOST:PORT] [program.mdl]\n";
   return 2;
+}
+
+// "HOST:PORT" (the last colon splits, so bracketless IPv6 is out of scope
+// — same as the rest of the loopback-oriented tooling).
+bool ParseEndpoint(const std::string& text, std::string* host, int* port) {
+  const size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  *host = text.substr(0, colon);
+  try {
+    *port = static_cast<int>(std::stol(text.substr(colon + 1)));
+  } catch (...) {
+    return false;
+  }
+  return *port > 0 && *port <= 65535;
 }
 
 // Signal handling: the handler only flips lock-free atomics (both
@@ -126,6 +150,12 @@ int main(int argc, char** argv) {
           std::stoll(value_of("--checkpoint-every-bytes="));
     } else if (arg == "--no-verify-recovery") {
       load.durability.verify_recovery = false;
+    } else if (arg.rfind("--replica-of=", 0) == 0) {
+      load.replica.enabled = true;
+      if (!ParseEndpoint(value_of("--replica-of="), &load.replica.primary_host,
+                         &load.replica.primary_port)) {
+        return Usage();
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       return Usage();
     } else if (path.empty()) {
@@ -134,22 +164,41 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
-  if (path.empty()) return Usage();
+  if (path.empty() && !load.replica.enabled) return Usage();
 
-  std::ifstream in(path);
-  if (!in) {
-    std::cerr << "madd: cannot open " << path << "\n";
-    return 1;
+  std::string program_text;
+  if (!path.empty()) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "madd: cannot open " << path << "\n";
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    program_text = buffer.str();
+  } else {
+    // Replica with no local .mdl: the primary is the source of truth for
+    // the program too.
+    server::RetryOptions retry;
+    retry.max_attempts = 10;
+    auto fetched = server::Replicator::FetchProgram(
+        load.replica.primary_host, load.replica.primary_port, retry);
+    if (!fetched.ok()) {
+      std::cerr << "madd: cannot fetch program from primary "
+                << load.replica.primary_host << ":"
+                << load.replica.primary_port << ": " << fetched.status()
+                << "\n";
+      return 1;
+    }
+    program_text = std::move(fetched).value();
   }
-  std::stringstream buffer;
-  buffer << in.rdbuf();
 
   load.cancellation = std::make_shared<CancellationToken>();
   g_cancel = load.cancellation.get();
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
 
-  auto state = server::ServerState::Load(buffer.str(), load);
+  auto state = server::ServerState::Load(program_text, load);
   if (!state.ok()) {
     std::cerr << "madd: " << state.status() << "\n";
     return 1;
@@ -165,6 +214,19 @@ int main(int argc, char** argv) {
     return 1;
   }
   server::Server& server = **srv;
+
+  std::unique_ptr<server::Replicator> replicator;
+  if (load.replica.enabled) {
+    server::Replicator::Options ropts;
+    ropts.primary_host = load.replica.primary_host;
+    ropts.primary_port = load.replica.primary_port;
+    ropts.program_text = program_text;
+    replicator = std::make_unique<server::Replicator>(&server.state(), ropts);
+    replicator->Start();
+    std::cerr << "madd: replicating from " << ropts.primary_host << ":"
+              << ropts.primary_port << "\n";
+  }
+
   std::cout << "madd: serving on " << net.host << ":" << server.port()
             << std::endl;
 
@@ -174,6 +236,7 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   std::cerr << "madd: draining...\n";
+  if (replicator != nullptr) replicator->Stop();
   server.RequestShutdown();
   server.Wait();
   std::cerr << "madd: bye (final epoch " << server.state().epoch() << ")\n";

@@ -216,9 +216,35 @@ StatusOr<Json> Client::Sync(bool checkpoint) {
   return Call(j);
 }
 
+StatusOr<Json> Client::DumpAtLeast(int64_t min_epoch, int64_t wait_ms) {
+  Json j = VerbRequest("dump");
+  j.Set("min_epoch", Json::Int(min_epoch));
+  if (wait_ms >= 0) j.Set("min_epoch_wait_ms", Json::Int(wait_ms));
+  return Call(j);
+}
+
 StatusOr<Json> Client::Recover() { return Call(VerbRequest("recover")); }
 
 StatusOr<Json> Client::Shutdown() { return Call(VerbRequest("shutdown")); }
+
+StatusOr<Json> Client::ReplSubscribe(int64_t have_epoch, bool probe) {
+  Json j = VerbRequest("repl_subscribe");
+  j.Set("have_epoch", Json::Int(have_epoch));
+  if (probe) j.Set("probe", Json::Bool(true));
+  return Call(j);
+}
+
+StatusOr<Json> Client::ReplFrames(int64_t seq, int64_t offset,
+                                  int64_t max_records, int64_t max_bytes,
+                                  int64_t wait_ms) {
+  Json j = VerbRequest("repl_frames");
+  j.Set("seq", Json::Int(seq));
+  j.Set("offset", Json::Int(offset));
+  j.Set("max_records", Json::Int(max_records));
+  j.Set("max_bytes", Json::Int(max_bytes));
+  if (wait_ms > 0) j.Set("wait_ms", Json::Int(wait_ms));
+  return Call(j);
+}
 
 }  // namespace server
 }  // namespace mad

@@ -72,10 +72,21 @@ class Client {
   StatusOr<Json> Ping();
   StatusOr<Json> Insert(const std::string& facts_text);
   StatusOr<Json> Dump();
+  /// Dump, gated on a read-your-writes token: the server holds the request
+  /// until its published epoch reaches `min_epoch` (an epoch returned by an
+  /// insert acknowledgment) or `wait_ms` expires, then answers with
+  /// kReplicaLagging instead of a stale snapshot. wait_ms < 0 keeps the
+  /// server default.
+  StatusOr<Json> DumpAtLeast(int64_t min_epoch, int64_t wait_ms = -1);
   StatusOr<Json> Stats();
   StatusOr<Json> Sync(bool checkpoint = false);
   StatusOr<Json> Recover();
   StatusOr<Json> Shutdown();
+  /// Replication handshake (see ServerState::HandleReplSubscribe).
+  StatusOr<Json> ReplSubscribe(int64_t have_epoch, bool probe = false);
+  /// One log-shipping window from (seq, offset); zeros mean "oldest".
+  StatusOr<Json> ReplFrames(int64_t seq, int64_t offset, int64_t max_records,
+                            int64_t max_bytes, int64_t wait_ms = 0);
 
   void Close();
 

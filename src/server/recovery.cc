@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "server/replication/wal_cursor.h"
 #include "util/string_util.h"
 
 namespace mad {
@@ -13,14 +14,10 @@ StatusOr<RecoveryPlan> PlanRecovery(const std::string& dir) {
 
   RecoveryPlan plan;
   std::vector<int64_t> checkpoint_epochs;
-  std::vector<uint64_t> segment_seqs;
   for (const std::string& name : names) {
     int64_t epoch = 0;
-    uint64_t seq = 0;
     if (ParseCheckpointFileName(name, &epoch)) {
       checkpoint_epochs.push_back(epoch);
-    } else if (ParseWalSegmentName(name, &seq)) {
-      segment_seqs.push_back(seq);
     } else if (name.size() > 4 &&
                name.compare(name.size() - 4, 4, ".tmp") == 0) {
       // Crash between checkpoint-write and rename: the temp never became a
@@ -45,34 +42,17 @@ StatusOr<RecoveryPlan> PlanRecovery(const std::string& dir) {
   const int64_t base_epoch =
       plan.checkpoint.has_value() ? plan.checkpoint->epoch : 0;
 
-  // Collect records across segments in sequence order, then filter.
-  std::sort(segment_seqs.begin(), segment_seqs.end());
-  std::vector<WalRecord> records;
-  for (uint64_t seq : segment_seqs) {
-    MAD_ASSIGN_OR_RETURN(
-        WalReadResult one,
-        ReadWalSegment(dir + "/" + WalSegmentName(seq)));
-    ++plan.segments_scanned;
-    if (one.truncated_tail) ++plan.truncated_tail_records;
-    for (WalRecord& rec : one.records) records.push_back(std::move(rec));
-    plan.next_segment_seq = std::max(plan.next_segment_seq, seq + 1);
-  }
+  // The shared cursor walks segments in sequence order with the same
+  // torn-tail / interior-corruption discipline replica streaming uses.
+  MAD_ASSIGN_OR_RETURN(WalCursor cursor, WalCursor::Open(dir));
+  MAD_ASSIGN_OR_RETURN(WalScan scan, cursor.Scan(WalPosition{}, 0, 0));
+  plan.segments_scanned = scan.segments_scanned;
+  plan.truncated_tail_records = scan.truncated_tail_records;
+  plan.next_segment_seq = std::max<uint64_t>(1, scan.max_seq_seen + 1);
 
-  for (size_t i = 0; i < records.size(); ++i) {
-    WalRecord& rec = records[i];
-    if (rec.type == WalRecordType::kAbort) continue;  // pair consumed below
-    if (rec.epoch <= base_epoch) continue;  // covered by the checkpoint
-    // An insert immediately followed by its abort marker failed mid-merge
-    // and was never acknowledged: skip the pair. (The single-writer lane
-    // guarantees the abort, if written at all, is the very next record.)
-    if (i + 1 < records.size() &&
-        records[i + 1].type == WalRecordType::kAbort &&
-        records[i + 1].epoch == rec.epoch) {
-      ++plan.skipped_aborted_batches;
-      continue;
-    }
-    plan.replay.push_back(std::move(rec));
-  }
+  ReplaySelection sel = SelectReplayRecords(std::move(scan.records), base_epoch);
+  plan.replay = std::move(sel.replay);
+  plan.skipped_aborted_batches = sel.skipped_aborted_batches;
   return plan;
 }
 

@@ -1,0 +1,269 @@
+#include "server/replication/replicator.h"
+
+#include <algorithm>
+#include <random>
+
+#include "server/replication/wal_cursor.h"
+#include "server/wal.h"
+#include "util/crc32c.h"
+#include "util/string_util.h"
+
+namespace mad {
+namespace server {
+
+namespace {
+
+bool ResponseOk(const Json& resp) {
+  const Json& ok = resp.At("ok");
+  return ok.is_bool() && ok.boolean;
+}
+
+/// Lifts an ok:false response back into a Status, preserving the two codes
+/// the session loop dispatches on.
+Status ResponseError(const std::string& verb, const Json& resp) {
+  const Json& err = resp.At("error");
+  const std::string code = err.StrOr("code", "");
+  const std::string msg = err.StrOr("message", "unknown error");
+  if (code == "NotPrimary") return Status::NotPrimary(msg);
+  if (code == "InvalidArgument") return Status::InvalidArgument(msg);
+  return Status::Internal(
+      StrPrintf("primary rejected %s: %s: %s", verb.c_str(), code.c_str(),
+                msg.c_str()));
+}
+
+}  // namespace
+
+StatusOr<std::string> Replicator::FetchProgram(const std::string& host,
+                                               int port,
+                                               const RetryOptions& retry) {
+  MAD_ASSIGN_OR_RETURN(Client client,
+                       Client::ConnectWithRetry(host, port, retry));
+  Json req = Json::Object();
+  req.Set("verb", Json::Str("repl_subscribe"));
+  req.Set("probe", Json::Bool(true));
+  MAD_ASSIGN_OR_RETURN(Json resp, client.CallWithRetry(req, retry));
+  if (!ResponseOk(resp)) return ResponseError("repl_subscribe", resp);
+  const Json& program = resp.At("program");
+  if (!program.is_string()) {
+    return Status::Internal(
+        "malformed repl_subscribe response: missing program text");
+  }
+  return program.str;
+}
+
+Replicator::Replicator(ServerState* state, Options options)
+    : state_(state), opts_(std::move(options)) {
+  host_ = opts_.primary_host;
+  port_ = opts_.primary_port;
+}
+
+Replicator::~Replicator() { Stop(); }
+
+void Replicator::Start() {
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void Replicator::Stop() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void Replicator::SetEndpoint(const std::string& host, int port) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    host_ = host;
+    port_ = port;
+  }
+  // Drop the live connection so the next session dials the new endpoint.
+  drop_.store(true, std::memory_order_release);
+}
+
+void Replicator::InjectDisconnect() {
+  drop_.store(true, std::memory_order_release);
+}
+
+void Replicator::PushProgressLocked() { state_->ReportReplication(progress_); }
+
+bool Replicator::SleepFor(std::chrono::milliseconds delay) {
+  std::unique_lock<std::mutex> lk(mu_);
+  stop_cv_.wait_for(lk, delay,
+                    [&] { return stop_.load(std::memory_order_acquire); });
+  return !stop_.load(std::memory_order_acquire);
+}
+
+void Replicator::Run() {
+  std::mt19937_64 rng(opts_.seed != 0
+                          ? opts_.seed
+                          : static_cast<uint64_t>(
+                                std::chrono::steady_clock::now()
+                                    .time_since_epoch()
+                                    .count()));
+  std::uniform_real_distribution<double> jitter(0.8, 1.2);
+  int attempt = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    Status session = Session();
+    if (stop_.load(std::memory_order_acquire)) break;
+
+    bool had_connected = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      had_connected = progress_.connected;
+      progress_.connected = false;
+      if (!session.ok()) progress_.last_error = session.ToString();
+      if (broken_.load(std::memory_order_acquire)) progress_.broken = true;
+      ++progress_.reconnects;
+      PushProgressLocked();
+    }
+    // Terminal: wrong program or a failed apply. The pump stops; the
+    // replica keeps serving its last sound snapshot (stats say why).
+    if (broken_.load(std::memory_order_acquire)) break;
+
+    // Capped exponential backoff with jitter; a session that actually
+    // connected counts as progress and resets the schedule.
+    if (had_connected) attempt = 0;
+    const auto base = std::min<std::chrono::milliseconds>(
+        opts_.initial_backoff * (int64_t{1} << std::min(attempt, 6)),
+        opts_.max_backoff);
+    const auto delay = std::chrono::milliseconds(std::max<int64_t>(
+        1, static_cast<int64_t>(static_cast<double>(base.count()) *
+                                jitter(rng))));
+    ++attempt;
+    if (!SleepFor(delay)) break;
+  }
+}
+
+Status Replicator::Session() {
+  std::string host;
+  int port = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    host = host_;
+    port = port_;
+  }
+  drop_.store(false, std::memory_order_release);
+  MAD_ASSIGN_OR_RETURN(Client client, Client::Connect(host, port));
+
+  const uint32_t local_crc = util::Crc32c(opts_.program_text);
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    // --- subscribe: program check, maybe bootstrap, stream position -------
+    Json sub = Json::Object();
+    sub.Set("verb", Json::Str("repl_subscribe"));
+    sub.Set("have_epoch", Json::Int(state_->epoch()));
+    MAD_ASSIGN_OR_RETURN(Json resp, client.Call(sub));
+    if (!ResponseOk(resp)) {
+      Status err = ResponseError("repl_subscribe", resp);
+      // Pointed at a replica: follow its redirect to the primary, then let
+      // the outer loop reconnect there.
+      const Json& redirect = resp.At("redirect");
+      if (err.code() == StatusCode::kNotPrimary && redirect.is_object()) {
+        SetEndpoint(redirect.StrOr("host", host),
+                    static_cast<int>(redirect.IntOr("port", port)));
+        return Status::Unavailable("following redirect to the primary");
+      }
+      return err;
+    }
+    if (static_cast<uint32_t>(resp.IntOr("program_crc", 0)) != local_crc) {
+      // The least model is a function of program AND history; applying a
+      // different program's log would serve wrong answers forever.
+      broken_.store(true, std::memory_order_release);
+      return Status::InvalidArgument(
+          "primary serves a different program; refusing to replicate "
+          "(restart the replica to re-fetch)");
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      progress_.connected = true;
+      progress_.primary_epoch =
+          std::max(progress_.primary_epoch, resp.IntOr("epoch", 0));
+      PushProgressLocked();
+    }
+    const Json& bootstrap = resp.At("bootstrap");
+    if (bootstrap.is_object()) {
+      Status applied = state_->ApplyBootstrap(bootstrap.IntOr("epoch", 0),
+                                              bootstrap.At("facts").str);
+      if (!applied.ok()) {
+        broken_.store(true, std::memory_order_release);
+        return applied;
+      }
+      std::lock_guard<std::mutex> lk(mu_);
+      ++progress_.bootstraps;
+      PushProgressLocked();
+    }
+    int64_t seq = resp.IntOr("seq", 0);
+    int64_t offset = resp.IntOr("offset", 0);
+
+    // --- stream frames until pruned (re-subscribe) or torn (reconnect) ----
+    bool resubscribe = false;
+    while (!stop_.load(std::memory_order_acquire)) {
+      if (drop_.load(std::memory_order_acquire)) {
+        drop_.store(false, std::memory_order_release);
+        return Status::Unavailable("connection dropped (injected or retargeted)");
+      }
+      Json req = Json::Object();
+      req.Set("verb", Json::Str("repl_frames"));
+      req.Set("seq", Json::Int(seq));
+      req.Set("offset", Json::Int(offset));
+      req.Set("max_records", Json::Int(opts_.max_records));
+      req.Set("max_bytes", Json::Int(opts_.max_bytes));
+      req.Set("wait_ms", Json::Int(opts_.poll_wait_ms));
+      MAD_ASSIGN_OR_RETURN(Json frame, client.Call(req));
+      if (!ResponseOk(frame)) return ResponseError("repl_frames", frame);
+
+      const Json& pruned = frame.At("position_pruned");
+      if (pruned.is_bool() && pruned.boolean) {
+        // Our segment was checkpointed away; ask the primary where to go
+        // (typically: take a bootstrap, restart from the oldest segment).
+        resubscribe = true;
+        break;
+      }
+
+      int64_t applied_here = 0;
+      for (const Json& r : frame.At("records").arr) {
+        WalRecord rec;
+        rec.type = WalRecordType::kInsert;
+        rec.epoch = r.IntOr("epoch", 0);
+        rec.facts_text = r.At("facts").str;
+        // End-to-end integrity: re-derive the payload CRC the primary read
+        // off its disk. A mismatch means the bytes were damaged somewhere
+        // between the primary's WAL and here — drop the connection and
+        // re-fetch rather than apply a corrupt batch.
+        if (WalPayloadCrc(rec) != static_cast<uint32_t>(r.IntOr("crc", 0))) {
+          std::lock_guard<std::mutex> lk(mu_);
+          ++progress_.crc_failures;
+          PushProgressLocked();
+          return Status::Internal(StrPrintf(
+              "shipped record for epoch %lld failed CRC re-verification",
+              static_cast<long long>(rec.epoch)));
+        }
+        Status applied = state_->ApplyReplicated(rec.epoch, rec.facts_text);
+        if (!applied.ok()) {
+          broken_.store(true, std::memory_order_release);
+          return applied;
+        }
+        ++applied_here;
+      }
+      seq = frame.IntOr("seq", seq);
+      offset = frame.IntOr("offset", offset);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++progress_.frames;
+        progress_.records_applied += applied_here;
+        progress_.primary_epoch =
+            std::max(progress_.primary_epoch, frame.IntOr("epoch", 0));
+        PushProgressLocked();
+      }
+    }
+    if (!resubscribe) break;
+  }
+  return Status::OK();  // stop requested
+}
+
+}  // namespace server
+}  // namespace mad

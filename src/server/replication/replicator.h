@@ -1,0 +1,114 @@
+#ifndef MAD_SERVER_REPLICATION_REPLICATOR_H_
+#define MAD_SERVER_REPLICATION_REPLICATOR_H_
+
+// The replica-side pump: a background thread that subscribes to a primary,
+// pulls its WAL over the wire protocol (repl_subscribe / repl_frames), and
+// applies each acknowledged batch through ServerState's writer lane.
+//
+// Why this is allowed to be simple (DESIGN.md "Replication"): every shipped
+// record is a lattice join, and joins commute and are idempotent. So the
+// pump may re-send after a torn connection, re-apply after a restart, and
+// even re-play the primary's whole history after a prune-forced bootstrap —
+// the replica's model is always the least model of some prefix of the
+// primary's insert stream, and it only ever moves up in ⊑. The protocol
+// therefore needs no acknowledgment tracking, no exactly-once machinery,
+// and no session state beyond a (segment, offset) resume position.
+//
+// Failure handling: the loop never gives up on transport errors — it
+// reconnects with capped exponential backoff and re-subscribes (the primary
+// decides whether the WAL still covers the replica's epoch or a bootstrap
+// is needed). Only two conditions are terminal: the primary serves a
+// different program (the least model is a function of program AND history,
+// so following it would be wrong), and a local apply failure (the working
+// set may be under-closed). Both mark the replica `broken` in stats; reads
+// keep serving the last sound snapshot.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "server/client.h"
+#include "server/state.h"
+
+namespace mad {
+namespace server {
+
+class Replicator {
+ public:
+  struct Options {
+    std::string primary_host;
+    int primary_port = 0;
+    /// The program text the replica serves; sessions verify the primary
+    /// still runs the same program (by CRC) before applying anything.
+    std::string program_text;
+    /// Per-frame window sent to repl_frames.
+    int64_t max_records = 256;
+    int64_t max_bytes = 4 << 20;
+    /// Server-side long-poll budget per frame request. Also bounds how long
+    /// Stop() can block behind an idle poll.
+    int64_t poll_wait_ms = 500;
+    /// Reconnect backoff (capped exponential with jitter).
+    std::chrono::milliseconds initial_backoff{50};
+    std::chrono::milliseconds max_backoff{2000};
+    /// Jitter seed; 0 derives one from the clock (tests pin it).
+    uint64_t seed = 0;
+  };
+
+  /// One probe round trip fetching the primary's program text, so
+  /// `madd --replica-of` needs no local .mdl file. Fails fast on an
+  /// endpoint that is not a durable primary.
+  static StatusOr<std::string> FetchProgram(const std::string& host, int port,
+                                            const RetryOptions& retry);
+
+  /// `state` must outlive the Replicator and have been loaded in replica
+  /// mode (ReplicaOptions::enabled).
+  Replicator(ServerState* state, Options options);
+  ~Replicator();
+
+  void Start();
+  /// Idempotent; joins the pump thread.
+  void Stop();
+
+  /// Retargets the primary endpoint (e.g. after a primary restart on a new
+  /// port) and drops the current connection so the loop re-subscribes.
+  void SetEndpoint(const std::string& host, int port);
+  /// Test hook: tears the current connection as if the peer vanished,
+  /// forcing a reconnect + re-subscribe cycle.
+  void InjectDisconnect();
+
+  /// Unrecoverable (program mismatch or apply failure): the pump has
+  /// stopped; the replica keeps serving its last sound snapshot.
+  bool broken() const { return broken_.load(std::memory_order_acquire); }
+
+ private:
+  void Run();
+  /// One connect → subscribe → stream session. Returns on any error (the
+  /// caller reconnects) or when stop/drop is requested.
+  Status Session();
+  /// Pushes the progress mirror into ServerState for the stats verb.
+  /// Requires mu_.
+  void PushProgressLocked();
+  /// Interruptible sleep; returns false if stop was requested meanwhile.
+  bool SleepFor(std::chrono::milliseconds delay);
+
+  ServerState* state_;
+  Options opts_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> drop_{false};
+  std::atomic<bool> broken_{false};
+
+  mutable std::mutex mu_;  ///< endpoint, progress mirror, stop_cv_
+  std::condition_variable stop_cv_;
+  std::string host_;
+  int port_ = 0;
+  ServerState::ReplicationProgress progress_;
+};
+
+}  // namespace server
+}  // namespace mad
+
+#endif  // MAD_SERVER_REPLICATION_REPLICATOR_H_

@@ -1,0 +1,138 @@
+#include "server/replication/wal_cursor.h"
+
+#include <algorithm>
+
+#include "util/posix_file.h"
+#include "util/string_util.h"
+
+namespace mad {
+namespace server {
+
+StatusOr<WalCursor> WalCursor::Open(const std::string& dir) {
+  MAD_ASSIGN_OR_RETURN(std::vector<std::string> names, util::ListDir(dir));
+  std::vector<uint64_t> seqs;
+  for (const std::string& name : names) {
+    uint64_t seq = 0;
+    if (ParseWalSegmentName(name, &seq)) seqs.push_back(seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  return WalCursor(dir, std::move(seqs));
+}
+
+StatusOr<WalScan> WalCursor::Scan(const WalPosition& from, int64_t max_records,
+                                  int64_t max_bytes) const {
+  WalScan out;
+  out.next = from;
+  if (seqs_.empty()) {
+    out.exhausted = true;
+    return out;
+  }
+  out.max_seq_seen = seqs_.back();
+
+  // Locate the starting segment. A zero position means "oldest available";
+  // a positive one must name a segment that still exists — anything else is
+  // a prune (or a position from some other directory), and resuming at a
+  // different segment would silently skip interior history.
+  size_t start = 0;
+  if (from.seq != 0) {
+    auto it = std::lower_bound(seqs_.begin(), seqs_.end(), from.seq);
+    if (it == seqs_.end() || *it != from.seq) {
+      out.position_pruned = true;
+      return out;
+    }
+    start = static_cast<size_t>(it - seqs_.begin());
+  }
+
+  int64_t bytes = 0;
+  for (size_t si = start; si < seqs_.size(); ++si) {
+    const uint64_t seq = seqs_[si];
+    const int64_t offset = (from.seq != 0 && seq == from.seq) ? from.offset : 0;
+    MAD_ASSIGN_OR_RETURN(
+        WalReadResult one,
+        ReadWalSegmentFrom(dir_ + "/" + WalSegmentName(seq), offset));
+    ++out.segments_scanned;
+    if (one.truncated_tail) ++out.truncated_tail_records;
+    for (size_t i = 0; i < one.records.size(); ++i) {
+      const bool record_cap =
+          max_records > 0 &&
+          static_cast<int64_t>(out.records.size()) >= max_records;
+      const bool byte_cap =
+          max_bytes > 0 && !out.records.empty() &&
+          bytes + static_cast<int64_t>(one.records[i].facts_text.size()) >
+              max_bytes;
+      if (record_cap || byte_cap) return out;  // exhausted stays false
+      bytes += static_cast<int64_t>(one.records[i].facts_text.size());
+      out.records.push_back(std::move(one.records[i]));
+      out.boundaries.push_back(WalPosition{seq, one.record_ends[i]});
+      out.next = out.boundaries.back();
+    }
+    // Advance past any recordless valid prefix (an empty fresh segment, or
+    // a resume offset already at the segment's end).
+    out.next = WalPosition{seq, std::max(one.valid_bytes, offset)};
+    if (one.truncated_tail && si + 1 == seqs_.size()) {
+      out.tail_truncated = true;
+    }
+  }
+  out.exhausted = true;
+  return out;
+}
+
+ReplaySelection SelectReplayRecords(std::vector<WalRecord> records,
+                                    int64_t base_epoch) {
+  ReplaySelection out;
+  for (size_t i = 0; i < records.size(); ++i) {
+    WalRecord& rec = records[i];
+    if (rec.type == WalRecordType::kAbort) continue;  // pair consumed below
+    if (rec.epoch <= base_epoch) continue;  // covered by the checkpoint
+    // An insert immediately followed by its abort marker failed mid-merge
+    // and was never acknowledged: skip the pair. (The single-writer lane
+    // guarantees the abort, if written at all, is the very next record.)
+    if (i + 1 < records.size() &&
+        records[i + 1].type == WalRecordType::kAbort &&
+        records[i + 1].epoch == rec.epoch) {
+      ++out.skipped_aborted_batches;
+      continue;
+    }
+    out.replay.push_back(std::move(rec));
+  }
+  return out;
+}
+
+ShipSelection SelectShippableRecords(const WalScan& scan,
+                                     const WalPosition& from,
+                                     int64_t committed_epoch) {
+  ShipSelection out;
+  out.next = from;
+  for (size_t i = 0; i < scan.records.size(); ++i) {
+    const WalRecord& rec = scan.records[i];
+    if (rec.type == WalRecordType::kAbort) {
+      // A lone abort means the paired insert was consumed by an earlier
+      // window — impossible under the withholding rule below, but consuming
+      // it keeps the position moving if it ever happens.
+      out.next = scan.boundaries[i];
+      continue;
+    }
+    const bool has_lookahead = i + 1 < scan.records.size();
+    if (has_lookahead &&
+        scan.records[i + 1].type == WalRecordType::kAbort &&
+        scan.records[i + 1].epoch == rec.epoch) {
+      // Failed merge: skip the pair, exactly as recovery would.
+      out.next = scan.boundaries[i + 1];
+      ++i;
+      continue;
+    }
+    // The log runs ahead of the model (write-ahead): an insert past the
+    // committed epoch may yet gain an abort marker. Leave it for later.
+    if (rec.epoch > committed_epoch) break;
+    // A window-final insert in a limit-cut window has unknown abort status
+    // (the marker, if any, is the next record). Withhold; the caller's
+    // one-record overscan makes this reachable only at the true cap.
+    if (!has_lookahead && !scan.exhausted) break;
+    out.records.push_back(rec);
+    out.next = scan.boundaries[i];
+  }
+  return out;
+}
+
+}  // namespace server
+}  // namespace mad

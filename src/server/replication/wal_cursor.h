@@ -1,0 +1,129 @@
+#ifndef MAD_SERVER_REPLICATION_WAL_CURSOR_H_
+#define MAD_SERVER_REPLICATION_WAL_CURSOR_H_
+
+// WalCursor: the one place that walks a data directory's WAL segments in
+// sequence order. Startup recovery and primary-side log shipping both read
+// the insert history through it, so torn-tail truncation, mid-segment
+// corruption hard-fails, and CRC verification exist exactly once.
+//
+// A position is (segment sequence, byte offset within that segment). Offsets
+// are `valid_bytes` values from previous reads, so resuming never re-parses
+// (or worse, re-interprets) bytes it already consumed. Segment sequence
+// numbers are never reused — recovery always rotates to a fresh one — which
+// makes positions stable across primary restarts; a position whose segment
+// has been pruned away is reported (position_pruned), not silently skipped,
+// because skipping interior history would break the prefix-replay argument.
+//
+// Two selection policies sit on top of the raw scan:
+//
+//   * SelectReplayRecords — recovery semantics: drop records at or below the
+//     checkpoint epoch, skip insert+abort pairs. If an abort marker was lost
+//     (degraded WAL), the unacknowledged batch replays anyway: at-least-once
+//     for failed writes, sound because joins are monotone and idempotent.
+//   * SelectShippableRecords — streaming semantics: additionally withhold
+//     records beyond the primary's committed epoch (an insert is logged
+//     *before* it is applied, so the log's tail may run ahead of the model)
+//     and withhold a window-final insert whose abort status is not yet
+//     visible. Replicas therefore never apply a batch the primary has not
+//     committed, except in the same lost-abort corner recovery accepts.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/wal.h"
+#include "util/status.h"
+
+namespace mad {
+namespace server {
+
+/// A resumable location in the WAL: segment sequence + byte offset. The
+/// zero value means "the oldest data available".
+struct WalPosition {
+  uint64_t seq = 0;
+  int64_t offset = 0;
+};
+
+/// One Scan's worth of records plus everything a caller needs to resume,
+/// diagnose, or decide it has fallen off the retained log.
+struct WalScan {
+  std::vector<WalRecord> records;
+  /// boundaries[i] is the position just past records[i]; resuming there
+  /// yields records[i+1] onward.
+  std::vector<WalPosition> boundaries;
+  /// Position just past the last intact byte consumed (== boundaries.back()
+  /// when records were read past the last one's segment-mates).
+  WalPosition next;
+  /// True when the scan consumed every intact record currently on disk
+  /// (rather than stopping at max_records/max_bytes).
+  bool exhausted = false;
+  /// The newest scanned segment ends in a partial or CRC-failing record —
+  /// a live writer mid-append, or the frozen signature of a crash.
+  bool tail_truncated = false;
+  /// Segments whose tail was torn, across the whole scan (recovery stat).
+  int64_t truncated_tail_records = 0;
+  int64_t segments_scanned = 0;
+  /// Highest segment sequence present in the directory at scan time (0 when
+  /// the directory holds no segments).
+  uint64_t max_seq_seen = 0;
+  /// The requested position's segment no longer exists (pruned after a
+  /// checkpoint). The caller must re-bootstrap; resuming anywhere else
+  /// would skip history.
+  bool position_pruned = false;
+};
+
+/// Snapshot of a data directory's segment listing plus scan machinery. Cheap
+/// to construct; shippers open a fresh cursor per request so rotation and
+/// pruning between requests are handled by construction.
+class WalCursor {
+ public:
+  /// Lists `dir` and indexes its WAL segments. The directory must exist.
+  static StatusOr<WalCursor> Open(const std::string& dir);
+
+  /// Reads intact records from `from` onward, in segment order, stopping
+  /// after `max_records` records or once shipped facts text exceeds
+  /// `max_bytes` (either cap <= 0 means unlimited). Torn tails on sealed
+  /// (non-final) segments are skipped and counted, exactly as recovery
+  /// does; mid-segment corruption is a hard error.
+  StatusOr<WalScan> Scan(const WalPosition& from, int64_t max_records,
+                         int64_t max_bytes) const;
+
+  const std::vector<uint64_t>& segment_seqs() const { return seqs_; }
+  bool empty() const { return seqs_.empty(); }
+
+ private:
+  WalCursor(std::string dir, std::vector<uint64_t> seqs)
+      : dir_(std::move(dir)), seqs_(std::move(seqs)) {}
+
+  std::string dir_;
+  std::vector<uint64_t> seqs_;  ///< sorted ascending
+};
+
+/// Recovery-side filter: keep inserts with epoch > base_epoch, skipping an
+/// insert immediately followed by its abort marker (the pair of a failed
+/// merge). Shared by PlanRecovery and by bootstrap certification tests.
+struct ReplaySelection {
+  std::vector<WalRecord> replay;
+  int64_t skipped_aborted_batches = 0;
+};
+ReplaySelection SelectReplayRecords(std::vector<WalRecord> records,
+                                    int64_t base_epoch);
+
+/// Shipping-side filter over one scan window. Withholds (leaves for the
+/// next poll) any insert whose epoch exceeds `committed_epoch`, and a
+/// window-final insert when the window was cut by limits (its abort status
+/// is unknowable without one record of lookahead — ship layers should scan
+/// one record beyond their advertised cap). `next` covers exactly the
+/// consumed prefix, so resuming there neither skips nor re-ships.
+struct ShipSelection {
+  std::vector<WalRecord> records;  ///< committed inserts, in log order
+  WalPosition next;
+};
+ShipSelection SelectShippableRecords(const WalScan& scan,
+                                     const WalPosition& from,
+                                     int64_t committed_epoch);
+
+}  // namespace server
+}  // namespace mad
+
+#endif  // MAD_SERVER_REPLICATION_WAL_CURSOR_H_

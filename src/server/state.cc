@@ -5,7 +5,9 @@
 
 #include "analysis/admissibility.h"
 #include "datalog/parser.h"
+#include "server/replication/wal_cursor.h"
 #include "server/result_json.h"
+#include "util/crc32c.h"
 #include "util/string_util.h"
 
 namespace mad {
@@ -87,6 +89,15 @@ Json OkResponse(const std::string& verb, int64_t epoch) {
   return j;
 }
 
+/// Default and ceiling for how long a min_epoch read (or a long-polled
+/// repl_frames request) may block. The ceiling keeps a bad token from
+/// parking a connection thread forever.
+constexpr int64_t kDefaultMinEpochWaitMs = 2000;
+constexpr int64_t kMaxWaitMs = 60 * 1000;
+
+constexpr int64_t kDefaultFrameRecords = 256;
+constexpr int64_t kDefaultFrameBytes = 4 << 20;
+
 }  // namespace
 
 StatusOr<std::unique_ptr<ServerState>> ServerState::Load(
@@ -100,6 +111,13 @@ StatusOr<std::unique_ptr<ServerState>> ServerState::Load(
   state->program_text_ = std::string(program_text);
   state->cancellation_ = options.cancellation;
   state->durability_ = std::move(options.durability);
+  state->replica_ = std::move(options.replica);
+  if (state->replica_.enabled && !state->durability_.data_dir.empty()) {
+    return Status::InvalidArgument(
+        "replica mode and a data dir are mutually exclusive: the primary's "
+        "WAL is the log of record, and a restarted replica re-bootstraps "
+        "from the primary");
+  }
   if (state->cancellation_ != nullptr &&
       options.eval.limits.cancellation == nullptr) {
     options.eval.limits.cancellation = state->cancellation_;
@@ -308,6 +326,15 @@ void ServerState::Publish() {
   snap->limit_tripped = work_.limit_tripped;
   std::lock_guard<std::mutex> lk(snap_mu_);
   snapshot_ = std::move(snap);
+  snap_cv_.notify_all();
+}
+
+bool ServerState::WaitForEpoch(int64_t min_epoch,
+                               std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lk(snap_mu_);
+  return snap_cv_.wait_for(lk, timeout, [&] {
+    return snapshot_ != nullptr && snapshot_->epoch >= min_epoch;
+  });
 }
 
 std::shared_ptr<const ServingSnapshot> ServerState::Pin() const {
@@ -333,21 +360,57 @@ ResourceLimits ServerState::RequestResourceLimits(const Json& request) const {
 Json ServerState::Handle(const Json& request) {
   const std::string verb = request.StrOr("verb", "");
   const auto t0 = std::chrono::steady_clock::now();
+
+  // Read-your-writes: a read carrying a min_epoch token (the epoch an
+  // insert acknowledgment returned) must never be served from an older
+  // snapshot. A primary satisfies the bar trivially; a lagging replica
+  // blocks until the shipped log catches up or the deadline expires, then
+  // reports structured lag instead of silently answering stale.
+  const bool is_read = verb == "query" || verb == "dump" || verb == "stats";
+  const int64_t min_epoch = request.IntOr("min_epoch", 0);
+  bool lagging = false;
+  if (is_read && min_epoch > 0) {
+    const int64_t wait_ms = std::clamp<int64_t>(
+        request.IntOr("min_epoch_wait_ms", kDefaultMinEpochWaitMs), 0,
+        kMaxWaitMs);
+    lagging = !WaitForEpoch(min_epoch, std::chrono::milliseconds(wait_ms));
+  }
+
   Json response;
-  if (verb == "ping") {
+  if (lagging) {
+    const int64_t have = epoch();
+    response = ErrorResponse(
+        verb, Status::ReplicaLagging(StrPrintf(
+                  "read requires epoch >= %lld but only %lld is applied "
+                  "here; retry, raise min_epoch_wait_ms, or read the primary",
+                  static_cast<long long>(min_epoch),
+                  static_cast<long long>(have))));
+    response.Set("epoch", Json::Int(have));
+    response.Set("min_epoch", Json::Int(min_epoch));
+  } else if (verb == "ping") {
     response = HandlePing();
   } else if (verb == "query") {
     response = HandleQuery(request);
   } else if (verb == "insert") {
-    response = HandleInsert(request);
+    response = replica_.enabled ? NotPrimaryResponse(verb)
+                                : HandleInsert(request);
   } else if (verb == "dump") {
     response = HandleDump();
   } else if (verb == "stats") {
     response = HandleStats();
   } else if (verb == "sync") {
-    response = HandleSync(request);
+    response = replica_.enabled ? NotPrimaryResponse(verb)
+                                : HandleSync(request);
   } else if (verb == "recover") {
-    response = HandleRecover();
+    response = replica_.enabled ? NotPrimaryResponse(verb) : HandleRecover();
+  } else if (verb == "repl_subscribe") {
+    // Replica chaining is not supported; the redirect sends second-tier
+    // subscribers to the primary.
+    response = replica_.enabled ? NotPrimaryResponse(verb)
+                                : HandleReplSubscribe(request);
+  } else if (verb == "repl_frames") {
+    response = replica_.enabled ? NotPrimaryResponse(verb)
+                                : HandleReplFrames(request);
   } else if (verb == "shutdown") {
     // Transport-level: the server loop sees this verb and starts draining;
     // the response acknowledges the request against the final epoch.
@@ -367,6 +430,7 @@ Json ServerState::HandlePing() {
   auto snap = Pin();
   Json j = OkResponse("ping", snap->epoch);
   j.Set("completeness", Json::Str(core::CompletenessName(snap->completeness)));
+  j.Set("role", Json::Str(replica_.enabled ? "replica" : "primary"));
   return j;
 }
 
@@ -726,6 +790,206 @@ Json ServerState::HandleRecover() {
   return j;
 }
 
+Json ServerState::NotPrimaryResponse(const std::string& verb) const {
+  Json j = ErrorResponse(
+      verb, Status::NotPrimary(StrPrintf(
+                "this node is a read replica of %s:%d; send writes to the "
+                "primary",
+                replica_.primary_host.c_str(), replica_.primary_port)));
+  Json redirect = Json::Object();
+  redirect.Set("host", Json::Str(replica_.primary_host));
+  redirect.Set("port", Json::Int(replica_.primary_port));
+  j.Set("redirect", std::move(redirect));
+  return j;
+}
+
+Json ServerState::HandleReplSubscribe(const Json& request) {
+  if (wal_ == nullptr) {
+    return ErrorResponse(
+        "repl_subscribe",
+        Status::InvalidArgument("replication requires durability: start the "
+                                "primary with --data-dir"));
+  }
+  const int64_t have_epoch = request.IntOr("have_epoch", 0);
+  // A probe wants the program and the committed epoch only (madd
+  // --replica-of fetches the program this way before it can subscribe for
+  // real); skip the gap check so no bootstrap payload is assembled.
+  const Json& probe = request.At("probe");
+  const bool probe_only = probe.is_bool() && probe.boolean;
+
+  // Under writer_mu_ the (epoch_, cumulative_facts_, on-disk WAL) triple is
+  // mutually consistent: no insert can land between reading the committed
+  // epoch and snapshotting the history.
+  std::lock_guard<std::mutex> lk(writer_mu_);
+  Json j = OkResponse("repl_subscribe", epoch_);
+  j.Set("program", Json::Str(program_text_));
+  j.Set("program_crc",
+        Json::Int(static_cast<int64_t>(util::Crc32c(program_text_))));
+  j.Set("fsync_policy", Json::Str(FsyncPolicyName(durability_.fsync)));
+
+  // Does the retained WAL still cover every acknowledged epoch in
+  // (have_epoch, epoch_]? Acknowledged epochs are dense, so it suffices
+  // that the earliest replayable epoch past have_epoch is exactly
+  // have_epoch + 1. Otherwise checkpointing pruned part of the gap and the
+  // subscriber needs a full-history bootstrap (over-sending is always safe:
+  // joins are idempotent).
+  bool need_bootstrap = false;
+  if (!probe_only && epoch_ > have_epoch) {
+    auto cursor = WalCursor::Open(durability_.data_dir);
+    if (!cursor.ok()) return ErrorResponse("repl_subscribe", cursor.status());
+    auto scan = cursor->Scan(WalPosition{}, 0, 0);
+    if (!scan.ok()) return ErrorResponse("repl_subscribe", scan.status());
+    ReplaySelection sel =
+        SelectReplayRecords(std::move(scan->records), have_epoch);
+    need_bootstrap =
+        sel.replay.empty() || sel.replay.front().epoch != have_epoch + 1;
+  }
+  if (need_bootstrap) {
+    Json b = Json::Object();
+    b.Set("epoch", Json::Int(epoch_));
+    b.Set("facts", Json::Str(cumulative_facts_));
+    j.Set("bootstrap", std::move(b));
+  }
+  // Streaming always starts at the oldest retained segment: re-applying
+  // batches the subscriber already holds is a lattice-join no-op, and the
+  // position-based protocol then needs no epoch-to-offset index.
+  j.Set("seq", Json::Int(0));
+  j.Set("offset", Json::Int(0));
+
+  std::lock_guard<std::mutex> rlk(repl_mu_);
+  ++subscribes_served_;
+  if (need_bootstrap) ++bootstraps_served_;
+  return j;
+}
+
+Json ServerState::HandleReplFrames(const Json& request) {
+  if (wal_ == nullptr) {
+    return ErrorResponse(
+        "repl_frames",
+        Status::InvalidArgument("replication requires durability: start the "
+                                "primary with --data-dir"));
+  }
+  WalPosition from;
+  from.seq = static_cast<uint64_t>(std::max<int64_t>(0, request.IntOr("seq", 0)));
+  from.offset = std::max<int64_t>(0, request.IntOr("offset", 0));
+  int64_t max_records = request.IntOr("max_records", kDefaultFrameRecords);
+  if (max_records <= 0) max_records = kDefaultFrameRecords;
+  int64_t max_bytes = request.IntOr("max_bytes", kDefaultFrameBytes);
+  if (max_bytes <= 0) max_bytes = kDefaultFrameBytes;
+  const int64_t wait_ms =
+      std::clamp<int64_t>(request.IntOr("wait_ms", 0), 0, kMaxWaitMs);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(wait_ms);
+
+  for (;;) {
+    // The committed gate: the log runs ahead of the model (write-ahead), so
+    // only records at or below the *published* epoch are shippable — those
+    // are exactly the acknowledged batches.
+    const int64_t committed = epoch();
+    auto cursor = WalCursor::Open(durability_.data_dir);
+    if (!cursor.ok()) return ErrorResponse("repl_frames", cursor.status());
+    // One-record overscan so the selection's abort-lookahead rule can decide
+    // the window-final insert instead of stalling at the cap.
+    auto scan = cursor->Scan(from, max_records + 1, max_bytes);
+    if (!scan.ok()) return ErrorResponse("repl_frames", scan.status());
+    if (scan->position_pruned) {
+      // The subscriber's segment was checkpointed away; it must re-subscribe
+      // (and typically bootstrap). Never ship from a different position —
+      // that would silently skip interior history.
+      Json j = OkResponse("repl_frames", committed);
+      j.Set("position_pruned", Json::Bool(true));
+      return j;
+    }
+    ShipSelection sel = SelectShippableRecords(*scan, from, committed);
+
+    const bool advanced =
+        sel.next.seq != from.seq || sel.next.offset != from.offset;
+    if (!sel.records.empty() || advanced || wait_ms == 0 ||
+        std::chrono::steady_clock::now() >= deadline) {
+      Json records = Json::Array();
+      for (const WalRecord& rec : sel.records) {
+        Json r = Json::Object();
+        r.Set("epoch", Json::Int(rec.epoch));
+        r.Set("facts", Json::Str(rec.facts_text));
+        r.Set("crc", Json::Int(static_cast<int64_t>(rec.crc)));
+        records.Push(std::move(r));
+      }
+      const int64_t count = static_cast<int64_t>(sel.records.size());
+      Json j = OkResponse("repl_frames", committed);
+      j.Set("count", Json::Int(count));
+      j.Set("records", std::move(records));
+      j.Set("seq", Json::Int(static_cast<int64_t>(sel.next.seq)));
+      j.Set("offset", Json::Int(sel.next.offset));
+      std::lock_guard<std::mutex> rlk(repl_mu_);
+      ++frames_served_;
+      records_shipped_ += count;
+      return j;
+    }
+    // Long poll: nothing shippable yet. Block until the next publish (or
+    // the deadline) instead of making the replica busy-poll an idle log.
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) continue;  // loops once more, then returns
+    WaitForEpoch(committed + 1, remaining);
+  }
+}
+
+Status ServerState::ApplyReplicated(int64_t epoch, const std::string& facts_text) {
+  return ApplyShipped(epoch, facts_text, /*bootstrap=*/false);
+}
+
+Status ServerState::ApplyBootstrap(int64_t epoch, const std::string& facts_text) {
+  return ApplyShipped(epoch, facts_text, /*bootstrap=*/true);
+}
+
+Status ServerState::ApplyShipped(int64_t epoch, const std::string& facts_text,
+                                 bool bootstrap) {
+  if (!replica_.enabled) {
+    return Status::InvalidArgument(
+        "not a replica: shipped batches are only applied in replica mode");
+  }
+  std::lock_guard<std::mutex> lk(writer_mu_);
+  if (poisoned_.load(std::memory_order_acquire)) {
+    return Status::Internal(
+        "a previous shipped batch failed mid-merge; the replica's working "
+        "set is no longer certified — restart the replica to re-bootstrap");
+  }
+  auto facts = datalog::ParseFacts(program_.get(), facts_text);
+  if (!facts.ok()) return facts.status();
+  ResourceLimits limits;
+  limits.cancellation = cancellation_;
+  auto stats = engine_->Update(&work_, *facts, limits);
+  if (!stats.ok()) {
+    // Same discipline as a primary-side mid-merge failure: the working set
+    // may be under-closed, so stop applying; reads keep serving the last
+    // sound snapshot.
+    poisoned_.store(true, std::memory_order_release);
+    return stats.status();
+  }
+  if (epoch > epoch_) epoch_ = epoch;
+  if (bootstrap) {
+    // The bootstrap IS the full accepted history; stream records that
+    // overlap it re-append below, which only ever re-joins covered facts.
+    cumulative_facts_ = facts_text;
+  } else {
+    cumulative_facts_.append(facts_text);
+    cumulative_facts_.push_back('\n');
+  }
+  for (const datalog::Fact& f : *facts) (void)base_facts_.AddFact(f);
+  Publish();
+  return Status::OK();
+}
+
+void ServerState::ReportReplication(const ReplicationProgress& progress) {
+  std::lock_guard<std::mutex> lk(repl_mu_);
+  repl_ = progress;
+}
+
+ServerState::ReplicationProgress ServerState::replication_progress() const {
+  std::lock_guard<std::mutex> lk(repl_mu_);
+  return repl_;
+}
+
 Json ServerState::HandleDump() {
   auto snap = Pin();
   Json j = OkResponse("dump", snap->epoch);
@@ -750,7 +1014,37 @@ Json ServerState::HandleStats() {
                          std::chrono::steady_clock::now() - start_)
                          .count()));
   j.Set("poisoned", Json::Bool(poisoned_.load(std::memory_order_acquire)));
+  j.Set("role", Json::Str(replica_.enabled ? "replica" : "primary"));
   j.Set("verbs", latency_.ToJson());
+
+  Json r = Json::Object();
+  if (replica_.enabled) {
+    r.Set("role", Json::Str("replica"));
+    r.Set("primary", Json::Str(StrPrintf("%s:%d", replica_.primary_host.c_str(),
+                                         replica_.primary_port)));
+    std::lock_guard<std::mutex> rlk(repl_mu_);
+    r.Set("connected", Json::Bool(repl_.connected));
+    r.Set("broken", Json::Bool(repl_.broken));
+    r.Set("primary_epoch", Json::Int(repl_.primary_epoch));
+    r.Set("lag_epochs",
+          Json::Int(std::max<int64_t>(0, repl_.primary_epoch - snap->epoch)));
+    r.Set("reconnects", Json::Int(repl_.reconnects));
+    r.Set("bootstraps", Json::Int(repl_.bootstraps));
+    r.Set("frames_applied", Json::Int(repl_.frames));
+    r.Set("records_applied", Json::Int(repl_.records_applied));
+    r.Set("crc_failures", Json::Int(repl_.crc_failures));
+    if (!repl_.last_error.empty()) {
+      r.Set("last_error", Json::Str(repl_.last_error));
+    }
+  } else {
+    r.Set("role", Json::Str("primary"));
+    std::lock_guard<std::mutex> rlk(repl_mu_);
+    r.Set("subscribes_served", Json::Int(subscribes_served_));
+    r.Set("bootstraps_served", Json::Int(bootstraps_served_));
+    r.Set("frames_served", Json::Int(frames_served_));
+    r.Set("records_shipped", Json::Int(records_shipped_));
+  }
+  j.Set("replication", std::move(r));
 
   Json d = Json::Object();
   const bool enabled = !durability_.data_dir.empty();

@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -60,6 +61,15 @@ struct ServingSnapshot {
   core::EvalStats stats;  ///< cumulative: load run + every applied update
   core::Completeness completeness = core::Completeness::kLeastModel;
   LimitKind limit_tripped = LimitKind::kNone;
+};
+
+/// Configuration for running as a read replica of another madd. A replica
+/// never accepts writes directly: a Replicator thread pulls the primary's
+/// WAL over the wire protocol and applies it through the same writer lane.
+struct ReplicaOptions {
+  bool enabled = false;
+  std::string primary_host;
+  int primary_port = 0;
 };
 
 /// Per-verb latency accounting: count, running mean, and p50/p95/p99 over a
@@ -97,6 +107,10 @@ class ServerState {
     std::shared_ptr<CancellationToken> cancellation;
     /// WAL + checkpoint + crash recovery; disabled while data_dir is empty.
     DurabilityOptions durability;
+    /// Read-replica mode. Mutually exclusive with durability: the primary's
+    /// WAL is the log of record, and a restarted replica re-bootstraps from
+    /// the primary (lattice joins make the full re-apply a safe no-op).
+    ReplicaOptions replica;
   };
 
   /// Parses, checks (the full PR2/PR3 check-and-certify pipeline runs inside
@@ -110,8 +124,16 @@ class ServerState {
       std::string_view program_text, LoadOptions options);
 
   /// Dispatches one request and returns the response. Verbs: ping, query,
-  /// insert, dump, stats, sync, recover, shutdown. Unknown verbs get
-  /// ok:false responses; this never fails at the transport level.
+  /// insert, dump, stats, sync, recover, repl_subscribe, repl_frames,
+  /// shutdown. Unknown verbs get ok:false responses; this never fails at
+  /// the transport level.
+  ///
+  /// Read verbs (query, dump, stats) honor a top-level "min_epoch" token
+  /// (the epoch an insert acknowledgment returned): the read blocks until
+  /// the published epoch reaches the token or "min_epoch_wait_ms" expires,
+  /// then fails with kReplicaLagging rather than silently serving an older
+  /// snapshot. On a replica, write verbs fail with kNotPrimary and a
+  /// "redirect" object naming the primary.
   Json Handle(const Json& request);
 
   /// The currently published snapshot (never null after Load).
@@ -124,6 +146,42 @@ class ServerState {
   /// Durability health, for callers that bypass the JSON surface (tests).
   bool degraded() const { return degraded_.load(std::memory_order_acquire); }
   bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
+
+  bool is_replica() const { return replica_.enabled; }
+
+  /// Blocks until the published epoch reaches `min_epoch` or the timeout
+  /// expires; returns whether the bar was met. Because the published model
+  /// only moves up in ⊑, a true return certifies that the snapshot pinned
+  /// *afterwards* covers every write acknowledged with a token ≤ min_epoch.
+  bool WaitForEpoch(int64_t min_epoch, std::chrono::milliseconds timeout) const;
+
+  /// Replica-side apply of one shipped insert batch — exactly the WAL
+  /// record the primary acknowledged. Idempotent: re-applying an already
+  /// covered batch is a lattice-join no-op, so the replicator may re-send
+  /// freely across reconnects. Advances the published epoch to
+  /// max(current, epoch).
+  Status ApplyReplicated(int64_t epoch, const std::string& facts_text);
+  /// Replica-side bootstrap: the primary's full accepted history in one
+  /// batch (checkpoint-seeded late join, or re-join after the primary
+  /// pruned the segment the replica was reading). Safe at any time, for
+  /// the same idempotence reason.
+  Status ApplyBootstrap(int64_t epoch, const std::string& facts_text);
+
+  /// Point-in-time replication progress, pushed by the Replicator thread
+  /// and rendered by the stats verb.
+  struct ReplicationProgress {
+    bool connected = false;
+    bool broken = false;  ///< unrecoverable: program mismatch or apply failure
+    int64_t primary_epoch = 0;  ///< highest epoch the primary reported
+    int64_t reconnects = 0;
+    int64_t bootstraps = 0;
+    int64_t frames = 0;  ///< repl_frames responses processed
+    int64_t records_applied = 0;
+    int64_t crc_failures = 0;  ///< re-verification mismatches (frame dropped)
+    std::string last_error;
+  };
+  void ReportReplication(const ReplicationProgress& progress);
+  ReplicationProgress replication_progress() const;
 
  private:
   ServerState() = default;
@@ -142,6 +200,20 @@ class ServerState {
   Json HandleStats();
   Json HandleSync(const Json& request);
   Json HandleRecover();
+  /// Primary-side replication handshake: returns the program text (with its
+  /// CRC so the replica can refuse a mismatched primary), the committed
+  /// epoch, the stream start position, and — when the WAL alone no longer
+  /// covers the subscriber's gap — a full-history bootstrap batch.
+  Json HandleReplSubscribe(const Json& request);
+  /// Primary-side log shipping: a window of acknowledged WAL records from a
+  /// (segment, offset) position, long-pollable via "wait_ms". Signals
+  /// position_pruned when the requested segment was checkpointed away.
+  Json HandleReplFrames(const Json& request);
+  /// kNotPrimary error response carrying a redirect to the primary.
+  Json NotPrimaryResponse(const std::string& verb) const;
+  /// Shared body of ApplyReplicated/ApplyBootstrap.
+  Status ApplyShipped(int64_t epoch, const std::string& facts_text,
+                      bool bootstrap);
 
   /// Reads {"limits": {"deadline_ms": N, "max_tuples": N}} into engine
   /// limits, always merging the server-wide cancellation token.
@@ -226,7 +298,21 @@ class ServerState {
   /// Refreshes the wal_* mirror fields from wal_ (writer lane only).
   void SyncDurabilityCounters();
 
+  // --- replication --------------------------------------------------------
+  ReplicaOptions replica_;
+  /// Counters for both roles, separate from dur_mu_ so stats rendering and
+  /// the Replicator's progress pushes never contend with the writer lane.
+  mutable std::mutex repl_mu_;
+  ReplicationProgress repl_;     ///< replica role: pushed by the Replicator
+  int64_t subscribes_served_ = 0;  // primary role, under repl_mu_
+  int64_t bootstraps_served_ = 0;
+  int64_t frames_served_ = 0;
+  int64_t records_shipped_ = 0;
+
   mutable std::mutex snap_mu_;
+  /// Signaled on every Publish; read verbs carrying min_epoch and the
+  /// primary's long-polling frame requests wait on it.
+  mutable std::condition_variable snap_cv_;
   std::shared_ptr<const ServingSnapshot> snapshot_;
 
   /// Per-snapshot demand-query memo: responses keyed by "atom|mode", valid

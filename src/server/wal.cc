@@ -65,12 +65,24 @@ bool ParseWalSegmentName(const std::string& name, uint64_t* seq) {
   return true;
 }
 
-std::string EncodeWalRecord(const WalRecord& record) {
+namespace {
+
+std::string EncodeWalPayload(const WalRecord& record) {
   std::string payload;
   payload.push_back(static_cast<char>(record.type));
   PutU64(&payload, static_cast<uint64_t>(record.epoch));
   payload.append(record.facts_text);
+  return payload;
+}
 
+}  // namespace
+
+uint32_t WalPayloadCrc(const WalRecord& record) {
+  return util::Crc32c(EncodeWalPayload(record));
+}
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  std::string payload = EncodeWalPayload(record);
   std::string frame;
   PutU32(&frame, static_cast<uint32_t>(payload.size()));
   PutU32(&frame, util::MaskCrc(util::Crc32c(payload)));
@@ -79,6 +91,11 @@ std::string EncodeWalRecord(const WalRecord& record) {
 }
 
 StatusOr<WalReadResult> ReadWalSegment(const std::string& path) {
+  return ReadWalSegmentFrom(path, 0);
+}
+
+StatusOr<WalReadResult> ReadWalSegmentFrom(const std::string& path,
+                                           int64_t offset) {
   MAD_ASSIGN_OR_RETURN(std::string data, util::ReadFileToString(path));
   WalReadResult out;
 
@@ -97,6 +114,17 @@ StatusOr<WalReadResult> ReadWalSegment(const std::string& path) {
   }
 
   size_t off = kWalMagicBytes;
+  if (offset > static_cast<int64_t>(kWalMagicBytes)) {
+    // Resume where a previous read stopped. A resume point past EOF means
+    // the caller's position came from a different (longer) incarnation of
+    // this segment — segments are append-only, so that is corruption.
+    if (offset > static_cast<int64_t>(data.size())) {
+      return Status::Internal(StrPrintf(
+          "%s: resume offset %lld is beyond the %zu-byte segment",
+          path.c_str(), static_cast<long long>(offset), data.size()));
+    }
+    off = static_cast<size_t>(offset);
+  }
   out.valid_bytes = static_cast<int64_t>(off);
   while (off < data.size()) {
     // A header that does not fit before EOF is a torn tail.
@@ -144,9 +172,11 @@ StatusOr<WalReadResult> ReadWalSegment(const std::string& path) {
     rec.type = static_cast<WalRecordType>(type);
     rec.epoch = static_cast<int64_t>(GetU64(data.data() + body + 1));
     rec.facts_text.assign(data, body + 9, len - 9);
+    rec.crc = got_crc;
     out.records.push_back(std::move(rec));
     off = body + len;
     out.valid_bytes = static_cast<int64_t>(off);
+    out.record_ends.push_back(out.valid_bytes);
   }
   return out;
 }

@@ -62,7 +62,17 @@ struct WalRecord {
   WalRecordType type = WalRecordType::kInsert;
   int64_t epoch = 0;
   std::string facts_text;  ///< empty for kAbort
+  /// Unmasked CRC32C of the on-disk payload, filled in by readers. Log
+  /// shipping forwards this checksum end-to-end so a replica can re-verify
+  /// the bytes it applies against what the primary's disk held — the wire
+  /// layer's own framing does not cover the replication payload semantics.
+  uint32_t crc = 0;
 };
+
+/// The unmasked CRC32C of `record`'s payload as EncodeWalRecord would frame
+/// it. Replicas recompute this over shipped records and compare against the
+/// forwarded WalRecord::crc.
+uint32_t WalPayloadCrc(const WalRecord& record);
 
 /// `wal-<seq>.log` for a zero-padded decimal sequence number.
 std::string WalSegmentName(uint64_t seq);
@@ -72,6 +82,9 @@ bool ParseWalSegmentName(const std::string& name, uint64_t* seq);
 /// The outcome of reading one segment.
 struct WalReadResult {
   std::vector<WalRecord> records;
+  /// record_ends[i] is the byte offset just past records[i] — the resume
+  /// point a streaming reader hands back to continue after that record.
+  std::vector<int64_t> record_ends;
   /// True when a torn/partial/CRC-failing tail record was dropped — the
   /// expected signature of a crash mid-append, not an error.
   bool truncated_tail = false;
@@ -84,6 +97,13 @@ struct WalReadResult {
 /// missing/garbled header or for corruption *before* the tail (a bad record
 /// followed by more data).
 StatusOr<WalReadResult> ReadWalSegment(const std::string& path);
+
+/// Same, but parsing resumes at byte `offset` — a `valid_bytes` value from a
+/// previous read of this segment. Offsets at or below the magic re-read the
+/// whole segment. The replication cursor uses this so tailing a live segment
+/// only re-parses the suffix the writer appended since the last poll.
+StatusOr<WalReadResult> ReadWalSegmentFrom(const std::string& path,
+                                           int64_t offset);
 
 /// Appends records to one segment file. Single-writer (the server's writer
 /// mutex); all I/O flows through the IoHooks seam for fault injection.

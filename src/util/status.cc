@@ -26,6 +26,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDurabilityDegraded:
       return "DurabilityDegraded";
+    case StatusCode::kReplicaLagging:
+      return "ReplicaLagging";
+    case StatusCode::kNotPrimary:
+      return "NotPrimary";
   }
   return "Unknown";
 }

@@ -45,6 +45,13 @@ enum class StatusCode {
   /// updates that would not survive a crash; reads keep serving the last
   /// sound snapshot.
   kDurabilityDegraded,
+  /// A read carrying a `min_epoch` token reached a replica whose applied
+  /// epoch is still behind it, and the wait deadline expired. The client
+  /// may retry here (the replica only moves up in ⊑) or read the primary.
+  kReplicaLagging,
+  /// A write verb reached a read replica. The response carries a redirect
+  /// to the primary; nothing was applied.
+  kNotPrimary,
 };
 
 /// Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -89,6 +96,12 @@ class Status {
   }
   static Status DurabilityDegraded(std::string msg) {
     return Status(StatusCode::kDurabilityDegraded, std::move(msg));
+  }
+  static Status ReplicaLagging(std::string msg) {
+    return Status(StatusCode::kReplicaLagging, std::move(msg));
+  }
+  static Status NotPrimary(std::string msg) {
+    return Status(StatusCode::kNotPrimary, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,206 @@
+// Differential certification of the replication layer: several replicas
+// pulling the same primary WAL under different frame batching, with torn
+// connections, a primary that dies and restarts (new port, recovered from
+// its data dir), checkpoint-pruned history forcing a late joiner through
+// the bootstrap path — every replica must converge to the byte-identical
+// model. Convergence does not depend on how the history was sliced into
+// frames because every shipped batch is an idempotent, commutative lattice
+// join; this test is the executable form of that argument.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/replication/replicator.h"
+#include "server/server.h"
+#include "server/state.h"
+
+namespace mad {
+namespace server {
+namespace {
+
+constexpr const char* kShortestPath = R"(
+.decl arc(from, to, c: min_real)
+.decl path(from, mid, to, c: min_real)
+.decl s(from, to, c: min_real)
+.constraint arc(direct, Z, C).
+
+path(X, direct, Y, C) :- arc(X, Y, C).
+path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+
+arc(a, b, 1).
+arc(b, c, 2).
+)";
+
+std::string TempDir() {
+  std::string tmpl = ::testing::TempDir() + "mad_diff_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr);
+  return tmpl;
+}
+
+Json Request(const char* verb) {
+  Json j = Json::Object();
+  j.Set("verb", Json::Str(verb));
+  return j;
+}
+
+Json InsertRequest(const std::string& facts) {
+  Json j = Request("insert");
+  j.Set("facts", Json::Str(facts));
+  return j;
+}
+
+/// Varied enough that every batch changes the model (fresh arcs) while
+/// some batches also tighten existing shortest paths.
+std::string Batch(int i) {
+  return "arc(n" + std::to_string(i % 7) + ", n" + std::to_string((i + 1) % 9) +
+         ", " + std::to_string(1 + i % 5) + ").";
+}
+
+std::unique_ptr<ServerState> MustLoadPrimary(const std::string& data_dir) {
+  ServerState::LoadOptions options;
+  options.durability.data_dir = data_dir;
+  options.durability.checkpoint_every_epochs = 0;
+  options.durability.checkpoint_every_bytes = 0;
+  auto state = ServerState::Load(kShortestPath, std::move(options));
+  EXPECT_TRUE(state.ok()) << state.status();
+  return std::move(state).value();
+}
+
+std::unique_ptr<ServerState> MustLoadReplica(int primary_port) {
+  ServerState::LoadOptions options;
+  options.replica.enabled = true;
+  options.replica.primary_host = "127.0.0.1";
+  options.replica.primary_port = primary_port;
+  auto state = ServerState::Load(kShortestPath, std::move(options));
+  EXPECT_TRUE(state.ok()) << state.status();
+  return std::move(state).value();
+}
+
+Replicator::Options PumpOptions(int port, int64_t max_records, uint64_t seed) {
+  Replicator::Options opts;
+  opts.primary_host = "127.0.0.1";
+  opts.primary_port = port;
+  opts.program_text = kShortestPath;
+  opts.max_records = max_records;
+  opts.poll_wait_ms = 25;
+  opts.initial_backoff = std::chrono::milliseconds(5);
+  opts.max_backoff = std::chrono::milliseconds(50);
+  opts.seed = seed;
+  return opts;
+}
+
+TEST(ReplicationDifferentialTest, ReplicasConvergeByteIdentically) {
+  const std::string data_dir = TempDir();
+  auto srv = Server::Start(MustLoadPrimary(data_dir), {});
+  ASSERT_TRUE(srv.ok()) << srv.status();
+
+  // Three replicas with deliberately different frame batching: one record
+  // at a time, mid-sized windows, and windows that straddle the batches the
+  // disconnects will tear. Shuffled segment boundaries must not matter.
+  const int64_t kWindows[] = {1, 3, 7};
+  std::vector<std::unique_ptr<ServerState>> replicas;
+  std::vector<std::unique_ptr<Replicator>> pumps;
+  for (int r = 0; r < 3; ++r) {
+    replicas.push_back(MustLoadReplica((*srv)->port()));
+    pumps.push_back(std::make_unique<Replicator>(
+        replicas.back().get(),
+        PumpOptions((*srv)->port(), kWindows[r],
+                    /*seed=*/100 + static_cast<uint64_t>(r))));
+    pumps.back()->Start();
+  }
+
+  // Phase 1: an insert storm with torn connections — every pump loses its
+  // connection several times mid-stream and must resume from its position.
+  for (int i = 0; i < 10; ++i) {
+    Json ack = (*srv)->state().Handle(InsertRequest(Batch(i)));
+    ASSERT_TRUE(ack.At("ok").boolean) << ack.Dump();
+    pumps[static_cast<size_t>(i) % pumps.size()]->InjectDisconnect();
+  }
+
+  // Phase 2: the primary dies (server torn down, all connections reset) and
+  // restarts from its data dir on a fresh port. Replicas are retargeted the
+  // way an operator (or service discovery) would.
+  srv->reset();
+  srv = Server::Start(MustLoadPrimary(data_dir), {});
+  ASSERT_TRUE(srv.ok()) << srv.status();
+  ASSERT_EQ((*srv)->state().epoch(), 10);
+  for (auto& pump : pumps) pump->SetEndpoint("127.0.0.1", (*srv)->port());
+
+  // Phase 3: more inserts, then a checkpoint that prunes the shipped WAL
+  // out from under every subscriber position.
+  for (int i = 10; i < 20; ++i) {
+    Json ack = (*srv)->state().Handle(InsertRequest(Batch(i)));
+    ASSERT_TRUE(ack.At("ok").boolean) << ack.Dump();
+  }
+  Json sync = Request("sync");
+  sync.Set("checkpoint", Json::Bool(true));
+  ASSERT_TRUE((*srv)->state().Handle(sync).At("ok").boolean);
+
+  // Phase 4: a late joiner arrives after the prune. Streaming alone cannot
+  // cover its gap, so it must take the bootstrap path.
+  replicas.push_back(MustLoadReplica((*srv)->port()));
+  pumps.push_back(std::make_unique<Replicator>(
+      replicas.back().get(),
+      PumpOptions((*srv)->port(), /*max_records=*/5, /*seed=*/999)));
+  pumps.back()->Start();
+
+  const int64_t final_epoch = (*srv)->state().epoch();
+  ASSERT_EQ(final_epoch, 20);
+  for (size_t r = 0; r < replicas.size(); ++r) {
+    EXPECT_TRUE(replicas[r]->WaitForEpoch(final_epoch,
+                                          std::chrono::seconds(30)))
+        << "replica " << r << " stuck at epoch "
+        << replicas[r]->Pin()->epoch << " (broken=" << pumps[r]->broken()
+        << ", last_error="
+        << replicas[r]->replication_progress().last_error << ")";
+  }
+  for (auto& pump : pumps) pump->Stop();
+
+  // The differential check proper: four independently-batched, torn, and
+  // restarted replication streams end in the byte-identical model.
+  const std::string oracle = (*srv)->state().Pin()->db.ToString();
+  ASSERT_FALSE(oracle.empty());
+  for (size_t r = 0; r < replicas.size(); ++r) {
+    EXPECT_EQ(replicas[r]->Pin()->db.ToString(), oracle) << "replica " << r;
+    EXPECT_EQ(replicas[r]->replication_progress().crc_failures, 0)
+        << "replica " << r;
+    EXPECT_FALSE(pumps[r]->broken()) << "replica " << r;
+  }
+
+  // The late joiner could not have streamed its way there.
+  EXPECT_GE(replicas.back()->replication_progress().bootstraps, 1);
+  // The torn pumps really did reconnect (the tears were not no-ops).
+  EXPECT_GE(replicas[0]->replication_progress().reconnects, 1);
+
+  // Read-your-writes across the fleet: one more acknowledged write, and a
+  // token-carrying read on every replica either waits it in or fails
+  // structurally — it never silently shows the pre-insert model.
+  Json ack = (*srv)->state().Handle(InsertRequest("arc(z0, z1, 1)."));
+  ASSERT_TRUE(ack.At("ok").boolean);
+  const int64_t token = ack.IntOr("epoch", 0);
+  ASSERT_EQ(token, final_epoch + 1);
+  for (auto& pump : pumps) pump->Start();
+  for (size_t r = 0; r < replicas.size(); ++r) {
+    Json read = Request("dump");
+    read.Set("min_epoch", Json::Int(token));
+    read.Set("min_epoch_wait_ms", Json::Int(15000));
+    Json response = replicas[r]->Handle(read);
+    ASSERT_TRUE(response.At("ok").boolean)
+        << "replica " << r << ": " << response.Dump();
+    EXPECT_GE(response.IntOr("epoch", 0), token) << "replica " << r;
+    EXPECT_NE(response.StrOr("model", "").find("arc(z0, z1, 1)"),
+              std::string::npos)
+        << "replica " << r;
+  }
+  for (auto& pump : pumps) pump->Stop();
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace mad

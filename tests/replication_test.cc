@@ -1,0 +1,372 @@
+// Replication semantics: read-your-writes epoch tokens (blocking reads,
+// structured kReplicaLagging), write redirection off replicas, the
+// repl_subscribe/repl_frames shipping protocol (committed gate, CRC
+// forwarding, prune signaling, bootstrap), and the Replicator pump
+// end-to-end against a real Server.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/replication/replicator.h"
+#include "server/replication/wal_cursor.h"
+#include "server/server.h"
+#include "server/state.h"
+#include "server/wal.h"
+
+namespace mad {
+namespace server {
+namespace {
+
+constexpr const char* kShortestPath = R"(
+.decl arc(from, to, c: min_real)
+.decl path(from, mid, to, c: min_real)
+.decl s(from, to, c: min_real)
+.constraint arc(direct, Z, C).
+
+path(X, direct, Y, C) :- arc(X, Y, C).
+path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+
+arc(a, b, 1).
+arc(b, c, 2).
+)";
+
+std::string TempDir() {
+  std::string tmpl = ::testing::TempDir() + "mad_repl_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr);
+  return tmpl;
+}
+
+Json Request(const char* verb) {
+  Json j = Json::Object();
+  j.Set("verb", Json::Str(verb));
+  return j;
+}
+
+Json InsertRequest(const std::string& facts) {
+  Json j = Request("insert");
+  j.Set("facts", Json::Str(facts));
+  return j;
+}
+
+std::string ErrorCode(const Json& response) {
+  return response.At("error").StrOr("code", "");
+}
+
+std::unique_ptr<ServerState> MustLoadPrimary(const std::string& data_dir) {
+  ServerState::LoadOptions options;
+  options.durability.data_dir = data_dir;
+  options.durability.checkpoint_every_epochs = 0;
+  options.durability.checkpoint_every_bytes = 0;
+  auto state = ServerState::Load(kShortestPath, std::move(options));
+  EXPECT_TRUE(state.ok()) << state.status();
+  return std::move(state).value();
+}
+
+std::unique_ptr<ServerState> MustLoadReplica(const std::string& host,
+                                             int port) {
+  ServerState::LoadOptions options;
+  options.replica.enabled = true;
+  options.replica.primary_host = host;
+  options.replica.primary_port = port;
+  auto state = ServerState::Load(kShortestPath, std::move(options));
+  EXPECT_TRUE(state.ok()) << state.status();
+  return std::move(state).value();
+}
+
+Replicator::Options PumpOptions(int port) {
+  Replicator::Options opts;
+  opts.primary_host = "127.0.0.1";
+  opts.primary_port = port;
+  opts.program_text = kShortestPath;
+  opts.poll_wait_ms = 50;
+  opts.initial_backoff = std::chrono::milliseconds(5);
+  opts.max_backoff = std::chrono::milliseconds(100);
+  opts.seed = 17;
+  return opts;
+}
+
+// --- role plumbing --------------------------------------------------------
+
+TEST(ReplicationTest, ReplicaModeExcludesLocalDurability) {
+  ServerState::LoadOptions options;
+  options.replica.enabled = true;
+  options.replica.primary_host = "127.0.0.1";
+  options.replica.primary_port = 7;
+  options.durability.data_dir = TempDir();
+  auto state = ServerState::Load(kShortestPath, std::move(options));
+  EXPECT_FALSE(state.ok());
+}
+
+TEST(ReplicationTest, RolesAreVisibleInPingAndStats) {
+  auto replica = MustLoadReplica("127.0.0.1", 7);
+  Json ping = replica->Handle(Request("ping"));
+  EXPECT_EQ(ping.StrOr("role", ""), "replica");
+  Json stats = replica->Handle(Request("stats"));
+  EXPECT_EQ(stats.At("replication").StrOr("role", ""), "replica");
+  EXPECT_EQ(stats.At("replication").StrOr("primary", ""), "127.0.0.1:7");
+
+  auto primary = ServerState::Load(kShortestPath, {});
+  ASSERT_TRUE(primary.ok());
+  Json pstats = (*primary)->Handle(Request("stats"));
+  EXPECT_EQ(pstats.At("replication").StrOr("role", ""), "primary");
+}
+
+TEST(ReplicationTest, WritesOnAReplicaRedirectToThePrimary) {
+  auto replica = MustLoadReplica("10.0.0.9", 7407);
+  for (const char* verb : {"insert", "sync", "recover"}) {
+    Json request = verb == std::string("insert")
+                       ? InsertRequest("arc(c, d, 3).")
+                       : Request(verb);
+    Json response = replica->Handle(request);
+    EXPECT_FALSE(response.At("ok").boolean) << verb;
+    EXPECT_EQ(ErrorCode(response), "NotPrimary") << verb;
+    EXPECT_EQ(response.At("redirect").StrOr("host", ""), "10.0.0.9") << verb;
+    EXPECT_EQ(response.At("redirect").IntOr("port", 0), 7407) << verb;
+  }
+  // Nothing was applied.
+  EXPECT_EQ(replica->epoch(), 0);
+}
+
+// --- read-your-writes tokens ----------------------------------------------
+
+TEST(ReplicationTest, LaggingReplicaReturnsStructuredLagNotStaleData) {
+  auto replica = MustLoadReplica("127.0.0.1", 7);
+  Json read = Request("dump");
+  read.Set("min_epoch", Json::Int(5));
+  read.Set("min_epoch_wait_ms", Json::Int(0));
+  Json response = replica->Handle(read);
+  ASSERT_FALSE(response.At("ok").boolean);
+  EXPECT_EQ(ErrorCode(response), "ReplicaLagging");
+  EXPECT_EQ(response.IntOr("epoch", -1), 0);
+  EXPECT_EQ(response.IntOr("min_epoch", -1), 5);
+}
+
+TEST(ReplicationTest, MinEpochReadBlocksUntilTheBatchIsApplied) {
+  auto replica = MustLoadReplica("127.0.0.1", 7);
+  std::thread pump([&replica] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    Status applied = replica->ApplyReplicated(1, "arc(c, d, 3).");
+    EXPECT_TRUE(applied.ok()) << applied;
+  });
+  Json read = Request("dump");
+  read.Set("min_epoch", Json::Int(1));
+  read.Set("min_epoch_wait_ms", Json::Int(5000));
+  Json response = replica->Handle(read);
+  pump.join();
+  ASSERT_TRUE(response.At("ok").boolean) << response.Dump();
+  EXPECT_GE(response.IntOr("epoch", 0), 1);
+  EXPECT_NE(response.StrOr("model", "").find("arc(c, d, 3)"),
+            std::string::npos);
+}
+
+TEST(ReplicationTest, MinEpochIsTrivialOnACaughtUpNode) {
+  auto primary = ServerState::Load(kShortestPath, {});
+  ASSERT_TRUE(primary.ok());
+  Json ack = (*primary)->Handle(InsertRequest("arc(c, d, 3)."));
+  ASSERT_TRUE(ack.At("ok").boolean);
+  const int64_t token = ack.IntOr("epoch", 0);
+  ASSERT_GE(token, 1);
+
+  Json read = Request("dump");
+  read.Set("min_epoch", Json::Int(token));
+  Json response = (*primary)->Handle(read);
+  EXPECT_TRUE(response.At("ok").boolean);
+  EXPECT_GE(response.IntOr("epoch", 0), token);
+}
+
+// --- the shipping protocol -------------------------------------------------
+
+TEST(ReplicationTest, ReplSubscribeRequiresDurability) {
+  auto primary = ServerState::Load(kShortestPath, {});
+  ASSERT_TRUE(primary.ok());
+  Json response = (*primary)->Handle(Request("repl_subscribe"));
+  EXPECT_FALSE(response.At("ok").boolean);
+  EXPECT_EQ(ErrorCode(response), "InvalidArgument");
+}
+
+TEST(ReplicationTest, FramesShipAcknowledgedBatchesWithVerifiableCrcs) {
+  auto primary = MustLoadPrimary(TempDir());
+  ASSERT_TRUE(primary->Handle(InsertRequest("arc(c, d, 3).")).At("ok").boolean);
+  ASSERT_TRUE(primary->Handle(InsertRequest("arc(d, e, 4).")).At("ok").boolean);
+
+  Json sub = primary->Handle(Request("repl_subscribe"));
+  ASSERT_TRUE(sub.At("ok").boolean) << sub.Dump();
+  EXPECT_EQ(sub.StrOr("program", ""), kShortestPath);
+  EXPECT_EQ(sub.IntOr("epoch", -1), 2);
+  // The whole history is still in the WAL: streaming alone suffices.
+  EXPECT_TRUE(sub.At("bootstrap").is_null());
+
+  Json req = Request("repl_frames");
+  req.Set("seq", Json::Int(sub.IntOr("seq", 0)));
+  req.Set("offset", Json::Int(sub.IntOr("offset", 0)));
+  Json frame = primary->Handle(req);
+  ASSERT_TRUE(frame.At("ok").boolean) << frame.Dump();
+  ASSERT_EQ(frame.IntOr("count", -1), 2);
+  const Json& records = frame.At("records");
+  ASSERT_EQ(records.arr.size(), 2u);
+  for (size_t i = 0; i < records.arr.size(); ++i) {
+    WalRecord rec;
+    rec.type = WalRecordType::kInsert;
+    rec.epoch = records.arr[i].IntOr("epoch", 0);
+    rec.facts_text = records.arr[i].At("facts").str;
+    EXPECT_EQ(rec.epoch, static_cast<int64_t>(i) + 1);
+    // End-to-end integrity: the shipped CRC re-verifies against content.
+    EXPECT_EQ(static_cast<uint32_t>(records.arr[i].IntOr("crc", 0)),
+              WalPayloadCrc(rec));
+  }
+
+  // Polling from the returned position: caught up, empty frame.
+  Json more = Request("repl_frames");
+  more.Set("seq", Json::Int(frame.IntOr("seq", 0)));
+  more.Set("offset", Json::Int(frame.IntOr("offset", 0)));
+  Json empty = primary->Handle(more);
+  ASSERT_TRUE(empty.At("ok").boolean);
+  EXPECT_EQ(empty.IntOr("count", -1), 0);
+}
+
+TEST(ReplicationTest, PruneSignalsTheSubscriberAndBootstrapCoversTheGap) {
+  auto primary = MustLoadPrimary(TempDir());
+  ASSERT_TRUE(primary->Handle(InsertRequest("arc(c, d, 3).")).At("ok").boolean);
+
+  // Checkpoint + rotate + prune: segment 1 disappears.
+  Json sync = Request("sync");
+  sync.Set("checkpoint", Json::Bool(true));
+  ASSERT_TRUE(primary->Handle(sync).At("ok").boolean);
+
+  Json req = Request("repl_frames");
+  req.Set("seq", Json::Int(1));
+  req.Set("offset", Json::Int(8));
+  Json frame = primary->Handle(req);
+  ASSERT_TRUE(frame.At("ok").boolean) << frame.Dump();
+  EXPECT_TRUE(frame.At("position_pruned").boolean);
+
+  // A fresh subscriber's gap is no longer WAL-covered: bootstrap required,
+  // carrying the full accepted history.
+  Json sub = Request("repl_subscribe");
+  sub.Set("have_epoch", Json::Int(0));
+  Json response = primary->Handle(sub);
+  ASSERT_TRUE(response.At("ok").boolean) << response.Dump();
+  const Json& bootstrap = response.At("bootstrap");
+  ASSERT_TRUE(bootstrap.is_object());
+  EXPECT_EQ(bootstrap.IntOr("epoch", -1), 1);
+  EXPECT_NE(bootstrap.At("facts").str.find("arc(c, d, 3)"),
+            std::string::npos);
+
+  // A caught-up subscriber (have_epoch == committed) needs none.
+  Json caught = Request("repl_subscribe");
+  caught.Set("have_epoch", Json::Int(1));
+  Json caught_resp = primary->Handle(caught);
+  ASSERT_TRUE(caught_resp.At("ok").boolean);
+  EXPECT_TRUE(caught_resp.At("bootstrap").is_null());
+}
+
+// --- the pump, end to end --------------------------------------------------
+
+TEST(ReplicationTest, ReplicatorStreamsInsertsIntoAnIdenticalModel) {
+  auto srv = Server::Start(MustLoadPrimary(TempDir()), {});
+  ASSERT_TRUE(srv.ok()) << srv.status();
+  Server& primary = **srv;
+
+  auto replica = MustLoadReplica("127.0.0.1", primary.port());
+  Replicator pump(replica.get(), PumpOptions(primary.port()));
+  pump.Start();
+
+  for (int i = 0; i < 5; ++i) {
+    Json ack = primary.state().Handle(InsertRequest(
+        "arc(n" + std::to_string(i) + ", n" + std::to_string(i + 1) + ", " +
+        std::to_string(i + 1) + ")."));
+    ASSERT_TRUE(ack.At("ok").boolean) << ack.Dump();
+  }
+  ASSERT_TRUE(replica->WaitForEpoch(5, std::chrono::seconds(10)));
+  pump.Stop();
+
+  EXPECT_EQ(replica->Pin()->db.ToString(),
+            primary.state().Pin()->db.ToString());
+  EXPECT_FALSE(pump.broken());
+  auto progress = replica->replication_progress();
+  EXPECT_EQ(progress.crc_failures, 0);
+  EXPECT_GE(progress.records_applied, 5);
+}
+
+TEST(ReplicationTest, ReplicatorSurvivesInjectedDisconnects) {
+  auto srv = Server::Start(MustLoadPrimary(TempDir()), {});
+  ASSERT_TRUE(srv.ok()) << srv.status();
+  Server& primary = **srv;
+
+  auto replica = MustLoadReplica("127.0.0.1", primary.port());
+  Replicator pump(replica.get(), PumpOptions(primary.port()));
+  pump.Start();
+
+  for (int i = 0; i < 8; ++i) {
+    Json ack = primary.state().Handle(InsertRequest(
+        "arc(n" + std::to_string(i % 3) + ", n" + std::to_string(i + 1) +
+        ", " + std::to_string(1 + i % 4) + ")."));
+    ASSERT_TRUE(ack.At("ok").boolean);
+    if (i % 2 == 1) pump.InjectDisconnect();
+  }
+  ASSERT_TRUE(replica->WaitForEpoch(8, std::chrono::seconds(10)));
+  pump.Stop();
+  EXPECT_EQ(replica->Pin()->db.ToString(),
+            primary.state().Pin()->db.ToString());
+}
+
+// The satellite guarantee, stated as the user sees it: insert on the
+// primary, read your own write from a *lagging* replica with the returned
+// epoch token. Either the read blocks until the batch arrives and shows it,
+// or it fails with structured lag — it never silently serves the
+// pre-insert snapshot.
+TEST(ReplicationTest, ReadYourWritesFromALaggingReplica) {
+  auto srv = Server::Start(MustLoadPrimary(TempDir()), {});
+  ASSERT_TRUE(srv.ok()) << srv.status();
+  Server& primary = **srv;
+
+  auto replica = MustLoadReplica("127.0.0.1", primary.port());
+  Replicator pump(replica.get(), PumpOptions(primary.port()));
+  pump.Start();
+
+  for (int i = 0; i < 6; ++i) {
+    const std::string fact = "arc(m" + std::to_string(i) + ", m" +
+                             std::to_string(i + 1) + ", 1).";
+    Json ack = primary.state().Handle(InsertRequest(fact));
+    ASSERT_TRUE(ack.At("ok").boolean);
+    const int64_t token = ack.IntOr("epoch", 0);
+
+    // Impatient read first: with a zero deadline the replica must either
+    // already have the batch or say so — staleness is never silent.
+    Json impatient = Request("dump");
+    impatient.Set("min_epoch", Json::Int(token));
+    impatient.Set("min_epoch_wait_ms", Json::Int(0));
+    Json quick = replica->Handle(impatient);
+    if (quick.At("ok").boolean) {
+      EXPECT_GE(quick.IntOr("epoch", 0), token);
+      EXPECT_NE(quick.StrOr("model", "").find(fact.substr(0, fact.size() - 1)),
+                std::string::npos)
+          << quick.Dump();
+    } else {
+      EXPECT_EQ(ErrorCode(quick), "ReplicaLagging");
+    }
+
+    // Patient read: must see the write.
+    Json patient = Request("dump");
+    patient.Set("min_epoch", Json::Int(token));
+    patient.Set("min_epoch_wait_ms", Json::Int(10000));
+    Json read = replica->Handle(patient);
+    ASSERT_TRUE(read.At("ok").boolean) << read.Dump();
+    EXPECT_GE(read.IntOr("epoch", 0), token);
+    EXPECT_NE(read.StrOr("model", "").find(fact.substr(0, fact.size() - 1)),
+              std::string::npos);
+  }
+  pump.Stop();
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace mad

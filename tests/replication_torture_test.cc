@@ -1,0 +1,225 @@
+// Replication torture: a real primary madd is murdered (kill -9) mid
+// insert-storm, over and over, while two real replica madd processes —
+// started with no program file, so they fetch it over the wire — keep
+// pulling its WAL. After the last restart and a full idempotent resend,
+// both replicas must converge to the primary's byte-identical dump, and
+// writes sent to a replica must bounce with a redirect to the primary.
+//
+// Like recovery_torture_test, this runs the production binary
+// (MAD_BINARY_DIR/examples/madd): CLI flags, program fetch, reconnect
+// backoff, checkpoint pruning under the subscriber, and bootstrap are all
+// on the hook.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+
+#ifndef MAD_BINARY_DIR
+#define MAD_BINARY_DIR "."
+#endif
+
+namespace mad {
+namespace server {
+namespace {
+
+constexpr const char* kProgram = R"(
+.decl arc(from, to, c: min_real)
+.decl path(from, mid, to, c: min_real)
+.decl s(from, to, c: min_real)
+.constraint arc(direct, Z, C).
+
+path(X, direct, Y, C) :- arc(X, Y, C).
+path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+
+arc(n0, n1, 1).
+)";
+
+std::string TempDir() {
+  std::string tmpl = ::testing::TempDir() + "mad_repl_torture_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr);
+  return tmpl;
+}
+
+struct Madd {
+  pid_t pid = -1;
+  int port = 0;
+};
+
+/// fork/exec madd with the given flags, scraping the resolved port from its
+/// single startup line on stdout.
+Madd StartMadd(const std::vector<std::string>& flags) {
+  int out_pipe[2];
+  EXPECT_EQ(::pipe(out_pipe), 0);
+  const std::string binary = std::string(MAD_BINARY_DIR) + "/examples/madd";
+  pid_t pid = ::fork();
+  if (pid == 0) {
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(binary.c_str()));
+    for (const std::string& flag : flags) {
+      argv.push_back(const_cast<char*>(flag.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(binary.c_str(), argv.data());
+    ::_exit(127);
+  }
+  ::close(out_pipe[1]);
+
+  Madd m;
+  m.pid = pid;
+  std::string line;
+  char ch;
+  while (::read(out_pipe[0], &ch, 1) == 1 && ch != '\n') line.push_back(ch);
+  ::close(out_pipe[0]);
+  size_t colon = line.rfind(':');
+  if (colon != std::string::npos) {
+    m.port = std::atoi(line.c_str() + colon + 1);
+  }
+  EXPECT_GT(m.port, 0) << "madd startup line: '" << line << "'";
+  return m;
+}
+
+void KillHard(pid_t pid) {
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+}
+
+void ShutdownClean(Client* client, pid_t pid) {
+  auto bye = client->Shutdown();
+  EXPECT_TRUE(bye.ok()) << bye.status();
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  EXPECT_TRUE(WIFEXITED(status));
+}
+
+std::string Batch(int i) {
+  return "arc(n" + std::to_string(i % 7) + ", n" + std::to_string((i + 1) % 7) +
+         ", " + std::to_string(1 + i % 5) + ").";
+}
+
+TEST(ReplicationTortureTest, ReplicasSurvivePrimaryMurdersAndConverge) {
+  const std::string dir = TempDir();
+  const std::string program_path = dir + "/program.mdl";
+  {
+    std::ofstream out(program_path);
+    out << kProgram;
+  }
+  const std::string data_flag = "--data-dir=" + dir + "/data";
+
+  RetryOptions retry;
+  retry.max_attempts = 30;
+  retry.initial_backoff = std::chrono::milliseconds(10);
+  retry.max_backoff = std::chrono::milliseconds(200);
+  retry.seed = 13;
+
+  // The primary starts ephemeral once; every restart reclaims the SAME port
+  // so the replicas' --replica-of endpoint stays valid across murders.
+  Madd primary = StartMadd(
+      {"--port=0", data_flag, "--checkpoint-every-epochs=3", program_path});
+  ASSERT_GT(primary.port, 0);
+  const std::string port_flag = "--port=" + std::to_string(primary.port);
+  const std::string replica_flag =
+      "--replica-of=127.0.0.1:" + std::to_string(primary.port);
+
+  // Two replicas, deliberately started WITHOUT a program file: they must
+  // fetch the program from the primary before they can serve at all.
+  Madd replicas[2];
+  for (Madd& r : replicas) {
+    r = StartMadd({"--port=0", replica_flag});
+    ASSERT_GT(r.port, 0);
+  }
+
+  constexpr int kCycles = 3;
+  constexpr int kBatchesPerCycle = 6;
+  int next_batch = 0;
+
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    auto client = Client::ConnectWithRetry("127.0.0.1", primary.port, retry);
+    ASSERT_TRUE(client.ok()) << client.status();
+    std::thread storm([&client, &next_batch] {
+      for (int i = 0; i < kBatchesPerCycle; ++i) {
+        auto response = client->Insert(Batch(next_batch));
+        if (!response.ok() || !response->At("ok").boolean) break;
+        ++next_batch;
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5 + 9 * cycle));
+    KillHard(primary.pid);
+    storm.join();
+    // Restart on the same port; the replicas reconnect on their own.
+    primary = StartMadd({port_flag, data_flag, "--checkpoint-every-epochs=3",
+                         program_path});
+    ASSERT_EQ(primary.port, std::atoi(port_flag.c_str() + 7));
+  }
+
+  // Full idempotent resend of the attempted history, then read the oracle.
+  auto client = Client::ConnectWithRetry("127.0.0.1", primary.port, retry);
+  ASSERT_TRUE(client.ok()) << client.status();
+  const int attempted = kCycles * kBatchesPerCycle;
+  for (int i = 0; i < attempted; ++i) {
+    auto response = client->CallWithRetry(
+        [&] {
+          Json j = Json::Object();
+          j.Set("verb", Json::Str("insert"));
+          j.Set("facts", Json::Str(Batch(i)));
+          return j;
+        }(),
+        retry);
+    ASSERT_TRUE(response.ok()) << response.status();
+    ASSERT_TRUE(response->At("ok").boolean) << response->Dump();
+  }
+  auto primary_dump = client->Dump();
+  ASSERT_TRUE(primary_dump.ok()) << primary_dump.status();
+  const int64_t final_epoch = primary_dump->IntOr("epoch", 0);
+  ASSERT_GT(final_epoch, 0);
+
+  // Each replica: read at the primary's final epoch token (blocks until its
+  // pump catches up), require the byte-identical model, and require writes
+  // to bounce back toward the primary.
+  for (Madd& r : replicas) {
+    auto rc = Client::ConnectWithRetry("127.0.0.1", r.port, retry);
+    ASSERT_TRUE(rc.ok()) << rc.status();
+
+    auto dump = rc->DumpAtLeast(final_epoch, /*wait_ms=*/30000);
+    ASSERT_TRUE(dump.ok()) << dump.status();
+    ASSERT_TRUE(dump->At("ok").boolean) << dump->Dump();
+    EXPECT_EQ(dump->At("model").str, primary_dump->At("model").str);
+
+    auto stats = rc->Stats();
+    ASSERT_TRUE(stats.ok());
+    const Json& repl = stats->At("replication");
+    EXPECT_EQ(repl.StrOr("role", ""), "replica");
+    EXPECT_FALSE(repl.At("broken").boolean) << stats->Dump();
+    // The murders were visible: the pump had to reconnect at least once.
+    EXPECT_GE(repl.IntOr("reconnects", 0), 1);
+    EXPECT_EQ(repl.IntOr("crc_failures", -1), 0);
+
+    auto insert = rc->Insert("arc(n0, n6, 1).");
+    ASSERT_TRUE(insert.ok()) << insert.status();
+    EXPECT_FALSE(insert->At("ok").boolean);
+    EXPECT_EQ(insert->At("error").StrOr("code", ""), "NotPrimary");
+    EXPECT_EQ(insert->At("redirect").IntOr("port", 0), primary.port);
+
+    ShutdownClean(&*rc, r.pid);
+  }
+  ShutdownClean(&*client, primary.pid);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace mad

@@ -1,0 +1,296 @@
+// WalCursor — the shared segment-replay/log-shipping reader: multi-segment
+// scans with resumable (segment, offset) positions, window caps, pruned
+// positions, torn tails, and the two selection policies layered on top
+// (recovery replay filtering and committed-gated shipping with the
+// abort-lookahead withholding rule).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "server/replication/wal_cursor.h"
+#include "server/wal.h"
+#include "util/posix_file.h"
+
+namespace mad {
+namespace server {
+namespace {
+
+std::string TempDir() {
+  std::string tmpl = ::testing::TempDir() + "mad_cursor_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr);
+  return tmpl;
+}
+
+WalRecord Insert(int64_t epoch, std::string facts) {
+  WalRecord r;
+  r.type = WalRecordType::kInsert;
+  r.epoch = epoch;
+  r.facts_text = std::move(facts);
+  return r;
+}
+
+WalRecord Abort(int64_t epoch) {
+  WalRecord r;
+  r.type = WalRecordType::kAbort;
+  r.epoch = epoch;
+  return r;
+}
+
+void Append(const std::string& dir, uint64_t seq,
+            const std::vector<WalRecord>& records) {
+  auto writer = WalWriter::Create(dir, seq, FsyncPolicy::kNever, nullptr);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  for (const WalRecord& r : records) {
+    ASSERT_TRUE(writer->Append(r).ok());
+  }
+}
+
+StatusOr<WalScan> Scan(const std::string& dir, const WalPosition& from,
+                       int64_t max_records = 0, int64_t max_bytes = 0) {
+  auto cursor = WalCursor::Open(dir);
+  if (!cursor.ok()) return cursor.status();
+  return cursor->Scan(from, max_records, max_bytes);
+}
+
+TEST(WalCursorTest, WalksSegmentsInSequenceOrder) {
+  std::string dir = TempDir();
+  Append(dir, 1, {Insert(1, "one"), Insert(2, "two")});
+  Append(dir, 2, {Insert(3, "three")});
+
+  auto scan = Scan(dir, WalPosition{});
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_TRUE(scan->exhausted);
+  EXPECT_FALSE(scan->position_pruned);
+  EXPECT_EQ(scan->segments_scanned, 2);
+  EXPECT_EQ(scan->max_seq_seen, 2u);
+  ASSERT_EQ(scan->records.size(), 3u);
+  EXPECT_EQ(scan->records[0].facts_text, "one");
+  EXPECT_EQ(scan->records[2].facts_text, "three");
+  ASSERT_EQ(scan->boundaries.size(), 3u);
+  EXPECT_EQ(scan->boundaries[0].seq, 1u);
+  EXPECT_EQ(scan->boundaries[2].seq, 2u);
+  // Boundaries advance strictly within a segment.
+  EXPECT_LT(scan->boundaries[0].offset, scan->boundaries[1].offset);
+  // The final position sits at the end of the last segment.
+  EXPECT_EQ(scan->next.seq, 2u);
+  EXPECT_EQ(scan->next.offset, scan->boundaries[2].offset);
+}
+
+TEST(WalCursorTest, ResumesFromARecordBoundary) {
+  std::string dir = TempDir();
+  Append(dir, 1, {Insert(1, "one"), Insert(2, "two")});
+  Append(dir, 2, {Insert(3, "three")});
+
+  auto all = Scan(dir, WalPosition{});
+  ASSERT_TRUE(all.ok());
+
+  // Resume just past record 0: exactly the suffix, same boundaries.
+  auto suffix = Scan(dir, all->boundaries[0]);
+  ASSERT_TRUE(suffix.ok()) << suffix.status();
+  ASSERT_EQ(suffix->records.size(), 2u);
+  EXPECT_EQ(suffix->records[0].facts_text, "two");
+  EXPECT_EQ(suffix->records[1].facts_text, "three");
+
+  // Resume at the end: nothing, exhausted, position parked where it was.
+  auto end = Scan(dir, all->next);
+  ASSERT_TRUE(end.ok()) << end.status();
+  EXPECT_TRUE(end->records.empty());
+  EXPECT_TRUE(end->exhausted);
+  EXPECT_EQ(end->next.seq, all->next.seq);
+  EXPECT_EQ(end->next.offset, all->next.offset);
+}
+
+TEST(WalCursorTest, RecordCapStopsEarlyAndResumes) {
+  std::string dir = TempDir();
+  Append(dir, 1, {Insert(1, "one"), Insert(2, "two"), Insert(3, "three")});
+
+  auto first = Scan(dir, WalPosition{}, /*max_records=*/2);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->exhausted);
+  ASSERT_EQ(first->records.size(), 2u);
+
+  auto rest = Scan(dir, first->next);
+  ASSERT_TRUE(rest.ok());
+  EXPECT_TRUE(rest->exhausted);
+  ASSERT_EQ(rest->records.size(), 1u);
+  EXPECT_EQ(rest->records[0].facts_text, "three");
+}
+
+TEST(WalCursorTest, ByteCapAlwaysShipsAtLeastOneRecord) {
+  std::string dir = TempDir();
+  Append(dir, 1, {Insert(1, std::string(128, 'a')), Insert(2, "b")});
+  // A 1-byte budget can never fit the first record, but a window that made
+  // no progress would livelock the shipper — the cap only binds once the
+  // window is non-empty.
+  auto scan = Scan(dir, WalPosition{}, 0, /*max_bytes=*/1);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 1u);
+  EXPECT_FALSE(scan->exhausted);
+}
+
+TEST(WalCursorTest, PrunedSegmentSignalsInsteadOfSkipping) {
+  std::string dir = TempDir();
+  Append(dir, 3, {Insert(7, "seven")});
+  // Position names segment 1, which was pruned: resuming at segment 3 would
+  // silently skip interior history, so the scan must refuse.
+  auto scan = Scan(dir, WalPosition{1, 8});
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_TRUE(scan->position_pruned);
+  EXPECT_TRUE(scan->records.empty());
+}
+
+TEST(WalCursorTest, OffsetBeyondSegmentIsAnError) {
+  std::string dir = TempDir();
+  Append(dir, 1, {Insert(1, "one")});
+  auto scan = Scan(dir, WalPosition{1, 1 << 20});
+  EXPECT_FALSE(scan.ok());
+}
+
+TEST(WalCursorTest, EmptyDirectoryIsExhausted) {
+  std::string dir = TempDir();
+  auto scan = Scan(dir, WalPosition{});
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->exhausted);
+  EXPECT_TRUE(scan->records.empty());
+  EXPECT_EQ(scan->max_seq_seen, 0u);
+}
+
+TEST(WalCursorTest, TornTailOnLastSegmentIsReported) {
+  std::string dir = TempDir();
+  Append(dir, 1, {Insert(1, "one"), Insert(2, "two")});
+  const std::string path = dir + "/" + WalSegmentName(1);
+  auto bytes = util::ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_EQ(::truncate(path.c_str(), static_cast<off_t>(bytes->size() - 3)),
+            0);
+
+  auto scan = Scan(dir, WalPosition{});
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_TRUE(scan->tail_truncated);
+  EXPECT_EQ(scan->truncated_tail_records, 1);
+  ASSERT_EQ(scan->records.size(), 1u);
+  // The position parks at the end of the valid prefix, before the tear.
+  EXPECT_EQ(scan->next.offset, scan->boundaries[0].offset);
+}
+
+TEST(WalCursorTest, ExposedCrcMatchesRecomputedPayloadCrc) {
+  std::string dir = TempDir();
+  Append(dir, 1, {Insert(1, "arc(a, b, 1)."), Abort(2)});
+  auto scan = Scan(dir, WalPosition{});
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 2u);
+  for (const WalRecord& rec : scan->records) {
+    EXPECT_EQ(rec.crc, WalPayloadCrc(rec));
+    EXPECT_NE(rec.crc, 0u);
+  }
+}
+
+// --- replay selection (the recovery filter) -------------------------------
+
+TEST(ReplaySelectionTest, SkipsAbortPairsAndCheckpointCoveredEpochs) {
+  std::vector<WalRecord> records = {Insert(1, "one"),   Insert(2, "two"),
+                                    Insert(3, "fail"),  Abort(3),
+                                    Insert(3, "three"), Insert(4, "four")};
+  ReplaySelection sel = SelectReplayRecords(std::move(records),
+                                            /*base_epoch=*/2);
+  EXPECT_EQ(sel.skipped_aborted_batches, 1);
+  ASSERT_EQ(sel.replay.size(), 2u);
+  EXPECT_EQ(sel.replay[0].facts_text, "three");
+  EXPECT_EQ(sel.replay[1].facts_text, "four");
+}
+
+// --- ship selection (the replication filter) ------------------------------
+
+TEST(ShipSelectionTest, SkipsAbortPairsLikeRecoveryWould) {
+  std::string dir = TempDir();
+  Append(dir, 1, {Insert(1, "one"), Insert(2, "fail"), Abort(2),
+                  Insert(2, "two")});
+  auto scan = Scan(dir, WalPosition{});
+  ASSERT_TRUE(scan.ok());
+
+  ShipSelection sel =
+      SelectShippableRecords(*scan, WalPosition{}, /*committed_epoch=*/2);
+  ASSERT_EQ(sel.records.size(), 2u);
+  EXPECT_EQ(sel.records[0].facts_text, "one");
+  EXPECT_EQ(sel.records[1].facts_text, "two");
+  EXPECT_EQ(sel.next.offset, scan->boundaries[3].offset);
+}
+
+TEST(ShipSelectionTest, CommittedGateWithholdsTheWriteAheadTail) {
+  std::string dir = TempDir();
+  Append(dir, 1, {Insert(1, "one"), Insert(2, "pending")});
+  auto scan = Scan(dir, WalPosition{});
+  ASSERT_TRUE(scan.ok());
+
+  // The log runs ahead of the model: epoch 2 is on disk but not yet
+  // committed, so it must not ship — it could still gain an abort marker.
+  ShipSelection sel =
+      SelectShippableRecords(*scan, WalPosition{}, /*committed_epoch=*/1);
+  ASSERT_EQ(sel.records.size(), 1u);
+  EXPECT_EQ(sel.records[0].facts_text, "one");
+  EXPECT_EQ(sel.next.seq, scan->boundaries[0].seq);
+  EXPECT_EQ(sel.next.offset, scan->boundaries[0].offset);
+}
+
+TEST(ShipSelectionTest, WithholdsWindowFinalInsertInACutWindow) {
+  std::string dir = TempDir();
+  Append(dir, 1, {Insert(1, "one"), Insert(2, "two"), Insert(3, "three")});
+
+  // A limit-cut window (3 records on disk, 2 scanned): the second record's
+  // abort status is unknowable — the marker, if any, is the unscanned next
+  // record — so only the first ships.
+  auto cut = Scan(dir, WalPosition{}, /*max_records=*/2);
+  ASSERT_TRUE(cut.ok());
+  ASSERT_FALSE(cut->exhausted);
+  ShipSelection sel =
+      SelectShippableRecords(*cut, WalPosition{}, /*committed_epoch=*/3);
+  ASSERT_EQ(sel.records.size(), 1u);
+  EXPECT_EQ(sel.records[0].facts_text, "one");
+
+  // Resuming from the selection's position retrieves the withheld record:
+  // no stall, just a one-record handover to the next window.
+  auto next = Scan(dir, sel.next, /*max_records=*/3);
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next->exhausted);
+  ShipSelection rest =
+      SelectShippableRecords(*next, sel.next, /*committed_epoch=*/3);
+  ASSERT_EQ(rest.records.size(), 2u);
+  EXPECT_EQ(rest.records[0].facts_text, "two");
+  EXPECT_EQ(rest.records[1].facts_text, "three");
+}
+
+TEST(ShipSelectionTest, ExhaustedScanShipsTheFinalInsert) {
+  std::string dir = TempDir();
+  Append(dir, 1, {Insert(1, "one")});
+  auto scan = Scan(dir, WalPosition{});
+  ASSERT_TRUE(scan.ok());
+  ASSERT_TRUE(scan->exhausted);
+  // At the true end of the log there is no hidden abort marker: a committed
+  // log-final insert ships even without lookahead.
+  ShipSelection sel =
+      SelectShippableRecords(*scan, WalPosition{}, /*committed_epoch=*/1);
+  ASSERT_EQ(sel.records.size(), 1u);
+}
+
+TEST(ShipSelectionTest, AbortOnlyWindowStillAdvancesThePosition) {
+  std::string dir = TempDir();
+  Append(dir, 1, {Insert(1, "fail"), Abort(1)});
+  auto scan = Scan(dir, WalPosition{});
+  ASSERT_TRUE(scan.ok());
+  ShipSelection sel =
+      SelectShippableRecords(*scan, WalPosition{}, /*committed_epoch=*/0);
+  EXPECT_TRUE(sel.records.empty());
+  // An empty frame with an advanced position: the subscriber skips the
+  // failed batch instead of re-polling the same window forever.
+  EXPECT_EQ(sel.next.offset, scan->boundaries[1].offset);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace mad
