@@ -143,10 +143,16 @@ Status Replicator::Session() {
   int port = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
+    // Consume the drop flag *before* reading the endpoint, in the same
+    // critical section: a concurrent SetEndpoint then either lands its new
+    // endpoint before the read, or sets drop_ afterwards and the stream
+    // loop tears this session down. Clearing after the read could erase a
+    // retarget whose endpoint this session never saw, leaving the pump on
+    // the stale primary until the next transport error.
+    drop_.store(false, std::memory_order_release);
     host = host_;
     port = port_;
   }
-  drop_.store(false, std::memory_order_release);
   MAD_ASSIGN_OR_RETURN(Client client, Client::Connect(host, port));
 
   const uint32_t local_crc = util::Crc32c(opts_.program_text);

@@ -44,6 +44,7 @@ StatusOr<WalScan> WalCursor::Scan(const WalPosition& from, int64_t max_records,
   }
 
   int64_t bytes = 0;
+  bool byte_overscan = false;
   for (size_t si = start; si < seqs_.size(); ++si) {
     const uint64_t seq = seqs_[si];
     const int64_t offset = (from.seq != 0 && seq == from.seq) ? from.offset : 0;
@@ -56,11 +57,20 @@ StatusOr<WalScan> WalCursor::Scan(const WalPosition& from, int64_t max_records,
       const bool record_cap =
           max_records > 0 &&
           static_cast<int64_t>(out.records.size()) >= max_records;
-      const bool byte_cap =
+      // Byte budget with one-record overscan: the first record past the
+      // budget still rides along, so the selection layer's window-final
+      // withholding rule always has its abort-lookahead record. Cutting
+      // right at the budget instead would stall shipping forever on any
+      // record larger than the whole budget (its window would be a lone
+      // withheld insert making no progress).
+      const bool over_budget =
           max_bytes > 0 && !out.records.empty() &&
           bytes + static_cast<int64_t>(one.records[i].facts_text.size()) >
               max_bytes;
-      if (record_cap || byte_cap) return out;  // exhausted stays false
+      if (record_cap || (over_budget && byte_overscan)) {
+        return out;  // exhausted stays false
+      }
+      if (over_budget) byte_overscan = true;
       bytes += static_cast<int64_t>(one.records[i].facts_text.size());
       out.records.push_back(std::move(one.records[i]));
       out.boundaries.push_back(WalPosition{seq, one.record_ends[i]});
@@ -73,7 +83,12 @@ StatusOr<WalScan> WalCursor::Scan(const WalPosition& from, int64_t max_records,
       out.tail_truncated = true;
     }
   }
-  out.exhausted = true;
+  // A scan that ends on the overscan record reports limit-cut even at the
+  // log's end (bytes only grow, so overscan ⇒ the very next record would
+  // have been the cut): the selection layer then withholds that record, a
+  // shipped window never exceeds the budget by more than one record, and
+  // the next window re-reads it as its budget-exempt first record.
+  out.exhausted = !byte_overscan;
   return out;
 }
 
@@ -125,8 +140,10 @@ ShipSelection SelectShippableRecords(const WalScan& scan,
     // committed epoch may yet gain an abort marker. Leave it for later.
     if (rec.epoch > committed_epoch) break;
     // A window-final insert in a limit-cut window has unknown abort status
-    // (the marker, if any, is the next record). Withhold; the caller's
-    // one-record overscan makes this reachable only at the true cap.
+    // (the marker, if any, is the next record). Withhold; the one-record
+    // overscan — the caller's +1 on the record cap, Scan's own on the byte
+    // budget — guarantees the withheld record is pure lookahead, so the
+    // records before it still ship and the position still advances.
     if (!has_lookahead && !scan.exhausted) break;
     out.records.push_back(rec);
     out.next = scan.boundaries[i];

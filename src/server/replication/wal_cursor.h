@@ -55,7 +55,10 @@ struct WalScan {
   /// when records were read past the last one's segment-mates).
   WalPosition next;
   /// True when the scan consumed every intact record currently on disk
-  /// (rather than stopping at max_records/max_bytes).
+  /// (rather than stopping at max_records/max_bytes). A scan whose final
+  /// record is the byte-budget overscan record reports false even at the
+  /// log's end, so ship layers withhold it and re-read it as the next
+  /// window's (budget-exempt) first record.
   bool exhausted = false;
   /// The newest scanned segment ends in a partial or CRC-failing record —
   /// a live writer mid-append, or the frozen signature of a crash.
@@ -82,9 +85,14 @@ class WalCursor {
 
   /// Reads intact records from `from` onward, in segment order, stopping
   /// after `max_records` records or once shipped facts text exceeds
-  /// `max_bytes` (either cap <= 0 means unlimited). Torn tails on sealed
-  /// (non-final) segments are skipped and counted, exactly as recovery
-  /// does; mid-segment corruption is a hard error.
+  /// `max_bytes` (either cap <= 0 means unlimited). The byte budget
+  /// overscans by exactly one record — the first record past the budget is
+  /// included, the cut lands before the next — so the ship-side withholding
+  /// rule always has a lookahead record and a record larger than the whole
+  /// budget cannot stall the stream. The first record of a window is always
+  /// included regardless of size. Torn tails on sealed (non-final) segments
+  /// are skipped and counted, exactly as recovery does; mid-segment
+  /// corruption is a hard error.
   StatusOr<WalScan> Scan(const WalPosition& from, int64_t max_records,
                          int64_t max_bytes) const;
 

@@ -185,6 +185,8 @@ Status ServerState::RecoverAndOpenWal() {
     MAD_RETURN_IF_ERROR(RestoreRelations(ckpt, program_.get(), &work_.db));
     epoch_ = ckpt.epoch;
     cumulative_facts_ = ckpt.facts_text;
+    history_bytes_.store(static_cast<int64_t>(cumulative_facts_.size()),
+                         std::memory_order_relaxed);
   }
 
   int64_t replayed = 0;
@@ -207,6 +209,8 @@ Status ServerState::RecoverAndOpenWal() {
     epoch_ = rec.epoch;
     cumulative_facts_.append(rec.facts_text);
     cumulative_facts_.push_back('\n');
+    history_bytes_.store(static_cast<int64_t>(cumulative_facts_.size()),
+                         std::memory_order_relaxed);
     ++replayed;
   }
 
@@ -697,6 +701,8 @@ Json ServerState::HandleInsert(const Json& request) {
   ++epoch_;
   cumulative_facts_.append(facts_field.str);
   cumulative_facts_.push_back('\n');
+  history_bytes_.store(static_cast<int64_t>(cumulative_facts_.size()),
+                       std::memory_order_relaxed);
   // ParseFacts already validated these against the declarations, so the
   // merge into the demand base cannot fail.
   for (const datalog::Fact& f : *facts) (void)base_facts_.AddFact(f);
@@ -817,43 +823,73 @@ Json ServerState::HandleReplSubscribe(const Json& request) {
   const Json& probe = request.At("probe");
   const bool probe_only = probe.is_bool() && probe.boolean;
 
-  // Under writer_mu_ the (epoch_, cumulative_facts_, on-disk WAL) triple is
-  // mutually consistent: no insert can land between reading the committed
-  // epoch and snapshotting the history.
-  std::lock_guard<std::mutex> lk(writer_mu_);
-  Json j = OkResponse("repl_subscribe", epoch_);
+  // Does the retained WAL still cover every acknowledged epoch past
+  // have_epoch? Acknowledged epochs are dense, so it suffices that the
+  // earliest replayable epoch past have_epoch is exactly have_epoch + 1.
+  // Otherwise checkpointing pruned part of the gap and the subscriber needs
+  // a full-history bootstrap (over-sending is always safe: joins are
+  // idempotent). The scan runs *outside* writer_mu_ — it is O(retained
+  // history) of disk I/O and must not stall inserts. That makes the verdict
+  // racy against a concurrent checkpoint prune, which is why the response
+  // anchors streaming to the CONCRETE oldest segment this cursor saw
+  // (stream_seq) instead of the floating "oldest available" position {0,0}:
+  // a prune that could invalidate the verdict also removes that segment, so
+  // the subscriber's next repl_frames reports position_pruned and it comes
+  // back here for a fresh verdict, rather than silently resuming past a
+  // hole in the stream.
+  //
+  // The scan must also run BEFORE the (epoch_, cumulative_facts_) snapshot
+  // below: the snapshot epoch then upper-bounds every record the scan could
+  // have seen, so a record absent from the anchored stream is either old
+  // (covered by the bootstrap facts) or was appended after the snapshot (at
+  // the tail, position >= stream_seq). The reverse order could prune a
+  // post-snapshot record out of both the bootstrap and the stream.
+  bool need_bootstrap = false;
+  uint64_t stream_seq = 0;
+  if (!probe_only) {
+    auto cursor = WalCursor::Open(durability_.data_dir);
+    if (!cursor.ok()) return ErrorResponse("repl_subscribe", cursor.status());
+    if (!cursor->empty()) stream_seq = cursor->segment_seqs().front();
+    if (epoch() > have_epoch) {
+      auto scan = cursor->Scan(WalPosition{}, 0, 0);
+      if (!scan.ok()) return ErrorResponse("repl_subscribe", scan.status());
+      ReplaySelection sel =
+          SelectReplayRecords(std::move(scan->records), have_epoch);
+      need_bootstrap =
+          sel.replay.empty() || sel.replay.front().epoch != have_epoch + 1;
+    }
+  }
+
+  // Under writer_mu_ the (epoch_, cumulative_facts_) pair is mutually
+  // consistent; copy both and serialize outside the lock so a large history
+  // blocks the writer lane for a memcpy, not for JSON encoding.
+  int64_t committed_epoch = 0;
+  std::string bootstrap_facts;
+  {
+    std::lock_guard<std::mutex> lk(writer_mu_);
+    committed_epoch = epoch_;
+    if (need_bootstrap) bootstrap_facts = cumulative_facts_;
+  }
+
+  Json j = OkResponse("repl_subscribe", committed_epoch);
   j.Set("program", Json::Str(program_text_));
   j.Set("program_crc",
         Json::Int(static_cast<int64_t>(util::Crc32c(program_text_))));
   j.Set("fsync_policy", Json::Str(FsyncPolicyName(durability_.fsync)));
-
-  // Does the retained WAL still cover every acknowledged epoch in
-  // (have_epoch, epoch_]? Acknowledged epochs are dense, so it suffices
-  // that the earliest replayable epoch past have_epoch is exactly
-  // have_epoch + 1. Otherwise checkpointing pruned part of the gap and the
-  // subscriber needs a full-history bootstrap (over-sending is always safe:
-  // joins are idempotent).
-  bool need_bootstrap = false;
-  if (!probe_only && epoch_ > have_epoch) {
-    auto cursor = WalCursor::Open(durability_.data_dir);
-    if (!cursor.ok()) return ErrorResponse("repl_subscribe", cursor.status());
-    auto scan = cursor->Scan(WalPosition{}, 0, 0);
-    if (!scan.ok()) return ErrorResponse("repl_subscribe", scan.status());
-    ReplaySelection sel =
-        SelectReplayRecords(std::move(scan->records), have_epoch);
-    need_bootstrap =
-        sel.replay.empty() || sel.replay.front().epoch != have_epoch + 1;
-  }
   if (need_bootstrap) {
     Json b = Json::Object();
-    b.Set("epoch", Json::Int(epoch_));
-    b.Set("facts", Json::Str(cumulative_facts_));
+    b.Set("epoch", Json::Int(committed_epoch));
+    b.Set("facts", Json::Str(std::move(bootstrap_facts)));
     j.Set("bootstrap", std::move(b));
   }
-  // Streaming always starts at the oldest retained segment: re-applying
-  // batches the subscriber already holds is a lattice-join no-op, and the
-  // position-based protocol then needs no epoch-to-offset index.
-  j.Set("seq", Json::Int(0));
+  // Streaming starts at the oldest segment retained when the gap was
+  // checked: re-shipping batches the subscriber already holds is a
+  // lattice-join no-op (and the replica's epoch filter drops them without
+  // re-deriving), so the position-based protocol needs no epoch-to-offset
+  // index. Naming the segment — rather than the symbolic {0,0} start, which
+  // can never report position_pruned — turns a prune that races this
+  // response into an explicit re-subscribe instead of a silent skip.
+  j.Set("seq", Json::Int(static_cast<int64_t>(stream_seq)));
   j.Set("offset", Json::Int(0));
 
   std::lock_guard<std::mutex> rlk(repl_mu_);
@@ -954,6 +990,13 @@ Status ServerState::ApplyShipped(int64_t epoch, const std::string& facts_text,
         "a previous shipped batch failed mid-merge; the replica's working "
         "set is no longer certified — restart the replica to re-bootstrap");
   }
+  // Every reconnect re-streams the whole retained WAL (repl_subscribe hands
+  // out no resume position), so already-covered batches arrive again on
+  // each session. Committed epochs are dense and never reused, so a batch
+  // at or below our epoch is already joined into the model AND recorded in
+  // cumulative_facts_: re-applying would be a no-op, but re-appending would
+  // grow the history copy without bound. Skip the whole batch.
+  if (!bootstrap && epoch <= epoch_) return Status::OK();
   auto facts = datalog::ParseFacts(program_.get(), facts_text);
   if (!facts.ok()) return facts.status();
   ResourceLimits limits;
@@ -968,13 +1011,15 @@ Status ServerState::ApplyShipped(int64_t epoch, const std::string& facts_text,
   }
   if (epoch > epoch_) epoch_ = epoch;
   if (bootstrap) {
-    // The bootstrap IS the full accepted history; stream records that
-    // overlap it re-append below, which only ever re-joins covered facts.
+    // The bootstrap IS the full accepted history; stream records past it
+    // append below, records at or below its epoch are skipped above.
     cumulative_facts_ = facts_text;
   } else {
     cumulative_facts_.append(facts_text);
     cumulative_facts_.push_back('\n');
   }
+  history_bytes_.store(static_cast<int64_t>(cumulative_facts_.size()),
+                       std::memory_order_relaxed);
   for (const datalog::Fact& f : *facts) (void)base_facts_.AddFact(f);
   Publish();
   return Status::OK();
@@ -1018,6 +1063,10 @@ Json ServerState::HandleStats() {
   j.Set("verbs", latency_.ToJson());
 
   Json r = Json::Object();
+  // Size of the retained insert history (the bootstrap payload). On a
+  // replica this must track the primary's, not grow with reconnects.
+  r.Set("history_bytes",
+        Json::Int(history_bytes_.load(std::memory_order_relaxed)));
   if (replica_.enabled) {
     r.Set("role", Json::Str("replica"));
     r.Set("primary", Json::Str(StrPrintf("%s:%d", replica_.primary_host.c_str(),

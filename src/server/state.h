@@ -273,6 +273,11 @@ class ServerState {
   /// Concatenated accepted insert batches since epoch 0 — the full EDB
   /// delta history, checkpointed for differential recovery certification.
   std::string cumulative_facts_;
+  /// cumulative_facts_.size(), mirrored after every mutation so the stats
+  /// verb can report it without taking writer_mu_. On a replica this must
+  /// stay bounded by the primary's history across reconnects (re-streamed
+  /// batches are deduplicated by epoch in ApplyShipped).
+  std::atomic<int64_t> history_bytes_{0};
   /// Set when the WAL can no longer persist writes (ENOSPC, I/O error):
   /// inserts are refused with kDurabilityDegraded, reads keep serving.
   std::atomic<bool> degraded_{false};

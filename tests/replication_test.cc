@@ -268,6 +268,43 @@ TEST(ReplicationTest, PruneSignalsTheSubscriberAndBootstrapCoversTheGap) {
   EXPECT_TRUE(caught_resp.At("bootstrap").is_null());
 }
 
+TEST(ReplicationTest, SubscribeAnchorsStreamingToAConcreteSegment) {
+  auto primary = MustLoadPrimary(TempDir());
+  ASSERT_TRUE(primary->Handle(InsertRequest("arc(c, d, 3).")).At("ok").boolean);
+
+  // The handed-out position names the oldest retained segment rather than
+  // the floating "oldest available" {0,0}: {0,0} can never report
+  // position_pruned, so a checkpoint prune racing the subscribe's gap check
+  // could silently drop history out from under the stream.
+  Json sub = Request("repl_subscribe");
+  sub.Set("have_epoch", Json::Int(0));
+  Json response = primary->Handle(sub);
+  ASSERT_TRUE(response.At("ok").boolean) << response.Dump();
+  const int64_t seq = response.IntOr("seq", 0);
+  EXPECT_GE(seq, 1);
+
+  // Streaming from the anchored position ships the history as usual.
+  Json req = Request("repl_frames");
+  req.Set("seq", Json::Int(seq));
+  req.Set("offset", Json::Int(response.IntOr("offset", -1)));
+  Json frame = primary->Handle(req);
+  ASSERT_TRUE(frame.At("ok").boolean) << frame.Dump();
+  EXPECT_EQ(frame.IntOr("count", -1), 1);
+
+  // A prune landing after the subscribe response invalidates the anchored
+  // position *explicitly* — the subscriber re-subscribes for a fresh
+  // verdict instead of resuming past the hole.
+  Json sync = Request("sync");
+  sync.Set("checkpoint", Json::Bool(true));
+  ASSERT_TRUE(primary->Handle(sync).At("ok").boolean);
+  Json stale = Request("repl_frames");
+  stale.Set("seq", Json::Int(seq));
+  stale.Set("offset", Json::Int(0));
+  Json pruned = primary->Handle(stale);
+  ASSERT_TRUE(pruned.At("ok").boolean) << pruned.Dump();
+  EXPECT_TRUE(pruned.At("position_pruned").boolean);
+}
+
 // --- the pump, end to end --------------------------------------------------
 
 TEST(ReplicationTest, ReplicatorStreamsInsertsIntoAnIdenticalModel) {
@@ -314,6 +351,102 @@ TEST(ReplicationTest, ReplicatorSurvivesInjectedDisconnects) {
   }
   ASSERT_TRUE(replica->WaitForEpoch(8, std::chrono::seconds(10)));
   pump.Stop();
+  EXPECT_EQ(replica->Pin()->db.ToString(),
+            primary.state().Pin()->db.ToString());
+}
+
+// Regression: a WAL record larger than the pump's per-frame byte budget.
+// Without the scan-side one-record overscan, the primary's frame handler
+// cuts the window right after the oversized record, the window-final
+// withholding rule then returns an empty selection with next == from, and
+// the replica re-polls the same position forever — a silent stall.
+TEST(ReplicationTest, RecordLargerThanTheFrameByteBudgetStillStreams) {
+  auto srv = Server::Start(MustLoadPrimary(TempDir()), {});
+  ASSERT_TRUE(srv.ok()) << srv.status();
+  Server& primary = **srv;
+
+  std::string big;
+  for (int i = 0; i < 40; ++i) {
+    big += "arc(g" + std::to_string(i) + ", g" + std::to_string(i + 1) +
+           ", 1).\n";
+  }
+  ASSERT_TRUE(
+      primary.state().Handle(InsertRequest("arc(c, d, 3).")).At("ok").boolean);
+  ASSERT_TRUE(primary.state().Handle(InsertRequest(big)).At("ok").boolean);
+  ASSERT_TRUE(
+      primary.state().Handle(InsertRequest("arc(d, e, 4).")).At("ok").boolean);
+
+  auto replica = MustLoadReplica("127.0.0.1", primary.port());
+  Replicator::Options opts = PumpOptions(primary.port());
+  opts.max_bytes = 64;  // far below the big batch
+  ASSERT_GT(big.size(), static_cast<size_t>(opts.max_bytes));
+  Replicator pump(replica.get(), opts);
+  pump.Start();
+  ASSERT_TRUE(replica->WaitForEpoch(3, std::chrono::seconds(10)));
+  pump.Stop();
+  EXPECT_FALSE(pump.broken());
+  EXPECT_EQ(replica->Pin()->db.ToString(),
+            primary.state().Pin()->db.ToString());
+}
+
+// Regression: every reconnect re-streams the whole retained WAL (the
+// subscribe response carries no resume position), and the replica must
+// deduplicate already-covered batches instead of re-appending them to its
+// history copy — otherwise each reconnect grows the replica's memory by a
+// full duplicate of the primary's history.
+TEST(ReplicationTest, ReconnectsDoNotGrowTheReplicaHistory) {
+  auto srv = Server::Start(MustLoadPrimary(TempDir()), {});
+  ASSERT_TRUE(srv.ok()) << srv.status();
+  Server& primary = **srv;
+
+  auto replica = MustLoadReplica("127.0.0.1", primary.port());
+  Replicator pump(replica.get(), PumpOptions(primary.port()));
+  pump.Start();
+
+  int64_t epoch = 0;
+  for (int i = 0; i < 4; ++i) {
+    Json ack = primary.state().Handle(InsertRequest(
+        "arc(h" + std::to_string(i) + ", h" + std::to_string(i + 1) +
+        ", 2)."));
+    ASSERT_TRUE(ack.At("ok").boolean);
+    epoch = ack.IntOr("epoch", 0);
+  }
+  ASSERT_TRUE(replica->WaitForEpoch(epoch, std::chrono::seconds(10)));
+
+  // Each tear forces a fresh session that re-streams from segment 0. The
+  // extra insert afterwards is the progress signal: once it arrives, the
+  // session has already re-shipped (and the replica skipped) everything
+  // before it.
+  for (int i = 0; i < 3; ++i) {
+    const int64_t torn = replica->replication_progress().reconnects;
+    pump.InjectDisconnect();
+    // Wait for the torn session to actually end — otherwise the next batch
+    // could slip through the old session and prove nothing about the
+    // re-stream path.
+    for (int spin = 0;
+         spin < 1000 && replica->replication_progress().reconnects == torn;
+         ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_GT(replica->replication_progress().reconnects, torn);
+    Json ack = primary.state().Handle(InsertRequest(
+        "arc(k" + std::to_string(i) + ", k" + std::to_string(i + 1) +
+        ", 3)."));
+    ASSERT_TRUE(ack.At("ok").boolean);
+    epoch = ack.IntOr("epoch", 0);
+    ASSERT_TRUE(replica->WaitForEpoch(epoch, std::chrono::seconds(10)));
+  }
+  pump.Stop();
+
+  Json rstats = replica->Handle(Request("stats"));
+  Json pstats = primary.state().Handle(Request("stats"));
+  const int64_t replica_history =
+      rstats.At("replication").IntOr("history_bytes", -1);
+  const int64_t primary_history =
+      pstats.At("replication").IntOr("history_bytes", -2);
+  EXPECT_GT(replica_history, 0);
+  // Byte-identical history, not history × (1 + reconnects).
+  EXPECT_EQ(replica_history, primary_history);
   EXPECT_EQ(replica->Pin()->db.ToString(),
             primary.state().Pin()->db.ToString());
 }

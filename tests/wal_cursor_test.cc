@@ -122,16 +122,39 @@ TEST(WalCursorTest, RecordCapStopsEarlyAndResumes) {
   EXPECT_EQ(rest->records[0].facts_text, "three");
 }
 
-TEST(WalCursorTest, ByteCapAlwaysShipsAtLeastOneRecord) {
+TEST(WalCursorTest, ByteBudgetOverscansByExactlyOneRecord) {
   std::string dir = TempDir();
-  Append(dir, 1, {Insert(1, std::string(128, 'a')), Insert(2, "b")});
-  // A 1-byte budget can never fit the first record, but a window that made
-  // no progress would livelock the shipper — the cap only binds once the
-  // window is non-empty.
+  Append(dir, 1, {Insert(1, std::string(128, 'a')), Insert(2, "b"),
+                  Insert(3, "c")});
+  // A 1-byte budget can never fit the first record, but the window still
+  // takes it (first record is budget-exempt) plus exactly one lookahead
+  // record past the budget — the selection layer's withholding rule needs
+  // that successor to let the oversized record ship. The cut lands before
+  // the third record.
   auto scan = Scan(dir, WalPosition{}, 0, /*max_bytes=*/1);
   ASSERT_TRUE(scan.ok());
-  ASSERT_EQ(scan->records.size(), 1u);
+  ASSERT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->records[1].facts_text, "b");
   EXPECT_FALSE(scan->exhausted);
+}
+
+TEST(WalCursorTest, ByteBudgetOverscanAtLogEndReportsLimitCut) {
+  std::string dir = TempDir();
+  Append(dir, 1, {Insert(1, std::string(128, 'a')), Insert(2, "b")});
+  // The overscan record is the last record on disk: the scan still reports
+  // a limit-cut window so the ship layer withholds it — a shipped window
+  // never exceeds the budget by more than one record, and the next window
+  // re-reads the withheld record as its budget-exempt first record.
+  auto scan = Scan(dir, WalPosition{}, 0, /*max_bytes=*/1);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 2u);
+  EXPECT_FALSE(scan->exhausted);
+
+  auto rest = Scan(dir, scan->boundaries[0], 0, /*max_bytes=*/1);
+  ASSERT_TRUE(rest.ok());
+  ASSERT_EQ(rest->records.size(), 1u);
+  EXPECT_EQ(rest->records[0].facts_text, "b");
+  EXPECT_TRUE(rest->exhausted);
 }
 
 TEST(WalCursorTest, PrunedSegmentSignalsInsteadOfSkipping) {
@@ -276,6 +299,44 @@ TEST(ShipSelectionTest, ExhaustedScanShipsTheFinalInsert) {
   ShipSelection sel =
       SelectShippableRecords(*scan, WalPosition{}, /*committed_epoch=*/1);
   ASSERT_EQ(sel.records.size(), 1u);
+}
+
+TEST(ShipSelectionTest, RecordLargerThanTheByteBudgetDoesNotStallShipping) {
+  std::string dir = TempDir();
+  const std::string big(512, 'x');
+  Append(dir, 1, {Insert(1, "a"), Insert(2, big), Insert(3, "b")});
+
+  // Drive scan → select exactly the way the primary's frame handler does,
+  // with a byte budget far smaller than the middle record. Regression: a
+  // byte cap without overscan cuts the window right after the oversized
+  // record, the withholding rule then parks it as a window-final insert,
+  // and the selection comes back empty with next == from — a permanent
+  // livelock. Every round must make progress until the log is drained.
+  constexpr int64_t kMaxBytes = 64;
+  std::vector<std::string> shipped;
+  WalPosition pos;
+  for (int round = 0; round < 10 && shipped.size() < 3u; ++round) {
+    auto scan = Scan(dir, pos, /*max_records=*/0, kMaxBytes);
+    ASSERT_TRUE(scan.ok()) << scan.status();
+    ShipSelection sel =
+        SelectShippableRecords(*scan, pos, /*committed_epoch=*/3);
+    const bool advanced =
+        sel.next.seq != pos.seq || sel.next.offset != pos.offset;
+    ASSERT_TRUE(advanced) << "shipper livelocked at round " << round;
+    // Limit-cut windows never ship more than the budget plus one record.
+    int64_t window_bytes = 0;
+    for (const WalRecord& rec : sel.records) {
+      window_bytes += static_cast<int64_t>(rec.facts_text.size());
+      shipped.push_back(rec.facts_text);
+    }
+    EXPECT_LE(window_bytes,
+              kMaxBytes + static_cast<int64_t>(big.size()));
+    pos = sel.next;
+  }
+  ASSERT_EQ(shipped.size(), 3u);
+  EXPECT_EQ(shipped[0], "a");
+  EXPECT_EQ(shipped[1], big);
+  EXPECT_EQ(shipped[2], "b");
 }
 
 TEST(ShipSelectionTest, AbortOnlyWindowStillAdvancesThePosition) {
